@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks of the machine simulator's access pipeline
+//! — simulation throughput bounds how large a workload the reproduction
+//! can run, so regressions here matter.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dcp_machine::{AccessKind, CoreId, DomainId, Machine, MachineConfig};
+
+fn bench_access_patterns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine_access");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("l1_hit", |b| {
+        let mut m = Machine::new(MachineConfig::magny_cours());
+        m.access(CoreId(0), 0x1000, AccessKind::Load, DomainId(0), 1, 0);
+        b.iter(|| {
+            black_box(m.access(CoreId(0), 0x1000, AccessKind::Load, DomainId(0), 1, 0).latency)
+        });
+    });
+
+    group.bench_function("streaming_load", |b| {
+        let mut m = Machine::new(MachineConfig::magny_cours());
+        let mut a = 0x10_0000u64;
+        let mut t = 0u64;
+        b.iter(|| {
+            a += 64;
+            let r = m.access(CoreId(0), a, AccessKind::Load, DomainId(0), 7, t);
+            t += r.latency as u64;
+            black_box(r.latency)
+        });
+    });
+
+    group.bench_function("scattered_remote_load", |b| {
+        let mut m = Machine::new(MachineConfig::power7_node());
+        let mut i = 0u64;
+        let mut t = 0u64;
+        b.iter(|| {
+            i = i.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = 0x10_0000 + (i % (64 << 20));
+            let r = m.access(CoreId(96), a, AccessKind::Load, DomainId(0), 9, t);
+            t += r.latency as u64;
+            black_box(r.latency)
+        });
+    });
+
+    group.bench_function("store_with_coherence", |b| {
+        let mut m = Machine::new(MachineConfig::magny_cours());
+        let mut a = 0x20_0000u64;
+        let mut t = 0u64;
+        b.iter(|| {
+            a = 0x20_0000 + (a + 64) % (1 << 20);
+            let r = m.access(CoreId(7), a, AccessKind::Store, DomainId(1), 3, t);
+            t += r.latency as u64;
+            black_box(r.latency)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_access_patterns);
+criterion_main!(benches);

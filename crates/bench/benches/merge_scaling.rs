@@ -1,0 +1,48 @@
+//! Criterion benchmark of post-mortem profile merging: the parallel
+//! reduction tree (§4.2's scalability mechanism) versus a sequential
+//! fold, across thread counts.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcp_cct::{merge_reduction_tree, merge_sequential, Cct, Frame};
+
+fn make_profile(seed: u64) -> Cct {
+    let mut t = Cct::new(5);
+    for i in 0..400u64 {
+        let path = [
+            Frame::Proc(seed % 4),
+            Frame::CallSite(100 + (seed * 31 + i) % 50),
+            Frame::CallSite(1000 + (seed * 7 + i) % 200),
+            Frame::Stmt(5000 + i % 97),
+        ];
+        t.insert_path(path, (i % 5) as usize, i + seed);
+    }
+    t
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile_merge");
+    for threads in [16usize, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("reduction_tree", threads),
+            &threads,
+            |b, &n| {
+                b.iter_batched(
+                    || (0..n as u64).map(make_profile).collect::<Vec<_>>(),
+                    |ps| black_box(merge_reduction_tree(ps, 5).len()),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("sequential", threads), &threads, |b, &n| {
+            b.iter_batched(
+                || (0..n as u64).map(make_profile).collect::<Vec<_>>(),
+                |ps| black_box(merge_sequential(ps, 5).len()),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

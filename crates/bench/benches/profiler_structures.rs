@@ -1,0 +1,186 @@
+//! Criterion micro-benchmarks of the profiler's own data structures —
+//! the constant factors behind the paper's "low runtime overhead" claim:
+//! CCT path insertion, live-heap interval lookup, static symbol lookup,
+//! allocation-context capture under each §4.1.3 strategy, and profile
+//! encoding.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcp_cct::{encode, Cct, Frame};
+use dcp_core::datacentric::{
+    AllocPaths, HeapMap, ProfCosts, StaticMap, TrackingPolicy, UnwindCache,
+};
+use dcp_runtime::ir::{ModuleDef, StaticSym};
+use dcp_runtime::{FrameInfo, Ip, ModuleId, ProcId};
+
+fn bench_cct_insert(c: &mut Criterion) {
+    c.bench_function("cct_insert_hot_path", |b| {
+        // Re-inserting an existing path: the steady-state per-sample cost.
+        let mut cct = Cct::new(5);
+        let path: Vec<Frame> = (0..8).map(|i| Frame::CallSite(i * 97)).collect();
+        cct.insert_path(path.clone(), 0, 1);
+        b.iter(|| {
+            cct.insert_path(black_box(path.iter().copied()), 1, 3);
+        });
+    });
+    c.bench_function("cct_insert_cold_paths", |b| {
+        let mut i = 0u64;
+        let mut cct = Cct::new(5);
+        b.iter(|| {
+            i += 1;
+            let path = [
+                Frame::Proc(1),
+                Frame::CallSite(i % 100),
+                Frame::CallSite(i % 1000),
+                Frame::Stmt(i),
+            ];
+            cct.insert_path(black_box(path), 0, 1);
+        });
+    });
+}
+
+fn bench_heap_map(c: &mut Criterion) {
+    let mut ap = AllocPaths::new();
+    let mut hm = HeapMap::new();
+    for i in 0..10_000u64 {
+        let ctx = ap.intern(&[Frame::Proc(1), Frame::Stmt(i % 64)], 8192);
+        hm.insert(0x10_0000_0000 + i * 0x4000, 8192, ctx);
+    }
+    c.bench_function("heap_map_lookup_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 10_000;
+            black_box(hm.lookup(0x10_0000_0000 + i * 0x4000 + 128))
+        });
+    });
+    c.bench_function("heap_map_lookup_miss", |b| {
+        b.iter(|| black_box(hm.lookup(0x99_0000_0000)));
+    });
+}
+
+fn bench_static_map(c: &mut Criterion) {
+    let mut sm = StaticMap::new();
+    let def = ModuleDef {
+        name: "exe".into(),
+        statics: (0..500)
+            .map(|i| StaticSym {
+                name: format!("var{i}"),
+                addr: 0x1000_0000 + i * 0x10000,
+                bytes: 0x8000,
+            })
+            .collect(),
+        load_at_start: true,
+    };
+    sm.load_module(0, ModuleId(0), &def);
+    c.bench_function("static_map_lookup", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 313) % 500;
+            black_box(sm.lookup(dcp_runtime::layout::global(0, 0x1000_0000 + i * 0x10000 + 64)))
+        });
+    });
+}
+
+fn bench_unwind_strategies(c: &mut Criterion) {
+    let frames: Vec<FrameInfo> = (0..24)
+        .map(|i| FrameInfo { proc: ProcId(i), call_site: Some(Ip(i as u64 * 11)), token: i as u64 })
+        .collect();
+    let costs = ProfCosts::default();
+    let mut group = c.benchmark_group("alloc_context_capture");
+    for (name, policy) in
+        [("naive", TrackingPolicy::naive()), ("trampoline", TrackingPolicy::default())]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, policy| {
+            let mut cache = UnwindCache::new();
+            b.iter(|| black_box(cache.capture(&frames, policy, &costs).frames_walked));
+        });
+    }
+    group.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut cct = Cct::new(5);
+    for i in 0..5_000u64 {
+        cct.insert_path(
+            [
+                Frame::Proc(i % 7),
+                Frame::CallSite(i % 131),
+                Frame::CallSite(i % 1031),
+                Frame::Stmt(i % 4099),
+            ],
+            (i % 5) as usize,
+            i,
+        );
+    }
+    c.bench_function("profile_encode_5k_nodes", |b| {
+        b.iter(|| black_box(encode(&cct).len()));
+    });
+}
+
+/// Design-choice ablation: per-thread CCTs merged post-mortem (the
+/// paper's §4.1.4 design) versus one shared lock-protected CCT. The
+/// shared variant pays lock traffic on every sample; the private variant
+/// pays a one-time merge.
+fn bench_shared_vs_private(c: &mut Criterion) {
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+    const THREADS: usize = 8;
+    const SAMPLES: usize = 2_000;
+
+    fn path_for(t: usize, i: usize) -> [Frame; 3] {
+        [
+            Frame::Proc(t as u64 % 4),
+            Frame::CallSite((i % 37) as u64),
+            Frame::Stmt((i % 211) as u64),
+        ]
+    }
+
+    let mut group = c.benchmark_group("attribution_design");
+    group.bench_function("shared_locked_cct", |b| {
+        b.iter(|| {
+            let shared = Arc::new(Mutex::new(Cct::new(5)));
+            std::thread::scope(|s| {
+                for t in 0..THREADS {
+                    let mine = Arc::clone(&shared);
+                    s.spawn(move || {
+                        for i in 0..SAMPLES {
+                            mine.lock().insert_path(path_for(t, i), 0, 1);
+                        }
+                    });
+                }
+            });
+            let total = shared.lock().total(0);
+            black_box(total)
+        });
+    });
+    group.bench_function("private_ccts_plus_merge", |b| {
+        b.iter(|| {
+            let trees: Vec<Cct> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..THREADS)
+                    .map(|t| {
+                        s.spawn(move || {
+                            let mut tree = Cct::new(5);
+                            for i in 0..SAMPLES {
+                                tree.insert_path(path_for(t, i), 0, 1);
+                            }
+                            tree
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+            });
+            black_box(dcp_cct::merge_reduction_tree(trees, 5).total(0))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cct_insert,
+    bench_heap_map,
+    bench_static_map,
+    bench_unwind_strategies,
+    bench_encode,
+    bench_shared_vs_private
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Skid-correction ablation (§4.1.2).
+//!
+//! On out-of-order processors the sampling interrupt lands several
+//! instructions after the monitored one; the paper's first change to
+//! HPCToolkit's unwinder is to "adjust the leaf node ... to use the
+//! precise IP recorded by PMU hardware", avoiding this skid. This
+//! ablation quantifies what happens without the correction: samples of a
+//! single hot load scatter across the unrelated instructions that follow
+//! it.
+
+use dcp_bench::ibs_sampling;
+use dcp_core::prelude::*;
+use dcp_machine::MachineConfig;
+use dcp_runtime::ir::ex::*;
+use dcp_runtime::{ProgramBuilder, SimConfig, WorldConfig};
+
+fn main() {
+    // One scattered (hot) load at line 5, followed by three ALU ops.
+    let build = || {
+        let mut b = ProgramBuilder::new("skid");
+        let main = b.proc("main", 0, |p| {
+            let buf = p.calloc(c(1 << 20), "hot");
+            p.for_(c(0), c(120_000), |p, i| {
+                p.line(5);
+                p.load(l(buf), rem(mul(l(i), c(8191)), c(1 << 17)), 8);
+                p.line(6);
+                p.compute(1);
+                p.line(7);
+                p.compute(1);
+                p.line(8);
+                p.compute(1);
+            });
+            p.free(l(buf));
+        });
+        b.build(main)
+    };
+
+    println!("SKID ABLATION — fraction of heap samples attributed to the true access site");
+    for skid in [0u32, 2, 4] {
+        for corrected in [true, false] {
+            let prog = build();
+            let mut sim = SimConfig::new(MachineConfig::magny_cours());
+            sim.pmu = Some(ibs_sampling(64));
+            if let Some(dcp_machine::PmuConfig::Ibs { period: _, skid: s }) = sim.pmu.as_mut() {
+                *s = skid;
+            }
+            let w = WorldConfig::single_node(sim, 1);
+            let pcfg = ProfilerConfig { skid_correction: corrected, ..ProfilerConfig::default() };
+            let run = run_profiled(&prog, &w, pcfg);
+            let analysis = run.analyze(&prog);
+            // Count heap samples whose leaf is the true load statement.
+            let tree = analysis.tree(StorageClass::Heap);
+            let mut on_site = 0u64;
+            let mut total = 0u64;
+            for n in tree.preorder() {
+                let s = tree.metrics(n)[Metric::Samples.col()];
+                if s == 0 {
+                    continue;
+                }
+                total += s;
+                if analysis.resolve_frame(tree.frame(n)).ends_with(":5") {
+                    on_site += s;
+                }
+            }
+            println!(
+                "skid={skid} ops, precise-IP correction {}: {:5.1}% of {} samples on main:5",
+                if corrected { "ON " } else { "OFF" },
+                100.0 * on_site as f64 / total.max(1) as f64,
+                total
+            );
+        }
+    }
+    println!();
+    println!("shape: with the correction ON, attribution stays on the load regardless of");
+    println!("skid; with it OFF, attribution degrades as skid grows (the signal lands on");
+    println!("the unrelated ALU ops that follow — and those samples carry the load's EA,");
+    println!("so a naive tool pins memory costs on compute instructions).");
+}

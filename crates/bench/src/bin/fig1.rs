@@ -1,0 +1,45 @@
+//! Figure 1 — per-variable latency decomposition of one source line.
+//!
+//! The motivating example: `sum += A[i] + B[i] * C[idx[i]]` on line 4.
+//! A code-centric profiler reports only "line 4 is slow"; the
+//! data-centric profile splits line 4's latency across A, B, C and idx,
+//! showing C as the variable of principal interest.
+
+use dcp_bench::ibs_sampling;
+use dcp_core::prelude::*;
+use dcp_workloads::micro::{fig1_line_decomposition, world, Fig1Config};
+
+fn main() {
+    let prog = fig1_line_decomposition(&Fig1Config::default());
+    let mut w = world();
+    w.sim.pmu = Some(ibs_sampling(64));
+    let run = run_profiled(&prog, &w, ProfilerConfig::default());
+    let analysis = run.analyze(&prog);
+
+    // Code-centric view: everything on line 4 is one bucket.
+    let total_line4: u64 = analysis
+        .variables(Metric::Latency)
+        .iter()
+        .map(|v| v.metrics[Metric::Latency.col()])
+        .sum();
+    println!("FIGURE 1 — latency decomposition of a single source line");
+    println!("code-centric: line 4 accounts for {total_line4} cycles of sampled latency. Which variable?");
+    println!();
+    println!("data-centric decomposition:");
+    for v in analysis.variables(Metric::Latency) {
+        let lat = v.metrics[Metric::Latency.col()];
+        if lat == 0 {
+            continue;
+        }
+        println!(
+            "  {:<6} {:>10} cycles  {:>5.1}%   ({} samples)",
+            v.name,
+            lat,
+            100.0 * lat as f64 / total_line4.max(1) as f64,
+            v.metrics[Metric::Samples.col()]
+        );
+    }
+    println!();
+    println!("paper's shape: the gathered array (C) dominates the line's latency;");
+    println!("the streamed arrays contribute little despite sharing the same line.");
+}

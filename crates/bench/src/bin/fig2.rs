@@ -1,0 +1,43 @@
+//! Figure 2 — a loop allocating 100 data objects in the heap.
+//!
+//! §2.2's scalability concern: a tool that records each allocation
+//! separately disperses metrics over 100 entries (and over millions in an
+//! MPI+OpenMP run). Identifying heap variables by allocation call path
+//! coalesces them into one entry whose aggregate metrics expose the hot
+//! array.
+
+use dcp_bench::ibs_sampling;
+use dcp_core::prelude::*;
+use dcp_workloads::micro::{fig2_alloc_loop, world};
+
+fn main() {
+    let prog = fig2_alloc_loop(100, 8192, 60_000);
+    let mut w = world();
+    w.sim.pmu = Some(ibs_sampling(64));
+    let run = run_profiled(&prog, &w, ProfilerConfig::default());
+    println!("FIGURE 2 — allocation-path coalescing");
+    println!("allocations wrapped:   {}", run.stats.allocs_seen);
+    println!("tracked (>= 4 KiB):    {}", run.stats.allocs_tracked);
+    let analysis = run.analyze(&prog);
+    let vars: Vec<_> = analysis
+        .variables(Metric::Samples)
+        .into_iter()
+        .filter(|v| v.class == StorageClass::Heap && v.metrics[Metric::Samples.col()] > 0)
+        .collect();
+    println!("heap variables in the profile: {}", vars.len());
+    for v in &vars {
+        println!(
+            "  {:<10} blocks={} bytes={} samples={} latency={}",
+            v.name,
+            v.alloc_count,
+            v.alloc_bytes,
+            v.metrics[Metric::Samples.col()],
+            v.metrics[Metric::Latency.col()]
+        );
+    }
+    println!();
+    println!(
+        "shape: the 100 malloc() calls at one call path appear as ONE variable \
+         (var[i], blocks=100), not 100 diluted entries."
+    );
+}

@@ -1,0 +1,72 @@
+//! §7 summary — end-to-end improvements across all five benchmarks.
+//!
+//! Paper: "with data-centric feedback from HPCToolkit, we were able to
+//! improve the performance of these benchmarks by 13–53%": AMG2006
+//! (solver 105s→80s, 23.8%), Sweep3D 15%, LULESH 13% (+2.2%),
+//! Streamcluster 28%, NW 53%.
+
+use dcp_bench::{compare_line, speedup_pct};
+use dcp_runtime::{run_world, NullObserver};
+use dcp_workloads as wl;
+
+fn main() {
+    println!("SPEEDUP SUMMARY — original vs optimized (simulated cycles)");
+    {
+        use wl::amg2006::*;
+        let o = {
+            let c = AmgConfig::paper(AmgVariant::Original);
+            run_world(&build(&c), &world(&c), |_| NullObserver).phase_wall("solver")
+        };
+        let f = {
+            let c = AmgConfig::paper(AmgVariant::LibnumaSelective);
+            run_world(&build(&c), &world(&c), |_| NullObserver).phase_wall("solver")
+        };
+        println!("{}", compare_line("AMG2006 solver (libnuma)", "23.8%", format!("{:.1}%", speedup_pct(o, f))));
+    }
+    {
+        use wl::sweep3d::*;
+        let o = {
+            let c = SweepConfig::paper(SweepVariant::Original);
+            run_world(&build(&c), &world(&c), |_| NullObserver).wall
+        };
+        let f = {
+            let c = SweepConfig::paper(SweepVariant::Transposed);
+            run_world(&build(&c), &world(&c), |_| NullObserver).wall
+        };
+        println!("{}", compare_line("Sweep3D (transposition)", "15%", format!("{:.1}%", speedup_pct(o, f))));
+    }
+    {
+        use wl::lulesh::*;
+        let wall = |v| {
+            let c = LuleshConfig::paper(v);
+            run_world(&build(&c), &world(&c), |_| NullObserver).wall
+        };
+        let o = wall(LuleshVariant::ORIGINAL);
+        println!("{}", compare_line("LULESH (interleaved heap)", "13%", format!("{:.1}%", speedup_pct(o, wall(LuleshVariant::INTERLEAVED)))));
+        println!("{}", compare_line("LULESH (f_elem transposition)", "2.2%", format!("{:.1}%", speedup_pct(o, wall(LuleshVariant::TRANSPOSED)))));
+    }
+    {
+        use wl::streamcluster::*;
+        let o = {
+            let c = ScConfig::paper(ScVariant::Original);
+            run_world(&build(&c), &world(&c), |_| NullObserver).wall
+        };
+        let f = {
+            let c = ScConfig::paper(ScVariant::ParallelFirstTouch);
+            run_world(&build(&c), &world(&c), |_| NullObserver).wall
+        };
+        println!("{}", compare_line("Streamcluster (parallel first touch)", "28%", format!("{:.1}%", speedup_pct(o, f))));
+    }
+    {
+        use wl::nw::*;
+        let o = {
+            let c = NwConfig::paper(NwVariant::Original);
+            run_world(&build(&c), &world(&c), |_| NullObserver).wall
+        };
+        let f = {
+            let c = NwConfig::paper(NwVariant::Interleaved);
+            run_world(&build(&c), &world(&c), |_| NullObserver).wall
+        };
+        println!("{}", compare_line("NW (interleaved allocation)", "53%", format!("{:.1}%", speedup_pct(o, f))));
+    }
+}

@@ -1,0 +1,231 @@
+//! Compact binary profile encoding.
+//!
+//! Space overhead is a first-class concern in the paper (§2.2): a
+//! million-thread execution must not produce terabytes of measurement
+//! data, which is why the profiler keeps *profiles* (CCTs), never traces.
+//! This codec is how we measure that claim: profiles serialize to a
+//! LEB128-packed byte stream whose size the Table 1 reproduction reports,
+//! and which the trace-vs-profile ablation compares against a
+//! MemProf-style sample trace.
+//!
+//! Layout: magic, version, metric width, node count; then per node (in id
+//! order, parents before children): frame tag byte, frame payload varint,
+//! parent id varint, metric values varints.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::tree::{Cct, Frame, NodeId, ROOT};
+
+const MAGIC: u32 = 0x4443_5031; // "DCP1"
+
+/// Errors from [`decode`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum CodecError {
+    BadMagic,
+    Truncated,
+    BadFrameTag(u8),
+    BadParent,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not a dcp profile (bad magic)"),
+            CodecError::Truncated => write!(f, "truncated profile"),
+            CodecError::BadFrameTag(t) => write!(f, "unknown frame tag {t}"),
+            CodecError::BadParent => write!(f, "child precedes parent"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(b);
+            return;
+        }
+        buf.put_u8(b | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        if !buf.has_remaining() {
+            return Err(CodecError::Truncated);
+        }
+        let b = buf.get_u8();
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(CodecError::Truncated);
+        }
+    }
+}
+
+fn frame_parts(f: Frame) -> (u8, u64) {
+    match f {
+        Frame::Root => (0, 0),
+        Frame::Proc(p) => (1, p),
+        Frame::CallSite(ip) => (2, ip),
+        Frame::Stmt(ip) => (3, ip),
+        Frame::StaticVar(s) => (4, s),
+        Frame::HeapMarker => (5, 0),
+    }
+}
+
+fn frame_from(tag: u8, payload: u64) -> Result<Frame, CodecError> {
+    Ok(match tag {
+        0 => Frame::Root,
+        1 => Frame::Proc(payload),
+        2 => Frame::CallSite(payload),
+        3 => Frame::Stmt(payload),
+        4 => Frame::StaticVar(payload),
+        5 => Frame::HeapMarker,
+        t => return Err(CodecError::BadFrameTag(t)),
+    })
+}
+
+/// Serialize a CCT to its compact byte representation.
+pub fn encode(cct: &Cct) -> Bytes {
+    let mut buf = BytesMut::with_capacity(cct.len() * 8);
+    buf.put_u32(MAGIC);
+    put_varint(&mut buf, cct.width() as u64);
+    put_varint(&mut buf, cct.len() as u64);
+    for id in 0..cct.len() as u32 {
+        let n = NodeId(id);
+        let (tag, payload) = frame_parts(cct.frame(n));
+        buf.put_u8(tag);
+        put_varint(&mut buf, payload);
+        put_varint(&mut buf, cct.parent(n).0 as u64);
+        for &m in cct.metrics(n) {
+            put_varint(&mut buf, m);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserialize a profile produced by [`encode`].
+pub fn decode(mut bytes: Bytes) -> Result<Cct, CodecError> {
+    if bytes.remaining() < 4 || bytes.get_u32() != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let width = get_varint(&mut bytes)? as usize;
+    let count = get_varint(&mut bytes)? as usize;
+    let mut cct = Cct::new(width);
+    for id in 0..count {
+        let tag = if bytes.has_remaining() {
+            bytes.get_u8()
+        } else {
+            return Err(CodecError::Truncated);
+        };
+        let payload = get_varint(&mut bytes)?;
+        let frame = frame_from(tag, payload)?;
+        let parent = get_varint(&mut bytes)? as u32;
+        if id == 0 {
+            // Root is implicit in the fresh tree; consume its metrics.
+            for m in 0..width {
+                let v = get_varint(&mut bytes)?;
+                if v > 0 {
+                    cct.add(ROOT, m, v);
+                }
+            }
+            continue;
+        }
+        if parent as usize >= id {
+            return Err(CodecError::BadParent);
+        }
+        let node = cct.child(NodeId(parent), frame);
+        debug_assert_eq!(node.0 as usize, id, "id-stable decode");
+        for m in 0..width {
+            let v = get_varint(&mut bytes)?;
+            if v > 0 {
+                cct.add(node, m, v);
+            }
+        }
+    }
+    Ok(cct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tree() -> Cct {
+        let mut t = Cct::new(2);
+        let v = t.child(ROOT, Frame::StaticVar(7));
+        let a = t.insert_path_at(v, [Frame::Proc(1), Frame::CallSite(0x10002), Frame::Stmt(0x10007)]);
+        t.add(a, 0, 123456);
+        t.add(a, 1, 3);
+        let h = t.child(ROOT, Frame::HeapMarker);
+        let b = t.insert_path_at(h, [Frame::Proc(1), Frame::Stmt(0x10009)]);
+        t.add(b, 0, 42);
+        t
+    }
+
+    #[test]
+    fn roundtrip_preserves_canonical_form() {
+        let t = sample_tree();
+        let bytes = encode(&t);
+        let back = decode(bytes).expect("decodes");
+        assert_eq!(t.canonical(), back.canonical());
+        assert_eq!(t.len(), back.len());
+        assert_eq!(t.width(), back.width());
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        // A 1000-node chain with small metrics must stay well under
+        // 16 bytes/node (the varints do their job).
+        let mut t = Cct::new(1);
+        let mut cur = ROOT;
+        for i in 0..1000u64 {
+            cur = t.child(cur, Frame::CallSite(i));
+            t.add(cur, 0, i % 5);
+        }
+        let bytes = encode(&t);
+        assert!(bytes.len() < 16 * 1000, "profile too large: {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let bytes = Bytes::from_static(b"nope");
+        assert_eq!(decode(bytes).unwrap_err(), CodecError::BadMagic);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let t = sample_tree();
+        let full = encode(&t);
+        let cut = full.slice(0..full.len() - 3);
+        assert_eq!(decode(cut).unwrap_err(), CodecError::Truncated);
+    }
+
+    #[test]
+    fn empty_tree_roundtrips() {
+        let t = Cct::new(3);
+        let back = decode(encode(&t)).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.width(), 3);
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        let mut buf = BytesMut::new();
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX] {
+            put_varint(&mut buf, v);
+        }
+        let mut b = buf.freeze();
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX] {
+            assert_eq!(get_varint(&mut b).unwrap(), v);
+        }
+    }
+}

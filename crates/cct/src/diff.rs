@@ -1,0 +1,139 @@
+//! Differential profiles: compare two CCTs path-by-path.
+//!
+//! The workflow the paper's case studies imply — measure, fix, measure
+//! again — needs a way to see *what changed*. A differential profile
+//! aligns two trees on their canonical paths and reports per-path metric
+//! deltas, so "the remote accesses to `block` disappeared and nothing
+//! else regressed" is a query, not an eyeball job.
+
+use rustc_hash::FxHashMap;
+
+use crate::tree::{Cct, Frame};
+
+/// One aligned path with its metric values in both profiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    pub path: Vec<Frame>,
+    /// Exclusive metrics in the "before" profile (zeros if absent).
+    pub before: Vec<u64>,
+    /// Exclusive metrics in the "after" profile (zeros if absent).
+    pub after: Vec<u64>,
+}
+
+impl DiffEntry {
+    /// Signed change of metric `m` (after - before).
+    pub fn delta(&self, m: usize) -> i64 {
+        self.after[m] as i64 - self.before[m] as i64
+    }
+}
+
+/// A full structural diff of two profiles.
+#[derive(Debug)]
+pub struct ProfileDiff {
+    pub width: usize,
+    pub entries: Vec<DiffEntry>,
+}
+
+impl ProfileDiff {
+    /// Total signed change of metric `m` across all paths.
+    pub fn total_delta(&self, m: usize) -> i64 {
+        self.entries.iter().map(|e| e.delta(m)).sum()
+    }
+
+    /// Entries sorted by the magnitude of their change in metric `m`,
+    /// largest first.
+    pub fn ranked(&self, m: usize) -> Vec<&DiffEntry> {
+        let mut v: Vec<&DiffEntry> = self.entries.iter().collect();
+        v.sort_by_key(|e| std::cmp::Reverse(e.delta(m).unsigned_abs()));
+        v
+    }
+
+    /// Paths that only exist in the "after" profile (new behaviour).
+    pub fn appeared(&self) -> impl Iterator<Item = &DiffEntry> {
+        self.entries.iter().filter(|e| e.before.iter().all(|&v| v == 0))
+    }
+
+    /// Paths that only exist in the "before" profile (removed behaviour).
+    pub fn disappeared(&self) -> impl Iterator<Item = &DiffEntry> {
+        self.entries.iter().filter(|e| e.after.iter().all(|&v| v == 0))
+    }
+}
+
+/// Diff two profiles. Only paths carrying metric mass in either tree
+/// appear; entries are ordered by path for determinism.
+///
+/// # Panics
+/// Panics if the metric widths differ.
+pub fn diff(before: &Cct, after: &Cct) -> ProfileDiff {
+    assert_eq!(before.width(), after.width(), "metric width mismatch");
+    let width = before.width();
+    let mut map: FxHashMap<Vec<Frame>, (Vec<u64>, Vec<u64>)> = FxHashMap::default();
+    for (path, metrics) in before.canonical() {
+        map.entry(path).or_insert_with(|| (vec![0; width], vec![0; width])).0 = metrics;
+    }
+    for (path, metrics) in after.canonical() {
+        map.entry(path).or_insert_with(|| (vec![0; width], vec![0; width])).1 = metrics;
+    }
+    let mut entries: Vec<DiffEntry> = map
+        .into_iter()
+        .map(|(path, (b, a))| DiffEntry { path, before: b, after: a })
+        .collect();
+    entries.sort_by(|x, y| x.path.cmp(&y.path));
+    ProfileDiff { width, entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(paths: &[(&[u64], u64)]) -> Cct {
+        let mut t = Cct::new(1);
+        for (ids, v) in paths {
+            let frames: Vec<Frame> = ids.iter().map(|&i| Frame::CallSite(i)).collect();
+            t.insert_path(frames, 0, *v);
+        }
+        t
+    }
+
+    #[test]
+    fn identical_trees_have_zero_deltas() {
+        let a = tree(&[(&[1, 2], 10), (&[3], 4)]);
+        let b = tree(&[(&[1, 2], 10), (&[3], 4)]);
+        let d = diff(&a, &b);
+        assert_eq!(d.total_delta(0), 0);
+        assert!(d.entries.iter().all(|e| e.delta(0) == 0));
+    }
+
+    #[test]
+    fn deltas_and_totals() {
+        let before = tree(&[(&[1, 2], 10), (&[3], 4)]);
+        let after = tree(&[(&[1, 2], 3), (&[4], 7)]);
+        let d = diff(&before, &after);
+        assert_eq!(d.total_delta(0), (3 + 7) as i64 - (10 + 4) as i64);
+        let ranked = d.ranked(0);
+        // Largest magnitude first: [1,2] changed by -7, [4] by +7, [3] by -4.
+        assert_eq!(ranked[0].delta(0).unsigned_abs(), 7);
+        assert_eq!(ranked[2].delta(0), -4);
+    }
+
+    #[test]
+    fn appeared_and_disappeared() {
+        let before = tree(&[(&[1], 5)]);
+        let after = tree(&[(&[2], 6)]);
+        let d = diff(&before, &after);
+        let gone: Vec<_> = d.disappeared().collect();
+        let new: Vec<_> = d.appeared().collect();
+        assert_eq!(gone.len(), 1);
+        assert_eq!(gone[0].path, vec![Frame::CallSite(1)]);
+        assert_eq!(new.len(), 1);
+        assert_eq!(new[0].path, vec![Frame::CallSite(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let a = Cct::new(1);
+        let b = Cct::new(2);
+        let _ = diff(&a, &b);
+    }
+}

@@ -1,0 +1,117 @@
+//! Scalable profile merging.
+//!
+//! The paper's post-mortem analyzer merges per-thread profiles across
+//! threads and processes with an MPI reduction tree so that merge time
+//! grows logarithmically with parallelism (§4.2, citing Tallent et al.).
+//! Our equivalent is a rayon-based binary reduction tree: halves of the
+//! profile list merge recursively in parallel. Merging is associative and
+//! commutative on canonical tree content, so the parallel reduction is
+//! deterministic in everything observable.
+
+use rayon::join;
+
+use crate::tree::Cct;
+
+/// Merge a list of profiles with a binary reduction tree. Returns an
+/// empty tree of `width` columns when the list is empty.
+pub fn merge_reduction_tree(mut profiles: Vec<Cct>, width: usize) -> Cct {
+    match profiles.len() {
+        0 => Cct::new(width),
+        1 => profiles.pop().expect("len checked"),
+        _ => reduce(profiles),
+    }
+}
+
+fn reduce(mut profiles: Vec<Cct>) -> Cct {
+    debug_assert!(profiles.len() >= 2);
+    if profiles.len() == 2 {
+        let b = profiles.pop().expect("len 2");
+        let mut a = profiles.pop().expect("len 2");
+        a.merge_from(&b);
+        return a;
+    }
+    let right = profiles.split_off(profiles.len() / 2);
+    let (mut l, r) = join(|| merge_half(profiles), || merge_half(right));
+    l.merge_from(&r);
+    l
+}
+
+fn merge_half(profiles: Vec<Cct>) -> Cct {
+    match profiles.len() {
+        1 => profiles.into_iter().next().expect("len 1"),
+        _ => reduce(profiles),
+    }
+}
+
+/// Sequential fold merge, used as the reference implementation in tests
+/// and as the baseline in the merge-scaling benchmark.
+pub fn merge_sequential(profiles: Vec<Cct>, width: usize) -> Cct {
+    let mut it = profiles.into_iter();
+    let mut acc = it.next().unwrap_or_else(|| Cct::new(width));
+    for p in it {
+        acc.merge_from(&p);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{Frame, ROOT};
+
+    fn make_profile(seed: u64, paths: usize) -> Cct {
+        let mut t = Cct::new(2);
+        for i in 0..paths as u64 {
+            let p = t.child(ROOT, Frame::Proc(1 + (seed + i) % 3));
+            let c = t.child(p, Frame::CallSite(100 + (seed * 7 + i) % 10));
+            let s = t.child(c, Frame::Stmt(1000 + i % 5));
+            t.add(s, 0, seed + i);
+            t.add(s, 1, 1);
+        }
+        t
+    }
+
+    #[test]
+    fn tree_merge_equals_sequential() {
+        let mk = || (0..17).map(|s| make_profile(s, 23)).collect::<Vec<_>>();
+        let tree = merge_reduction_tree(mk(), 2);
+        let seq = merge_sequential(mk(), 2);
+        assert_eq!(tree.canonical(), seq.canonical());
+        assert_eq!(tree.total(0), seq.total(0));
+        assert_eq!(tree.total(1), seq.total(1));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_tree() {
+        let t = merge_reduction_tree(Vec::new(), 4);
+        assert!(t.is_empty());
+        assert_eq!(t.width(), 4);
+    }
+
+    #[test]
+    fn single_profile_passthrough() {
+        let p = make_profile(3, 5);
+        let want = p.canonical();
+        let got = merge_reduction_tree(vec![p], 2);
+        assert_eq!(got.canonical(), want);
+    }
+
+    #[test]
+    fn totals_are_conserved() {
+        let profiles: Vec<Cct> = (0..64).map(|s| make_profile(s, 11)).collect();
+        let want0: u64 = profiles.iter().map(|p| p.total(0)).sum();
+        let want1: u64 = profiles.iter().map(|p| p.total(1)).sum();
+        let merged = merge_reduction_tree(profiles, 2);
+        assert_eq!(merged.total(0), want0);
+        assert_eq!(merged.total(1), want1);
+    }
+
+    #[test]
+    fn merged_size_is_compact() {
+        // 64 threads with identical path sets coalesce to one path set.
+        let profiles: Vec<Cct> = (0..64).map(|_| make_profile(1, 23)).collect();
+        let one_size = profiles[0].len();
+        let merged = merge_reduction_tree(profiles, 2);
+        assert_eq!(merged.len(), one_size, "identical profiles must fully coalesce");
+    }
+}

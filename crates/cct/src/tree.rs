@@ -1,0 +1,350 @@
+//! The calling context tree.
+//!
+//! A CCT coalesces call paths by common prefix: the root represents the
+//! thread start, internal nodes are call sites, and leaves are the
+//! statements where samples were triggered (§4.1.2 of the paper). For
+//! data-centric profiles two extra frame kinds appear: *variable* dummy
+//! nodes that group all accesses to one static variable, and the
+//! *heap-data marker* that separates an allocation call path (above) from
+//! the access call paths (below) — the paper's Figure 4 structure.
+//!
+//! Metrics are dense per-node `u64` vectors; the metric schema (what
+//! column 0 means) is owned by the profiler, not the tree.
+
+use rustc_hash::FxHashMap;
+
+/// One CCT frame. Payloads are opaque `u64`s (instruction addresses,
+/// procedure ids, symbol handles); the post-mortem analyzer interprets
+/// them against the program's symbol tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Frame {
+    /// Synthetic tree root.
+    Root,
+    /// A thread-root procedure (e.g. `main` or an outlined region body).
+    Proc(u64),
+    /// A call site (IP of the call statement).
+    CallSite(u64),
+    /// A sampled statement (leaf).
+    Stmt(u64),
+    /// Dummy node naming a static variable (encoded symbol handle).
+    StaticVar(u64),
+    /// Dummy node separating a heap variable's allocation path from the
+    /// accesses to it ("heap data accesses" in the paper's GUI).
+    HeapMarker,
+}
+
+/// Node index within one [`Cct`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub u32);
+
+/// The root node id (always 0).
+pub const ROOT: NodeId = NodeId(0);
+
+#[derive(Debug, Clone)]
+struct Node {
+    frame: Frame,
+    parent: u32,
+    /// Child node ids in creation order (deterministic).
+    children: Vec<u32>,
+}
+
+/// A calling context tree with `width` metric columns per node.
+#[derive(Debug, Clone)]
+pub struct Cct {
+    nodes: Vec<Node>,
+    /// Flat metrics: `metrics[node * width + m]`.
+    metrics: Vec<u64>,
+    width: usize,
+    /// (parent, frame) -> node lookup for O(1) insertion.
+    index: FxHashMap<(u32, Frame), u32>,
+}
+
+impl Cct {
+    /// Empty tree with `width` metric columns.
+    pub fn new(width: usize) -> Self {
+        Self {
+            nodes: vec![Node { frame: Frame::Root, parent: 0, children: Vec::new() }],
+            metrics: vec![0; width],
+            width,
+            index: FxHashMap::default(),
+        }
+    }
+
+    /// Number of metric columns.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of nodes (including the root).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if only the root exists and it has no metric mass.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1 && self.metrics.iter().all(|&m| m == 0)
+    }
+
+    /// Get or create the child of `parent` labeled `frame`.
+    pub fn child(&mut self, parent: NodeId, frame: Frame) -> NodeId {
+        if let Some(&id) = self.index.get(&(parent.0, frame)) {
+            return NodeId(id);
+        }
+        let id = self.nodes.len() as u32;
+        assert!(id < u32::MAX, "CCT node overflow");
+        self.nodes.push(Node { frame, parent: parent.0, children: Vec::new() });
+        self.metrics.extend(std::iter::repeat_n(0, self.width));
+        self.nodes[parent.0 as usize].children.push(id);
+        self.index.insert((parent.0, frame), id);
+        NodeId(id)
+    }
+
+    /// Find (without creating) the child of `parent` labeled `frame`.
+    pub fn find_child(&self, parent: NodeId, frame: Frame) -> Option<NodeId> {
+        self.index.get(&(parent.0, frame)).map(|&id| NodeId(id))
+    }
+
+    /// Insert `frames` as a path under the root (creating nodes as
+    /// needed) and add `value` to metric `metric` at the final node.
+    pub fn insert_path<I>(&mut self, frames: I, metric: usize, value: u64) -> NodeId
+    where
+        I: IntoIterator<Item = Frame>,
+    {
+        let mut cur = ROOT;
+        for f in frames {
+            cur = self.child(cur, f);
+        }
+        self.add(cur, metric, value);
+        cur
+    }
+
+    /// Extend a path from an arbitrary interior node (used to hang access
+    /// paths below a variable's dummy node).
+    pub fn insert_path_at<I>(&mut self, start: NodeId, frames: I) -> NodeId
+    where
+        I: IntoIterator<Item = Frame>,
+    {
+        let mut cur = start;
+        for f in frames {
+            cur = self.child(cur, f);
+        }
+        cur
+    }
+
+    /// Add `value` to metric column `metric` of `node` (exclusive value).
+    pub fn add(&mut self, node: NodeId, metric: usize, value: u64) {
+        assert!(metric < self.width, "metric column out of range");
+        self.metrics[node.0 as usize * self.width + metric] += value;
+    }
+
+    /// Exclusive metrics of `node`.
+    pub fn metrics(&self, node: NodeId) -> &[u64] {
+        let s = node.0 as usize * self.width;
+        &self.metrics[s..s + self.width]
+    }
+
+    /// The frame labeling `node`.
+    pub fn frame(&self, node: NodeId) -> Frame {
+        self.nodes[node.0 as usize].frame
+    }
+
+    /// Parent of `node` (the root is its own parent).
+    pub fn parent(&self, node: NodeId) -> NodeId {
+        NodeId(self.nodes[node.0 as usize].parent)
+    }
+
+    /// Children of `node` in creation order.
+    pub fn children(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes[node.0 as usize].children.iter().map(|&c| NodeId(c))
+    }
+
+    /// Frames from the root (exclusive) down to `node` (inclusive).
+    pub fn path_to(&self, node: NodeId) -> Vec<Frame> {
+        let mut path = Vec::new();
+        let mut cur = node;
+        while cur != ROOT {
+            path.push(self.frame(cur));
+            cur = self.parent(cur);
+        }
+        path.reverse();
+        path
+    }
+
+    /// All node ids in preorder.
+    pub fn preorder(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![ROOT];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            // Push children reversed so the first child is visited first.
+            let ch = &self.nodes[n.0 as usize].children;
+            for &c in ch.iter().rev() {
+                stack.push(NodeId(c));
+            }
+        }
+        out
+    }
+
+    /// Inclusive metric values (self + descendants) for column `metric`,
+    /// indexed by node id.
+    pub fn inclusive(&self, metric: usize) -> Vec<u64> {
+        assert!(metric < self.width);
+        let mut inc: Vec<u64> =
+            (0..self.nodes.len()).map(|i| self.metrics[i * self.width + metric]).collect();
+        // Nodes are created parents-first, so walking ids backwards
+        // accumulates children before their parents.
+        for i in (1..self.nodes.len()).rev() {
+            let p = self.nodes[i].parent as usize;
+            inc[p] += inc[i];
+        }
+        inc
+    }
+
+    /// Total (root-inclusive) value of `metric`.
+    pub fn total(&self, metric: usize) -> u64 {
+        (0..self.nodes.len()).map(|i| self.metrics[i * self.width + metric]).sum()
+    }
+
+    /// Merge `other` into `self`: matching paths coalesce, metrics add.
+    pub fn merge_from(&mut self, other: &Cct) {
+        assert_eq!(self.width, other.width, "metric width mismatch in merge");
+        // Map other-node-id -> self-node-id, built in preorder.
+        let mut map = vec![0u32; other.nodes.len()];
+        for on in other.preorder() {
+            let mine = if on == ROOT {
+                ROOT
+            } else {
+                let parent = NodeId(map[other.nodes[on.0 as usize].parent as usize]);
+                self.child(parent, other.frame(on))
+            };
+            map[on.0 as usize] = mine.0;
+            let om = other.metrics(on);
+            let s = mine.0 as usize * self.width;
+            for (i, &v) in om.iter().enumerate() {
+                self.metrics[s + i] += v;
+            }
+        }
+    }
+
+    /// Canonical form for equality tests: sorted (path, metrics) pairs of
+    /// every node carrying metric mass.
+    pub fn canonical(&self) -> Vec<(Vec<Frame>, Vec<u64>)> {
+        let mut out: Vec<(Vec<Frame>, Vec<u64>)> = self
+            .preorder()
+            .into_iter()
+            .filter(|&n| self.metrics(n).iter().any(|&m| m != 0))
+            .map(|n| (self.path_to(n), self.metrics(n).to_vec()))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(ids: &[u64]) -> Vec<Frame> {
+        let mut v = vec![Frame::Proc(ids[0])];
+        v.extend(ids[1..].iter().map(|&i| Frame::CallSite(i)));
+        v
+    }
+
+    #[test]
+    fn common_prefixes_coalesce() {
+        let mut t = Cct::new(1);
+        t.insert_path(path(&[1, 2, 3]), 0, 10);
+        t.insert_path(path(&[1, 2, 4]), 0, 5);
+        // root + proc1 + cs2 + cs3 + cs4 = 5 nodes
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.total(0), 15);
+    }
+
+    #[test]
+    fn inclusive_aggregates_descendants() {
+        let mut t = Cct::new(1);
+        let a = t.insert_path(path(&[1, 2]), 0, 10);
+        let b = t.insert_path(path(&[1, 2, 3]), 0, 7);
+        let inc = t.inclusive(0);
+        assert_eq!(inc[ROOT.0 as usize], 17);
+        assert_eq!(inc[a.0 as usize], 17); // own 10 + child 7
+        assert_eq!(inc[b.0 as usize], 7);
+    }
+
+    #[test]
+    fn path_to_roundtrips() {
+        let mut t = Cct::new(1);
+        let p = path(&[9, 8, 7]);
+        let n = t.insert_path(p.clone(), 0, 1);
+        assert_eq!(t.path_to(n), p);
+    }
+
+    #[test]
+    fn dummy_nodes_group_variables() {
+        // Static-variable grouping: variable dummy at the root, access
+        // paths below.
+        let mut t = Cct::new(1);
+        let var = t.child(ROOT, Frame::StaticVar(42));
+        let l1 = t.insert_path_at(var, path(&[1, 2]));
+        t.add(l1, 0, 3);
+        let l2 = t.insert_path_at(var, path(&[1, 5]));
+        t.add(l2, 0, 4);
+        let inc = t.inclusive(0);
+        assert_eq!(inc[var.0 as usize], 7, "variable node aggregates all its accesses");
+    }
+
+    #[test]
+    fn merge_coalesces_and_adds() {
+        let mut a = Cct::new(2);
+        a.insert_path(path(&[1, 2]), 0, 10);
+        a.insert_path(path(&[1, 3]), 1, 2);
+        let mut b = Cct::new(2);
+        b.insert_path(path(&[1, 2]), 0, 5);
+        b.insert_path(path(&[4]), 0, 1);
+        a.merge_from(&b);
+        assert_eq!(a.total(0), 16);
+        assert_eq!(a.total(1), 2);
+        // path [1,2] exists once with 15.
+        let p1 = a.find_child(ROOT, Frame::Proc(1)).unwrap();
+        let n = a.find_child(p1, Frame::CallSite(2)).unwrap();
+        assert_eq!(a.metrics(n)[0], 15);
+    }
+
+    #[test]
+    fn merge_is_commutative_in_canonical_form() {
+        let mut a1 = Cct::new(1);
+        a1.insert_path(path(&[1, 2, 3]), 0, 10);
+        a1.insert_path(path(&[1, 9]), 0, 4);
+        let mut b1 = Cct::new(1);
+        b1.insert_path(path(&[1, 2]), 0, 6);
+        b1.insert_path(path(&[7]), 0, 2);
+
+        let mut ab = a1.clone();
+        ab.merge_from(&b1);
+        let mut ba = b1.clone();
+        ba.merge_from(&a1);
+        assert_eq!(ab.canonical(), ba.canonical());
+    }
+
+    #[test]
+    fn preorder_visits_every_node_once() {
+        let mut t = Cct::new(1);
+        t.insert_path(path(&[1, 2, 3]), 0, 1);
+        t.insert_path(path(&[1, 4]), 0, 1);
+        t.insert_path(path(&[5]), 0, 1);
+        let po = t.preorder();
+        assert_eq!(po.len(), t.len());
+        let mut seen: Vec<u32> = po.iter().map(|n| n.0).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), t.len());
+        assert_eq!(po[0], ROOT);
+    }
+
+    #[test]
+    #[should_panic(expected = "metric column out of range")]
+    fn metric_bounds_checked() {
+        let mut t = Cct::new(1);
+        t.add(ROOT, 1, 1);
+    }
+}

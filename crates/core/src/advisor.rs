@@ -1,0 +1,251 @@
+//! Optimization guidance — the paper's §7 future-work item: "enhance
+//! HPCToolkit's measurement and analysis to provide guidance for where
+//! and how to improve data locality by pinpointing initializations that
+//! associate data with a memory module and identifying opportunities to
+//! apply transformations such as data distribution, array regrouping,
+//! and loop fusion."
+//!
+//! The advisor reads a finished [`Analysis`] and, for each significant
+//! variable, applies the same reasoning the paper's authors applied by
+//! hand in §5:
+//!
+//! * a heap variable drawing a large share of *remote* accesses was
+//!   placed on one NUMA domain. If it was `calloc`'d, the zero-fill is
+//!   the first toucher — suggest switching to `malloc` (parallel first
+//!   touch) or interleaved allocation (the AMG/Streamcluster/NW fixes);
+//! * a variable whose samples show a high TLB-miss rate is being walked
+//!   with page-crossing strides — suggest loop interchange or array
+//!   transposition (the Sweep3D/LULESH `f_elem` fixes);
+//! * a variable with high latency but neither signature has poor
+//!   temporal locality — suggest blocking/fusion.
+
+use crate::analyze::{Analysis, VarSummary};
+use crate::metrics::{Metric, StorageClass};
+
+/// What the advisor thinks should be done about one variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Replace the master-thread `calloc` with `malloc` so the parallel
+    /// computation first-touches pages near their users, or use an
+    /// interleaved allocator.
+    FixFirstTouch { zeroed_blocks: u64 },
+    /// Allocate with an interleaved policy (libnuma) to spread bandwidth
+    /// demand across memory controllers.
+    InterleaveAllocation,
+    /// Transpose the array (or interchange the loops over it) so the
+    /// innermost traversal is unit stride.
+    ImproveSpatialLocality { tlb_miss_rate: f64 },
+    /// Restructure for reuse (blocking, fusion): latency is high without
+    /// a NUMA or stride signature.
+    ImproveTemporalLocality,
+}
+
+/// One recommendation, tied to a variable and scored by the share of the
+/// driving metric it would address.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    pub variable: String,
+    pub class: StorageClass,
+    /// Where the variable comes from (allocation site for heap data).
+    pub site: String,
+    pub action: Action,
+    /// Share (0–100) of the driving metric attributed to this variable.
+    pub share_pct: f64,
+    /// Human-readable rationale.
+    pub rationale: String,
+}
+
+/// Tunable thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct AdvisorConfig {
+    /// Ignore variables below this share of the driving metric.
+    pub min_share_pct: f64,
+    /// Remote fraction of a variable's samples above which it is a NUMA
+    /// problem.
+    pub remote_fraction: f64,
+    /// TLB-miss fraction of samples above which it is a stride problem.
+    pub tlb_fraction: f64,
+}
+
+impl Default for AdvisorConfig {
+    fn default() -> Self {
+        Self { min_share_pct: 5.0, remote_fraction: 0.4, tlb_fraction: 0.3 }
+    }
+}
+
+fn diagnose(v: &VarSummary, cfg: &AdvisorConfig) -> Option<(Action, String)> {
+    let samples = v.metrics[Metric::Samples.col()];
+    if samples == 0 {
+        return None;
+    }
+    let remote_frac = v.metrics[Metric::Remote.col()] as f64 / samples as f64;
+    let tlb_frac = v.metrics[Metric::TlbMiss.col()] as f64 / samples as f64;
+
+    if remote_frac >= cfg.remote_fraction && v.class == StorageClass::Heap {
+        if v.alloc_zeroed > 0 {
+            return Some((
+                Action::FixFirstTouch { zeroed_blocks: v.alloc_zeroed },
+                format!(
+                    "{:.0}% of its sampled accesses are remote and all {} block(s) were \
+                     zero-filled at allocation — the allocating thread first-touched every \
+                     page. Replace calloc with malloc + parallel initialization, or use an \
+                     interleaved allocator.",
+                    remote_frac * 100.0,
+                    v.alloc_zeroed
+                ),
+            ));
+        }
+        return Some((
+            Action::InterleaveAllocation,
+            format!(
+                "{:.0}% of its sampled accesses are remote; distribute its pages across \
+                 memory controllers with an interleaved allocation.",
+                remote_frac * 100.0
+            ),
+        ));
+    }
+    if remote_frac >= cfg.remote_fraction && v.class == StorageClass::Static {
+        return Some((
+            Action::InterleaveAllocation,
+            format!(
+                "{:.0}% of its sampled accesses are remote; statics follow first touch — \
+                 initialize it in parallel or distribute it explicitly.",
+                remote_frac * 100.0
+            ),
+        ));
+    }
+    if tlb_frac >= cfg.tlb_fraction {
+        return Some((
+            Action::ImproveSpatialLocality { tlb_miss_rate: tlb_frac },
+            format!(
+                "{:.0}% of its sampled accesses miss the TLB — the traversal strides \
+                 across pages. Interchange the loops or transpose the array so the inner \
+                 loop is unit stride.",
+                tlb_frac * 100.0
+            ),
+        ));
+    }
+    Some((
+        Action::ImproveTemporalLocality,
+        "high latency without a NUMA or stride signature; consider blocking or loop \
+         fusion to increase reuse."
+            .to_string(),
+    ))
+}
+
+/// Produce recommendations for the variables dominating `metric`,
+/// strongest first.
+pub fn advise(analysis: &Analysis<'_>, metric: Metric, cfg: &AdvisorConfig) -> Vec<Recommendation> {
+    let grand = analysis.grand_total(metric).max(1);
+    let mut out = Vec::new();
+    for v in analysis.variables(metric) {
+        let share = 100.0 * v.metrics[metric.col()] as f64 / grand as f64;
+        if share < cfg.min_share_pct {
+            continue;
+        }
+        if let Some((action, rationale)) = diagnose(&v, cfg) {
+            out.push(Recommendation {
+                variable: v.name.clone(),
+                class: v.class,
+                site: v.alloc_site.clone(),
+                action,
+                share_pct: share,
+                rationale,
+            });
+        }
+    }
+    out
+}
+
+/// Render recommendations as a report.
+pub fn render(recs: &[Recommendation]) -> String {
+    let mut out = String::from("OPTIMIZATION GUIDANCE\n");
+    if recs.is_empty() {
+        out.push_str("  no variable exceeds the significance threshold\n");
+        return out;
+    }
+    for r in recs {
+        out.push_str(&format!(
+            "- {} ({}{}) — {:.1}% of the metric\n    {}\n",
+            r.variable,
+            r.class.name(),
+            if r.site.is_empty() { String::new() } else { format!(", allocated at {}", r.site) },
+            r.share_pct,
+            r.rationale
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::WIDTH;
+
+    fn var(name: &str, class: StorageClass, samples: u64, remote: u64, tlb: u64, zeroed: u64) -> VarSummary {
+        let mut metrics = [0u64; WIDTH];
+        metrics[Metric::Samples.col()] = samples;
+        metrics[Metric::Remote.col()] = remote;
+        metrics[Metric::TlbMiss.col()] = tlb;
+        metrics[Metric::Latency.col()] = samples * 100;
+        VarSummary {
+            name: name.into(),
+            class,
+            node: dcp_cct::NodeId(1),
+            metrics,
+            alloc_count: 1,
+            alloc_bytes: 1 << 20,
+            alloc_zeroed: zeroed,
+            alloc_site: "main:1".into(),
+            caller_site: String::new(),
+        }
+    }
+
+    #[test]
+    fn calloc_numa_problem_suggests_first_touch_fix() {
+        let v = var("block", StorageClass::Heap, 1000, 900, 50, 1);
+        let (action, why) = diagnose(&v, &AdvisorConfig::default()).unwrap();
+        assert_eq!(action, Action::FixFirstTouch { zeroed_blocks: 1 });
+        assert!(why.contains("zero-filled"));
+    }
+
+    #[test]
+    fn malloc_numa_problem_suggests_interleave() {
+        let v = var("grid", StorageClass::Heap, 1000, 700, 10, 0);
+        let (action, _) = diagnose(&v, &AdvisorConfig::default()).unwrap();
+        assert_eq!(action, Action::InterleaveAllocation);
+    }
+
+    #[test]
+    fn tlb_thrash_suggests_transposition() {
+        let v = var("Flux", StorageClass::Heap, 1000, 100, 800, 0);
+        let (action, why) = diagnose(&v, &AdvisorConfig::default()).unwrap();
+        assert!(matches!(action, Action::ImproveSpatialLocality { tlb_miss_rate } if tlb_miss_rate > 0.7));
+        assert!(why.contains("transpose") || why.contains("Interchange"));
+    }
+
+    #[test]
+    fn plain_latency_suggests_temporal_fix() {
+        let v = var("table", StorageClass::Heap, 1000, 10, 10, 0);
+        let (action, _) = diagnose(&v, &AdvisorConfig::default()).unwrap();
+        assert_eq!(action, Action::ImproveTemporalLocality);
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let v = var("block", StorageClass::Heap, 1000, 900, 0, 1);
+        let (action, rationale) = diagnose(&v, &AdvisorConfig::default()).unwrap();
+        let recs = vec![Recommendation {
+            variable: "block".into(),
+            class: StorageClass::Heap,
+            site: "main:80".into(),
+            action,
+            share_pct: 92.6,
+            rationale,
+        }];
+        let text = render(&recs);
+        assert!(text.contains("block"));
+        assert!(text.contains("92.6%"));
+        assert!(text.contains("main:80"));
+    }
+}

@@ -1,0 +1,442 @@
+//! Post-mortem analysis (§4.2).
+//!
+//! The analyzer gathers the per-thread profiles from every node's
+//! profiler, merges them per storage class with the scalable reduction
+//! tree, and resolves frames against the program's symbol tables and
+//! line maps — producing the [`Analysis`] the presentation views render.
+
+use dcp_cct::{merge_reduction_tree, Cct, Frame, NodeId, ROOT};
+use dcp_runtime::ir::{Ip, ProcId, Program};
+use rustc_hash::FxHashMap;
+
+use crate::metrics::{Metric, StorageClass, CLASSES, WIDTH};
+use crate::profiler::{MeasurementData, ProfStats};
+
+/// One variable with its aggregate (inclusive) metrics — a row of the
+/// paper's variable-centric views.
+#[derive(Debug, Clone)]
+pub struct VarSummary {
+    /// Display name: the symbol name for statics; for heap variables, the
+    /// source-level hint at the allocation site (falling back to the
+    /// allocation site's `proc:line`).
+    pub name: String,
+    pub class: StorageClass,
+    /// The variable's dummy node in its class tree.
+    pub node: NodeId,
+    /// Inclusive metric vector at the variable node.
+    pub metrics: [u64; WIDTH],
+    /// For heap variables: how many blocks this allocation path produced.
+    pub alloc_count: u64,
+    /// For heap variables: total requested bytes.
+    pub alloc_bytes: u64,
+    /// For heap variables: how many blocks were zero-filled (`calloc`).
+    pub alloc_zeroed: u64,
+    /// Resolved allocation site (`proc:line`), empty for statics.
+    pub alloc_site: String,
+    /// Resolved call site that invoked the allocation wrapper (the
+    /// deepest `CallSite` on the allocation path), empty for statics or
+    /// direct allocations.
+    pub caller_site: String,
+}
+
+/// Merged, symbol-resolved measurement of one program run.
+pub struct Analysis<'p> {
+    program: &'p Program,
+    trees: [Cct; CLASSES],
+    alloc_info: FxHashMap<Vec<Frame>, (u64, u64, u64)>,
+    pub stats: ProfStats,
+}
+
+impl<'p> Analysis<'p> {
+    /// Merge the measurement data of every node.
+    pub fn analyze(program: &'p Program, measurements: Vec<MeasurementData>) -> Self {
+        let mut per_class: [Vec<Cct>; CLASSES] = std::array::from_fn(|_| Vec::new());
+        let mut alloc_info: FxHashMap<Vec<Frame>, (u64, u64, u64)> = FxHashMap::default();
+        let mut stats = ProfStats::default();
+        for m in measurements {
+            let mut profiles = m.profiles;
+            for (i, v) in profiles.iter_mut().enumerate() {
+                per_class[i].append(v);
+            }
+            for (path, count, bytes, zeroed) in m.alloc_info {
+                let e = alloc_info.entry(path).or_insert((0, 0, 0));
+                e.0 += count;
+                e.1 += bytes;
+                e.2 += zeroed;
+            }
+            stats.merge(&m.stats);
+        }
+        let mut it = per_class.into_iter();
+        let trees = std::array::from_fn(|_| {
+            merge_reduction_tree(it.next().expect("CLASSES trees"), WIDTH)
+        });
+        Self { program, trees, alloc_info, stats }
+    }
+
+    fn class_idx(c: StorageClass) -> usize {
+        match c {
+            StorageClass::Static => 0,
+            StorageClass::Heap => 1,
+            StorageClass::Stack => 2,
+            StorageClass::Unknown => 3,
+            StorageClass::NoMem => 4,
+        }
+    }
+
+    /// The merged tree for one storage class.
+    pub fn tree(&self, c: StorageClass) -> &Cct {
+        &self.trees[Self::class_idx(c)]
+    }
+
+    /// The program being analyzed.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Total of `metric` within one storage class.
+    pub fn class_total(&self, c: StorageClass, metric: Metric) -> u64 {
+        self.tree(c).total(metric.col())
+    }
+
+    /// Total of `metric` across all storage classes.
+    pub fn grand_total(&self, metric: Metric) -> u64 {
+        StorageClass::ALL.iter().map(|&c| self.class_total(c, metric)).sum()
+    }
+
+    /// Fraction (0–100) of `metric` attributed to class `c`.
+    pub fn class_pct(&self, c: StorageClass, metric: Metric) -> f64 {
+        let total = self.grand_total(metric);
+        if total == 0 {
+            return 0.0;
+        }
+        100.0 * self.class_total(c, metric) as f64 / total as f64
+    }
+
+    /// Resolve one frame to a display string.
+    pub fn resolve_frame(&self, f: Frame) -> String {
+        match f {
+            Frame::Root => "<program root>".to_string(),
+            Frame::Proc(p) => self.program.proc(ProcId(p as u32)).name.clone(),
+            Frame::CallSite(ip) | Frame::Stmt(ip) => self.program.render_ip(Ip(ip)),
+            Frame::StaticVar(h) => {
+                let handle = crate::datacentric::StaticHandle(h);
+                let m = self.program.module(handle.module());
+                m.statics
+                    .get(handle.sym() as usize)
+                    .map(|s| s.name.clone())
+                    .unwrap_or_else(|| format!("<static {h:#x}>"))
+            }
+            Frame::HeapMarker => "heap data accesses".to_string(),
+        }
+    }
+
+    /// The display name of a heap variable identified by its allocation
+    /// path: the builder-supplied hint at the allocation site if present,
+    /// else the allocation site itself.
+    fn heap_var_name(&self, alloc_path: &[Frame]) -> (String, String) {
+        let site = alloc_path.iter().rev().find_map(|f| match f {
+            Frame::Stmt(ip) => Some(Ip(*ip)),
+            _ => None,
+        });
+        let site_str = site.map(|ip| self.program.render_ip(ip)).unwrap_or_default();
+        // The source-level variable name can sit either at the allocation
+        // statement itself or at a call site of an allocation wrapper
+        // higher up the path (`S_diag_j = hypre_CAlloc(...)`); prefer the
+        // deepest hint.
+        for f in alloc_path.iter().rev() {
+            if let Frame::Stmt(ip) | Frame::CallSite(ip) = f {
+                let hint = self.program.line_info(Ip(*ip)).hint;
+                if !hint.is_empty() {
+                    return (hint.to_string(), site_str);
+                }
+            }
+        }
+        if site_str.is_empty() {
+            ("<heap>".to_string(), site_str)
+        } else {
+            (site_str.clone(), site_str)
+        }
+    }
+
+    /// Enumerate all variables (heap + static) with inclusive metrics,
+    /// sorted descending by `sort_by`.
+    pub fn variables(&self, sort_by: Metric) -> Vec<VarSummary> {
+        let mut out = Vec::new();
+
+        // Static variables: StaticVar dummy nodes at the root of the
+        // static tree.
+        let st = self.tree(StorageClass::Static);
+        let inc: Vec<Vec<u64>> = (0..WIDTH).map(|m| st.inclusive(m)).collect();
+        for n in st.children(ROOT) {
+            if let Frame::StaticVar(_) = st.frame(n) {
+                let mut metrics = [0u64; WIDTH];
+                for m in 0..WIDTH {
+                    metrics[m] = inc[m][n.0 as usize];
+                }
+                out.push(VarSummary {
+                    name: self.resolve_frame(st.frame(n)),
+                    class: StorageClass::Static,
+                    node: n,
+                    metrics,
+                    alloc_count: 0,
+                    alloc_bytes: 0,
+                    alloc_zeroed: 0,
+                    alloc_site: String::new(),
+                    caller_site: String::new(),
+                });
+            }
+        }
+
+        // Heap variables: HeapMarker nodes; the path above the marker is
+        // the allocation path that identifies the variable.
+        let ht = self.tree(StorageClass::Heap);
+        let hinc: Vec<Vec<u64>> = (0..WIDTH).map(|m| ht.inclusive(m)).collect();
+        for n in ht.preorder() {
+            if ht.frame(n) == Frame::HeapMarker {
+                let alloc_path = ht.path_to(ht.parent(n));
+                let (name, alloc_site) = self.heap_var_name(&alloc_path);
+                let caller_site = alloc_path
+                    .iter()
+                    .rev()
+                    .find_map(|f| match f {
+                        Frame::CallSite(ip) => Some(self.program.render_ip(Ip(*ip))),
+                        _ => None,
+                    })
+                    .unwrap_or_default();
+                let (count, bytes, zeroed) =
+                    self.alloc_info.get(&alloc_path).copied().unwrap_or((0, 0, 0));
+                let mut metrics = [0u64; WIDTH];
+                for m in 0..WIDTH {
+                    metrics[m] = hinc[m][n.0 as usize];
+                }
+                out.push(VarSummary {
+                    name,
+                    class: StorageClass::Heap,
+                    node: n,
+                    metrics,
+                    alloc_count: count,
+                    alloc_bytes: bytes,
+                    alloc_zeroed: zeroed,
+                    alloc_site,
+                    caller_site,
+                });
+            }
+        }
+
+        out.sort_by(|a, b| {
+            b.metrics[sort_by.col()]
+                .cmp(&a.metrics[sort_by.col()])
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        out
+    }
+
+    /// Variable-level differential report against another analysis of
+    /// the same program (e.g. before/after an optimization): for each
+    /// variable name, the change in `metric`. The paper's workflow —
+    /// measure, fix, re-measure — reads this to confirm the fix removed
+    /// the cost it targeted and nothing regressed.
+    pub fn compare(&self, after: &Analysis<'_>, metric: Metric) -> String {
+        let mut names: Vec<String> = Vec::new();
+        let mut rows: FxHashMap<String, (u64, u64)> = FxHashMap::default();
+        for v in self.variables(metric) {
+            if !rows.contains_key(&v.name) {
+                names.push(v.name.clone());
+            }
+            rows.entry(v.name).or_insert((0, 0)).0 += v.metrics[metric.col()];
+        }
+        for v in after.variables(metric) {
+            if !rows.contains_key(&v.name) {
+                names.push(v.name.clone());
+            }
+            rows.entry(v.name).or_insert((0, 0)).1 += v.metrics[metric.col()];
+        }
+        names.sort_by_key(|n| {
+            let (b, a) = rows[n];
+            std::cmp::Reverse((a as i64 - b as i64).unsigned_abs())
+        });
+        let mut out = format!(
+            "DIFFERENTIAL ({}): before {} -> after {}
+",
+            metric.name(),
+            self.grand_total(metric),
+            after.grand_total(metric)
+        );
+        out.push_str(&format!("{:<24} {:>12} {:>12} {:>12}
+", "VARIABLE", "BEFORE", "AFTER", "DELTA"));
+        for n in names {
+            let (b, a) = rows[&n];
+            if b == 0 && a == 0 {
+                continue;
+            }
+            out.push_str(&format!("{n:<24} {b:>12} {a:>12} {:>+12}
+", a as i64 - b as i64));
+        }
+        out
+    }
+
+    /// Allocation metadata by path (diagnostics/tests).
+    pub fn alloc_info(&self) -> &FxHashMap<Vec<Frame>, (u64, u64, u64)> {
+        &self.alloc_info
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::{Profiler, ProfilerConfig};
+    use dcp_machine::pmu::SampleOrigin;
+    use dcp_machine::{CoreId, DataSource, Sample};
+    use dcp_runtime::ir::ex::*;
+    use dcp_runtime::observer::{AllocEvent, ModuleEvent, NodeObserver, ThreadView};
+    use dcp_runtime::{FrameInfo, ProgramBuilder};
+
+    /// Build a tiny program whose procs/lines back the frames we fake.
+    fn program() -> dcp_runtime::Program {
+        let mut b = ProgramBuilder::new("exe");
+        b.static_array("f_elem", 4096);
+        let main = b.proc("main", 0, |p| {
+            p.line(175);
+            let a = p.calloc(c(8192), "S_diag_j");
+            p.line(480);
+            p.load(l(a), c(0), 8);
+        });
+        b.build(main)
+    }
+
+    fn fake_stack() -> Vec<FrameInfo> {
+        vec![FrameInfo { proc: ProcId(0), call_site: None, token: 0 }]
+    }
+
+    fn sample(ea: u64, ip: u64, latency: u32, src: DataSource) -> Sample {
+        Sample {
+            origin: SampleOrigin::Ibs,
+            precise_ip: ip,
+            signal_ip: ip,
+            ea: Some(ea),
+            latency,
+            source: Some(src),
+            tlb_miss: false,
+            is_store: false,
+            core: CoreId(0),
+        }
+    }
+
+    #[test]
+    fn variables_ranked_with_names_resolved() {
+        let prog = program();
+        let mut p = Profiler::new(ProfilerConfig::default());
+        // Load module 0 for rank 0 so statics resolve.
+        p.on_module(&ModuleEvent::Loaded {
+            module: dcp_runtime::ModuleId(0),
+            def: &prog.modules[0],
+            rank: 0,
+        });
+        let stack = fake_stack();
+        let view = ThreadView {
+            rank: 0,
+            thread: 0,
+            core: CoreId(0),
+            clock: 0,
+            frames: &stack,
+            leaf_ip: Ip(0),
+        };
+        // Heap variable allocated at main stmt 0 (line 175, hint S_diag_j).
+        let alloc_ip = Ip::new(dcp_runtime::ModuleId(0), ProcId(0), 0);
+        p.on_alloc(
+            &AllocEvent { addr: 0x10_0000, bytes: 8192, zeroed: true, ip: alloc_ip },
+            &view,
+        );
+        let access_ip = Ip::new(dcp_runtime::ModuleId(0), ProcId(0), 1);
+        for _ in 0..10 {
+            p.on_sample(&sample(0x10_0010, access_ip.0, 300, DataSource::RemoteDram), &view);
+        }
+        // Static variable access (f_elem is at the module's static base).
+        let static_addr = dcp_runtime::layout::global(0, prog.modules[0].statics[0].addr);
+        for _ in 0..4 {
+            p.on_sample(&sample(static_addr, access_ip.0, 100, DataSource::LocalDram), &view);
+        }
+
+        let analysis = Analysis::analyze(&prog, vec![p.into_measurement()]);
+        let vars = analysis.variables(Metric::Latency);
+        assert_eq!(vars.len(), 2);
+        assert_eq!(vars[0].name, "S_diag_j");
+        assert_eq!(vars[0].class, StorageClass::Heap);
+        assert_eq!(vars[0].metrics[Metric::Samples.col()], 10);
+        assert_eq!(vars[0].metrics[Metric::Latency.col()], 3000);
+        assert_eq!(vars[0].metrics[Metric::Remote.col()], 10);
+        assert_eq!(vars[0].alloc_count, 1);
+        assert!(vars[0].alloc_site.contains("main:175"));
+        assert_eq!(vars[1].name, "f_elem");
+        assert_eq!(vars[1].class, StorageClass::Static);
+        assert_eq!(vars[1].metrics[Metric::Samples.col()], 4);
+    }
+
+    #[test]
+    fn class_percentages_sum_to_100() {
+        let prog = program();
+        let mut p = Profiler::new(ProfilerConfig::default());
+        p.on_module(&ModuleEvent::Loaded {
+            module: dcp_runtime::ModuleId(0),
+            def: &prog.modules[0],
+            rank: 0,
+        });
+        let stack = fake_stack();
+        let view = ThreadView {
+            rank: 0,
+            thread: 0,
+            core: CoreId(0),
+            clock: 0,
+            frames: &stack,
+            leaf_ip: Ip(0),
+        };
+        let access_ip = Ip::new(dcp_runtime::ModuleId(0), ProcId(0), 1);
+        // 3 unknown samples + 1 static sample.
+        for _ in 0..3 {
+            p.on_sample(&sample(0x77_0000_0000, access_ip.0, 10, DataSource::L1), &view);
+        }
+        let static_addr = dcp_runtime::layout::global(0, prog.modules[0].statics[0].addr);
+        p.on_sample(&sample(static_addr, access_ip.0, 10, DataSource::L1), &view);
+
+        let a = Analysis::analyze(&prog, vec![p.into_measurement()]);
+        let total: f64 = StorageClass::ALL
+            .iter()
+            .map(|&c| a.class_pct(c, Metric::Samples))
+            .sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        assert!((a.class_pct(StorageClass::Unknown, Metric::Samples) - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merging_two_nodes_coalesces_same_variable() {
+        let prog = program();
+        let make = |rank: u32| {
+            let mut p = Profiler::new(ProfilerConfig::default());
+            let stack = fake_stack();
+            let view = ThreadView {
+                rank,
+                thread: 0,
+                core: CoreId(0),
+                clock: 0,
+                frames: &stack,
+                leaf_ip: Ip(0),
+            };
+            let alloc_ip = Ip::new(dcp_runtime::ModuleId(0), ProcId(0), 0);
+            let base = dcp_runtime::layout::global(rank, 0x10_0000);
+            p.on_alloc(
+                &AllocEvent { addr: base, bytes: 8192, zeroed: true, ip: alloc_ip },
+                &view,
+            );
+            let access_ip = Ip::new(dcp_runtime::ModuleId(0), ProcId(0), 1);
+            p.on_sample(&sample(base + 8, access_ip.0, 100, DataSource::RemoteDram), &view);
+            p.into_measurement()
+        };
+        // Two ranks (on two "nodes") allocate from the same call path:
+        // post-mortem they are ONE variable (§4.2).
+        let a = Analysis::analyze(&prog, vec![make(0), make(1)]);
+        let vars = a.variables(Metric::Samples);
+        assert_eq!(vars.len(), 1, "same allocation path coalesces across processes");
+        assert_eq!(vars[0].metrics[Metric::Samples.col()], 2);
+        assert_eq!(vars[0].alloc_count, 2);
+    }
+}

@@ -1,0 +1,223 @@
+//! Tracking heap-allocated variables.
+//!
+//! A heap variable is identified by the *full call path of its allocation
+//! point* (§4.1.3): all blocks allocated from the same path are one
+//! variable, which is what collapses the paper's Figure 2 hundred-
+//! allocation loop into a single entry. The profiler interns allocation
+//! paths and keeps, per rank, an interval map from live block ranges to
+//! the interned path.
+
+use std::collections::BTreeMap;
+
+use dcp_cct::Frame;
+use rustc_hash::FxHashMap;
+
+/// Interned allocation-context id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AllocCtxId(pub u32);
+
+/// Interner for allocation call paths (as CCT frame sequences ending at
+/// the allocation statement).
+#[derive(Debug, Default)]
+pub struct AllocPaths {
+    by_path: FxHashMap<Vec<Frame>, AllocCtxId>,
+    paths: Vec<Vec<Frame>>,
+    /// How many blocks were allocated from each context (Figure 2's "100
+    /// allocations" diagnostics).
+    counts: Vec<u64>,
+    /// Total requested bytes per context.
+    bytes: Vec<u64>,
+    /// How many of those blocks were zero-filled (`calloc`) — the advisor
+    /// uses this to tell "master zero-fill" apart from lazy `malloc`.
+    zeroed: Vec<u64>,
+}
+
+impl AllocPaths {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `path`, counting one allocation of `bytes`.
+    pub fn intern(&mut self, path: &[Frame], bytes: u64) -> AllocCtxId {
+        self.intern_full(path, bytes, false)
+    }
+
+    /// Intern with the zero-fill flag (`calloc` vs `malloc`).
+    pub fn intern_full(&mut self, path: &[Frame], bytes: u64, was_zeroed: bool) -> AllocCtxId {
+        if let Some(&id) = self.by_path.get(path) {
+            self.counts[id.0 as usize] += 1;
+            self.bytes[id.0 as usize] += bytes;
+            self.zeroed[id.0 as usize] += was_zeroed as u64;
+            return id;
+        }
+        let id = AllocCtxId(self.paths.len() as u32);
+        self.by_path.insert(path.to_vec(), id);
+        self.paths.push(path.to_vec());
+        self.counts.push(1);
+        self.bytes.push(bytes);
+        self.zeroed.push(was_zeroed as u64);
+        id
+    }
+
+    /// The interned path.
+    pub fn path(&self, id: AllocCtxId) -> &[Frame] {
+        &self.paths[id.0 as usize]
+    }
+
+    /// Allocation count for a context.
+    pub fn count(&self, id: AllocCtxId) -> u64 {
+        self.counts[id.0 as usize]
+    }
+
+    /// Total requested bytes for a context.
+    pub fn bytes(&self, id: AllocCtxId) -> u64 {
+        self.bytes[id.0 as usize]
+    }
+
+    /// How many blocks of this context were zero-filled (`calloc`).
+    pub fn zeroed(&self, id: AllocCtxId) -> u64 {
+        self.zeroed[id.0 as usize]
+    }
+
+    /// Number of distinct contexts.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// True if no context was ever interned.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+}
+
+/// Live heap blocks of all ranks: global address range -> allocation
+/// context.
+#[derive(Debug, Default)]
+pub struct HeapMap {
+    /// start (global) -> (end, ctx)
+    live: BTreeMap<u64, (u64, AllocCtxId)>,
+    inserts: u64,
+    removes: u64,
+}
+
+impl HeapMap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a live block `[addr, addr+len)`.
+    ///
+    /// # Panics
+    /// Panics if the block overlaps a live one (would indicate a broken
+    /// allocator or missed free).
+    pub fn insert(&mut self, addr: u64, len: u64, ctx: AllocCtxId) {
+        assert!(len > 0);
+        if let Some((&s, &(e, _))) = self.live.range(..addr + len).next_back() {
+            assert!(e <= addr || s >= addr + len, "overlapping live heap blocks");
+        }
+        self.live.insert(addr, (addr + len, ctx));
+        self.inserts += 1;
+    }
+
+    /// Drop the block starting at `addr`; `true` if one was tracked (small
+    /// allocations below the tracking threshold never were).
+    pub fn remove(&mut self, addr: u64) -> bool {
+        self.removes += 1;
+        self.live.remove(&addr).is_some()
+    }
+
+    /// The allocation context owning `ea`, if `ea` is inside a live block.
+    pub fn lookup(&self, ea: u64) -> Option<AllocCtxId> {
+        let (&_s, &(end, ctx)) = self.live.range(..=ea).next_back()?;
+        (ea < end).then_some(ctx)
+    }
+
+    /// Number of currently live tracked blocks.
+    pub fn live_blocks(&self) -> usize {
+        self.live.len()
+    }
+
+    /// (inserts, removes) performed.
+    pub fn ops(&self) -> (u64, u64) {
+        (self.inserts, self.removes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(a: u64) -> Vec<Frame> {
+        vec![Frame::Proc(1), Frame::CallSite(a), Frame::Stmt(a + 1)]
+    }
+
+    #[test]
+    fn same_path_interned_once() {
+        let mut ap = AllocPaths::new();
+        let a = ap.intern(&path(5), 100);
+        let b = ap.intern(&path(5), 200);
+        assert_eq!(a, b);
+        assert_eq!(ap.len(), 1);
+        assert_eq!(ap.count(a), 2);
+        assert_eq!(ap.bytes(a), 300);
+    }
+
+    #[test]
+    fn hundred_allocations_one_variable() {
+        // Figure 2: a loop allocating 100 blocks from one call path is a
+        // single data-centric variable.
+        let mut ap = AllocPaths::new();
+        let mut hm = HeapMap::new();
+        for i in 0..100u64 {
+            let id = ap.intern(&path(7), 4096);
+            hm.insert(0x10_0000 + i * 0x2000, 4096, id);
+        }
+        assert_eq!(ap.len(), 1);
+        assert_eq!(ap.count(AllocCtxId(0)), 100);
+        // Accesses to any of the 100 blocks map to the same variable.
+        assert_eq!(hm.lookup(0x10_0000 + 37 * 0x2000 + 12), Some(AllocCtxId(0)));
+    }
+
+    #[test]
+    fn lookup_respects_block_bounds() {
+        let mut ap = AllocPaths::new();
+        let mut hm = HeapMap::new();
+        let id = ap.intern(&path(1), 64);
+        hm.insert(0x1000, 64, id);
+        assert_eq!(hm.lookup(0x1000), Some(id));
+        assert_eq!(hm.lookup(0x103f), Some(id));
+        assert_eq!(hm.lookup(0x1040), None);
+        assert_eq!(hm.lookup(0x0fff), None);
+    }
+
+    #[test]
+    fn free_then_lookup_misses() {
+        let mut ap = AllocPaths::new();
+        let mut hm = HeapMap::new();
+        let id = ap.intern(&path(1), 64);
+        hm.insert(0x1000, 64, id);
+        assert!(hm.remove(0x1000));
+        assert_eq!(hm.lookup(0x1010), None);
+        // Double remove (free of untracked block) is tolerated.
+        assert!(!hm.remove(0x1000));
+    }
+
+    #[test]
+    fn distinct_paths_are_distinct_variables() {
+        let mut ap = AllocPaths::new();
+        let a = ap.intern(&path(1), 8);
+        let b = ap.intern(&path(2), 8);
+        assert_ne!(a, b);
+        assert_eq!(ap.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlap_panics() {
+        let mut ap = AllocPaths::new();
+        let mut hm = HeapMap::new();
+        let id = ap.intern(&path(1), 128);
+        hm.insert(0x1000, 128, id);
+        hm.insert(0x1040, 128, id);
+    }
+}

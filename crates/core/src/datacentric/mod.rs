@@ -1,0 +1,17 @@
+//! Variable tracking: the data-centric half of the profiler.
+//!
+//! * [`static_data`] — address-range maps for static variables of every
+//!   load module (executable and shared libraries).
+//! * [`heap`] — live-block interval map and allocation-path interning for
+//!   heap variables.
+//! * [`strategy`] — the overhead-control strategies of §4.1.3 (size
+//!   threshold, fast context, trampoline unwinding) and the profiler's
+//!   own cost model.
+
+pub mod heap;
+pub mod static_data;
+pub mod strategy;
+
+pub use heap::{AllocCtxId, AllocPaths, HeapMap};
+pub use static_data::{StaticHandle, StaticMap};
+pub use strategy::{CaptureOutcome, ProfCosts, TrackingPolicy, UnwindCache};

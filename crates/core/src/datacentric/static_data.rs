@@ -1,0 +1,188 @@
+//! Tracking static variables across load modules.
+//!
+//! When a load module is mapped, the profiler reads its symbol table and
+//! records the address range of every static variable (§4.1.3 "Static
+//! data"). Unlike earlier tools, this includes dynamically loaded shared
+//! libraries, and attribution is per *variable*, not per load module.
+//! Module unload removes its ranges.
+
+use dcp_runtime::layout;
+use dcp_runtime::ir::{ModuleDef, ModuleId};
+
+/// Encoded handle for one static symbol: `module << 32 | symbol index`.
+/// This is the payload of [`dcp_cct::Frame::StaticVar`] dummy nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StaticHandle(pub u64);
+
+impl StaticHandle {
+    pub fn new(module: ModuleId, sym: u32) -> Self {
+        StaticHandle(((module.0 as u64) << 32) | sym as u64)
+    }
+
+    pub fn module(self) -> ModuleId {
+        ModuleId((self.0 >> 32) as u16)
+    }
+
+    pub fn sym(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Range {
+    start: u64, // process-local address
+    end: u64,
+    handle: StaticHandle,
+}
+
+/// The profiler-side map of static-variable address ranges.
+///
+/// Static layout is identical in every rank (same binary), so ranges are
+/// stored once on process-local addresses; what varies per rank is which
+/// modules are currently loaded.
+#[derive(Debug, Default)]
+pub struct StaticMap {
+    /// Sorted, non-overlapping ranges.
+    ranges: Vec<Range>,
+    /// `loaded[rank][module]`.
+    loaded: Vec<Vec<bool>>,
+    modules_seen: usize,
+}
+
+impl StaticMap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record module load for `rank`: registers symbol ranges (once per
+    /// module) and marks the module loaded for the rank.
+    pub fn load_module(&mut self, rank: u32, module: ModuleId, def: &ModuleDef) {
+        let r = rank as usize;
+        if self.loaded.len() <= r {
+            self.loaded.resize_with(r + 1, Vec::new);
+        }
+        let m = module.0 as usize;
+        if self.loaded[r].len() <= m {
+            self.loaded[r].resize(m + 1, false);
+        }
+        let first_time = !self.ranges.iter().any(|g| g.handle.module() == module);
+        if first_time {
+            for (i, sym) in def.statics.iter().enumerate() {
+                self.ranges.push(Range {
+                    start: sym.addr,
+                    end: sym.addr + sym.bytes,
+                    handle: StaticHandle::new(module, i as u32),
+                });
+            }
+            self.ranges.sort_by_key(|g| g.start);
+            self.modules_seen += 1;
+        }
+        self.loaded[r][m] = true;
+    }
+
+    /// Record module unload for `rank`.
+    pub fn unload_module(&mut self, rank: u32, module: ModuleId) {
+        if let Some(v) = self.loaded.get_mut(rank as usize) {
+            if let Some(b) = v.get_mut(module.0 as usize) {
+                *b = false;
+            }
+        }
+    }
+
+    /// Classify a *global* effective address: the handle of the static
+    /// variable containing it, if its module is loaded in that rank.
+    pub fn lookup(&self, ea: u64) -> Option<StaticHandle> {
+        if ea >> layout::RANK_SHIFT == 0 {
+            // Not a mapped global address (e.g. a kernel/VDSO pointer on
+            // real hardware): cannot be static data.
+            return None;
+        }
+        let rank = layout::rank_of(ea) as usize;
+        let local = layout::local_of(ea);
+        let idx = self.ranges.partition_point(|g| g.start <= local);
+        if idx == 0 {
+            return None;
+        }
+        let g = &self.ranges[idx - 1];
+        if local >= g.end {
+            return None;
+        }
+        let m = g.handle.module().0 as usize;
+        let live = self.loaded.get(rank).and_then(|v| v.get(m)).copied().unwrap_or(false);
+        live.then_some(g.handle)
+    }
+
+    /// Number of registered symbol ranges.
+    pub fn ranges_len(&self) -> usize {
+        self.ranges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_runtime::ir::StaticSym;
+
+    fn module_def(syms: &[(&str, u64, u64)]) -> ModuleDef {
+        ModuleDef {
+            name: "m".into(),
+            statics: syms
+                .iter()
+                .map(|(n, a, b)| StaticSym { name: n.to_string(), addr: *a, bytes: *b })
+                .collect(),
+            load_at_start: true,
+        }
+    }
+
+    #[test]
+    fn lookup_finds_containing_symbol() {
+        let mut m = StaticMap::new();
+        let def = module_def(&[("a", 0x1000, 0x100), ("b", 0x2000, 0x80)]);
+        m.load_module(0, ModuleId(0), &def);
+        let ea = layout::global(0, 0x1000);
+        assert_eq!(m.lookup(ea), Some(StaticHandle::new(ModuleId(0), 0)));
+        let ea = layout::global(0, 0x10ff);
+        assert_eq!(m.lookup(ea), Some(StaticHandle::new(ModuleId(0), 0)));
+        let ea = layout::global(0, 0x2001);
+        assert_eq!(m.lookup(ea), Some(StaticHandle::new(ModuleId(0), 1)));
+    }
+
+    #[test]
+    fn gaps_and_past_end_miss() {
+        let mut m = StaticMap::new();
+        m.load_module(0, ModuleId(0), &module_def(&[("a", 0x1000, 0x100)]));
+        assert_eq!(m.lookup(layout::global(0, 0x0fff)), None);
+        assert_eq!(m.lookup(layout::global(0, 0x1100)), None);
+    }
+
+    #[test]
+    fn per_rank_load_state() {
+        let mut m = StaticMap::new();
+        let def = module_def(&[("a", 0x1000, 0x100)]);
+        m.load_module(1, ModuleId(0), &def);
+        // Loaded only in rank 1: rank 0 accesses are unknown.
+        assert_eq!(m.lookup(layout::global(0, 0x1000)), None);
+        assert!(m.lookup(layout::global(1, 0x1000)).is_some());
+    }
+
+    #[test]
+    fn unload_makes_accesses_unknown() {
+        let mut m = StaticMap::new();
+        let def = module_def(&[("a", 0x1000, 0x100)]);
+        m.load_module(0, ModuleId(0), &def);
+        assert!(m.lookup(layout::global(0, 0x1000)).is_some());
+        m.unload_module(0, ModuleId(0));
+        assert_eq!(m.lookup(layout::global(0, 0x1000)), None);
+        // Reload restores without duplicating ranges.
+        m.load_module(0, ModuleId(0), &def);
+        assert!(m.lookup(layout::global(0, 0x1000)).is_some());
+        assert_eq!(m.ranges_len(), 1);
+    }
+
+    #[test]
+    fn handle_roundtrip() {
+        let h = StaticHandle::new(ModuleId(3), 17);
+        assert_eq!(h.module(), ModuleId(3));
+        assert_eq!(h.sym(), 17);
+    }
+}

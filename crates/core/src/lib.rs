@@ -1,0 +1,77 @@
+//! # dcp-core — the data-centric profiler
+//!
+//! The primary contribution of *"A Data-centric Profiler for Parallel
+//! Programs"* (Liu & Mellor-Crummey, SC'13), reimplemented against the
+//! `dcp-machine`/`dcp-runtime` substrate:
+//!
+//! * [`profiler`] — the online call-path profiler: PMU sample handling
+//!   with skid correction, per-thread CCTs split by storage class, and
+//!   heap-allocation-path attribution (§4.1).
+//! * [`datacentric`] — variable tracking: static symbol maps across load
+//!   modules, the live-heap interval map, and the §4.1.3 overhead-control
+//!   strategies (4 KB threshold, fast context, trampoline unwinding).
+//! * [`analyze`] — the post-mortem analyzer: scalable profile merging and
+//!   symbol resolution (§4.2).
+//! * [`view`] — the presentation views: top-down, bottom-up, variable
+//!   ranking (the paper's GUI panes, as text).
+//! * [`session`] — `hpcrun`-style entry points: run a program bare or
+//!   profiled and measure time/space overhead.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dcp_core::prelude::*;
+//! use dcp_machine::{MachineConfig, PmuConfig};
+//! use dcp_runtime::{ProgramBuilder, SimConfig, WorldConfig};
+//! use dcp_runtime::ir::ex::*;
+//!
+//! // A program whose master thread callocs an array that every thread
+//! // then reads: the classic NUMA pathology.
+//! let mut b = ProgramBuilder::new("demo");
+//! let region = b.outlined("work", 1, |p| {
+//!     let buf = p.param(0);
+//!     p.omp_for(c(0), c(4096), |p, i| p.load(l(buf), mul(l(i), c(8)), 8));
+//! });
+//! let main = b.proc("main", 0, |p| {
+//!     let buf = p.calloc(c(8 * 8 * 4096), "data");
+//!     p.parallel(region, vec![l(buf)]);
+//! });
+//! let prog = b.build(main);
+//!
+//! let mut sim = SimConfig::new(MachineConfig::tiny_test());
+//! sim.omp_threads = 4;
+//! sim.pmu = Some(PmuConfig::Ibs { period: 128, skid: 2 });
+//! let world = WorldConfig::single_node(sim, 1);
+//!
+//! let run = run_profiled(&prog, &world, ProfilerConfig::default());
+//! let analysis = run.analyze(&prog);
+//! let vars = analysis.variables(Metric::Latency);
+//! assert_eq!(vars[0].name, "data");
+//! ```
+
+pub mod advisor;
+pub mod analyze;
+pub mod datacentric;
+pub mod metrics;
+pub mod profiler;
+pub mod session;
+pub mod tracer;
+pub mod view;
+
+pub use advisor::{advise, Action, AdvisorConfig, Recommendation};
+pub use analyze::{Analysis, VarSummary};
+pub use metrics::{Metric, StorageClass, NAMES as METRIC_NAMES, WIDTH as METRIC_WIDTH};
+pub use profiler::{MeasurementData, ProfStats, Profiler, ProfilerConfig};
+pub use session::{measure_overhead, run_baseline, run_profiled, Overhead, ProfiledRun};
+pub use tracer::TraceCollector;
+
+/// Common imports for examples and benches.
+pub mod prelude {
+    pub use crate::analyze::{Analysis, VarSummary};
+    pub use crate::datacentric::{ProfCosts, TrackingPolicy};
+    pub use crate::metrics::{Metric, StorageClass};
+    pub use crate::profiler::{Profiler, ProfilerConfig};
+    pub use crate::session::{measure_overhead, run_baseline, run_profiled, Overhead};
+    pub use crate::advisor::{advise, render as render_advice, Action, AdvisorConfig};
+    pub use crate::view::{bottom_up, flat, ranking, storage_breakdown, top_down, TopDownOpts};
+}

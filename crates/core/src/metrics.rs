@@ -1,0 +1,103 @@
+//! The metric schema attributed to CCT nodes.
+//!
+//! Every sample contributes to a fixed set of columns. Hardware exposes
+//! different raw events on different machines (IBS latency on AMD, marked
+//! events on POWER7); the profiler normalizes both into this schema, the
+//! same way HPCToolkit presents uniform metric columns in its GUI.
+
+/// Column indices of the standard metric vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Number of samples attributed.
+    Samples = 0,
+    /// Summed access latency (cycles) of attributed samples.
+    Latency = 1,
+    /// Samples whose data came from another NUMA domain (remote DRAM or
+    /// remote cache) — the paper's REMOTE_ACCESS / R_DRAM_ACCESS picture.
+    Remote = 2,
+    /// Samples whose access missed the TLB.
+    TlbMiss = 3,
+    /// Samples that were stores.
+    Stores = 4,
+}
+
+/// Number of columns in the standard schema.
+pub const WIDTH: usize = 5;
+
+/// Human-readable column names, indexable by `Metric as usize`.
+pub const NAMES: [&str; WIDTH] = ["SAMPLES", "LATENCY", "REMOTE", "TLB_MISS", "STORES"];
+
+impl Metric {
+    /// Column index.
+    pub fn col(self) -> usize {
+        self as usize
+    }
+
+    /// Column name.
+    pub fn name(self) -> &'static str {
+        NAMES[self as usize]
+    }
+}
+
+/// The data-centric storage classes. The paper's system distinguishes
+/// static, heap and unknown (§4.1.3) plus a tree for samples that touch
+/// no memory (§4.1.2); *stack* is this reproduction's implementation of
+/// the paper's §7 future-work item ("associate data-centric measurements
+/// with stack-allocated variables") — stack accesses get their own class
+/// instead of falling into unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageClass {
+    /// `.bss` data of some load module.
+    Static,
+    /// malloc-family allocations.
+    Heap,
+    /// Thread-stack data (frame-scoped allocations).
+    Stack,
+    /// Everything else: `brk` data, untracked small allocations.
+    Unknown,
+    /// Samples on non-memory instructions.
+    NoMem,
+}
+
+/// Number of storage classes (= per-thread trees).
+pub const CLASSES: usize = 5;
+
+impl StorageClass {
+    pub const ALL: [StorageClass; CLASSES] = [
+        StorageClass::Static,
+        StorageClass::Heap,
+        StorageClass::Stack,
+        StorageClass::Unknown,
+        StorageClass::NoMem,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            StorageClass::Static => "static data",
+            StorageClass::Heap => "heap data",
+            StorageClass::Stack => "stack data",
+            StorageClass::Unknown => "unknown data",
+            StorageClass::NoMem => "no memory access",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_are_dense_and_named() {
+        assert_eq!(Metric::Samples.col(), 0);
+        assert_eq!(Metric::Stores.col(), 4);
+        assert_eq!(NAMES.len(), WIDTH);
+        assert_eq!(Metric::Latency.name(), "LATENCY");
+    }
+
+    #[test]
+    fn storage_classes_enumerate() {
+        assert_eq!(StorageClass::ALL.len(), CLASSES);
+        assert_eq!(StorageClass::Heap.name(), "heap data");
+        assert_eq!(StorageClass::Stack.name(), "stack data");
+    }
+}

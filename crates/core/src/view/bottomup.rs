@@ -1,0 +1,51 @@
+//! Bottom-up view: heap costs aggregated by allocation call site.
+//!
+//! When the same allocator is invoked from many calling contexts (AMG's
+//! `hypre_CAlloc`), the top-down view disperses costs along those paths;
+//! the bottom-up view re-aggregates them at the allocation site so the
+//! dominant variables pop out (Figure 5). Variables allocated at the
+//! same source statement but on different paths merge into one row, with
+//! the distinct variables listed underneath.
+
+use rustc_hash::FxHashMap;
+
+use crate::analyze::{Analysis, VarSummary};
+use crate::metrics::{Metric, StorageClass};
+use crate::view::pct;
+
+/// Render the bottom-up (allocation-site) view sorted by `metric`.
+pub fn bottom_up(a: &Analysis<'_>, metric: Metric) -> String {
+    let grand = a.grand_total(metric);
+    let vars = a.variables(metric);
+    // Group heap variables by allocation site.
+    let mut groups: FxHashMap<String, Vec<&VarSummary>> = FxHashMap::default();
+    for v in vars.iter().filter(|v| v.class == StorageClass::Heap) {
+        let key = if v.caller_site.is_empty() { v.alloc_site.clone() } else { v.caller_site.clone() };
+        groups.entry(key).or_default().push(v);
+    }
+    let mut rows: Vec<(String, u64, Vec<&VarSummary>)> = groups
+        .into_iter()
+        .map(|(site, vs)| {
+            let total = vs.iter().map(|v| v.metrics[metric.col()]).sum();
+            (site, total, vs)
+        })
+        .collect();
+    rows.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+
+    let mut out = String::new();
+    out.push_str(&format!("BOTTOM-UP (allocation call sites) metric {}\n", metric.name()));
+    for (site, total, vs) in rows {
+        out.push_str(&format!("{:5.1}% {:>10}  {}\n", pct(total, grand), total, site));
+        for v in vs {
+            out.push_str(&format!(
+                "        {:5.1}% {:>10}    {} (x{} blocks, {} B)\n",
+                pct(v.metrics[metric.col()], grand),
+                v.metrics[metric.col()],
+                v.name,
+                v.alloc_count,
+                v.alloc_bytes,
+            ));
+        }
+    }
+    out
+}

@@ -1,0 +1,45 @@
+//! Flat view: metrics aggregated per sampled statement, across all
+//! calling contexts (hpcviewer's third pane). Useful when the same hot
+//! access is reached through many paths and the top-down view disperses
+//! it.
+
+use rustc_hash::FxHashMap;
+
+use dcp_cct::Frame;
+
+use crate::analyze::Analysis;
+use crate::metrics::{Metric, StorageClass};
+use crate::view::pct;
+
+/// Render the flat view of `class`: the top `limit` statements by
+/// exclusive `metric`.
+pub fn flat(a: &Analysis<'_>, class: StorageClass, metric: Metric, limit: usize) -> String {
+    let tree = a.tree(class);
+    let mut by_stmt: FxHashMap<u64, Vec<u64>> = FxHashMap::default();
+    let width = tree.width();
+    for n in tree.preorder() {
+        if let Frame::Stmt(ip) = tree.frame(n) {
+            let acc = by_stmt.entry(ip).or_insert_with(|| vec![0; width]);
+            for (i, &v) in tree.metrics(n).iter().enumerate() {
+                acc[i] += v;
+            }
+        }
+    }
+    let grand = a.grand_total(metric);
+    let mut rows: Vec<(u64, Vec<u64>)> = by_stmt.into_iter().collect();
+    rows.sort_by(|x, y| y.1[metric.col()].cmp(&x.1[metric.col()]).then(x.0.cmp(&y.0)));
+
+    let mut out = format!("FLAT VIEW [{}] metric {}\n", class.name(), metric.name());
+    for (ip, m) in rows.into_iter().take(limit) {
+        if m[metric.col()] == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "{:5.1}% {:>10}  {}\n",
+            pct(m[metric.col()], grand),
+            m[metric.col()],
+            a.resolve_frame(Frame::Stmt(ip)),
+        ));
+    }
+    out
+}

@@ -1,0 +1,36 @@
+//! Presentation views (the paper's GUI, rendered as text).
+//!
+//! HPCToolkit presents data-centric results through `hpcviewer`; Figures
+//! 4–11 of the paper are screenshots of its panes. These renderers
+//! produce the same information as plain text:
+//!
+//! * [`topdown`] — the top-down pane: the merged CCT of one storage
+//!   class with inclusive metric values and percentages, so one can read
+//!   "22.2% of remote accesses target the variable allocated at
+//!   hypre_CAlloc:175, 19.3% from this access site" directly.
+//! * [`bottomup`] — the bottom-up pane: costs aggregated by allocation
+//!   call site, merging variables allocated at the same source statement
+//!   from different calling contexts (Figure 5).
+//! * [`ranking`] — the variable ranking table plus the storage-class
+//!   breakdown lines quoted throughout §5.
+//! * [`flat`] — metrics per sampled statement across all contexts
+//!   (hpcviewer's flat pane).
+
+pub mod bottomup;
+pub mod flat;
+pub mod ranking;
+pub mod topdown;
+
+pub use bottomup::bottom_up;
+pub use flat::flat;
+pub use ranking::{ranking, storage_breakdown};
+pub use topdown::{top_down, TopDownOpts};
+
+/// Format a percentage like the paper quotes them (one decimal).
+pub(crate) fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}

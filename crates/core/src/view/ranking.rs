@@ -1,0 +1,63 @@
+//! Variable ranking table and storage-class breakdown.
+//!
+//! The quickest way to read a data-centric profile: which storage class
+//! dominates the chosen metric, and which variables inside it. This is
+//! the information the paper's case studies quote ("heap allocated
+//! variables account for 97.4% of total latency; Flux 39.4%, Src 39.1%,
+//! Face 14.6%").
+
+use crate::analyze::Analysis;
+use crate::metrics::{Metric, StorageClass};
+use crate::view::pct;
+
+/// Per-class share of `metric`: `(class, value, percent)`.
+pub fn storage_breakdown(a: &Analysis<'_>, metric: Metric) -> Vec<(StorageClass, u64, f64)> {
+    let grand = a.grand_total(metric);
+    StorageClass::ALL
+        .iter()
+        .map(|&c| {
+            let v = a.class_total(c, metric);
+            (c, v, pct(v, grand))
+        })
+        .collect()
+}
+
+/// Render the ranking view: breakdown lines plus the top `limit`
+/// variables by `metric`.
+pub fn ranking(a: &Analysis<'_>, metric: Metric, limit: usize) -> String {
+    let grand = a.grand_total(metric);
+    let mut out = String::new();
+    out.push_str(&format!("VARIABLE RANKING metric {} (total {})\n", metric.name(), grand));
+    for (c, v, p) in storage_breakdown(a, metric) {
+        if v > 0 {
+            out.push_str(&format!("  {:5.1}%  {}\n", p, c.name()));
+        }
+    }
+    out.push_str(&format!(
+        "{:<24} {:>7} {:>12} {:>7} {:>9} {:>8} {:>7}\n",
+        "VARIABLE", "CLASS", metric.name(), "PCT", "LATENCY", "SAMPLES", "REMOTE"
+    ));
+    for v in a.variables(metric).into_iter().take(limit) {
+        let val = v.metrics[metric.col()];
+        if val == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "{:<24} {:>7} {:>12} {:>6.1}% {:>9} {:>8} {:>7}\n",
+            v.name,
+            match v.class {
+                StorageClass::Heap => "heap",
+                StorageClass::Static => "static",
+                StorageClass::Stack => "stack",
+                StorageClass::Unknown => "unk",
+                StorageClass::NoMem => "nomem",
+            },
+            val,
+            pct(val, grand),
+            v.metrics[Metric::Latency.col()],
+            v.metrics[Metric::Samples.col()],
+            v.metrics[Metric::Remote.col()],
+        ));
+    }
+    out
+}

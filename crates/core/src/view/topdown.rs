@@ -1,0 +1,85 @@
+//! Top-down view: the merged calling context tree of one storage class,
+//! annotated with inclusive metrics and percentages of the metric's
+//! grand total (matching how the paper quotes "94.9% of remote memory
+//! accesses are associated with heap allocated variables").
+
+use dcp_cct::{NodeId, ROOT};
+
+use crate::analyze::Analysis;
+use crate::metrics::{Metric, StorageClass};
+use crate::view::pct;
+
+/// Rendering limits.
+#[derive(Debug, Clone, Copy)]
+pub struct TopDownOpts {
+    /// Stop descending below this depth.
+    pub max_depth: usize,
+    /// Hide subtrees below this percentage of the grand total.
+    pub min_pct: f64,
+    /// Show at most this many children per node.
+    pub max_children: usize,
+}
+
+impl Default for TopDownOpts {
+    fn default() -> Self {
+        Self { max_depth: 12, min_pct: 1.0, max_children: 8 }
+    }
+}
+
+/// Render the top-down view of `class`, sorted by inclusive `metric`.
+pub fn top_down(a: &Analysis<'_>, class: StorageClass, metric: Metric, opts: TopDownOpts) -> String {
+    let tree = a.tree(class);
+    let inc = tree.inclusive(metric.col());
+    let grand = a.grand_total(metric);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "TOP-DOWN [{}] metric {} — {:.1}% of program total ({} / {})\n",
+        class.name(),
+        metric.name(),
+        pct(a.class_total(class, metric), grand),
+        a.class_total(class, metric),
+        grand
+    ));
+    render(a, tree, &inc, grand, ROOT, 0, &opts, &mut out);
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render(
+    a: &Analysis<'_>,
+    tree: &dcp_cct::Cct,
+    inc: &[u64],
+    grand: u64,
+    node: NodeId,
+    depth: usize,
+    opts: &TopDownOpts,
+    out: &mut String,
+) {
+    if depth > opts.max_depth {
+        return;
+    }
+    if node != ROOT {
+        let v = inc[node.0 as usize];
+        let p = pct(v, grand);
+        out.push_str(&format!(
+            "{:indent$}{:5.1}% {:>10}  {}\n",
+            "",
+            p,
+            v,
+            a.resolve_frame(tree.frame(node)),
+            indent = 2 * depth
+        ));
+    }
+    let mut kids: Vec<NodeId> = tree.children(node).collect();
+    kids.sort_by(|x, y| inc[y.0 as usize].cmp(&inc[x.0 as usize]).then(x.0.cmp(&y.0)));
+    for (i, k) in kids.into_iter().enumerate() {
+        if i >= opts.max_children {
+            out.push_str(&format!("{:indent$}...\n", "", indent = 2 * (depth + 1)));
+            break;
+        }
+        if pct(inc[k.0 as usize], grand) < opts.min_pct {
+            continue;
+        }
+        render(a, tree, inc, grand, k, depth + 1, opts, out);
+    }
+}

@@ -1,0 +1,549 @@
+//! The memory access pipeline: one load/store resolved through TLB, the
+//! cache hierarchy, remote caches, and DRAM.
+//!
+//! [`Machine`] owns every stateful hardware structure. The runtime resolves
+//! NUMA page placement first (page tables are per process) and passes the
+//! home domain in; the machine then walks the hierarchy and reports where
+//! the data came from and what it cost — the exact tuple the paper's PMU
+//! hardware exposes to the profiler (§3: latency, data source, cache/TLB
+//! miss flags).
+
+use crate::cache::{Cache, VersionTable};
+use crate::config::MachineConfig;
+use crate::dram::Dram;
+use crate::interconnect::Interconnect;
+use crate::prefetch::Prefetcher;
+use crate::tlb::Tlb;
+use crate::topology::{CoreId, DomainId, Topology};
+use crate::Cycles;
+
+/// Whether a memory operation reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    Load,
+    Store,
+}
+
+/// Where the data for an access was found. Mirrors the data-source encodes
+/// of AMD IBS and POWER7 marked events (`PM_MRK_DATA_FROM_*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataSource {
+    L1,
+    L2,
+    /// Own socket's shared L3.
+    L3,
+    /// Another socket's L3 (cache-to-cache transfer).
+    RemoteL3,
+    /// DRAM attached to the accessing core's own domain.
+    LocalDram,
+    /// DRAM attached to another domain (a *remote access* in the paper's
+    /// terminology; the event `PM_MRK_DATA_FROM_RMEM` counts these).
+    RemoteDram,
+}
+
+impl DataSource {
+    /// True for the two DRAM sources.
+    pub fn is_dram(self) -> bool {
+        matches!(self, DataSource::LocalDram | DataSource::RemoteDram)
+    }
+
+    /// True when the access left the socket (remote cache or remote DRAM).
+    pub fn is_remote(self) -> bool {
+        matches!(self, DataSource::RemoteL3 | DataSource::RemoteDram)
+    }
+}
+
+/// Outcome of one memory access.
+#[derive(Debug, Clone, Copy)]
+pub struct AccessResult {
+    /// Total latency in cycles, including TLB miss penalty, queueing and
+    /// interconnect time.
+    pub latency: u32,
+    pub source: DataSource,
+    pub tlb_miss: bool,
+    /// The NUMA domain the target page lives on.
+    pub home: DomainId,
+}
+
+/// Aggregate hardware event counters (machine-wide).
+#[derive(Debug, Default, Clone)]
+pub struct MachineStats {
+    pub accesses: u64,
+    pub loads: u64,
+    pub stores: u64,
+    pub total_latency: u64,
+    pub l1_hits: u64,
+    pub l2_hits: u64,
+    pub l3_hits: u64,
+    pub remote_l3_hits: u64,
+    pub local_dram: u64,
+    pub remote_dram: u64,
+    pub tlb_misses: u64,
+    pub prefetch_fills: u64,
+    /// Demand accesses fully hidden by a timely prefetch.
+    pub prefetch_hidden: u64,
+    /// Demand accesses that met an in-flight (late) prefetch: they still
+    /// observe the DRAM source with partial latency, as real IBS reports.
+    pub prefetch_late: u64,
+}
+
+/// An in-flight prefetch: when the line arrives, where it is coming from,
+/// and the coherence version it was requested at.
+#[derive(Debug, Clone, Copy)]
+struct PfEntry {
+    ready: Cycles,
+    version: u32,
+    src: DataSource,
+}
+
+/// The simulated machine: every core's private structures, every socket's
+/// L3, the DRAM controllers, and the interconnect.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    line_bits: u32,
+    l1: Vec<Cache>,
+    l2: Vec<Cache>,
+    l3: Vec<Cache>,
+    tlb: Vec<Tlb>,
+    prefetch: Vec<Prefetcher>,
+    dram: Dram,
+    interconnect: Interconnect,
+    versions: VersionTable,
+    /// Per-physical-core in-flight prefetch buffers (MSHR-like).
+    pfbuf: Vec<rustc_hash::FxHashMap<u64, PfEntry>>,
+    stats: MachineStats,
+}
+
+/// Maximum in-flight prefetches per core (MSHR budget).
+const PF_BUDGET: usize = 96;
+
+impl Machine {
+    /// Build a machine from its configuration.
+    pub fn new(cfg: MachineConfig) -> Self {
+        cfg.validate();
+        let cores = cfg.topology.physical_cores() as usize;
+        let domains = cfg.topology.domains as usize;
+        Self {
+            line_bits: cfg.line_size.trailing_zeros(),
+            l1: (0..cores).map(|_| Cache::new(&cfg.l1, cfg.line_size)).collect(),
+            l2: (0..cores).map(|_| Cache::new(&cfg.l2, cfg.line_size)).collect(),
+            l3: (0..domains).map(|_| Cache::new(&cfg.l3, cfg.line_size)).collect(),
+            tlb: (0..cores).map(|_| Tlb::new(cfg.dtlb_entries)).collect(),
+            prefetch: (0..cores).map(|_| Prefetcher::new(cfg.prefetch)).collect(),
+            dram: Dram::new(cfg.topology.domains, cfg.dram_service),
+            interconnect: Interconnect::new(&cfg.topology, cfg.hop_latency),
+            versions: VersionTable::new(),
+            pfbuf: (0..cores).map(|_| rustc_hash::FxHashMap::default()).collect(),
+            cfg,
+            stats: MachineStats::default(),
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The machine's topology.
+    pub fn topology(&self) -> &Topology {
+        &self.cfg.topology
+    }
+
+    /// Machine-wide event counters.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// Per-domain DRAM access counts (bandwidth demand picture).
+    pub fn dram_histogram(&self) -> Vec<u64> {
+        self.dram.access_histogram()
+    }
+
+    fn line_of(&self, vaddr: u64) -> u64 {
+        vaddr >> self.line_bits
+    }
+
+    /// Execute one memory access.
+    ///
+    /// * `core` — hardware thread performing the access.
+    /// * `vaddr` — virtual address (globally unique across processes; the
+    ///   runtime gives each rank a disjoint address range).
+    /// * `home` — NUMA domain of the page, resolved by the caller's page
+    ///   table (placement is a per-process concern).
+    /// * `pc` — instruction address, used by the stride prefetcher.
+    /// * `now` — the accessing thread's clock, for queueing.
+    pub fn access(
+        &mut self,
+        core: CoreId,
+        vaddr: u64,
+        kind: AccessKind,
+        home: DomainId,
+        pc: u64,
+        now: Cycles,
+    ) -> AccessResult {
+        let pcore = self.cfg.topology.physical_core_of(core) as usize;
+        let my_domain = self.cfg.topology.domain_of(core);
+        let line = self.line_of(vaddr);
+        let version = self.versions.version(line);
+
+        let mut latency: u32 = 0;
+        let vpn = vaddr >> self.cfg.page_size.trailing_zeros();
+        let tlb_miss = !self.tlb[pcore].access(vpn);
+        if tlb_miss {
+            latency += self.cfg.tlb_miss_penalty;
+            self.stats.tlb_misses += 1;
+        }
+
+        // Walk the hierarchy (read-for-ownership for stores too:
+        // write-allocate).
+        let source = if self.l1[pcore].lookup(line, version) {
+            latency += self.cfg.l1.latency;
+            self.stats.l1_hits += 1;
+            DataSource::L1
+        } else if self.l2[pcore].lookup(line, version) {
+            latency += self.cfg.l2.latency;
+            self.l1[pcore].fill(line, version);
+            self.stats.l2_hits += 1;
+            DataSource::L2
+        } else if self.l3[my_domain.0 as usize].lookup(line, version) {
+            latency += self.cfg.l3.latency;
+            self.l2[pcore].fill(line, version);
+            self.l1[pcore].fill(line, version);
+            self.stats.l3_hits += 1;
+            DataSource::L3
+        } else if let Some(pf) = self.take_prefetch(pcore, line, version, now + latency as Cycles) {
+            // The line was prefetched. A timely prefetch hides the miss
+            // entirely (looks like an L2 hit); a late one exposes its true
+            // source with whatever latency remains — exactly how real
+            // hardware samples report partially-hidden misses.
+            let now_eff = now + latency as Cycles;
+            self.fill_local(pcore, my_domain, line, version);
+            if pf.ready <= now_eff {
+                latency += self.cfg.l2.latency;
+                self.stats.prefetch_hidden += 1;
+                DataSource::L2
+            } else {
+                let wait = (pf.ready - now_eff).min(u32::MAX as Cycles) as u32;
+                latency = latency.saturating_add(wait.max(self.cfg.l2.latency));
+                self.stats.prefetch_late += 1;
+                match pf.src {
+                    DataSource::RemoteDram => self.stats.remote_dram += 1,
+                    _ => self.stats.local_dram += 1,
+                }
+                pf.src
+            }
+        } else if let Some(owner) = self.remote_l3_owner(line, version, my_domain) {
+            // Cache-to-cache transfer from another socket.
+            let hop = self.interconnect.traverse(
+                &self.cfg.topology,
+                my_domain,
+                owner,
+                now + latency as Cycles,
+            );
+            latency = latency
+                .saturating_add(self.cfg.remote_cache_latency)
+                .saturating_add(hop.min(u32::MAX as Cycles) as u32);
+            self.fill_local(pcore, my_domain, line, version);
+            self.stats.remote_l3_hits += 1;
+            DataSource::RemoteL3
+        } else {
+            // DRAM at the page's home domain.
+            let t = now + latency as Cycles;
+            let queue = self.dram.request(home.0, t);
+            latency = latency
+                .saturating_add(self.cfg.dram_latency)
+                .saturating_add(queue.min(u32::MAX as Cycles) as u32);
+            let src = if home == my_domain {
+                self.stats.local_dram += 1;
+                DataSource::LocalDram
+            } else {
+                let hop =
+                    self.interconnect.traverse(&self.cfg.topology, my_domain, home, t);
+                latency = latency.saturating_add(hop.min(u32::MAX as Cycles) as u32);
+                self.stats.remote_dram += 1;
+                DataSource::RemoteDram
+            };
+            self.fill_local(pcore, my_domain, line, version);
+            src
+        };
+
+        // Stores publish a new version, invalidating every other copy, and
+        // refresh the local copies.
+        if kind == AccessKind::Store {
+            let nv = self.versions.bump(line, my_domain.0);
+            self.fill_local(pcore, my_domain, line, nv);
+            self.stats.stores += 1;
+        } else {
+            self.stats.loads += 1;
+        }
+
+        // Train the prefetcher and launch predictions as *timed* in-flight
+        // requests. Each prefetch consumes DRAM bandwidth at the demand
+        // access's home domain (predictions are near the demand address,
+        // so this is almost always the right controller) and arrives after
+        // the full memory latency — a demand access that comes too soon
+        // still observes the DRAM source.
+        let preds = self.prefetch[pcore].observe(pc, vaddr, self.cfg.line_size);
+        if !preds.is_empty() {
+            let now_eff = now + latency as Cycles;
+            for p in preds {
+                let pl = self.line_of(p);
+                let pv = self.versions.version(pl);
+                if self.l2[pcore].probe(pl, pv)
+                    || self.l3[my_domain.0 as usize].probe(pl, pv)
+                    || self.pfbuf[pcore].contains_key(&pl)
+                {
+                    continue;
+                }
+                if self.pfbuf[pcore].len() >= PF_BUDGET {
+                    // Drop completed entries; if genuinely full, skip (MSHRs
+                    // exhausted — real prefetchers throttle the same way).
+                    self.pfbuf[pcore].retain(|_, e| e.ready > now_eff);
+                    if self.pfbuf[pcore].len() >= PF_BUDGET {
+                        continue;
+                    }
+                }
+                // Throttle under memory pressure: a saturated controller
+                // gets demand requests only.
+                if self.dram.backlog(home.0, now_eff)
+                    > 64 * self.cfg.dram_service as Cycles
+                {
+                    continue;
+                }
+                let queue = self.dram.request(home.0, now_eff);
+                let (hop, src) = if home == my_domain {
+                    (0, DataSource::LocalDram)
+                } else {
+                    (
+                        self.interconnect.traverse(&self.cfg.topology, my_domain, home, now_eff),
+                        DataSource::RemoteDram,
+                    )
+                };
+                let ready = now_eff + self.cfg.dram_latency as Cycles + queue + hop;
+                self.pfbuf[pcore].insert(pl, PfEntry { ready, version: pv, src });
+                self.stats.prefetch_fills += 1;
+            }
+        }
+
+        self.stats.accesses += 1;
+        self.stats.total_latency += latency as u64;
+        AccessResult { latency, source, tlb_miss, home }
+    }
+
+    /// Find a remote L3 that can source `line` via cache-to-cache
+    /// transfer. Directory-based coherence only intervenes for lines in
+    /// Owned/Modified state — held by the *last writer's* socket. Copies
+    /// that were merely read into other sockets' L3s are Shared and are
+    /// re-fetched from memory, as on real hardware.
+    fn remote_l3_owner(&self, line: u64, version: u32, me: DomainId) -> Option<DomainId> {
+        if version == 0 {
+            // Never-written lines are not tracked by the directory.
+            return None;
+        }
+        let w = self.versions.last_writer(line)?;
+        let wd = DomainId(w);
+        if wd != me && self.l3[w as usize].probe(line, version) {
+            Some(wd)
+        } else {
+            None
+        }
+    }
+
+    /// Consume an in-flight prefetch for `line` if one exists at the
+    /// current coherence version. Stale entries are dropped.
+    fn take_prefetch(
+        &mut self,
+        pcore: usize,
+        line: u64,
+        version: u32,
+        _now: Cycles,
+    ) -> Option<PfEntry> {
+        let e = self.pfbuf[pcore].remove(&line)?;
+        if e.version == version {
+            Some(e)
+        } else {
+            None
+        }
+    }
+
+    fn fill_local(&mut self, pcore: usize, domain: DomainId, line: u64, version: u32) {
+        self.l3[domain.0 as usize].fill(line, version);
+        self.l2[pcore].fill(line, version);
+        self.l1[pcore].fill(line, version);
+    }
+
+    /// Flush one page's translation from every TLB (called on munmap).
+    /// Cached data lines are deliberately left in place: on real hardware
+    /// freed-and-reused memory stays cached, and our allocator reuses
+    /// address ranges the same way libc does.
+    pub fn flush_page(&mut self, vpn: u64) {
+        for t in &mut self.tlb {
+            t.flush_page(vpn);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::tiny_test())
+    }
+
+    const D0: DomainId = DomainId(0);
+    const D1: DomainId = DomainId(1);
+
+    #[test]
+    fn first_access_is_dram_second_is_l1() {
+        let mut m = machine();
+        let r1 = m.access(CoreId(0), 0x1000, AccessKind::Load, D0, 1, 0);
+        assert_eq!(r1.source, DataSource::LocalDram);
+        assert!(r1.tlb_miss);
+        let r2 = m.access(CoreId(0), 0x1000, AccessKind::Load, D0, 1, 100);
+        assert_eq!(r2.source, DataSource::L1);
+        assert!(!r2.tlb_miss);
+        assert!(r2.latency < r1.latency);
+    }
+
+    #[test]
+    fn remote_page_pays_interconnect() {
+        let mut m = machine();
+        let local = m.access(CoreId(0), 0x1000, AccessKind::Load, D0, 1, 0);
+        let remote = m.access(CoreId(0), 0x2000, AccessKind::Load, D1, 2, 0);
+        assert_eq!(remote.source, DataSource::RemoteDram);
+        assert!(remote.latency > local.latency + m.config().hop_latency / 2);
+    }
+
+    #[test]
+    fn same_socket_sharing_hits_l3() {
+        let mut m = machine();
+        // Core 0 pulls the line in; core 1 (same domain in tiny_test:
+        // cores 0,1 -> domain 0) finds it in the shared L3.
+        m.access(CoreId(0), 0x3000, AccessKind::Load, D0, 1, 0);
+        let r = m.access(CoreId(1), 0x3000, AccessKind::Load, D0, 1, 0);
+        assert_eq!(r.source, DataSource::L3);
+    }
+
+    #[test]
+    fn cross_socket_sharing_after_write_is_remote_cache() {
+        let mut m = machine();
+        // Core 0 (domain 0) writes the line, so it is versioned and
+        // resident in domain 0's caches.
+        m.access(CoreId(0), 0x4000, AccessKind::Store, D0, 1, 0);
+        // Core 2 (domain 1) reads it: cache-to-cache from domain 0's L3.
+        let r = m.access(CoreId(2), 0x4000, AccessKind::Load, D0, 2, 0);
+        assert_eq!(r.source, DataSource::RemoteL3);
+        assert!(r.source.is_remote());
+    }
+
+    #[test]
+    fn store_invalidates_other_copies() {
+        let mut m = machine();
+        m.access(CoreId(0), 0x5000, AccessKind::Load, D0, 1, 0);
+        m.access(CoreId(2), 0x5000, AccessKind::Load, D0, 2, 0);
+        // Both sockets now hold the line. Core 2 writes it.
+        m.access(CoreId(2), 0x5000, AccessKind::Store, D0, 3, 0);
+        // Core 0's copy is stale: it must go remote (to domain 1's L3).
+        let r = m.access(CoreId(0), 0x5000, AccessKind::Load, D0, 4, 0);
+        assert_eq!(r.source, DataSource::RemoteL3);
+    }
+
+    #[test]
+    fn sequential_scan_benefits_from_prefetch() {
+        // Two scans over fresh regions, one sequential, one with a
+        // page-crossing stride, each touching the same number of lines.
+        // Clocks advance with the observed latencies, as a real thread's
+        // would, so prefetch lead time is self-consistent.
+        let mut m = machine();
+        let mut t = 0u64;
+        let mut seq_lat = 0u64;
+        for i in 0..256u64 {
+            let r = m.access(CoreId(0), 0x10_0000 + i * 64, AccessKind::Load, D0, 7, t);
+            t += r.latency as u64 + 1;
+            seq_lat += r.latency as u64;
+        }
+        let mut m2 = machine();
+        let mut t2 = 0u64;
+        let mut strided_lat = 0u64;
+        for i in 0..256u64 {
+            let r = m2.access(CoreId(0), 0x10_0000 + i * 8192, AccessKind::Load, D0, 7, t2);
+            t2 += r.latency as u64 + 1;
+            strided_lat += r.latency as u64;
+        }
+        assert!(
+            seq_lat * 2 < strided_lat,
+            "sequential {seq_lat} should be far cheaper than strided {strided_lat}"
+        );
+        assert!(m.stats().prefetch_fills > 0);
+        assert!(m.stats().prefetch_hidden + m.stats().prefetch_late > 0);
+        assert_eq!(m2.stats().prefetch_fills, 0);
+    }
+
+    #[test]
+    fn late_prefetch_reports_true_source() {
+        // Consume a line-per-access stream at full speed with no compute
+        // between accesses homed on a remote domain: prefetches cannot
+        // stay ahead, so demand accesses observe RemoteDram with partial
+        // latency.
+        let mut m = machine();
+        let mut t = 0u64;
+        let mut late_remote = 0;
+        for i in 0..128u64 {
+            let r = m.access(CoreId(0), 0x40_0000 + i * 64, AccessKind::Load, D1, 9, t);
+            t += r.latency as u64 + 1;
+            if r.source == DataSource::RemoteDram {
+                late_remote += 1;
+            }
+        }
+        assert!(late_remote > 16, "remote stream must surface RemoteDram samples, got {late_remote}");
+    }
+
+    #[test]
+    fn dram_contention_inflates_latency() {
+        // Many cores hammering domain 0's controller queue behind each
+        // other; the same traffic spread across domains does not.
+        let mut hot = machine();
+        let mut hot_lat = 0u64;
+        for i in 0..128u64 {
+            // Distinct lines, all homed on domain 0, all at t=0.
+            hot_lat += hot
+                .access(CoreId((i % 4) as u32), 0x20_0000 + i * 4096, AccessKind::Load, D0, 9, 0)
+                .latency as u64;
+        }
+        let mut spread = machine();
+        let mut spread_lat = 0u64;
+        for i in 0..128u64 {
+            let home = DomainId((i % 2) as u32);
+            spread_lat += spread
+                .access(CoreId((i % 4) as u32), 0x20_0000 + i * 4096, AccessKind::Load, home, 9, 0)
+                .latency as u64;
+        }
+        assert!(hot_lat > spread_lat, "{hot_lat} vs {spread_lat}");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut m = machine();
+        m.access(CoreId(0), 0x100, AccessKind::Load, D0, 1, 0);
+        m.access(CoreId(0), 0x100, AccessKind::Store, D0, 1, 10);
+        let s = m.stats();
+        assert_eq!(s.accesses, 2);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 1);
+        assert!(s.total_latency > 0);
+    }
+
+    #[test]
+    fn flush_page_forces_tlb_miss() {
+        let mut m = machine();
+        m.access(CoreId(0), 0x6000, AccessKind::Load, D0, 1, 0);
+        let r = m.access(CoreId(0), 0x6000, AccessKind::Load, D0, 1, 10);
+        assert!(!r.tlb_miss);
+        m.flush_page(0x6);
+        let r = m.access(CoreId(0), 0x6000, AccessKind::Load, D0, 1, 20);
+        assert!(r.tlb_miss);
+    }
+}

@@ -1,0 +1,194 @@
+//! Machine configuration and presets for the paper's two testbeds.
+//!
+//! Cache capacities are scaled down relative to the real machines because
+//! the simulated workloads are scaled down too; what matters for the
+//! reproduction is the *ratio* of working-set size to cache size and the
+//! latency ordering L1 < L2 < L3 < local DRAM < remote DRAM.
+
+use crate::topology::Topology;
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Total capacity in bytes. Must be a multiple of `line_size * assoc`.
+    pub capacity: u64,
+    /// Associativity (ways per set).
+    pub assoc: u32,
+    /// Hit latency in cycles (charged when data is found at this level).
+    pub latency: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets given a line size.
+    pub fn sets(&self, line_size: u64) -> u64 {
+        let lines = self.capacity / line_size;
+        assert!(
+            lines.is_multiple_of(self.assoc as u64),
+            "capacity {} not divisible into {}-way sets of {}-byte lines",
+            self.capacity,
+            self.assoc,
+            line_size
+        );
+        lines / self.assoc as u64
+    }
+}
+
+/// Stride-prefetcher parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefetchConfig {
+    /// Entries in the per-core reference prediction table.
+    pub table_entries: usize,
+    /// Number of consecutive same-stride accesses needed before the
+    /// prefetcher starts issuing.
+    pub confidence: u8,
+    /// How many lines ahead to prefetch once confident.
+    pub degree: u32,
+    /// Maximum stride, in bytes, the prefetcher will train on. Strides
+    /// beyond one page defeat real prefetchers; we use the same rule.
+    pub max_stride: i64,
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        Self { table_entries: 64, confidence: 2, degree: 4, max_stride: 4096 }
+    }
+}
+
+/// Full description of the simulated machine.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    pub topology: Topology,
+    /// Cache line size in bytes (power of two).
+    pub line_size: u64,
+    /// Page size in bytes (power of two, multiple of `line_size`).
+    pub page_size: u64,
+    pub l1: CacheConfig,
+    pub l2: CacheConfig,
+    /// L3 is shared per NUMA domain.
+    pub l3: CacheConfig,
+    /// Data TLB entries per core (fully associative).
+    pub dtlb_entries: usize,
+    /// Cycles added by a TLB miss (page-walk cost).
+    pub tlb_miss_penalty: u32,
+    /// DRAM access latency (row access), excluding queueing, in cycles.
+    pub dram_latency: u32,
+    /// Cycles one DRAM line transfer occupies its controller; the inverse
+    /// of per-controller bandwidth. Queueing behind a saturated controller
+    /// is what makes "every thread hitting the master's domain" slow.
+    pub dram_service: u32,
+    /// Extra latency per interconnect hop for remote DRAM or remote cache.
+    pub hop_latency: u32,
+    /// Latency of a cache-to-cache transfer from a remote L3 (added to
+    /// hop latency).
+    pub remote_cache_latency: u32,
+    pub prefetch: PrefetchConfig,
+}
+
+impl MachineConfig {
+    /// A four-socket POWER7-like node: 4 NUMA domains, 8 cores x SMT4 per
+    /// domain = 128 hardware threads, 128-byte cache lines.
+    pub fn power7_node() -> Self {
+        Self {
+            topology: Topology::new(4, 8, 4),
+            line_size: 128,
+            page_size: 4096,
+            l1: CacheConfig { capacity: 16 << 10, assoc: 8, latency: 2 },
+            l2: CacheConfig { capacity: 64 << 10, assoc: 8, latency: 8 },
+            l3: CacheConfig { capacity: 1 << 20, assoc: 16, latency: 25 },
+            dtlb_entries: 64,
+            tlb_miss_penalty: 40,
+            dram_latency: 220,
+            dram_service: 12,
+            hop_latency: 110,
+            remote_cache_latency: 60,
+            prefetch: PrefetchConfig::default(),
+        }
+    }
+
+    /// A 48-core AMD Magny-Cours-like server: 8 NUMA domains of 6 cores
+    /// (no SMT), 64-byte lines.
+    pub fn magny_cours() -> Self {
+        Self {
+            topology: Topology::new(8, 6, 1),
+            line_size: 64,
+            page_size: 4096,
+            l1: CacheConfig { capacity: 64 << 10, assoc: 2, latency: 3 },
+            l2: CacheConfig { capacity: 128 << 10, assoc: 16, latency: 12 },
+            l3: CacheConfig { capacity: 512 << 10, assoc: 16, latency: 28 },
+            dtlb_entries: 48,
+            tlb_miss_penalty: 35,
+            dram_latency: 190,
+            dram_service: 10,
+            hop_latency: 90,
+            remote_cache_latency: 70,
+            prefetch: PrefetchConfig::default(),
+        }
+    }
+
+    /// A deliberately tiny machine for unit tests: 2 domains x 2 cores,
+    /// small caches so tests can force evictions cheaply.
+    pub fn tiny_test() -> Self {
+        Self {
+            topology: Topology::new(2, 2, 1),
+            line_size: 64,
+            page_size: 4096,
+            l1: CacheConfig { capacity: 1 << 10, assoc: 2, latency: 2 },
+            l2: CacheConfig { capacity: 4 << 10, assoc: 4, latency: 8 },
+            l3: CacheConfig { capacity: 16 << 10, assoc: 8, latency: 20 },
+            dtlb_entries: 8,
+            tlb_miss_penalty: 30,
+            dram_latency: 200,
+            dram_service: 4,
+            hop_latency: 100,
+            remote_cache_latency: 50,
+            prefetch: PrefetchConfig::default(),
+        }
+    }
+
+    /// Sanity-check internal consistency; called by `Machine::new`.
+    pub fn validate(&self) {
+        assert!(self.line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(self.page_size.is_power_of_two(), "page size must be a power of two");
+        assert!(self.page_size.is_multiple_of(self.line_size), "page must hold whole lines");
+        // Trigger set-count assertions early.
+        let _ = self.l1.sets(self.line_size);
+        let _ = self.l2.sets(self.line_size);
+        let _ = self.l3.sets(self.line_size);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        MachineConfig::power7_node().validate();
+        MachineConfig::magny_cours().validate();
+        MachineConfig::tiny_test().validate();
+    }
+
+    #[test]
+    fn set_counts() {
+        let c = CacheConfig { capacity: 32 << 10, assoc: 8, latency: 2 };
+        assert_eq!(c.sets(64), 64);
+        assert_eq!(c.sets(128), 32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_geometry_panics() {
+        let c = CacheConfig { capacity: 1024, assoc: 3, latency: 1 };
+        let _ = c.sets(64);
+    }
+
+    #[test]
+    fn latency_ordering_in_presets() {
+        for cfg in [MachineConfig::power7_node(), MachineConfig::magny_cours()] {
+            assert!(cfg.l1.latency < cfg.l2.latency);
+            assert!(cfg.l2.latency < cfg.l3.latency);
+            assert!((cfg.l3.latency as u64) < cfg.dram_latency as u64);
+            assert!(cfg.hop_latency > 0, "remote accesses must cost more than local");
+        }
+    }
+}

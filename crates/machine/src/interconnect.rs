@@ -1,0 +1,159 @@
+//! Inter-socket interconnect (HyperTransport / QuickPath abstraction).
+//!
+//! Remote memory traffic pays a per-hop latency on top of the remote
+//! controller's own latency. The hop count comes from the ring distance
+//! in [`crate::topology::Topology`]; each ring edge additionally carries
+//! a work-conserving occupancy queue (the same fluid-backlog model as
+//! [`crate::dram`], and for the same reason: absolute-time reservations
+//! amplify clock skew between threads into runaway delays, whereas
+//! backlog is skew-invariant).
+
+use crate::topology::{DomainId, Topology};
+use crate::Cycles;
+
+/// Link state between adjacent ring neighbours.
+#[derive(Debug, Clone)]
+struct Link {
+    last_now: Cycles,
+    backlog: Cycles,
+    transfers: u64,
+}
+
+impl Link {
+    fn request(&mut self, now: Cycles, service: u32) -> Cycles {
+        if now > self.last_now {
+            self.backlog = self.backlog.saturating_sub(now - self.last_now);
+            self.last_now = now;
+        }
+        let delay = self.backlog;
+        self.backlog += service as Cycles;
+        self.transfers += 1;
+        delay
+    }
+}
+
+/// The machine's socket interconnect.
+#[derive(Debug, Clone)]
+pub struct Interconnect {
+    hop_latency: u32,
+    /// Cycles one line transfer occupies each link it crosses.
+    link_service: u32,
+    links: Vec<Link>, // one per ring edge
+    domains: u32,
+}
+
+impl Interconnect {
+    /// Build the ring interconnect for `topo` with `hop_latency` cycles
+    /// per hop. Link occupancy is an eighth of the hop latency — links
+    /// are fast relative to DRAM but not infinite.
+    pub fn new(topo: &Topology, hop_latency: u32) -> Self {
+        Self {
+            hop_latency,
+            link_service: (hop_latency / 8).max(1),
+            links: (0..topo.domains)
+                .map(|_| Link { last_now: 0, backlog: 0, transfers: 0 })
+                .collect(),
+            domains: topo.domains,
+        }
+    }
+
+    /// Latency for one line to travel from `from` to `to` starting at
+    /// `now`, including link queueing. Zero if the domains are equal.
+    pub fn traverse(
+        &mut self,
+        topo: &Topology,
+        from: DomainId,
+        to: DomainId,
+        now: Cycles,
+    ) -> Cycles {
+        let hops = topo.hops(from, to);
+        if hops == 0 {
+            return 0;
+        }
+        // Walk the shorter ring direction, queueing on each edge.
+        let forward = {
+            let d = (to.0 + self.domains - from.0) % self.domains;
+            d <= self.domains - d
+        };
+        let mut t = now;
+        let mut cur = from.0;
+        for _ in 0..hops {
+            let edge = if forward {
+                cur as usize
+            } else {
+                ((cur + self.domains - 1) % self.domains) as usize
+            };
+            let delay = self.links[edge].request(t, self.link_service);
+            t += delay + self.hop_latency as Cycles;
+            cur = if forward {
+                (cur + 1) % self.domains
+            } else {
+                (cur + self.domains - 1) % self.domains
+            };
+        }
+        t - now
+    }
+
+    /// Total line transfers across all links.
+    pub fn transfers(&self) -> u64 {
+        self.links.iter().map(|l| l.transfers).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Topology, Interconnect) {
+        let topo = Topology::new(4, 2, 1);
+        let ic = Interconnect::new(&topo, 100);
+        (topo, ic)
+    }
+
+    #[test]
+    fn same_domain_is_free() {
+        let (topo, mut ic) = setup();
+        assert_eq!(ic.traverse(&topo, DomainId(1), DomainId(1), 0), 0);
+    }
+
+    #[test]
+    fn latency_scales_with_hops() {
+        let (topo, mut ic) = setup();
+        let one = ic.traverse(&topo, DomainId(0), DomainId(1), 1_000_000);
+        let two = ic.traverse(&topo, DomainId(0), DomainId(2), 2_000_000);
+        assert!((100..200).contains(&one), "{one}");
+        assert!((200..400).contains(&two), "{two}");
+    }
+
+    #[test]
+    fn congested_link_queues() {
+        let (topo, mut ic) = setup();
+        let first = ic.traverse(&topo, DomainId(0), DomainId(1), 0);
+        let mut prev = first;
+        // Repeated transfers at t=0 over the same edge keep queueing.
+        for _ in 0..16 {
+            let next = ic.traverse(&topo, DomainId(0), DomainId(1), 0);
+            assert!(next >= prev);
+            prev = next;
+        }
+        assert!(prev > first, "link occupancy must accumulate");
+    }
+
+    #[test]
+    fn laggards_not_charged_for_clock_gaps() {
+        let (topo, mut ic) = setup();
+        // A far-future transfer...
+        ic.traverse(&topo, DomainId(0), DomainId(1), 5_000_000);
+        // ...must not make an earlier-clock transfer wait 5M cycles.
+        let d = ic.traverse(&topo, DomainId(0), DomainId(1), 10);
+        assert!(d < 1_000, "laggard delayed {d}");
+    }
+
+    #[test]
+    fn transfer_counting() {
+        let (topo, mut ic) = setup();
+        ic.traverse(&topo, DomainId(0), DomainId(2), 0); // 2 hops = 2 link transfers
+        ic.traverse(&topo, DomainId(3), DomainId(0), 0); // 1 hop
+        assert_eq!(ic.transfers(), 3);
+    }
+}

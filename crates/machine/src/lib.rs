@@ -1,0 +1,165 @@
+//! # dcp-machine — deterministic multi-socket NUMA machine simulator
+//!
+//! This crate is the hardware substrate for the `memgaze` data-centric
+//! profiler, a reproduction of *"A Data-centric Profiler for Parallel
+//! Programs"* (Liu & Mellor-Crummey, SC'13). The paper measures real
+//! programs on POWER7 and AMD Magny-Cours machines using PMU hardware
+//! (AMD instruction-based sampling and POWER7 marked events). This crate
+//! provides a synthetic equivalent: a cycle-approximate, fully
+//! deterministic model of a multi-socket machine, including
+//!
+//! * per-core set-associative L1/L2 caches and a shared per-socket L3
+//!   ([`cache`]),
+//! * per-core TLBs ([`tlb`]),
+//! * a per-core stride prefetcher that long-stride and indirect access
+//!   patterns defeat ([`prefetch`]),
+//! * per-NUMA-domain DRAM controllers whose queueing models memory
+//!   bandwidth contention ([`dram`]),
+//! * an interconnect with per-hop latency for remote accesses
+//!   ([`interconnect`]),
+//! * a page table implementing the first-touch, interleaved, and bound
+//!   NUMA placement policies that `numactl`/`libnuma` expose ([`page`]),
+//! * PMU models for AMD-style instruction-based sampling and POWER7-style
+//!   marked-event sampling, including out-of-order "skid" on sample
+//!   delivery ([`pmu`]).
+//!
+//! The central entry point is [`Machine`], which resolves one memory
+//! operation at a time through the full hierarchy and reports the latency
+//! and data source — exactly the fields the profiler's sample handler
+//! consumes.
+//!
+//! Everything is deterministic: identical inputs produce identical
+//! latencies, data sources, and PMU samples, which the test suite relies
+//! on heavily.
+
+pub mod access;
+pub mod cache;
+pub mod config;
+pub mod dram;
+pub mod interconnect;
+pub mod page;
+pub mod pmu;
+pub mod prefetch;
+pub mod tlb;
+pub mod topology;
+
+pub use access::{AccessKind, AccessResult, DataSource, Machine};
+pub use config::{CacheConfig, MachineConfig, PrefetchConfig};
+pub use page::{PagePolicy, PageTable};
+pub use pmu::{MarkedEvent, Pmu, PmuConfig, Sample, SampleOrigin};
+pub use topology::{CoreId, DomainId, Topology};
+
+/// Simulated cycle count. All latencies and clocks in the simulator are
+/// expressed in cycles of a nominal core clock.
+pub type Cycles = u64;
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use crate::access::{AccessKind, Machine};
+    use crate::cache::Cache;
+    use crate::config::{CacheConfig, MachineConfig};
+    use crate::dram::Dram;
+    use crate::page::{PagePolicy, PageTable};
+    use crate::topology::{CoreId, DomainId};
+
+    proptest! {
+        /// A cache lookup immediately after a fill of the same line at the
+        /// same version always hits, for any geometry.
+        #[test]
+        fn fill_then_lookup_hits(
+            assoc in 1u32..8,
+            sets_pow in 1u32..6,
+            line in 0u64..100_000,
+            version in 0u32..4,
+        ) {
+            let capacity = 64u64 * assoc as u64 * (1 << sets_pow);
+            let mut c = Cache::new(&CacheConfig { capacity, assoc, latency: 1 }, 64);
+            c.fill(line, version);
+            prop_assert!(c.lookup(line, version));
+        }
+
+        /// A cache never reports a hit for a version other than the one
+        /// filled (coherence safety).
+        #[test]
+        fn stale_versions_never_hit(line in 0u64..1000, v1 in 0u32..5, v2 in 0u32..5) {
+            prop_assume!(v1 != v2);
+            let mut c = Cache::new(&CacheConfig { capacity: 1024, assoc: 2, latency: 1 }, 64);
+            c.fill(line, v1);
+            prop_assert!(!c.lookup(line, v2));
+        }
+
+        /// First-touch placement is sticky: whoever touches first owns the
+        /// page forever (until unmap), regardless of later touchers.
+        #[test]
+        fn first_touch_is_sticky(
+            touchers in prop::collection::vec(0u32..4, 1..20),
+            vaddr in 0u64..1_000_000,
+        ) {
+            let mut pt = PageTable::new(4096, 4);
+            let first = DomainId(touchers[0]);
+            let placed = pt.touch(vaddr, first);
+            prop_assert_eq!(placed, first);
+            for &t in &touchers[1..] {
+                prop_assert_eq!(pt.touch(vaddr, DomainId(t)), first);
+            }
+        }
+
+        /// Interleaved placement balances: over 4k consecutive pages, no
+        /// domain holds more than its fair share plus one.
+        #[test]
+        fn interleave_is_balanced(domains in 1u32..8, pages in 1u64..256) {
+            let mut pt = PageTable::new(4096, domains);
+            pt.set_default_policy(PagePolicy::Interleave);
+            for p in 0..pages {
+                pt.touch(p * 4096, DomainId(0));
+            }
+            let h = pt.placement_histogram();
+            let max = *h.iter().max().unwrap();
+            let min = *h.iter().min().unwrap();
+            prop_assert!(max - min <= 1, "{h:?}");
+        }
+
+        /// DRAM backlog never exceeds requests x service, and drains to
+        /// zero given enough time.
+        #[test]
+        fn dram_backlog_bounded(reqs in 1u64..200, service in 1u32..16) {
+            let mut d = Dram::new(1, service);
+            for _ in 0..reqs {
+                d.request(0, 0);
+            }
+            prop_assert!(d.backlog(0, 0) <= reqs * service as u64);
+            prop_assert_eq!(d.backlog(0, reqs * service as u64 + 1), 0);
+        }
+
+        /// The access pipeline is deterministic and its latency is always
+        /// at least the L1 hit latency.
+        #[test]
+        fn access_latency_sane(
+            addrs in prop::collection::vec(0u64..(1u64 << 22), 1..200),
+            core in 0u32..4,
+            home in 0u32..2,
+        ) {
+            let run = || {
+                let mut m = Machine::new(MachineConfig::tiny_test());
+                let mut t = 0u64;
+                let mut lats = Vec::new();
+                for (i, &a) in addrs.iter().enumerate() {
+                    let kind = if i % 3 == 0 { AccessKind::Store } else { AccessKind::Load };
+                    let r = m.access(CoreId(core), a, kind, DomainId(home), 7, t);
+                    t += r.latency as u64;
+                    lats.push((r.latency, r.source));
+                }
+                lats
+            };
+            let a = run();
+            let b = run();
+            prop_assert_eq!(&a, &b, "machine must be deterministic");
+            let l1 = MachineConfig::tiny_test().l1.latency;
+            for (lat, _) in a {
+                prop_assert!(lat >= l1);
+            }
+        }
+    }
+}

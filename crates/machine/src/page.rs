@@ -1,0 +1,260 @@
+//! Virtual-to-NUMA-domain page placement.
+//!
+//! Linux places a page on the domain of the first CPU to *touch* it
+//! ("first touch") unless a policy says otherwise. The paper's
+//! optimizations revolve around exactly this mechanism:
+//!
+//! * `calloc` by the master thread touches every page during zero-fill, so
+//!   the whole array lands on the master's domain (the AMG2006 /
+//!   Streamcluster / NW pathology);
+//! * `numactl --interleave` interleaves *every* allocation in the process
+//!   round-robin across domains (Table 2's middle row);
+//! * `libnuma`'s interleaved allocator applies interleaving to *selected
+//!   ranges* only (Table 2's bottom row);
+//! * switching `calloc` to `malloc` leaves pages unplaced until the
+//!   computation touches them, so parallel loops place pages near their
+//!   users.
+//!
+//! [`PageTable`] models one process's address space at page granularity.
+
+use std::collections::BTreeMap;
+
+use rustc_hash::FxHashMap;
+
+use crate::topology::DomainId;
+
+/// NUMA placement policy for a page range or a whole process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PagePolicy {
+    /// Place on the domain of the first toucher (Linux default).
+    FirstTouch,
+    /// Round-robin pages across all domains (numactl/libnuma interleave).
+    Interleave,
+    /// Always place on one fixed domain (numactl --membind).
+    Bind(DomainId),
+}
+
+/// Per-process page table mapping virtual pages to NUMA domains.
+#[derive(Debug)]
+pub struct PageTable {
+    page_bits: u32,
+    domains: u32,
+    placed: FxHashMap<u64, DomainId>,
+    /// Process-wide default policy (what `numactl` sets).
+    default_policy: PagePolicy,
+    /// Range policies (what `libnuma` sets per allocation): keyed by start
+    /// vpn, value (end_vpn_exclusive, policy). Non-overlapping.
+    ranges: BTreeMap<u64, (u64, PagePolicy)>,
+    /// Round-robin cursor for interleaving.
+    rr: u32,
+    pages_placed: u64,
+}
+
+impl PageTable {
+    /// Create a page table for `domains` NUMA domains and `page_size`-byte
+    /// pages (must be a power of two).
+    pub fn new(page_size: u64, domains: u32) -> Self {
+        assert!(page_size.is_power_of_two() && domains > 0);
+        Self {
+            page_bits: page_size.trailing_zeros(),
+            domains,
+            placed: FxHashMap::default(),
+            default_policy: PagePolicy::FirstTouch,
+            ranges: BTreeMap::new(),
+            rr: 0,
+            pages_placed: 0,
+        }
+    }
+
+    /// Virtual page number of a byte address.
+    pub fn vpn(&self, vaddr: u64) -> u64 {
+        vaddr >> self.page_bits
+    }
+
+    /// Set the process-wide default policy (models `numactl`). Affects
+    /// only pages placed afterwards.
+    pub fn set_default_policy(&mut self, p: PagePolicy) {
+        self.default_policy = p;
+    }
+
+    /// Apply `policy` to the byte range `[start, start+len)` (models
+    /// `libnuma` per-allocation policies). Pages already placed keep their
+    /// placement; the policy governs future first touches.
+    ///
+    /// # Panics
+    /// Panics if the range overlaps an existing range policy; the runtime
+    /// removes a range when the allocation is freed.
+    pub fn set_range_policy(&mut self, start: u64, len: u64, policy: PagePolicy) {
+        if len == 0 {
+            return;
+        }
+        let s = self.vpn(start);
+        let e = self.vpn(start + len - 1) + 1;
+        if let Some((&rs, &(re, _))) = self.ranges.range(..e).next_back() {
+            assert!(re <= s || rs >= e, "overlapping range policy [{s},{e}) vs [{rs},{re})");
+        }
+        self.ranges.insert(s, (e, policy));
+    }
+
+    /// Remove the range policy starting at byte address `start`, if any.
+    pub fn clear_range_policy(&mut self, start: u64) {
+        let s = self.vpn(start);
+        self.ranges.remove(&s);
+    }
+
+    /// Forget placement for every page of `[start, start+len)`; called
+    /// when memory is freed so a later reuse gets re-placed. Returns the
+    /// vpns dropped (the caches/TLBs of the machine flush them).
+    pub fn unmap(&mut self, start: u64, len: u64) -> Vec<u64> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let s = self.vpn(start);
+        let e = self.vpn(start + len - 1) + 1;
+        let mut dropped = Vec::new();
+        for vpn in s..e {
+            if self.placed.remove(&vpn).is_some() {
+                dropped.push(vpn);
+            }
+        }
+        dropped
+    }
+
+    fn policy_for(&self, vpn: u64) -> PagePolicy {
+        if let Some((&_, &(end, pol))) = self.ranges.range(..=vpn).next_back() {
+            if vpn < end {
+                return pol;
+            }
+        }
+        self.default_policy
+    }
+
+    /// Resolve the domain of the page containing `vaddr`, placing it
+    /// according to policy if this is the first touch. `toucher` is the
+    /// domain of the accessing core.
+    pub fn touch(&mut self, vaddr: u64, toucher: DomainId) -> DomainId {
+        let vpn = self.vpn(vaddr);
+        if let Some(&d) = self.placed.get(&vpn) {
+            return d;
+        }
+        let d = match self.policy_for(vpn) {
+            PagePolicy::FirstTouch => toucher,
+            PagePolicy::Bind(d) => d,
+            PagePolicy::Interleave => {
+                let d = DomainId(self.rr % self.domains);
+                self.rr = (self.rr + 1) % self.domains;
+                d
+            }
+        };
+        self.placed.insert(vpn, d);
+        self.pages_placed += 1;
+        d
+    }
+
+    /// Domain of `vaddr`'s page if it has been placed.
+    pub fn domain_of(&self, vaddr: u64) -> Option<DomainId> {
+        self.placed.get(&self.vpn(vaddr)).copied()
+    }
+
+    /// Number of pages placed so far.
+    pub fn pages_placed(&self) -> u64 {
+        self.pages_placed
+    }
+
+    /// Histogram of placed pages per domain (diagnostics and tests).
+    pub fn placement_histogram(&self) -> Vec<u64> {
+        let mut h = vec![0u64; self.domains as usize];
+        for d in self.placed.values() {
+            h[d.0 as usize] += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt() -> PageTable {
+        PageTable::new(4096, 4)
+    }
+
+    #[test]
+    fn first_touch_places_on_toucher() {
+        let mut p = pt();
+        assert_eq!(p.touch(0x1000, DomainId(2)), DomainId(2));
+        // Second touch from elsewhere does not move the page.
+        assert_eq!(p.touch(0x1008, DomainId(0)), DomainId(2));
+    }
+
+    #[test]
+    fn interleave_round_robins() {
+        let mut p = pt();
+        p.set_default_policy(PagePolicy::Interleave);
+        let ds: Vec<_> = (0..8).map(|i| p.touch(i * 4096, DomainId(0)).0).collect();
+        assert_eq!(ds, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        assert_eq!(p.placement_histogram(), vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn bind_ignores_toucher() {
+        let mut p = pt();
+        p.set_default_policy(PagePolicy::Bind(DomainId(3)));
+        assert_eq!(p.touch(0, DomainId(1)), DomainId(3));
+    }
+
+    #[test]
+    fn range_policy_overrides_default() {
+        let mut p = pt();
+        p.set_range_policy(0x10000, 4 * 4096, PagePolicy::Interleave);
+        // Inside the range: interleaved.
+        assert_eq!(p.touch(0x10000, DomainId(3)), DomainId(0));
+        assert_eq!(p.touch(0x11000, DomainId(3)), DomainId(1));
+        // Outside: first touch.
+        assert_eq!(p.touch(0x20000, DomainId(3)), DomainId(3));
+    }
+
+    #[test]
+    fn clear_range_policy_restores_default() {
+        let mut p = pt();
+        p.set_range_policy(0x10000, 4096, PagePolicy::Bind(DomainId(1)));
+        p.clear_range_policy(0x10000);
+        assert_eq!(p.touch(0x10000, DomainId(2)), DomainId(2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlapping_range_policies_panic() {
+        let mut p = pt();
+        p.set_range_policy(0x10000, 8192, PagePolicy::Interleave);
+        p.set_range_policy(0x11000, 4096, PagePolicy::Interleave);
+    }
+
+    #[test]
+    fn unmap_forgets_placement() {
+        let mut p = pt();
+        p.touch(0x5000, DomainId(1));
+        let dropped = p.unmap(0x5000, 4096);
+        assert_eq!(dropped, vec![5]);
+        assert_eq!(p.domain_of(0x5000), None);
+        // Re-touch places fresh.
+        assert_eq!(p.touch(0x5000, DomainId(0)), DomainId(0));
+    }
+
+    #[test]
+    fn calloc_master_vs_parallel_first_touch_shape() {
+        // The AMG pathology in miniature: master zero-fill concentrates
+        // pages; parallel touch spreads them.
+        let mut master = pt();
+        for i in 0..16u64 {
+            master.touch(i * 4096, DomainId(0));
+        }
+        assert_eq!(master.placement_histogram(), vec![16, 0, 0, 0]);
+
+        let mut parallel = pt();
+        for i in 0..16u64 {
+            parallel.touch(i * 4096, DomainId((i % 4) as u32));
+        }
+        assert_eq!(parallel.placement_histogram(), vec![4, 4, 4, 4]);
+    }
+}

@@ -1,0 +1,266 @@
+//! AMD-style instruction-based sampling.
+//!
+//! Every ~`period` retired ops the PMU tags one op. The tagged op's
+//! precise IP, effective address, latency and data source are captured in
+//! the op record; the interrupt is delivered `skid` retired ops later, at
+//! which point the signal-context IP is whatever instruction happens to be
+//! retiring — modeling the skid that §4.1.2 of the paper corrects for by
+//! preferring the IBS-recorded precise IP over the signal context.
+//!
+//! The period is jittered ±12.5% with a deterministic per-core RNG so that
+//! sampling does not resonate with loop bodies (real tools randomize the
+//! period for the same reason).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use super::{OpRecord, Sample, SampleOrigin};
+
+/// One core's IBS engine.
+#[derive(Debug, Clone)]
+pub struct IbsPmu {
+    period: u64,
+    skid: u32,
+    countdown: u64,
+    pending: Option<(Sample, u32)>,
+    rng: SmallRng,
+    samples: u64,
+}
+
+impl IbsPmu {
+    /// Sampling period in retired ops, delivery skid in ops, jitter seed.
+    ///
+    /// # Panics
+    /// Panics if `period` is zero.
+    pub fn new(period: u64, skid: u32, seed: u64) -> Self {
+        assert!(period > 0, "IBS period must be positive");
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x1b50_dead_beefu64.rotate_left(7));
+        let countdown = Self::jittered(period, &mut rng);
+        Self { period, skid, countdown, pending: None, rng, samples: 0 }
+    }
+
+    fn jittered(period: u64, rng: &mut SmallRng) -> u64 {
+        if period <= 8 {
+            return period;
+        }
+        let spread = period / 8;
+        period - spread + rng.gen_range(0..=2 * spread)
+    }
+
+    /// Feed one retired op. Returns the delivered sample, if any.
+    pub fn observe_op(&mut self, op: OpRecord<'_>) -> Option<Sample> {
+        // A tagged sample waiting out its skid takes priority; the counter
+        // does not run while the interrupt is pending (hardware serializes
+        // op records the same way).
+        if let Some((sample, remaining)) = self.pending.take() {
+            if remaining == 0 {
+                let delivered = Sample { signal_ip: op.ip, ..sample };
+                self.samples += 1;
+                return Some(delivered);
+            }
+            self.pending = Some((sample, remaining - 1));
+            return None;
+        }
+
+        self.countdown = self.countdown.saturating_sub(1);
+        if self.countdown > 0 {
+            return None;
+        }
+        self.countdown = Self::jittered(self.period, &mut self.rng);
+
+        // Tag this op.
+        let sample = match op.mem {
+            Some((res, ea, is_store)) => Sample {
+                origin: SampleOrigin::Ibs,
+                precise_ip: op.ip,
+                signal_ip: op.ip,
+                ea: Some(ea),
+                latency: res.latency,
+                source: Some(res.source),
+                tlb_miss: res.tlb_miss,
+                is_store,
+                core: op.core,
+            },
+            None => Sample {
+                origin: SampleOrigin::Ibs,
+                precise_ip: op.ip,
+                signal_ip: op.ip,
+                ea: None,
+                latency: 0,
+                source: None,
+                tlb_miss: false,
+                is_store: false,
+                core: op.core,
+            },
+        };
+        if self.skid == 0 {
+            self.samples += 1;
+            return Some(sample);
+        }
+        self.pending = Some((sample, self.skid - 1));
+        None
+    }
+
+    /// Batch form of [`observe_op`](Self::observe_op) for `n` non-memory
+    /// ops retiring at `ip`. Delivers at most one sample.
+    pub fn observe_quiet(
+        &mut self,
+        n: u64,
+        ip: u64,
+        core: crate::topology::CoreId,
+    ) -> Option<Sample> {
+        if n == 0 {
+            return None;
+        }
+        // Drain any pending skid first.
+        if let Some((sample, remaining)) = self.pending.take() {
+            if (remaining as u64) < n {
+                let delivered = Sample { signal_ip: ip, ..sample };
+                self.samples += 1;
+                return Some(delivered);
+            }
+            self.pending = Some((sample, remaining - n as u32));
+            return None;
+        }
+        if self.countdown > n {
+            self.countdown -= n;
+            return None;
+        }
+        self.countdown = Self::jittered(self.period, &mut self.rng);
+        let sample = Sample {
+            origin: SampleOrigin::Ibs,
+            precise_ip: ip,
+            signal_ip: ip,
+            ea: None,
+            latency: 0,
+            source: None,
+            tlb_miss: false,
+            is_store: false,
+            core,
+        };
+        if self.skid == 0 {
+            self.samples += 1;
+            return Some(sample);
+        }
+        self.pending = Some((sample, self.skid - 1));
+        None
+    }
+
+    /// Total samples delivered.
+    pub fn samples_taken(&self) -> u64 {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{AccessResult, DataSource};
+    use crate::topology::{CoreId, DomainId};
+
+    fn mem_op(_ip: u64) -> (AccessResult, u64, bool) {
+        (
+            AccessResult {
+                latency: 42,
+                source: DataSource::LocalDram,
+                tlb_miss: false,
+                home: DomainId(0),
+            },
+            0xabcd,
+            false,
+        )
+    }
+
+    fn feed_n(pmu: &mut IbsPmu, n: u64, base_ip: u64) -> Vec<Sample> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            let (res, ea, st) = mem_op(base_ip + i);
+            let op = OpRecord { ip: base_ip + i, core: CoreId(0), mem: Some((&res, ea, st)) };
+            if let Some(s) = pmu.observe_op(op) {
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn sampling_rate_approximates_period() {
+        let mut pmu = IbsPmu::new(100, 0, 7);
+        let samples = feed_n(&mut pmu, 100_000, 0);
+        let n = samples.len() as f64;
+        assert!((n - 1000.0).abs() < 100.0, "got {n} samples for period 100");
+    }
+
+    #[test]
+    fn skid_shifts_signal_ip_but_not_precise_ip() {
+        let mut pmu = IbsPmu::new(10, 3, 1);
+        let samples = feed_n(&mut pmu, 1000, 0);
+        assert!(!samples.is_empty());
+        for s in &samples {
+            assert_eq!(s.signal_ip, s.precise_ip + 3, "skid must be 3 ops");
+        }
+    }
+
+    #[test]
+    fn zero_skid_delivers_inline() {
+        let mut pmu = IbsPmu::new(10, 0, 1);
+        let samples = feed_n(&mut pmu, 100, 0);
+        for s in &samples {
+            assert_eq!(s.signal_ip, s.precise_ip);
+        }
+    }
+
+    #[test]
+    fn non_memory_ops_sampled_without_ea() {
+        let mut pmu = IbsPmu::new(5, 0, 3);
+        let mut got = 0;
+        for i in 0..100u64 {
+            let op = OpRecord { ip: i, core: CoreId(1), mem: None };
+            if let Some(s) = pmu.observe_op(op) {
+                assert_eq!(s.ea, None);
+                assert_eq!(s.source, None);
+                got += 1;
+            }
+        }
+        assert!(got > 10);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = IbsPmu::new(37, 2, 99);
+        let mut b = IbsPmu::new(37, 2, 99);
+        let sa = feed_n(&mut a, 10_000, 0);
+        let sb = feed_n(&mut b, 10_000, 0);
+        assert_eq!(sa.len(), sb.len());
+        for (x, y) in sa.iter().zip(&sb) {
+            assert_eq!(x.precise_ip, y.precise_ip);
+        }
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let mut a = IbsPmu::new(37, 0, 1);
+        let mut b = IbsPmu::new(37, 0, 2);
+        let sa: Vec<u64> = feed_n(&mut a, 10_000, 0).iter().map(|s| s.precise_ip).collect();
+        let sb: Vec<u64> = feed_n(&mut b, 10_000, 0).iter().map(|s| s.precise_ip).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn captures_latency_and_source() {
+        let mut pmu = IbsPmu::new(1, 0, 0);
+        let (res, ea, _) = mem_op(5);
+        let op = OpRecord { ip: 5, core: CoreId(0), mem: Some((&res, ea, true)) };
+        let s = pmu.observe_op(op).expect("period 1 samples every op");
+        assert_eq!(s.latency, 42);
+        assert_eq!(s.source, Some(DataSource::LocalDram));
+        assert!(s.is_store);
+        assert_eq!(s.ea, Some(0xabcd));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_period_panics() {
+        let _ = IbsPmu::new(0, 0, 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! POWER7-style marked-event sampling.
+//!
+//! The PMU counts retired memory ops whose data source matches the
+//! configured marked event. When the count reaches the threshold it
+//! latches SIAR (sampled instruction address) and SDAR (sampled data
+//! address) and raises an interrupt after a short skid. Unlike IBS, only
+//! matching memory ops can ever be sampled — sampling
+//! `PM_MRK_DATA_FROM_RMEM` yields a profile of *remote accesses only*,
+//! which is how the paper's NUMA case studies (AMG2006, Streamcluster,
+//! NW) isolate remote-access hot spots.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use super::{MarkedEvent, OpRecord, Sample, SampleOrigin};
+
+/// One core's marked-event engine.
+#[derive(Debug, Clone)]
+pub struct MarkedPmu {
+    event: MarkedEvent,
+    threshold: u64,
+    /// Next trigger point (jittered around `threshold`).
+    next_at: u64,
+    count: u64,
+    skid: u32,
+    pending: Option<(Sample, u32)>,
+    samples: u64,
+    /// Total matching events observed (whether or not sampled); the
+    /// traditional-counter reading the paper uses to decide whether a
+    /// program is worth data-centric analysis.
+    events: u64,
+    rng: SmallRng,
+}
+
+impl MarkedPmu {
+    /// Sample one in ~`threshold` occurrences of `event`. Thresholds
+    /// above 4 are jittered ±25% so sampling cannot resonate with a
+    /// loop's event pattern (tools randomize thresholds for the same
+    /// reason; without it, a loop emitting k events per iteration with
+    /// k | threshold samples the *same statement* every time).
+    ///
+    /// # Panics
+    /// Panics if `threshold` is zero.
+    pub fn new(event: MarkedEvent, threshold: u64, skid: u32, seed: u64) -> Self {
+        assert!(threshold > 0, "marked-event threshold must be positive");
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x0dd_ba11);
+        let next_at = Self::jittered(threshold, &mut rng);
+        Self {
+            event,
+            threshold,
+            next_at,
+            count: 0,
+            skid,
+            pending: None,
+            samples: 0,
+            events: 0,
+            rng,
+        }
+    }
+
+    fn jittered(threshold: u64, rng: &mut SmallRng) -> u64 {
+        if threshold <= 2 {
+            return threshold;
+        }
+        let spread = threshold / 4;
+        threshold - spread + rng.gen_range(0..=2 * spread)
+    }
+
+    /// The configured marked event.
+    pub fn event(&self) -> MarkedEvent {
+        self.event
+    }
+
+    /// Total matching events counted so far.
+    pub fn events_counted(&self) -> u64 {
+        self.events
+    }
+
+    /// Feed one retired op. Returns the delivered sample, if any.
+    pub fn observe_op(&mut self, op: OpRecord<'_>) -> Option<Sample> {
+        if let Some((sample, remaining)) = self.pending.take() {
+            if remaining == 0 {
+                let delivered = Sample { signal_ip: op.ip, ..sample };
+                self.samples += 1;
+                return Some(delivered);
+            }
+            self.pending = Some((sample, remaining - 1));
+            return None;
+        }
+
+        let (res, ea, is_store) = op.mem?;
+        if !self.event.matches(res.source) {
+            return None;
+        }
+        self.events += 1;
+        self.count += 1;
+        if self.count < self.next_at {
+            return None;
+        }
+        self.count = 0;
+        self.next_at = Self::jittered(self.threshold, &mut self.rng);
+
+        // Latch SIAR/SDAR.
+        let sample = Sample {
+            origin: SampleOrigin::Marked(self.event),
+            precise_ip: op.ip, // SIAR
+            signal_ip: op.ip,
+            ea: Some(ea), // SDAR
+            latency: res.latency,
+            source: Some(res.source),
+            tlb_miss: res.tlb_miss,
+            is_store,
+            core: op.core,
+        };
+        if self.skid == 0 {
+            self.samples += 1;
+            return Some(sample);
+        }
+        self.pending = Some((sample, self.skid - 1));
+        None
+    }
+
+    /// Batch form for `n` non-memory ops retiring at `ip`: non-memory ops
+    /// never count marked events but do drain a pending sample's skid.
+    pub fn observe_quiet(&mut self, n: u64, ip: u64) -> Option<Sample> {
+        if n == 0 {
+            return None;
+        }
+        if let Some((sample, remaining)) = self.pending.take() {
+            if (remaining as u64) < n {
+                let delivered = Sample { signal_ip: ip, ..sample };
+                self.samples += 1;
+                return Some(delivered);
+            }
+            self.pending = Some((sample, remaining - n as u32));
+        }
+        None
+    }
+
+    /// Total samples delivered.
+    pub fn samples_taken(&self) -> u64 {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{AccessResult, DataSource};
+    use crate::topology::{CoreId, DomainId};
+
+    fn res(source: DataSource) -> AccessResult {
+        AccessResult { latency: 100, source, tlb_miss: false, home: DomainId(1) }
+    }
+
+    #[test]
+    fn only_matching_sources_count() {
+        let mut pmu = MarkedPmu::new(MarkedEvent::DataFromRmem, 2, 0, 1);
+        let local = res(DataSource::LocalDram);
+        let remote = res(DataSource::RemoteDram);
+        for i in 0..10u64 {
+            let s = pmu.observe_op(OpRecord {
+                ip: i,
+                core: CoreId(0),
+                mem: Some((&local, 0x10, false)),
+            });
+            assert!(s.is_none(), "local accesses must never sample DATA_FROM_RMEM");
+        }
+        assert_eq!(pmu.events_counted(), 0);
+        let mut got = 0;
+        for i in 0..10u64 {
+            if pmu
+                .observe_op(OpRecord { ip: i, core: CoreId(0), mem: Some((&remote, 0x20, false)) })
+                .is_some()
+            {
+                got += 1;
+            }
+        }
+        assert_eq!(got, 5, "threshold 2 samples every other matching event");
+        assert_eq!(pmu.events_counted(), 10);
+    }
+
+    #[test]
+    fn siar_sdar_latched_from_triggering_op() {
+        let mut pmu = MarkedPmu::new(MarkedEvent::DataFromRmem, 1, 0, 1);
+        let remote = res(DataSource::RemoteDram);
+        let s = pmu
+            .observe_op(OpRecord { ip: 0x77, core: CoreId(3), mem: Some((&remote, 0x1234, true)) })
+            .expect("threshold 1 fires immediately");
+        assert_eq!(s.precise_ip, 0x77);
+        assert_eq!(s.ea, Some(0x1234));
+        assert!(s.is_store);
+        assert_eq!(s.origin, SampleOrigin::Marked(MarkedEvent::DataFromRmem));
+    }
+
+    #[test]
+    fn skid_delays_delivery_and_sets_signal_ip() {
+        let mut pmu = MarkedPmu::new(MarkedEvent::DataFromMem, 1, 2, 1);
+        let dram = res(DataSource::LocalDram);
+        assert!(pmu
+            .observe_op(OpRecord { ip: 1, core: CoreId(0), mem: Some((&dram, 0x8, false)) })
+            .is_none());
+        // Two more ops (even non-memory) drain the skid.
+        assert!(pmu.observe_op(OpRecord { ip: 2, core: CoreId(0), mem: None }).is_none());
+        let s = pmu
+            .observe_op(OpRecord { ip: 3, core: CoreId(0), mem: None })
+            .expect("delivered after skid");
+        assert_eq!(s.precise_ip, 1);
+        assert_eq!(s.signal_ip, 3);
+    }
+
+    #[test]
+    fn from_mem_matches_both_dram_sources() {
+        let mut pmu = MarkedPmu::new(MarkedEvent::DataFromMem, 1, 0, 1);
+        for src in [DataSource::LocalDram, DataSource::RemoteDram] {
+            let r = res(src);
+            assert!(pmu
+                .observe_op(OpRecord { ip: 0, core: CoreId(0), mem: Some((&r, 0, false)) })
+                .is_some());
+        }
+        let l3 = res(DataSource::L3);
+        assert!(pmu
+            .observe_op(OpRecord { ip: 0, core: CoreId(0), mem: Some((&l3, 0, false)) })
+            .is_none());
+    }
+
+    #[test]
+    fn event_name_strings() {
+        assert_eq!(MarkedEvent::DataFromRmem.name(), "PM_MRK_DATA_FROM_RMEM");
+        assert_eq!(MarkedEvent::DataFromL3.name(), "PM_MRK_DATA_FROM_L3");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_threshold_panics() {
+        let _ = MarkedPmu::new(MarkedEvent::DataFromRmem, 0, 0, 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Performance monitoring unit models.
+//!
+//! The paper (§3) uses two hardware sampling disciplines:
+//!
+//! * **Instruction-based sampling** (AMD family 10h, after DEC's
+//!   ProfileMe): the PMU periodically tags an instruction and records, as
+//!   it retires, its precise IP, the effective address of its memory
+//!   operand, latency, and the memory-hierarchy response. The interrupt
+//!   announcing the sample lands several instructions later ("skid"), so
+//!   the signal-context IP differs from the monitored instruction's IP —
+//!   the profiler must use the recorded precise IP ([`ibs`]).
+//!
+//! * **Marked-event sampling** (IBM POWER5+): the PMU counts occurrences
+//!   of one marked event (e.g. `PM_MRK_DATA_FROM_RMEM`, a load satisfied
+//!   from remote memory); when the count reaches a threshold it latches
+//!   the sampled instruction address (SIAR) and sampled data address
+//!   (SDAR) registers and raises an interrupt ([`marked`]).
+//!
+//! Both produce the common [`Sample`] record consumed by the profiler.
+
+pub mod ibs;
+pub mod marked;
+
+use crate::access::{AccessResult, DataSource};
+use crate::topology::CoreId;
+
+pub use ibs::IbsPmu;
+pub use marked::MarkedPmu;
+
+/// A marked event selecting which data sources increment the POWER7-style
+/// counter. Names follow the `PM_MRK_DATA_FROM_*` convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MarkedEvent {
+    /// Data sourced from own-core L2.
+    DataFromL2,
+    /// Data sourced from own-socket L3.
+    DataFromL3,
+    /// Data sourced from a remote socket's cache.
+    DataFromRL3,
+    /// Data sourced from local DRAM.
+    DataFromLmem,
+    /// Data sourced from remote DRAM — the paper's NUMA event of choice.
+    DataFromRmem,
+    /// Data sourced from any DRAM (local or remote).
+    DataFromMem,
+}
+
+impl MarkedEvent {
+    /// Does an access with this data source count toward the event?
+    pub fn matches(self, source: DataSource) -> bool {
+        match self {
+            MarkedEvent::DataFromL2 => source == DataSource::L2,
+            MarkedEvent::DataFromL3 => source == DataSource::L3,
+            MarkedEvent::DataFromRL3 => source == DataSource::RemoteL3,
+            MarkedEvent::DataFromLmem => source == DataSource::LocalDram,
+            MarkedEvent::DataFromRmem => source == DataSource::RemoteDram,
+            MarkedEvent::DataFromMem => source.is_dram(),
+        }
+    }
+
+    /// Display name in the POWER7 style.
+    pub fn name(self) -> &'static str {
+        match self {
+            MarkedEvent::DataFromL2 => "PM_MRK_DATA_FROM_L2",
+            MarkedEvent::DataFromL3 => "PM_MRK_DATA_FROM_L3",
+            MarkedEvent::DataFromRL3 => "PM_MRK_DATA_FROM_RL3",
+            MarkedEvent::DataFromLmem => "PM_MRK_DATA_FROM_LMEM",
+            MarkedEvent::DataFromRmem => "PM_MRK_DATA_FROM_RMEM",
+            MarkedEvent::DataFromMem => "PM_MRK_DATA_FROM_MEM",
+        }
+    }
+}
+
+/// Which sampling mechanism produced a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleOrigin {
+    Ibs,
+    Marked(MarkedEvent),
+}
+
+/// One PMU sample, as delivered to the profiler's signal handler.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    pub origin: SampleOrigin,
+    /// Precise IP of the monitored instruction (IBS op record / SIAR).
+    pub precise_ip: u64,
+    /// IP at which the interrupt was delivered; differs from `precise_ip`
+    /// by the skid. A naive profiler that attributes to this address
+    /// mis-attributes samples.
+    pub signal_ip: u64,
+    /// Effective data address (IBS linear address / SDAR); `None` for
+    /// sampled instructions that do not access memory.
+    pub ea: Option<u64>,
+    /// Access latency in cycles (0 for non-memory samples).
+    pub latency: u32,
+    /// Memory-hierarchy response, if a memory op.
+    pub source: Option<DataSource>,
+    pub tlb_miss: bool,
+    pub is_store: bool,
+    /// Hardware thread the sample was taken on.
+    pub core: CoreId,
+}
+
+/// A retired-operation record fed to the PMU by the execution engine.
+#[derive(Debug, Clone, Copy)]
+pub struct OpRecord<'a> {
+    pub ip: u64,
+    pub core: CoreId,
+    /// Memory operand details, if the op accessed memory.
+    pub mem: Option<(&'a AccessResult, u64, bool)>, // (result, ea, is_store)
+}
+
+/// Configuration for one core's PMU.
+#[derive(Debug, Clone, Copy)]
+pub enum PmuConfig {
+    /// Instruction-based sampling every ~`period` retired ops.
+    Ibs { period: u64, skid: u32 },
+    /// Marked-event sampling: one sample per `threshold` matching events.
+    Marked { event: MarkedEvent, threshold: u64, skid: u32 },
+}
+
+/// A per-core PMU: either engine behind one interface.
+#[derive(Debug, Clone)]
+pub enum Pmu {
+    Ibs(IbsPmu),
+    Marked(MarkedPmu),
+}
+
+impl Pmu {
+    /// Build a PMU from configuration. `seed` keeps the period jitter
+    /// deterministic yet decorrelated across cores.
+    pub fn new(cfg: PmuConfig, seed: u64) -> Self {
+        match cfg {
+            PmuConfig::Ibs { period, skid } => Pmu::Ibs(IbsPmu::new(period, skid, seed)),
+            PmuConfig::Marked { event, threshold, skid } => {
+                Pmu::Marked(MarkedPmu::new(event, threshold, skid, seed))
+            }
+        }
+    }
+
+    /// Feed one retired op; returns a sample when the PMU raises its
+    /// interrupt (at this op, after any skid).
+    pub fn observe_op(&mut self, op: OpRecord<'_>) -> Option<Sample> {
+        match self {
+            Pmu::Ibs(p) => p.observe_op(op),
+            Pmu::Marked(p) => p.observe_op(op),
+        }
+    }
+
+    /// Feed a batch of `n` retired non-memory ops at `ip` in one call
+    /// (loop bookkeeping, arithmetic bursts). At most one sample is
+    /// delivered per batch; IBS tags at most one op per period anyway, so
+    /// for `n` well below the period this loses nothing.
+    pub fn observe_quiet(&mut self, n: u64, ip: u64, core: CoreId) -> Option<Sample> {
+        match self {
+            Pmu::Ibs(p) => p.observe_quiet(n, ip, core),
+            Pmu::Marked(p) => p.observe_quiet(n, ip),
+        }
+    }
+
+    /// Total samples delivered.
+    pub fn samples_taken(&self) -> u64 {
+        match self {
+            Pmu::Ibs(p) => p.samples_taken(),
+            Pmu::Marked(p) => p.samples_taken(),
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Machine topology: sockets, cores, hardware threads, NUMA domains.
+//!
+//! The paper's two testbeds are (a) a POWER7 node with four sockets, each
+//! socket its own NUMA domain with a private memory controller, 32
+//! hardware threads per socket (8 cores x SMT4); and (b) a 48-core AMD
+//! Magny-Cours server with 8 NUMA domains (each package carries two dies,
+//! each die a domain with 6 cores). [`Topology`] captures the mapping from
+//! hardware thread to core to NUMA domain, plus inter-domain hop counts.
+
+/// Identifies one hardware thread (SMT context). Threads of a simulated
+/// program are pinned to hardware threads by the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub u32);
+
+/// Identifies one NUMA domain (one memory controller).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DomainId(pub u32);
+
+/// Static description of the simulated machine's processor layout.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Number of NUMA domains (= number of memory controllers).
+    pub domains: u32,
+    /// Physical cores per NUMA domain.
+    pub cores_per_domain: u32,
+    /// SMT contexts per physical core.
+    pub smt: u32,
+}
+
+impl Topology {
+    /// Create a topology with `domains` NUMA domains, `cores_per_domain`
+    /// physical cores each, and `smt` hardware threads per core.
+    ///
+    /// # Panics
+    /// Panics if any parameter is zero.
+    pub fn new(domains: u32, cores_per_domain: u32, smt: u32) -> Self {
+        assert!(domains > 0 && cores_per_domain > 0 && smt > 0);
+        Self { domains, cores_per_domain, smt }
+    }
+
+    /// Total number of hardware threads on the machine.
+    pub fn hw_threads(&self) -> u32 {
+        self.domains * self.cores_per_domain * self.smt
+    }
+
+    /// Total number of physical cores on the machine.
+    pub fn physical_cores(&self) -> u32 {
+        self.domains * self.cores_per_domain
+    }
+
+    /// The physical core index (0-based, machine wide) that a hardware
+    /// thread runs on. SMT siblings share a physical core and therefore
+    /// share its caches, TLB and prefetcher.
+    pub fn physical_core_of(&self, hw: CoreId) -> u32 {
+        assert!(hw.0 < self.hw_threads(), "hw thread {} out of range", hw.0);
+        hw.0 / self.smt
+    }
+
+    /// The NUMA domain a hardware thread belongs to.
+    pub fn domain_of(&self, hw: CoreId) -> DomainId {
+        DomainId(self.physical_core_of(hw) / self.cores_per_domain)
+    }
+
+    /// First hardware thread of every physical core in `domain`, in order.
+    /// Useful for pinning one software thread per core.
+    pub fn primary_threads(&self, domain: DomainId) -> impl Iterator<Item = CoreId> + '_ {
+        let base = domain.0 * self.cores_per_domain;
+        (0..self.cores_per_domain).map(move |c| CoreId((base + c) * self.smt))
+    }
+
+    /// Number of interconnect hops between two domains.
+    ///
+    /// Domains are arranged on a ring (a reasonable abstraction of both
+    /// HyperTransport meshes and POWER7 fabric): hop count is the shorter
+    /// ring distance, and zero for the same domain.
+    pub fn hops(&self, a: DomainId, b: DomainId) -> u32 {
+        assert!(a.0 < self.domains && b.0 < self.domains);
+        let d = a.0.abs_diff(b.0);
+        d.min(self.domains - d)
+    }
+
+    /// Round-robin pinning: software thread `t` of `n` total gets hardware
+    /// thread `t` if it exists, wrapping otherwise. Threads are laid out
+    /// breadth-first across cores before SMT siblings so that small thread
+    /// counts spread over domains the way OpenMP runtimes place them with
+    /// `OMP_PROC_BIND=spread` disabled (i.e., plain linear pinning).
+    pub fn pin_linear(&self, t: u32) -> CoreId {
+        CoreId(t % self.hw_threads())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power7_like_counts() {
+        let t = Topology::new(4, 8, 4);
+        assert_eq!(t.hw_threads(), 128);
+        assert_eq!(t.physical_cores(), 32);
+    }
+
+    #[test]
+    fn smt_siblings_share_core() {
+        let t = Topology::new(4, 8, 4);
+        assert_eq!(t.physical_core_of(CoreId(0)), t.physical_core_of(CoreId(3)));
+        assert_ne!(t.physical_core_of(CoreId(3)), t.physical_core_of(CoreId(4)));
+    }
+
+    #[test]
+    fn domain_mapping_is_contiguous() {
+        let t = Topology::new(4, 8, 4);
+        // hw threads 0..32 -> domain 0; 32..64 -> domain 1, etc.
+        assert_eq!(t.domain_of(CoreId(0)), DomainId(0));
+        assert_eq!(t.domain_of(CoreId(31)), DomainId(0));
+        assert_eq!(t.domain_of(CoreId(32)), DomainId(1));
+        assert_eq!(t.domain_of(CoreId(127)), DomainId(3));
+    }
+
+    #[test]
+    fn ring_hops_symmetric_and_bounded() {
+        let t = Topology::new(8, 6, 1);
+        for a in 0..8 {
+            for b in 0..8 {
+                let h = t.hops(DomainId(a), DomainId(b));
+                assert_eq!(h, t.hops(DomainId(b), DomainId(a)));
+                assert!(h <= 4);
+                if a == b {
+                    assert_eq!(h, 0);
+                } else {
+                    assert!(h >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn primary_threads_one_per_core() {
+        let t = Topology::new(4, 8, 4);
+        let prims: Vec<_> = t.primary_threads(DomainId(1)).collect();
+        assert_eq!(prims.len(), 8);
+        assert_eq!(prims[0], CoreId(32));
+        assert_eq!(prims[7], CoreId(60));
+        for w in prims.windows(2) {
+            assert_ne!(t.physical_core_of(w[0]), t.physical_core_of(w[1]));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_hw_thread_panics() {
+        let t = Topology::new(2, 2, 1);
+        t.physical_core_of(CoreId(4));
+    }
+}

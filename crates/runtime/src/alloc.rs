@@ -1,0 +1,230 @@
+//! The per-process heap allocator.
+//!
+//! A libc-like allocator the profiler wraps: `malloc`/`calloc` return
+//! process-local virtual addresses, `free` recycles them LIFO per size
+//! class (so freed-then-reallocated memory reuses hot addresses exactly
+//! like real allocators, which matters for cache behaviour). Allocations
+//! of a page or more are page-aligned so that NUMA placement policies act
+//! on whole variables.
+//!
+//! A separate `brk` region models allocations the profiler *cannot* wrap
+//! (the paper calls out C++ template containers that grow the data
+//! segment directly); accesses to it classify as *unknown* data.
+
+use rustc_hash::FxHashMap;
+
+/// Process-local base of the heap region.
+pub const HEAP_BASE: u64 = 0x0400_0000_0000;
+/// Process-local base of the brk region.
+pub const BRK_BASE: u64 = 0x0600_0000_0000;
+/// Process-local base of thread stacks (one window per thread).
+pub const STACK_BASE: u64 = 0x0700_0000_0000;
+/// Size of each thread's stack window.
+pub const STACK_WINDOW: u64 = 1 << 21;
+/// Exclusive end of the stack region (supports up to 4096 threads).
+pub const STACK_END: u64 = STACK_BASE + 4096 * STACK_WINDOW;
+
+/// Size-class rounding: 16-byte granularity below a page, page
+/// granularity above.
+fn size_class(bytes: u64) -> u64 {
+    if bytes >= 4096 {
+        (bytes + 4095) & !4095
+    } else {
+        ((bytes.max(1)) + 15) & !15
+    }
+}
+
+/// One process's heap.
+#[derive(Debug)]
+pub struct HeapAllocator {
+    next: u64,
+    brk_next: u64,
+    free_lists: FxHashMap<u64, Vec<u64>>,
+    live: FxHashMap<u64, u64>,
+    allocs: u64,
+    frees: u64,
+    live_bytes: u64,
+    peak_bytes: u64,
+}
+
+impl Default for HeapAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HeapAllocator {
+    pub fn new() -> Self {
+        Self {
+            next: HEAP_BASE,
+            brk_next: BRK_BASE,
+            free_lists: FxHashMap::default(),
+            live: FxHashMap::default(),
+            allocs: 0,
+            frees: 0,
+            live_bytes: 0,
+            peak_bytes: 0,
+        }
+    }
+
+    /// Allocate `bytes`; returns the block's process-local address.
+    ///
+    /// # Panics
+    /// Panics if `bytes` is zero (our workloads never make zero-byte
+    /// allocations, and catching them early beats silent aliasing).
+    pub fn malloc(&mut self, bytes: u64) -> u64 {
+        assert!(bytes > 0, "zero-byte allocation");
+        let class = size_class(bytes);
+        let addr = match self.free_lists.get_mut(&class).and_then(Vec::pop) {
+            Some(a) => a,
+            None => {
+                let a = if class >= 4096 {
+                    self.next = (self.next + 4095) & !4095;
+                    self.next
+                } else {
+                    self.next
+                };
+                self.next = a + class;
+                a
+            }
+        };
+        self.live.insert(addr, class);
+        self.allocs += 1;
+        self.live_bytes += class;
+        self.peak_bytes = self.peak_bytes.max(self.live_bytes);
+        addr
+    }
+
+    /// Free a block; returns its (class-rounded) size.
+    ///
+    /// # Panics
+    /// Panics on double free or a pointer that was never allocated.
+    pub fn free(&mut self, addr: u64) -> u64 {
+        let class = self.live.remove(&addr).expect("free of unallocated pointer");
+        self.free_lists.entry(class).or_default().push(addr);
+        self.frees += 1;
+        self.live_bytes -= class;
+        class
+    }
+
+    /// Size of a live block, if `addr` is one.
+    pub fn size_of(&self, addr: u64) -> Option<u64> {
+        self.live.get(&addr).copied()
+    }
+
+    /// Reallocate `addr` to `bytes`: allocates a new block, returns
+    /// `(new_addr, old_class, new_class)`. The caller models the copy
+    /// traffic. Shrinking within the same size class keeps the address,
+    /// as libc allocators do.
+    ///
+    /// # Panics
+    /// Panics if `addr` is not a live block.
+    pub fn realloc(&mut self, addr: u64, bytes: u64) -> (u64, u64, u64) {
+        let old_class = *self.live.get(&addr).expect("realloc of unallocated pointer");
+        if size_class(bytes) == old_class {
+            return (addr, old_class, old_class);
+        }
+        let new = self.malloc(bytes);
+        let new_class = self.size_of(new).expect("just allocated");
+        self.free(addr);
+        (new, old_class, new_class)
+    }
+
+    /// `brk`-style bump allocation (never freed, invisible to wrappers).
+    pub fn brk(&mut self, bytes: u64) -> u64 {
+        assert!(bytes > 0);
+        let a = self.brk_next;
+        self.brk_next = (a + bytes + 15) & !15;
+        a
+    }
+
+    /// (allocations, frees) performed so far.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.allocs, self.frees)
+    }
+
+    /// High-water mark of live heap bytes.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_blocks_do_not_overlap() {
+        let mut h = HeapAllocator::new();
+        let a = h.malloc(100);
+        let b = h.malloc(100);
+        assert!(b >= a + 100 || a >= b + 100);
+    }
+
+    #[test]
+    fn large_allocations_page_aligned() {
+        let mut h = HeapAllocator::new();
+        h.malloc(24); // misalign the bump pointer
+        let big = h.malloc(10_000);
+        assert_eq!(big % 4096, 0);
+    }
+
+    #[test]
+    fn free_then_malloc_reuses_lifo() {
+        let mut h = HeapAllocator::new();
+        let a = h.malloc(4096);
+        let b = h.malloc(4096);
+        h.free(a);
+        h.free(b);
+        assert_eq!(h.malloc(4096), b, "LIFO reuse");
+        assert_eq!(h.malloc(4096), a);
+    }
+
+    #[test]
+    fn size_of_tracks_live_blocks() {
+        let mut h = HeapAllocator::new();
+        let a = h.malloc(100);
+        assert_eq!(h.size_of(a), Some(112)); // rounded to 16
+        h.free(a);
+        assert_eq!(h.size_of(a), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "free of unallocated")]
+    fn double_free_panics() {
+        let mut h = HeapAllocator::new();
+        let a = h.malloc(64);
+        h.free(a);
+        h.free(a);
+    }
+
+    #[test]
+    fn brk_region_is_disjoint_from_heap() {
+        let mut h = HeapAllocator::new();
+        let heap = h.malloc(1 << 20);
+        let brk = h.brk(1 << 20);
+        assert!(brk >= BRK_BASE);
+        assert!(heap < BRK_BASE);
+    }
+
+    #[test]
+    fn peak_bytes_high_water_mark() {
+        let mut h = HeapAllocator::new();
+        let a = h.malloc(4096);
+        let b = h.malloc(4096);
+        h.free(a);
+        h.free(b);
+        h.malloc(4096);
+        assert_eq!(h.peak_bytes(), 8192);
+    }
+
+    #[test]
+    fn counts_track_operations() {
+        let mut h = HeapAllocator::new();
+        let a = h.malloc(16);
+        let b = h.malloc(16);
+        h.free(a);
+        assert_eq!(h.counts(), (2, 1));
+        let _ = b;
+    }
+}

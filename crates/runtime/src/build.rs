@@ -1,0 +1,609 @@
+//! Builder DSL for constructing [`Program`]s.
+//!
+//! Workloads are written against [`ProgramBuilder`] / [`ProcBuilder`]:
+//!
+//! ```
+//! use dcp_runtime::build::ProgramBuilder;
+//! use dcp_runtime::ir::ex::*;
+//!
+//! let mut b = ProgramBuilder::new("demo");
+//! let main = b.proc("main", 0, |p| {
+//!     let buf = p.calloc(c(1 << 16), "buf");
+//!     p.for_(c(0), c(1024), |p, i| {
+//!         p.load(l(buf), l(i), 8);
+//!     });
+//!     p.free(l(buf));
+//! });
+//! let prog = b.build(main);
+//! assert_eq!(prog.proc(main).name, "main");
+//! ```
+//!
+//! Every statement is assigned a per-procedure uid and a source line (set
+//! with [`ProcBuilder::line`]) so the profiler can map samples back to
+//! "source".
+
+use crate::ir::{
+    AllocKind, Cmp, Expr, Ip, LineInfo, LocalId, ModuleDef, ModuleId, Proc, ProcId, Program,
+    Spanned, StaticSym, Stmt,
+};
+use dcp_machine::PagePolicy;
+
+/// Per-module static-data layout: each module owns a 256 MiB window
+/// starting at `STATIC_BASE + module * STATIC_WINDOW` in process-local
+/// address space.
+pub const STATIC_BASE: u64 = 0x0100_0000_0000;
+pub const STATIC_WINDOW: u64 = 0x1000_0000;
+
+/// Builds one program: modules, statics, procedures.
+pub struct ProgramBuilder {
+    modules: Vec<ModuleDef>,
+    static_cursor: Vec<u64>,
+    procs: Vec<Option<Proc>>,
+    names: Vec<String>,
+    lines: Vec<Vec<LineInfo>>,
+}
+
+impl ProgramBuilder {
+    /// New program whose module 0 is the executable `exe_name`.
+    pub fn new(exe_name: &str) -> Self {
+        Self {
+            modules: vec![ModuleDef {
+                name: exe_name.to_string(),
+                statics: Vec::new(),
+                load_at_start: true,
+            }],
+            static_cursor: vec![0],
+            procs: Vec::new(),
+            names: Vec::new(),
+            lines: Vec::new(),
+        }
+    }
+
+    /// Add a shared library. `load_at_start` distinguishes linked
+    /// libraries from `dlopen`-only plugins.
+    pub fn add_module(&mut self, name: &str, load_at_start: bool) -> ModuleId {
+        self.modules.push(ModuleDef { name: name.to_string(), statics: Vec::new(), load_at_start });
+        self.static_cursor.push(0);
+        ModuleId((self.modules.len() - 1) as u16)
+    }
+
+    /// Reserve a static array of `bytes` in module 0; returns its
+    /// process-local virtual address.
+    pub fn static_array(&mut self, name: &str, bytes: u64) -> u64 {
+        self.static_array_in(ModuleId(0), name, bytes)
+    }
+
+    /// Reserve a static array in a specific module.
+    pub fn static_array_in(&mut self, module: ModuleId, name: &str, bytes: u64) -> u64 {
+        let m = module.0 as usize;
+        // Page-align every static so placement policies act per variable.
+        let cur = (self.static_cursor[m] + 4095) & !4095;
+        let addr = STATIC_BASE + module.0 as u64 * STATIC_WINDOW + cur;
+        assert!(
+            cur + bytes <= STATIC_WINDOW,
+            "module {} static window overflow",
+            self.modules[m].name
+        );
+        self.static_cursor[m] = cur + bytes;
+        self.modules[m].statics.push(StaticSym { name: name.to_string(), addr, bytes });
+        addr
+    }
+
+    /// Forward-declare a procedure in module 0 (for mutual recursion and
+    /// call-before-definition ordering).
+    pub fn declare(&mut self, name: &str, n_params: u16) -> ProcId {
+        self.declare_in(ModuleId(0), name, n_params)
+    }
+
+    /// Forward-declare a procedure in a specific module.
+    pub fn declare_in(&mut self, module: ModuleId, name: &str, n_params: u16) -> ProcId {
+        let id = ProcId(self.procs.len() as u32);
+        assert!(self.procs.len() < 0x10000, "too many procedures for the Ip encoding");
+        self.procs.push(None);
+        self.names.push(name.to_string());
+        self.lines.push(Vec::new());
+        // Stash params so define() can check; encode in name side-table.
+        self.procs[id.0 as usize] = Some(Proc {
+            name: name.to_string(),
+            module,
+            n_params,
+            n_locals: n_params,
+            body: Vec::new(),
+            outlined: false,
+        });
+        id
+    }
+
+    /// Define the body of a previously declared procedure.
+    pub fn define(&mut self, id: ProcId, f: impl FnOnce(&mut ProcBuilder)) {
+        let (n_params, module) = {
+            let p = self.procs[id.0 as usize].as_ref().expect("declared");
+            (p.n_params, p.module)
+        };
+        let mut pb = ProcBuilder::new(id, n_params);
+        f(&mut pb);
+        let (body, n_locals, lines, outlined) = pb.finish();
+        let slot = self.procs[id.0 as usize].as_mut().expect("declared");
+        assert!(slot.body.is_empty(), "procedure {} defined twice", slot.name);
+        slot.body = body;
+        slot.n_locals = n_locals;
+        slot.outlined = outlined;
+        let _ = module;
+        self.lines[id.0 as usize] = lines;
+    }
+
+    /// Declare and define a procedure in module 0 in one step.
+    pub fn proc(&mut self, name: &str, n_params: u16, f: impl FnOnce(&mut ProcBuilder)) -> ProcId {
+        let id = self.declare(name, n_params);
+        self.define(id, f);
+        id
+    }
+
+    /// Declare and define an outlined OpenMP region body. Its display name
+    /// gets the `$$OL$$` suffix the paper's figures show.
+    pub fn outlined(
+        &mut self,
+        base_name: &str,
+        n_params: u16,
+        f: impl FnOnce(&mut ProcBuilder),
+    ) -> ProcId {
+        let id = self.declare(&format!("{base_name}$$OL$$"), n_params);
+        let (body, n_locals, lines, _) = {
+            let mut pb = ProcBuilder::new(id, n_params);
+            f(&mut pb);
+            pb.finish()
+        };
+        let slot = self.procs[id.0 as usize].as_mut().expect("declared");
+        slot.body = body;
+        slot.n_locals = n_locals;
+        slot.outlined = true;
+        self.lines[id.0 as usize] = lines;
+        id
+    }
+
+    /// Finish the program with `entry` as `main`.
+    ///
+    /// # Panics
+    /// Panics if any declared procedure was never defined (except
+    /// parameterless empty bodies, which are legal no-ops).
+    pub fn build(self, entry: ProcId) -> Program {
+        let procs: Vec<Proc> = self
+            .procs
+            .into_iter()
+            .map(|p| p.expect("all declared procs defined"))
+            .collect();
+        Program { modules: self.modules, procs, entry, lines: self.lines }
+    }
+}
+
+/// Builds one procedure body. Obtained through
+/// [`ProgramBuilder::proc`]/[`define`](ProgramBuilder::define).
+pub struct ProcBuilder {
+    #[allow(dead_code)]
+    id: ProcId,
+    blocks: Vec<Vec<Spanned>>,
+    next_local: u16,
+    next_uid: u32,
+    lines: Vec<LineInfo>,
+    cur_line: u32,
+    outlined: bool,
+}
+
+impl ProcBuilder {
+    fn new(id: ProcId, n_params: u16) -> Self {
+        Self {
+            id,
+            blocks: vec![Vec::new()],
+            next_local: n_params,
+            next_uid: 0,
+            lines: Vec::new(),
+            cur_line: 1,
+            outlined: false,
+        }
+    }
+
+    fn finish(mut self) -> (Vec<Spanned>, u16, Vec<LineInfo>, bool) {
+        assert_eq!(self.blocks.len(), 1, "unbalanced blocks");
+        (self.blocks.pop().unwrap(), self.next_local.max(1), self.lines, self.outlined)
+    }
+
+    /// Allocate a fresh local.
+    pub fn local(&mut self) -> LocalId {
+        let l = LocalId(self.next_local);
+        self.next_local += 1;
+        l
+    }
+
+    /// Parameter `i` of this procedure.
+    pub fn param(&self, i: u16) -> LocalId {
+        LocalId(i)
+    }
+
+    /// Set the "source line" recorded for subsequent statements.
+    pub fn line(&mut self, n: u32) {
+        self.cur_line = n;
+    }
+
+    fn push_hint(&mut self, kind: Stmt, hint: &'static str) -> u32 {
+        let uid = self.next_uid;
+        self.next_uid += 1;
+        self.lines.push(LineInfo { line: self.cur_line, hint });
+        self.blocks.last_mut().expect("block").push(Spanned { uid, kind });
+        uid
+    }
+
+    fn push(&mut self, kind: Stmt) -> u32 {
+        self.push_hint(kind, "")
+    }
+
+    /// `dst = e`.
+    pub fn let_(&mut self, dst: LocalId, e: impl Into<Expr>) {
+        self.push(Stmt::Let(dst, e.into()));
+    }
+
+    /// Declare a fresh local initialized to `e`.
+    pub fn def(&mut self, e: impl Into<Expr>) -> LocalId {
+        let l = self.local();
+        self.let_(l, e);
+        l
+    }
+
+    /// Load `base[index]` (element size `elem` bytes), discarding the value.
+    pub fn load(&mut self, base: impl Into<Expr>, index: impl Into<Expr>, elem: u8) {
+        self.push(Stmt::Load { base: base.into(), index: index.into(), elem, dst: None });
+    }
+
+    /// Load `base[index]` into a fresh local (for indirection).
+    pub fn load_to(&mut self, base: impl Into<Expr>, index: impl Into<Expr>, elem: u8) -> LocalId {
+        let dst = self.local();
+        self.push(Stmt::Load { base: base.into(), index: index.into(), elem, dst: Some(dst) });
+        dst
+    }
+
+    /// Store to `base[index]` (pure traffic; no value recorded).
+    pub fn store(&mut self, base: impl Into<Expr>, index: impl Into<Expr>, elem: u8) {
+        self.push(Stmt::Store { base: base.into(), index: index.into(), elem, value: None });
+    }
+
+    /// Store `value` to `base[index]`, recording it in backing memory so a
+    /// later [`load_to`](Self::load_to) observes it (index arrays).
+    pub fn store_val(
+        &mut self,
+        base: impl Into<Expr>,
+        index: impl Into<Expr>,
+        elem: u8,
+        value: impl Into<Expr>,
+    ) {
+        self.push(Stmt::Store {
+            base: base.into(),
+            index: index.into(),
+            elem,
+            value: Some(value.into()),
+        });
+    }
+
+    /// `ops` cycles of non-memory work.
+    pub fn compute(&mut self, ops: u32) {
+        self.push(Stmt::Compute { ops });
+    }
+
+    fn block<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> (Vec<Spanned>, R) {
+        self.blocks.push(Vec::new());
+        let r = f(self);
+        (self.blocks.pop().expect("pushed above"), r)
+    }
+
+    /// `for var in start..end` with unit step.
+    pub fn for_(
+        &mut self,
+        start: impl Into<Expr>,
+        end: impl Into<Expr>,
+        f: impl FnOnce(&mut Self, LocalId),
+    ) {
+        self.for_step(start, end, 1, f);
+    }
+
+    /// `for var in (start..end).step_by(step)`; negative steps count down
+    /// (`start` exclusive bound semantics mirror C `for` loops).
+    pub fn for_step(
+        &mut self,
+        start: impl Into<Expr>,
+        end: impl Into<Expr>,
+        step: i64,
+        f: impl FnOnce(&mut Self, LocalId),
+    ) {
+        assert!(step != 0, "zero loop step");
+        let var = self.local();
+        let (body, ()) = self.block(|p| f(p, var));
+        self.push(Stmt::For { var, start: start.into(), end: end.into(), step, body });
+    }
+
+    /// Two-way branch.
+    pub fn if_(
+        &mut self,
+        a: impl Into<Expr>,
+        cmp: Cmp,
+        b: impl Into<Expr>,
+        then_f: impl FnOnce(&mut Self),
+        else_f: impl FnOnce(&mut Self),
+    ) {
+        let (then_body, ()) = self.block(then_f);
+        let (else_body, ()) = self.block(else_f);
+        self.push(Stmt::If { a: a.into(), cmp, b: b.into(), then_body, else_body });
+    }
+
+    /// Call `callee(args...)`, ignoring any return value.
+    pub fn call(&mut self, callee: ProcId, args: Vec<Expr>) {
+        self.push(Stmt::Call { callee, args, ret: None });
+    }
+
+    /// Call `callee(args...)` and latch its return value in a fresh local.
+    pub fn call_ret(&mut self, callee: ProcId, args: Vec<Expr>) -> LocalId {
+        let ret = self.local();
+        self.push(Stmt::Call { callee, args, ret: Some(ret) });
+        ret
+    }
+
+    /// Like [`call_ret`](Self::call_ret) with a source-level display hint
+    /// — used at calls of allocation wrappers, where the hint names the
+    /// variable being allocated (`S_diag_j = hypre_CAlloc(...)`).
+    pub fn call_ret_hint(&mut self, callee: ProcId, args: Vec<Expr>, hint: &'static str) -> LocalId {
+        let ret = self.local();
+        self.push_hint(Stmt::Call { callee, args, ret: Some(ret) }, hint);
+        ret
+    }
+
+    /// Return (optionally with a value).
+    pub fn ret(&mut self, v: Option<Expr>) {
+        self.push(Stmt::Ret(v));
+    }
+
+    /// `malloc(bytes)`; `hint` is the source-level variable name a reader
+    /// would see at this allocation site.
+    pub fn malloc(&mut self, bytes: impl Into<Expr>, hint: &'static str) -> LocalId {
+        self.alloc_full(bytes, AllocKind::Malloc, None, hint)
+    }
+
+    /// `calloc(bytes)` — zero-fills, so the calling thread first-touches
+    /// every page.
+    pub fn calloc(&mut self, bytes: impl Into<Expr>, hint: &'static str) -> LocalId {
+        self.alloc_full(bytes, AllocKind::Calloc, None, hint)
+    }
+
+    /// Allocation with an explicit libnuma-style placement policy.
+    pub fn alloc_full(
+        &mut self,
+        bytes: impl Into<Expr>,
+        kind: AllocKind,
+        policy: Option<PagePolicy>,
+        hint: &'static str,
+    ) -> LocalId {
+        let dst = self.local();
+        self.push_hint(Stmt::Alloc { dst, bytes: bytes.into(), kind, policy }, hint);
+        dst
+    }
+
+    /// `free(ptr)`.
+    pub fn free(&mut self, ptr: impl Into<Expr>) {
+        self.push(Stmt::Free { ptr: ptr.into() });
+    }
+
+    /// `realloc(ptr, bytes)`; the (possibly moved) pointer lands in a
+    /// fresh local. `hint` names the variable, as for allocations.
+    pub fn realloc(
+        &mut self,
+        ptr: impl Into<Expr>,
+        bytes: impl Into<Expr>,
+        hint: &'static str,
+    ) -> LocalId {
+        let dst = self.local();
+        self.push_hint(Stmt::Realloc { dst, ptr: ptr.into(), bytes: bytes.into() }, hint);
+        dst
+    }
+
+    /// `brk`-style allocation the profiler cannot wrap (C++ containers).
+    pub fn brk_alloc(&mut self, bytes: impl Into<Expr>) -> LocalId {
+        let dst = self.local();
+        self.push(Stmt::Brk { dst, bytes: bytes.into() });
+        dst
+    }
+
+    /// Stack allocation (a local array), released when the enclosing
+    /// procedure returns.
+    pub fn stack_alloc(&mut self, bytes: impl Into<Expr>) -> LocalId {
+        let dst = self.local();
+        self.push(Stmt::Salloc { dst, bytes: bytes.into() });
+        dst
+    }
+
+    /// Fork a parallel region running `outlined(args...)` with the team
+    /// size from the run configuration.
+    pub fn parallel(&mut self, outlined: ProcId, args: Vec<Expr>) {
+        self.push(Stmt::Parallel { outlined, args, num_threads: None });
+    }
+
+    /// Fork a parallel region with an explicit team size.
+    pub fn parallel_n(&mut self, outlined: ProcId, args: Vec<Expr>, n: impl Into<Expr>) {
+        self.push(Stmt::Parallel { outlined, args, num_threads: Some(n.into()) });
+    }
+
+    /// Statically-scheduled `#pragma omp for` loop (inside an outlined
+    /// region body only).
+    pub fn omp_for(
+        &mut self,
+        start: impl Into<Expr>,
+        end: impl Into<Expr>,
+        f: impl FnOnce(&mut Self, LocalId),
+    ) {
+        let var = self.local();
+        let (body, ()) = self.block(|p| f(p, var));
+        self.push(Stmt::OmpFor { var, start: start.into(), end: end.into(), body });
+    }
+
+    /// Team barrier.
+    pub fn omp_barrier(&mut self) {
+        self.push(Stmt::OmpBarrier);
+    }
+
+    /// Global MPI barrier.
+    pub fn mpi_barrier(&mut self) {
+        self.push(Stmt::MpiBarrier);
+    }
+
+    /// Fixed-cost MPI communication.
+    pub fn mpi_cost(&mut self, cycles: u64) {
+        self.push(Stmt::MpiCost { cycles });
+    }
+
+    /// Run `f` bracketed by phase markers named `name`.
+    pub fn phase(&mut self, name: &'static str, f: impl FnOnce(&mut Self)) {
+        self.push(Stmt::PhaseBegin(name));
+        f(self);
+        self.push(Stmt::PhaseEnd(name));
+    }
+
+    /// `dlopen` a module built with `load_at_start = false`.
+    pub fn dlopen(&mut self, m: ModuleId) {
+        self.push(Stmt::DlOpen(m));
+    }
+
+    /// `dlclose` a module.
+    pub fn dlclose(&mut self, m: ModuleId) {
+        self.push(Stmt::DlClose(m));
+    }
+}
+
+/// The IP of statement `uid` in `proc` of `program` — helper for tests
+/// that assert on attribution.
+pub fn ip_of(program: &Program, proc: ProcId, uid: u32) -> Ip {
+    Ip::new(program.proc(proc).module, proc, uid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ex::*;
+
+    #[test]
+    fn builds_nested_structure() {
+        let mut b = ProgramBuilder::new("t");
+        let helper = b.proc("helper", 1, |p| {
+            let x = p.param(0);
+            p.load(l(x), c(0), 8);
+            p.ret(None);
+        });
+        let main = b.proc("main", 0, |p| {
+            let buf = p.malloc(c(4096), "buf");
+            p.for_(c(0), c(10), |p, i| {
+                p.store(l(buf), l(i), 8);
+                p.call(helper, vec![l(buf)]);
+            });
+            p.free(l(buf));
+        });
+        let prog = b.build(main);
+        assert_eq!(prog.procs.len(), 2);
+        assert_eq!(prog.proc(main).name, "main");
+        // main body: Alloc, For, Free — loop body stmts carry distinct uids.
+        assert_eq!(prog.proc(main).body.len(), 3);
+        match &prog.proc(main).body[1].kind {
+            Stmt::For { body, .. } => assert_eq!(body.len(), 2),
+            other => panic!("expected For, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uids_are_unique_within_proc() {
+        let mut b = ProgramBuilder::new("t");
+        let main = b.proc("main", 0, |p| {
+            p.compute(1);
+            p.for_(c(0), c(2), |p, _| {
+                p.compute(1);
+                p.compute(1);
+            });
+            p.compute(1);
+        });
+        let prog = b.build(main);
+        let mut uids = Vec::new();
+        fn walk(body: &[Spanned], uids: &mut Vec<u32>) {
+            for s in body {
+                uids.push(s.uid);
+                if let Stmt::For { body, .. } = &s.kind {
+                    walk(body, uids);
+                }
+            }
+        }
+        walk(&prog.proc(main).body, &mut uids);
+        let mut sorted = uids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), uids.len());
+    }
+
+    #[test]
+    fn line_info_and_hints_recorded() {
+        let mut b = ProgramBuilder::new("t");
+        let mut alloc_uid = 0;
+        let main = b.proc("main", 0, |p| {
+            p.line(175);
+            let a = p.calloc(c(8192), "S_diag_j");
+            alloc_uid = 0; // first stmt
+            p.line(480);
+            p.load(l(a), c(1), 8);
+        });
+        let prog = b.build(main);
+        let ip = ip_of(&prog, main, alloc_uid);
+        let li = prog.line_info(ip);
+        assert_eq!(li.line, 175);
+        assert_eq!(li.hint, "S_diag_j");
+        let li2 = prog.line_info(ip_of(&prog, main, 1));
+        assert_eq!(li2.line, 480);
+        assert_eq!(li2.hint, "");
+    }
+
+    #[test]
+    fn statics_are_page_aligned_and_disjoint() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.static_array("a", 100);
+        let c_ = b.static_array("c", 10000);
+        let d = b.static_array("d", 8);
+        assert_eq!(a % 4096, 0);
+        assert_eq!(c_ % 4096, 0);
+        assert!(c_ >= a + 100);
+        assert!(d >= c_ + 10000);
+        let main = b.proc("main", 0, |_| {});
+        let prog = b.build(main);
+        assert_eq!(prog.modules[0].statics.len(), 3);
+    }
+
+    #[test]
+    fn statics_in_second_module_use_its_window() {
+        let mut b = ProgramBuilder::new("t");
+        let m = b.add_module("libfoo.so", false);
+        let a0 = b.static_array("a", 8);
+        let a1 = b.static_array_in(m, "b", 8);
+        assert_eq!(a1 - a0, STATIC_WINDOW);
+        let main = b.proc("main", 0, |_| {});
+        b.build(main);
+    }
+
+    #[test]
+    fn outlined_proc_gets_suffix() {
+        let mut b = ProgramBuilder::new("t");
+        let region = b.outlined("solve", 1, |p| {
+            p.omp_for(c(0), c(8), |p, i| p.load(l(p.param(0)), l(i), 8));
+        });
+        let main = b.proc("main", 0, |p| p.parallel(region, vec![c(0)]));
+        let prog = b.build(main);
+        assert!(prog.proc(region).name.contains("$$OL$$"));
+        assert!(prog.proc(region).outlined);
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn double_definition_panics() {
+        let mut b = ProgramBuilder::new("t");
+        let id = b.declare("f", 0);
+        b.define(id, |p| p.compute(1));
+        b.define(id, |p| p.compute(1));
+    }
+}

@@ -1,0 +1,317 @@
+//! The program intermediate representation.
+//!
+//! The profiler under study monitors *compiled binaries*; it never sees
+//! source code at runtime. Our stand-in for a compiled binary is a small
+//! structured IR: procedures made of loops, calls, arithmetic on integer
+//! locals, memory loads/stores with explicit addressing (so strides and
+//! indirection are first-class), allocation-family calls, and OpenMP/MPI
+//! constructs. Every statement carries a synthetic instruction address
+//! ([`Ip`]) registered in its module's line map, which is what the
+//! profiler attributes samples to.
+
+use dcp_machine::PagePolicy;
+
+/// Index of a procedure within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub u32);
+
+/// Index of a local (register) within a procedure frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LocalId(pub u16);
+
+/// Index of a load module (executable or shared library).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModuleId(pub u16);
+
+/// A synthetic instruction address: `module (16) | proc (16) | stmt (32)`.
+///
+/// Encoded as a plain `u64` so the machine, PMU and profiler can treat it
+/// exactly like a hardware instruction pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ip(pub u64);
+
+impl Ip {
+    pub fn new(module: ModuleId, proc: ProcId, stmt: u32) -> Self {
+        Ip(((module.0 as u64) << 48) | ((proc.0 as u64 & 0xffff) << 32) | stmt as u64)
+    }
+
+    pub fn module(self) -> ModuleId {
+        ModuleId((self.0 >> 48) as u16)
+    }
+
+    pub fn proc(self) -> ProcId {
+        ProcId(((self.0 >> 32) & 0xffff) as u32)
+    }
+
+    pub fn stmt(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+/// Integer expression over locals and runtime intrinsics.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    Const(i64),
+    Local(LocalId),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Div(Box<Expr>, Box<Expr>),
+    Rem(Box<Expr>, Box<Expr>),
+    Min(Box<Expr>, Box<Expr>),
+    Max(Box<Expr>, Box<Expr>),
+    /// OpenMP thread id within the current team (0 outside a region).
+    ThreadId,
+    /// Size of the current OpenMP team (1 outside a region).
+    NumThreads,
+    /// MPI rank of the executing process.
+    RankId,
+    /// Number of MPI ranks.
+    NumRanks,
+}
+
+impl From<i64> for Expr {
+    fn from(v: i64) -> Self {
+        Expr::Const(v)
+    }
+}
+
+impl From<LocalId> for Expr {
+    fn from(l: LocalId) -> Self {
+        Expr::Local(l)
+    }
+}
+
+/// Comparison used by [`Stmt::If`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    Lt,
+    Le,
+    Eq,
+    Ne,
+    Ge,
+    Gt,
+}
+
+/// Allocation flavour, mirroring the malloc family the profiler wraps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocKind {
+    /// `malloc`: no page is touched at allocation time, so first touch
+    /// happens in the computation (the paper's "first-touch" fix).
+    Malloc,
+    /// `calloc`: the allocating thread zero-fills, touching every page —
+    /// the root cause of the AMG2006/Streamcluster/NW NUMA pathologies.
+    Calloc,
+}
+
+/// A statement tagged with its per-procedure uid; the uid combined with
+/// the enclosing module and procedure forms the statement's [`Ip`].
+#[derive(Debug, Clone)]
+pub struct Spanned {
+    pub uid: u32,
+    pub kind: Stmt,
+}
+
+/// One statement. Memory-accessing statements carry the statement index
+/// that, combined with the enclosing module/proc, forms their [`Ip`].
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `local = expr`.
+    Let(LocalId, Expr),
+    /// Load `elem`-byte element `base[index]`; optionally latch the loaded
+    /// value into `dst` (needed for indirection).
+    Load { base: Expr, index: Expr, elem: u8, dst: Option<LocalId> },
+    /// Store to `base[index]`. `value` is recorded in backing memory only
+    /// when present (index arrays); pure data traffic passes `None`.
+    Store { base: Expr, index: Expr, elem: u8, value: Option<Expr> },
+    /// `ops` retired non-memory operations (1 cycle each).
+    Compute { ops: u32 },
+    /// Counted loop: `for var in (start..end).step_by(step)`.
+    For { var: LocalId, start: Expr, end: Expr, step: i64, body: Vec<Spanned> },
+    /// Two-way branch.
+    If { a: Expr, cmp: Cmp, b: Expr, then_body: Vec<Spanned>, else_body: Vec<Spanned> },
+    /// Call `callee(args...)`; an optional return value lands in `ret`.
+    Call { callee: ProcId, args: Vec<Expr>, ret: Option<LocalId> },
+    /// Return from the current procedure.
+    Ret(Option<Expr>),
+    /// Allocate `bytes` on the process heap; pointer lands in `dst`.
+    /// `policy` models libnuma-style per-allocation placement.
+    Alloc { dst: LocalId, bytes: Expr, kind: AllocKind, policy: Option<PagePolicy> },
+    /// Free a heap pointer.
+    Free { ptr: Expr },
+    /// `realloc(ptr, bytes)`: grows/shrinks a live block; the new pointer
+    /// lands in `dst`. Growing copies the old contents (real line
+    /// traffic).
+    Realloc { dst: LocalId, ptr: Expr, bytes: Expr },
+    /// Allocate `bytes` via `brk` (C++ container style): invisible to the
+    /// profiler's allocation wrappers, so accesses classify as *unknown*.
+    Brk { dst: LocalId, bytes: Expr },
+    /// Allocate `bytes` on the executing thread's stack; automatically
+    /// released when the enclosing procedure frame returns. Accesses
+    /// classify as *stack* data (the paper's §7 extension; its original
+    /// system lumped these into unknown).
+    Salloc { dst: LocalId, bytes: Expr },
+    /// Fork an OpenMP parallel region executing `outlined(args...)` on
+    /// `num_threads` threads (team size defaults to the run configuration).
+    Parallel { outlined: ProcId, args: Vec<Expr>, num_threads: Option<Expr> },
+    /// Statically-scheduled worksharing loop; only valid inside an
+    /// outlined parallel-region procedure.
+    OmpFor { var: LocalId, start: Expr, end: Expr, body: Vec<Spanned> },
+    /// Team-wide barrier inside a parallel region.
+    OmpBarrier,
+    /// Global barrier across all MPI ranks.
+    MpiBarrier,
+    /// Fixed-cost communication (sendrecv etc.); cost only, no data.
+    MpiCost { cycles: u64 },
+    /// Begin/end a named program phase (for per-phase timing à la Table 2).
+    PhaseBegin(&'static str),
+    PhaseEnd(&'static str),
+    /// Load a shared library mid-run (registers its static symbols).
+    DlOpen(ModuleId),
+    /// Unload a shared library (its statics become unmapped).
+    DlClose(ModuleId),
+}
+
+/// A procedure: name, owning module, parameter/local counts, body.
+#[derive(Debug)]
+pub struct Proc {
+    pub name: String,
+    pub module: ModuleId,
+    /// The first `n_params` locals receive call arguments.
+    pub n_params: u16,
+    pub n_locals: u16,
+    pub body: Vec<Spanned>,
+    /// True for compiler-outlined parallel-region bodies (displayed with
+    /// the `$$OL$$`-style suffix the paper shows).
+    pub outlined: bool,
+}
+
+/// A named static variable within a module's data segment.
+#[derive(Debug, Clone)]
+pub struct StaticSym {
+    pub name: String,
+    /// Process-local virtual address (the runtime adds the per-rank base).
+    pub addr: u64,
+    pub bytes: u64,
+}
+
+/// A load module: executable or shared library.
+#[derive(Debug)]
+pub struct ModuleDef {
+    pub name: String,
+    /// Static variables in this module's `.bss`.
+    pub statics: Vec<StaticSym>,
+    /// Loaded at program start (executable & linked libs) or only via
+    /// `DlOpen` (plugins).
+    pub load_at_start: bool,
+}
+
+/// Source-position record for one statement.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LineInfo {
+    pub line: u32,
+    /// Builder-supplied display hint: for an allocation site, the source
+    /// variable name being allocated (what a human reads off the source
+    /// pane); empty otherwise.
+    pub hint: &'static str,
+}
+
+/// A complete program: modules, procedures, statement line maps.
+#[derive(Debug)]
+pub struct Program {
+    pub modules: Vec<ModuleDef>,
+    pub procs: Vec<Proc>,
+    pub entry: ProcId,
+    /// `lines[proc][stmt_uid]` — source info per statement uid.
+    pub(crate) lines: Vec<Vec<LineInfo>>,
+}
+
+impl Program {
+    /// The procedure table entry for `id`.
+    pub fn proc(&self, id: ProcId) -> &Proc {
+        &self.procs[id.0 as usize]
+    }
+
+    /// The module table entry for `id`.
+    pub fn module(&self, id: ModuleId) -> &ModuleDef {
+        &self.modules[id.0 as usize]
+    }
+
+    /// Source info for an instruction address.
+    pub fn line_info(&self, ip: Ip) -> LineInfo {
+        self.lines
+            .get(ip.proc().0 as usize)
+            .and_then(|v| v.get(ip.stmt() as usize))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Human-readable rendering of an IP: `proc@module:line`.
+    pub fn render_ip(&self, ip: Ip) -> String {
+        let p = self.proc(ip.proc());
+        let li = self.line_info(ip);
+        format!("{}:{}", p.name, li.line)
+    }
+}
+
+/// Convenience expression constructors used heavily by workload builders.
+pub mod ex {
+    use super::{Expr, LocalId};
+
+    pub fn c(v: i64) -> Expr {
+        Expr::Const(v)
+    }
+    pub fn l(id: LocalId) -> Expr {
+        Expr::Local(id)
+    }
+    pub fn add(a: impl Into<Expr>, b: impl Into<Expr>) -> Expr {
+        Expr::Add(Box::new(a.into()), Box::new(b.into()))
+    }
+    pub fn sub(a: impl Into<Expr>, b: impl Into<Expr>) -> Expr {
+        Expr::Sub(Box::new(a.into()), Box::new(b.into()))
+    }
+    pub fn mul(a: impl Into<Expr>, b: impl Into<Expr>) -> Expr {
+        Expr::Mul(Box::new(a.into()), Box::new(b.into()))
+    }
+    pub fn div(a: impl Into<Expr>, b: impl Into<Expr>) -> Expr {
+        Expr::Div(Box::new(a.into()), Box::new(b.into()))
+    }
+    pub fn rem(a: impl Into<Expr>, b: impl Into<Expr>) -> Expr {
+        Expr::Rem(Box::new(a.into()), Box::new(b.into()))
+    }
+    pub fn min(a: impl Into<Expr>, b: impl Into<Expr>) -> Expr {
+        Expr::Min(Box::new(a.into()), Box::new(b.into()))
+    }
+    pub fn max(a: impl Into<Expr>, b: impl Into<Expr>) -> Expr {
+        Expr::Max(Box::new(a.into()), Box::new(b.into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ip_roundtrip() {
+        let ip = Ip::new(ModuleId(3), ProcId(17), 0xdead);
+        assert_eq!(ip.module(), ModuleId(3));
+        assert_eq!(ip.proc(), ProcId(17));
+        assert_eq!(ip.stmt(), 0xdead);
+    }
+
+    #[test]
+    fn ip_ordering_groups_by_module_then_proc() {
+        let a = Ip::new(ModuleId(0), ProcId(1), 999);
+        let b = Ip::new(ModuleId(0), ProcId(2), 0);
+        let c = Ip::new(ModuleId(1), ProcId(0), 0);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn expr_from_impls() {
+        let e: Expr = 5i64.into();
+        assert!(matches!(e, Expr::Const(5)));
+        let e: Expr = LocalId(2).into();
+        assert!(matches!(e, Expr::Local(LocalId(2))));
+    }
+}

@@ -1,0 +1,148 @@
+//! # dcp-runtime — simulated parallel-program runtime
+//!
+//! The execution substrate for the `memgaze` data-centric profiler
+//! (reproduction of Liu & Mellor-Crummey, SC'13). The paper's profiler
+//! monitors real MPI+OpenMP binaries; this crate provides the synthetic
+//! equivalent — programs written in a small structured IR and interpreted
+//! on the [`dcp_machine`] NUMA simulator:
+//!
+//! * [`ir`] / [`build`] — the program representation and builder DSL:
+//!   procedures, loops, loads/stores with explicit strides and
+//!   indirection, malloc/calloc/free, OpenMP parallel regions and
+//!   worksharing, MPI barriers, phases, `dlopen`.
+//! * [`alloc`] — the per-process heap allocator the profiler wraps.
+//! * [`exec`] / [`sched`] — the interpreter and the min-clock node
+//!   scheduler that interleaves threads deterministically.
+//! * [`par`] — the world runner mapping MPI ranks onto nodes.
+//! * [`observer`] — the monitoring surface (PMU samples, allocation
+//!   hooks, module events) a profiler attaches to; hook return values are
+//!   overhead cycles charged to the monitored thread, which is how
+//!   measurement overhead becomes observable in simulated time.
+//! * [`layout`] — the global address-space layout.
+
+pub mod alloc;
+pub mod build;
+pub mod exec;
+pub mod ir;
+pub mod layout;
+pub mod observer;
+pub mod par;
+pub mod sched;
+
+pub use build::ProgramBuilder;
+pub use exec::{CostModel, PhaseRecord};
+pub use ir::{Ip, LocalId, ModuleId, ProcId, Program};
+pub use observer::{
+    AllocEvent, FrameInfo, FreeEvent, ModuleEvent, NodeObserver, NullObserver, ThreadView,
+};
+pub use par::{run_world, NodeReport, WorldConfig, WorldReport};
+pub use sched::{NodeSim, Quiescence, SimConfig};
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use crate::build::ProgramBuilder;
+    use crate::ir::ex::*;
+    use crate::ir::Program;
+    use crate::observer::NullObserver;
+    use crate::par::{run_world, WorldConfig};
+    use crate::sched::SimConfig;
+    use dcp_machine::MachineConfig;
+
+    /// A randomized-but-valid program: a few arrays, nested loops with
+    /// random strides, an optional parallel region and call chain.
+    fn build_random(
+        sizes: &[u8],
+        strides: &[i64],
+        iters: i64,
+        threads: u32,
+        use_calls: bool,
+    ) -> Program {
+        let mut b = ProgramBuilder::new("rand");
+        let helper = b.proc("helper", 2, |p| {
+            let (buf, i) = (p.param(0), p.param(1));
+            p.load(l(buf), l(i), 8);
+            p.ret(None);
+        });
+        let region = b.outlined("region", 2, |p| {
+            let (buf, n) = (p.param(0), p.param(1));
+            p.omp_for(c(0), l(n), |p, i| p.store(l(buf), l(i), 8));
+        });
+        let sizes = sizes.to_vec();
+        let strides = strides.to_vec();
+        let main = b.proc("main", 0, |p| {
+            let mut handles = Vec::new();
+            for &sz in &sizes {
+                handles.push(p.malloc(c(1i64 << (10 + (sz % 8))), "arr"));
+            }
+            for (k, &st) in strides.iter().enumerate() {
+                let h = handles[k % handles.len()];
+                let elems = 128i64;
+                p.for_(c(0), c(iters), |p, i| {
+                    if use_calls && k == 0 {
+                        p.call(helper, vec![l(h), rem(mul(l(i), c(st.max(1))), c(elems))]);
+                    } else {
+                        p.load(l(h), rem(mul(l(i), c(st.max(1))), c(elems)), 8);
+                    }
+                });
+            }
+            if threads > 1 {
+                p.parallel_n(region, vec![l(handles[0]), c(64)], c(threads as i64));
+            }
+            for &h in &handles {
+                p.free(l(h));
+            }
+        });
+        b.build(main)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+        /// Any generated program terminates with conserved access counts:
+        /// loads+stores equal the statically predictable totals, and two
+        /// runs agree exactly (determinism through the whole stack).
+        #[test]
+        fn runs_terminate_deterministically(
+            sizes in prop::collection::vec(0u8..8, 1..4),
+            strides in prop::collection::vec(1i64..200, 1..4),
+            iters in 1i64..300,
+            threads in 1u32..4,
+            use_calls in prop::bool::ANY,
+        ) {
+            let r1 = {
+                let prog = build_random(&sizes, &strides, iters, threads, use_calls);
+                run_world(&prog, &WorldConfig::single_node(
+                    SimConfig::new(MachineConfig::tiny_test()), 1), |_| NullObserver)
+            };
+            let r2 = {
+                let prog = build_random(&sizes, &strides, iters, threads, use_calls);
+                run_world(&prog, &WorldConfig::single_node(
+                    SimConfig::new(MachineConfig::tiny_test()), 1), |_| NullObserver)
+            };
+            prop_assert_eq!(r1.wall, r2.wall);
+            prop_assert_eq!(r1.nodes[0].ops, r2.nodes[0].ops);
+            let s = &r1.nodes[0].machine_stats;
+            let expected_loads = strides.len() as u64 * iters as u64;
+            prop_assert_eq!(s.loads, expected_loads);
+            let expected_stores = if threads > 1 { 64 } else { 0 };
+            prop_assert_eq!(s.stores, expected_stores);
+        }
+
+        /// Wall time is monotone in work: adding iterations never makes
+        /// the run faster.
+        #[test]
+        fn wall_is_monotone_in_iterations(
+            iters in 10i64..200,
+            extra in 1i64..200,
+        ) {
+            let wall = |n| {
+                let prog = build_random(&[3], &[7], n, 1, false);
+                run_world(&prog, &WorldConfig::single_node(
+                    SimConfig::new(MachineConfig::tiny_test()), 1), |_| NullObserver).wall
+            };
+            prop_assert!(wall(iters + extra) > wall(iters));
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! The monitoring surface the runtime exposes to a profiler.
+//!
+//! A real data-centric profiler interposes on a process at four points:
+//! PMU sample interrupts, allocator entry/exit (wrapped `malloc`/`free`),
+//! load-module events (`dlopen`), and thread lifetime. [`NodeObserver`]
+//! is exactly that surface. Crucially, the `on_*` hooks return the number
+//! of cycles the hook itself consumed — the runtime adds them to the
+//! monitored thread's clock, which is how measurement overhead (Table 1
+//! of the paper, and the §4.1.3 allocation-tracking ablation) becomes an
+//! observable quantity in simulated time.
+
+use dcp_machine::{CoreId, Cycles, Sample};
+
+use crate::ir::{Ip, ModuleDef, ModuleId, ProcId};
+
+/// One call-stack frame as seen by an unwinder, root to leaf.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameInfo {
+    /// The procedure this frame executes.
+    pub proc: ProcId,
+    /// The call-site IP in the *parent* frame (`None` for a thread root).
+    pub call_site: Option<Ip>,
+    /// Unique-per-thread frame token. Two unwinds that observe equal
+    /// tokens at the same depth are looking at the *same live frame*,
+    /// which is what makes trampoline-style incremental unwinding sound.
+    pub token: u64,
+}
+
+/// A read-only view of the executing thread at a hook point.
+#[derive(Debug)]
+pub struct ThreadView<'a> {
+    /// MPI rank (global).
+    pub rank: u32,
+    /// Thread index within the rank (0 = rank main / OpenMP master;
+    /// worker `i` of any parallel region is thread `i`).
+    pub thread: u32,
+    /// Hardware thread the software thread is pinned to.
+    pub core: CoreId,
+    /// The thread's current clock.
+    pub clock: Cycles,
+    /// Call stack, root first. Walking it models unwinding; profilers
+    /// should charge themselves per frame visited.
+    pub frames: &'a [FrameInfo],
+    /// IP of the statement being executed (the "signal context" PC).
+    pub leaf_ip: Ip,
+}
+
+/// A wrapped allocation (`malloc`/`calloc` family).
+#[derive(Debug, Clone, Copy)]
+pub struct AllocEvent {
+    /// Global virtual address of the new block.
+    pub addr: u64,
+    /// Requested bytes.
+    pub bytes: u64,
+    /// True for `calloc` (allocating thread zero-fills).
+    pub zeroed: bool,
+    /// IP of the allocation site.
+    pub ip: Ip,
+}
+
+/// A wrapped `free`.
+#[derive(Debug, Clone, Copy)]
+pub struct FreeEvent {
+    pub addr: u64,
+    /// Class-rounded size of the freed block.
+    pub bytes: u64,
+    pub ip: Ip,
+}
+
+/// Load-module lifecycle, as a profiler sees it via `dl_iterate_phdr` /
+/// audit hooks.
+#[derive(Debug)]
+pub enum ModuleEvent<'a> {
+    /// Module mapped into the rank's address space. `static_base` is the
+    /// global address of its first byte of static data; symbol addresses
+    /// in `def` are process-local and must be rebased by the consumer.
+    Loaded { module: ModuleId, def: &'a ModuleDef, rank: u32 },
+    /// Module unmapped (`dlclose`).
+    Unloaded { module: ModuleId, rank: u32 },
+}
+
+/// A profiler (or the null profiler) attached to one node's execution.
+///
+/// Hook return values are *overhead cycles* charged to the hooked thread.
+pub trait NodeObserver: Send {
+    /// PMU sample delivered on a thread (the "signal handler").
+    fn on_sample(&mut self, sample: &Sample, view: &ThreadView<'_>) -> Cycles {
+        let _ = (sample, view);
+        0
+    }
+
+    /// Wrapped allocation.
+    fn on_alloc(&mut self, ev: &AllocEvent, view: &ThreadView<'_>) -> Cycles {
+        let _ = (ev, view);
+        0
+    }
+
+    /// Wrapped free.
+    fn on_free(&mut self, ev: &FreeEvent, view: &ThreadView<'_>) -> Cycles {
+        let _ = (ev, view);
+        0
+    }
+
+    /// Load-module event.
+    fn on_module(&mut self, ev: &ModuleEvent<'_>) {
+        let _ = ev;
+    }
+
+    /// A thread finished; `clock` is its final time.
+    fn on_thread_exit(&mut self, rank: u32, thread: u32, clock: Cycles) {
+        let _ = (rank, thread, clock);
+    }
+}
+
+/// Monitoring disabled: every hook is a no-op with zero cost. Baseline
+/// runs (the "execution time" column of Table 1) use this.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl NodeObserver for NullObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_observer_charges_nothing() {
+        let mut o = NullObserver;
+        let ev = AllocEvent { addr: 1, bytes: 2, zeroed: false, ip: Ip(0) };
+        let view = ThreadView {
+            rank: 0,
+            thread: 0,
+            core: CoreId(0),
+            clock: 0,
+            frames: &[],
+            leaf_ip: Ip(0),
+        };
+        assert_eq!(o.on_alloc(&ev, &view), 0);
+        assert_eq!(o.on_free(&FreeEvent { addr: 1, bytes: 2, ip: Ip(0) }, &view), 0);
+    }
+}

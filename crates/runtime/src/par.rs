@@ -1,0 +1,596 @@
+//! The world runner: MPI ranks distributed over simulated nodes.
+//!
+//! Each node is an independent [`NodeSim`] (its own machine); nodes only
+//! couple at MPI barriers. The world loop runs every node to quiescence
+//! (all threads done or barrier-blocked) — in parallel with rayon, which
+//! is sound because nodes share nothing — then resolves the barrier by
+//! aligning all waiting ranks to the global maximum clock. The result is
+//! bit-for-bit deterministic regardless of host parallelism.
+
+use dcp_machine::Cycles;
+use rayon::prelude::*;
+
+use crate::exec::PhaseRecord;
+use crate::ir::Program;
+use crate::observer::NodeObserver;
+use crate::sched::{NodeSim, Quiescence, SimConfig};
+
+/// A world: how many ranks, and how they map onto nodes.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    pub sim: SimConfig,
+    /// Total MPI ranks.
+    pub ranks: u32,
+    /// Ranks co-located per node (each node is one [`dcp_machine::Machine`]).
+    pub ranks_per_node: u32,
+}
+
+impl WorldConfig {
+    /// Single-node world with `ranks` ranks.
+    pub fn single_node(sim: SimConfig, ranks: u32) -> Self {
+        Self { sim, ranks, ranks_per_node: ranks.max(1) }
+    }
+}
+
+/// Post-run summary for one node.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    pub node: usize,
+    /// Node wall time (max thread clock).
+    pub wall: Cycles,
+    pub machine_stats: dcp_machine::access::MachineStats,
+    /// DRAM accesses per NUMA domain — the bandwidth-demand picture.
+    pub dram_histogram: Vec<u64>,
+    pub ops: u64,
+}
+
+/// Everything a run produces.
+#[derive(Debug)]
+pub struct WorldReport<O> {
+    /// Global wall time (max over nodes).
+    pub wall: Cycles,
+    pub nodes: Vec<NodeReport>,
+    pub phases: Vec<PhaseRecord>,
+    /// One observer per node, in node order (profilers harvest these).
+    pub observers: Vec<O>,
+}
+
+impl<O> WorldReport<O> {
+    /// Wall-clock duration of a named phase: latest end minus earliest
+    /// begin across all ranks (phases are assumed globally aligned, as in
+    /// the paper's init/setup/solve decomposition).
+    pub fn phase_wall(&self, name: &str) -> Cycles {
+        let mut begin = Cycles::MAX;
+        let mut end = 0;
+        for p in &self.phases {
+            if p.name == name {
+                begin = begin.min(p.begin);
+                end = end.max(p.end);
+            }
+        }
+        assert!(begin != Cycles::MAX, "phase {name:?} never recorded");
+        end - begin
+    }
+
+    /// All distinct phase names in first-appearance order.
+    pub fn phase_names(&self) -> Vec<&'static str> {
+        let mut names = Vec::new();
+        for p in &self.phases {
+            if !names.contains(&p.name) {
+                names.push(p.name);
+            }
+        }
+        names
+    }
+}
+
+/// Run `program` across the world. `make_observer` builds one observer
+/// per node (node index argument); observers are returned in the report.
+pub fn run_world<O>(
+    program: &Program,
+    cfg: &WorldConfig,
+    make_observer: impl Fn(usize) -> O,
+) -> WorldReport<O>
+where
+    O: NodeObserver,
+{
+    assert!(cfg.ranks > 0 && cfg.ranks_per_node > 0);
+    let node_count = cfg.ranks.div_ceil(cfg.ranks_per_node) as usize;
+    let mut nodes: Vec<NodeSim<'_, O>> = (0..node_count)
+        .map(|n| {
+            let lo = n as u32 * cfg.ranks_per_node;
+            let hi = (lo + cfg.ranks_per_node).min(cfg.ranks);
+            let ranks: Vec<u32> = (lo..hi).collect();
+            NodeSim::new(program, cfg.sim.clone(), &ranks, cfg.ranks, make_observer(n))
+        })
+        .collect();
+
+    loop {
+        // Run every node to quiescence. Nodes are fully independent
+        // between barriers, so data-parallel execution is deterministic.
+        let qs: Vec<Quiescence> = nodes
+            .par_iter_mut()
+            .map(|node| node.run_until_quiescent())
+            .collect();
+
+        let live: usize = nodes.iter().map(|n| n.live_mains()).sum();
+        if live == 0 {
+            break;
+        }
+        let mut waiting = 0;
+        let mut gmax = 0;
+        for q in &qs {
+            if let Quiescence::MpiBlocked { waiting: w, max_clock } = q {
+                waiting += w;
+                gmax = gmax.max(*max_clock);
+            }
+        }
+        assert!(
+            waiting == live && waiting == cfg.ranks as usize,
+            "deadlock (MPI barrier mismatch): {waiting} of {} ranks at the barrier, {live} alive",
+            cfg.ranks
+        );
+        for node in &mut nodes {
+            node.mpi_release(gmax);
+        }
+    }
+
+    let mut reports = Vec::with_capacity(node_count);
+    let mut phases = Vec::new();
+    let mut observers = Vec::with_capacity(node_count);
+    let mut wall = 0;
+    for (i, node) in nodes.into_iter().enumerate() {
+        wall = wall.max(node.max_clock());
+        phases.extend_from_slice(node.phases());
+        reports.push(NodeReport {
+            node: i,
+            wall: node.max_clock(),
+            machine_stats: node.machine().stats().clone(),
+            dram_histogram: node.machine().dram_histogram(),
+            ops: node.total_ops(),
+        });
+        observers.push(node.into_observer());
+    }
+    WorldReport { wall, nodes: reports, phases, observers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ProgramBuilder;
+    use crate::ir::ex::*;
+    use crate::ir::{Cmp, Expr};
+    use crate::observer::{AllocEvent, FreeEvent, NodeObserver, NullObserver, ThreadView};
+    use dcp_machine::{MachineConfig, MarkedEvent, PmuConfig, Sample};
+
+    fn tiny_sim() -> SimConfig {
+        SimConfig::new(MachineConfig::tiny_test())
+    }
+
+    #[test]
+    fn straight_line_program_completes() {
+        let mut b = ProgramBuilder::new("t");
+        let main = b.proc("main", 0, |p| {
+            let buf = p.malloc(c(4096), "buf");
+            p.for_(c(0), c(64), |p, i| {
+                p.store(l(buf), l(i), 8);
+            });
+            p.free(l(buf));
+        });
+        let prog = b.build(main);
+        let report =
+            run_world(&prog, &WorldConfig::single_node(tiny_sim(), 1), |_| NullObserver);
+        assert!(report.wall > 0);
+        assert_eq!(report.nodes.len(), 1);
+        assert_eq!(report.nodes[0].machine_stats.stores, 64);
+    }
+
+    #[test]
+    fn call_and_return_values_flow() {
+        let mut b = ProgramBuilder::new("t");
+        let double = b.proc("double", 1, |p| {
+            let x = p.param(0);
+            p.ret(Some(add(mul(l(x), c(2)), c(0))));
+        });
+        let mut probe_addr = 0;
+        let main = b.proc("main", 0, |p| {
+            let v = p.call_ret(double, vec![c(21)]);
+            // Store the result as a value so the test can read it back.
+            let sink = p.malloc(c(64), "sink");
+            p.store_val(l(sink), c(0), 8, l(v));
+            probe_addr = 0; // documented: heap base of rank 0
+        });
+        let prog = b.build(main);
+        let _ = probe_addr;
+        // Run and verify via machine stats that the store happened (one
+        // store, value-path exercised without panic).
+        let report =
+            run_world(&prog, &WorldConfig::single_node(tiny_sim(), 1), |_| NullObserver);
+        assert_eq!(report.nodes[0].machine_stats.stores, 1);
+    }
+
+    #[test]
+    fn nested_loops_and_if() {
+        let mut b = ProgramBuilder::new("t");
+        let main = b.proc("main", 0, |p| {
+            let buf = p.malloc(c(8192), "buf");
+            p.for_(c(0), c(8), |p, i| {
+                p.for_(c(0), c(8), |p, j| {
+                    p.if_(
+                        l(j),
+                        Cmp::Lt,
+                        c(4),
+                        |p| p.load(l(buf), add(mul(l(i), c(8)), l(j)), 8),
+                        |p| p.compute(1),
+                    );
+                });
+            });
+        });
+        let prog = b.build(main);
+        let report =
+            run_world(&prog, &WorldConfig::single_node(tiny_sim(), 1), |_| NullObserver);
+        assert_eq!(report.nodes[0].machine_stats.loads, 32, "half the 64 iterations load");
+    }
+
+    #[test]
+    fn parallel_region_runs_all_threads() {
+        let mut b = ProgramBuilder::new("t");
+        let region = b.outlined("work", 1, |p| {
+            let buf = p.param(0);
+            p.omp_for(c(0), c(400), |p, i| {
+                p.store(l(buf), l(i), 8);
+            });
+        });
+        let main = b.proc("main", 0, |p| {
+            let buf = p.malloc(c(8 * 400), "buf");
+            p.parallel(region, vec![l(buf)]);
+        });
+        let prog = b.build(main);
+        let mut cfg = tiny_sim();
+        cfg.omp_threads = 4;
+        let report = run_world(&prog, &WorldConfig::single_node(cfg, 1), |_| NullObserver);
+        // All 400 iterations execute exactly once across the team.
+        assert_eq!(report.nodes[0].machine_stats.stores, 400);
+    }
+
+    #[test]
+    fn omp_for_partitions_disjointly() {
+        // Each thread writes a distinct value to its chunk; serial check
+        // via a second pass would need value reads, so instead verify op
+        // counts: with 4 threads and 100 iterations, exactly 100 stores.
+        let mut b = ProgramBuilder::new("t");
+        let region = b.outlined("fill", 1, |p| {
+            let buf = p.param(0);
+            p.omp_for(c(0), c(100), |p, i| p.store_val(l(buf), l(i), 8, Expr::ThreadId));
+        });
+        let main = b.proc("main", 0, |p| {
+            let buf = p.malloc(c(800), "buf");
+            p.parallel(region, vec![l(buf)]);
+        });
+        let prog = b.build(main);
+        let mut cfg = tiny_sim();
+        cfg.omp_threads = 4;
+        let report = run_world(&prog, &WorldConfig::single_node(cfg, 1), |_| NullObserver);
+        assert_eq!(report.nodes[0].machine_stats.stores, 100);
+    }
+
+    #[test]
+    fn omp_barrier_aligns_team() {
+        let mut b = ProgramBuilder::new("t");
+        let region = b.outlined("skewed", 1, |p| {
+            let buf = p.param(0);
+            // Thread 0 does much more work before the barrier.
+            p.if_(
+                Expr::ThreadId,
+                Cmp::Eq,
+                c(0),
+                |p| p.compute(50_000),
+                |p| p.compute(10),
+            );
+            p.omp_barrier();
+            p.omp_for(c(0), c(4), |p, i| p.store(l(buf), l(i), 8));
+        });
+        let main = b.proc("main", 0, |p| {
+            let buf = p.malloc(c(64), "buf");
+            p.parallel(region, vec![l(buf)]);
+        });
+        let prog = b.build(main);
+        let mut cfg = tiny_sim();
+        cfg.omp_threads = 4;
+        let report = run_world(&prog, &WorldConfig::single_node(cfg, 1), |_| NullObserver);
+        // Wall must reflect the slow thread's pre-barrier work.
+        assert!(report.wall > 50_000);
+    }
+
+    #[test]
+    fn mpi_barrier_aligns_ranks_across_nodes() {
+        let mut b = ProgramBuilder::new("t");
+        let main = b.proc("main", 0, |p| {
+            // Rank 1 works 100k cycles, rank 0 works 10.
+            p.if_(Expr::RankId, Cmp::Eq, c(1), |p| p.compute(100_000), |p| p.compute(10));
+            p.mpi_barrier();
+            p.compute(5);
+        });
+        let prog = b.build(main);
+        let cfg = WorldConfig { sim: tiny_sim(), ranks: 2, ranks_per_node: 1 };
+        let report = run_world(&prog, &cfg, |_| NullObserver);
+        assert_eq!(report.nodes.len(), 2);
+        // Both nodes end past the barrier release (>= 100k).
+        for n in &report.nodes {
+            assert!(n.wall > 100_000, "node {} wall {}", n.node, n.wall);
+        }
+    }
+
+    #[test]
+    fn phases_are_recorded_and_measured() {
+        let mut b = ProgramBuilder::new("t");
+        let main = b.proc("main", 0, |p| {
+            p.phase("setup", |p| p.compute(1_000));
+            p.phase("solve", |p| p.compute(9_000));
+        });
+        let prog = b.build(main);
+        let report =
+            run_world(&prog, &WorldConfig::single_node(tiny_sim(), 1), |_| NullObserver);
+        assert_eq!(report.phase_names(), vec!["setup", "solve"]);
+        assert!(report.phase_wall("solve") >= 9_000);
+        assert!(report.phase_wall("setup") >= 1_000);
+        assert!(report.phase_wall("setup") < report.phase_wall("solve"));
+    }
+
+    /// Observer that records events for assertions.
+    #[derive(Default)]
+    struct Recorder {
+        samples: Vec<(Sample, u32, u32, usize)>, // sample, rank, thread, depth
+        allocs: Vec<AllocEvent>,
+        frees: Vec<FreeEvent>,
+        modules: Vec<String>,
+    }
+
+    impl NodeObserver for Recorder {
+        fn on_sample(&mut self, s: &Sample, v: &ThreadView<'_>) -> u64 {
+            self.samples.push((*s, v.rank, v.thread, v.frames.len()));
+            0
+        }
+        fn on_alloc(&mut self, e: &AllocEvent, _v: &ThreadView<'_>) -> u64 {
+            self.allocs.push(*e);
+            0
+        }
+        fn on_free(&mut self, e: &FreeEvent, _v: &ThreadView<'_>) -> u64 {
+            self.frees.push(*e);
+            0
+        }
+        fn on_module(&mut self, ev: &crate::observer::ModuleEvent<'_>) {
+            if let crate::observer::ModuleEvent::Loaded { def, .. } = ev {
+                self.modules.push(def.name.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_observer_sees_memory_samples_with_context() {
+        let mut b = ProgramBuilder::new("t");
+        let kernel = b.proc("kernel", 1, |p| {
+            let buf = p.param(0);
+            p.for_(c(0), c(5_000), |p, i| {
+                p.load(l(buf), rem(l(i), c(512)), 8);
+            });
+        });
+        let main = b.proc("main", 0, |p| {
+            let buf = p.calloc(c(4096), "buf");
+            p.call(kernel, vec![l(buf)]);
+        });
+        let prog = b.build(main);
+        let mut cfg = tiny_sim();
+        cfg.pmu = Some(PmuConfig::Ibs { period: 100, skid: 2 });
+        let report = run_world(&prog, &WorldConfig::single_node(cfg, 1), |_| Recorder::default());
+        let rec = &report.observers[0];
+        assert!(!rec.samples.is_empty(), "IBS must deliver samples");
+        // Samples inside `kernel` see a two-deep stack (main -> kernel).
+        let with_mem: Vec<_> = rec.samples.iter().filter(|(s, ..)| s.ea.is_some()).collect();
+        assert!(!with_mem.is_empty());
+        assert!(with_mem.iter().any(|(_, _, _, depth)| *depth == 2));
+        // Alloc event was observed with the calloc flag.
+        assert_eq!(rec.allocs.len(), 1);
+        assert!(rec.allocs[0].zeroed);
+        assert_eq!(rec.modules, vec!["t".to_string()]);
+    }
+
+    #[test]
+    fn master_calloc_places_pages_on_one_domain() {
+        // The NUMA pathology in miniature: master callocs and the region
+        // reads; every page homes on the master's domain, so the other
+        // domain's threads go remote.
+        let mut b = ProgramBuilder::new("t");
+        let region = b.outlined("read", 1, |p| {
+            let buf = p.param(0);
+            p.omp_for(c(0), c(4096), |p, i| p.load(l(buf), l(i), 8));
+        });
+        let main = b.proc("main", 0, |p| {
+            let buf = p.calloc(c(8 * 4096), "buf");
+            p.parallel(region, vec![l(buf)]);
+        });
+        let prog = b.build(main);
+        let mut cfg = tiny_sim();
+        cfg.omp_threads = 4; // tiny_test has 4 hw threads over 2 domains
+        let report = run_world(&prog, &WorldConfig::single_node(cfg, 1), |_| NullObserver);
+        let s = &report.nodes[0].machine_stats;
+        assert!(
+            s.remote_dram + s.remote_l3_hits > 0,
+            "threads on domain 1 must hit remote data: {s:?}"
+        );
+        // All DRAM demand lands on domain 0 (master's).
+        let h = &report.nodes[0].dram_histogram;
+        assert!(h[0] > 0);
+        assert!(h[0] > h[1] * 4, "dram demand skewed to master domain: {h:?}");
+    }
+
+    #[test]
+    fn marked_event_pmu_only_samples_remote() {
+        let mut b = ProgramBuilder::new("t");
+        let region = b.outlined("read", 1, |p| {
+            let buf = p.param(0);
+            // Line-stride reads (one element per 64-byte line): too fast
+            // for prefetch to hide the remote latency completely.
+            p.omp_for(c(0), c(8192), |p, i| p.load(l(buf), mul(l(i), c(8)), 8));
+        });
+        let main = b.proc("main", 0, |p| {
+            let buf = p.calloc(c(8 * 8 * 8192), "buf");
+            p.parallel(region, vec![l(buf)]);
+        });
+        let prog = b.build(main);
+        let mut cfg = tiny_sim();
+        cfg.omp_threads = 4;
+        cfg.pmu = Some(PmuConfig::Marked {
+            event: MarkedEvent::DataFromRmem,
+            threshold: 8,
+            skid: 1,
+        });
+        let report = run_world(&prog, &WorldConfig::single_node(cfg, 1), |_| Recorder::default());
+        let rec = &report.observers[0];
+        assert!(!rec.samples.is_empty(), "remote traffic must produce marked samples");
+        for (s, ..) in &rec.samples {
+            assert_eq!(s.source, Some(dcp_machine::DataSource::RemoteDram));
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let build = || {
+            let mut b = ProgramBuilder::new("t");
+            let region = b.outlined("w", 1, |p| {
+                let buf = p.param(0);
+                p.omp_for(c(0), c(2000), |p, i| {
+                    p.store(l(buf), l(i), 8);
+                    p.load(l(buf), rem(mul(l(i), c(7)), c(2000)), 8);
+                });
+            });
+            let main = b.proc("main", 0, |p| {
+                let buf = p.calloc(c(16000), "buf");
+                p.parallel(region, vec![l(buf)]);
+                p.free(l(buf));
+            });
+            b.build(main)
+        };
+        let mut cfg = tiny_sim();
+        cfg.omp_threads = 3;
+        cfg.pmu = Some(PmuConfig::Ibs { period: 64, skid: 3 });
+        let p1 = build();
+        let p2 = build();
+        let r1 = run_world(&p1, &WorldConfig::single_node(cfg.clone(), 1), |_| Recorder::default());
+        let r2 = run_world(&p2, &WorldConfig::single_node(cfg, 1), |_| Recorder::default());
+        assert_eq!(r1.wall, r2.wall);
+        assert_eq!(r1.observers[0].samples.len(), r2.observers[0].samples.len());
+        for (a, b) in r1.observers[0].samples.iter().zip(&r2.observers[0].samples) {
+            assert_eq!(a.0.precise_ip, b.0.precise_ip);
+            assert_eq!(a.0.ea, b.0.ea);
+        }
+    }
+
+    #[test]
+    fn observer_overhead_slows_simulated_time() {
+        struct Expensive;
+        impl NodeObserver for Expensive {
+            fn on_alloc(&mut self, _: &AllocEvent, _: &ThreadView<'_>) -> u64 {
+                50_000
+            }
+        }
+        let build = || {
+            let mut b = ProgramBuilder::new("t");
+            let main = b.proc("main", 0, |p| {
+                p.for_(c(0), c(20), |p, _| {
+                    let a = p.malloc(c(64), "tmp");
+                    p.free(l(a));
+                });
+            });
+            b.build(main)
+        };
+        let p1 = build();
+        let p2 = build();
+        let base = run_world(&p1, &WorldConfig::single_node(tiny_sim(), 1), |_| NullObserver);
+        let slow = run_world(&p2, &WorldConfig::single_node(tiny_sim(), 1), |_| Expensive);
+        assert!(slow.wall > base.wall + 19 * 50_000);
+    }
+
+    #[test]
+    fn brk_allocations_complete_without_alloc_events() {
+        let mut b = ProgramBuilder::new("t");
+        let main = b.proc("main", 0, |p| {
+            let v = p.brk_alloc(c(4096));
+            p.for_(c(0), c(16), |p, i| p.store(l(v), l(i), 8));
+        });
+        let prog = b.build(main);
+        let report =
+            run_world(&prog, &WorldConfig::single_node(tiny_sim(), 1), |_| Recorder::default());
+        assert!(report.observers[0].allocs.is_empty(), "brk is invisible to wrappers");
+        assert_eq!(report.nodes[0].machine_stats.stores, 16);
+    }
+
+    #[test]
+    fn stack_allocations_are_frame_scoped() {
+        let mut b = ProgramBuilder::new("t");
+        let leaf = b.proc("leaf", 0, |p| {
+            // 1 KiB local array, touched, released at return.
+            let local = p.stack_alloc(c(1024));
+            p.for_(c(0), c(16), |p, i| p.store(l(local), l(i), 8));
+            p.ret(None);
+        });
+        let main = b.proc("main", 0, |p| {
+            // Repeated calls reuse the same stack addresses (frame pop
+            // restores the cursor), so the touched page set stays tiny.
+            p.for_(c(0), c(100), |p, _| p.call(leaf, vec![]));
+        });
+        let prog = b.build(main);
+        let report =
+            run_world(&prog, &WorldConfig::single_node(tiny_sim(), 1), |_| NullObserver);
+        let s = &report.nodes[0].machine_stats;
+        assert_eq!(s.stores, 1600);
+        // All 1600 stores hit the same 1 KiB: after the first call the
+        // lines are L1-resident.
+        assert!(s.l1_hits > 1400, "stack reuse must stay cached: {s:?}");
+    }
+
+    #[test]
+    fn worker_stacks_are_disjoint() {
+        let mut b = ProgramBuilder::new("t");
+        let region = b.outlined("w", 0, |p| {
+            let local = p.stack_alloc(c(4096));
+            p.omp_for(c(0), c(64), |p, i| p.store(l(local), rem(l(i), c(64)), 8));
+        });
+        let main = b.proc("main", 0, |p| p.parallel(region, vec![]));
+        let prog = b.build(main);
+        let mut cfg = tiny_sim();
+        cfg.omp_threads = 4;
+        let report = run_world(&prog, &WorldConfig::single_node(cfg, 1), |_| NullObserver);
+        // 4 threads x 4096-byte locals on distinct windows: each thread
+        // first-touches its own page (4 pages placed, not 1).
+        assert_eq!(report.nodes[0].machine_stats.stores, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "stack overflow")]
+    fn stack_overflow_is_detected() {
+        let mut b = ProgramBuilder::new("t");
+        let main = b.proc("main", 0, |p| {
+            p.for_(c(0), c(10_000), |p, _| {
+                // Allocations in a loop within ONE frame accumulate until
+                // the window blows.
+                let x = p.stack_alloc(c(1 << 16));
+                p.store(l(x), c(0), 8);
+            });
+        });
+        let prog = b.build(main);
+        let _ = run_world(&prog, &WorldConfig::single_node(tiny_sim(), 1), |_| NullObserver);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn mismatched_mpi_barriers_panic() {
+        let mut b = ProgramBuilder::new("t");
+        let main = b.proc("main", 0, |p| {
+            p.if_(Expr::RankId, Cmp::Eq, c(0), |p| p.mpi_barrier(), |p| p.compute(1));
+        });
+        let prog = b.build(main);
+        let cfg = WorldConfig { sim: tiny_sim(), ranks: 2, ranks_per_node: 2 };
+        let _ = run_world(&prog, &cfg, |_| NullObserver);
+    }
+}

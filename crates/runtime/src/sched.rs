@@ -1,0 +1,973 @@
+//! The node scheduler: event-driven interleaved execution of every
+//! software thread hosted on one simulated node.
+//!
+//! Threads are stepped in global-time order (min-clock first, tie-broken
+//! by thread id) in quanta of a few hundred cycles. This gives a
+//! deterministic interleaving that is temporally faithful enough for the
+//! DRAM-controller queueing model to exhibit bandwidth contention — the
+//! phenomenon behind the paper's NUMA case studies.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dcp_machine::{
+    AccessKind, Cycles, Machine, MachineConfig, Pmu, PmuConfig, Sample,
+};
+use rustc_hash::FxHashMap;
+
+use crate::alloc::{HeapAllocator, STACK_BASE, STACK_WINDOW};
+use crate::exec::{eval, eval_cmp, Ctrl, EvalCtx, Exit, PhaseRecord, Status, ThreadState};
+use crate::ir::{AllocKind, Ip, ProcId, Program, Spanned, Stmt};
+use crate::layout;
+use crate::observer::{AllocEvent, FreeEvent, ModuleEvent, NodeObserver, ThreadView};
+pub use crate::exec::CostModel;
+use dcp_machine::{CoreId, PagePolicy, PageTable};
+
+/// Configuration of one simulation run (shared by every node).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    pub machine: MachineConfig,
+    /// PMU programming; `None` disables sampling entirely (baseline runs).
+    pub pmu: Option<PmuConfig>,
+    /// Base seed for PMU jitter (mixed with rank/thread ids).
+    pub pmu_seed: u64,
+    pub cost: CostModel,
+    /// Default OpenMP team size per rank.
+    pub omp_threads: u32,
+    /// Scheduler quantum in cycles: how long one thread runs before the
+    /// next-oldest thread gets a turn.
+    pub quantum: Cycles,
+    /// Process-wide default NUMA placement policy — what launching the
+    /// program under `numactl` sets. `libnuma`-style per-allocation
+    /// policies (on `Stmt::Alloc`) override it per range.
+    pub default_policy: PagePolicy,
+}
+
+impl SimConfig {
+    /// A config with everything defaulted around the given machine.
+    pub fn new(machine: MachineConfig) -> Self {
+        Self {
+            machine,
+            pmu: None,
+            pmu_seed: 0x5eed,
+            cost: CostModel::default(),
+            omp_threads: 1,
+            quantum: 400,
+            default_policy: PagePolicy::FirstTouch,
+        }
+    }
+}
+
+/// Why `run_until_quiescent` stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quiescence {
+    /// Every thread finished.
+    AllDone,
+    /// Every still-live rank main is blocked at an MPI barrier.
+    MpiBlocked {
+        /// Number of rank mains waiting.
+        waiting: usize,
+        /// Max clock among the waiters (this node's barrier arrival time).
+        max_clock: Cycles,
+    },
+}
+
+/// One process (MPI rank) hosted on this node.
+struct ProcessState {
+    page_table: PageTable,
+    allocator: HeapAllocator,
+    /// Backing values for index arrays (written by `store_val`).
+    values: FxHashMap<u64, i64>,
+    loaded: Vec<bool>,
+    phase_stack: Vec<(&'static str, Cycles)>,
+}
+
+/// An active OpenMP team.
+struct Team {
+    master: usize,
+    outstanding: u32,
+    join_max: Cycles,
+    barrier_waiters: Vec<usize>,
+    size: u32,
+}
+
+enum Action {
+    Ran,
+    ThreadDone,
+    RegionEnd,
+    Fork { outlined: ProcId, args: Vec<i64>, n: u32, site: Ip },
+    OmpBarrier,
+    MpiBarrier,
+}
+
+/// Scheduler step outcome (internal).
+enum StepOut {
+    Ran,
+    Yield,
+}
+
+/// One simulated node: a machine plus the processes and threads pinned to
+/// it.
+pub struct NodeSim<'p, O: NodeObserver> {
+    program: &'p Program,
+    cfg: SimConfig,
+    machine: Machine,
+    processes: Vec<ProcessState>,
+    threads: Vec<ThreadState<'p>>,
+    teams: Vec<Team>,
+    heap: BinaryHeap<Reverse<(Cycles, usize)>>,
+    observer: O,
+    phases: Vec<PhaseRecord>,
+    mpi_blocked: Vec<usize>,
+    pmu_pool: FxHashMap<(usize, u32), Pmu>,
+    num_ranks_total: u32,
+    hw_per_rank: u32,
+    live_mains: usize,
+}
+
+impl<'p, O: NodeObserver> NodeSim<'p, O> {
+    /// Create a node hosting `node_ranks` (global rank ids) of a world
+    /// with `num_ranks_total` ranks.
+    pub fn new(
+        program: &'p Program,
+        cfg: SimConfig,
+        node_ranks: &[u32],
+        num_ranks_total: u32,
+        observer: O,
+    ) -> Self {
+        assert!(!node_ranks.is_empty());
+        let machine = Machine::new(cfg.machine.clone());
+        let hw = cfg.machine.topology.hw_threads();
+        let hw_per_rank = (hw / node_ranks.len() as u32).max(1);
+        let mut sim = Self {
+            program,
+            machine,
+            processes: Vec::new(),
+            threads: Vec::new(),
+            teams: Vec::new(),
+            heap: BinaryHeap::new(),
+            observer,
+            phases: Vec::new(),
+            mpi_blocked: Vec::new(),
+            pmu_pool: FxHashMap::default(),
+            num_ranks_total,
+            hw_per_rank,
+            live_mains: node_ranks.len(),
+            cfg,
+        };
+        for (i, &rank) in node_ranks.iter().enumerate() {
+            let mut pt = PageTable::new(
+                sim.cfg.machine.page_size,
+                sim.cfg.machine.topology.domains,
+            );
+            pt.set_default_policy(sim.cfg.default_policy);
+            let mut ps = ProcessState {
+                page_table: pt,
+                allocator: HeapAllocator::new(),
+                values: FxHashMap::default(),
+                loaded: vec![false; program.modules.len()],
+                phase_stack: Vec::new(),
+            };
+            for (mid, m) in program.modules.iter().enumerate() {
+                if m.load_at_start {
+                    ps.loaded[mid] = true;
+                    sim.observer.on_module(&ModuleEvent::Loaded {
+                        module: crate::ir::ModuleId(mid as u16),
+                        def: m,
+                        rank,
+                    });
+                }
+            }
+            sim.processes.push(ps);
+            // Rank main thread.
+            let core = sim.pin(i, 0);
+            let entry = program.entry;
+            let mut th = ThreadState {
+                rank,
+                rank_local: i,
+                thread: 0,
+                core,
+                clock: 0,
+                status: Status::Runnable,
+                frames: Vec::new(),
+                view: Vec::new(),
+                ctrl: Vec::new(),
+                pmu: sim.make_pmu(i, 0),
+                team: None,
+                team_size: 1,
+                ops: 0,
+                next_token: 0,
+                stack_top: STACK_BASE,
+            };
+            th.push_frame(entry, program.proc(entry).n_locals, &[], None, None);
+            th.ctrl.push(Ctrl { stmts: &program.proc(entry).body, idx: 0, exit: Exit::Frame });
+            let tid = sim.threads.len();
+            sim.threads.push(th);
+            sim.heap.push(Reverse((0, tid)));
+        }
+        sim
+    }
+
+    /// Pin software thread `thread` of local rank `rank_local` to a
+    /// hardware thread. Each rank owns a contiguous window of hardware
+    /// threads; within the window threads are *spread* across the NUMA
+    /// domains the window covers (round-robin by domain, then by slot),
+    /// matching `OMP_PROC_BIND=spread`. The master (thread 0) always
+    /// lands on the window's first domain — which is why master-thread
+    /// first-touch concentrates pages there.
+    fn pin(&self, rank_local: usize, thread: u32) -> CoreId {
+        let topo = &self.cfg.machine.topology;
+        let hw = topo.hw_threads();
+        let per_domain = topo.cores_per_domain * topo.smt;
+        let window = self.hw_per_rank;
+        let base = rank_local as u32 * window;
+        let off = if window > per_domain {
+            let ndom = window / per_domain;
+            let d = thread % ndom;
+            let slot = (thread / ndom) % per_domain;
+            d * per_domain + slot
+        } else {
+            thread % window
+        };
+        CoreId((base + off) % hw)
+    }
+
+    fn make_pmu(&mut self, rank_local: usize, thread: u32) -> Option<Pmu> {
+        let cfg = self.cfg.pmu?;
+        Some(self.pmu_pool.remove(&(rank_local, thread)).unwrap_or_else(|| {
+            let seed = self
+                .cfg
+                .pmu_seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add((rank_local as u64) << 20)
+                .wrapping_add(thread as u64);
+            Pmu::new(cfg, seed)
+        }))
+    }
+
+    /// Run until every thread is done or blocked on an MPI barrier.
+    pub fn run_until_quiescent(&mut self) -> Quiescence {
+        while let Some(Reverse((clock, tid))) = self.heap.pop() {
+            {
+                let th = &self.threads[tid];
+                if th.status != Status::Runnable || th.clock != clock {
+                    continue; // stale heap entry
+                }
+            }
+            let limit = clock + self.cfg.quantum;
+            while let StepOut::Ran = self.step(tid) {
+                if self.threads[tid].clock >= limit {
+                    self.heap.push(Reverse((self.threads[tid].clock, tid)));
+                    break;
+                }
+            }
+        }
+        if self.mpi_blocked.is_empty() {
+            Quiescence::AllDone
+        } else {
+            let max_clock =
+                self.mpi_blocked.iter().map(|&t| self.threads[t].clock).max().unwrap_or(0);
+            Quiescence::MpiBlocked { waiting: self.mpi_blocked.len(), max_clock }
+        }
+    }
+
+    /// Release every rank main blocked at the MPI barrier; they resume at
+    /// `release_clock` (the global barrier time) plus the barrier cost.
+    pub fn mpi_release(&mut self, release_clock: Cycles) {
+        let cost = self.cfg.cost.mpi_barrier;
+        for tid in std::mem::take(&mut self.mpi_blocked) {
+            let th = &mut self.threads[tid];
+            th.clock = release_clock + cost;
+            th.status = Status::Runnable;
+            self.heap.push(Reverse((th.clock, tid)));
+        }
+    }
+
+    /// Largest clock reached by any thread (node wall time).
+    pub fn max_clock(&self) -> Cycles {
+        self.threads.iter().map(|t| t.clock).max().unwrap_or(0)
+    }
+
+    /// Total retired ops across all threads.
+    pub fn total_ops(&self) -> u64 {
+        self.threads.iter().map(|t| t.ops).sum()
+    }
+
+    /// Phase records collected so far.
+    pub fn phases(&self) -> &[PhaseRecord] {
+        &self.phases
+    }
+
+    /// The simulated machine (read access for stats).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Take the observer out after the run.
+    pub fn into_observer(self) -> O {
+        self.observer
+    }
+
+    /// Are any rank mains still alive (not Done)?
+    pub fn live_mains(&self) -> usize {
+        self.live_mains
+    }
+
+    /// Per-rank-local allocation/free counts (diagnostics).
+    pub fn alloc_counts(&self, rank_local: usize) -> (u64, u64) {
+        self.processes[rank_local].allocator.counts()
+    }
+
+    // ---------------------------------------------------------------
+    // Stepping
+    // ---------------------------------------------------------------
+
+    fn step(&mut self, tid: usize) -> StepOut {
+        let action = self.exec_one(tid);
+        match action {
+            Action::Ran => StepOut::Ran,
+            Action::ThreadDone => {
+                self.finish_thread(tid);
+                StepOut::Yield
+            }
+            Action::RegionEnd => {
+                let team_id = self.threads[tid].team.expect("region end outside team");
+                let outstanding = self.teams[team_id].outstanding;
+                if outstanding > 0 {
+                    self.threads[tid].status = Status::BlockedJoin;
+                    StepOut::Yield
+                } else {
+                    self.complete_join(tid, team_id);
+                    StepOut::Ran
+                }
+            }
+            Action::Fork { outlined, args, n, site } => {
+                self.fork_region(tid, outlined, &args, n, site);
+                StepOut::Ran
+            }
+            Action::OmpBarrier => self.omp_barrier(tid),
+            Action::MpiBarrier => {
+                self.threads[tid].status = Status::BlockedMpi;
+                self.mpi_blocked.push(tid);
+                StepOut::Yield
+            }
+        }
+    }
+
+    fn finish_thread(&mut self, tid: usize) {
+        let (rank, thread, clock, rank_local, team) = {
+            let th = &mut self.threads[tid];
+            th.status = Status::Done;
+            (th.rank, th.thread, th.clock, th.rank_local, th.team)
+        };
+        self.observer.on_thread_exit(rank, thread, clock);
+        // Return the PMU to the pool so a future region's thread with the
+        // same id continues the same sampling stream.
+        if let Some(pmu) = self.threads[tid].pmu.take() {
+            self.pmu_pool.insert((rank_local, thread), pmu);
+        }
+        if thread == 0 {
+            self.live_mains -= 1;
+            return;
+        }
+        // Worker: update its team; possibly wake the joining master.
+        let team_id = team.expect("worker without team");
+        let t = &mut self.teams[team_id];
+        t.outstanding -= 1;
+        t.join_max = t.join_max.max(clock);
+        if t.outstanding == 0 {
+            let master = t.master;
+            if self.threads[master].status == Status::BlockedJoin {
+                self.complete_join(master, team_id);
+                let mc = self.threads[master].clock;
+                self.threads[master].status = Status::Runnable;
+                self.heap.push(Reverse((mc, master)));
+            }
+        }
+    }
+
+    fn complete_join(&mut self, master: usize, team_id: usize) {
+        let join_max = self.teams[team_id].join_max;
+        let th = &mut self.threads[master];
+        th.clock = th.clock.max(join_max) + self.cfg.cost.join as Cycles;
+        th.team = None;
+        th.team_size = 1;
+    }
+
+    fn fork_region(&mut self, master_tid: usize, outlined: ProcId, args: &[i64], n: u32, site: Ip) {
+        let n = n.max(1);
+        let team_id = self.teams.len();
+        let proc = self.program.proc(outlined);
+        // Master enters the region as thread 0 of the team.
+        {
+            let th = &mut self.threads[master_tid];
+            th.clock += self.cfg.cost.fork_master as Cycles;
+            th.push_frame(outlined, proc.n_locals, args, Some(site), None);
+            th.team = Some(team_id);
+            th.team_size = n;
+        }
+        let (master_view, master_next_token, rank, rank_local, master_clock) = {
+            let th = &mut self.threads[master_tid];
+            th.ctrl.push(Ctrl { stmts: &proc.body, idx: 0, exit: Exit::Region });
+            (th.view.clone(), th.next_token, th.rank, th.rank_local, th.clock)
+        };
+        for t in 1..n {
+            let core = self.pin(rank_local, t);
+            let pmu = self.make_pmu(rank_local, t);
+            // Workers inherit the master's calling context at the fork
+            // point (context stitching), so merged CCTs show worker
+            // samples under the parallel region's full path.
+            let mut view = master_view.clone();
+            view.pop(); // drop the master's own outlined entry; worker pushes its own
+            let mut th = ThreadState {
+                rank,
+                rank_local,
+                thread: t,
+                core,
+                clock: master_clock + self.cfg.cost.fork_worker as Cycles,
+                status: Status::Runnable,
+                frames: Vec::new(),
+                view,
+                ctrl: Vec::new(),
+                pmu,
+                team: Some(team_id),
+                team_size: n,
+                ops: 0,
+                next_token: master_next_token,
+                stack_top: STACK_BASE + t as u64 * STACK_WINDOW,
+            };
+            th.push_frame(outlined, proc.n_locals, args, Some(site), None);
+            th.ctrl.push(Ctrl { stmts: &proc.body, idx: 0, exit: Exit::Frame });
+            let tid = self.threads.len();
+            let clock = th.clock;
+            self.threads.push(th);
+            self.heap.push(Reverse((clock, tid)));
+        }
+        self.teams.push(Team {
+            master: master_tid,
+            outstanding: n - 1,
+            join_max: 0,
+            barrier_waiters: Vec::new(),
+            size: n,
+        });
+    }
+
+    fn omp_barrier(&mut self, tid: usize) -> StepOut {
+        let team_id = self.threads[tid].team.expect("omp barrier outside a parallel region");
+        self.teams[team_id].barrier_waiters.push(tid);
+        if (self.teams[team_id].barrier_waiters.len() as u32) < self.teams[team_id].size {
+            self.threads[tid].status = Status::BlockedOmpBarrier;
+            return StepOut::Yield;
+        }
+        // Last arriver releases everyone at the max clock.
+        let waiters = std::mem::take(&mut self.teams[team_id].barrier_waiters);
+        let max_clock =
+            waiters.iter().map(|&t| self.threads[t].clock).max().expect("non-empty");
+        let release = max_clock + self.cfg.cost.omp_barrier as Cycles;
+        for &w in &waiters {
+            let th = &mut self.threads[w];
+            th.clock = release;
+            if w != tid {
+                th.status = Status::Runnable;
+                self.heap.push(Reverse((release, w)));
+            }
+        }
+        StepOut::Ran
+    }
+
+    /// Execute one statement (or control-stack bookkeeping) on `tid`.
+    #[allow(clippy::too_many_lines)]
+    fn exec_one(&mut self, tid: usize) -> Action {
+        let Self {
+            program,
+            cfg,
+            machine,
+            processes,
+            threads,
+            observer,
+            phases,
+            num_ranks_total,
+            ..
+        } = self;
+        let th = &mut threads[tid];
+        let proc_table = &program.procs;
+
+        // --- Phase A: advance the cursor to the next statement. ---
+        let spanned: &'p Spanned = loop {
+            let Some(ctrl) = th.ctrl.last_mut() else {
+                // No control left: the thread is finished.
+                return Action::ThreadDone;
+            };
+            if ctrl.idx < ctrl.stmts.len() {
+                let s = &ctrl.stmts[ctrl.idx];
+                ctrl.idx += 1;
+                break s;
+            }
+            // Block exhausted: apply its exit behaviour.
+            match ctrl.exit {
+                Exit::Seq => {
+                    th.ctrl.pop();
+                }
+                Exit::Loop { var, end, step } => {
+                    let fr = th.frames.last_mut().expect("loop outside frame");
+                    let v = fr.locals[var.0 as usize] + step;
+                    fr.locals[var.0 as usize] = v;
+                    let cont = if step > 0 { v < end } else { v > end };
+                    th.clock += cfg.cost.op as Cycles;
+                    th.ops += 1;
+                    if cont {
+                        let c = th.ctrl.last_mut().expect("just checked");
+                        c.idx = 0;
+                        // Charge the back-edge and poll the PMU.
+                        let leaf = Ip::new(
+                            proc_table[th.frames.last().unwrap().proc.0 as usize].module,
+                            th.frames.last().unwrap().proc,
+                            0,
+                        );
+                        if let Some(pmu) = th.pmu.as_mut() {
+                            if let Some(s) = pmu.observe_quiet(1, leaf.0, th.core) {
+                                let view = ThreadView {
+                                    rank: th.rank,
+                                    thread: th.thread,
+                                    core: th.core,
+                                    clock: th.clock,
+                                    frames: &th.view,
+                                    leaf_ip: leaf,
+                                };
+                                th.clock += observer.on_sample(&s, &view);
+                            }
+                        }
+                        return Action::Ran;
+                    }
+                    th.ctrl.pop();
+                }
+                Exit::Frame => {
+                    th.ctrl.pop();
+                    th.clock += cfg.cost.ret as Cycles;
+                    if th.pop_frame(None) {
+                        return Action::ThreadDone;
+                    }
+                }
+                Exit::Region => {
+                    th.ctrl.pop();
+                    th.pop_frame(None);
+                    return Action::RegionEnd;
+                }
+            }
+        };
+
+        let cur_proc = th.frames.last().expect("no frame").proc;
+        let ip = Ip::new(proc_table[cur_proc.0 as usize].module, cur_proc, spanned.uid);
+        let process = &mut processes[th.rank_local];
+        let ectx = EvalCtx {
+            omp_tid: th.thread as i64,
+            team_size: th.team_size as i64,
+            rank: th.rank as i64,
+            num_ranks: *num_ranks_total as i64,
+        };
+
+        // Helper: deliver a PMU sample through the observer.
+        macro_rules! deliver {
+            ($sample:expr) => {{
+                let s: Sample = $sample;
+                let view = ThreadView {
+                    rank: th.rank,
+                    thread: th.thread,
+                    core: th.core,
+                    clock: th.clock,
+                    frames: &th.view,
+                    leaf_ip: ip,
+                };
+                let overhead = observer.on_sample(&s, &view);
+                th.clock += overhead;
+            }};
+        }
+        macro_rules! quiet_ops {
+            ($n:expr) => {{
+                let n: u64 = $n;
+                th.ops += n;
+                if let Some(pmu) = th.pmu.as_mut() {
+                    if let Some(s) = pmu.observe_quiet(n, ip.0, th.core) {
+                        deliver!(s);
+                    }
+                }
+            }};
+        }
+
+        // --- Phase B: execute the statement. ---
+        match &spanned.kind {
+            Stmt::Let(dst, e) => {
+                let v = eval(e, th.locals(), &ectx);
+                th.top().locals[dst.0 as usize] = v;
+                th.clock += cfg.cost.op as Cycles;
+                quiet_ops!(1);
+            }
+            Stmt::Compute { ops } => {
+                th.clock += *ops as Cycles * cfg.cost.op as Cycles;
+                quiet_ops!(*ops as u64);
+            }
+            Stmt::Load { base, index, elem, dst } => {
+                let b = eval(base, th.locals(), &ectx);
+                let i = eval(index, th.locals(), &ectx);
+                let addr = b + i * *elem as i64;
+                assert!(addr >= 0, "negative address");
+                let addr = layout::to_global(th.rank, addr as u64);
+                let domain = cfg.machine.topology.domain_of(th.core);
+                let home = process.page_table.touch(addr, domain);
+                let res = machine.access(th.core, addr, AccessKind::Load, home, ip.0, th.clock);
+                th.clock += (res.latency / cfg.cost.mem_overlap.max(1)) as Cycles
+                    + cfg.cost.op as Cycles;
+                th.ops += 1;
+                if let Some(d) = dst {
+                    let v = process.values.get(&addr).copied().unwrap_or(0);
+                    th.top().locals[d.0 as usize] = v;
+                }
+                if let Some(pmu) = th.pmu.as_mut() {
+                    let op = dcp_machine::pmu::OpRecord {
+                        ip: ip.0,
+                        core: th.core,
+                        mem: Some((&res, addr, false)),
+                    };
+                    if let Some(s) = pmu.observe_op(op) {
+                        deliver!(s);
+                    }
+                }
+            }
+            Stmt::Store { base, index, elem, value } => {
+                let b = eval(base, th.locals(), &ectx);
+                let i = eval(index, th.locals(), &ectx);
+                let addr = b + i * *elem as i64;
+                assert!(addr >= 0, "negative address");
+                let addr = layout::to_global(th.rank, addr as u64);
+                if let Some(v) = value {
+                    let v = eval(v, th.locals(), &ectx);
+                    process.values.insert(addr, v);
+                }
+                let domain = cfg.machine.topology.domain_of(th.core);
+                let home = process.page_table.touch(addr, domain);
+                let res = machine.access(th.core, addr, AccessKind::Store, home, ip.0, th.clock);
+                th.clock += (res.latency / cfg.cost.mem_overlap.max(1)) as Cycles
+                    + cfg.cost.op as Cycles;
+                th.ops += 1;
+                if let Some(pmu) = th.pmu.as_mut() {
+                    let op = dcp_machine::pmu::OpRecord {
+                        ip: ip.0,
+                        core: th.core,
+                        mem: Some((&res, addr, true)),
+                    };
+                    if let Some(s) = pmu.observe_op(op) {
+                        deliver!(s);
+                    }
+                }
+            }
+            Stmt::For { var, start, end, step, body } => {
+                let s = eval(start, th.locals(), &ectx);
+                let e = eval(end, th.locals(), &ectx);
+                th.clock += cfg.cost.op as Cycles;
+                quiet_ops!(1);
+                let enter = if *step > 0 { s < e } else { s > e };
+                if enter {
+                    th.top().locals[var.0 as usize] = s;
+                    th.ctrl.push(Ctrl {
+                        stmts: body,
+                        idx: 0,
+                        exit: Exit::Loop { var: *var, end: e, step: *step },
+                    });
+                }
+            }
+            Stmt::If { a, cmp, b, then_body, else_body } => {
+                let av = eval(a, th.locals(), &ectx);
+                let bv = eval(b, th.locals(), &ectx);
+                th.clock += cfg.cost.op as Cycles;
+                quiet_ops!(1);
+                let body = if eval_cmp(av, *cmp, bv) { then_body } else { else_body };
+                if !body.is_empty() {
+                    th.ctrl.push(Ctrl { stmts: body, idx: 0, exit: Exit::Seq });
+                }
+            }
+            Stmt::Call { callee, args, ret } => {
+                let vals: Vec<i64> = args.iter().map(|a| eval(a, th.locals(), &ectx)).collect();
+                let callee_proc = &proc_table[callee.0 as usize];
+                assert!(
+                    vals.len() == callee_proc.n_params as usize,
+                    "arity mismatch calling {}",
+                    callee_proc.name
+                );
+                th.clock += cfg.cost.call as Cycles;
+                quiet_ops!(1);
+                th.push_frame(*callee, callee_proc.n_locals, &vals, Some(ip), *ret);
+                th.ctrl.push(Ctrl { stmts: &callee_proc.body, idx: 0, exit: Exit::Frame });
+            }
+            Stmt::Ret(v) => {
+                let val = v.as_ref().map(|e| eval(e, th.locals(), &ectx));
+                th.clock += cfg.cost.ret as Cycles;
+                quiet_ops!(1);
+                // Unwind control to (and including) the enclosing Frame.
+                loop {
+                    let c = th.ctrl.pop().expect("Ret outside any frame");
+                    match c.exit {
+                        Exit::Frame => break,
+                        Exit::Region => panic!("Ret out of a parallel region is not allowed"),
+                        _ => {}
+                    }
+                }
+                if th.pop_frame(val) {
+                    return Action::ThreadDone;
+                }
+            }
+            Stmt::Alloc { dst, bytes, kind, policy } => {
+                let bytes = eval(bytes, th.locals(), &ectx);
+                assert!(bytes > 0, "non-positive allocation size");
+                let local = process.allocator.malloc(bytes as u64);
+                let gaddr = layout::global(th.rank, local);
+                let class = process.allocator.size_of(local).expect("just allocated");
+                if let Some(p) = policy {
+                    process.page_table.set_range_policy(gaddr, class, *p);
+                }
+                th.top().locals[dst.0 as usize] = gaddr as i64;
+                th.clock += cfg.cost.alloc_base as Cycles;
+                quiet_ops!(4);
+                {
+                    let ev = AllocEvent {
+                        addr: gaddr,
+                        bytes: bytes as u64,
+                        zeroed: *kind == AllocKind::Calloc,
+                        ip,
+                    };
+                    let view = ThreadView {
+                        rank: th.rank,
+                        thread: th.thread,
+                        core: th.core,
+                        clock: th.clock,
+                        frames: &th.view,
+                        leaf_ip: ip,
+                    };
+                    let overhead = observer.on_alloc(&ev, &view);
+                    th.clock += overhead;
+                }
+                if *kind == AllocKind::Calloc {
+                    // Zero-fill: the allocating thread stores to every
+                    // line, first-touching every page.
+                    let line = cfg.machine.line_size;
+                    let lines = (bytes as u64).div_ceil(line);
+                    let domain = cfg.machine.topology.domain_of(th.core);
+                    for li in 0..lines {
+                        let a = gaddr + li * line;
+                        let home = process.page_table.touch(a, domain);
+                        let res =
+                            machine.access(th.core, a, AccessKind::Store, home, ip.0, th.clock);
+                        th.clock += (res.latency / cfg.cost.mem_overlap.max(1)) as Cycles
+                            + cfg.cost.op as Cycles;
+                        th.ops += 1;
+                        if let Some(pmu) = th.pmu.as_mut() {
+                            let op = dcp_machine::pmu::OpRecord {
+                                ip: ip.0,
+                                core: th.core,
+                                mem: Some((&res, a, true)),
+                            };
+                            if let Some(s) = pmu.observe_op(op) {
+                                deliver!(s);
+                            }
+                        }
+                    }
+                }
+            }
+            Stmt::Free { ptr } => {
+                let gaddr = eval(ptr, th.locals(), &ectx);
+                assert!(gaddr > 0, "free of null/negative pointer");
+                let gaddr = gaddr as u64;
+                let local = layout::local_of(gaddr);
+                let class = process.allocator.free(local);
+                process.page_table.clear_range_policy(gaddr);
+                th.clock += cfg.cost.free_base as Cycles;
+                quiet_ops!(2);
+                let ev = FreeEvent { addr: gaddr, bytes: class, ip };
+                let view = ThreadView {
+                    rank: th.rank,
+                    thread: th.thread,
+                    core: th.core,
+                    clock: th.clock,
+                    frames: &th.view,
+                    leaf_ip: ip,
+                };
+                let overhead = observer.on_free(&ev, &view);
+                th.clock += overhead;
+            }
+            Stmt::Salloc { dst, bytes } => {
+                let bytes = eval(bytes, th.locals(), &ectx);
+                assert!(bytes > 0, "non-positive stack allocation");
+                let base = STACK_BASE + th.thread as u64 * STACK_WINDOW;
+                let addr = th.stack_top;
+                let new_top = (addr + bytes as u64 + 15) & !15;
+                assert!(
+                    new_top < base + STACK_WINDOW,
+                    "stack overflow on thread {} of rank {}",
+                    th.thread,
+                    th.rank
+                );
+                th.stack_top = new_top;
+                th.top().locals[dst.0 as usize] = layout::global(th.rank, addr) as i64;
+                th.clock += 2 * cfg.cost.op as Cycles;
+                quiet_ops!(2);
+            }
+            Stmt::Realloc { dst, ptr, bytes } => {
+                let gaddr = eval(ptr, th.locals(), &ectx);
+                assert!(gaddr > 0, "realloc of null/negative pointer");
+                let gaddr = gaddr as u64;
+                let new_bytes = eval(bytes, th.locals(), &ectx);
+                assert!(new_bytes > 0, "non-positive realloc size");
+                let local = layout::local_of(gaddr);
+                let (new_local, old_class, _new_class) =
+                    process.allocator.realloc(local, new_bytes as u64);
+                let new_gaddr = layout::global(th.rank, new_local);
+                th.top().locals[dst.0 as usize] = new_gaddr as i64;
+                th.clock += cfg.cost.alloc_base as Cycles;
+                quiet_ops!(4);
+                // The profiler sees realloc as free(old) + malloc(new),
+                // which is how real wrappers decompose it.
+                if new_gaddr != gaddr {
+                    {
+                        let ev = FreeEvent { addr: gaddr, bytes: old_class, ip };
+                        let view = ThreadView {
+                            rank: th.rank,
+                            thread: th.thread,
+                            core: th.core,
+                            clock: th.clock,
+                            frames: &th.view,
+                            leaf_ip: ip,
+                        };
+                        th.clock += observer.on_free(&ev, &view);
+                    }
+                    {
+                        let ev = AllocEvent {
+                            addr: new_gaddr,
+                            bytes: new_bytes as u64,
+                            zeroed: false,
+                            ip,
+                        };
+                        let view = ThreadView {
+                            rank: th.rank,
+                            thread: th.thread,
+                            core: th.core,
+                            clock: th.clock,
+                            frames: &th.view,
+                            leaf_ip: ip,
+                        };
+                        th.clock += observer.on_alloc(&ev, &view);
+                    }
+                    // Copy min(old, new) bytes, line by line: real loads
+                    // and stores through the hierarchy.
+                    let line = cfg.machine.line_size;
+                    let copy = old_class.min(new_bytes as u64);
+                    let domain = cfg.machine.topology.domain_of(th.core);
+                    for li in 0..copy.div_ceil(line) {
+                        let src = gaddr + li * line;
+                        let dst_a = new_gaddr + li * line;
+                        let home_s = process.page_table.touch(src, domain);
+                        let r1 =
+                            machine.access(th.core, src, AccessKind::Load, home_s, ip.0, th.clock);
+                        th.clock += (r1.latency / cfg.cost.mem_overlap.max(1)) as Cycles + 1;
+                        let home_d = process.page_table.touch(dst_a, domain);
+                        let r2 = machine
+                            .access(th.core, dst_a, AccessKind::Store, home_d, ip.0, th.clock);
+                        th.clock += (r2.latency / cfg.cost.mem_overlap.max(1)) as Cycles + 1;
+                        th.ops += 2;
+                        if let Some(pmu) = th.pmu.as_mut() {
+                            let op = dcp_machine::pmu::OpRecord {
+                                ip: ip.0,
+                                core: th.core,
+                                mem: Some((&r2, dst_a, true)),
+                            };
+                            if let Some(s) = pmu.observe_op(op) {
+                                deliver!(s);
+                            }
+                        }
+                    }
+                }
+            }
+            Stmt::Brk { dst, bytes } => {
+                let bytes = eval(bytes, th.locals(), &ectx);
+                assert!(bytes > 0);
+                let local = process.allocator.brk(bytes as u64);
+                th.top().locals[dst.0 as usize] = layout::global(th.rank, local) as i64;
+                th.clock += cfg.cost.brk_base as Cycles;
+                quiet_ops!(2);
+            }
+            Stmt::Parallel { outlined, args, num_threads } => {
+                assert!(th.team.is_none(), "nested parallel regions are not supported");
+                let n = num_threads
+                    .as_ref()
+                    .map(|e| eval(e, th.locals(), &ectx) as u32)
+                    .unwrap_or(cfg.omp_threads)
+                    .max(1);
+                let vals: Vec<i64> = args.iter().map(|a| eval(a, th.locals(), &ectx)).collect();
+                assert!(
+                    vals.len() == proc_table[outlined.0 as usize].n_params as usize,
+                    "arity mismatch forking {}",
+                    proc_table[outlined.0 as usize].name
+                );
+                return Action::Fork { outlined: *outlined, args: vals, n, site: ip };
+            }
+            Stmt::OmpFor { var, start, end, body } => {
+                let s = eval(start, th.locals(), &ectx);
+                let e = eval(end, th.locals(), &ectx);
+                let t = th.thread as i64;
+                let n = th.team_size as i64;
+                th.clock += 2 * cfg.cost.op as Cycles;
+                quiet_ops!(2);
+                let total = (e - s).max(0);
+                let chunk = (total + n - 1) / n;
+                let lo = s + t * chunk;
+                let hi = (lo + chunk).min(e);
+                if lo < hi {
+                    th.top().locals[var.0 as usize] = lo;
+                    th.ctrl.push(Ctrl {
+                        stmts: body,
+                        idx: 0,
+                        exit: Exit::Loop { var: *var, end: hi, step: 1 },
+                    });
+                }
+            }
+            Stmt::OmpBarrier => return Action::OmpBarrier,
+            Stmt::MpiBarrier => {
+                assert!(th.thread == 0, "MPI barrier must be called by the rank main thread");
+                assert!(th.team.is_none(), "MPI barrier inside a parallel region");
+                return Action::MpiBarrier;
+            }
+            Stmt::MpiCost { cycles } => {
+                th.clock += cycles;
+                quiet_ops!(1);
+            }
+            Stmt::PhaseBegin(name) => {
+                process.phase_stack.push((name, th.clock));
+            }
+            Stmt::PhaseEnd(name) => {
+                let (n, begin) = process.phase_stack.pop().expect("PhaseEnd without begin");
+                assert_eq!(n, *name, "mismatched phase nesting");
+                phases.push(PhaseRecord { rank: th.rank, name, begin, end: th.clock });
+            }
+            Stmt::DlOpen(m) => {
+                let already = std::mem::replace(&mut process.loaded[m.0 as usize], true);
+                assert!(!already, "module loaded twice");
+                th.clock += cfg.cost.dl as Cycles;
+                observer.on_module(&ModuleEvent::Loaded {
+                    module: *m,
+                    def: &program.modules[m.0 as usize],
+                    rank: th.rank,
+                });
+            }
+            Stmt::DlClose(m) => {
+                let was = std::mem::replace(&mut process.loaded[m.0 as usize], false);
+                assert!(was, "module closed while not loaded");
+                th.clock += cfg.cost.dl as Cycles;
+                observer.on_module(&ModuleEvent::Unloaded { module: *m, rank: th.rank });
+            }
+        }
+        Action::Ran
+    }
+}

@@ -1,0 +1,225 @@
+//! Streamcluster model — Rodinia online clustering (§5.4).
+//!
+//! The paper's findings (128 threads, POWER7, `PM_MRK_DATA_FROM_RMEM`):
+//!
+//! * 98.2% of remote memory accesses hit heap data; the `block` array
+//!   (all point coordinates) draws 92.6%, through pointer accesses
+//!   `p1.coord`/`p2.coord` at source line 175 of the distance function —
+//!   reached from *two different* OpenMP parallel regions contributing
+//!   55.5% and 37% respectively. `point.p` draws another 5.5%.
+//! * Root cause: `block` is allocated and initialized by the master
+//!   thread, so every worker reads it remotely and the master's memory
+//!   controller saturates.
+//! * Fix: initialize `block` (and `point.p`) in parallel so first-touch
+//!   distributes pages across the domains each thread uses → 28%.
+//!
+//! The model: a master- or parallel-initialized `block`, a shared `dist`
+//! procedure called from two parallel regions with a 1.5:1 workload
+//! ratio, and a `point_p` side array.
+
+use dcp_machine::MachineConfig;
+use dcp_runtime::ir::ex::*;
+use dcp_runtime::ir::AllocKind;
+use dcp_runtime::{Program, ProgramBuilder, SimConfig, WorldConfig};
+
+/// Initialization strategy for the point block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScVariant {
+    /// Master thread allocates and initializes (`calloc`-like).
+    Original,
+    /// Parallel first-touch initialization of `block` and `point.p`.
+    ParallelFirstTouch,
+}
+
+/// Workload scale.
+#[derive(Debug, Clone)]
+pub struct ScConfig {
+    pub variant: ScVariant,
+    pub threads: u32,
+    /// Points in the working block.
+    pub points: i64,
+    /// Coordinates per point.
+    pub dims: i64,
+    /// pgain rounds.
+    pub iters: i64,
+}
+
+impl ScConfig {
+    pub fn small(variant: ScVariant) -> Self {
+        Self { variant, threads: 32, points: 4096, dims: 16, iters: 2 }
+    }
+
+    pub fn paper(variant: ScVariant) -> Self {
+        Self { variant, threads: 32, points: 8192, dims: 32, iters: 3 }
+    }
+}
+
+/// Build the Streamcluster model program.
+pub fn build(cfg: &ScConfig) -> Program {
+    let points = cfg.points;
+    let dims = cfg.dims;
+    let parallel_init = cfg.variant == ScVariant::ParallelFirstTouch;
+
+    let mut b = ProgramBuilder::new("streamcluster");
+
+    // dist(p1, p2): the shared distance function; its coordinate loads at
+    // line 175 are the paper's hot accesses.
+    let dist = b.declare("dist", 3);
+    b.define(dist, |p| {
+        let (block, base, n) = (p.param(0), p.param(1), p.param(2));
+        p.for_(c(0), l(n), |p, d| {
+            p.line(175);
+            // p1.coord[d] and p2.coord[d]: both index into block.
+            p.load(l(block), add(mul(l(base), c(dims)), l(d)), 8);
+            p.load(l(block), l(d), 8);
+            p.compute(6);
+        });
+        p.ret(None);
+    });
+
+    // Parallel-region A: the main pgain sweep (the 55.5% context).
+    let pgain_a = b.outlined("pgain_parallel", 3, |p| {
+        let (block, point_p, n) = (p.param(0), p.param(1), p.param(2));
+        p.line(650);
+        p.omp_for(c(0), l(n), |p, i| {
+            p.line(653);
+            p.call(dist, vec![l(block), l(i), c(dims)]);
+            p.line(655);
+            p.load(l(point_p), l(i), 8); // point.p (5.5%)
+            p.compute(8);
+        });
+    });
+
+    // Parallel-region B: the secondary sweep (the 37% context), two
+    // thirds of A's volume.
+    let pspeedy = b.outlined("pspeedy_parallel", 3, |p| {
+        let (block, point_p, n) = (p.param(0), p.param(1), p.param(2));
+        p.line(720);
+        p.omp_for(c(0), mul(l(n), c(2)), |p, i| {
+            p.line(722);
+            p.call(dist, vec![l(block), rem(l(i), l(n)), c(dims)]);
+            p.compute(8);
+            let _ = point_p;
+        });
+    });
+
+    // Parallel initialization region (the fix): each thread first-touches
+    // its chunk of block.
+    let init_par = b.outlined("parallel_init", 2, |p| {
+        let (block, n) = (p.param(0), p.param(1));
+        p.omp_for(c(0), l(n), |p, i| {
+            p.line(90);
+            p.store(l(block), l(i), 8);
+        });
+    });
+
+    let iters = cfg.iters;
+    let main = b.proc("main", 0, |p| {
+        let total = points * dims;
+        p.line(80);
+        let (block, point_p) = if parallel_init {
+            // malloc leaves pages unplaced; the parallel region's stores
+            // distribute them by first touch.
+            let blk = p.malloc(c(total * 8), "block");
+            let pp = p.malloc(c(points * 8), "point.p");
+            p.parallel(init_par, vec![l(blk), c(total)]);
+            p.parallel(init_par, vec![l(pp), c(points)]);
+            (blk, pp)
+        } else {
+            // Master zero-fills: every page lands on the master's domain.
+            let blk = p.alloc_full(c(total * 8), AllocKind::Calloc, None, "block");
+            let pp = p.alloc_full(c(points * 8), AllocKind::Calloc, None, "point.p");
+            (blk, pp)
+        };
+        p.phase("cluster", |p| {
+            p.for_(c(0), c(iters), |p, _| {
+                p.line(100);
+                p.parallel(pgain_a, vec![l(block), l(point_p), c(points * 3 / 2)]);
+                p.line(101);
+                p.parallel(pspeedy, vec![l(block), l(point_p), c(points / 2)]);
+            });
+        });
+        p.free(l(block));
+        p.free(l(point_p));
+    });
+
+    b.build(main)
+}
+
+/// World: one process on a POWER7-like node.
+pub fn world(cfg: &ScConfig) -> WorldConfig {
+    let mut sim = SimConfig::new(MachineConfig::power7_node());
+    sim.omp_threads = cfg.threads;
+    WorldConfig::single_node(sim, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_core::prelude::*;
+    use dcp_machine::{MarkedEvent, PmuConfig};
+    use dcp_runtime::{run_world, NullObserver};
+
+    #[test]
+    fn parallel_first_touch_speeds_up() {
+        let o = {
+            let cfg = ScConfig::small(ScVariant::Original);
+            run_world(&build(&cfg), &world(&cfg), |_| NullObserver).wall
+        };
+        let f = {
+            let cfg = ScConfig::small(ScVariant::ParallelFirstTouch);
+            run_world(&build(&cfg), &world(&cfg), |_| NullObserver).wall
+        };
+        assert!(f < o, "first-touch {f} vs original {o}");
+        let gain = (o - f) as f64 / o as f64 * 100.0;
+        assert!(gain > 8.0, "gain only {gain:.1}%");
+    }
+
+    #[test]
+    fn block_dominates_remote_accesses_from_two_contexts() {
+        let cfg = ScConfig::small(ScVariant::Original);
+        let prog = build(&cfg);
+        let mut w = world(&cfg);
+        w.sim.pmu =
+            Some(PmuConfig::Marked { event: MarkedEvent::DataFromRmem, threshold: 4, skid: 2 });
+        let run = run_profiled(&prog, &w, ProfilerConfig::default());
+        let analysis = run.analyze(&prog);
+        let heap = analysis.class_pct(StorageClass::Heap, Metric::Remote);
+        assert!(heap > 85.0, "heap remote share {heap:.1}%");
+        let vars = analysis.variables(Metric::Remote);
+        assert_eq!(vars[0].name, "block");
+        let block_share = 100.0 * vars[0].metrics[Metric::Remote.col()] as f64
+            / analysis.grand_total(Metric::Remote) as f64;
+        assert!(block_share > 60.0, "block remote share {block_share:.1}%");
+        // The dist() accesses reach block from both outlined regions:
+        // check the heap tree contains both region procs.
+        let tree = analysis.tree(StorageClass::Heap);
+        let mut names = std::collections::HashSet::new();
+        for n in tree.preorder() {
+            names.insert(analysis.resolve_frame(tree.frame(n)));
+        }
+        assert!(names.iter().any(|s| s.contains("pgain_parallel")), "{names:?}");
+        assert!(names.iter().any(|s| s.contains("pspeedy_parallel")));
+    }
+
+    #[test]
+    fn fix_reduces_remote_fraction() {
+        let stats = |variant| {
+            let cfg = ScConfig::small(variant);
+            run_world(&build(&cfg), &world(&cfg), |_| NullObserver).nodes[0]
+                .machine_stats
+                .clone()
+        };
+        let o = stats(ScVariant::Original);
+        let f = stats(ScVariant::ParallelFirstTouch);
+        let frac = |s: &dcp_machine::access::MachineStats| {
+            s.remote_dram as f64 / (s.remote_dram + s.local_dram).max(1) as f64
+        };
+        assert!(
+            frac(&f) < frac(&o),
+            "remote fraction must drop: {:.2} -> {:.2}",
+            frac(&o),
+            frac(&f)
+        );
+    }
+}

@@ -1,0 +1,1 @@
+pub use dcp_cct as cct; pub use dcp_core as core; pub use dcp_machine as machine; pub use dcp_runtime as runtime; pub use dcp_workloads as workloads;

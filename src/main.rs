@@ -1,0 +1,219 @@
+//! `memgaze` — command-line front end.
+//!
+//! Run one of the bundled workload models under the data-centric
+//! profiler and print the requested views, like driving `hpcrun` +
+//! `hpcviewer` from a terminal:
+//!
+//! ```sh
+//! memgaze streamcluster --report ranking,topdown,advice
+//! memgaze amg2006 --variant libnuma --metric remote --report ranking
+//! memgaze nw --compare interleaved        # differential vs the fix
+//! memgaze sweep3d --report flat --metric latency
+//! ```
+
+use std::process::ExitCode;
+
+use dcp_core::prelude::*;
+use dcp_core::view::flat;
+use dcp_machine::{MarkedEvent, PmuConfig};
+use dcp_runtime::{Program, WorldConfig};
+
+struct Args {
+    workload: String,
+    variant: String,
+    compare: Option<String>,
+    metric: Metric,
+    reports: Vec<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: memgaze <workload> [options]\n\
+         \n\
+         workloads: amg2006 | sweep3d | lulesh | streamcluster | nw | fig1 | fig2\n\
+         options:\n\
+           --variant <name>     workload variant (default: original)\n\
+                                amg2006: original|numactl|libnuma\n\
+                                sweep3d: original|transposed\n\
+                                lulesh:  original|interleaved|transposed|both\n\
+                                streamcluster: original|firsttouch\n\
+                                nw:      original|interleaved\n\
+           --compare <variant>  also run <variant> and print a differential\n\
+           --metric <m>         samples|latency|remote|tlb (default by workload)\n\
+           --report <list>      comma list: ranking,topdown,bottomup,flat,advice\n\
+                                (default: ranking,topdown)"
+    );
+    ExitCode::from(2)
+}
+
+fn parse() -> Result<Args, ()> {
+    let mut it = std::env::args().skip(1);
+    let workload = it.next().ok_or(())?;
+    let mut a = Args {
+        workload,
+        variant: "original".into(),
+        compare: None,
+        metric: Metric::Remote,
+        reports: vec!["ranking".into(), "topdown".into()],
+    };
+    let mut metric_set = false;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--variant" => a.variant = it.next().ok_or(())?,
+            "--compare" => a.compare = Some(it.next().ok_or(())?),
+            "--metric" => {
+                a.metric = match it.next().ok_or(())?.as_str() {
+                    "samples" => Metric::Samples,
+                    "latency" => Metric::Latency,
+                    "remote" => Metric::Remote,
+                    "tlb" => Metric::TlbMiss,
+                    _ => return Err(()),
+                };
+                metric_set = true;
+            }
+            "--report" => {
+                a.reports = it.next().ok_or(())?.split(',').map(str::to_string).collect()
+            }
+            _ => return Err(()),
+        }
+    }
+    // Latency is the natural default for the IBS-profiled workloads.
+    if !metric_set && matches!(a.workload.as_str(), "sweep3d" | "lulesh" | "fig1" | "fig2") {
+        a.metric = Metric::Latency;
+    }
+    Ok(a)
+}
+
+/// Build (program, world, pmu) for a workload/variant pair.
+fn setup(workload: &str, variant: &str) -> Result<(Program, WorldConfig, PmuConfig), String> {
+    use dcp_workloads as wl;
+    let rmem = PmuConfig::Marked { event: MarkedEvent::DataFromRmem, threshold: 8, skid: 2 };
+    let ibs = PmuConfig::Ibs { period: 128, skid: 2 };
+    match workload {
+        "amg2006" => {
+            let v = match variant {
+                "original" => wl::amg2006::AmgVariant::Original,
+                "numactl" => wl::amg2006::AmgVariant::NumactlInterleave,
+                "libnuma" => wl::amg2006::AmgVariant::LibnumaSelective,
+                other => return Err(format!("unknown amg2006 variant {other:?}")),
+            };
+            let cfg = wl::amg2006::AmgConfig::small(v);
+            Ok((wl::amg2006::build(&cfg), wl::amg2006::world(&cfg), rmem))
+        }
+        "sweep3d" => {
+            let v = match variant {
+                "original" => wl::sweep3d::SweepVariant::Original,
+                "transposed" => wl::sweep3d::SweepVariant::Transposed,
+                other => return Err(format!("unknown sweep3d variant {other:?}")),
+            };
+            let cfg = wl::sweep3d::SweepConfig::small(v);
+            Ok((wl::sweep3d::build(&cfg), wl::sweep3d::world(&cfg), ibs))
+        }
+        "lulesh" => {
+            let v = match variant {
+                "original" => wl::lulesh::LuleshVariant::ORIGINAL,
+                "interleaved" => wl::lulesh::LuleshVariant::INTERLEAVED,
+                "transposed" => wl::lulesh::LuleshVariant::TRANSPOSED,
+                "both" => wl::lulesh::LuleshVariant::BOTH,
+                other => return Err(format!("unknown lulesh variant {other:?}")),
+            };
+            let cfg = wl::lulesh::LuleshConfig::small(v);
+            Ok((wl::lulesh::build(&cfg), wl::lulesh::world(&cfg), ibs))
+        }
+        "streamcluster" => {
+            let v = match variant {
+                "original" => wl::streamcluster::ScVariant::Original,
+                "firsttouch" => wl::streamcluster::ScVariant::ParallelFirstTouch,
+                other => return Err(format!("unknown streamcluster variant {other:?}")),
+            };
+            let cfg = wl::streamcluster::ScConfig::small(v);
+            Ok((wl::streamcluster::build(&cfg), wl::streamcluster::world(&cfg), rmem))
+        }
+        "nw" => {
+            let v = match variant {
+                "original" => wl::nw::NwVariant::Original,
+                "interleaved" => wl::nw::NwVariant::Interleaved,
+                other => return Err(format!("unknown nw variant {other:?}")),
+            };
+            let cfg = wl::nw::NwConfig::small(v);
+            Ok((wl::nw::build(&cfg), wl::nw::world(&cfg), rmem))
+        }
+        "fig1" => {
+            let prog = wl::micro::fig1_line_decomposition(&wl::micro::Fig1Config::default());
+            Ok((prog, wl::micro::world(), PmuConfig::Ibs { period: 64, skid: 2 }))
+        }
+        "fig2" => {
+            let prog = wl::micro::fig2_alloc_loop(100, 8192, 60_000);
+            Ok((prog, wl::micro::world(), PmuConfig::Ibs { period: 64, skid: 2 }))
+        }
+        other => Err(format!("unknown workload {other:?}")),
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let (prog, mut world, pmu) = setup(&args.workload, &args.variant)?;
+    world.sim.pmu = Some(pmu);
+    let run = run_profiled(&prog, &world, ProfilerConfig::default());
+    println!(
+        "# {} ({}): wall {} cycles, {} samples, profile {} bytes, memory-boundedness {:.2}",
+        args.workload,
+        args.variant,
+        run.wall,
+        run.stats.samples,
+        run.profile_bytes,
+        run.memory_boundedness()
+    );
+    if !run.is_memory_bound() {
+        println!("# note: not strongly memory-bound; data-centric analysis may be uninteresting");
+    }
+    println!();
+    let wall = run.wall;
+    let analysis = run.analyze(&prog);
+    for report in &args.reports {
+        match report.as_str() {
+            "ranking" => println!("{}", ranking(&analysis, args.metric, 12)),
+            "topdown" => println!(
+                "{}",
+                top_down(&analysis, StorageClass::Heap, args.metric, TopDownOpts::default())
+            ),
+            "bottomup" => println!("{}", bottom_up(&analysis, args.metric)),
+            "flat" => println!("{}", flat(&analysis, StorageClass::Heap, args.metric, 12)),
+            "advice" => println!(
+                "{}",
+                render_advice(&advise(&analysis, args.metric, &AdvisorConfig::default()))
+            ),
+            other => return Err(format!("unknown report {other:?}")),
+        }
+    }
+    if let Some(cv) = &args.compare {
+        let _ = wall;
+        // Unprofiled walls for an honest speedup number.
+        let (bprog, bworld, _) = setup(&args.workload, &args.variant)?;
+        let (base_wall, _, _) = dcp_core::run_baseline(&bprog, &bworld);
+        let (cprog, cworld, cpmu) = setup(&args.workload, cv)?;
+        let (cmp_wall, _, _) = dcp_core::run_baseline(&cprog, &cworld);
+        println!(
+            "# compare vs {cv} (unprofiled walls): {} -> {} cycles ({:+.1}%)",
+            base_wall,
+            cmp_wall,
+            100.0 * (cmp_wall as f64 - base_wall as f64) / base_wall as f64
+        );
+        let mut cworld = cworld;
+        cworld.sim.pmu = Some(cpmu);
+        let crun = run_profiled(&cprog, &cworld, ProfilerConfig::default());
+        let cananalysis = crun.analyze(&cprog);
+        println!("{}", analysis.compare(&cananalysis, args.metric));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let Ok(args) = parse() else { return usage() };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage()
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! The advisor must reach the same conclusions the paper's authors
+//! reached by hand in §5, given only the measurement data.
+
+use dcp_core::prelude::*;
+use dcp_machine::{MarkedEvent, PmuConfig};
+
+#[test]
+fn advisor_recommends_numa_fix_for_nw() {
+    use dcp_workloads::nw::*;
+    let cfg = NwConfig::small(NwVariant::Original);
+    let prog = build(&cfg);
+    let mut w = world(&cfg);
+    w.sim.pmu = Some(PmuConfig::Marked { event: MarkedEvent::DataFromRmem, threshold: 8, skid: 2 });
+    let run = run_profiled(&prog, &w, ProfilerConfig::default());
+    let analysis = run.analyze(&prog);
+    let recs = advise(&analysis, Metric::Remote, &AdvisorConfig::default());
+    assert!(!recs.is_empty());
+    // Paper's §5.5 conclusion: distribute the allocation of referrence
+    // and input_itemsets. Both were calloc'd by the master.
+    let rec = recs.iter().find(|r| r.variable == "referrence").expect("referrence flagged");
+    assert!(
+        matches!(rec.action, Action::FixFirstTouch { .. } | Action::InterleaveAllocation),
+        "{:?}",
+        rec.action
+    );
+    assert!(recs.iter().any(|r| r.variable == "input_itemsets"));
+    let text = render_advice(&recs);
+    assert!(text.contains("referrence"), "{text}");
+}
+
+#[test]
+fn advisor_recommends_transposition_for_sweep3d() {
+    use dcp_workloads::sweep3d::*;
+    let cfg = SweepConfig::small(SweepVariant::Original);
+    let prog = build(&cfg);
+    let mut w = world(&cfg);
+    w.sim.pmu = Some(PmuConfig::Ibs { period: 96, skid: 2 });
+    let run = run_profiled(&prog, &w, ProfilerConfig::default());
+    let analysis = run.analyze(&prog);
+    let recs = advise(&analysis, Metric::Latency, &AdvisorConfig::default());
+    // Paper's §5.2 conclusion: transpose Flux (and Src): the advisor
+    // must flag the stride problem, not a NUMA problem (pure MPI has
+    // no remote traffic).
+    let rec = recs.iter().find(|r| r.variable == "Flux").expect("Flux flagged");
+    assert!(
+        matches!(rec.action, Action::ImproveSpatialLocality { .. }),
+        "expected spatial advice for Flux, got {:?}",
+        rec.action
+    );
+}
+
+#[test]
+fn advisor_is_quiet_on_balanced_programs() {
+    use dcp_runtime::ir::ex::*;
+    use dcp_runtime::{ProgramBuilder, SimConfig, WorldConfig};
+    // A unit-stride local scan: nothing to recommend beyond (at most)
+    // temporal advice for the dominant array.
+    let mut b = ProgramBuilder::new("calm");
+    let main = b.proc("main", 0, |p| {
+        let a = p.malloc(c(1 << 16), "seq");
+        p.for_(c(0), c(40_000), |p, i| {
+            p.line(5);
+            p.load(l(a), rem(l(i), c(8192)), 8);
+            p.compute(4);
+        });
+        p.free(l(a));
+    });
+    let prog = b.build(main);
+    let mut sim = SimConfig::new(dcp_machine::MachineConfig::magny_cours());
+    sim.pmu = Some(PmuConfig::Ibs { period: 64, skid: 1 });
+    let w = WorldConfig::single_node(sim, 1);
+    let run = run_profiled(&prog, &w, ProfilerConfig::default());
+    let analysis = run.analyze(&prog);
+    let recs = advise(&analysis, Metric::Latency, &AdvisorConfig::default());
+    for r in &recs {
+        assert!(
+            matches!(r.action, Action::ImproveTemporalLocality),
+            "unexpected strong advice on a healthy program: {r:?}"
+        );
+    }
+}

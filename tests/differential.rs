@@ -1,0 +1,72 @@
+//! Differential analysis across an optimization: profile Streamcluster
+//! before and after the parallel first-touch fix and confirm the fix
+//! removed exactly the cost it targeted.
+
+use dcp_core::prelude::*;
+use dcp_core::view::flat;
+use dcp_machine::{MarkedEvent, PmuConfig};
+use dcp_workloads::streamcluster::{build, world, ScConfig, ScVariant};
+
+fn profiled(variant: ScVariant) -> (dcp_runtime::Program, dcp_core::ProfiledRun) {
+    let cfg = ScConfig::small(variant);
+    let prog = build(&cfg);
+    let mut w = world(&cfg);
+    w.sim.pmu =
+        Some(PmuConfig::Marked { event: MarkedEvent::DataFromRmem, threshold: 4, skid: 2 });
+    let run = run_profiled(&prog, &w, ProfilerConfig::default());
+    (prog, run)
+}
+
+#[test]
+fn fix_shrinks_block_remote_events_in_the_differential() {
+    let (prog_b, run_b) = profiled(ScVariant::Original);
+    let (prog_a, run_a) = profiled(ScVariant::ParallelFirstTouch);
+    let before = run_b.analyze(&prog_b);
+    let after = run_a.analyze(&prog_a);
+
+    let block_remote = |a: &dcp_core::Analysis<'_>| {
+        a.variables(Metric::Remote)
+            .iter()
+            .find(|v| v.name == "block")
+            .map(|v| v.metrics[Metric::Remote.col()])
+            .unwrap_or(0)
+    };
+    let b = block_remote(&before);
+    let a = block_remote(&after);
+    assert!(b > 100, "original must show block remote events: {b}");
+    assert!(
+        (a as f64) < b as f64 * 0.6,
+        "fix must cut block's remote events: {b} -> {a}"
+    );
+
+    let report = before.compare(&after, Metric::Remote);
+    assert!(report.contains("block"), "{report}");
+    assert!(report.contains("DELTA"), "{report}");
+    // block must be the top mover.
+    let first_row = report.lines().nth(2).expect("at least one row");
+    assert!(first_row.starts_with("block"), "top mover should be block:\n{report}");
+}
+
+#[test]
+fn profile_diff_at_tree_level_conserves_totals() {
+    let (prog_b, run_b) = profiled(ScVariant::Original);
+    let (prog_a, run_a) = profiled(ScVariant::ParallelFirstTouch);
+    let before = run_b.analyze(&prog_b);
+    let after = run_a.analyze(&prog_a);
+    let d = dcp_cct::diff(before.tree(StorageClass::Heap), after.tree(StorageClass::Heap));
+    let m = Metric::Remote.col();
+    assert_eq!(
+        d.total_delta(m),
+        after.class_total(StorageClass::Heap, Metric::Remote) as i64
+            - before.class_total(StorageClass::Heap, Metric::Remote) as i64
+    );
+}
+
+#[test]
+fn flat_view_surfaces_the_hot_statement() {
+    let (prog, run) = profiled(ScVariant::Original);
+    let a = run.analyze(&prog);
+    let text = flat(&a, StorageClass::Heap, Metric::Remote, 5);
+    // The hot coordinate loads live in dist() at line 175.
+    assert!(text.contains("dist:175"), "{text}");
+}

@@ -1,0 +1,144 @@
+//! Property-based integration tests: randomized programs through the
+//! whole stack must uphold the profiler's invariants.
+
+use dcp_core::prelude::*;
+use dcp_machine::{MachineConfig, MarkedEvent, PmuConfig};
+use dcp_runtime::ir::ex::*;
+use dcp_runtime::{Program, ProgramBuilder, SimConfig, WorldConfig};
+use proptest::prelude::*;
+
+/// Shape of one randomized array + access pattern.
+#[derive(Debug, Clone)]
+struct ArraySpec {
+    kind: u8,     // 0 = heap malloc, 1 = heap calloc, 2 = static, 3 = brk
+    log_bytes: u8, // 12..=18
+    stride: i64,  // elements
+    accesses: i64,
+}
+
+fn arb_spec() -> impl Strategy<Value = ArraySpec> {
+    (0u8..4, 12u8..=18, 1i64..200, 500i64..3000).prop_map(|(kind, log_bytes, stride, accesses)| {
+        ArraySpec { kind, log_bytes, stride, accesses }
+    })
+}
+
+static NAMES: [&str; 8] = ["v0", "v1", "v2", "v3", "v4", "v5", "v6", "v7"];
+
+fn build_program(specs: &[ArraySpec], threads: bool) -> Program {
+    let mut b = ProgramBuilder::new("prop");
+    let mut statics = Vec::new();
+    for (i, s) in specs.iter().enumerate() {
+        if s.kind == 2 {
+            statics.push((i, b.static_array(NAMES[i], 1u64 << s.log_bytes)));
+        }
+    }
+    let region = if threads {
+        Some(b.outlined("region", 2, |p| {
+            let (buf, len) = (p.param(0), p.param(1));
+            p.omp_for(c(0), l(len), |p, i| {
+                p.line(40);
+                p.load(l(buf), l(i), 8);
+            });
+        }))
+    } else {
+        None
+    };
+    let specs = specs.to_vec();
+    let main = b.proc("main", 0, |p| {
+        let mut handles = Vec::new();
+        for (i, s) in specs.iter().enumerate() {
+            let bytes = 1i64 << s.log_bytes;
+            let h = match s.kind {
+                0 => p.malloc(c(bytes), NAMES[i]),
+                1 => p.calloc(c(bytes), NAMES[i]),
+                2 => {
+                    let addr = statics.iter().find(|(j, _)| *j == i).unwrap().1;
+                    p.def(c(addr as i64))
+                }
+                _ => p.brk_alloc(c(bytes)),
+            };
+            handles.push(h);
+        }
+        for (i, s) in specs.iter().enumerate() {
+            let elems = (1i64 << s.log_bytes) / 8;
+            p.line(20 + i as u32);
+            p.for_(c(0), c(s.accesses), |p, j| {
+                p.load(l(handles[i]), rem(mul(l(j), c(s.stride)), c(elems)), 8);
+            });
+        }
+        if let Some(r) = region {
+            p.parallel(r, vec![l(handles[0]), c(512)]);
+        }
+        for (i, s) in specs.iter().enumerate() {
+            if s.kind <= 1 {
+                p.free(l(handles[i]));
+            }
+        }
+    });
+    b.build(main)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Random programs never break the pipeline, and every sample lands
+    /// in exactly one storage class.
+    #[test]
+    fn pipeline_conserves_samples(specs in prop::collection::vec(arb_spec(), 1..5),
+                                  threads in prop::bool::ANY,
+                                  ibs in prop::bool::ANY) {
+        let prog = build_program(&specs, threads);
+        let mut sim = SimConfig::new(MachineConfig::magny_cours());
+        sim.omp_threads = if threads { 6 } else { 1 };
+        sim.pmu = Some(if ibs {
+            PmuConfig::Ibs { period: 64, skid: 2 }
+        } else {
+            PmuConfig::Marked { event: MarkedEvent::DataFromMem, threshold: 8, skid: 1 }
+        });
+        let w = WorldConfig::single_node(sim, 1);
+        let run = run_profiled(&prog, &w, ProfilerConfig::default());
+        let total = run.stats.samples;
+        let a = run.analyze(&prog);
+        let by_class: u64 = StorageClass::ALL
+            .iter()
+            .map(|&cl| a.class_total(cl, Metric::Samples))
+            .sum();
+        prop_assert_eq!(total, by_class);
+        // Remote samples never exceed total samples, per class.
+        for cl in StorageClass::ALL {
+            prop_assert!(a.class_total(cl, Metric::Remote) <= a.class_total(cl, Metric::Samples));
+        }
+    }
+
+    /// Profiling never makes the program *faster*, and overhead stays
+    /// bounded for sane sampling periods.
+    #[test]
+    fn overhead_is_nonnegative(specs in prop::collection::vec(arb_spec(), 1..4)) {
+        let prog = build_program(&specs, false);
+        let mut sim = SimConfig::new(MachineConfig::magny_cours());
+        sim.pmu = Some(PmuConfig::Ibs { period: 256, skid: 2 });
+        let w = WorldConfig::single_node(sim, 1);
+        let o = measure_overhead(&prog, &w, ProfilerConfig::default());
+        prop_assert!(o.profiled_wall >= o.baseline_wall);
+        prop_assert!(o.overhead_pct < 300.0, "overhead {}%", o.overhead_pct);
+    }
+
+    /// Brk (unknown) data never shows up as a named variable; tracked
+    /// heap variables resolve to their hints.
+    #[test]
+    fn naming_is_faithful(specs in prop::collection::vec(arb_spec(), 1..5)) {
+        let prog = build_program(&specs, false);
+        let mut sim = SimConfig::new(MachineConfig::magny_cours());
+        sim.pmu = Some(PmuConfig::Ibs { period: 48, skid: 1 });
+        let w = WorldConfig::single_node(sim, 1);
+        let run = run_profiled(&prog, &w, ProfilerConfig::default());
+        let a = run.analyze(&prog);
+        for v in a.variables(Metric::Samples) {
+            if v.metrics[Metric::Samples.col()] == 0 { continue; }
+            prop_assert!(
+                NAMES.contains(&v.name.as_str()),
+                "unexpected variable name {:?}", v.name
+            );
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Integration tests for realloc: the paper wraps the whole malloc
+//! family (malloc, calloc, realloc), and a moved block must re-attribute
+//! cleanly — the old range freed, the new range owned by the realloc
+//! site's calling context.
+
+use dcp_core::prelude::*;
+use dcp_machine::{MachineConfig, PmuConfig};
+use dcp_runtime::ir::ex::*;
+use dcp_runtime::{ProgramBuilder, SimConfig, WorldConfig};
+
+#[test]
+fn grown_block_reattributes_to_the_realloc_site() {
+    let mut b = ProgramBuilder::new("re");
+    let main = b.proc("main", 0, |p| {
+        p.line(3);
+        let small = p.malloc(c(1 << 14), "grow_me");
+        // Touch the small block a bit.
+        p.for_(c(0), c(2048), |p, i| {
+            p.line(4);
+            p.store(l(small), l(i), 8);
+        });
+        // Grow it 8x: moves, copies, re-registers.
+        p.line(8);
+        let big = p.realloc(l(small), c(1 << 17), "grow_me_big");
+        p.for_(c(0), c(30_000), |p, i| {
+            p.line(9);
+            p.load(l(big), rem(mul(l(i), c(61)), c(1 << 14)), 8);
+        });
+        p.free(l(big));
+    });
+    let prog = b.build(main);
+    let mut sim = SimConfig::new(MachineConfig::magny_cours());
+    sim.pmu = Some(PmuConfig::Ibs { period: 32, skid: 1 });
+    let w = WorldConfig::single_node(sim, 1);
+    let run = run_profiled(&prog, &w, ProfilerConfig::default());
+    // Wrapper accounting: malloc + realloc's implicit malloc = 2 allocs,
+    // realloc's implicit free + the final free = 2 frees.
+    assert_eq!(run.stats.allocs_seen, 2, "{:?}", run.stats);
+    assert_eq!(run.stats.frees_seen, 2);
+    let a = run.analyze(&prog);
+    let vars = a.variables(Metric::Samples);
+    let big = vars.iter().find(|v| v.name == "grow_me_big").expect("realloc'd var tracked");
+    assert!(big.metrics[Metric::Samples.col()] > 100);
+    assert!(big.alloc_site.contains("main:8"), "{}", big.alloc_site);
+    // Nothing ends up unknown: the moved block is tracked at its new home.
+    assert_eq!(a.class_total(StorageClass::Unknown, Metric::Samples), 0);
+}
+
+#[test]
+fn same_class_realloc_keeps_the_address_and_owner() {
+    let mut b = ProgramBuilder::new("re");
+    let main = b.proc("main", 0, |p| {
+        p.line(3);
+        let buf = p.malloc(c(8192), "stable");
+        p.for_(c(0), c(4096), |p, i| {
+            p.line(4);
+            p.load(l(buf), rem(mul(l(i), c(13)), c(1024)), 8);
+        });
+        // Shrink within the same page class: no move, no re-registration.
+        p.line(6);
+        let same = p.realloc(l(buf), c(8000), "stable2");
+        p.for_(c(0), c(4096), |p, i| {
+            p.line(7);
+            p.load(l(same), rem(mul(l(i), c(13)), c(1000)), 8);
+        });
+        p.free(l(same));
+    });
+    let prog = b.build(main);
+    let mut sim = SimConfig::new(MachineConfig::magny_cours());
+    sim.pmu = Some(PmuConfig::Ibs { period: 32, skid: 1 });
+    let w = WorldConfig::single_node(sim, 1);
+    let run = run_profiled(&prog, &w, ProfilerConfig::default());
+    // In-place realloc emits no wrapper events beyond the original pair.
+    assert_eq!(run.stats.allocs_seen, 1);
+    assert_eq!(run.stats.frees_seen, 1);
+    let a = run.analyze(&prog);
+    // All samples stay with the original owner.
+    let vars = a.variables(Metric::Samples);
+    assert_eq!(vars.len(), 1);
+    assert_eq!(vars[0].name, "stable");
+}
+
+#[test]
+fn realloc_copy_produces_real_traffic() {
+    let bytes: i64 = 1 << 16;
+    let mut b = ProgramBuilder::new("re");
+    let main = b.proc("main", 0, |p| {
+        let buf = p.malloc(c(bytes), "v");
+        let grown = p.realloc(l(buf), c(4 * bytes), "v2");
+        p.free(l(grown));
+    });
+    let prog = b.build(main);
+    let sim = SimConfig::new(MachineConfig::magny_cours());
+    let w = WorldConfig::single_node(sim, 1);
+    let (_, nodes, _) = dcp_core::run_baseline(&prog, &w);
+    // min(old,new) = 64 KiB copied line-by-line: 1024 loads + 1024 stores.
+    let s = &nodes[0].machine_stats;
+    assert_eq!(s.loads, 1024);
+    assert_eq!(s.stores, 1024);
+}

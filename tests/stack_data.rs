@@ -1,0 +1,81 @@
+//! Integration tests of the stack-data extension (the paper's §7
+//! future-work item): thread-stack accesses get their own storage class
+//! when `stack_class` is on, and fall into unknown data when the
+//! profiler is configured paper-faithfully.
+
+use dcp_core::prelude::*;
+use dcp_machine::{MachineConfig, PmuConfig};
+use dcp_runtime::ir::ex::*;
+use dcp_runtime::{Program, ProgramBuilder, SimConfig, WorldConfig};
+
+fn program() -> Program {
+    let mut b = ProgramBuilder::new("stacky");
+    let kernel = b.proc("kernel", 1, |p| {
+        let heap = p.param(0);
+        // A sizable local working array — scattered accesses so they miss.
+        let local = p.stack_alloc(c(1 << 17));
+        p.for_(c(0), c(20_000), |p, i| {
+            let scat = rem(mul(l(i), c(127)), c(1 << 14));
+            p.line(30);
+            p.store(l(local), scat.clone(), 8);
+            p.line(31);
+            p.load(l(heap), scat, 8);
+        });
+        p.ret(None);
+    });
+    let main = b.proc("main", 0, |p| {
+        let heap = p.malloc(c(1 << 17), "heap_buf");
+        p.call(kernel, vec![l(heap)]);
+        p.free(l(heap));
+    });
+    b.build(main)
+}
+
+fn run(stack_class: bool) -> (u64, u64, u64) {
+    let prog = program();
+    let mut sim = SimConfig::new(MachineConfig::magny_cours());
+    sim.pmu = Some(PmuConfig::Ibs { period: 64, skid: 2 });
+    let w = WorldConfig::single_node(sim, 1);
+    let pcfg = ProfilerConfig { stack_class, ..ProfilerConfig::default() };
+    let run = run_profiled(&prog, &w, pcfg);
+    let a = run.analyze(&prog);
+    (
+        a.class_total(StorageClass::Stack, Metric::Samples),
+        a.class_total(StorageClass::Unknown, Metric::Samples),
+        a.class_total(StorageClass::Heap, Metric::Samples),
+    )
+}
+
+#[test]
+fn stack_accesses_get_their_own_class() {
+    let (stack, unknown, heap) = run(true);
+    assert!(stack > 50, "stack samples: {stack}");
+    assert!(heap > 50, "heap samples: {heap}");
+    // The kernel's stack and heap accesses are 1:1; samples should be
+    // in the same ballpark.
+    let ratio = stack as f64 / heap as f64;
+    assert!(ratio > 0.4 && ratio < 2.5, "stack:heap {ratio}");
+    assert_eq!(unknown, 0, "nothing else is untracked in this program");
+}
+
+#[test]
+fn paper_mode_folds_stack_into_unknown() {
+    let (stack, unknown, _) = run(false);
+    assert_eq!(stack, 0, "paper-faithful mode has no stack class");
+    assert!(unknown > 50, "stack samples fall into unknown: {unknown}");
+}
+
+#[test]
+fn stack_class_appears_in_views() {
+    let prog = program();
+    let mut sim = SimConfig::new(MachineConfig::magny_cours());
+    sim.pmu = Some(PmuConfig::Ibs { period: 64, skid: 2 });
+    let w = WorldConfig::single_node(sim, 1);
+    let run = run_profiled(&prog, &w, ProfilerConfig::default());
+    let a = run.analyze(&prog);
+    let text = ranking(&a, Metric::Samples, 8);
+    assert!(text.contains("stack data"), "{text}");
+    let breakdown = storage_breakdown(&a, Metric::Samples);
+    let total: f64 = breakdown.iter().map(|(_, _, p)| p).sum();
+    assert!((total - 100.0).abs() < 1e-6);
+}

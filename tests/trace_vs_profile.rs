@@ -1,0 +1,81 @@
+//! The §2.2/§6.2 space argument, measured against a *real* trace
+//! implementation: run the same execution under the compact profiler and
+//! under a MemProf-style trace collector and compare data volumes and
+//! scaling behaviour.
+
+use dcp_core::prelude::*;
+use dcp_core::TraceCollector;
+use dcp_machine::{MachineConfig, PmuConfig};
+use dcp_runtime::ir::ex::*;
+use dcp_runtime::{run_world, Program, ProgramBuilder, SimConfig, WorldConfig};
+
+fn program(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new("space");
+    let region = b.outlined("work", 2, |p| {
+        let (buf, n) = (p.param(0), p.param(1));
+        p.omp_for(c(0), l(n), |p, i| {
+            p.line(30);
+            p.load(l(buf), mul(l(i), c(16)), 8);
+        });
+    });
+    let main = b.proc("main", 0, |p| {
+        let buf = p.calloc(c(128 * 8192), "data");
+        p.for_(c(0), c(iters), |p, _| {
+            p.parallel(region, vec![l(buf), c(8192)]);
+        });
+        p.free(l(buf));
+    });
+    b.build(main)
+}
+
+fn world() -> WorldConfig {
+    let mut sim = SimConfig::new(MachineConfig::power7_node());
+    sim.omp_threads = 16;
+    sim.pmu = Some(PmuConfig::Ibs { period: 48, skid: 2 });
+    WorldConfig::single_node(sim, 1)
+}
+
+#[test]
+fn profile_is_much_smaller_than_trace_for_the_same_run() {
+    let prog = program(4);
+    let w = world();
+    let profiled = run_profiled(&prog, &w, ProfilerConfig::default());
+    let traced = run_world(&prog, &w, |_| TraceCollector::new());
+    let trace_bytes: usize = traced.observers.iter().map(|t| t.trace_bytes()).sum();
+    let (samples, ..) = traced.observers[0].counts();
+    assert!(samples > 1_000, "need volume: {samples}");
+    assert!(
+        profiled.profile_bytes * 10 < trace_bytes,
+        "profile {} must be far below trace {}",
+        profiled.profile_bytes,
+        trace_bytes
+    );
+}
+
+#[test]
+fn trace_grows_with_time_profile_does_not() {
+    // 4x the execution: the trace ~4x's, the profile stays flat (same
+    // calling contexts).
+    let w = world();
+    let (p1, p4) = (program(2), program(8));
+    let prof_small = run_profiled(&p1, &w, ProfilerConfig::default()).profile_bytes;
+    let prof_large = run_profiled(&p4, &w, ProfilerConfig::default()).profile_bytes;
+    let trace_small: usize = run_world(&p1, &w, |_| TraceCollector::new())
+        .observers
+        .iter()
+        .map(|t| t.trace_bytes())
+        .sum();
+    let trace_large: usize = run_world(&p4, &w, |_| TraceCollector::new())
+        .observers
+        .iter()
+        .map(|t| t.trace_bytes())
+        .sum();
+    assert!(
+        trace_large as f64 > 2.5 * trace_small as f64,
+        "trace must grow with time: {trace_small} -> {trace_large}"
+    );
+    assert!(
+        (prof_large as f64) < 1.5 * prof_small as f64,
+        "profile must stay near-flat: {prof_small} -> {prof_large}"
+    );
+}

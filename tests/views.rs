@@ -1,0 +1,129 @@
+//! Integration tests of the presentation views against a program with
+//! known structure: the rendered text must contain the right names,
+//! groupings and percentages.
+
+use dcp_core::prelude::*;
+use dcp_machine::{MachineConfig, PmuConfig};
+use dcp_runtime::ir::ex::*;
+use dcp_runtime::{Program, ProgramBuilder, SimConfig, WorldConfig};
+
+/// Two variables allocated through the same wrapper from different call
+/// sites, plus one static — exercises every view.
+fn program() -> Program {
+    let mut b = ProgramBuilder::new("views");
+    let table = b.static_array("big_table", 1 << 18);
+    let wrapper = b.declare("xmalloc", 1);
+    b.define(wrapper, |p| {
+        p.line(99);
+        let ptr = p.malloc(l(p.param(0)), "");
+        p.ret(Some(l(ptr)));
+    });
+    let main = b.proc("main", 0, |p| {
+        p.line(10);
+        let a = p.call_ret_hint(wrapper, vec![c(1 << 18)], "alpha");
+        p.line(11);
+        let bb = p.call_ret_hint(wrapper, vec![c(1 << 18)], "beta");
+        p.for_(c(0), c(24_000), |p, i| {
+            let scat = rem(mul(l(i), c(179)), c(1 << 15));
+            p.line(20);
+            p.load(l(a), scat.clone(), 8);
+            p.line(21);
+            p.load(l(a), rem(mul(l(i), c(67)), c(1 << 15)), 8);
+            p.line(22);
+            p.load(l(bb), scat.clone(), 8);
+            p.line(23);
+            p.load(c(table as i64), scat, 8);
+        });
+        p.free(l(a));
+        p.free(l(bb));
+    });
+    b.build(main)
+}
+
+fn analyzed() -> (Program, u64) {
+    let prog = program();
+    let mut sim = SimConfig::new(MachineConfig::magny_cours());
+    sim.pmu = Some(PmuConfig::Ibs { period: 40, skid: 2 });
+    let w = WorldConfig::single_node(sim, 1);
+    let run = run_profiled(&prog, &w, ProfilerConfig::default());
+    let samples = run.stats.samples;
+    // Leak the measurements into the analysis by re-running analyze in
+    // each test; cheaper: return the samples and let tests rebuild.
+    (prog, samples)
+}
+
+#[test]
+fn ranking_names_all_variables() {
+    let (prog, _) = analyzed();
+    let mut sim = SimConfig::new(MachineConfig::magny_cours());
+    sim.pmu = Some(PmuConfig::Ibs { period: 40, skid: 2 });
+    let w = WorldConfig::single_node(sim, 1);
+    let run = run_profiled(&prog, &w, ProfilerConfig::default());
+    let a = run.analyze(&prog);
+    let text = ranking(&a, Metric::Latency, 10);
+    for name in ["alpha", "beta", "big_table", "heap data", "static data"] {
+        assert!(text.contains(name), "ranking missing {name}:\n{text}");
+    }
+    // alpha is read twice as often as beta: it must rank first among
+    // heap variables.
+    let vars = a.variables(Metric::Samples);
+    let heap: Vec<_> = vars.iter().filter(|v| v.class == StorageClass::Heap).collect();
+    assert_eq!(heap[0].name, "alpha");
+    let r = heap[0].metrics[Metric::Samples.col()] as f64
+        / heap[1].metrics[Metric::Samples.col()] as f64;
+    assert!(r > 1.4 && r < 2.9, "alpha:beta sample ratio {r}");
+}
+
+#[test]
+fn topdown_shows_alloc_path_then_marker_then_accesses() {
+    let (prog, _) = analyzed();
+    let mut sim = SimConfig::new(MachineConfig::magny_cours());
+    sim.pmu = Some(PmuConfig::Ibs { period: 40, skid: 2 });
+    let w = WorldConfig::single_node(sim, 1);
+    let run = run_profiled(&prog, &w, ProfilerConfig::default());
+    let a = run.analyze(&prog);
+    let text = top_down(
+        &a,
+        StorageClass::Heap,
+        Metric::Samples,
+        TopDownOpts { max_depth: 10, min_pct: 1.0, max_children: 6 },
+    );
+    // Allocation call path (main:10 -> xmalloc:99), the dummy node, then
+    // the access sites.
+    assert!(text.contains("main:10"), "{text}");
+    assert!(text.contains("xmalloc:99"), "{text}");
+    assert!(text.contains("heap data accesses"), "{text}");
+    assert!(text.contains("main:20") || text.contains("main:21"), "{text}");
+    // The marker line's position: alloc path appears before the marker.
+    let alloc_pos = text.find("xmalloc:99").unwrap();
+    let marker_pos = text.find("heap data accesses").unwrap();
+    assert!(alloc_pos < marker_pos);
+}
+
+#[test]
+fn bottomup_groups_by_wrapper_call_site() {
+    let (prog, _) = analyzed();
+    let mut sim = SimConfig::new(MachineConfig::magny_cours());
+    sim.pmu = Some(PmuConfig::Ibs { period: 40, skid: 2 });
+    let w = WorldConfig::single_node(sim, 1);
+    let run = run_profiled(&prog, &w, ProfilerConfig::default());
+    let a = run.analyze(&prog);
+    let text = bottom_up(&a, Metric::Samples);
+    // Two rows: the two call sites of xmalloc in main.
+    assert!(text.contains("main:10"), "{text}");
+    assert!(text.contains("main:11"), "{text}");
+    assert!(text.contains("alpha"), "{text}");
+    assert!(text.contains("beta"), "{text}");
+}
+
+#[test]
+fn breakdown_percentages_sum_to_100() {
+    let (prog, _) = analyzed();
+    let mut sim = SimConfig::new(MachineConfig::magny_cours());
+    sim.pmu = Some(PmuConfig::Ibs { period: 40, skid: 2 });
+    let w = WorldConfig::single_node(sim, 1);
+    let run = run_profiled(&prog, &w, ProfilerConfig::default());
+    let a = run.analyze(&prog);
+    let total: f64 = storage_breakdown(&a, Metric::Samples).iter().map(|(_, _, p)| p).sum();
+    assert!((total - 100.0).abs() < 1e-6, "breakdown sums to {total}");
+}
