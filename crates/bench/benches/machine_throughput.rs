@@ -1,8 +1,9 @@
-//! Criterion micro-benchmarks of the machine simulator's access pipeline
+//! Micro-benchmarks of the machine simulator's access pipeline
 //! — simulation throughput bounds how large a workload the reproduction
 //! can run, so regressions here matter.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dcp_support::bench::{black_box, Criterion, Throughput};
+use dcp_support::{criterion_group, criterion_main};
 use dcp_machine::{AccessKind, CoreId, DomainId, Machine, MachineConfig};
 
 fn bench_access_patterns(c: &mut Criterion) {

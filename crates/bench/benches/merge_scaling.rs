@@ -1,8 +1,9 @@
-//! Criterion benchmark of post-mortem profile merging: the parallel
+//! Benchmark of post-mortem profile merging: the parallel
 //! reduction tree (§4.2's scalability mechanism) versus a sequential
 //! fold, across thread counts.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcp_support::bench::{black_box, BatchSize, BenchmarkId, Criterion};
+use dcp_support::{criterion_group, criterion_main};
 use dcp_cct::{merge_reduction_tree, merge_sequential, Cct, Frame};
 
 fn make_profile(seed: u64) -> Cct {
@@ -29,7 +30,7 @@ fn bench_merge(c: &mut Criterion) {
                 b.iter_batched(
                     || (0..n as u64).map(make_profile).collect::<Vec<_>>(),
                     |ps| black_box(merge_reduction_tree(ps, 5).len()),
-                    criterion::BatchSize::LargeInput,
+                    BatchSize::LargeInput,
                 );
             },
         );
@@ -37,7 +38,7 @@ fn bench_merge(c: &mut Criterion) {
             b.iter_batched(
                 || (0..n as u64).map(make_profile).collect::<Vec<_>>(),
                 |ps| black_box(merge_sequential(ps, 5).len()),
-                criterion::BatchSize::LargeInput,
+                BatchSize::LargeInput,
             );
         });
     }

@@ -1,10 +1,11 @@
-//! Criterion micro-benchmarks of the profiler's own data structures —
+//! Micro-benchmarks of the profiler's own data structures —
 //! the constant factors behind the paper's "low runtime overhead" claim:
 //! CCT path insertion, live-heap interval lookup, static symbol lookup,
 //! allocation-context capture under each §4.1.3 strategy, and profile
 //! encoding.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcp_support::bench::{black_box, BenchmarkId, Criterion};
+use dcp_support::{criterion_group, criterion_main};
 use dcp_cct::{encode, Cct, Frame};
 use dcp_core::datacentric::{
     AllocPaths, HeapMap, ProfCosts, StaticMap, TrackingPolicy, UnwindCache,
@@ -121,7 +122,7 @@ fn bench_encode(c: &mut Criterion) {
 /// shared variant pays lock traffic on every sample; the private variant
 /// pays a one-time merge.
 fn bench_shared_vs_private(c: &mut Criterion) {
-    use parking_lot::Mutex;
+    use std::sync::Mutex;
     use std::sync::Arc;
     const THREADS: usize = 8;
     const SAMPLES: usize = 2_000;
@@ -143,12 +144,12 @@ fn bench_shared_vs_private(c: &mut Criterion) {
                     let mine = Arc::clone(&shared);
                     s.spawn(move || {
                         for i in 0..SAMPLES {
-                            mine.lock().insert_path(path_for(t, i), 0, 1);
+                            mine.lock().expect("no poisoned lock").insert_path(path_for(t, i), 0, 1);
                         }
                     });
                 }
             });
-            let total = shared.lock().total(0);
+            let total = shared.lock().expect("no poisoned lock").total(0);
             black_box(total)
         });
     });

@@ -12,7 +12,7 @@
 //! order, parents before children): frame tag byte, frame payload varint,
 //! parent id varint, metric values varints.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dcp_support::bytes::{Bytes, BytesMut};
 
 use crate::tree::{Cct, Frame, NodeId, ROOT};
 

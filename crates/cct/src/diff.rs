@@ -6,7 +6,7 @@
 //! deltas, so "the remote accesses to `block` disappeared and nothing
 //! else regressed" is a query, not an eyeball job.
 
-use rustc_hash::FxHashMap;
+use dcp_support::FxHashMap;
 
 use crate::tree::{Cct, Frame};
 

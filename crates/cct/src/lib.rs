@@ -19,14 +19,15 @@ pub use tree::{Cct, Frame, NodeId, ROOT};
 
 #[cfg(test)]
 mod proptests {
-    use proptest::prelude::*;
+    use dcp_support::prop::{vec, Just, Strategy, StrategyExt};
+    use dcp_support::{one_of, props};
 
     use crate::codec::{decode, encode};
     use crate::merge::{merge_reduction_tree, merge_sequential};
     use crate::tree::{Cct, Frame, ROOT};
 
     fn arb_frame() -> impl Strategy<Value = Frame> {
-        prop_oneof![
+        one_of![
             (0u64..20).prop_map(Frame::Proc),
             (0u64..50).prop_map(Frame::CallSite),
             (0u64..50).prop_map(Frame::Stmt),
@@ -37,11 +38,7 @@ mod proptests {
 
     fn arb_cct() -> impl Strategy<Value = Cct> {
         // Random paths with random metric additions.
-        prop::collection::vec(
-            (prop::collection::vec(arb_frame(), 1..8), 0u64..1_000_000, 0usize..2),
-            0..40,
-        )
-        .prop_map(|paths| {
+        vec((vec(arb_frame(), 1..8), 0u64..1_000_000, 0usize..2), 0..40).prop_map(|paths| {
             let mut t = Cct::new(2);
             for (path, v, m) in paths {
                 t.insert_path(path, m, v);
@@ -50,49 +47,46 @@ mod proptests {
         })
     }
 
-    proptest! {
+    props! {
+        cases = 64;
+
         /// Codec roundtrip preserves everything observable.
-        #[test]
         fn codec_roundtrip(t in arb_cct()) {
             let back = decode(encode(&t)).unwrap();
-            prop_assert_eq!(t.canonical(), back.canonical());
-            prop_assert_eq!(t.len(), back.len());
+            assert_eq!(t.canonical(), back.canonical());
+            assert_eq!(t.len(), back.len());
         }
 
         /// Merging conserves metric totals.
-        #[test]
-        fn merge_conserves_totals(ts in prop::collection::vec(arb_cct(), 0..12)) {
+        fn merge_conserves_totals(ts in vec(arb_cct(), 0..12)) {
             let want0: u64 = ts.iter().map(|t| t.total(0)).sum();
             let want1: u64 = ts.iter().map(|t| t.total(1)).sum();
             let merged = merge_reduction_tree(ts, 2);
-            prop_assert_eq!(merged.total(0), want0);
-            prop_assert_eq!(merged.total(1), want1);
+            assert_eq!(merged.total(0), want0);
+            assert_eq!(merged.total(1), want1);
         }
 
         /// The parallel reduction tree matches the sequential fold.
-        #[test]
-        fn tree_matches_sequential(ts in prop::collection::vec(arb_cct(), 0..10)) {
+        fn tree_matches_sequential(ts in vec(arb_cct(), 0..10)) {
             let tree = merge_reduction_tree(ts.clone(), 2);
             let seq = merge_sequential(ts, 2);
-            prop_assert_eq!(tree.canonical(), seq.canonical());
+            assert_eq!(tree.canonical(), seq.canonical());
         }
 
         /// Inclusive(root) equals the metric total, for every column.
-        #[test]
         fn inclusive_root_is_total(t in arb_cct()) {
             for m in 0..2 {
                 let inc = t.inclusive(m);
-                prop_assert_eq!(inc[ROOT.0 as usize], t.total(m));
+                assert_eq!(inc[ROOT.0 as usize], t.total(m));
             }
         }
 
         /// Inclusive value of a parent is at least that of each child.
-        #[test]
         fn inclusive_is_monotone(t in arb_cct()) {
             let inc = t.inclusive(0);
             for n in t.preorder() {
                 for c in t.children(n) {
-                    prop_assert!(inc[n.0 as usize] >= inc[c.0 as usize]);
+                    assert!(inc[n.0 as usize] >= inc[c.0 as usize]);
                 }
             }
         }

@@ -8,7 +8,7 @@
 //! commutative on canonical tree content, so the parallel reduction is
 //! deterministic in everything observable.
 
-use rayon::join;
+use dcp_support::pool::join;
 
 use crate::tree::Cct;
 
@@ -104,6 +104,21 @@ mod tests {
         let merged = merge_reduction_tree(profiles, 2);
         assert_eq!(merged.total(0), want0);
         assert_eq!(merged.total(1), want1);
+    }
+
+    #[test]
+    fn oversubscribed_pool_merges_correctly() {
+        // Far more profiles than the pool has workers (the pool is sized
+        // from DCP_THREADS or the core count — single digits either way),
+        // so the reduction tree must queue, steal, and help without
+        // deadlocking, and still match the sequential fold.
+        let n = 512 * dcp_support::pool::parallelism();
+        let mk = || (0..n as u64).map(|s| make_profile(s, 7)).collect::<Vec<_>>();
+        let tree = merge_reduction_tree(mk(), 2);
+        let seq = merge_sequential(mk(), 2);
+        assert_eq!(tree.canonical(), seq.canonical());
+        assert_eq!(tree.total(0), seq.total(0));
+        assert_eq!(tree.total(1), seq.total(1));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! Metrics are dense per-node `u64` vectors; the metric schema (what
 //! column 0 means) is owned by the profiler, not the tree.
 
-use rustc_hash::FxHashMap;
+use dcp_support::FxHashMap;
 
 /// One CCT frame. Payloads are opaque `u64`s (instruction addresses,
 /// procedure ids, symbol handles); the post-mortem analyzer interprets

@@ -7,7 +7,7 @@
 
 use dcp_cct::{merge_reduction_tree, Cct, Frame, NodeId, ROOT};
 use dcp_runtime::ir::{Ip, ProcId, Program};
-use rustc_hash::FxHashMap;
+use dcp_support::FxHashMap;
 
 use crate::metrics::{Metric, StorageClass, CLASSES, WIDTH};
 use crate::profiler::{MeasurementData, ProfStats};

@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 
 use dcp_cct::Frame;
-use rustc_hash::FxHashMap;
+use dcp_support::FxHashMap;
 
 /// Interned allocation-context id.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

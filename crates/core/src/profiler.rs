@@ -23,7 +23,7 @@ use dcp_cct::{encode, Cct, Frame, ROOT};
 use dcp_machine::{Cycles, Sample};
 use dcp_runtime::observer::{AllocEvent, FreeEvent, ModuleEvent, NodeObserver, ThreadView};
 use dcp_runtime::FrameInfo;
-use rustc_hash::FxHashMap;
+use dcp_support::FxHashMap;
 
 use crate::datacentric::{AllocPaths, HeapMap, ProfCosts, StaticMap, TrackingPolicy, UnwindCache};
 use crate::metrics::{Metric, StorageClass, CLASSES, WIDTH};

@@ -10,7 +10,7 @@
 //! so the profile-vs-trace space comparison in Table 1 and the
 //! scalability tests measure a real alternative, not an estimate.
 
-use bytes::{BufMut, BytesMut};
+use dcp_support::bytes::BytesMut;
 use dcp_machine::{Cycles, Sample};
 use dcp_runtime::observer::{AllocEvent, FreeEvent, ModuleEvent, NodeObserver, ThreadView};
 

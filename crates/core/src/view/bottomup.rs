@@ -7,7 +7,7 @@
 //! same source statement but on different paths merge into one row, with
 //! the distinct variables listed underneath.
 
-use rustc_hash::FxHashMap;
+use dcp_support::FxHashMap;
 
 use crate::analyze::{Analysis, VarSummary};
 use crate::metrics::{Metric, StorageClass};

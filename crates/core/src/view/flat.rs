@@ -3,7 +3,7 @@
 //! access is reached through many paths and the top-down view disperses
 //! it.
 
-use rustc_hash::FxHashMap;
+use dcp_support::FxHashMap;
 
 use dcp_cct::Frame;
 

@@ -111,7 +111,7 @@ pub struct Machine {
     interconnect: Interconnect,
     versions: VersionTable,
     /// Per-physical-core in-flight prefetch buffers (MSHR-like).
-    pfbuf: Vec<rustc_hash::FxHashMap<u64, PfEntry>>,
+    pfbuf: Vec<dcp_support::FxHashMap<u64, PfEntry>>,
     stats: MachineStats,
 }
 
@@ -134,7 +134,7 @@ impl Machine {
             dram: Dram::new(cfg.topology.domains, cfg.dram_service),
             interconnect: Interconnect::new(&cfg.topology, cfg.hop_latency),
             versions: VersionTable::new(),
-            pfbuf: (0..cores).map(|_| rustc_hash::FxHashMap::default()).collect(),
+            pfbuf: (0..cores).map(|_| dcp_support::FxHashMap::default()).collect(),
             cfg,
             stats: MachineStats::default(),
         }

@@ -10,7 +10,7 @@
 //! observable behaviour as write-invalidate MESI without walking 128
 //! caches per store.
 
-use rustc_hash::FxHashMap;
+use dcp_support::FxHashMap;
 
 use crate::config::CacheConfig;
 

@@ -55,7 +55,8 @@ pub type Cycles = u64;
 
 #[cfg(test)]
 mod proptests {
-    use proptest::prelude::*;
+    use dcp_support::prop::vec;
+    use dcp_support::props;
 
     use crate::access::{AccessKind, Machine};
     use crate::cache::Cache;
@@ -64,10 +65,11 @@ mod proptests {
     use crate::page::{PagePolicy, PageTable};
     use crate::topology::{CoreId, DomainId};
 
-    proptest! {
+    props! {
+        cases = 64;
+
         /// A cache lookup immediately after a fill of the same line at the
         /// same version always hits, for any geometry.
-        #[test]
         fn fill_then_lookup_hits(
             assoc in 1u32..8,
             sets_pow in 1u32..6,
@@ -77,38 +79,38 @@ mod proptests {
             let capacity = 64u64 * assoc as u64 * (1 << sets_pow);
             let mut c = Cache::new(&CacheConfig { capacity, assoc, latency: 1 }, 64);
             c.fill(line, version);
-            prop_assert!(c.lookup(line, version));
+            assert!(c.lookup(line, version));
         }
 
         /// A cache never reports a hit for a version other than the one
         /// filled (coherence safety).
-        #[test]
-        fn stale_versions_never_hit(line in 0u64..1000, v1 in 0u32..5, v2 in 0u32..5) {
-            prop_assume!(v1 != v2);
+        fn stale_versions_never_hit(line in 0u64..1000, v1 in 0u32..5, bump in 1u32..5) {
+            let v2 = (v1 + bump) % 5;
+            if v1 == v2 {
+                return; // bump wrapped onto v1; nothing to test
+            }
             let mut c = Cache::new(&CacheConfig { capacity: 1024, assoc: 2, latency: 1 }, 64);
             c.fill(line, v1);
-            prop_assert!(!c.lookup(line, v2));
+            assert!(!c.lookup(line, v2));
         }
 
         /// First-touch placement is sticky: whoever touches first owns the
         /// page forever (until unmap), regardless of later touchers.
-        #[test]
         fn first_touch_is_sticky(
-            touchers in prop::collection::vec(0u32..4, 1..20),
+            touchers in vec(0u32..4, 1..20),
             vaddr in 0u64..1_000_000,
         ) {
             let mut pt = PageTable::new(4096, 4);
             let first = DomainId(touchers[0]);
             let placed = pt.touch(vaddr, first);
-            prop_assert_eq!(placed, first);
+            assert_eq!(placed, first);
             for &t in &touchers[1..] {
-                prop_assert_eq!(pt.touch(vaddr, DomainId(t)), first);
+                assert_eq!(pt.touch(vaddr, DomainId(t)), first);
             }
         }
 
         /// Interleaved placement balances: over 4k consecutive pages, no
         /// domain holds more than its fair share plus one.
-        #[test]
         fn interleave_is_balanced(domains in 1u32..8, pages in 1u64..256) {
             let mut pt = PageTable::new(4096, domains);
             pt.set_default_policy(PagePolicy::Interleave);
@@ -118,26 +120,24 @@ mod proptests {
             let h = pt.placement_histogram();
             let max = *h.iter().max().unwrap();
             let min = *h.iter().min().unwrap();
-            prop_assert!(max - min <= 1, "{h:?}");
+            assert!(max - min <= 1, "{h:?}");
         }
 
         /// DRAM backlog never exceeds requests x service, and drains to
         /// zero given enough time.
-        #[test]
         fn dram_backlog_bounded(reqs in 1u64..200, service in 1u32..16) {
             let mut d = Dram::new(1, service);
             for _ in 0..reqs {
                 d.request(0, 0);
             }
-            prop_assert!(d.backlog(0, 0) <= reqs * service as u64);
-            prop_assert_eq!(d.backlog(0, reqs * service as u64 + 1), 0);
+            assert!(d.backlog(0, 0) <= reqs * service as u64);
+            assert_eq!(d.backlog(0, reqs * service as u64 + 1), 0);
         }
 
         /// The access pipeline is deterministic and its latency is always
         /// at least the L1 hit latency.
-        #[test]
         fn access_latency_sane(
-            addrs in prop::collection::vec(0u64..(1u64 << 22), 1..200),
+            addrs in vec(0u64..(1u64 << 22), 1..200),
             core in 0u32..4,
             home in 0u32..2,
         ) {
@@ -155,10 +155,10 @@ mod proptests {
             };
             let a = run();
             let b = run();
-            prop_assert_eq!(&a, &b, "machine must be deterministic");
+            assert_eq!(&a, &b, "machine must be deterministic");
             let l1 = MachineConfig::tiny_test().l1.latency;
             for (lat, _) in a {
-                prop_assert!(lat >= l1);
+                assert!(lat >= l1);
             }
         }
     }

@@ -19,7 +19,7 @@
 
 use std::collections::BTreeMap;
 
-use rustc_hash::FxHashMap;
+use dcp_support::FxHashMap;
 
 use crate::topology::DomainId;
 

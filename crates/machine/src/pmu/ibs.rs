@@ -11,8 +11,7 @@
 //! sampling does not resonate with loop bodies (real tools randomize the
 //! period for the same reason).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use dcp_support::rng::SmallRng;
 
 use super::{OpRecord, Sample, SampleOrigin};
 
@@ -262,5 +261,24 @@ mod tests {
     #[should_panic]
     fn zero_period_panics() {
         let _ = IbsPmu::new(0, 0, 0);
+    }
+
+    /// Regression snapshot: the jittered sample stream for a fixed seed.
+    /// The PRNG behind period jitter is part of the profiler's observable
+    /// behavior — a PRNG change silently reshuffles every profile, so the
+    /// exact tag points for seed 42 are pinned here.
+    #[test]
+    fn sample_stream_snapshot_for_seed_42() {
+        let mut pmu = IbsPmu::new(100, 2, 42);
+        let samples = feed_n(&mut pmu, 2000, 0);
+        let ips: Vec<u64> = samples.iter().map(|s| s.precise_ip).collect();
+        assert_eq!(
+            ips,
+            [101, 211, 306, 401, 499, 595, 709, 817, 923, 1013, 1120, 1222, 1329, 1437, 1547,
+             1643, 1751, 1862, 1966],
+        );
+        for s in &samples {
+            assert_eq!(s.signal_ip, s.precise_ip + 2, "skid of 2 ops");
+        }
     }
 }

@@ -9,8 +9,7 @@
 //! which is how the paper's NUMA case studies (AMG2006, Streamcluster,
 //! NW) isolate remote-access hot spots.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use dcp_support::rng::SmallRng;
 
 use super::{MarkedEvent, OpRecord, Sample, SampleOrigin};
 
@@ -234,5 +233,25 @@ mod tests {
     #[should_panic]
     fn zero_threshold_panics() {
         let _ = MarkedPmu::new(MarkedEvent::DataFromRmem, 0, 0, 1);
+    }
+
+    /// Regression snapshot: the jittered marked-event sample stream for a
+    /// fixed seed. Pins the PRNG behind threshold jitter — a PRNG change
+    /// would silently reshuffle which remote accesses get sampled.
+    #[test]
+    fn sample_stream_snapshot_for_seed_42() {
+        let mut pmu = MarkedPmu::new(MarkedEvent::DataFromRmem, 8, 0, 42);
+        let remote = res(DataSource::RemoteDram);
+        let mut ips = Vec::new();
+        for i in 0..200u64 {
+            if let Some(s) =
+                pmu.observe_op(OpRecord { ip: i, core: CoreId(0), mem: Some((&remote, i, false)) })
+            {
+                ips.push(s.precise_ip);
+            }
+        }
+        assert_eq!(ips, [9, 19, 28, 38, 48, 55, 63, 70, 80, 90, 98, 106, 113, 123, 132, 138,
+                         146, 152, 158, 166, 176, 186, 194]);
+        assert_eq!(pmu.events_counted(), 200);
     }
 }

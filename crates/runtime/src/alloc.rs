@@ -11,7 +11,7 @@
 //! (the paper calls out C++ template containers that grow the data
 //! segment directly); accesses to it classify as *unknown* data.
 
-use rustc_hash::FxHashMap;
+use dcp_support::FxHashMap;
 
 /// Process-local base of the heap region.
 pub const HEAP_BASE: u64 = 0x0400_0000_0000;

@@ -40,7 +40,8 @@ pub use sched::{NodeSim, Quiescence, SimConfig};
 
 #[cfg(test)]
 mod proptests {
-    use proptest::prelude::*;
+    use dcp_support::prop::{any_bool, vec};
+    use dcp_support::props;
 
     use crate::build::ProgramBuilder;
     use crate::ir::ex::*;
@@ -97,19 +98,18 @@ mod proptests {
         b.build(main)
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    props! {
+        cases = 24;
 
         /// Any generated program terminates with conserved access counts:
         /// loads+stores equal the statically predictable totals, and two
         /// runs agree exactly (determinism through the whole stack).
-        #[test]
         fn runs_terminate_deterministically(
-            sizes in prop::collection::vec(0u8..8, 1..4),
-            strides in prop::collection::vec(1i64..200, 1..4),
+            sizes in vec(0u8..8, 1..4),
+            strides in vec(1i64..200, 1..4),
             iters in 1i64..300,
             threads in 1u32..4,
-            use_calls in prop::bool::ANY,
+            use_calls in any_bool(),
         ) {
             let r1 = {
                 let prog = build_random(&sizes, &strides, iters, threads, use_calls);
@@ -121,18 +121,17 @@ mod proptests {
                 run_world(&prog, &WorldConfig::single_node(
                     SimConfig::new(MachineConfig::tiny_test()), 1), |_| NullObserver)
             };
-            prop_assert_eq!(r1.wall, r2.wall);
-            prop_assert_eq!(r1.nodes[0].ops, r2.nodes[0].ops);
+            assert_eq!(r1.wall, r2.wall);
+            assert_eq!(r1.nodes[0].ops, r2.nodes[0].ops);
             let s = &r1.nodes[0].machine_stats;
             let expected_loads = strides.len() as u64 * iters as u64;
-            prop_assert_eq!(s.loads, expected_loads);
+            assert_eq!(s.loads, expected_loads);
             let expected_stores = if threads > 1 { 64 } else { 0 };
-            prop_assert_eq!(s.stores, expected_stores);
+            assert_eq!(s.stores, expected_stores);
         }
 
         /// Wall time is monotone in work: adding iterations never makes
         /// the run faster.
-        #[test]
         fn wall_is_monotone_in_iterations(
             iters in 10i64..200,
             extra in 1i64..200,
@@ -142,7 +141,7 @@ mod proptests {
                 run_world(&prog, &WorldConfig::single_node(
                     SimConfig::new(MachineConfig::tiny_test()), 1), |_| NullObserver).wall
             };
-            prop_assert!(wall(iters + extra) > wall(iters));
+            assert!(wall(iters + extra) > wall(iters));
         }
     }
 }

@@ -2,13 +2,14 @@
 //!
 //! Each node is an independent [`NodeSim`] (its own machine); nodes only
 //! couple at MPI barriers. The world loop runs every node to quiescence
-//! (all threads done or barrier-blocked) — in parallel with rayon, which
-//! is sound because nodes share nothing — then resolves the barrier by
-//! aligning all waiting ranks to the global maximum clock. The result is
-//! bit-for-bit deterministic regardless of host parallelism.
+//! (all threads done or barrier-blocked) — in parallel on the in-tree
+//! fork-join pool, which is sound because nodes share nothing — then
+//! resolves the barrier by aligning all waiting ranks to the global
+//! maximum clock. The result is bit-for-bit deterministic regardless of
+//! host parallelism.
 
 use dcp_machine::Cycles;
-use rayon::prelude::*;
+use dcp_support::pool::par_map_mut;
 
 use crate::exec::PhaseRecord;
 use crate::ir::Program;
@@ -108,10 +109,7 @@ where
     loop {
         // Run every node to quiescence. Nodes are fully independent
         // between barriers, so data-parallel execution is deterministic.
-        let qs: Vec<Quiescence> = nodes
-            .par_iter_mut()
-            .map(|node| node.run_until_quiescent())
-            .collect();
+        let qs: Vec<Quiescence> = par_map_mut(&mut nodes, |node| node.run_until_quiescent());
 
         let live: usize = nodes.iter().map(|n| n.live_mains()).sum();
         if live == 0 {

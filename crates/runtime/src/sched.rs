@@ -13,7 +13,7 @@ use std::collections::BinaryHeap;
 use dcp_machine::{
     AccessKind, Cycles, Machine, MachineConfig, Pmu, PmuConfig, Sample,
 };
-use rustc_hash::FxHashMap;
+use dcp_support::FxHashMap;
 
 use crate::alloc::{HeapAllocator, STACK_BASE, STACK_WINDOW};
 use crate::exec::{eval, eval_cmp, Ctrl, EvalCtx, Exit, PhaseRecord, Status, ThreadState};

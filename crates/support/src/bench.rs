@@ -1,0 +1,241 @@
+//! Criterion-shaped micro-benchmark harness.
+//!
+//! In-tree replacement for the slice of `criterion` the bench crate
+//! uses: `Criterion`, benchmark groups, `bench_with_input`, `iter` /
+//! `iter_batched`, and the `criterion_group!`/`criterion_main!` macros.
+//! Each benchmark warms up briefly, then runs until a wall-clock budget
+//! (`DCP_BENCH_MS`, default 30 ms per benchmark) and reports mean
+//! ns/iter on stdout. No statistics machinery — the goal is honest
+//! relative numbers (reduction tree vs. sequential fold, shared-lock
+//! CCT vs. private CCTs) with zero dependencies, not confidence
+//! intervals.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn budget() -> Duration {
+    let ms = std::env::var("DCP_BENCH_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(30u64);
+    Duration::from_millis(ms)
+}
+
+const MAX_ITERS: u64 = 10_000_000;
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Self { elapsed: Duration::ZERO, iters: 0 }
+    }
+
+    /// Time `f` repeatedly until the budget is exhausted.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let budget = budget();
+        let start = Instant::now();
+        let mut n = 0u64;
+        loop {
+            black_box(f());
+            n += 1;
+            if n >= MAX_ITERS || start.elapsed() >= budget {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+        self.iters = n;
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let budget = budget();
+        let wall = Instant::now();
+        let mut measured = Duration::ZERO;
+        let mut n = 0u64;
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            measured += t0.elapsed();
+            n += 1;
+            if n >= MAX_ITERS || wall.elapsed() >= budget {
+                break;
+            }
+        }
+        self.elapsed = measured;
+        self.iters = n;
+    }
+}
+
+/// Batch sizing hint; accepted for API compatibility, measurement is
+/// per-invocation either way.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Throughput annotation; accepted and ignored (we report ns/iter).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        Self { id: format!("{name}/{param}") }
+    }
+
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self { id: param.to_string() }
+    }
+}
+
+/// Names usable as a benchmark id.
+pub trait IntoBenchId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::new();
+    f(&mut b);
+    let per_iter = if b.iters == 0 { 0.0 } else { b.elapsed.as_nanos() as f64 / b.iters as f64 };
+    println!("{label:<52} {per_iter:>14.1} ns/iter  ({} iters)", b.iters);
+}
+
+/// Top-level benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.into() }
+    }
+}
+
+/// A named group; benchmarks print as `group/name`.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, _t: Throughput) {}
+
+    pub fn bench_function(&mut self, id: impl IntoBenchId, mut f: impl FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_one(&label, &mut f);
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_one(&label, &mut |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declare a benchmark group function (in-tree `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::bench::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main` (in-tree `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_counts() {
+        std::env::set_var("DCP_BENCH_MS", "1");
+        let mut b = Bencher::new();
+        b.iter(|| black_box(1 + 1));
+        assert!(b.iters > 0);
+        let mut b2 = Bencher::new();
+        b2.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        assert!(b2.iters > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        std::env::set_var("DCP_BENCH_MS", "1");
+        let mut c = Criterion::default();
+        c.bench_function("plain", |b| b.iter(|| black_box(2 * 2)));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("with_input", 4), &4u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.bench_function(BenchmarkId::from_parameter("param"), |b| b.iter(|| black_box(1)));
+        g.finish();
+    }
+}

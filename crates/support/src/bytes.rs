@@ -1,0 +1,243 @@
+//! Byte writer/reader pair for the compact profile codec.
+//!
+//! [`BytesMut`] is an append-only writer with big-endian fixed-width
+//! puts; [`Bytes`] is a cheaply cloneable, sliceable read view whose
+//! `get_*` calls consume from the front. The API mirrors the subset of
+//! the `bytes` crate the workspace used, so the codec's wire format is
+//! byte-for-byte unchanged: profiles encoded before this crate existed
+//! still decode.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Growable write buffer.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { buf: Vec::with_capacity(cap) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    #[inline]
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    #[inline]
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    #[inline]
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    #[inline]
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    #[inline]
+    pub fn put_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+
+    /// Finish writing: convert into an immutable, shareable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from_vec(self.buf)
+    }
+}
+
+/// Immutable byte view; reads consume from the front, `slice`/`clone`
+/// share the underlying allocation.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    fn from_vec(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Self { data: v.into(), start: 0, end }
+    }
+
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Self { data: s.into(), start: 0, end: s.len() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Sub-view of the current view (indices relative to it).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, r: Range<usize>) -> Bytes {
+        assert!(r.start <= r.end && r.end <= self.len(), "slice {r:?} out of bounds");
+        Bytes { data: Arc::clone(&self.data), start: self.start + r.start, end: self.start + r.end }
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    pub fn has_remaining(&self) -> bool {
+        !self.is_empty()
+    }
+
+    /// # Panics
+    /// Panics when empty; callers check `has_remaining` first, matching
+    /// the `bytes` crate's contract.
+    #[inline]
+    pub fn get_u8(&mut self) -> u8 {
+        assert!(self.has_remaining(), "get_u8 past end of buffer");
+        let v = self.data[self.start];
+        self.start += 1;
+        v
+    }
+
+    #[inline]
+    pub fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.take::<2>())
+    }
+
+    #[inline]
+    pub fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take::<4>())
+    }
+
+    #[inline]
+    pub fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take::<8>())
+    }
+
+    #[inline]
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        assert!(self.remaining() >= N, "read of {N} bytes past end of buffer");
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.data[self.start..self.start + N]);
+        self.start += N;
+        out
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut w = BytesMut::with_capacity(32);
+        w.put_u8(0xab);
+        w.put_u16(0x1234);
+        w.put_u32(0xdead_beef);
+        w.put_u64(0x0102_0304_0506_0708);
+        w.put_slice(&[1, 2, 3]);
+        assert_eq!(w.len(), 1 + 2 + 4 + 8 + 3);
+        let mut r = w.freeze();
+        assert_eq!(r.get_u8(), 0xab);
+        assert_eq!(r.get_u16(), 0x1234);
+        assert_eq!(r.get_u32(), 0xdead_beef);
+        assert_eq!(r.get_u64(), 0x0102_0304_0506_0708);
+        assert_eq!(r.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn big_endian_layout_matches_wire_format() {
+        let mut w = BytesMut::new();
+        w.put_u32(0x4443_5031); // the codec's "DCP1" magic
+        assert_eq!(w.freeze().as_slice(), b"DCP1");
+    }
+
+    #[test]
+    fn slices_are_views_not_copies() {
+        let mut w = BytesMut::new();
+        w.put_slice(b"hello world");
+        let b = w.freeze();
+        let hello = b.slice(0..5);
+        let world = b.slice(6..11);
+        assert_eq!(hello.as_slice(), b"hello");
+        assert_eq!(world.as_slice(), b"world");
+        // Nested slicing is relative to the view.
+        assert_eq!(world.slice(1..3).as_slice(), b"or");
+    }
+
+    #[test]
+    fn reads_consume_from_front() {
+        let mut w = BytesMut::new();
+        w.put_u8(1);
+        w.put_u8(2);
+        let mut b = w.freeze();
+        assert_eq!(b.remaining(), 2);
+        assert_eq!(b.get_u8(), 1);
+        assert!(b.has_remaining());
+        assert_eq!(b.get_u8(), 2);
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn reading_past_end_panics() {
+        let mut b = Bytes::from_static(b"ab");
+        let _ = b.get_u32();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bad_slice_panics() {
+        let b = Bytes::from_static(b"abc");
+        let _ = b.slice(1..9);
+    }
+}

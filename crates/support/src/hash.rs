@@ -1,0 +1,153 @@
+//! FxHash-style hashing: the non-cryptographic multiply-rotate hash the
+//! Rust compiler uses for its interner tables, reimplemented in-tree.
+//!
+//! The profiler hashes small fixed-width keys (node ids, addresses,
+//! `(parent, frame)` pairs) millions of times per run; SipHash's
+//! HashDoS resistance buys nothing against simulated programs and costs
+//! real throughput. FxHash has no per-process random state, so hash
+//! iteration-independent structures behave identically across runs —
+//! part of the workspace-wide determinism story.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// Multiply-rotate hasher over 64-bit words.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            // Mix the tail length in so "ab" and "ab\0" hash apart.
+            self.add(u64::from_le_bytes(buf) ^ ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add(v as u64);
+        self.add((v >> 64) as u64);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_i8(&mut self, v: i8) {
+        self.add(v as u8 as u64);
+    }
+    #[inline]
+    fn write_i16(&mut self, v: i16) {
+        self.add(v as u16 as u64);
+    }
+    #[inline]
+    fn write_i32(&mut self, v: i32) {
+        self.add(v as u32 as u64);
+    }
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_isize(&mut self, v: isize) {
+        self.add(v as usize as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn hashes_are_stable_across_runs() {
+        // No per-process randomness: these exact values must never
+        // change, or profile layouts stop being reproducible.
+        assert_eq!(hash_of(&0u64), 0);
+        assert_eq!(hash_of(&1u64), K);
+        assert_eq!(hash_of(&2u64), K.wrapping_mul(2));
+        assert_eq!(hash_of(&"alpha"), hash_of(&"alpha"));
+        assert_ne!(hash_of(&"alpha"), hash_of(&"beta"));
+    }
+
+    #[test]
+    fn tail_length_disambiguates() {
+        let mut a = FxHasher::default();
+        a.write(b"ab");
+        let mut b = FxHasher::default();
+        b.write(b"ab\0");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        m.insert(0xdead_beef, "cow");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        let mut s: FxHashSet<(u32, u32)> = FxHashSet::default();
+        assert!(s.insert((1, 2)));
+        assert!(!s.insert((1, 2)));
+    }
+
+    #[test]
+    fn distinct_words_spread() {
+        // Adjacent keys must not collide in the low bits HashMap uses.
+        let mut seen = FxHashSet::default();
+        for i in 0..10_000u64 {
+            seen.insert(hash_of(&i) & 0xfff);
+        }
+        assert!(seen.len() > 3000, "low-bit clustering: {} distinct", seen.len());
+    }
+}

@@ -1,0 +1,394 @@
+//! Shared fork-join thread pool: work-helping `join` and ordered
+//! parallel maps.
+//!
+//! This is the in-tree replacement for the two `rayon` primitives the
+//! workspace used: [`join`] drives the reduction-tree profile merge
+//! (the paper's §4.2 scalability mechanism) and [`par_map_mut`] runs
+//! independent node simulations in the world runner.
+//!
+//! Design: a fixed set of worker threads shares one injector queue.
+//! `join(a, b)` publishes `b` to the queue, runs `a` inline, then either
+//! *reclaims* `b` (if no worker got to it — the common case under load,
+//! making sequential execution the graceful degradation mode) or *helps*:
+//! while waiting for a worker to finish `b`, the caller executes other
+//! queued jobs instead of blocking. Helping is what makes nested joins
+//! (the recursive merge tree) deadlock-free with a bounded pool: every
+//! waiter is also an executor, so some runnable job always makes
+//! progress. Jobs live on the forking caller's stack; `join` never
+//! returns — not even by unwinding — until its job has run or been
+//! reclaimed, which is the invariant that makes the lifetime erasure
+//! below sound.
+//!
+//! Panics in either closure are captured and re-raised in the caller
+//! after both sides have settled, so a panicking branch can never strand
+//! a stack job or deadlock a waiter.
+//!
+//! Determinism: `join` and `par_map_mut` return results positionally, so
+//! observable output never depends on scheduling. The pool size comes
+//! from `DCP_THREADS` (0 forces fully sequential execution) or the
+//! available parallelism.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+/// A unit of work published to the pool. `execute` must be called at
+/// most once; [`StackJob`] enforces that with its `func` slot.
+trait Job {
+    fn execute(&self);
+}
+
+/// Lifetime-erased pointer to a [`Job`] on some caller's stack. Safety
+/// rests on the `join` invariant: the pointee outlives its presence in
+/// the queue because `join` blocks until the job settles.
+#[derive(Clone, Copy)]
+struct JobRef(*const (dyn Job + 'static));
+
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// # Safety
+    /// Caller must keep `job` alive and pinned until it has executed or
+    /// been removed from every queue.
+    unsafe fn new<'a>(job: &'a (dyn Job + 'a)) -> JobRef {
+        JobRef(std::mem::transmute::<*const (dyn Job + 'a), *const (dyn Job + 'static)>(job))
+    }
+
+    fn execute(self) {
+        unsafe { (*self.0).execute() }
+    }
+
+    fn is(&self, other: &JobRef) -> bool {
+        std::ptr::eq(self.0 as *const u8, other.0 as *const u8)
+    }
+}
+
+/// The forked half of a `join`, living on the forking caller's stack.
+struct StackJob<F, R> {
+    func: Mutex<Option<F>>,
+    result: Mutex<Option<thread::Result<R>>>,
+    done: Condvar,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    fn new(f: F) -> Self {
+        Self { func: Mutex::new(Some(f)), result: Mutex::new(None), done: Condvar::new() }
+    }
+
+    fn run_inline(&self) -> thread::Result<R> {
+        let f = self.func.lock().expect("job lock").take().expect("job already executed");
+        catch_unwind(AssertUnwindSafe(f))
+    }
+}
+
+impl<F, R> Job for StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    fn execute(&self) {
+        let r = self.run_inline();
+        *self.result.lock().expect("result lock") = Some(r);
+        self.done.notify_all();
+    }
+}
+
+struct Pool {
+    queue: Mutex<VecDeque<JobRef>>,
+    work_ready: Condvar,
+    workers: usize,
+}
+
+impl Pool {
+    fn push(&self, job: JobRef) {
+        self.queue.lock().expect("queue lock").push_back(job);
+        self.work_ready.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<JobRef> {
+        self.queue.lock().expect("queue lock").pop_front()
+    }
+
+    /// Remove `job` from the queue if no worker has claimed it yet.
+    fn try_reclaim(&self, job: &JobRef) -> bool {
+        let mut q = self.queue.lock().expect("queue lock");
+        if let Some(pos) = q.iter().position(|j| j.is(job)) {
+            q.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = match std::env::var("DCP_THREADS") {
+            Ok(v) => v.parse::<usize>().unwrap_or(0),
+            Err(_) => thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        }
+        .saturating_sub(1);
+        let p = Pool { queue: Mutex::new(VecDeque::new()), work_ready: Condvar::new(), workers };
+        for i in 0..workers {
+            thread::Builder::new()
+                .name(format!("dcp-pool-{i}"))
+                .spawn(worker_loop)
+                .expect("spawn pool worker");
+        }
+        p
+    })
+}
+
+fn worker_loop() {
+    let p = pool();
+    loop {
+        let job = {
+            let mut q = p.queue.lock().expect("queue lock");
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                q = p.work_ready.wait(q).expect("queue lock");
+            }
+        };
+        job.execute();
+    }
+}
+
+/// Number of threads that can run work simultaneously (workers plus the
+/// calling thread itself).
+pub fn parallelism() -> usize {
+    pool().workers + 1
+}
+
+/// Run two closures, potentially in parallel, and return both results.
+///
+/// `b` is offered to the pool while the calling thread runs `a`; the
+/// caller then reclaims `b` if it is still unclaimed, or helps execute
+/// other pool jobs until a worker finishes it. A panic in either closure
+/// propagates to the caller (left side first) only after both sides have
+/// settled.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let p = pool();
+    if p.workers == 0 {
+        // No pool: sequential execution with the same contract as the
+        // parallel path — both sides settle before a panic propagates.
+        let ra = catch_unwind(AssertUnwindSafe(a));
+        let rb = catch_unwind(AssertUnwindSafe(b));
+        return match (ra, rb) {
+            (Ok(ra), Ok(rb)) => (ra, rb),
+            (Err(pa), _) => resume_unwind(pa),
+            (_, Err(pb)) => resume_unwind(pb),
+        };
+    }
+
+    let job = StackJob::new(b);
+    // SAFETY: `job` stays on this stack frame and we do not return (even
+    // on panic — `a` runs under catch_unwind) before the job has either
+    // been reclaimed below or fully executed by a worker.
+    let jref = unsafe { JobRef::new(&job) };
+    p.push(jref);
+
+    let ra = catch_unwind(AssertUnwindSafe(a));
+
+    let rb = if p.try_reclaim(&jref) {
+        job.run_inline()
+    } else {
+        // A worker claimed the job: help run other queued work while it
+        // finishes, so nested joins on a bounded pool cannot deadlock.
+        loop {
+            if let Some(r) = job.result.lock().expect("result lock").take() {
+                break r;
+            }
+            if let Some(other) = p.try_pop() {
+                other.execute();
+                continue;
+            }
+            let guard = job.result.lock().expect("result lock");
+            let (mut guard, _timeout) = job
+                .done
+                .wait_timeout(guard, Duration::from_millis(1))
+                .expect("result lock");
+            if let Some(r) = guard.take() {
+                break r;
+            }
+            // Timed out: loop around and try helping again.
+        }
+    };
+
+    match (ra, rb) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(pa), _) => resume_unwind(pa),
+        (_, Err(pb)) => resume_unwind(pb),
+    }
+}
+
+/// Map `f` over `items` in parallel, returning results in input order.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    fn rec<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(items: &[T], f: &F) -> Vec<R> {
+        if items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let (l, r) = items.split_at(items.len() / 2);
+        let (mut lv, rv) = join(|| rec(l, f), || rec(r, f));
+        lv.extend(rv);
+        lv
+    }
+    rec(items, &f)
+}
+
+/// Map `f` over mutable `items` in parallel, returning results in input
+/// order. Used by the world runner: each node simulation mutates its
+/// own state, and the split-at-mid recursion guarantees disjoint
+/// borrows.
+pub fn par_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut T) -> R + Sync,
+{
+    fn rec<T: Send, R: Send, F: Fn(&mut T) -> R + Sync>(items: &mut [T], f: &F) -> Vec<R> {
+        if items.len() <= 1 {
+            return items.iter_mut().map(f).collect();
+        }
+        let mid = items.len() / 2;
+        let (l, r) = items.split_at_mut(mid);
+        let (mut lv, rv) = join(|| rec(l, f), || rec(r, f));
+        lv.extend(rv);
+        lv
+    }
+    rec(items, &f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok".to_string());
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn join_nests_deeply() {
+        fn sum(lo: u64, hi: u64) -> u64 {
+            if hi - lo <= 64 {
+                return (lo..hi).sum();
+            }
+            let mid = lo + (hi - lo) / 2;
+            let (a, b) = join(|| sum(lo, mid), || sum(mid, hi));
+            a + b
+        }
+        assert_eq!(sum(0, 100_000), 100_000 * 99_999 / 2);
+    }
+
+    #[test]
+    fn join_borrows_stack_data() {
+        let xs = vec![1u64, 2, 3, 4];
+        let ys = vec![10u64, 20];
+        let (sx, sy) = join(|| xs.iter().sum::<u64>(), || ys.iter().sum::<u64>());
+        assert_eq!((sx, sy), (10, 30));
+        drop((xs, ys)); // still owned here
+    }
+
+    #[test]
+    fn right_side_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            join(|| 1, || -> i32 { panic!("right boom") });
+        });
+        let p = r.expect_err("must propagate");
+        let msg = p.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "right boom");
+    }
+
+    #[test]
+    fn left_side_panic_propagates_after_right_settles() {
+        let right_ran = AtomicUsize::new(0);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            join(
+                || -> i32 { panic!("left boom") },
+                || right_ran.fetch_add(1, Ordering::SeqCst),
+            );
+        }));
+        assert!(r.is_err());
+        assert_eq!(right_ran.load(Ordering::SeqCst), 1, "right side must still run");
+    }
+
+    #[test]
+    fn both_sides_panicking_does_not_deadlock() {
+        let r = std::panic::catch_unwind(|| {
+            join(|| -> i32 { panic!("left") }, || -> i32 { panic!("right") });
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn panics_propagate_through_nested_joins() {
+        let r = std::panic::catch_unwind(|| {
+            join(
+                || join(|| 1, || -> i32 { panic!("deep boom") }),
+                || 2,
+            );
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * 3);
+        assert_eq!(out, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_mut_mutates_and_preserves_order() {
+        let mut items: Vec<u64> = (0..500).collect();
+        let out = par_map_mut(&mut items, |x| {
+            *x += 1;
+            *x * 2
+        });
+        assert_eq!(items, (1..=500).collect::<Vec<_>>());
+        assert_eq!(out, (1..=500).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn many_more_tasks_than_workers() {
+        // Oversubscription: far more concurrent joins than pool threads.
+        let items: Vec<u64> = (0..4096).collect();
+        let out = par_map(&items, |&x| {
+            // A little nested parallelism inside each task.
+            let (a, b) = join(|| x, || x + 1);
+            a + b
+        });
+        let want: Vec<u64> = (0..4096).map(|x| 2 * x + 1).collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn empty_and_singleton_maps() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+}

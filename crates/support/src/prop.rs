@@ -1,0 +1,285 @@
+//! Minimal property-based testing: strategies + the [`props!`] macro.
+//!
+//! In-tree replacement for the slice of `proptest` the workspace used:
+//! integer-range strategies, collections, tuples, `map`, `one_of`, and
+//! a macro that turns `fn name(x in strat, ...) { body }` into a
+//! `#[test]` running many generated cases.
+//!
+//! Unlike proptest there is no shrinking and no persistence file;
+//! instead every case's seed is a pure function of the test name and
+//! case index, so a failure report ("failed on case 13, seed 0x…") is
+//! already a reproduction recipe: the same binary re-runs the identical
+//! input every time.
+//!
+//! [`props!`]: crate::props
+
+use std::hash::Hasher;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::hash::FxHasher;
+use crate::rng::SmallRng;
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, g: &mut SmallRng) -> Self::Value;
+}
+
+/// Extension combinators for strategies.
+pub trait StrategyExt: Strategy + Sized {
+    /// Transform generated values with `f` (proptest's `prop_map`).
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy> StrategyExt for S {}
+
+/// See [`StrategyExt::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, g: &mut SmallRng) -> U {
+        (self.f)(self.inner.generate(g))
+    }
+}
+
+/// Always yields a clone of the given value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _g: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniformly random `bool`.
+pub struct AnyBool;
+
+/// Strategy for a uniformly random `bool`.
+pub fn any_bool() -> AnyBool {
+    AnyBool
+}
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, g: &mut SmallRng) -> bool {
+        g.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, g: &mut SmallRng) -> $t {
+                g.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, g: &mut SmallRng) -> $t {
+                g.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `Vec` of values from `elem`, with a length drawn from `len`.
+pub struct VecOf<S> {
+    elem: S,
+    len: core::ops::Range<usize>,
+}
+
+/// Strategy for vectors (proptest's `prop::collection::vec`).
+pub fn vec<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecOf<S> {
+    assert!(!len.is_empty() || len.start == 0, "invalid length range");
+    VecOf { elem, len }
+}
+
+impl<S: Strategy> Strategy for VecOf<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, g: &mut SmallRng) -> Vec<S::Value> {
+        let n = if self.len.is_empty() { self.len.start } else { g.gen_range(self.len.clone()) };
+        (0..n).map(|_| self.elem.generate(g)).collect()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, g: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.generate(g),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// Uniform choice between boxed strategies (see [`one_of!`]).
+///
+/// [`one_of!`]: crate::one_of
+pub struct OneOf<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> OneOf<V> {
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "one_of needs at least one option");
+        Self { options }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, g: &mut SmallRng) -> V {
+        let i = g.gen_range(0..self.options.len());
+        self.options[i].generate(g)
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, g: &mut SmallRng) -> V {
+        (**self).generate(g)
+    }
+}
+
+/// Box a strategy for use in heterogeneous collections ([`OneOf`]).
+pub fn boxed<V, S: Strategy<Value = V> + 'static>(s: S) -> Box<dyn Strategy<Value = V>> {
+    Box::new(s)
+}
+
+/// Deterministic per-case seed: depends only on test name + case index.
+pub fn case_seed(name: &str, case: u32) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(name.as_bytes());
+    h.write_u32(case);
+    // Avoid the all-too-guessable 0 for empty-ish inputs.
+    h.finish() ^ 0x6a09_e667_f3bc_c908
+}
+
+/// Drive `f` through `cases` generated cases. On a panic, report which
+/// case and seed failed (the reproduction recipe) and re-raise.
+pub fn run_cases(name: &str, cases: u32, mut f: impl FnMut(&mut SmallRng)) {
+    for case in 0..cases {
+        let seed = case_seed(name, case);
+        let mut g = SmallRng::seed_from_u64(seed);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&mut g))) {
+            eprintln!(
+                "property `{name}` failed on case {case}/{cases} (seed {seed:#018x}); \
+                 the case is deterministic — rerun this test to reproduce"
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Define property tests (in-tree `proptest!` replacement):
+///
+/// ```ignore
+/// dcp_support::props! {
+///     cases = 32;
+///
+///     /// Doubling is monotone.
+///     fn doubling_is_monotone(x in 0u64..1000, y in 0u64..1000) {
+///         if x < y { assert!(2 * x < 2 * y); }
+///     }
+/// }
+/// ```
+///
+/// Each `fn` becomes a `#[test]` that runs `cases` deterministic cases;
+/// use plain `assert!`/`assert_eq!` in the body.
+#[macro_export]
+macro_rules! props {
+    (cases = $cases:expr;
+     $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )+
+    ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                $crate::prop::run_cases(stringify!($name), $cases, |__g| {
+                    $(let $arg = $crate::prop::Strategy::generate(&($strat), __g);)+
+                    $body
+                });
+            }
+        )+
+    };
+}
+
+/// Uniform choice among strategies yielding the same value type
+/// (in-tree `prop_oneof!` replacement).
+#[macro_export]
+macro_rules! one_of {
+    ($($s:expr),+ $(,)?) => {
+        $crate::prop::OneOf::new(vec![$($crate::prop::boxed($s)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable_and_name_dependent() {
+        assert_eq!(case_seed("a", 0), case_seed("a", 0));
+        assert_ne!(case_seed("a", 0), case_seed("a", 1));
+        assert_ne!(case_seed("a", 0), case_seed("b", 0));
+    }
+
+    #[test]
+    fn generated_values_respect_strategies() {
+        let mut g = SmallRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = vec(0u8..4, 1..5).generate(&mut g);
+            assert!((1..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 4));
+
+            let (a, b, c) = (0u32..10, 5i64..6, any_bool()).generate(&mut g);
+            assert!(a < 10);
+            assert_eq!(b, 5);
+            let _ = c;
+
+            let m = (0u64..3).prop_map(|x| x * 100).generate(&mut g);
+            assert!(m == 0 || m == 100 || m == 200);
+
+            let j = Just("fixed").generate(&mut g);
+            assert_eq!(j, "fixed");
+        }
+    }
+
+    #[test]
+    fn one_of_covers_all_options() {
+        let strat = crate::one_of![Just(1u8), Just(2u8), Just(3u8)];
+        let mut g = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[strat.generate(&mut g) as usize] = true;
+        }
+        assert_eq!(seen, [false, true, true, true]);
+    }
+
+    crate::props! {
+        cases = 16;
+
+        /// The macro itself: arguments bind, bodies run, plain asserts work.
+        fn macro_generates_and_runs(xs in vec(0u32..100, 0..8), flip in any_bool()) {
+            assert!(xs.len() < 8);
+            if flip {
+                assert!(xs.iter().all(|&x| x < 100));
+            }
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Seedable small PRNG: SplitMix64 seeding into xoshiro256++.
+//!
+//! Drop-in for the `rand::SmallRng` uses in the PMU models: seed from a
+//! `u64`, draw uniform integers from ranges. The generator is a pure
+//! function of its seed — the same seed always produces the identical
+//! stream on every platform and every run, which the profiler's
+//! determinism guarantees (and their regression tests) depend on.
+//!
+//! xoshiro256++ is the same family `rand`'s `SmallRng` used on 64-bit
+//! targets, chosen for speed and equidistribution, not cryptography.
+
+/// Advance a SplitMix64 state and return the next output.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A small, fast, seedable xoshiro256++ generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Build a generator whose state is derived from `seed` via
+    /// SplitMix64 (the seeding procedure the xoshiro authors recommend).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut st = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut st);
+        }
+        // xoshiro's all-zero state is absorbing; SplitMix64 cannot
+        // produce four consecutive zeros, but guard regardless.
+        if s == [0; 4] {
+            s[0] = 0x9e37_79b9_7f4a_7c15;
+        }
+        Self { s }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let s2 = s2 ^ s0;
+        let s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        self.s = [s0, s1, s2 ^ t, s3.rotate_left(45)];
+        result
+    }
+
+    /// Next 32 uniformly distributed bits (upper half of a 64-bit draw).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        ((self.next_u64() >> 11) as f64) < p * (1u64 << 53) as f64
+    }
+
+    /// Uniform draw from an integer range, half-open or inclusive.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    #[inline]
+    pub fn gen_range<R: UniformRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Unbiased uniform value in `0..span` (Lemire's multiply-shift
+    /// rejection method). `span` must be nonzero.
+    fn bounded(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (span as u128);
+        let mut lo = m as u64;
+        if lo < span {
+            let t = span.wrapping_neg() % span;
+            while lo < t {
+                x = self.next_u64();
+                m = (x as u128) * (span as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+}
+
+/// Integer ranges [`SmallRng::gen_range`] can sample uniformly.
+pub trait UniformRange {
+    type Output;
+    fn sample(self, rng: &mut SmallRng) -> Self::Output;
+}
+
+macro_rules! impl_unsigned_range {
+    ($($t:ty),*) => {$(
+        impl UniformRange for core::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                self.start + rng.bounded((self.end - self.start) as u64) as $t
+            }
+        }
+        impl UniformRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.bounded(span + 1) as $t
+            }
+        }
+    )*};
+}
+impl_unsigned_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl UniformRange for core::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = self.end.wrapping_sub(self.start) as $u as u64;
+                self.start.wrapping_add(rng.bounded(span) as $u as $t)
+            }
+        }
+        impl UniformRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = hi.wrapping_sub(lo) as $u as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.bounded(span + 1) as $u as $t)
+            }
+        }
+    )*};
+}
+impl_signed_range!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(12345);
+        let mut b = SmallRng::seed_from_u64(12345);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn stream_snapshot_is_stable() {
+        // Locks the generator's exact output: any change to seeding or
+        // the xoshiro step silently breaks every downstream determinism
+        // guarantee, so fail loudly here instead.
+        let mut r = SmallRng::seed_from_u64(0);
+        let got: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                5987356902031041503,
+                7051070477665621255,
+                6633766593972829180,
+                211316841551650330
+            ]
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(99);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10u64..=30);
+            assert!((10..=30).contains(&v));
+            let w = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+            let z = r.gen_range(7u8..8);
+            assert_eq!(z, 7);
+        }
+    }
+
+    #[test]
+    fn range_coverage_is_roughly_uniform() {
+        let mut r = SmallRng::seed_from_u64(7);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[r.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((8000..12000).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "p=0.25 gave {hits}/100000");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = SmallRng::seed_from_u64(0);
+        let _ = r.gen_range(5u32..5);
+    }
+}

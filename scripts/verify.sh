@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Tier-1 verification: hermetic build + full test suite, fully offline.
+# The workspace has no registry dependencies (see DESIGN.md, "Hermetic
+# dependencies"), so this must pass on a machine that has never contacted
+# crates.io.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline --workspace

@@ -5,7 +5,8 @@ use dcp_core::prelude::*;
 use dcp_machine::{MachineConfig, MarkedEvent, PmuConfig};
 use dcp_runtime::ir::ex::*;
 use dcp_runtime::{Program, ProgramBuilder, SimConfig, WorldConfig};
-use proptest::prelude::*;
+use dcp_support::prop::{any_bool, vec, Strategy, StrategyExt};
+use dcp_support::props;
 
 /// Shape of one randomized array + access pattern.
 #[derive(Debug, Clone)]
@@ -78,15 +79,14 @@ fn build_program(specs: &[ArraySpec], threads: bool) -> Program {
     b.build(main)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+props! {
+    cases = 16;
 
     /// Random programs never break the pipeline, and every sample lands
     /// in exactly one storage class.
-    #[test]
-    fn pipeline_conserves_samples(specs in prop::collection::vec(arb_spec(), 1..5),
-                                  threads in prop::bool::ANY,
-                                  ibs in prop::bool::ANY) {
+    fn pipeline_conserves_samples(specs in vec(arb_spec(), 1..5),
+                                  threads in any_bool(),
+                                  ibs in any_bool()) {
         let prog = build_program(&specs, threads);
         let mut sim = SimConfig::new(MachineConfig::magny_cours());
         sim.omp_threads = if threads { 6 } else { 1 };
@@ -103,30 +103,28 @@ proptest! {
             .iter()
             .map(|&cl| a.class_total(cl, Metric::Samples))
             .sum();
-        prop_assert_eq!(total, by_class);
+        assert_eq!(total, by_class);
         // Remote samples never exceed total samples, per class.
         for cl in StorageClass::ALL {
-            prop_assert!(a.class_total(cl, Metric::Remote) <= a.class_total(cl, Metric::Samples));
+            assert!(a.class_total(cl, Metric::Remote) <= a.class_total(cl, Metric::Samples));
         }
     }
 
     /// Profiling never makes the program *faster*, and overhead stays
     /// bounded for sane sampling periods.
-    #[test]
-    fn overhead_is_nonnegative(specs in prop::collection::vec(arb_spec(), 1..4)) {
+    fn overhead_is_nonnegative(specs in vec(arb_spec(), 1..4)) {
         let prog = build_program(&specs, false);
         let mut sim = SimConfig::new(MachineConfig::magny_cours());
         sim.pmu = Some(PmuConfig::Ibs { period: 256, skid: 2 });
         let w = WorldConfig::single_node(sim, 1);
         let o = measure_overhead(&prog, &w, ProfilerConfig::default());
-        prop_assert!(o.profiled_wall >= o.baseline_wall);
-        prop_assert!(o.overhead_pct < 300.0, "overhead {}%", o.overhead_pct);
+        assert!(o.profiled_wall >= o.baseline_wall);
+        assert!(o.overhead_pct < 300.0, "overhead {}%", o.overhead_pct);
     }
 
     /// Brk (unknown) data never shows up as a named variable; tracked
     /// heap variables resolve to their hints.
-    #[test]
-    fn naming_is_faithful(specs in prop::collection::vec(arb_spec(), 1..5)) {
+    fn naming_is_faithful(specs in vec(arb_spec(), 1..5)) {
         let prog = build_program(&specs, false);
         let mut sim = SimConfig::new(MachineConfig::magny_cours());
         sim.pmu = Some(PmuConfig::Ibs { period: 48, skid: 1 });
@@ -135,7 +133,7 @@ proptest! {
         let a = run.analyze(&prog);
         for v in a.variables(Metric::Samples) {
             if v.metrics[Metric::Samples.col()] == 0 { continue; }
-            prop_assert!(
+            assert!(
                 NAMES.contains(&v.name.as_str()),
                 "unexpected variable name {:?}", v.name
             );
