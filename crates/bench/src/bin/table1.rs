@@ -8,9 +8,21 @@
 //! We run each workload bare and profiled on the simulator and report the
 //! same columns (times in simulated cycles; the shape target is the
 //! low-single-digit to ~12% overhead band and compact profile sizes).
+//! On top of the paper's columns this binary tracks the codec trajectory:
+//! per-workload v1-vs-v2 profile bytes and the wall time of the
+//! post-mortem merge, both streamed (out-of-core over encoded profiles)
+//! and in-memory — emitted as a machine-readable `BENCH_JSON` line for
+//! `scripts/bench_codec.sh`.
+
+use std::time::Instant;
 
 use dcp_bench::{ibs_sampling, rmem_sampling, speedup_pct};
+use dcp_cct::{merge_encoded, merge_reduction_tree};
 use dcp_core::session::Overhead;
+use dcp_core::METRIC_WIDTH;
+use dcp_machine::PmuConfig;
+use dcp_runtime::{Program, WorldConfig};
+use dcp_support::bytes::Bytes;
 use dcp_workloads as wl;
 
 struct Row {
@@ -18,6 +30,54 @@ struct Row {
     config: String,
     events: &'static str,
     overhead: Overhead,
+    /// Streamed (out-of-core) merge of all encoded per-thread profiles.
+    merge_streamed_ms: f64,
+    /// In-memory reduction merge of the same profiles, decoded up front.
+    merge_in_mem_ms: f64,
+}
+
+fn measure(
+    code: &'static str,
+    config: String,
+    events: &'static str,
+    prog: &Program,
+    world: &WorldConfig,
+    pmu: PmuConfig,
+) -> Row {
+    let overhead = dcp_bench::profile_with(prog, world, pmu);
+
+    // Merge wall-time: flatten every node's per-class encoded profiles
+    // and reduce each class, exactly what the post-mortem analyzer does.
+    let encoded = overhead.run.encode_measurements(prog);
+    let mut per_class: Vec<Vec<Bytes>> = Vec::new();
+    for m in &encoded {
+        per_class.resize(m.profiles.len(), Vec::new());
+        for (i, blobs) in m.profiles.iter().enumerate() {
+            per_class[i].extend(blobs.iter().cloned());
+        }
+    }
+
+    let t0 = Instant::now();
+    for blobs in per_class.iter().cloned() {
+        merge_encoded(blobs, METRIC_WIDTH).expect("freshly encoded profiles are valid");
+    }
+    let merge_streamed_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // In-memory comparison: decode everything first (unmeasured), then
+    // time only the merge.
+    let decoded: Vec<Vec<dcp_cct::Cct>> = per_class
+        .iter()
+        .map(|blobs| {
+            blobs.iter().map(|b| dcp_cct::decode(b.clone()).expect("valid")).collect()
+        })
+        .collect();
+    let t0 = Instant::now();
+    for trees in decoded {
+        merge_reduction_tree(trees, METRIC_WIDTH);
+    }
+    let merge_in_mem_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    Row { code, config, events, overhead, merge_streamed_ms, merge_in_mem_ms }
 }
 
 fn main() {
@@ -27,56 +87,66 @@ fn main() {
         let cfg = wl::amg2006::AmgConfig::paper(wl::amg2006::AmgVariant::Original);
         let prog = wl::amg2006::build(&cfg);
         let world = wl::amg2006::world(&cfg);
-        rows.push(Row {
-            code: "AMG2006",
-            config: format!("{} MPI x {} threads", cfg.ranks, cfg.threads),
-            events: "PM_MRK_DATA_FROM_RMEM",
-            overhead: dcp_bench::profile_with(&prog, &world, rmem_sampling(16)),
-        });
+        rows.push(measure(
+            "AMG2006",
+            format!("{} MPI x {} threads", cfg.ranks, cfg.threads),
+            "PM_MRK_DATA_FROM_RMEM",
+            &prog,
+            &world,
+            rmem_sampling(16),
+        ));
     }
     {
         let cfg = wl::sweep3d::SweepConfig::paper(wl::sweep3d::SweepVariant::Original);
         let prog = wl::sweep3d::build(&cfg);
         let world = wl::sweep3d::world(&cfg);
-        rows.push(Row {
-            code: "Sweep3D",
-            config: format!("{} MPI ranks, no threads", cfg.ranks),
-            events: "AMD IBS",
-            overhead: dcp_bench::profile_with(&prog, &world, ibs_sampling(16384)),
-        });
+        rows.push(measure(
+            "Sweep3D",
+            format!("{} MPI ranks, no threads", cfg.ranks),
+            "AMD IBS",
+            &prog,
+            &world,
+            ibs_sampling(16384),
+        ));
     }
     {
         let cfg = wl::lulesh::LuleshConfig::paper(wl::lulesh::LuleshVariant::ORIGINAL);
         let prog = wl::lulesh::build(&cfg);
         let world = wl::lulesh::world(&cfg);
-        rows.push(Row {
-            code: "LULESH",
-            config: format!("{} threads", cfg.threads),
-            events: "AMD IBS",
-            overhead: dcp_bench::profile_with(&prog, &world, ibs_sampling(64)),
-        });
+        rows.push(measure(
+            "LULESH",
+            format!("{} threads", cfg.threads),
+            "AMD IBS",
+            &prog,
+            &world,
+            ibs_sampling(64),
+        ));
     }
     {
         let cfg = wl::streamcluster::ScConfig::paper(wl::streamcluster::ScVariant::Original);
         let prog = wl::streamcluster::build(&cfg);
         let world = wl::streamcluster::world(&cfg);
-        rows.push(Row {
-            code: "Streamcluster",
-            config: format!("{} threads", cfg.threads),
-            events: "PM_MRK_DATA_FROM_RMEM",
-            overhead: dcp_bench::profile_with(&prog, &world, rmem_sampling(2)),
-        });
+        rows.push(measure(
+            "Streamcluster",
+            format!("{} threads", cfg.threads),
+            "PM_MRK_DATA_FROM_RMEM",
+            &prog,
+            &world,
+            rmem_sampling(2),
+        ));
     }
     {
         let cfg = wl::nw::NwConfig::paper(wl::nw::NwVariant::Original);
         let prog = wl::nw::build(&cfg);
         let world = wl::nw::world(&cfg);
-        rows.push(Row {
-            code: "NW",
-            config: format!("{} threads", cfg.threads),
-            events: "PM_MRK_DATA_FROM_RMEM",
-            overhead: dcp_bench::profile_with(&prog, &world, rmem_sampling(6)),
-        });
+        rows.push(measure(
+            "NW",
+            format!("{} threads", cfg.threads),
+            "PM_MRK_DATA_FROM_RMEM",
+            &prog,
+            &world,
+            rmem_sampling(6),
+        ));
     }
 
     println!("TABLE 1 — measurement configuration and overhead (simulated cycles)");
@@ -108,5 +178,43 @@ fn main() {
         rows.iter().map(|r| r.overhead.run.trace_bytes).sum::<usize>(),
         rows.iter().map(|r| r.overhead.run.trace_bytes).sum::<usize>().max(1)
             / rows.iter().map(|r| r.overhead.run.profile_bytes).sum::<usize>().max(1)
+    );
+
+    println!();
+    println!("codec: wire-format v1 vs v2 and post-mortem merge wall-time");
+    println!(
+        "{:<14} {:>12} {:>12} {:>8} {:>14} {:>14}",
+        "code", "v1 B", "v2 B", "saved", "merge(str) ms", "merge(mem) ms"
+    );
+    for row in &rows {
+        let r = &row.overhead.run;
+        let saved = 100.0 * (1.0 - r.profile_bytes as f64 / r.profile_bytes_v1.max(1) as f64);
+        println!(
+            "{:<14} {:>12} {:>12} {:>7.1}% {:>14.2} {:>14.2}",
+            row.code,
+            r.profile_bytes_v1,
+            r.profile_bytes,
+            saved,
+            row.merge_streamed_ms,
+            row.merge_in_mem_ms,
+        );
+    }
+    let v1_total: usize = rows.iter().map(|r| r.overhead.run.profile_bytes_v1).sum();
+    let v2_total: usize = rows.iter().map(|r| r.overhead.run.profile_bytes).sum();
+    let merge_ms: f64 = rows.iter().map(|r| r.merge_streamed_ms).sum();
+    let merge_mem_ms: f64 = rows.iter().map(|r| r.merge_in_mem_ms).sum();
+    println!(
+        "total: v1 {} B -> v2 {} B ({:.1}% saved)",
+        v1_total,
+        v2_total,
+        100.0 * (1.0 - v2_total as f64 / v1_total.max(1) as f64)
+    );
+
+    // Machine-readable summary for scripts/bench_codec.sh.
+    println!(
+        "BENCH_JSON {{\"v1_bytes\": {v1_total}, \"v2_bytes\": {v2_total}, \
+         \"saved_pct\": {:.2}, \"merge_streamed_ms\": {merge_ms:.3}, \
+         \"merge_in_mem_ms\": {merge_mem_ms:.3}}}",
+        100.0 * (1.0 - v2_total as f64 / v1_total.max(1) as f64)
     );
 }

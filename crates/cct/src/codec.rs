@@ -1,4 +1,4 @@
-//! Compact binary profile encoding.
+//! Compact binary profile encoding (wire formats v1 and v2).
 //!
 //! Space overhead is a first-class concern in the paper (§2.2): a
 //! million-thread execution must not produce terabytes of measurement
@@ -8,23 +8,83 @@
 //! and which the trace-vs-profile ablation compares against a
 //! MemProf-style sample trace.
 //!
-//! Layout: magic, version, metric width, node count; then per node (in id
-//! order, parents before children): frame tag byte, frame payload varint,
-//! parent id varint, metric values varints.
+//! Two wire formats coexist, distinguished by their magic:
+//!
+//! * **v1** (`DCP1`) — the original fixed layout: magic, metric width,
+//!   node count; then per node (in id order, parents before children)
+//!   frame tag byte, frame payload varint, parent id varint, and one
+//!   varint per metric column (zeros included). Kept so profiles written
+//!   before v2 existed still decode; [`encode_v1`] still produces it.
+//! * **v2** (`DCP2`) — the compact default produced by [`encode`]:
+//!   frame payloads are zigzag deltas against the previous payload of
+//!   the same tag (call-site/statement IPs cluster, so deltas are
+//!   short), parents are stored as `id - parent` (small for the chains
+//!   CCTs are made of), the root record is implicit, metrics move into
+//!   per-column sparse runs (interior nodes carry no metric mass and
+//!   cost zero metric bytes), and an optional deduplicating string
+//!   table names frames (procedures, static variables) so a profile is
+//!   self-describing off the machine that produced it.
+//!
+//! Decoding treats its input as **untrusted bytes**: every failure mode
+//! — truncation, unknown tag or flag, overflowing varint, out-of-range
+//! string index, parent or node id — surfaces as a typed [`CodecError`];
+//! nothing panics and no loop runs unbounded. [`ProfileReader`] exposes
+//! the same decode path as a streaming event iterator so consumers (the
+//! out-of-core merge in [`crate::merge`]) never materialize an input
+//! tree.
 
 use dcp_support::bytes::{Bytes, BytesMut};
+use dcp_support::FxHashMap;
 
 use crate::tree::{Cct, Frame, NodeId, ROOT};
 
-const MAGIC: u32 = 0x4443_5031; // "DCP1"
+const MAGIC_V1: u32 = 0x4443_5031; // "DCP1"
+const MAGIC_V2: u32 = 0x4443_5032; // "DCP2"
 
-/// Errors from [`decode`].
+/// Number of distinct frame tag values (indexes per-tag delta state).
+const NUM_TAGS: usize = 6;
+
+/// Parent distances at or above this value escape from the packed node
+/// byte (high 5 bits) to an explicit varint.
+const PD_ESCAPE: u32 = 31;
+
+/// Decoders reject headers claiming more metric columns than this: the
+/// column count scales every per-node allocation, and no real schema is
+/// anywhere near it (the profiler's is 5).
+pub const MAX_WIDTH: u64 = 256;
+
+/// Errors from [`decode`] and [`ProfileReader`]. Every way a byte stream
+/// can be malformed maps to a variant here; decoding untrusted input
+/// never panics.
 #[derive(Debug, PartialEq, Eq)]
 pub enum CodecError {
+    /// The stream does not start with a known profile magic.
     BadMagic,
+    /// The stream ended before the structure the header promised.
     Truncated,
+    /// A frame tag byte outside the known range.
     BadFrameTag(u8),
+    /// A child claimed a parent at or after itself (or outside the tree).
     BadParent,
+    /// A varint ran past 64 bits.
+    VarintOverflow,
+    /// A v2 header carried flag bits this decoder does not know.
+    BadFlags(u64),
+    /// The header's metric width exceeds [`MAX_WIDTH`].
+    BadWidth(u64),
+    /// A count field the input cannot possibly back (node count larger
+    /// than the remaining bytes, or a metric column claiming more
+    /// entries than the tree has nodes).
+    BadCount(u64),
+    /// A string table entry is not valid UTF-8.
+    BadString,
+    /// A frame-name record referenced a string table slot that does not
+    /// exist.
+    BadStringIndex(u64),
+    /// A metric record referenced a node outside the tree.
+    BadNodeId(u64),
+    /// The profile's metric width does not match the destination tree's.
+    WidthMismatch { expected: usize, found: usize },
 }
 
 impl std::fmt::Display for CodecError {
@@ -34,6 +94,16 @@ impl std::fmt::Display for CodecError {
             CodecError::Truncated => write!(f, "truncated profile"),
             CodecError::BadFrameTag(t) => write!(f, "unknown frame tag {t}"),
             CodecError::BadParent => write!(f, "child precedes parent"),
+            CodecError::VarintOverflow => write!(f, "varint overflows 64 bits"),
+            CodecError::BadFlags(v) => write!(f, "unknown header flags {v:#x}"),
+            CodecError::BadWidth(w) => write!(f, "metric width {w} exceeds limit {MAX_WIDTH}"),
+            CodecError::BadCount(c) => write!(f, "implausible count {c}"),
+            CodecError::BadString => write!(f, "string table entry is not UTF-8"),
+            CodecError::BadStringIndex(i) => write!(f, "string index {i} out of range"),
+            CodecError::BadNodeId(n) => write!(f, "node id {n} out of range"),
+            CodecError::WidthMismatch { expected, found } => {
+                write!(f, "metric width mismatch: tree has {expected}, profile has {found}")
+            }
         }
     }
 }
@@ -54,21 +124,46 @@ fn put_varint(buf: &mut BytesMut, mut v: u64) {
 
 fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
     let mut v = 0u64;
-    let mut shift = 0;
+    let mut shift = 0u32;
     loop {
         if !buf.has_remaining() {
             return Err(CodecError::Truncated);
         }
         let b = buf.get_u8();
+        // The 10th byte holds only the top bit of a u64: anything else
+        // (including a continuation bit) overflows.
+        if shift == 63 && b > 1 {
+            return Err(CodecError::VarintOverflow);
+        }
         v |= ((b & 0x7f) as u64) << shift;
         if b & 0x80 == 0 {
             return Ok(v);
         }
         shift += 7;
-        if shift >= 64 {
-            return Err(CodecError::Truncated);
+        if shift > 63 {
+            return Err(CodecError::VarintOverflow);
         }
     }
+}
+
+/// Map a signed delta onto the unsigned varint space (small magnitudes
+/// of either sign stay short).
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Split `n` bytes off the front of `buf`, or fail without panicking.
+fn get_slice(buf: &mut Bytes, n: usize) -> Result<Bytes, CodecError> {
+    if buf.remaining() < n {
+        return Err(CodecError::Truncated);
+    }
+    let out = buf.slice(0..n);
+    *buf = buf.slice(n..buf.len());
+    Ok(out)
 }
 
 fn frame_parts(f: Frame) -> (u8, u64) {
@@ -94,10 +189,167 @@ fn frame_from(tag: u8, payload: u64) -> Result<Frame, CodecError> {
     })
 }
 
-/// Serialize a CCT to its compact byte representation.
+/// Deduplicating string interner backing the v2 name section.
+#[derive(Debug, Clone, Default)]
+pub struct StringTable {
+    strings: Vec<String>,
+    index: FxHashMap<String, u32>,
+}
+
+impl StringTable {
+    /// Intern `s`, returning the id of its (single) table slot.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&i) = self.index.get(s) {
+            return i;
+        }
+        let i = self.strings.len() as u32;
+        self.strings.push(s.to_string());
+        self.index.insert(s.to_string(), i);
+        i
+    }
+
+    /// Append without deduplicating — the decode path, where ids must
+    /// stay wire-faithful even if a producer wrote duplicates.
+    fn push_raw(&mut self, s: &str) -> u32 {
+        let i = self.strings.len() as u32;
+        self.strings.push(s.to_string());
+        self.index.entry(s.to_string()).or_insert(i);
+        i
+    }
+
+    /// The string at slot `i`.
+    pub fn get(&self, i: u32) -> Option<&str> {
+        self.strings.get(i as usize).map(String::as_str)
+    }
+
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// All strings in slot order.
+    pub fn strings(&self) -> &[String] {
+        &self.strings
+    }
+}
+
+/// Display names attached to frames of a profile — the v2 name section.
+/// Procedure and static-variable frames carry opaque `u64` handles that
+/// only resolve against the producing program's symbol tables; naming
+/// them at encode time makes a profile self-describing post-mortem.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileNames {
+    table: StringTable,
+    frames: FxHashMap<Frame, u32>,
+}
+
+impl ProfileNames {
+    /// Name `frame` (interned; naming many frames with one string costs
+    /// the string once).
+    pub fn name(&mut self, frame: Frame, name: &str) {
+        let id = self.table.intern(name);
+        self.frames.insert(frame, id);
+    }
+
+    /// The name attached to `frame`, if any.
+    pub fn lookup(&self, frame: Frame) -> Option<&str> {
+        self.frames.get(&frame).and_then(|&i| self.table.get(i))
+    }
+
+    /// The backing string table.
+    pub fn table(&self) -> &StringTable {
+        &self.table
+    }
+
+    /// Number of named frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+/// Serialize a CCT to the compact v2 byte representation (no names).
 pub fn encode(cct: &Cct) -> Bytes {
+    encode_named(cct, &ProfileNames::default())
+}
+
+/// Serialize a CCT to v2 with a frame-name section.
+pub fn encode_named(cct: &Cct, names: &ProfileNames) -> Bytes {
+    let width = cct.width();
+    let len = cct.len() as u32;
+    let mut buf = BytesMut::with_capacity(cct.len() * 4 + 16);
+    buf.put_u32(MAGIC_V2);
+    put_varint(&mut buf, 0); // flags (none defined yet)
+    put_varint(&mut buf, width as u64);
+    put_varint(&mut buf, len as u64);
+
+    // String table; dedup happened at intern time.
+    put_varint(&mut buf, names.table.strings.len() as u64);
+    for s in &names.table.strings {
+        put_varint(&mut buf, s.len() as u64);
+        buf.put_slice(s.as_bytes());
+    }
+    // Frame-name records, sorted so the byte stream is deterministic.
+    let mut frames: Vec<(Frame, u32)> = names.frames.iter().map(|(&f, &i)| (f, i)).collect();
+    frames.sort();
+    put_varint(&mut buf, frames.len() as u64);
+    for (f, sid) in frames {
+        let (tag, payload) = frame_parts(f);
+        buf.put_u8(tag);
+        put_varint(&mut buf, payload);
+        put_varint(&mut buf, sid as u64);
+    }
+
+    // Node topology (root implicit). Each record leads with one packed
+    // byte: tag in the low 3 bits, parent distance `id - parent` in the
+    // high 5 bits (1..=30 inline; 31 escapes to a trailing varint; 0 is
+    // invalid since the distance is always positive). Then the payload
+    // as a zigzag delta against the previous payload of the same tag.
+    let mut last = [0u64; NUM_TAGS];
+    for id in 1..len {
+        let n = NodeId(id);
+        let (tag, payload) = frame_parts(cct.frame(n));
+        let pd = id - cct.parent(n).0;
+        buf.put_u8(tag | (pd.min(PD_ESCAPE) as u8) << 3);
+        let d = (payload as i64).wrapping_sub(last[tag as usize] as i64);
+        put_varint(&mut buf, zigzag(d));
+        last[tag as usize] = payload;
+        if pd >= PD_ESCAPE {
+            put_varint(&mut buf, pd as u64);
+        }
+    }
+
+    // Sparse metric columns: per column, entry count then ascending
+    // (id-delta, value) runs. Zero cells cost nothing.
+    for m in 0..width {
+        let nnz = (0..len).filter(|&i| cct.metrics(NodeId(i))[m] != 0).count();
+        put_varint(&mut buf, nnz as u64);
+        let mut prev = 0u32;
+        let mut first = true;
+        for id in 0..len {
+            let v = cct.metrics(NodeId(id))[m];
+            if v == 0 {
+                continue;
+            }
+            put_varint(&mut buf, if first { id } else { id - prev } as u64);
+            first = false;
+            prev = id;
+            put_varint(&mut buf, v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Serialize a CCT to the legacy v1 byte representation.
+pub fn encode_v1(cct: &Cct) -> Bytes {
     let mut buf = BytesMut::with_capacity(cct.len() * 8);
-    buf.put_u32(MAGIC);
+    buf.put_u32(MAGIC_V1);
     put_varint(&mut buf, cct.width() as u64);
     put_varint(&mut buf, cct.len() as u64);
     for id in 0..cct.len() as u32 {
@@ -113,46 +365,368 @@ pub fn encode(cct: &Cct) -> Bytes {
     buf.freeze()
 }
 
-/// Deserialize a profile produced by [`encode`].
-pub fn decode(mut bytes: Bytes) -> Result<Cct, CodecError> {
-    if bytes.remaining() < 4 || bytes.get_u32() != MAGIC {
-        return Err(CodecError::BadMagic);
-    }
-    let width = get_varint(&mut bytes)? as usize;
-    let count = get_varint(&mut bytes)? as usize;
-    let mut cct = Cct::new(width);
-    for id in 0..count {
-        let tag = if bytes.has_remaining() {
-            bytes.get_u8()
-        } else {
-            return Err(CodecError::Truncated);
+/// One decoded topology record: node `id` is the child of `parent`
+/// (already yielded) labeled `frame`. The root (id 0) is implicit and
+/// never yielded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeRecord {
+    pub id: u32,
+    pub frame: Frame,
+    pub parent: u32,
+}
+
+/// One decoded metric cell: add `value` to column `metric` of `node`.
+/// Zero cells are never yielded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricRecord {
+    pub node: u32,
+    pub metric: u32,
+    pub value: u64,
+}
+
+/// The streaming decode event. For any version, a node's `Node` event
+/// precedes every `Metric` event that references it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileEvent {
+    Node(NodeRecord),
+    Metric(MetricRecord),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReadState {
+    Nodes,
+    Columns,
+    Done,
+}
+
+/// Streaming profile decoder: parses the header (and, for v2, the name
+/// section) eagerly, then yields [`ProfileEvent`]s one record at a time
+/// without ever materializing the tree. Both wire formats stream; the
+/// out-of-core merge and [`decode`] are built on it.
+pub struct ProfileReader {
+    buf: Bytes,
+    version: u8,
+    width: usize,
+    count: u32,
+    names: ProfileNames,
+    state: ReadState,
+    next_id: u32,
+    // v1 interleaved metric cursor.
+    cur_node: u32,
+    cols_left: usize,
+    // v2 per-tag payload delta state.
+    last_payload: [u64; NUM_TAGS],
+    // v2 sparse-column cursor.
+    col: usize,
+    col_open: bool,
+    col_left: u64,
+    col_prev: u32,
+    col_first: bool,
+}
+
+impl ProfileReader {
+    /// Parse the header of an encoded profile (either wire version).
+    pub fn new(mut buf: Bytes) -> Result<Self, CodecError> {
+        if buf.remaining() < 4 {
+            return Err(CodecError::BadMagic);
+        }
+        let version = match buf.get_u32() {
+            MAGIC_V1 => 1,
+            MAGIC_V2 => 2,
+            _ => return Err(CodecError::BadMagic),
         };
-        let payload = get_varint(&mut bytes)?;
-        let frame = frame_from(tag, payload)?;
-        let parent = get_varint(&mut bytes)? as u32;
-        if id == 0 {
-            // Root is implicit in the fresh tree; consume its metrics.
-            for m in 0..width {
-                let v = get_varint(&mut bytes)?;
-                if v > 0 {
-                    cct.add(ROOT, m, v);
+        if version == 2 {
+            let flags = get_varint(&mut buf)?;
+            if flags != 0 {
+                return Err(CodecError::BadFlags(flags));
+            }
+        }
+        let w = get_varint(&mut buf)?;
+        if w > MAX_WIDTH {
+            return Err(CodecError::BadWidth(w));
+        }
+        let width = w as usize;
+        let c = get_varint(&mut buf)?;
+        // Every node after the root costs at least one wire byte, so a
+        // count the input cannot back is rejected before any allocation
+        // is sized from it.
+        if c > u32::MAX as u64 || c.saturating_sub(1) > buf.remaining() as u64 {
+            return Err(CodecError::BadCount(c));
+        }
+        let count = c as u32;
+
+        let mut names = ProfileNames::default();
+        if version == 2 {
+            let sc = get_varint(&mut buf)?;
+            if sc > buf.remaining() as u64 {
+                return Err(CodecError::Truncated);
+            }
+            for _ in 0..sc {
+                let len = get_varint(&mut buf)?;
+                if len > buf.remaining() as u64 {
+                    return Err(CodecError::Truncated);
+                }
+                let raw = get_slice(&mut buf, len as usize)?;
+                let s = std::str::from_utf8(raw.as_slice()).map_err(|_| CodecError::BadString)?;
+                names.table.push_raw(s);
+            }
+            let nc = get_varint(&mut buf)?;
+            if nc > buf.remaining() as u64 {
+                return Err(CodecError::Truncated);
+            }
+            for _ in 0..nc {
+                if !buf.has_remaining() {
+                    return Err(CodecError::Truncated);
+                }
+                let tag = buf.get_u8();
+                let payload = get_varint(&mut buf)?;
+                let sid = get_varint(&mut buf)?;
+                let frame = frame_from(tag, payload)?;
+                if sid >= names.table.len() as u64 {
+                    return Err(CodecError::BadStringIndex(sid));
+                }
+                names.frames.insert(frame, sid as u32);
+            }
+        }
+
+        Ok(Self {
+            buf,
+            version,
+            width,
+            count,
+            names,
+            state: ReadState::Nodes,
+            // v1 streams the root's record; v2 leaves the root implicit.
+            next_id: if version == 1 { 0 } else { 1 },
+            cur_node: 0,
+            cols_left: 0,
+            last_payload: [0; NUM_TAGS],
+            col: 0,
+            col_open: false,
+            col_left: 0,
+            col_prev: 0,
+            col_first: true,
+        })
+    }
+
+    /// Metric columns per node.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total node count (including the implicit root).
+    pub fn node_count(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Wire format version (1 or 2).
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// Frame names carried by the profile (empty for v1).
+    pub fn names(&self) -> &ProfileNames {
+        &self.names
+    }
+
+    /// Take ownership of the frame names.
+    pub fn into_names(self) -> ProfileNames {
+        self.names
+    }
+
+    /// The next decode event, `Ok(None)` at a clean end of stream.
+    pub fn next_event(&mut self) -> Result<Option<ProfileEvent>, CodecError> {
+        loop {
+            match self.state {
+                ReadState::Done => return Ok(None),
+                ReadState::Nodes if self.version == 1 => {
+                    if self.cols_left > 0 {
+                        let metric = (self.width - self.cols_left) as u32;
+                        self.cols_left -= 1;
+                        let value = get_varint(&mut self.buf)?;
+                        if value != 0 {
+                            return Ok(Some(ProfileEvent::Metric(MetricRecord {
+                                node: self.cur_node,
+                                metric,
+                                value,
+                            })));
+                        }
+                        continue;
+                    }
+                    if self.next_id >= self.count {
+                        self.state = ReadState::Done;
+                        continue;
+                    }
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    if !self.buf.has_remaining() {
+                        return Err(CodecError::Truncated);
+                    }
+                    let tag = self.buf.get_u8();
+                    let payload = get_varint(&mut self.buf)?;
+                    let frame = frame_from(tag, payload)?;
+                    let parent = get_varint(&mut self.buf)?;
+                    if id > 0 && parent >= id as u64 {
+                        return Err(CodecError::BadParent);
+                    }
+                    self.cur_node = id;
+                    self.cols_left = self.width;
+                    if id == 0 {
+                        // The root exists in every tree; only its
+                        // metrics are interesting.
+                        continue;
+                    }
+                    return Ok(Some(ProfileEvent::Node(NodeRecord {
+                        id,
+                        frame,
+                        parent: parent as u32,
+                    })));
+                }
+                ReadState::Nodes => {
+                    if self.next_id >= self.count {
+                        self.state = ReadState::Columns;
+                        continue;
+                    }
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    if !self.buf.has_remaining() {
+                        return Err(CodecError::Truncated);
+                    }
+                    let packed = self.buf.get_u8();
+                    let tag = packed & 0x07;
+                    if tag as usize >= NUM_TAGS {
+                        return Err(CodecError::BadFrameTag(tag));
+                    }
+                    let d = unzigzag(get_varint(&mut self.buf)?);
+                    let payload = (self.last_payload[tag as usize] as i64).wrapping_add(d) as u64;
+                    self.last_payload[tag as usize] = payload;
+                    let frame = frame_from(tag, payload)?;
+                    let pd = match (packed >> 3) as u32 {
+                        0 => return Err(CodecError::BadParent),
+                        PD_ESCAPE => get_varint(&mut self.buf)?,
+                        inline => inline as u64,
+                    };
+                    if pd == 0 || pd > id as u64 {
+                        return Err(CodecError::BadParent);
+                    }
+                    return Ok(Some(ProfileEvent::Node(NodeRecord {
+                        id,
+                        frame,
+                        parent: id - pd as u32,
+                    })));
+                }
+                ReadState::Columns => {
+                    if self.col >= self.width {
+                        self.state = ReadState::Done;
+                        continue;
+                    }
+                    if !self.col_open {
+                        let nnz = get_varint(&mut self.buf)?;
+                        if nnz > self.count as u64 {
+                            return Err(CodecError::BadCount(nnz));
+                        }
+                        self.col_open = true;
+                        self.col_left = nnz;
+                        self.col_first = true;
+                        self.col_prev = 0;
+                    }
+                    if self.col_left == 0 {
+                        self.col += 1;
+                        self.col_open = false;
+                        continue;
+                    }
+                    self.col_left -= 1;
+                    let d = get_varint(&mut self.buf)?;
+                    let node = if self.col_first {
+                        d
+                    } else {
+                        if d == 0 {
+                            return Err(CodecError::BadNodeId(d));
+                        }
+                        (self.col_prev as u64).checked_add(d).ok_or(CodecError::BadNodeId(d))?
+                    };
+                    if node >= self.count as u64 {
+                        return Err(CodecError::BadNodeId(node));
+                    }
+                    self.col_first = false;
+                    self.col_prev = node as u32;
+                    let value = get_varint(&mut self.buf)?;
+                    return Ok(Some(ProfileEvent::Metric(MetricRecord {
+                        node: node as u32,
+                        metric: self.col as u32,
+                        value,
+                    })));
                 }
             }
-            continue;
         }
-        if parent as usize >= id {
-            return Err(CodecError::BadParent);
-        }
-        let node = cct.child(NodeId(parent), frame);
-        debug_assert_eq!(node.0 as usize, id, "id-stable decode");
-        for m in 0..width {
-            let v = get_varint(&mut bytes)?;
-            if v > 0 {
-                cct.add(node, m, v);
+    }
+}
+
+impl Iterator for ProfileReader {
+    type Item = Result<ProfileEvent, CodecError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.next_event() {
+            Ok(Some(ev)) => Some(Ok(ev)),
+            Ok(None) => None,
+            Err(e) => {
+                self.state = ReadState::Done;
+                Some(Err(e))
             }
         }
     }
+}
+
+/// Replay a reader's events into `acc` (which must match its width).
+/// Nodes stream in wire order — the producer's creation order — so
+/// replaying into a fresh tree reproduces it id-for-id, and replaying
+/// into a non-empty accumulator is exactly a merge.
+fn absorb(acc: &mut Cct, reader: &mut ProfileReader) -> Result<(), CodecError> {
+    debug_assert_eq!(acc.width(), reader.width());
+    // wire id -> accumulator id. The root always maps to the root.
+    let mut map: Vec<u32> = Vec::with_capacity(reader.node_count().min(1 << 16));
+    map.push(ROOT.0);
+    while let Some(ev) = reader.next_event()? {
+        match ev {
+            ProfileEvent::Node(n) => {
+                debug_assert_eq!(n.id as usize, map.len(), "wire ids are dense and in order");
+                let parent = map.get(n.parent as usize).copied().ok_or(CodecError::BadParent)?;
+                map.push(acc.child(NodeId(parent), n.frame).0);
+            }
+            ProfileEvent::Metric(m) => {
+                let node =
+                    map.get(m.node as usize).copied().ok_or(CodecError::BadNodeId(m.node as u64))?;
+                acc.add(NodeId(node), m.metric as usize, m.value);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize a profile produced by [`encode`] (v2) or [`encode_v1`].
+pub fn decode(bytes: Bytes) -> Result<Cct, CodecError> {
+    let mut reader = ProfileReader::new(bytes)?;
+    let mut cct = Cct::new(reader.width());
+    absorb(&mut cct, &mut reader)?;
     Ok(cct)
+}
+
+/// Deserialize a profile together with its frame names (empty for v1).
+pub fn decode_named(bytes: Bytes) -> Result<(Cct, ProfileNames), CodecError> {
+    let mut reader = ProfileReader::new(bytes)?;
+    let mut cct = Cct::new(reader.width());
+    absorb(&mut cct, &mut reader)?;
+    Ok((cct, reader.into_names()))
+}
+
+/// Merge an encoded profile into `acc` by streaming its records — the
+/// out-of-core building block: the input tree is never materialized.
+pub fn merge_into(acc: &mut Cct, bytes: Bytes) -> Result<(), CodecError> {
+    let mut reader = ProfileReader::new(bytes)?;
+    if reader.width() != acc.width() {
+        return Err(CodecError::WidthMismatch { expected: acc.width(), found: reader.width() });
+    }
+    absorb(acc, &mut reader)
 }
 
 #[cfg(test)]
@@ -174,11 +748,22 @@ mod tests {
     #[test]
     fn roundtrip_preserves_canonical_form() {
         let t = sample_tree();
+        for bytes in [encode(&t), encode_v1(&t)] {
+            let back = decode(bytes).expect("decodes");
+            assert_eq!(t.canonical(), back.canonical());
+            assert_eq!(t.len(), back.len());
+            assert_eq!(t.width(), back.width());
+        }
+    }
+
+    #[test]
+    fn v2_reencode_is_byte_identical() {
+        // decode reproduces the producer's node ids exactly, so
+        // re-encoding yields the identical stream.
+        let t = sample_tree();
         let bytes = encode(&t);
-        let back = decode(bytes).expect("decodes");
-        assert_eq!(t.canonical(), back.canonical());
-        assert_eq!(t.len(), back.len());
-        assert_eq!(t.width(), back.width());
+        let back = decode(bytes.clone()).unwrap();
+        assert_eq!(encode(&back), bytes);
     }
 
     #[test]
@@ -191,30 +776,64 @@ mod tests {
             cur = t.child(cur, Frame::CallSite(i));
             t.add(cur, 0, i % 5);
         }
-        let bytes = encode(&t);
-        assert!(bytes.len() < 16 * 1000, "profile too large: {} bytes", bytes.len());
+        let v1 = encode_v1(&t);
+        assert!(v1.len() < 16 * 1000, "v1 profile too large: {} bytes", v1.len());
+        // v2's delta payloads and sparse metrics beat v1 on the same tree.
+        let v2 = encode(&t);
+        assert!(v2.len() < v1.len(), "v2 ({}) not smaller than v1 ({})", v2.len(), v1.len());
+    }
+
+    #[test]
+    fn v2_is_much_smaller_on_wide_sparse_trees() {
+        // Realistic shape: 5 metric columns, metric mass only at leaves,
+        // clustered IPs. This is where the sparse columns + deltas pay.
+        let mut t = Cct::new(5);
+        for p in 0..8u64 {
+            for leaf in 0..64u64 {
+                let n = t.insert_path(
+                    [
+                        Frame::Proc(p),
+                        Frame::CallSite(0x4000_0000 + p * 0x100 + leaf),
+                        Frame::Stmt(0x4000_8000 + p * 0x100 + leaf),
+                    ],
+                    0,
+                    leaf + 1,
+                );
+                t.add(n, 1, 100 + leaf);
+            }
+        }
+        let v1 = encode_v1(&t).len();
+        let v2 = encode(&t).len();
+        assert!(
+            (v2 as f64) <= 0.6 * v1 as f64,
+            "v2 ({v2} B) must be >= 40% smaller than v1 ({v1} B)"
+        );
     }
 
     #[test]
     fn bad_magic_rejected() {
         let bytes = Bytes::from_static(b"nope");
         assert_eq!(decode(bytes).unwrap_err(), CodecError::BadMagic);
+        assert_eq!(decode(Bytes::from_static(b"")).unwrap_err(), CodecError::BadMagic);
     }
 
     #[test]
     fn truncated_rejected() {
         let t = sample_tree();
-        let full = encode(&t);
-        let cut = full.slice(0..full.len() - 3);
-        assert_eq!(decode(cut).unwrap_err(), CodecError::Truncated);
+        for full in [encode(&t), encode_v1(&t)] {
+            let cut = full.slice(0..full.len() - 3);
+            assert_eq!(decode(cut).unwrap_err(), CodecError::Truncated);
+        }
     }
 
     #[test]
     fn empty_tree_roundtrips() {
         let t = Cct::new(3);
-        let back = decode(encode(&t)).unwrap();
-        assert!(back.is_empty());
-        assert_eq!(back.width(), 3);
+        for bytes in [encode(&t), encode_v1(&t)] {
+            let back = decode(bytes).unwrap();
+            assert!(back.is_empty());
+            assert_eq!(back.width(), 3);
+        }
     }
 
     #[test]
@@ -227,5 +846,160 @@ mod tests {
         for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX] {
             assert_eq!(get_varint(&mut b).unwrap(), v);
         }
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        // 11 continuation bytes: runs past 64 bits.
+        let mut buf = BytesMut::new();
+        for _ in 0..11 {
+            buf.put_u8(0xff);
+        }
+        assert_eq!(get_varint(&mut buf.freeze()).unwrap_err(), CodecError::VarintOverflow);
+        // Exactly 10 bytes but with payload bits above bit 63.
+        let mut buf = BytesMut::new();
+        for _ in 0..9 {
+            buf.put_u8(0x80);
+        }
+        buf.put_u8(0x02);
+        assert_eq!(get_varint(&mut buf.freeze()).unwrap_err(), CodecError::VarintOverflow);
+    }
+
+    #[test]
+    fn zigzag_roundtrips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 0x7fff_ffff, -0x8000_0000] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes of either sign stay small on the wire.
+        assert!(zigzag(-3) < 8);
+        assert!(zigzag(3) < 8);
+    }
+
+    #[test]
+    fn unknown_flags_rejected() {
+        let t = sample_tree();
+        let good = encode(&t);
+        let mut buf = BytesMut::new();
+        buf.put_u32(0x4443_5032);
+        put_varint(&mut buf, 0x40); // unknown flag bit
+        buf.put_slice(&good.as_slice()[5..]);
+        assert_eq!(decode(buf.freeze()).unwrap_err(), CodecError::BadFlags(0x40));
+    }
+
+    #[test]
+    fn hostile_width_and_count_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(0x4443_5032);
+        put_varint(&mut buf, 0);
+        put_varint(&mut buf, 1 << 20); // absurd width
+        put_varint(&mut buf, 1);
+        assert_eq!(decode(buf.freeze()).unwrap_err(), CodecError::BadWidth(1 << 20));
+
+        let mut buf = BytesMut::new();
+        buf.put_u32(0x4443_5032);
+        put_varint(&mut buf, 0);
+        put_varint(&mut buf, 2);
+        put_varint(&mut buf, u64::MAX); // node count no input could back
+        assert_eq!(decode(buf.freeze()).unwrap_err(), CodecError::BadCount(u64::MAX));
+    }
+
+    #[test]
+    fn string_table_dedups_and_roundtrips() {
+        let mut names = ProfileNames::default();
+        names.name(Frame::Proc(1), "hypre_CAlloc");
+        names.name(Frame::Proc(2), "hypre_CAlloc"); // same string, one slot
+        names.name(Frame::StaticVar(7), "f_élem_π"); // non-ASCII survives
+        assert_eq!(names.table().len(), 2);
+
+        let t = sample_tree();
+        let bytes = encode_named(&t, &names);
+        let (back, got) = decode_named(bytes.clone()).unwrap();
+        assert_eq!(t.canonical(), back.canonical());
+        assert_eq!(got.lookup(Frame::Proc(1)), Some("hypre_CAlloc"));
+        assert_eq!(got.lookup(Frame::Proc(2)), Some("hypre_CAlloc"));
+        assert_eq!(got.lookup(Frame::StaticVar(7)), Some("f_élem_π"));
+        assert_eq!(got.lookup(Frame::HeapMarker), None);
+
+        // The reader exposes the same names without materializing a tree.
+        let reader = ProfileReader::new(bytes).unwrap();
+        assert_eq!(reader.names().lookup(Frame::Proc(1)), Some("hypre_CAlloc"));
+    }
+
+    #[test]
+    fn bad_string_index_rejected() {
+        // Hand-build a v2 header whose single name record points past
+        // the (empty) string table.
+        let mut buf = BytesMut::new();
+        buf.put_u32(0x4443_5032);
+        put_varint(&mut buf, 0); // flags
+        put_varint(&mut buf, 1); // width
+        put_varint(&mut buf, 1); // count (root only)
+        put_varint(&mut buf, 0); // strings: none
+        put_varint(&mut buf, 1); // names: one record
+        buf.put_u8(1); // Proc
+        put_varint(&mut buf, 0); // payload
+        put_varint(&mut buf, 9); // string id 9: out of range
+        assert_eq!(decode(buf.freeze()).unwrap_err(), CodecError::BadStringIndex(9));
+    }
+
+    #[test]
+    fn invalid_utf8_string_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(0x4443_5032);
+        put_varint(&mut buf, 0);
+        put_varint(&mut buf, 1);
+        put_varint(&mut buf, 1);
+        put_varint(&mut buf, 1); // one string
+        put_varint(&mut buf, 2); // of length 2
+        buf.put_slice(&[0xff, 0xfe]); // not UTF-8
+        put_varint(&mut buf, 0); // no names
+        assert_eq!(decode(buf.freeze()).unwrap_err(), CodecError::BadString);
+    }
+
+    #[test]
+    fn width_mismatch_detected_when_merging() {
+        let t = sample_tree(); // width 2
+        let mut acc = Cct::new(3);
+        assert_eq!(
+            merge_into(&mut acc, encode(&t)).unwrap_err(),
+            CodecError::WidthMismatch { expected: 3, found: 2 }
+        );
+    }
+
+    #[test]
+    fn streaming_reader_yields_nodes_before_their_metrics() {
+        let t = sample_tree();
+        for bytes in [encode(&t), encode_v1(&t)] {
+            let reader = ProfileReader::new(bytes).unwrap();
+            let mut seen = vec![true]; // root is implicit
+            let mut metrics = 0;
+            for ev in reader {
+                match ev.unwrap() {
+                    ProfileEvent::Node(n) => {
+                        assert_eq!(n.id as usize, seen.len(), "dense, in-order ids");
+                        assert!((n.parent as usize) < seen.len(), "parent before child");
+                        seen.push(true);
+                    }
+                    ProfileEvent::Metric(m) => {
+                        assert!((m.node as usize) < seen.len(), "metric after its node");
+                        assert!(m.value > 0, "zero cells are never yielded");
+                        metrics += 1;
+                    }
+                }
+            }
+            assert_eq!(seen.len(), t.len());
+            assert_eq!(metrics, 3, "three nonzero metric cells in the sample tree");
+        }
+    }
+
+    #[test]
+    fn merge_into_accumulates_across_profiles() {
+        let t = sample_tree();
+        let mut acc = Cct::new(2);
+        merge_into(&mut acc, encode(&t)).unwrap();
+        merge_into(&mut acc, encode_v1(&t)).unwrap();
+        assert_eq!(acc.total(0), 2 * t.total(0));
+        assert_eq!(acc.total(1), 2 * t.total(1));
+        assert_eq!(acc.len(), t.len(), "identical paths coalesce");
     }
 }

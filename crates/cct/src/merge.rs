@@ -7,9 +7,21 @@
 //! profile list merge recursively in parallel. Merging is associative and
 //! commutative on canonical tree content, so the parallel reduction is
 //! deterministic in everything observable.
+//!
+//! Two input shapes are supported. [`merge_reduction_tree`] takes
+//! already-materialized [`Cct`]s. [`merge_encoded`] takes *encoded*
+//! profiles and streams each one into its reduction-branch accumulator
+//! via [`crate::codec::merge_into`], so peak memory is bounded by the
+//! accumulators live on active branches — O(active workers × merged
+//! profile), not O(sum of all K inputs) — which is what lets a
+//! post-mortem pass over thousands of per-thread profiles run on a
+//! laptop. Both walks visit nodes in creation order, so the two paths
+//! produce byte-identical re-encodings (a property the tests pin).
 
+use dcp_support::bytes::Bytes;
 use dcp_support::pool::join;
 
+use crate::codec::{merge_into, CodecError};
 use crate::tree::Cct;
 
 /// Merge a list of profiles with a binary reduction tree. Returns an
@@ -54,9 +66,71 @@ pub fn merge_sequential(profiles: Vec<Cct>, width: usize) -> Cct {
     acc
 }
 
+/// Out-of-core reduction-tree merge over *encoded* profiles (either wire
+/// version, mixed freely). Each leaf blob streams into its branch's
+/// accumulator without ever materializing the input tree; the reduction
+/// recursion mirrors [`merge_reduction_tree`] exactly, so re-encoding the
+/// result is byte-identical to decoding everything up front and merging
+/// in memory. Fails fast with the decode error of the first bad blob.
+pub fn merge_encoded(mut blobs: Vec<Bytes>, width: usize) -> Result<Cct, CodecError> {
+    match blobs.len() {
+        0 => Ok(Cct::new(width)),
+        1 => stream_one(blobs.pop().expect("len checked"), width),
+        _ => reduce_encoded(blobs, width),
+    }
+}
+
+/// Sequential streaming fold: one accumulator, every blob streamed in.
+/// Peak memory is a single merged profile — the tightest bound — at the
+/// cost of no parallelism. Reference implementation for the tests and
+/// the baseline for the merge benchmark.
+pub fn merge_encoded_sequential(blobs: Vec<Bytes>, width: usize) -> Result<Cct, CodecError> {
+    let mut it = blobs.into_iter();
+    let mut acc = match it.next() {
+        Some(b) => stream_one(b, width)?,
+        None => return Ok(Cct::new(width)),
+    };
+    for b in it {
+        merge_into(&mut acc, b)?;
+    }
+    Ok(acc)
+}
+
+/// Decode one blob by streaming it into a fresh accumulator, enforcing
+/// the expected metric width.
+fn stream_one(bytes: Bytes, width: usize) -> Result<Cct, CodecError> {
+    let mut acc = Cct::new(width);
+    merge_into(&mut acc, bytes)?;
+    Ok(acc)
+}
+
+fn reduce_encoded(mut blobs: Vec<Bytes>, width: usize) -> Result<Cct, CodecError> {
+    debug_assert!(blobs.len() >= 2);
+    if blobs.len() == 2 {
+        let b = blobs.pop().expect("len 2");
+        let a = blobs.pop().expect("len 2");
+        let mut acc = stream_one(a, width)?;
+        merge_into(&mut acc, b)?;
+        return Ok(acc);
+    }
+    let right = blobs.split_off(blobs.len() / 2);
+    let (l, r) = join(|| half_encoded(blobs, width), || half_encoded(right, width));
+    let mut l = l?;
+    l.merge_from(&r?);
+    Ok(l)
+}
+
+fn half_encoded(blobs: Vec<Bytes>, width: usize) -> Result<Cct, CodecError> {
+    match blobs.len() {
+        1 => stream_one(blobs.into_iter().next().expect("len 1"), width),
+        _ => reduce_encoded(blobs, width),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::{encode, encode_v1};
     use crate::tree::{Frame, ROOT};
 
     fn make_profile(seed: u64, paths: usize) -> Cct {
@@ -128,5 +202,76 @@ mod tests {
         let one_size = profiles[0].len();
         let merged = merge_reduction_tree(profiles, 2);
         assert_eq!(merged.len(), one_size, "identical profiles must fully coalesce");
+    }
+
+    #[test]
+    fn streamed_merge_is_byte_identical_to_in_memory() {
+        // The acceptance bar: out-of-core and in-memory merges must not
+        // just agree canonically — their re-encodings must be the same
+        // bytes. 37 forces an uneven reduction tree.
+        let profiles: Vec<Cct> = (0..37).map(|s| make_profile(s, 13)).collect();
+        let blobs: Vec<Bytes> = profiles.iter().map(encode).collect();
+        let in_mem = merge_reduction_tree(profiles, 2);
+        let streamed = merge_encoded(blobs, 2).expect("valid blobs");
+        assert_eq!(encode(&streamed), encode(&in_mem));
+    }
+
+    #[test]
+    fn streamed_merge_oversubscribed_pool_is_byte_identical() {
+        // 512 profiles per worker: the reduction must queue, steal, and
+        // help without deadlocking, and still produce the exact bytes of
+        // the in-memory merge.
+        let n = 512 * dcp_support::pool::parallelism();
+        let profiles: Vec<Cct> = (0..n as u64).map(|s| make_profile(s, 5)).collect();
+        let blobs: Vec<Bytes> = profiles.iter().map(encode).collect();
+        let in_mem = merge_reduction_tree(profiles, 2);
+        let streamed = merge_encoded(blobs, 2).expect("valid blobs");
+        assert_eq!(encode(&streamed), encode(&in_mem));
+    }
+
+    #[test]
+    fn streamed_merge_accepts_mixed_wire_versions() {
+        // Old v1 profiles and new v2 profiles merge together seamlessly.
+        let profiles: Vec<Cct> = (0..12).map(|s| make_profile(s, 9)).collect();
+        let blobs: Vec<Bytes> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| if i % 2 == 0 { encode(p) } else { encode_v1(p) })
+            .collect();
+        let in_mem = merge_reduction_tree(profiles, 2);
+        let streamed = merge_encoded(blobs, 2).expect("valid blobs");
+        assert_eq!(encode(&streamed), encode(&in_mem));
+    }
+
+    #[test]
+    fn streamed_sequential_fold_matches_in_memory_fold() {
+        let profiles: Vec<Cct> = (0..19).map(|s| make_profile(s, 7)).collect();
+        let blobs: Vec<Bytes> = profiles.iter().map(encode).collect();
+        let in_mem = merge_sequential(profiles, 2);
+        let streamed = merge_encoded_sequential(blobs, 2).expect("valid blobs");
+        assert_eq!(encode(&streamed), encode(&in_mem));
+    }
+
+    #[test]
+    fn streamed_merge_empty_and_single() {
+        let empty = merge_encoded(Vec::new(), 3).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.width(), 3);
+
+        let p = make_profile(4, 6);
+        let merged = merge_encoded(vec![encode(&p)], 2).unwrap();
+        assert_eq!(encode(&merged), encode(&p), "single blob round-trips");
+    }
+
+    #[test]
+    fn streamed_merge_propagates_decode_errors() {
+        let good = encode(&make_profile(1, 4));
+        let bad = good.slice(0..good.len() - 2);
+        let blobs = vec![good.clone(), bad, good.clone()];
+        assert_eq!(merge_encoded(blobs, 2).unwrap_err(), CodecError::Truncated);
+
+        // Width mismatches are typed errors too, not asserts.
+        let err = merge_encoded(vec![good], 5).unwrap_err();
+        assert_eq!(err, CodecError::WidthMismatch { expected: 5, found: 2 });
     }
 }

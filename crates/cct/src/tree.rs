@@ -132,9 +132,13 @@ impl Cct {
     }
 
     /// Add `value` to metric column `metric` of `node` (exclusive value).
+    /// Saturates at `u64::MAX`: decoded profiles feed untrusted values
+    /// through here, and saturation keeps hostile input from tripping a
+    /// debug-build overflow panic.
     pub fn add(&mut self, node: NodeId, metric: usize, value: u64) {
         assert!(metric < self.width, "metric column out of range");
-        self.metrics[node.0 as usize * self.width + metric] += value;
+        let cell = &mut self.metrics[node.0 as usize * self.width + metric];
+        *cell = cell.saturating_add(value);
     }
 
     /// Exclusive metrics of `node`.
@@ -205,23 +209,27 @@ impl Cct {
         (0..self.nodes.len()).map(|i| self.metrics[i * self.width + metric]).sum()
     }
 
-    /// Merge `other` into `self`: matching paths coalesce, metrics add.
+    /// Merge `other` into `self`: matching paths coalesce, metrics add
+    /// (saturating, like [`Cct::add`]).
     pub fn merge_from(&mut self, other: &Cct) {
         assert_eq!(self.width, other.width, "metric width mismatch in merge");
-        // Map other-node-id -> self-node-id, built in preorder.
+        // Map other-node-id -> self-node-id. Nodes are created
+        // parents-first (a child's id always exceeds its parent's), so a
+        // single id-order walk sees every parent before its children.
+        // Walking in id order — not preorder — matters: it replays
+        // `other`'s creation order exactly, which is what keeps the
+        // streamed out-of-core merge byte-identical to this one after
+        // re-encoding.
         let mut map = vec![0u32; other.nodes.len()];
-        for on in other.preorder() {
-            let mine = if on == ROOT {
-                ROOT
-            } else {
-                let parent = NodeId(map[other.nodes[on.0 as usize].parent as usize]);
-                self.child(parent, other.frame(on))
-            };
-            map[on.0 as usize] = mine.0;
-            let om = other.metrics(on);
-            let s = mine.0 as usize * self.width;
-            for (i, &v) in om.iter().enumerate() {
-                self.metrics[s + i] += v;
+        for oid in 1..other.nodes.len() {
+            let parent = NodeId(map[other.nodes[oid].parent as usize]);
+            map[oid] = self.child(parent, other.nodes[oid].frame).0;
+        }
+        for (oid, &mid) in map.iter().enumerate() {
+            let s = mid as usize * self.width;
+            let o = oid * self.width;
+            for m in 0..self.width {
+                self.metrics[s + m] = self.metrics[s + m].saturating_add(other.metrics[o + m]);
             }
         }
     }

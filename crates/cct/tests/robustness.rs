@@ -1,0 +1,160 @@
+//! Decoder robustness sweep (fuzz-style, deterministic seeds).
+//!
+//! The codec's hardening claim is absolute: *no* crafted input makes the
+//! decoder panic or loop — every malformed stream surfaces as a typed
+//! `Err(CodecError)`. These tests grind that claim against a corpus of
+//! valid profiles mutated three ways: truncation at every byte offset,
+//! single-bit flips at every position, and outright random bytes behind
+//! a valid magic. Everything is seeded deterministically, so a failure
+//! here is a reproduction recipe, not a flake.
+
+use dcp_cct::{decode, encode, encode_named, encode_v1, Cct, CodecError, Frame, ProfileNames, ROOT};
+use dcp_support::bytes::{Bytes, BytesMut};
+use dcp_support::rng::SmallRng;
+
+/// Deterministic pseudo-random profile: `seed` fixes shape, payload
+/// spread, and metric sparsity.
+fn random_profile(seed: u64) -> Cct {
+    let mut g = SmallRng::seed_from_u64(seed);
+    let width = g.gen_range(1usize..6);
+    let mut t = Cct::new(width);
+    let paths = g.gen_range(0usize..30);
+    for _ in 0..paths {
+        let depth = g.gen_range(1usize..10);
+        let mut cur = ROOT;
+        for _ in 0..depth {
+            let frame = match g.gen_range(0u32..5) {
+                0 => Frame::Proc(g.gen_range(0u64..8)),
+                1 => Frame::CallSite(g.next_u64() >> g.gen_range(0u32..40)),
+                2 => Frame::Stmt(g.next_u64() >> g.gen_range(0u32..40)),
+                3 => Frame::StaticVar(g.gen_range(0u64..16)),
+                _ => Frame::HeapMarker,
+            };
+            cur = t.child(cur, frame);
+        }
+        if g.gen_bool(0.7) {
+            t.add(cur, g.gen_range(0usize..width), g.next_u64() >> g.gen_range(0u32..56));
+        }
+    }
+    t
+}
+
+/// A corpus of encoded profiles covering both wire versions, named and
+/// unnamed, degenerate and deep.
+fn corpus() -> Vec<Bytes> {
+    let mut out = Vec::new();
+    for seed in 0..8u64 {
+        let t = random_profile(seed);
+        out.push(encode(&t));
+        out.push(encode_v1(&t));
+    }
+    // Empty tree, both versions.
+    out.push(encode(&Cct::new(3)));
+    out.push(encode_v1(&Cct::new(3)));
+    // Named profile: exercises the string-table sections.
+    let t = random_profile(99);
+    let mut names = ProfileNames::default();
+    for p in 0..8u64 {
+        names.name(Frame::Proc(p), &format!("proc_{p}_π"));
+    }
+    names.name(Frame::StaticVar(3), "theglobal");
+    out.push(encode_named(&t, &names));
+    out
+}
+
+#[test]
+fn every_truncation_is_a_typed_error() {
+    // Every byte of a valid stream is load-bearing: any strict prefix
+    // must fail to decode (and must fail with an error, not a panic).
+    for bytes in corpus() {
+        for cut in 0..bytes.len() {
+            let err = match decode(bytes.slice(0..cut)) {
+                Ok(_) => panic!("decode accepted a {cut}-byte prefix of a {}-byte profile", bytes.len()),
+                Err(e) => e,
+            };
+            // Typed, never a catch-all: truncation inside the magic is
+            // BadMagic, anywhere later is Truncated — except when the
+            // cut starves the header's node count, which trips the
+            // can't-possibly-back-this-count plausibility guard first.
+            assert!(
+                matches!(
+                    err,
+                    CodecError::Truncated | CodecError::BadMagic | CodecError::BadCount(_)
+                ),
+                "unexpected error {err:?} at cut {cut}"
+            );
+        }
+        // Sanity: the untruncated stream decodes.
+        decode(bytes).expect("corpus entries are valid");
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_handled() {
+    // Flip each bit of each byte of each corpus profile. The decoder
+    // may accept the mutation (a flipped metric value is still a valid
+    // profile) but must never panic, hang, or mis-type an error; flips
+    // inside the 4-byte magic must always be rejected, because the v1
+    // and v2 magics differ in two bits — no single flip converts one
+    // valid header into the other.
+    for bytes in corpus() {
+        for pos in 0..bytes.len() {
+            for bit in 0..8u8 {
+                let mut mutated = bytes.as_slice().to_vec();
+                mutated[pos] ^= 1 << bit;
+                let mut buf = BytesMut::with_capacity(mutated.len());
+                buf.put_slice(&mutated);
+                let result = decode(buf.freeze());
+                if pos < 4 {
+                    assert_eq!(
+                        result.expect_err("flipped magic must be rejected"),
+                        CodecError::BadMagic,
+                        "flip at byte {pos} bit {bit}"
+                    );
+                }
+                // Past the magic: Ok or any Err is fine — reaching this
+                // line at all is the assertion (no panic, no hang).
+            }
+        }
+    }
+}
+
+#[test]
+fn random_bytes_behind_a_valid_magic_never_panic() {
+    // Pure fuzz: a valid v1 or v2 magic followed by garbage. 4096
+    // deterministic cases per version.
+    for (case, magic) in [(0u64, 0x4443_5031u32), (1, 0x4443_5032)] {
+        let mut g = SmallRng::seed_from_u64(0xdcb0 + case);
+        for _ in 0..4096 {
+            let len = g.gen_range(0usize..200);
+            let mut buf = BytesMut::with_capacity(len + 4);
+            buf.put_u32(magic);
+            for _ in 0..len {
+                buf.put_u8((g.next_u64() & 0xff) as u8);
+            }
+            // Must return — Ok or Err — without panicking or looping.
+            let _ = decode(buf.freeze());
+        }
+    }
+}
+
+#[test]
+fn truncation_and_flips_compose() {
+    // Truncate AND flip: the mutations interact (a flip can change a
+    // count that a truncation then starves). Deterministic spot-check.
+    let mut g = SmallRng::seed_from_u64(0x5eed);
+    for bytes in corpus() {
+        for _ in 0..256 {
+            let cut = g.gen_range(5usize..bytes.len().max(6));
+            let cut = cut.min(bytes.len());
+            let mut mutated = bytes.slice(0..cut).as_slice().to_vec();
+            if !mutated.is_empty() {
+                let pos = g.gen_range(0usize..mutated.len());
+                mutated[pos] ^= 1 << g.gen_range(0u32..8);
+            }
+            let mut buf = BytesMut::with_capacity(mutated.len());
+            buf.put_slice(&mutated);
+            let _ = decode(buf.freeze());
+        }
+    }
+}

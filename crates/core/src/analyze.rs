@@ -5,12 +5,75 @@
 //! tree, and resolves frames against the program's symbol tables and
 //! line maps — producing the [`Analysis`] the presentation views render.
 
-use dcp_cct::{merge_reduction_tree, Cct, Frame, NodeId, ROOT};
+use dcp_cct::{
+    encode_named, merge_encoded, merge_reduction_tree, Cct, CodecError, Frame, NodeId,
+    ProfileNames, ROOT,
+};
 use dcp_runtime::ir::{Ip, ProcId, Program};
+use dcp_support::bytes::Bytes;
 use dcp_support::FxHashMap;
 
 use crate::metrics::{Metric, StorageClass, CLASSES, WIDTH};
 use crate::profiler::{MeasurementData, ProfStats};
+
+/// Resolve one CCT frame to a display string against `program`'s symbol
+/// tables (free-function form, shared by [`Analysis::resolve_frame`] and
+/// the profile-name builder).
+pub fn resolve_frame_name(program: &Program, f: Frame) -> String {
+    match f {
+        Frame::Root => "<program root>".to_string(),
+        Frame::Proc(p) => program.proc(ProcId(p as u32)).name.clone(),
+        Frame::CallSite(ip) | Frame::Stmt(ip) => program.render_ip(Ip(ip)),
+        Frame::StaticVar(h) => {
+            let handle = crate::datacentric::StaticHandle(h);
+            let m = program.module(handle.module());
+            m.statics
+                .get(handle.sym() as usize)
+                .map(|s| s.name.clone())
+                .unwrap_or_else(|| format!("<static {h:#x}>"))
+        }
+        Frame::HeapMarker => "heap data accesses".to_string(),
+    }
+}
+
+/// Build the v2 name section for one profile: every procedure and
+/// static-variable frame in the tree gets its symbol name, so the
+/// encoded profile is self-describing away from the producing program.
+/// (Call sites and statements stay numeric — the line map renders them.)
+pub fn profile_names(program: &Program, cct: &Cct) -> ProfileNames {
+    let mut names = ProfileNames::default();
+    for id in 0..cct.len() as u32 {
+        let f = cct.frame(NodeId(id));
+        if matches!(f, Frame::Proc(_) | Frame::StaticVar(_)) && names.lookup(f).is_none() {
+            names.name(f, &resolve_frame_name(program, f));
+        }
+    }
+    names
+}
+
+/// A node's measurement data with every profile serialized to the v2
+/// wire format — what would travel over the wire (or sit on disk) in a
+/// real multi-node run, and what [`Analysis::analyze_encoded`] consumes
+/// without ever materializing more than the merge accumulators.
+pub struct EncodedMeasurement {
+    /// `profiles[class][i]` — the i-th thread's encoded tree.
+    pub profiles: [Vec<Bytes>; CLASSES],
+    /// Allocation metadata, unchanged from [`MeasurementData`].
+    pub alloc_info: Vec<(Vec<Frame>, u64, u64, u64)>,
+    pub stats: ProfStats,
+}
+
+/// Serialize one node's measurement data to the v2 wire format with
+/// frame names resolved against `program`.
+pub fn encode_measurement(program: &Program, m: &MeasurementData) -> EncodedMeasurement {
+    let profiles = std::array::from_fn(|class| {
+        m.profiles[class]
+            .iter()
+            .map(|t| encode_named(t, &profile_names(program, t)))
+            .collect()
+    });
+    EncodedMeasurement { profiles, alloc_info: m.alloc_info.clone(), stats: m.stats.clone() }
+}
 
 /// One variable with its aggregate (inclusive) metrics — a row of the
 /// paper's variable-centric views.
@@ -73,6 +136,42 @@ impl<'p> Analysis<'p> {
         Self { program, trees, alloc_info, stats }
     }
 
+    /// Merge *encoded* measurement data: each per-class profile list is
+    /// merged with the out-of-core streamed reduction tree, so peak
+    /// memory holds merge accumulators — never all the decoded input
+    /// profiles at once. The result is indistinguishable from
+    /// [`Analysis::analyze`] on the corresponding decoded data; a
+    /// malformed profile surfaces as a typed [`CodecError`].
+    pub fn analyze_encoded(
+        program: &'p Program,
+        measurements: Vec<EncodedMeasurement>,
+    ) -> Result<Self, CodecError> {
+        let mut per_class: [Vec<Bytes>; CLASSES] = std::array::from_fn(|_| Vec::new());
+        let mut alloc_info: FxHashMap<Vec<Frame>, (u64, u64, u64)> = FxHashMap::default();
+        let mut stats = ProfStats::default();
+        for m in measurements {
+            let mut profiles = m.profiles;
+            for (i, v) in profiles.iter_mut().enumerate() {
+                per_class[i].append(v);
+            }
+            for (path, count, bytes, zeroed) in m.alloc_info {
+                let e = alloc_info.entry(path).or_insert((0, 0, 0));
+                e.0 += count;
+                e.1 += bytes;
+                e.2 += zeroed;
+            }
+            stats.merge(&m.stats);
+        }
+        let mut it = per_class.into_iter();
+        let mut trees = Vec::with_capacity(CLASSES);
+        for blobs in &mut it {
+            trees.push(merge_encoded(blobs, WIDTH)?);
+        }
+        let trees: [Cct; CLASSES] =
+            trees.try_into().unwrap_or_else(|_| unreachable!("exactly CLASSES trees"));
+        Ok(Self { program, trees, alloc_info, stats })
+    }
+
     fn class_idx(c: StorageClass) -> usize {
         match c {
             StorageClass::Static => 0,
@@ -114,20 +213,7 @@ impl<'p> Analysis<'p> {
 
     /// Resolve one frame to a display string.
     pub fn resolve_frame(&self, f: Frame) -> String {
-        match f {
-            Frame::Root => "<program root>".to_string(),
-            Frame::Proc(p) => self.program.proc(ProcId(p as u32)).name.clone(),
-            Frame::CallSite(ip) | Frame::Stmt(ip) => self.program.render_ip(Ip(ip)),
-            Frame::StaticVar(h) => {
-                let handle = crate::datacentric::StaticHandle(h);
-                let m = self.program.module(handle.module());
-                m.statics
-                    .get(handle.sym() as usize)
-                    .map(|s| s.name.clone())
-                    .unwrap_or_else(|| format!("<static {h:#x}>"))
-            }
-            Frame::HeapMarker => "heap data accesses".to_string(),
-        }
+        resolve_frame_name(self.program, f)
     }
 
     /// The display name of a heap variable identified by its allocation
@@ -438,5 +524,98 @@ mod tests {
         assert_eq!(vars.len(), 1, "same allocation path coalesces across processes");
         assert_eq!(vars[0].metrics[Metric::Samples.col()], 2);
         assert_eq!(vars[0].alloc_count, 2);
+    }
+
+    /// One rank's worth of measurement data with both a heap and a
+    /// static variable (shared by the encoded-path tests).
+    fn measured(prog: &dcp_runtime::Program) -> crate::profiler::MeasurementData {
+        let mut p = Profiler::new(ProfilerConfig::default());
+        p.on_module(&ModuleEvent::Loaded {
+            module: dcp_runtime::ModuleId(0),
+            def: &prog.modules[0],
+            rank: 0,
+        });
+        let stack = fake_stack();
+        let view = ThreadView {
+            rank: 0,
+            thread: 0,
+            core: CoreId(0),
+            clock: 0,
+            frames: &stack,
+            leaf_ip: Ip(0),
+        };
+        let alloc_ip = Ip::new(dcp_runtime::ModuleId(0), ProcId(0), 0);
+        p.on_alloc(
+            &AllocEvent { addr: 0x10_0000, bytes: 8192, zeroed: true, ip: alloc_ip },
+            &view,
+        );
+        let access_ip = Ip::new(dcp_runtime::ModuleId(0), ProcId(0), 1);
+        for _ in 0..6 {
+            p.on_sample(&sample(0x10_0010, access_ip.0, 200, DataSource::RemoteDram), &view);
+        }
+        let static_addr = dcp_runtime::layout::global(0, prog.modules[0].statics[0].addr);
+        for _ in 0..3 {
+            p.on_sample(&sample(static_addr, access_ip.0, 100, DataSource::LocalDram), &view);
+        }
+        p.into_measurement()
+    }
+
+    #[test]
+    fn encoded_analysis_matches_in_memory_analysis() {
+        let prog = program();
+        let ms: Vec<_> = (0..3).map(|_| measured(&prog)).collect();
+        let encoded: Vec<EncodedMeasurement> =
+            ms.iter().map(|m| encode_measurement(&prog, m)).collect();
+
+        let direct = Analysis::analyze(&prog, ms);
+        let streamed = Analysis::analyze_encoded(&prog, encoded).expect("valid profiles");
+
+        for &c in StorageClass::ALL.iter() {
+            assert_eq!(
+                streamed.tree(c).canonical(),
+                direct.tree(c).canonical(),
+                "class {c:?} trees must agree"
+            );
+        }
+        let dv = direct.variables(Metric::Latency);
+        let sv = streamed.variables(Metric::Latency);
+        assert_eq!(dv.len(), sv.len());
+        for (d, s) in dv.iter().zip(&sv) {
+            assert_eq!(d.name, s.name);
+            assert_eq!(d.metrics, s.metrics);
+            assert_eq!(d.alloc_count, s.alloc_count);
+        }
+        assert_eq!(direct.stats.samples, streamed.stats.samples);
+    }
+
+    #[test]
+    fn encoded_profiles_carry_symbol_names() {
+        // The v2 name section makes a profile self-describing: the
+        // symbol names survive without access to the program.
+        let prog = program();
+        let m = measured(&prog);
+        let enc = encode_measurement(&prog, &m);
+        let static_blobs = &enc.profiles[Analysis::class_idx(StorageClass::Static)];
+        assert!(!static_blobs.is_empty());
+        let (tree, names) = dcp_cct::decode_named(static_blobs[0].clone()).expect("decodes");
+        let var = tree
+            .children(ROOT)
+            .find(|&n| matches!(tree.frame(n), Frame::StaticVar(_)))
+            .expect("static variable node");
+        assert_eq!(names.lookup(tree.frame(var)), Some("f_elem"));
+    }
+
+    #[test]
+    fn corrupt_encoded_profile_is_a_typed_error() {
+        let prog = program();
+        let mut enc = encode_measurement(&prog, &measured(&prog));
+        let class = Analysis::class_idx(StorageClass::Heap);
+        let good = enc.profiles[class][0].clone();
+        enc.profiles[class][0] = good.slice(0..good.len() - 1);
+        let err = match Analysis::analyze_encoded(&prog, vec![enc]) {
+            Ok(_) => panic!("truncated profile must not analyze"),
+            Err(e) => e,
+        };
+        assert_eq!(err, dcp_cct::CodecError::Truncated);
     }
 }

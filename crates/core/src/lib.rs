@@ -59,7 +59,10 @@ pub mod tracer;
 pub mod view;
 
 pub use advisor::{advise, Action, AdvisorConfig, Recommendation};
-pub use analyze::{Analysis, VarSummary};
+pub use analyze::{
+    encode_measurement, profile_names, resolve_frame_name, Analysis, EncodedMeasurement,
+    VarSummary,
+};
 pub use metrics::{Metric, StorageClass, NAMES as METRIC_NAMES, WIDTH as METRIC_WIDTH};
 pub use profiler::{MeasurementData, ProfStats, Profiler, ProfilerConfig};
 pub use session::{measure_overhead, run_baseline, run_profiled, Overhead, ProfiledRun};

@@ -19,7 +19,7 @@
 //! runtime charges to the monitored thread — making Table 1's
 //! measurement overhead an observable quantity.
 
-use dcp_cct::{encode, Cct, Frame, ROOT};
+use dcp_cct::{encode, encode_v1, Cct, Frame, ROOT};
 use dcp_machine::{Cycles, Sample};
 use dcp_runtime::observer::{AllocEvent, FreeEvent, ModuleEvent, NodeObserver, ThreadView};
 use dcp_runtime::FrameInfo;
@@ -179,6 +179,17 @@ impl Profiler {
             .values()
             .flat_map(|t| t.trees.iter())
             .map(|t| encode(t).len())
+            .sum()
+    }
+
+    /// The same measurement data serialized with the legacy v1 wire
+    /// format — the baseline of the v1-vs-v2 space comparison that
+    /// Table 1 reports alongside the (v2) `profile_bytes`.
+    pub fn profile_bytes_v1(&self) -> usize {
+        self.threads
+            .values()
+            .flat_map(|t| t.trees.iter())
+            .map(|t| encode_v1(t).len())
             .sum()
     }
 

@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Codec performance trajectory: run the Table 1 binary (which reports
+# v1-vs-v2 profile bytes and post-mortem merge wall time alongside the
+# paper's overhead columns) and persist its machine-readable summary as
+# BENCH_codec.json so successive PRs can track the space/time trend.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="BENCH_codec.json"
+cargo run -q --release --offline -p dcp-bench --bin table1 \
+    | tee /dev/stderr \
+    | sed -n 's/^BENCH_JSON //p' > "$out"
+
+# A run that produced no summary line is a failure, not an empty trend.
+[ -s "$out" ] || { echo "bench_codec: no BENCH_JSON line produced" >&2; exit 1; }
+echo "wrote $out" >&2

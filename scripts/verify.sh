@@ -8,3 +8,15 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline
 cargo test -q --offline --workspace
+
+# Codec smoke stage: the profile wire format and its streamed merge are
+# the post-mortem scalability story, so they get an explicit pass.
+cargo test -q --offline -p dcp-cct
+
+# The thread pool reads DCP_THREADS once per process, so each pool shape
+# needs its own test-process run: sequential (0), fixed (8), and the
+# default (core count) already covered by the workspace run above. The
+# streamed out-of-core merge must be byte-identical to the in-memory
+# merge under every shape.
+DCP_THREADS=0 cargo test -q --offline -p dcp-cct streamed
+DCP_THREADS=8 cargo test -q --offline -p dcp-cct streamed

@@ -1,0 +1,83 @@
+//! Golden snapshot of the v2 wire format.
+//!
+//! Pins the exact byte stream the codec produces for one fixed-seed
+//! AMG2006 profile, so an encoding change cannot silently alter the wire
+//! format (the on-disk/wire compatibility contract): any intentional
+//! format change must re-pin these constants — and bump the wire magic.
+//! Mirrors the PMU sample-stream snapshots from the machine crate.
+
+use std::hash::Hasher;
+
+use dcp_core::prelude::*;
+use dcp_machine::{MarkedEvent, PmuConfig};
+use dcp_support::hash::FxHasher;
+use dcp_workloads::amg2006::{self, AmgConfig, AmgVariant};
+
+/// One deterministic profiled AMG run (the simulator is seeded; the
+/// per-thread measurement order is sorted, so the encoded bytes are a
+/// pure function of this configuration).
+fn profiled() -> (dcp_runtime::Program, dcp_core::ProfiledRun) {
+    let cfg = AmgConfig::small(AmgVariant::Original);
+    let prog = amg2006::build(&cfg);
+    let mut world = amg2006::world(&cfg);
+    world.sim.pmu =
+        Some(PmuConfig::Marked { event: MarkedEvent::DataFromRmem, threshold: 16, skid: 2 });
+    let run = run_profiled(&prog, &world, ProfilerConfig::default());
+    (prog, run)
+}
+
+fn fxhash(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+#[test]
+fn v2_byte_stream_is_pinned_for_fixed_seed_amg() {
+    let (prog, run) = profiled();
+
+    // Whole-run v2 and v1 sizes: any codec change shows up here first.
+    assert_eq!(run.profile_bytes, 31008, "total v2 bytes changed — wire format drift");
+    assert_eq!(run.profile_bytes_v1, 58114, "total v1 bytes changed — wire format drift");
+    // The headline acceptance number, pinned on a real workload: v2 is
+    // >= 40% smaller than v1.
+    assert!(run.profile_bytes * 10 <= run.profile_bytes_v1 * 6);
+
+    // One concrete blob, pinned exactly: the largest encoded profile of
+    // the run (with its name section).
+    let encoded = run.encode_measurements(&prog);
+    let blob = encoded
+        .iter()
+        .flat_map(|m| m.profiles.iter())
+        .flat_map(|c| c.iter())
+        .max_by_key(|b| b.len())
+        .expect("run produced profiles");
+    assert_eq!(blob.len(), 293, "blob length changed — wire format drift");
+    assert_eq!(
+        fxhash(blob.as_slice()),
+        0xe1a17a8075a7f544,
+        "blob bytes changed — wire format drift"
+    );
+    let head: String =
+        blob.as_slice().iter().take(24).map(|b| format!("{b:02x}")).collect();
+    assert_eq!(head, "4443503200053501046d61696e01010b0009160a90808080");
+
+    // The pinned stream still decodes to the measurement it came from.
+    let (tree, names) = dcp_cct::decode_named(blob.clone()).expect("pinned blob decodes");
+    assert_eq!(dcp_cct::encode_named(&tree, &names), *blob, "re-encode is the identity");
+}
+
+#[test]
+fn golden_run_is_reproducible() {
+    // The premise of the snapshot: two runs produce identical bytes.
+    let (prog_a, run_a) = profiled();
+    let (prog_b, run_b) = profiled();
+    let a = run_a.encode_measurements(&prog_a);
+    let b = run_b.encode_measurements(&prog_b);
+    assert_eq!(a.len(), b.len());
+    for (ma, mb) in a.iter().zip(&b) {
+        for (ca, cb) in ma.profiles.iter().zip(&mb.profiles) {
+            assert_eq!(ca, cb, "encoded profiles must be bit-reproducible");
+        }
+    }
+}
