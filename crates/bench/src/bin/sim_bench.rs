@@ -1,0 +1,255 @@
+//! sim_bench — throughput of the simulator/measurement hot path itself.
+//!
+//! Every sample the profiler consumes is produced by the serial per-node
+//! pipeline `Machine::access` → scheduler quantum → PMU → profiler
+//! attribution, so *simulator* throughput (simulated accesses per host
+//! second) bounds how large the Table 1 / NUMA case-study workloads can
+//! get. This binary measures that throughput on the Table 1 workloads and
+//! doubles as a determinism harness: each workload runs twice and the two
+//! runs must agree bit-for-bit on machine stats, wall cycles, and the
+//! encoded v2 profile bytes — which is how we prove a hot-path
+//! optimisation changed *speed* and nothing else.
+//!
+//! Output: a human table plus one machine-readable `BENCH_JSON` line that
+//! `scripts/bench_sim.sh` persists as `BENCH_sim.json`. Pass
+//! `--baseline <file>` (a previous BENCH_JSON payload) to embed the old
+//! aggregate throughput and the speedup against it. Pass `--smoke` to run
+//! tiny configs (CI smoke stage).
+
+use std::hash::Hasher;
+use std::time::Instant;
+
+use dcp_bench::{ibs_sampling, rmem_sampling};
+use dcp_core::prelude::*;
+use dcp_core::session::ProfiledRun;
+use dcp_machine::PmuConfig;
+use dcp_runtime::{Program, WorldConfig};
+use dcp_support::FxHasher;
+use dcp_workloads as wl;
+
+struct Row {
+    name: &'static str,
+    accesses: u64,
+    sim_wall: u64,
+    /// Best-of-two host wall time for the profiled run.
+    host_secs: f64,
+    /// Fingerprint over machine stats, wall cycles, and encoded v2
+    /// profile bytes; equal across the two runs or we panic.
+    fingerprint: u64,
+    overhead_share: f64,
+}
+
+/// Hash everything an optimisation must not change: per-node machine
+/// stats, node wall clocks, and every encoded v2 profile blob.
+fn fingerprint(prog: &Program, run: &ProfiledRun) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(run.wall);
+    for n in &run.nodes {
+        let s = &n.machine_stats;
+        for v in [
+            s.accesses,
+            s.loads,
+            s.stores,
+            s.total_latency,
+            s.l1_hits,
+            s.l2_hits,
+            s.l3_hits,
+            s.remote_l3_hits,
+            s.local_dram,
+            s.remote_dram,
+            s.tlb_misses,
+            s.prefetch_fills,
+            s.prefetch_hidden,
+            s.prefetch_late,
+            n.wall,
+            n.ops,
+        ] {
+            h.write_u64(v);
+        }
+        for &d in &n.dram_histogram {
+            h.write_u64(d);
+        }
+    }
+    for m in run.encode_measurements(prog) {
+        for blobs in &m.profiles {
+            for b in blobs {
+                h.write(b.as_ref());
+            }
+        }
+    }
+    h.finish()
+}
+
+fn bench_one(
+    name: &'static str,
+    prog: &Program,
+    world: &WorldConfig,
+    pmu: PmuConfig,
+) -> Row {
+    let mut w = world.clone();
+    w.sim.pmu = Some(pmu);
+    let mut best = f64::INFINITY;
+    let mut first: Option<(u64, u64, u64, f64)> = None;
+    for _ in 0..2 {
+        let t0 = Instant::now();
+        let run = run_profiled(prog, &w, ProfilerConfig::default());
+        let secs = t0.elapsed().as_secs_f64();
+        best = best.min(secs);
+        let accesses: u64 = run.nodes.iter().map(|n| n.machine_stats.accesses).sum();
+        let fp = fingerprint(prog, &run);
+        // Profiler cycles as a share of all cycles the monitored threads
+        // executed (retired ops + memory latency + the profiler itself).
+        let work: u64 = run
+            .nodes
+            .iter()
+            .map(|n| n.ops + n.machine_stats.total_latency)
+            .sum();
+        let ovh = run.stats.overhead_cycles;
+        let share = ovh as f64 / (ovh + work).max(1) as f64;
+        if let Some((a0, w0, fp0, _)) = first {
+            assert_eq!(a0, accesses, "{name}: access count differs between runs");
+            assert_eq!(w0, run.wall, "{name}: wall cycles differ between runs");
+            assert_eq!(fp0, fp, "{name}: stats/profile fingerprint differs between runs");
+        } else {
+            first = Some((accesses, run.wall, fp, share));
+        }
+    }
+    let (accesses, sim_wall, fingerprint, overhead_share) = first.expect("ran twice");
+    Row { name, accesses, sim_wall, host_secs: best, fingerprint, overhead_share }
+}
+
+/// Pull `"aggregate_accesses_per_sec": <number>` out of a previous
+/// BENCH_JSON payload without a JSON parser.
+fn baseline_throughput(text: &str) -> Option<f64> {
+    let key = "\"aggregate_accesses_per_sec\":";
+    let at = text.find(key)? + key.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let baseline = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1))
+        .map(|p| std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read {p}: {e}")));
+
+    let mut rows = Vec::new();
+    if smoke {
+        let cfg = wl::streamcluster::ScConfig::small(wl::streamcluster::ScVariant::Original);
+        let prog = wl::streamcluster::build(&cfg);
+        let world = wl::streamcluster::world(&cfg);
+        rows.push(bench_one("Streamcluster-small", &prog, &world, rmem_sampling(2)));
+        let cfg = wl::nw::NwConfig::small(wl::nw::NwVariant::Original);
+        let prog = wl::nw::build(&cfg);
+        let world = wl::nw::world(&cfg);
+        rows.push(bench_one("NW-small", &prog, &world, rmem_sampling(6)));
+    } else {
+        {
+            let cfg = wl::amg2006::AmgConfig::paper(wl::amg2006::AmgVariant::Original);
+            let prog = wl::amg2006::build(&cfg);
+            let world = wl::amg2006::world(&cfg);
+            rows.push(bench_one("AMG2006", &prog, &world, rmem_sampling(16)));
+        }
+        {
+            let cfg = wl::sweep3d::SweepConfig::paper(wl::sweep3d::SweepVariant::Original);
+            let prog = wl::sweep3d::build(&cfg);
+            let world = wl::sweep3d::world(&cfg);
+            rows.push(bench_one("Sweep3D", &prog, &world, ibs_sampling(16384)));
+        }
+        {
+            let cfg = wl::lulesh::LuleshConfig::paper(wl::lulesh::LuleshVariant::ORIGINAL);
+            let prog = wl::lulesh::build(&cfg);
+            let world = wl::lulesh::world(&cfg);
+            rows.push(bench_one("LULESH", &prog, &world, ibs_sampling(64)));
+        }
+        {
+            let cfg = wl::streamcluster::ScConfig::paper(wl::streamcluster::ScVariant::Original);
+            let prog = wl::streamcluster::build(&cfg);
+            let world = wl::streamcluster::world(&cfg);
+            rows.push(bench_one("Streamcluster", &prog, &world, rmem_sampling(2)));
+        }
+        {
+            let cfg = wl::nw::NwConfig::paper(wl::nw::NwVariant::Original);
+            let prog = wl::nw::build(&cfg);
+            let world = wl::nw::world(&cfg);
+            rows.push(bench_one("NW", &prog, &world, rmem_sampling(6)));
+        }
+    }
+
+    println!("SIM BENCH — simulator/measurement hot-path throughput (profiled runs)");
+    println!(
+        "{:<22} {:>12} {:>14} {:>10} {:>12} {:>10} {:>18}",
+        "workload", "accesses", "sim cycles", "host s", "Macc/s", "prof shr", "fingerprint"
+    );
+    for r in &rows {
+        let mps = r.accesses as f64 / r.host_secs / 1e6;
+        assert!(mps > 0.0, "{}: throughput must be nonzero", r.name);
+        println!(
+            "{:<22} {:>12} {:>14} {:>10.3} {:>12.3} {:>9.1}% {:>18}",
+            r.name,
+            r.accesses,
+            r.sim_wall,
+            r.host_secs,
+            mps,
+            100.0 * r.overhead_share,
+            format!("{:016x}", r.fingerprint),
+        );
+    }
+    let total_accesses: u64 = rows.iter().map(|r| r.accesses).sum();
+    let total_secs: f64 = rows.iter().map(|r| r.host_secs).sum();
+    let agg = total_accesses as f64 / total_secs;
+    let mut combined = FxHasher::default();
+    for r in &rows {
+        combined.write_u64(r.fingerprint);
+    }
+    println!();
+    println!(
+        "aggregate: {} accesses in {:.3} host s = {:.3} Macc/s (determinism: ok, both runs identical)",
+        total_accesses,
+        total_secs,
+        agg / 1e6
+    );
+
+    let mut json = String::from("BENCH_JSON {\"workloads\": [");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        json.push_str(&format!(
+            "{{\"name\": \"{}\", \"accesses\": {}, \"sim_wall_cycles\": {}, \
+             \"host_secs\": {:.4}, \"accesses_per_sec\": {:.1}, \
+             \"profiler_overhead_share\": {:.4}, \"fingerprint\": \"{:016x}\"}}",
+            r.name,
+            r.accesses,
+            r.sim_wall,
+            r.host_secs,
+            r.accesses as f64 / r.host_secs,
+            r.overhead_share,
+            r.fingerprint,
+        ));
+    }
+    json.push_str(&format!(
+        "], \"aggregate_accesses_per_sec\": {:.1}, \"determinism\": \"ok\", \
+         \"fingerprint\": \"{:016x}\"",
+        agg,
+        combined.finish()
+    ));
+    if let Some(base) = baseline.as_deref() {
+        let old = baseline_throughput(base)
+            .expect("baseline file has no aggregate_accesses_per_sec field");
+        json.push_str(&format!(
+            ", \"baseline_accesses_per_sec\": {:.1}, \"speedup_vs_baseline\": {:.3}",
+            old,
+            agg / old
+        ));
+        println!("speedup vs baseline: {:.3}x ({:.3} -> {:.3} Macc/s)", agg / old, old / 1e6, agg / 1e6);
+    }
+    json.push('}');
+    println!("{json}");
+}

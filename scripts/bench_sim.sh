@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Simulator hot-path throughput trajectory: run sim_bench (Table 1
+# workloads, each executed twice as a built-in determinism harness) and
+# persist its machine-readable summary as BENCH_sim.json.
+#
+# The first ever run (before the hot-path optimisation) was saved as
+# BENCH_sim_baseline.json; when that file exists it is passed back in so
+# BENCH_sim.json carries before/after numbers and the speedup.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="BENCH_sim.json"
+base="BENCH_sim_baseline.json"
+
+if [ -f "$base" ]; then
+    cargo run -q --release --offline -p dcp-bench --bin sim_bench -- --baseline "$base" \
+        | tee /dev/stderr \
+        | sed -n 's/^BENCH_JSON //p' > "$out"
+else
+    cargo run -q --release --offline -p dcp-bench --bin sim_bench \
+        | tee /dev/stderr \
+        | sed -n 's/^BENCH_JSON //p' > "$out"
+    cp "$out" "$base"
+    echo "recorded new baseline $base" >&2
+fi
+
+# A run that produced no summary line is a failure, not an empty trend.
+[ -s "$out" ] || { echo "bench_sim: no BENCH_JSON line produced" >&2; exit 1; }
+echo "wrote $out" >&2

@@ -1,0 +1,191 @@
+//! Fixed-seed golden snapshots of the simulator/measurement pipeline.
+//!
+//! These pins were captured BEFORE the hot-path throughput overhaul
+//! (paged version table, open-addressed prefetch MSHR, allocation-free
+//! access pipeline) and must never move: an optimisation of the
+//! measurement substrate has to be bit-for-bit behaviour-preserving, or
+//! every profile the tool has ever produced silently changes meaning.
+//! One workload per access class — sequential (prefetch-friendly),
+//! strided (page-crossing, prefetch-defeating), and NUMA-contended
+//! (cross-domain sharing plus DRAM queueing) — each pinning the full
+//! `MachineStats`, the node wall clock, and a hash of the encoded v2
+//! profile bytes.
+
+use std::hash::Hasher;
+
+use dcp_core::prelude::*;
+use dcp_machine::{MachineConfig, PmuConfig};
+use dcp_runtime::ir::ex::*;
+use dcp_runtime::{Program, ProgramBuilder, SimConfig, WorldConfig};
+use dcp_support::FxHasher;
+
+/// Everything the optimisation must not change, in one comparable value.
+#[derive(Debug, PartialEq, Eq)]
+struct Golden {
+    /// accesses, loads, stores, total_latency, l1, l2, l3, remote_l3,
+    /// local_dram, remote_dram, tlb_misses, pf_fills, pf_hidden, pf_late.
+    stats: [u64; 14],
+    wall: u64,
+    samples: u64,
+    profile_hash: u64,
+}
+
+fn snapshot(prog: &Program, omp_threads: u32) -> Golden {
+    let mut sim = SimConfig::new(MachineConfig::tiny_test());
+    sim.omp_threads = omp_threads;
+    sim.pmu = Some(PmuConfig::Ibs { period: 64, skid: 2 });
+    let world = WorldConfig::single_node(sim, 1);
+    let run = run_profiled(prog, &world, ProfilerConfig::default());
+    let s = &run.nodes[0].machine_stats;
+    let stats = [
+        s.accesses,
+        s.loads,
+        s.stores,
+        s.total_latency,
+        s.l1_hits,
+        s.l2_hits,
+        s.l3_hits,
+        s.remote_l3_hits,
+        s.local_dram,
+        s.remote_dram,
+        s.tlb_misses,
+        s.prefetch_fills,
+        s.prefetch_hidden,
+        s.prefetch_late,
+    ];
+    let wall = run.wall;
+    let samples = run.stats.samples;
+    let mut h = FxHasher::default();
+    for m in run.encode_measurements(prog) {
+        for blobs in &m.profiles {
+            for b in blobs {
+                h.write(b.as_ref());
+            }
+        }
+    }
+    Golden { stats, wall, samples, profile_hash: h.finish() }
+}
+
+/// Unit-stride scan: init stores then repeated loads, prefetch-friendly.
+fn sequential_program() -> Program {
+    let mut b = ProgramBuilder::new("golden_seq");
+    let n: i64 = 4096;
+    let main = b.proc("main", 0, |p| {
+        p.line(1);
+        let a = p.malloc(c(n * 8), "A");
+        p.for_(c(0), c(n), |p, i| {
+            p.line(2);
+            p.store(l(a), l(i), 8);
+        });
+        p.for_(c(0), c(3), |p, _| {
+            p.for_(c(0), c(n), |p, i| {
+                p.line(3);
+                p.load(l(a), l(i), 8);
+            });
+        });
+        p.free(l(a));
+    });
+    b.build(main)
+}
+
+/// Page-crossing stride: every access on a new page, defeats the
+/// prefetcher and thrashes the TLB.
+fn strided_program() -> Program {
+    let mut b = ProgramBuilder::new("golden_strided");
+    let pages: i64 = 512;
+    let main = b.proc("main", 0, |p| {
+        p.line(1);
+        let a = p.malloc(c(pages * 4096), "S");
+        p.for_(c(0), c(6), |p, _| {
+            p.for_(c(0), c(pages), |p, i| {
+                p.line(2);
+                p.load(l(a), mul(l(i), c(512)), 8);
+            });
+        });
+        p.free(l(a));
+    });
+    b.build(main)
+}
+
+/// Master first-touches one array, then a 4-thread team (spread over both
+/// tiny_test domains) hammers it: remote DRAM, remote L3 after stores,
+/// and controller queueing.
+fn numa_contended_program() -> Program {
+    let mut b = ProgramBuilder::new("golden_numa");
+    let n: i64 = 4096;
+    let region = b.outlined("workers", 2, |p| {
+        let (buf, len) = (p.param(0), p.param(1));
+        p.line(10);
+        p.omp_for(c(0), l(len), |p, i| {
+            p.load(l(buf), l(i), 8);
+            p.store(l(buf), l(i), 8);
+        });
+    });
+    let main = b.proc("main", 0, |p| {
+        p.line(1);
+        let a = p.calloc(c(n * 8), "shared");
+        p.parallel_n(region, vec![l(a), c(n)], c(4));
+        p.free(l(a));
+    });
+    b.build(main)
+}
+
+#[test]
+fn golden_sequential() {
+    assert_eq!(
+        snapshot(&sequential_program(), 1),
+        Golden {
+            stats: GOLDEN_SEQ.0,
+            wall: GOLDEN_SEQ.1,
+            samples: GOLDEN_SEQ.2,
+            profile_hash: GOLDEN_SEQ.3,
+        }
+    );
+}
+
+#[test]
+fn golden_strided() {
+    assert_eq!(
+        snapshot(&strided_program(), 1),
+        Golden {
+            stats: GOLDEN_STRIDED.0,
+            wall: GOLDEN_STRIDED.1,
+            samples: GOLDEN_STRIDED.2,
+            profile_hash: GOLDEN_STRIDED.3,
+        }
+    );
+}
+
+#[test]
+fn golden_numa_contended() {
+    assert_eq!(
+        snapshot(&numa_contended_program(), 4),
+        Golden {
+            stats: GOLDEN_NUMA.0,
+            wall: GOLDEN_NUMA.1,
+            samples: GOLDEN_NUMA.2,
+            profile_hash: GOLDEN_NUMA.3,
+        }
+    );
+}
+
+// Captured on the pre-overhaul implementation (hashmap version table,
+// hashmap MSHRs, Vec-returning prefetcher, per-frame locals Vecs).
+const GOLDEN_SEQ: ([u64; 14], u64, u64, u64) = (
+    [16384, 12288, 4096, 55275, 14336, 0, 0, 0, 103, 0, 8, 2048, 1945, 99],
+    505354,
+    499,
+    3262719827888043984,
+);
+const GOLDEN_STRIDED: ([u64; 14], u64, u64, u64) = (
+    [3072, 3072, 0, 706560, 0, 0, 0, 0, 3072, 0, 3072, 0, 0, 0],
+    443039,
+    93,
+    14271958869652281144,
+);
+const GOLDEN_NUMA: ([u64; 14], u64, u64, u64) = (
+    [8704, 4096, 4608, 71270, 7680, 0, 26, 1, 491, 5, 14, 1010, 501, 489],
+    84406,
+    193,
+    16252969015818593109,
+);
