@@ -172,6 +172,38 @@ fn main() {
         debug_assert!((neg - o.overhead_pct).abs() < 1e-6);
     }
     println!();
+    println!("simulator throughput and profiler share (see DESIGN.md, \"Performance of the simulator itself\")");
+    println!(
+        "{:<14} {:>14} {:>10} {:>12} {:>10}",
+        "code", "sim accesses", "host s", "Macc/s", "prof shr"
+    );
+    let mut total_acc = 0u64;
+    let mut total_secs = 0.0f64;
+    for row in &rows {
+        let r = &row.overhead.run;
+        let accesses: u64 = r.nodes.iter().map(|n| n.machine_stats.accesses).sum();
+        // Profiler cycles as a share of all cycles the monitored threads
+        // executed (retired ops + memory latency + the profiler itself).
+        let work: u64 = r.nodes.iter().map(|n| n.ops + n.machine_stats.total_latency).sum();
+        let ovh = r.stats.overhead_cycles;
+        let share = ovh as f64 / (ovh + work).max(1) as f64;
+        total_acc += accesses;
+        total_secs += row.overhead.profiled_host_secs;
+        println!(
+            "{:<14} {:>14} {:>10.3} {:>12.3} {:>9.1}%",
+            row.code,
+            accesses,
+            row.overhead.profiled_host_secs,
+            accesses as f64 / row.overhead.profiled_host_secs / 1e6,
+            100.0 * share,
+        );
+    }
+    println!(
+        "aggregate simulated-accesses/sec: {:.3} Macc/s",
+        total_acc as f64 / total_secs / 1e6
+    );
+
+    println!();
     println!(
         "space check: compact profiles vs MemProf-style traces: {} B vs {} B ({}x smaller)",
         rows.iter().map(|r| r.overhead.run.profile_bytes).sum::<usize>(),

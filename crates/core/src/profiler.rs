@@ -131,6 +131,9 @@ pub struct Profiler {
     heap_map: HeapMap,
     alloc_paths: AllocPaths,
     threads: FxHashMap<(u32, u32), ThreadProf>,
+    /// Reusable unwind scratch for `on_alloc`, so interning an allocation
+    /// path does not allocate a fresh `Vec<Frame>` per event.
+    path_scratch: Vec<Frame>,
     stats: ProfStats,
 }
 
@@ -158,6 +161,7 @@ impl Profiler {
             heap_map: HeapMap::new(),
             alloc_paths: AllocPaths::new(),
             threads: FxHashMap::default(),
+            path_scratch: Vec::new(),
             stats: ProfStats::default(),
         }
     }
@@ -231,19 +235,30 @@ impl Profiler {
         MeasurementData { profiles, alloc_info, stats: self.stats }
     }
 
+    /// Insert one sample into the per-thread tree for `class`. The prefix
+    /// is a borrowed slice plus an optional marker frame, so callers can
+    /// pass interned allocation paths (or a one-frame static prefix on
+    /// the stack) without materialising a `Vec` per sample. Associated fn
+    /// over split borrows so `prefix` may borrow `self.alloc_paths`.
+    #[allow(clippy::too_many_arguments)]
     fn attribute(
-        &mut self,
+        threads: &mut FxHashMap<(u32, u32), ThreadProf>,
+        stats: &mut ProfStats,
         key: (u32, u32),
         class: StorageClass,
-        prefix: Vec<Frame>,
+        prefix: &[Frame],
+        marker: Option<Frame>,
         stack: &[FrameInfo],
         leaf: Frame,
         sample: &Sample,
     ) {
-        let tp = self.threads.entry(key).or_insert_with(ThreadProf::new);
+        let tp = threads.entry(key).or_insert_with(ThreadProf::new);
         let tree = &mut tp.trees[ProfStats::class_idx(class)];
         let mut node = ROOT;
-        for f in prefix {
+        for &f in prefix {
+            node = tree.child(node, f);
+        }
+        if let Some(f) = marker {
             node = tree.child(node, f);
         }
         for f in convert_stack(stack) {
@@ -261,8 +276,8 @@ impl Profiler {
         if sample.is_store {
             tree.add(node, Metric::Stores.col(), 1);
         }
-        self.stats.samples += 1;
-        self.stats.samples_by_class[ProfStats::class_idx(class)] += 1;
+        stats.samples += 1;
+        stats.samples_by_class[ProfStats::class_idx(class)] += 1;
     }
 }
 
@@ -284,28 +299,72 @@ impl NodeObserver for Profiler {
         let leaf = Frame::Stmt(leaf_ip);
         let key = (view.rank, view.thread);
 
+        let threads = &mut self.threads;
+        let stats = &mut self.stats;
         match sample.ea {
-            None => self.attribute(key, StorageClass::NoMem, Vec::new(), view.frames, leaf, sample),
+            None => Self::attribute(
+                threads,
+                stats,
+                key,
+                StorageClass::NoMem,
+                &[],
+                None,
+                view.frames,
+                leaf,
+                sample,
+            ),
             Some(ea) => {
                 if let Some(ctx) = self.heap_map.lookup(ea) {
                     // Prepend the allocation path and the heap marker:
-                    // the copy-and-merge of §4.1.4.
-                    let mut prefix = self.alloc_paths.path(ctx).to_vec();
-                    prefix.push(Frame::HeapMarker);
-                    self.attribute(key, StorageClass::Heap, prefix, view.frames, leaf, sample);
+                    // the copy-and-merge of §4.1.4. The path is borrowed
+                    // straight from the interner — no per-sample copy.
+                    Self::attribute(
+                        threads,
+                        stats,
+                        key,
+                        StorageClass::Heap,
+                        self.alloc_paths.path(ctx),
+                        Some(Frame::HeapMarker),
+                        view.frames,
+                        leaf,
+                        sample,
+                    );
                 } else if self.cfg.stack_class && is_stack_address(ea) {
-                    self.attribute(key, StorageClass::Stack, Vec::new(), view.frames, leaf, sample);
+                    Self::attribute(
+                        threads,
+                        stats,
+                        key,
+                        StorageClass::Stack,
+                        &[],
+                        None,
+                        view.frames,
+                        leaf,
+                        sample,
+                    );
                 } else if let Some(h) = self.static_map.lookup(ea) {
-                    self.attribute(
+                    Self::attribute(
+                        threads,
+                        stats,
                         key,
                         StorageClass::Static,
-                        vec![Frame::StaticVar(h.0)],
+                        &[Frame::StaticVar(h.0)],
+                        None,
                         view.frames,
                         leaf,
                         sample,
                     );
                 } else {
-                    self.attribute(key, StorageClass::Unknown, Vec::new(), view.frames, leaf, sample);
+                    Self::attribute(
+                        threads,
+                        stats,
+                        key,
+                        StorageClass::Unknown,
+                        &[],
+                        None,
+                        view.frames,
+                        leaf,
+                        sample,
+                    );
                 }
             }
         }
@@ -325,9 +384,10 @@ impl NodeObserver for Profiler {
         let tp = self.threads.entry((view.rank, view.thread)).or_insert_with(ThreadProf::new);
         let outcome = tp.unwind_cache.capture(view.frames, &self.cfg.tracking, &costs);
         self.stats.unwind_frames += outcome.frames_walked as u64;
-        let mut path: Vec<Frame> = convert_stack(view.frames).collect();
-        path.push(Frame::Stmt(ev.ip.0));
-        let ctx = self.alloc_paths.intern_full(&path, ev.bytes, ev.zeroed);
+        self.path_scratch.clear();
+        self.path_scratch.extend(convert_stack(view.frames));
+        self.path_scratch.push(Frame::Stmt(ev.ip.0));
+        let ctx = self.alloc_paths.intern_full(&self.path_scratch, ev.bytes, ev.zeroed);
         self.heap_map.insert(ev.addr, ev.bytes, ctx);
         self.stats.allocs_tracked += 1;
         let cost = outcome.cost + costs.map_lookup as Cycles;

@@ -12,7 +12,8 @@ use crate::cache::{Cache, VersionTable};
 use crate::config::MachineConfig;
 use crate::dram::Dram;
 use crate::interconnect::Interconnect;
-use crate::prefetch::Prefetcher;
+use crate::mshr::{PfEntry, PfMshr};
+use crate::prefetch::{Predictions, Prefetcher};
 use crate::tlb::Tlb;
 use crate::topology::{CoreId, DomainId, Topology};
 use crate::Cycles;
@@ -87,21 +88,18 @@ pub struct MachineStats {
     pub prefetch_late: u64,
 }
 
-/// An in-flight prefetch: when the line arrives, where it is coming from,
-/// and the coherence version it was requested at.
-#[derive(Debug, Clone, Copy)]
-struct PfEntry {
-    ready: Cycles,
-    version: u32,
-    src: DataSource,
-}
-
 /// The simulated machine: every core's private structures, every socket's
 /// L3, the DRAM controllers, and the interconnect.
 #[derive(Debug)]
 pub struct Machine {
     cfg: MachineConfig,
     line_bits: u32,
+    page_bits: u32,
+    /// Hardware thread → physical core, precomputed from the topology so
+    /// the per-access path indexes instead of dividing.
+    pcore_of: Vec<u32>,
+    /// Hardware thread → NUMA domain, precomputed likewise.
+    domain_of: Vec<u32>,
     l1: Vec<Cache>,
     l2: Vec<Cache>,
     l3: Vec<Cache>,
@@ -110,8 +108,8 @@ pub struct Machine {
     dram: Dram,
     interconnect: Interconnect,
     versions: VersionTable,
-    /// Per-physical-core in-flight prefetch buffers (MSHR-like).
-    pfbuf: Vec<dcp_support::FxHashMap<u64, PfEntry>>,
+    /// Per-physical-core in-flight prefetch buffers (MSHRs).
+    pfbuf: Vec<PfMshr>,
     stats: MachineStats,
 }
 
@@ -126,6 +124,13 @@ impl Machine {
         let domains = cfg.topology.domains as usize;
         Self {
             line_bits: cfg.line_size.trailing_zeros(),
+            page_bits: cfg.page_size.trailing_zeros(),
+            pcore_of: (0..cfg.topology.hw_threads())
+                .map(|t| cfg.topology.physical_core_of(CoreId(t)))
+                .collect(),
+            domain_of: (0..cfg.topology.hw_threads())
+                .map(|t| cfg.topology.domain_of(CoreId(t)).0)
+                .collect(),
             l1: (0..cores).map(|_| Cache::new(&cfg.l1, cfg.line_size)).collect(),
             l2: (0..cores).map(|_| Cache::new(&cfg.l2, cfg.line_size)).collect(),
             l3: (0..domains).map(|_| Cache::new(&cfg.l3, cfg.line_size)).collect(),
@@ -133,8 +138,8 @@ impl Machine {
             prefetch: (0..cores).map(|_| Prefetcher::new(cfg.prefetch)).collect(),
             dram: Dram::new(cfg.topology.domains, cfg.dram_service),
             interconnect: Interconnect::new(&cfg.topology, cfg.hop_latency),
-            versions: VersionTable::new(),
-            pfbuf: (0..cores).map(|_| dcp_support::FxHashMap::default()).collect(),
+            versions: VersionTable::with_lines_per_page(cfg.page_size / cfg.line_size),
+            pfbuf: (0..cores).map(|_| PfMshr::new()).collect(),
             cfg,
             stats: MachineStats::default(),
         }
@@ -182,13 +187,13 @@ impl Machine {
         pc: u64,
         now: Cycles,
     ) -> AccessResult {
-        let pcore = self.cfg.topology.physical_core_of(core) as usize;
-        let my_domain = self.cfg.topology.domain_of(core);
+        let pcore = self.pcore_of[core.0 as usize] as usize;
+        let my_domain = DomainId(self.domain_of[core.0 as usize]);
         let line = self.line_of(vaddr);
-        let version = self.versions.version(line);
+        let version = self.versions.version_hot(line);
 
         let mut latency: u32 = 0;
-        let vpn = vaddr >> self.cfg.page_size.trailing_zeros();
+        let vpn = vaddr >> self.page_bits;
         let tlb_miss = !self.tlb[pcore].access(vpn);
         if tlb_miss {
             latency += self.cfg.tlb_miss_penalty;
@@ -212,7 +217,7 @@ impl Machine {
             self.l1[pcore].fill(line, version);
             self.stats.l3_hits += 1;
             DataSource::L3
-        } else if let Some(pf) = self.take_prefetch(pcore, line, version, now + latency as Cycles) {
+        } else if let Some(pf) = self.take_prefetch(pcore, line, version) {
             // The line was prefetched. A timely prefetch hides the miss
             // entirely (looks like an L2 hit); a late one exposes its true
             // source with whatever latency remains — exactly how real
@@ -284,15 +289,20 @@ impl Machine {
         // so this is almost always the right controller) and arrives after
         // the full memory latency — a demand access that comes too soon
         // still observes the DRAM source.
-        let preds = self.prefetch[pcore].observe(pc, vaddr, self.cfg.line_size);
+        let mut preds = Predictions::new();
+        self.prefetch[pcore].observe(pc, vaddr, self.cfg.line_size, &mut preds);
         if !preds.is_empty() {
             let now_eff = now + latency as Cycles;
-            for p in preds {
+            for &p in preds.as_slice() {
                 let pl = self.line_of(p);
-                let pv = self.versions.version(pl);
-                if self.l2[pcore].probe(pl, pv)
+                let pv = self.versions.version_hot(pl);
+                // All three checks are pure, so evaluation order is free:
+                // the MSHR probe is a single hash slot and hits most often
+                // (this line was usually predicted last access too), so it
+                // goes first and skips both set scans.
+                if self.pfbuf[pcore].contains(pl)
+                    || self.l2[pcore].probe(pl, pv)
                     || self.l3[my_domain.0 as usize].probe(pl, pv)
-                    || self.pfbuf[pcore].contains_key(&pl)
                 {
                     continue;
                 }
@@ -352,14 +362,8 @@ impl Machine {
 
     /// Consume an in-flight prefetch for `line` if one exists at the
     /// current coherence version. Stale entries are dropped.
-    fn take_prefetch(
-        &mut self,
-        pcore: usize,
-        line: u64,
-        version: u32,
-        _now: Cycles,
-    ) -> Option<PfEntry> {
-        let e = self.pfbuf[pcore].remove(&line)?;
+    fn take_prefetch(&mut self, pcore: usize, line: u64, version: u32) -> Option<PfEntry> {
+        let e = self.pfbuf[pcore].remove(line)?;
         if e.version == version {
             Some(e)
         } else {

@@ -9,24 +9,31 @@
 //! which implicitly invalidates every other copy in O(1) — the same
 //! observable behaviour as write-invalidate MESI without walking 128
 //! caches per store.
+//!
+//! Layout note: this is the simulator's hottest data. Ways are stored as
+//! two parallel arrays — a packed `tags` array the set-scan touches and a
+//! `meta` array holding (version, lru) — so the scan that runs on every
+//! access reads one dense cache-line-sized strip instead of striding over
+//! fat structs. The version table is a two-level page-indexed structure:
+//! one hash lookup per *page* (usually served by a one-entry cache of the
+//! last page), then a dense index for the line within the page.
 
 use dcp_support::FxHashMap;
 
 use crate::config::CacheConfig;
 
-/// One cached line: its tag and the coherence version it was filled at.
-#[derive(Debug, Clone, Copy)]
-struct Way {
-    /// Line address (full address >> line_bits), not just the tag, so we
-    /// can invalidate precisely.
-    line: u64,
-    version: u32,
-    /// LRU timestamp: larger = more recently used.
-    lru: u64,
-    valid: bool,
-}
+/// Tag value marking an empty way. Line addresses are byte addresses
+/// shifted right by the line bits, so `u64::MAX` can never be a real line.
+const TAG_INVALID: u64 = u64::MAX;
 
-const INVALID: Way = Way { line: 0, version: 0, lru: 0, valid: false };
+/// The one set-scan every path shares: position of `line` within a set's
+/// packed tag slice, or `None`. `lookup`, `probe`, `fill` and
+/// `invalidate` all go through here so their notion of "present" cannot
+/// drift.
+#[inline(always)]
+fn scan(tags: &[u64], line: u64) -> Option<usize> {
+    tags.iter().position(|&t| t == line)
+}
 
 /// A set-associative, write-allocate cache level.
 ///
@@ -34,9 +41,17 @@ const INVALID: Way = Way { line: 0, version: 0, lru: 0, valid: false };
 /// size); index and tag extraction happen internally.
 #[derive(Debug, Clone)]
 pub struct Cache {
-    ways: Vec<Way>,
+    /// Per-way line address, `TAG_INVALID` when the way is empty. Indexed
+    /// `set * assoc + way`.
+    tags: Vec<u64>,
+    /// Per-way (coherence version, LRU timestamp), parallel to `tags`.
+    meta: Vec<(u32, u64)>,
     assoc: usize,
     sets: u64,
+    /// `sets - 1` when `sets` is a power of two (the common geometry):
+    /// set selection is then a mask instead of a hardware divide.
+    /// `u64::MAX` when sets is not a power of two.
+    set_mask: u64,
     latency: u32,
     tick: u64,
     hits: u64,
@@ -47,10 +62,13 @@ impl Cache {
     /// Build a cache from a level configuration and the machine line size.
     pub fn new(cfg: &CacheConfig, line_size: u64) -> Self {
         let sets = cfg.sets(line_size);
+        let ways = (sets * cfg.assoc as u64) as usize;
         Self {
-            ways: vec![INVALID; (sets * cfg.assoc as u64) as usize],
+            tags: vec![TAG_INVALID; ways],
+            meta: vec![(0, 0); ways],
             assoc: cfg.assoc as usize,
             sets,
+            set_mask: if sets.is_power_of_two() { sets - 1 } else { u64::MAX },
             latency: cfg.latency,
             tick: 0,
             hits: 0,
@@ -63,30 +81,29 @@ impl Cache {
         self.latency
     }
 
-    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
-        let set = (line % self.sets) as usize;
-        let start = set * self.assoc;
-        start..start + self.assoc
+    #[inline(always)]
+    fn set_start(&self, line: u64) -> usize {
+        let set =
+            if self.set_mask != u64::MAX { line & self.set_mask } else { line % self.sets };
+        set as usize * self.assoc
     }
 
     /// Look up `line`; a hit requires the cached copy's version to match
     /// `current_version`. A stale copy is treated as a miss and
     /// invalidated. Returns `true` on hit and refreshes LRU state.
     pub fn lookup(&mut self, line: u64, current_version: u32) -> bool {
+        debug_assert_ne!(line, TAG_INVALID);
         self.tick += 1;
-        let tick = self.tick;
-        let range = self.set_range(line);
-        for way in &mut self.ways[range] {
-            if way.valid && way.line == line {
-                if way.version == current_version {
-                    way.lru = tick;
-                    self.hits += 1;
-                    return true;
-                }
-                // Stale: coherence invalidation.
-                way.valid = false;
-                break;
+        let start = self.set_start(line);
+        if let Some(i) = scan(&self.tags[start..start + self.assoc], line) {
+            let w = start + i;
+            if self.meta[w].0 == current_version {
+                self.meta[w].1 = self.tick;
+                self.hits += 1;
+                return true;
             }
+            // Stale: coherence invalidation.
+            self.tags[w] = TAG_INVALID;
         }
         self.misses += 1;
         false
@@ -95,43 +112,60 @@ impl Cache {
     /// Peek without updating LRU or hit/miss statistics (used by remote-L3
     /// probes, which on real hardware go through the directory rather than
     /// perturbing the remote cache's replacement state).
+    #[inline]
     pub fn probe(&self, line: u64, current_version: u32) -> bool {
-        let range = self.set_range(line);
-        self.ways[range]
-            .iter()
-            .any(|w| w.valid && w.line == line && w.version == current_version)
+        let start = self.set_start(line);
+        match scan(&self.tags[start..start + self.assoc], line) {
+            Some(i) => self.meta[start + i].0 == current_version,
+            None => false,
+        }
     }
 
     /// Install `line` at `version`, evicting the LRU way of its set if
     /// needed. Returns the evicted line address, if any.
+    ///
+    /// One pass over the set finds, in priority order, (a) the line itself
+    /// (refresh in place), (b) the first empty way, (c) the first-minimal
+    /// LRU victim — the same choices three separate scans would make.
     pub fn fill(&mut self, line: u64, version: u32) -> Option<u64> {
+        debug_assert_ne!(line, TAG_INVALID);
         self.tick += 1;
-        let tick = self.tick;
-        let range = self.set_range(line);
-        let ways = &mut self.ways[range];
-        // Already present (e.g. refilled after a version bump): refresh.
-        if let Some(w) = ways.iter_mut().find(|w| w.valid && w.line == line) {
-            w.version = version;
-            w.lru = tick;
+        let start = self.set_start(line);
+        let mut empty = usize::MAX;
+        let mut victim = start;
+        let mut victim_lru = u64::MAX;
+        for w in start..start + self.assoc {
+            let t = self.tags[w];
+            if t == line {
+                // Already present (e.g. refilled after a version bump).
+                self.meta[w] = (version, self.tick);
+                return None;
+            }
+            if t == TAG_INVALID {
+                if empty == usize::MAX {
+                    empty = w;
+                }
+            } else if self.meta[w].1 < victim_lru {
+                victim = w;
+                victim_lru = self.meta[w].1;
+            }
+        }
+        if empty != usize::MAX {
+            self.tags[empty] = line;
+            self.meta[empty] = (version, self.tick);
             return None;
         }
-        if let Some(w) = ways.iter_mut().find(|w| !w.valid) {
-            *w = Way { line, version, lru: tick, valid: true };
-            return None;
-        }
-        let victim = ways.iter_mut().min_by_key(|w| w.lru).expect("assoc > 0");
-        let evicted = victim.line;
-        *victim = Way { line, version, lru: tick, valid: true };
+        let evicted = self.tags[victim];
+        self.tags[victim] = line;
+        self.meta[victim] = (version, self.tick);
         Some(evicted)
     }
 
     /// Remove `line` if present (used when a page is unmapped).
     pub fn invalidate(&mut self, line: u64) {
-        let range = self.set_range(line);
-        for w in &mut self.ways[range] {
-            if w.valid && w.line == line {
-                w.valid = false;
-            }
+        let start = self.set_start(line);
+        if let Some(i) = scan(&self.tags[start..start + self.assoc], line) {
+            self.tags[start + i] = TAG_INVALID;
         }
     }
 
@@ -145,38 +179,157 @@ impl Cache {
 ///
 /// Only lines that have ever been written occupy an entry; read-only lines
 /// are version 0 everywhere.
-#[derive(Debug, Default)]
+///
+/// Storage is two-level and page-indexed: a hash map from page number to a
+/// dense per-page slab of `(version, writer)` pairs, allocated on the
+/// first write to the page. The hot read path (`version_hot`) keeps a
+/// one-entry cache of the last page resolved, so streaming access
+/// patterns pay the hash lookup once per page instead of once per access.
+#[derive(Debug)]
 pub struct VersionTable {
-    versions: FxHashMap<u64, (u32, u32)>, // line -> (version, last writer domain)
+    /// log2(lines per slab).
+    shift: u32,
+    /// lines-per-slab − 1 (slab sizes are powers of two).
+    mask: u64,
+    /// page number → index into `slabs`; populated on first write.
+    pages: FxHashMap<u64, u32>,
+    /// Dense per-page `(version, writer + 1)` pairs; `writer + 1 == 0`
+    /// means that line was never written (version is then always 0).
+    slabs: Vec<Box<[(u32, u32)]>>,
+    /// Direct-mapped cache of recently resolved pages, indexed by the low
+    /// page bits: `(page, slab + 1)` with 0 meaning "empty slot" and
+    /// [`NO_SLAB`] meaning "this page is known to have no slab" (a
+    /// negative entry — read-only pages are the common case, and without
+    /// it every read of an unwritten page pays a full hash lookup).
+    last: [(u64, u32); PAGE_CACHE],
+    written: usize,
+}
+
+/// Slots in the [`VersionTable`] direct-mapped page cache (power of two).
+const PAGE_CACHE: usize = 256;
+
+/// Negative-cache marker for [`VersionTable::last`]: the cached page is
+/// known absent. Unreachable as a real `slab + 1` value (4 billion slabs
+/// would exceed memory long before).
+const NO_SLAB: u32 = u32::MAX;
+
+impl Default for VersionTable {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl VersionTable {
+    /// Lines-per-slab used by [`VersionTable::new`]; matches a 4 KiB page
+    /// of 64-byte lines.
+    const DEFAULT_LINES_PER_PAGE: u64 = 64;
+
     pub fn new() -> Self {
-        Self::default()
+        Self::with_lines_per_page(Self::DEFAULT_LINES_PER_PAGE)
+    }
+
+    /// Build a table whose slabs cover `lines_per_page` lines each (the
+    /// machine passes page_size / line_size; both are powers of two).
+    pub fn with_lines_per_page(lines_per_page: u64) -> Self {
+        assert!(lines_per_page.is_power_of_two(), "lines per page must be a power of two");
+        Self {
+            shift: lines_per_page.trailing_zeros(),
+            mask: lines_per_page - 1,
+            pages: FxHashMap::default(),
+            slabs: Vec::new(),
+            last: [(0, 0); PAGE_CACHE],
+            written: 0,
+        }
+    }
+
+    #[inline(always)]
+    fn cache_slot(page: u64) -> usize {
+        (page as usize) & (PAGE_CACHE - 1)
+    }
+
+    #[inline(always)]
+    fn slab_of(&self, page: u64) -> Option<usize> {
+        let (lp, ls) = self.last[Self::cache_slot(page)];
+        if ls != 0 && lp == page {
+            if ls == NO_SLAB {
+                return None;
+            }
+            return Some((ls - 1) as usize);
+        }
+        self.pages.get(&page).map(|&s| s as usize)
     }
 
     /// Current version of `line` (0 if never written).
     pub fn version(&self, line: u64) -> u32 {
-        self.versions.get(&line).map_or(0, |v| v.0)
+        match self.slab_of(line >> self.shift) {
+            Some(s) => self.slabs[s][(line & self.mask) as usize].0,
+            None => 0,
+        }
+    }
+
+    /// Hot-path [`VersionTable::version`]: identical result, but refreshes
+    /// the one-entry page cache so a streaming scan resolves the hash map
+    /// once per page.
+    #[inline]
+    pub fn version_hot(&mut self, line: u64) -> u32 {
+        let page = line >> self.shift;
+        let slot = Self::cache_slot(page);
+        let (lp, ls) = self.last[slot];
+        if ls != 0 && lp == page {
+            if ls == NO_SLAB {
+                return 0;
+            }
+            return self.slabs[(ls - 1) as usize][(line & self.mask) as usize].0;
+        }
+        match self.pages.get(&page) {
+            Some(&s) => {
+                self.last[slot] = (page, s + 1);
+                self.slabs[s as usize][(line & self.mask) as usize].0
+            }
+            None => {
+                // Cache the miss too: `bump` refreshes this page's slot
+                // whenever a slab is created, so a negative entry can
+                // never go stale.
+                self.last[slot] = (page, NO_SLAB);
+                0
+            }
+        }
     }
 
     /// Domain of the last writer, if the line has been written.
     pub fn last_writer(&self, line: u64) -> Option<u32> {
-        self.versions.get(&line).map(|v| v.1)
+        let s = self.slab_of(line >> self.shift)?;
+        let w = self.slabs[s][(line & self.mask) as usize].1;
+        w.checked_sub(1)
     }
 
     /// Record a store to `line` from `domain`, invalidating all cached
     /// copies filled at earlier versions. Returns the new version.
     pub fn bump(&mut self, line: u64, domain: u32) -> u32 {
-        let e = self.versions.entry(line).or_insert((0, domain));
+        let page = line >> self.shift;
+        let s = match self.slab_of(page) {
+            Some(s) => s,
+            None => {
+                let s = self.slabs.len();
+                self.slabs
+                    .push(vec![(0u32, 0u32); (self.mask + 1) as usize].into_boxed_slice());
+                self.pages.insert(page, s as u32);
+                s
+            }
+        };
+        self.last[Self::cache_slot(page)] = (page, s as u32 + 1);
+        let e = &mut self.slabs[s][(line & self.mask) as usize];
+        if e.1 == 0 {
+            self.written += 1;
+        }
         e.0 = e.0.wrapping_add(1);
-        e.1 = domain;
+        e.1 = domain + 1;
         e.0
     }
 
     /// Number of distinct lines ever written (test/diagnostic aid).
     pub fn written_lines(&self) -> usize {
-        self.versions.len()
+        self.written
     }
 }
 
@@ -266,5 +419,39 @@ mod tests {
         assert_eq!(vt.version(99), 2);
         assert_eq!(vt.last_writer(99), Some(3));
         assert_eq!(vt.written_lines(), 1);
+    }
+
+    #[test]
+    fn version_hot_matches_cold_reads() {
+        let mut vt = VersionTable::with_lines_per_page(16);
+        // Lines 3 and 19 share nothing; 3 and 4 share a slab.
+        vt.bump(3, 0);
+        vt.bump(19, 1);
+        for line in [3u64, 4, 19, 20, 1000] {
+            let cold = vt.version(line);
+            assert_eq!(vt.version_hot(line), cold, "line {line}");
+        }
+        // Unwritten line in a written page: slab exists, version 0.
+        assert_eq!(vt.version_hot(4), 0);
+        assert_eq!(vt.last_writer(4), None);
+    }
+
+    #[test]
+    fn negative_page_cache_invalidated_by_bump() {
+        let mut vt = VersionTable::with_lines_per_page(16);
+        // Read an unwritten page twice: second read served by the
+        // negative entry.
+        assert_eq!(vt.version_hot(100), 0);
+        assert_eq!(vt.version_hot(101), 0);
+        assert_eq!(vt.version(100), 0);
+        // Writing the page must evict the negative entry.
+        assert_eq!(vt.bump(100, 1), 1);
+        assert_eq!(vt.version_hot(100), 1);
+        assert_eq!(vt.version_hot(101), 0);
+        // Negative entry for page A, then bump page B, then re-read A.
+        assert_eq!(vt.version_hot(500), 0);
+        vt.bump(900, 0);
+        assert_eq!(vt.version_hot(500), 0);
+        assert_eq!(vt.version_hot(900), 1);
     }
 }

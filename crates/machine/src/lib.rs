@@ -37,6 +37,7 @@ pub mod cache;
 pub mod config;
 pub mod dram;
 pub mod interconnect;
+pub mod mshr;
 pub mod page;
 pub mod pmu;
 pub mod prefetch;
@@ -58,10 +59,13 @@ mod proptests {
     use dcp_support::prop::vec;
     use dcp_support::props;
 
-    use crate::access::{AccessKind, Machine};
-    use crate::cache::Cache;
+    use dcp_support::FxHashMap;
+
+    use crate::access::{AccessKind, DataSource, Machine};
+    use crate::cache::{Cache, VersionTable};
     use crate::config::{CacheConfig, MachineConfig};
     use crate::dram::Dram;
+    use crate::mshr::{PfEntry, PfMshr};
     use crate::page::{PagePolicy, PageTable};
     use crate::topology::{CoreId, DomainId};
 
@@ -159,6 +163,103 @@ mod proptests {
             let l1 = MachineConfig::tiny_test().l1.latency;
             for (lat, _) in a {
                 assert!(lat >= l1);
+            }
+        }
+
+        /// Differential test: the fixed-capacity open-addressed [`PfMshr`]
+        /// behaves exactly like a hash map for any op sequence that stays
+        /// within the prefetch budget — insert/replace, remove with
+        /// backward-shift deletion, membership, lookup, and retain all
+        /// agree, as does the final table contents.
+        fn pf_mshr_matches_hashmap_model(
+            ops in vec((0u8..5, 0u64..48, 1u64..1000), 1..300),
+        ) {
+            let mut mshr = PfMshr::new();
+            let mut model: FxHashMap<u64, PfEntry> = FxHashMap::default();
+            let same = |a: &PfEntry, b: &PfEntry| {
+                a.ready == b.ready && a.version == b.version && a.src == b.src
+            };
+            for &(op, line, x) in &ops {
+                match op {
+                    0 | 1 => {
+                        // Keep strictly below capacity like the access
+                        // pipeline's PF_BUDGET watermark does.
+                        if model.len() < 96 || model.contains_key(&line) {
+                            let e = PfEntry {
+                                ready: x,
+                                version: (x % 7) as u32,
+                                src: if x % 2 == 0 { DataSource::L2 } else { DataSource::LocalDram },
+                            };
+                            mshr.insert(line, e);
+                            model.insert(line, e);
+                        }
+                    }
+                    2 => {
+                        let a = mshr.remove(line);
+                        let b = model.remove(&line);
+                        assert_eq!(a.is_some(), b.is_some());
+                        if let (Some(a), Some(b)) = (a, b) {
+                            assert!(same(&a, &b));
+                        }
+                    }
+                    3 => {
+                        assert_eq!(mshr.contains(line), model.contains_key(&line));
+                        match (mshr.get(line), model.get(&line)) {
+                            (Some(a), Some(b)) => assert!(same(a, b)),
+                            (None, None) => {}
+                            _ => panic!("get() disagrees for line {line}"),
+                        }
+                    }
+                    _ => {
+                        mshr.retain(|_, e| e.ready > x);
+                        model.retain(|_, e| e.ready > x);
+                    }
+                }
+                assert_eq!(mshr.len(), model.len());
+            }
+            for (&line, e) in &model {
+                assert!(matches!(mshr.get(line), Some(a) if same(a, e)));
+            }
+        }
+
+        /// Differential test: the paged, memo-cached [`VersionTable`]
+        /// agrees with a flat map model on versions and last writers for
+        /// any interleaving of bumps and queries (including `version_hot`,
+        /// whose direct-mapped page cache and negative entries must never
+        /// go stale).
+        fn version_table_matches_map_model(
+            ops in vec((0u8..4, 0u64..96, 0u32..4), 1..300),
+            lines_pow in 0u32..5,
+        ) {
+            let mut vt = VersionTable::with_lines_per_page(1 << lines_pow);
+            let mut model: FxHashMap<u64, (u32, u32)> = FxHashMap::default();
+            for &(op, line, domain) in &ops {
+                match op {
+                    0 => {
+                        let v = vt.bump(line, domain);
+                        let m = model.entry(line).or_insert((0, 0));
+                        m.0 = m.0.wrapping_add(1);
+                        m.1 = domain + 1;
+                        assert_eq!(v, m.0);
+                    }
+                    1 => assert_eq!(
+                        vt.version(line),
+                        model.get(&line).map_or(0, |m| m.0)
+                    ),
+                    2 => assert_eq!(
+                        vt.version_hot(line),
+                        model.get(&line).map_or(0, |m| m.0)
+                    ),
+                    _ => assert_eq!(
+                        vt.last_writer(line),
+                        model.get(&line).map(|m| m.1 - 1)
+                    ),
+                }
+            }
+            assert_eq!(vt.written_lines(), model.len());
+            for (&line, &(v, w)) in &model {
+                assert_eq!(vt.version_hot(line), v);
+                assert_eq!(vt.last_writer(line), Some(w - 1));
             }
         }
     }

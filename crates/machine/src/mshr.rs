@@ -1,0 +1,240 @@
+//! Fixed-capacity open-addressed MSHR table for in-flight prefetches.
+//!
+//! Each physical core tracks at most `PF_BUDGET` in-flight prefetches
+//! (see [`crate::access::Machine`]). The demand path queries this table on
+//! every miss, so it must be cheap: a fixed array of `CAPACITY` slots
+//! (the next power of two above the budget, ≤ 75% load), linear probing,
+//! and backward-shift deletion so no tombstones accumulate. No heap
+//! allocation ever happens after construction.
+
+use crate::access::DataSource;
+use crate::Cycles;
+
+/// An in-flight prefetch: when the line arrives, where it is coming from,
+/// and the coherence version it was requested at.
+#[derive(Debug, Clone, Copy)]
+pub struct PfEntry {
+    pub ready: Cycles,
+    pub version: u32,
+    pub src: DataSource,
+}
+
+const EMPTY_ENTRY: PfEntry = PfEntry { ready: 0, version: 0, src: DataSource::L1 };
+
+/// Slot count: next power of two above the 96-entry prefetch budget, so
+/// linear probe chains stay short.
+const CAPACITY: usize = 128;
+const MASK: usize = CAPACITY - 1;
+
+/// Open-addressed map from line address to [`PfEntry`], fixed capacity.
+#[derive(Debug, Clone)]
+pub struct PfMshr {
+    keys: Box<[u64; CAPACITY]>,
+    vals: Box<[PfEntry; CAPACITY]>,
+    /// One bit per slot; avoids a sentinel key so any line address is a
+    /// legal key.
+    occupied: u128,
+    len: usize,
+}
+
+impl Default for PfMshr {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PfMshr {
+    pub fn new() -> Self {
+        Self {
+            keys: Box::new([0; CAPACITY]),
+            vals: Box::new([EMPTY_ENTRY; CAPACITY]),
+            occupied: 0,
+            len: 0,
+        }
+    }
+
+    /// Home slot of a line (Fibonacci hashing; line addresses are dense
+    /// and sequential, which pure masking would pile into one chain).
+    #[inline(always)]
+    fn slot(line: u64) -> usize {
+        (line.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 57) as usize & MASK
+    }
+
+    #[inline(always)]
+    fn is_occupied(&self, i: usize) -> bool {
+        self.occupied & (1u128 << i) != 0
+    }
+
+    /// Index of `line`'s slot, if present.
+    #[inline]
+    fn find(&self, line: u64) -> Option<usize> {
+        let mut i = Self::slot(line);
+        while self.is_occupied(i) {
+            if self.keys[i] == line {
+                return Some(i);
+            }
+            i = (i + 1) & MASK;
+        }
+        None
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn contains(&self, line: u64) -> bool {
+        self.find(line).is_some()
+    }
+
+    pub fn get(&self, line: u64) -> Option<&PfEntry> {
+        self.find(line).map(|i| &self.vals[i])
+    }
+
+    /// Insert or replace the entry for `line`.
+    ///
+    /// # Panics
+    /// Panics if the table is full and `line` is absent; the caller
+    /// enforces the `PF_BUDGET` watermark, which is below capacity.
+    pub fn insert(&mut self, line: u64, e: PfEntry) {
+        let mut i = Self::slot(line);
+        while self.is_occupied(i) {
+            if self.keys[i] == line {
+                self.vals[i] = e;
+                return;
+            }
+            i = (i + 1) & MASK;
+            assert!(i != Self::slot(line), "PfMshr full");
+        }
+        self.keys[i] = line;
+        self.vals[i] = e;
+        self.occupied |= 1u128 << i;
+        self.len += 1;
+    }
+
+    /// Remove and return the entry for `line`, if present.
+    pub fn remove(&mut self, line: u64) -> Option<PfEntry> {
+        let mut i = self.find(line)?;
+        let e = self.vals[i];
+        // Backward-shift deletion: pull every displaced follower of the
+        // probe chain into the hole instead of leaving a tombstone.
+        let mut j = (i + 1) & MASK;
+        while self.is_occupied(j) {
+            let home = Self::slot(self.keys[j]);
+            let stays = if i <= j { i < home && home <= j } else { i < home || home <= j };
+            if !stays {
+                self.keys[i] = self.keys[j];
+                self.vals[i] = self.vals[j];
+                i = j;
+            }
+            j = (j + 1) & MASK;
+        }
+        self.occupied &= !(1u128 << i);
+        self.len -= 1;
+        Some(e)
+    }
+
+    /// Keep only entries for which `f(line, entry)` is true.
+    pub fn retain(&mut self, mut f: impl FnMut(u64, &PfEntry) -> bool) {
+        let mut dead = [0u64; CAPACITY];
+        let mut n = 0;
+        for i in 0..CAPACITY {
+            if self.is_occupied(i) && !f(self.keys[i], &self.vals[i]) {
+                dead[n] = self.keys[i];
+                n += 1;
+            }
+        }
+        for &k in &dead[..n] {
+            self.remove(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(ready: Cycles) -> PfEntry {
+        PfEntry { ready, version: 0, src: DataSource::LocalDram }
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m = PfMshr::new();
+        assert!(m.is_empty());
+        m.insert(10, e(5));
+        m.insert(11, e(6));
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(10));
+        assert_eq!(m.get(11).unwrap().ready, 6);
+        assert_eq!(m.remove(10).unwrap().ready, 5);
+        assert!(!m.contains(10));
+        assert!(m.contains(11));
+        assert!(m.remove(10).is_none());
+    }
+
+    #[test]
+    fn insert_replaces_existing() {
+        let mut m = PfMshr::new();
+        m.insert(7, e(1));
+        m.insert(7, e(9));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(7).unwrap().ready, 9);
+    }
+
+    #[test]
+    fn backward_shift_keeps_chains_reachable() {
+        // Sequential lines collide in clusters under any hash; after
+        // removing the middle of a cluster every survivor must still be
+        // findable.
+        let mut m = PfMshr::new();
+        for l in 0..96u64 {
+            m.insert(l, e(l));
+        }
+        for l in (0..96u64).step_by(3) {
+            assert!(m.remove(l).is_some());
+        }
+        for l in 0..96u64 {
+            assert_eq!(m.contains(l), l % 3 != 0, "line {l}");
+            if l % 3 != 0 {
+                assert_eq!(m.get(l).unwrap().ready, l);
+            }
+        }
+        assert_eq!(m.len(), 64);
+    }
+
+    #[test]
+    fn retain_drops_matching_entries() {
+        let mut m = PfMshr::new();
+        for l in 0..50u64 {
+            m.insert(l, e(l));
+        }
+        m.retain(|_, en| en.ready >= 25);
+        assert_eq!(m.len(), 25);
+        for l in 0..50u64 {
+            assert_eq!(m.contains(l), l >= 25);
+        }
+    }
+
+    #[test]
+    fn full_budget_cycle() {
+        // Fill to the demand-path watermark, drain, refill — capacity is
+        // never exceeded and lookups stay exact throughout.
+        let mut m = PfMshr::new();
+        for round in 0..4u64 {
+            let base = round * 1_000_000;
+            for l in 0..96u64 {
+                m.insert(base + l * 64, e(l));
+            }
+            assert_eq!(m.len(), 96);
+            for l in 0..96u64 {
+                assert!(m.contains(base + l * 64));
+                assert!(m.remove(base + l * 64).is_some());
+            }
+            assert!(m.is_empty());
+        }
+    }
+}

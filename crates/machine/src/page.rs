@@ -47,8 +47,16 @@ pub struct PageTable {
     ranges: BTreeMap<u64, (u64, PagePolicy)>,
     /// Round-robin cursor for interleaving.
     rr: u32,
+    /// Direct-mapped cache of pages resolved by [`PageTable::touch`],
+    /// indexed by the low vpn bits: `(vpn, domain + 1)`, 0 meaning
+    /// "empty". Placement is sticky until unmap, so only `unmap` needs to
+    /// invalidate it.
+    last: [(u64, u32); TOUCH_CACHE],
     pages_placed: u64,
 }
+
+/// Slots in the [`PageTable`] direct-mapped touch cache (power of two).
+const TOUCH_CACHE: usize = 256;
 
 impl PageTable {
     /// Create a page table for `domains` NUMA domains and `page_size`-byte
@@ -62,6 +70,7 @@ impl PageTable {
             default_policy: PagePolicy::FirstTouch,
             ranges: BTreeMap::new(),
             rr: 0,
+            last: [(0, 0); TOUCH_CACHE],
             pages_placed: 0,
         }
     }
@@ -117,6 +126,7 @@ impl PageTable {
                 dropped.push(vpn);
             }
         }
+        self.last = [(0, 0); TOUCH_CACHE];
         dropped
     }
 
@@ -134,7 +144,13 @@ impl PageTable {
     /// domain of the accessing core.
     pub fn touch(&mut self, vaddr: u64, toucher: DomainId) -> DomainId {
         let vpn = self.vpn(vaddr);
+        let slot = (vpn as usize) & (TOUCH_CACHE - 1);
+        let (lv, ld) = self.last[slot];
+        if ld != 0 && lv == vpn {
+            return DomainId(ld - 1);
+        }
         if let Some(&d) = self.placed.get(&vpn) {
+            self.last[slot] = (vpn, d.0 + 1);
             return d;
         }
         let d = match self.policy_for(vpn) {
@@ -147,6 +163,7 @@ impl PageTable {
             }
         };
         self.placed.insert(vpn, d);
+        self.last[slot] = (vpn, d.0 + 1);
         self.pages_placed += 1;
         d
     }

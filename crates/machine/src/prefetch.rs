@@ -7,8 +7,52 @@
 //! near-L2 speed while long-stride (> `max_stride`) or indirect accesses
 //! get no help — this is the mechanism behind the Sweep3D and LULESH
 //! spatial-locality findings.
+//!
+//! Predictions are written into a caller-provided [`Predictions`] buffer
+//! (a fixed array on the caller's stack) — `observe` runs on every
+//! simulated access and must not allocate.
 
 use crate::config::PrefetchConfig;
+
+/// Upper bound on [`PrefetchConfig::degree`]; sizes the fixed prediction
+/// buffer.
+pub const MAX_DEGREE: usize = 8;
+
+/// Fixed-capacity output buffer for one `observe` call. Cheap to create
+/// on the stack and `Copy`, so callers can snapshot it past borrows.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Predictions {
+    addrs: [u64; MAX_DEGREE],
+    len: usize,
+}
+
+impl Predictions {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    #[inline]
+    fn push(&mut self, addr: u64) {
+        self.addrs[self.len] = addr;
+        self.len += 1;
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn as_slice(&self) -> &[u64] {
+        &self.addrs[..self.len]
+    }
+}
 
 #[derive(Debug, Clone, Copy)]
 struct Entry {
@@ -28,6 +72,10 @@ const EMPTY: Entry =
 pub struct Prefetcher {
     table: Vec<Entry>,
     cfg: PrefetchConfig,
+    /// Index of the entry that matched the previous call; a loop body
+    /// re-observing the same pc skips the table scan. `usize::MAX` when
+    /// unknown.
+    last: usize,
     tick: u64,
     issued: u64,
 }
@@ -35,28 +83,50 @@ pub struct Prefetcher {
 impl Prefetcher {
     pub fn new(cfg: PrefetchConfig) -> Self {
         assert!(cfg.table_entries > 0);
-        Self { table: vec![EMPTY; cfg.table_entries], cfg, tick: 0, issued: 0 }
+        assert!(
+            cfg.degree as usize <= MAX_DEGREE,
+            "prefetch degree {} exceeds the fixed buffer ({MAX_DEGREE})",
+            cfg.degree
+        );
+        Self { table: vec![EMPTY; cfg.table_entries], cfg, last: usize::MAX, tick: 0, issued: 0 }
     }
 
-    /// Observe a demand access by `pc` to byte address `addr`; returns the
-    /// byte addresses the prefetcher wants brought in (empty when not
-    /// confident). `line_size` is used to step whole lines.
-    pub fn observe(&mut self, pc: u64, addr: u64, line_size: u64) -> Vec<u64> {
+    /// Observe a demand access by `pc` to byte address `addr`; writes the
+    /// byte addresses the prefetcher wants brought in to `out` (cleared
+    /// first; left empty when not confident). `line_size` is used to step
+    /// whole lines.
+    pub fn observe(&mut self, pc: u64, addr: u64, line_size: u64, out: &mut Predictions) {
+        out.clear();
         self.tick += 1;
         let tick = self.tick;
-        let idx = match self.table.iter().position(|e| e.valid && e.pc == pc) {
-            Some(i) => i,
-            None => {
-                let i = self
-                    .table
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
-                    .map(|(i, _)| i)
-                    .expect("non-empty table");
-                self.table[i] =
-                    Entry { pc, last_addr: addr, stride: 0, confidence: 0, lru: tick, valid: true };
-                return Vec::new();
+        let cached = matches!(self.table.get(self.last), Some(e) if e.valid && e.pc == pc);
+        let idx = if cached {
+            self.last
+        } else {
+            match self.table.iter().position(|e| e.valid && e.pc == pc) {
+                Some(i) => {
+                    self.last = i;
+                    i
+                }
+                None => {
+                    let i = self
+                        .table
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
+                        .map(|(i, _)| i)
+                        .expect("non-empty table");
+                    self.table[i] = Entry {
+                        pc,
+                        last_addr: addr,
+                        stride: 0,
+                        confidence: 0,
+                        lru: tick,
+                        valid: true,
+                    };
+                    self.last = i;
+                    return;
+                }
             }
         };
         let e = &mut self.table[idx];
@@ -64,14 +134,14 @@ impl Prefetcher {
         let stride = addr as i64 - e.last_addr as i64;
         e.last_addr = addr;
         if stride == 0 {
-            return Vec::new();
+            return;
         }
         if stride.abs() >= self.cfg.max_stride {
             // At or beyond the page-stride limit: every access lands on a
             // new page, which real prefetchers will not follow.
             e.stride = 0;
             e.confidence = 0;
-            return Vec::new();
+            return;
         }
         if stride == e.stride {
             e.confidence = e.confidence.saturating_add(1);
@@ -80,7 +150,7 @@ impl Prefetcher {
             e.confidence = 1;
         }
         if e.confidence < self.cfg.confidence {
-            return Vec::new();
+            return;
         }
         // Confident: prefetch the next `degree` *lines* along the stride.
         // For sub-line strides step whole lines so we do not re-fetch the
@@ -90,7 +160,6 @@ impl Prefetcher {
         } else {
             stride
         };
-        let mut out = Vec::with_capacity(self.cfg.degree as usize);
         let mut a = addr as i64;
         for _ in 0..self.cfg.degree {
             a += step;
@@ -100,7 +169,6 @@ impl Prefetcher {
             out.push(a as u64);
         }
         self.issued += out.len() as u64;
-        out
     }
 
     /// Number of prefetches issued since construction.
@@ -117,12 +185,18 @@ mod tests {
         Prefetcher::new(PrefetchConfig { table_entries: 4, confidence: 2, degree: 2, max_stride: 4096 })
     }
 
+    fn obs(p: &mut Prefetcher, pc: u64, addr: u64) -> Vec<u64> {
+        let mut out = Predictions::new();
+        p.observe(pc, addr, 64, &mut out);
+        out.as_slice().to_vec()
+    }
+
     #[test]
     fn unit_stride_trains_and_issues() {
         let mut p = pf();
-        assert!(p.observe(1, 0, 64).is_empty()); // allocate entry
-        assert!(p.observe(1, 8, 64).is_empty()); // stride=8, conf=1
-        let pred = p.observe(1, 16, 64); // conf=2 -> issue
+        assert!(obs(&mut p, 1, 0).is_empty()); // allocate entry
+        assert!(obs(&mut p, 1, 8).is_empty()); // stride=8, conf=1
+        let pred = obs(&mut p, 1, 16); // conf=2 -> issue
         // Sub-line stride steps whole lines: 16+64, 16+128.
         assert_eq!(pred, vec![80, 144]);
     }
@@ -130,18 +204,18 @@ mod tests {
     #[test]
     fn large_stride_within_limit_prefetches_along_stride() {
         let mut p = pf();
-        p.observe(2, 0, 64);
-        p.observe(2, 1024, 64);
-        let pred = p.observe(2, 2048, 64);
+        obs(&mut p, 2, 0);
+        obs(&mut p, 2, 1024);
+        let pred = obs(&mut p, 2, 2048);
         assert_eq!(pred, vec![3072, 4096]);
     }
 
     #[test]
     fn page_crossing_stride_defeats_prefetcher() {
         let mut p = pf();
-        p.observe(3, 0, 64);
+        obs(&mut p, 3, 0);
         for i in 1..10u64 {
-            let pred = p.observe(3, i * 8192, 64);
+            let pred = obs(&mut p, 3, i * 8192);
             assert!(pred.is_empty(), "stride > max must never prefetch");
         }
     }
@@ -152,7 +226,7 @@ mod tests {
         let addrs = [0u64, 64, 400, 32, 4000, 128, 900];
         let mut issued = 0;
         for &a in &addrs {
-            issued += p.observe(4, a, 64).len();
+            issued += obs(&mut p, 4, a).len();
         }
         assert_eq!(issued, 0);
         assert_eq!(p.issued(), 0);
@@ -163,22 +237,47 @@ mod tests {
         let mut p = pf();
         // Fill the 4-entry table.
         for pc in 0..4u64 {
-            p.observe(pc, 0, 64);
+            obs(&mut p, pc, 0);
         }
         // Touch pc 0 to keep it hot, then add a 5th pc.
-        p.observe(0, 8, 64);
-        p.observe(99, 0, 64);
+        obs(&mut p, 0, 8);
+        obs(&mut p, 99, 0);
         // pc 0 still trains to confidence.
-        let pred = p.observe(0, 16, 64);
+        let pred = obs(&mut p, 0, 16);
         assert!(!pred.is_empty());
     }
 
     #[test]
     fn negative_stride_prefetches_downward() {
         let mut p = pf();
-        p.observe(5, 10_000, 64);
-        p.observe(5, 9_936, 64);
-        let pred = p.observe(5, 9_872, 64);
+        obs(&mut p, 5, 10_000);
+        obs(&mut p, 5, 9_936);
+        let pred = obs(&mut p, 5, 9_872);
         assert_eq!(pred, vec![9_808, 9_744]);
+    }
+
+    #[test]
+    fn buffer_is_cleared_between_calls() {
+        // A confident call followed by a non-confident one must not leave
+        // stale predictions in the reused buffer.
+        let mut p = pf();
+        let mut out = Predictions::new();
+        p.observe(6, 0, 64, &mut out);
+        p.observe(6, 64, 64, &mut out);
+        p.observe(6, 128, 64, &mut out);
+        assert!(!out.is_empty());
+        p.observe(6, 128, 64, &mut out); // stride 0: no predictions
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn degree_beyond_buffer_panics() {
+        let _ = Prefetcher::new(PrefetchConfig {
+            table_entries: 4,
+            confidence: 2,
+            degree: MAX_DEGREE as u32 + 1,
+            max_stride: 4096,
+        });
     }
 }

@@ -10,10 +10,18 @@
 pub struct Tlb {
     entries: Vec<(u64, u64)>, // (vpn, lru tick)
     capacity: usize,
+    /// Direct-mapped index hints into `entries`, keyed by the low vpn
+    /// bits. A hint is only trusted after re-checking the entry's vpn, so
+    /// stale hints (evicted or swapped entries) are harmless; they just
+    /// fall back to the scan. `usize::MAX` when unknown.
+    memo: [usize; TLB_MEMO],
     tick: u64,
     hits: u64,
     misses: u64,
 }
+
+/// Slots in the [`Tlb`] index-hint memo (power of two).
+const TLB_MEMO: usize = 64;
 
 impl Tlb {
     /// Create a TLB holding `capacity` translations.
@@ -22,35 +30,62 @@ impl Tlb {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "TLB needs at least one entry");
-        Self { entries: Vec::with_capacity(capacity), capacity, tick: 0, hits: 0, misses: 0 }
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            memo: [usize::MAX; TLB_MEMO],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Translate the virtual page `vpn`; returns `true` on a TLB hit.
     /// A miss installs the translation (evicting LRU if full).
     pub fn access(&mut self, vpn: u64) -> bool {
         self.tick += 1;
-        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == vpn) {
-            e.1 = self.tick;
+        let slot = (vpn as usize) & (TLB_MEMO - 1);
+        if let Some(e) = self.entries.get_mut(self.memo[slot]) {
+            if e.0 == vpn {
+                e.1 = self.tick;
+                self.hits += 1;
+                return true;
+            }
+        }
+        // One pass: find `vpn`, tracking the first-minimal LRU entry as we
+        // go so a miss already knows its victim.
+        let mut victim = 0usize;
+        let mut victim_lru = u64::MAX;
+        let mut found = usize::MAX;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.0 == vpn {
+                found = i;
+                break;
+            }
+            if e.1 < victim_lru {
+                victim = i;
+                victim_lru = e.1;
+            }
+        }
+        if found != usize::MAX {
+            self.entries[found].1 = self.tick;
+            self.memo[slot] = found;
             self.hits += 1;
             return true;
         }
         self.misses += 1;
         if self.entries.len() == self.capacity {
-            let (idx, _) = self
-                .entries
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.1)
-                .expect("non-empty");
-            self.entries.swap_remove(idx);
+            self.entries.swap_remove(victim);
         }
         self.entries.push((vpn, self.tick));
+        self.memo[slot] = self.entries.len() - 1;
         false
     }
 
     /// Drop the translation for `vpn` (page unmapped / policy change).
     pub fn flush_page(&mut self, vpn: u64) {
         self.entries.retain(|e| e.0 != vpn);
+        self.memo = [usize::MAX; TLB_MEMO]; // retain may have shifted indices
     }
 
     /// (hits, misses) counters since construction.

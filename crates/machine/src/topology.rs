@@ -51,12 +51,14 @@ impl Topology {
     /// The physical core index (0-based, machine wide) that a hardware
     /// thread runs on. SMT siblings share a physical core and therefore
     /// share its caches, TLB and prefetcher.
+    #[inline]
     pub fn physical_core_of(&self, hw: CoreId) -> u32 {
         assert!(hw.0 < self.hw_threads(), "hw thread {} out of range", hw.0);
         hw.0 / self.smt
     }
 
     /// The NUMA domain a hardware thread belongs to.
+    #[inline]
     pub fn domain_of(&self, hw: CoreId) -> DomainId {
         DomainId(self.physical_core_of(hw) / self.cores_per_domain)
     }

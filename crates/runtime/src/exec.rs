@@ -7,7 +7,7 @@
 //! granularity — that temporal interleaving is what makes DRAM-controller
 //! queueing (bandwidth contention) meaningful.
 
-use dcp_machine::{CoreId, Cycles, Pmu};
+use dcp_machine::{CoreId, Cycles, DomainId, Pmu};
 
 use crate::ir::{Cmp, Expr, Ip, LocalId, ProcId, Spanned};
 use crate::observer::FrameInfo;
@@ -77,26 +77,40 @@ pub struct EvalCtx {
     pub num_ranks: i64,
 }
 
+/// Resolve one operand of a binary expression without a recursive call
+/// when it is a leaf. Almost every expression the builders emit is
+/// `Local op Const` or `Local op Local` (loop indices, address math), so
+/// inlining the two leaf shapes here flattens the hot path of [`eval`] to
+/// straight-line code; anything deeper falls back to full recursion.
+#[inline(always)]
+fn operand(e: &Expr, locals: &[i64], ctx: &EvalCtx) -> i64 {
+    match e {
+        Expr::Const(v) => *v,
+        Expr::Local(l) => locals[l.0 as usize],
+        _ => eval(e, locals, ctx),
+    }
+}
+
 /// Evaluate an expression against a frame's locals.
 pub fn eval(e: &Expr, locals: &[i64], ctx: &EvalCtx) -> i64 {
     match e {
         Expr::Const(v) => *v,
         Expr::Local(l) => locals[l.0 as usize],
-        Expr::Add(a, b) => eval(a, locals, ctx).wrapping_add(eval(b, locals, ctx)),
-        Expr::Sub(a, b) => eval(a, locals, ctx).wrapping_sub(eval(b, locals, ctx)),
-        Expr::Mul(a, b) => eval(a, locals, ctx).wrapping_mul(eval(b, locals, ctx)),
+        Expr::Add(a, b) => operand(a, locals, ctx).wrapping_add(operand(b, locals, ctx)),
+        Expr::Sub(a, b) => operand(a, locals, ctx).wrapping_sub(operand(b, locals, ctx)),
+        Expr::Mul(a, b) => operand(a, locals, ctx).wrapping_mul(operand(b, locals, ctx)),
         Expr::Div(a, b) => {
-            let d = eval(b, locals, ctx);
+            let d = operand(b, locals, ctx);
             assert!(d != 0, "division by zero in program expression");
-            eval(a, locals, ctx) / d
+            operand(a, locals, ctx) / d
         }
         Expr::Rem(a, b) => {
-            let d = eval(b, locals, ctx);
+            let d = operand(b, locals, ctx);
             assert!(d != 0, "remainder by zero in program expression");
-            eval(a, locals, ctx) % d
+            operand(a, locals, ctx) % d
         }
-        Expr::Min(a, b) => eval(a, locals, ctx).min(eval(b, locals, ctx)),
-        Expr::Max(a, b) => eval(a, locals, ctx).max(eval(b, locals, ctx)),
+        Expr::Min(a, b) => operand(a, locals, ctx).min(operand(b, locals, ctx)),
+        Expr::Max(a, b) => operand(a, locals, ctx).max(operand(b, locals, ctx)),
         Expr::ThreadId => ctx.omp_tid,
         Expr::NumThreads => ctx.team_size,
         Expr::RankId => ctx.rank,
@@ -137,11 +151,14 @@ pub(crate) struct Ctrl<'p> {
     pub exit: Exit,
 }
 
-/// A live procedure frame.
+/// A live procedure frame. Locals live in the owning thread's arena
+/// (`ThreadState::locals`), starting at `locals_base`; pushing a frame is
+/// a bump of the arena cursor instead of a fresh `Vec` per call.
 #[derive(Debug)]
 pub(crate) struct FrameRt {
     pub proc: ProcId,
-    pub locals: Vec<i64>,
+    /// First slot of this frame's locals within the thread's arena.
+    pub locals_base: usize,
     /// Caller local receiving this frame's return value.
     pub ret_slot: Option<LocalId>,
     /// Stack pointer to restore when this frame pops (stack allocations
@@ -172,9 +189,16 @@ pub(crate) struct ThreadState<'p> {
     /// Thread index within the rank (OpenMP tid; 0 = master).
     pub thread: u32,
     pub core: CoreId,
+    /// NUMA domain of `core`, precomputed at creation (pinning is fixed
+    /// for the thread's lifetime) so memory ops skip the topology math.
+    pub domain: DomainId,
     pub clock: Cycles,
     pub status: Status,
     pub frames: Vec<FrameRt>,
+    /// Locals arena: every live frame's locals, contiguous in call order.
+    /// Frame boundaries are the `FrameRt::locals_base` cursors; pushing
+    /// and popping frames grows and truncates this one buffer.
+    pub locals: Vec<i64>,
     /// Unwinder view parallel to `frames` (plus inherited context below
     /// `base_depth` for workers).
     pub view: Vec<FrameInfo>,
@@ -199,12 +223,14 @@ impl<'p> ThreadState<'p> {
         call_site: Option<Ip>,
         ret_slot: Option<LocalId>,
     ) {
-        let mut locals = vec![0i64; n_locals.max(args.len() as u16) as usize];
-        locals[..args.len()].copy_from_slice(args);
+        let locals_base = self.locals.len();
+        let n = n_locals.max(args.len() as u16) as usize;
+        self.locals.resize(locals_base + n, 0);
+        self.locals[locals_base..locals_base + args.len()].copy_from_slice(args);
         let token = self.next_token;
         self.next_token += 1;
         let saved_stack = self.stack_top;
-        self.frames.push(FrameRt { proc, locals, ret_slot, saved_stack });
+        self.frames.push(FrameRt { proc, locals_base, ret_slot, saved_stack });
         self.view.push(FrameInfo { proc, call_site, token });
     }
 
@@ -213,23 +239,32 @@ impl<'p> ThreadState<'p> {
     pub fn pop_frame(&mut self, ret: Option<i64>) -> bool {
         let fr = self.frames.pop().expect("frame underflow");
         self.stack_top = fr.saved_stack;
+        self.locals.truncate(fr.locals_base);
         self.view.pop();
         if let (Some(slot), Some(v)) = (fr.ret_slot, ret) {
-            if let Some(caller) = self.frames.last_mut() {
-                caller.locals[slot.0 as usize] = v;
+            if let Some(caller) = self.frames.last() {
+                self.locals[caller.locals_base + slot.0 as usize] = v;
             }
         }
         self.frames.is_empty()
     }
 
-    /// The executing frame.
-    pub fn top(&mut self) -> &mut FrameRt {
-        self.frames.last_mut().expect("no live frame")
-    }
-
     /// Locals of the executing frame (read-only).
     pub fn locals(&self) -> &[i64] {
-        &self.frames.last().expect("no live frame").locals
+        &self.locals[self.frames.last().expect("no live frame").locals_base..]
+    }
+
+    /// Read one local of the executing frame.
+    #[inline]
+    pub fn local(&self, l: LocalId) -> i64 {
+        self.locals[self.frames.last().expect("no live frame").locals_base + l.0 as usize]
+    }
+
+    /// Write one local of the executing frame.
+    #[inline]
+    pub fn set_local(&mut self, l: LocalId, v: i64) {
+        let base = self.frames.last().expect("no live frame").locals_base;
+        self.locals[base + l.0 as usize] = v;
     }
 }
 
@@ -293,9 +328,11 @@ mod tests {
             rank_local: 0,
             thread: 0,
             core: CoreId(0),
+            domain: DomainId(0),
             clock: 0,
             status: Status::Runnable,
             frames: Vec::new(),
+            locals: Vec::new(),
             view: Vec::new(),
             ctrl: Vec::new(),
             pmu: None,

@@ -120,6 +120,15 @@ pub struct NodeSim<'p, O: NodeObserver> {
     phases: Vec<PhaseRecord>,
     mpi_blocked: Vec<usize>,
     pmu_pool: FxHashMap<(usize, u32), Pmu>,
+    /// Reusable buffer for evaluated call arguments, so `Stmt::Call` does
+    /// not allocate a `Vec` per invocation in the quantum loop.
+    arg_scratch: Vec<i64>,
+    /// `cost.mem_overlap.max(1)`, precomputed for the per-access latency
+    /// division.
+    mem_div: u32,
+    /// `log2(mem_div)` when it is a power of two (the default is 2):
+    /// the hot path then shifts instead of dividing.
+    mem_shift: Option<u32>,
     num_ranks_total: u32,
     hw_per_rank: u32,
     live_mains: usize,
@@ -139,6 +148,8 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
         let machine = Machine::new(cfg.machine.clone());
         let hw = cfg.machine.topology.hw_threads();
         let hw_per_rank = (hw / node_ranks.len() as u32).max(1);
+        let mem_div = cfg.cost.mem_overlap.max(1);
+        let mem_shift = mem_div.is_power_of_two().then(|| mem_div.trailing_zeros());
         let mut sim = Self {
             program,
             machine,
@@ -150,6 +161,9 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
             phases: Vec::new(),
             mpi_blocked: Vec::new(),
             pmu_pool: FxHashMap::default(),
+            arg_scratch: Vec::new(),
+            mem_div,
+            mem_shift,
             num_ranks_total,
             hw_per_rank,
             live_mains: node_ranks.len(),
@@ -187,9 +201,11 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
                 rank_local: i,
                 thread: 0,
                 core,
+                domain: sim.cfg.machine.topology.domain_of(core),
                 clock: 0,
                 status: Status::Runnable,
                 frames: Vec::new(),
+                locals: Vec::new(),
                 view: Vec::new(),
                 ctrl: Vec::new(),
                 pmu: sim.make_pmu(i, 0),
@@ -429,9 +445,11 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
                 rank_local,
                 thread: t,
                 core,
+                domain: self.cfg.machine.topology.domain_of(core),
                 clock: master_clock + self.cfg.cost.fork_worker as Cycles,
                 status: Status::Runnable,
                 frames: Vec::new(),
+                locals: Vec::new(),
                 view,
                 ctrl: Vec::new(),
                 pmu,
@@ -483,6 +501,16 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
     /// Execute one statement (or control-stack bookkeeping) on `tid`.
     #[allow(clippy::too_many_lines)]
     fn exec_one(&mut self, tid: usize) -> Action {
+        let mem_div = self.mem_div;
+        let mem_shift = self.mem_shift;
+        // `latency / mem_overlap`, shifting when the divisor is a power of
+        // two (unsigned division and shift agree exactly).
+        let overlapped = move |latency: u32| -> Cycles {
+            match mem_shift {
+                Some(s) => (latency >> s) as Cycles,
+                None => (latency / mem_div) as Cycles,
+            }
+        };
         let Self {
             program,
             cfg,
@@ -491,6 +519,7 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
             threads,
             observer,
             phases,
+            arg_scratch,
             num_ranks_total,
             ..
         } = self;
@@ -514,9 +543,8 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
                     th.ctrl.pop();
                 }
                 Exit::Loop { var, end, step } => {
-                    let fr = th.frames.last_mut().expect("loop outside frame");
-                    let v = fr.locals[var.0 as usize] + step;
-                    fr.locals[var.0 as usize] = v;
+                    let v = th.local(var) + step;
+                    th.set_local(var, v);
                     let cont = if step > 0 { v < end } else { v > end };
                     th.clock += cfg.cost.op as Cycles;
                     th.ops += 1;
@@ -603,7 +631,7 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
         match &spanned.kind {
             Stmt::Let(dst, e) => {
                 let v = eval(e, th.locals(), &ectx);
-                th.top().locals[dst.0 as usize] = v;
+                th.set_local(*dst, v);
                 th.clock += cfg.cost.op as Cycles;
                 quiet_ops!(1);
             }
@@ -617,15 +645,15 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
                 let addr = b + i * *elem as i64;
                 assert!(addr >= 0, "negative address");
                 let addr = layout::to_global(th.rank, addr as u64);
-                let domain = cfg.machine.topology.domain_of(th.core);
+                let domain = th.domain;
                 let home = process.page_table.touch(addr, domain);
                 let res = machine.access(th.core, addr, AccessKind::Load, home, ip.0, th.clock);
-                th.clock += (res.latency / cfg.cost.mem_overlap.max(1)) as Cycles
+                th.clock += overlapped(res.latency)
                     + cfg.cost.op as Cycles;
                 th.ops += 1;
                 if let Some(d) = dst {
                     let v = process.values.get(&addr).copied().unwrap_or(0);
-                    th.top().locals[d.0 as usize] = v;
+                    th.set_local(*d, v);
                 }
                 if let Some(pmu) = th.pmu.as_mut() {
                     let op = dcp_machine::pmu::OpRecord {
@@ -648,10 +676,10 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
                     let v = eval(v, th.locals(), &ectx);
                     process.values.insert(addr, v);
                 }
-                let domain = cfg.machine.topology.domain_of(th.core);
+                let domain = th.domain;
                 let home = process.page_table.touch(addr, domain);
                 let res = machine.access(th.core, addr, AccessKind::Store, home, ip.0, th.clock);
-                th.clock += (res.latency / cfg.cost.mem_overlap.max(1)) as Cycles
+                th.clock += overlapped(res.latency)
                     + cfg.cost.op as Cycles;
                 th.ops += 1;
                 if let Some(pmu) = th.pmu.as_mut() {
@@ -672,7 +700,7 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
                 quiet_ops!(1);
                 let enter = if *step > 0 { s < e } else { s > e };
                 if enter {
-                    th.top().locals[var.0 as usize] = s;
+                    th.set_local(*var, s);
                     th.ctrl.push(Ctrl {
                         stmts: body,
                         idx: 0,
@@ -691,16 +719,17 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
                 }
             }
             Stmt::Call { callee, args, ret } => {
-                let vals: Vec<i64> = args.iter().map(|a| eval(a, th.locals(), &ectx)).collect();
+                arg_scratch.clear();
+                arg_scratch.extend(args.iter().map(|a| eval(a, th.locals(), &ectx)));
                 let callee_proc = &proc_table[callee.0 as usize];
                 assert!(
-                    vals.len() == callee_proc.n_params as usize,
+                    arg_scratch.len() == callee_proc.n_params as usize,
                     "arity mismatch calling {}",
                     callee_proc.name
                 );
                 th.clock += cfg.cost.call as Cycles;
                 quiet_ops!(1);
-                th.push_frame(*callee, callee_proc.n_locals, &vals, Some(ip), *ret);
+                th.push_frame(*callee, callee_proc.n_locals, arg_scratch, Some(ip), *ret);
                 th.ctrl.push(Ctrl { stmts: &callee_proc.body, idx: 0, exit: Exit::Frame });
             }
             Stmt::Ret(v) => {
@@ -729,7 +758,7 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
                 if let Some(p) = policy {
                     process.page_table.set_range_policy(gaddr, class, *p);
                 }
-                th.top().locals[dst.0 as usize] = gaddr as i64;
+                th.set_local(*dst, gaddr as i64);
                 th.clock += cfg.cost.alloc_base as Cycles;
                 quiet_ops!(4);
                 {
@@ -755,13 +784,13 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
                     // line, first-touching every page.
                     let line = cfg.machine.line_size;
                     let lines = (bytes as u64).div_ceil(line);
-                    let domain = cfg.machine.topology.domain_of(th.core);
+                    let domain = th.domain;
                     for li in 0..lines {
                         let a = gaddr + li * line;
                         let home = process.page_table.touch(a, domain);
                         let res =
                             machine.access(th.core, a, AccessKind::Store, home, ip.0, th.clock);
-                        th.clock += (res.latency / cfg.cost.mem_overlap.max(1)) as Cycles
+                        th.clock += overlapped(res.latency)
                             + cfg.cost.op as Cycles;
                         th.ops += 1;
                         if let Some(pmu) = th.pmu.as_mut() {
@@ -811,7 +840,7 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
                     th.rank
                 );
                 th.stack_top = new_top;
-                th.top().locals[dst.0 as usize] = layout::global(th.rank, addr) as i64;
+                th.set_local(*dst, layout::global(th.rank, addr) as i64);
                 th.clock += 2 * cfg.cost.op as Cycles;
                 quiet_ops!(2);
             }
@@ -825,7 +854,7 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
                 let (new_local, old_class, _new_class) =
                     process.allocator.realloc(local, new_bytes as u64);
                 let new_gaddr = layout::global(th.rank, new_local);
-                th.top().locals[dst.0 as usize] = new_gaddr as i64;
+                th.set_local(*dst, new_gaddr as i64);
                 th.clock += cfg.cost.alloc_base as Cycles;
                 quiet_ops!(4);
                 // The profiler sees realloc as free(old) + malloc(new),
@@ -864,18 +893,18 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
                     // and stores through the hierarchy.
                     let line = cfg.machine.line_size;
                     let copy = old_class.min(new_bytes as u64);
-                    let domain = cfg.machine.topology.domain_of(th.core);
+                    let domain = th.domain;
                     for li in 0..copy.div_ceil(line) {
                         let src = gaddr + li * line;
                         let dst_a = new_gaddr + li * line;
                         let home_s = process.page_table.touch(src, domain);
                         let r1 =
                             machine.access(th.core, src, AccessKind::Load, home_s, ip.0, th.clock);
-                        th.clock += (r1.latency / cfg.cost.mem_overlap.max(1)) as Cycles + 1;
+                        th.clock += overlapped(r1.latency) + 1;
                         let home_d = process.page_table.touch(dst_a, domain);
                         let r2 = machine
                             .access(th.core, dst_a, AccessKind::Store, home_d, ip.0, th.clock);
-                        th.clock += (r2.latency / cfg.cost.mem_overlap.max(1)) as Cycles + 1;
+                        th.clock += overlapped(r2.latency) + 1;
                         th.ops += 2;
                         if let Some(pmu) = th.pmu.as_mut() {
                             let op = dcp_machine::pmu::OpRecord {
@@ -894,7 +923,7 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
                 let bytes = eval(bytes, th.locals(), &ectx);
                 assert!(bytes > 0);
                 let local = process.allocator.brk(bytes as u64);
-                th.top().locals[dst.0 as usize] = layout::global(th.rank, local) as i64;
+                th.set_local(*dst, layout::global(th.rank, local) as i64);
                 th.clock += cfg.cost.brk_base as Cycles;
                 quiet_ops!(2);
             }
@@ -925,7 +954,7 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
                 let lo = s + t * chunk;
                 let hi = (lo + chunk).min(e);
                 if lo < hi {
-                    th.top().locals[var.0 as usize] = lo;
+                    th.set_local(*var, lo);
                     th.ctrl.push(Ctrl {
                         stmts: body,
                         idx: 0,

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Simulator hot-path throughput trajectory: run sim_bench (Table 1
-# workloads, each executed twice as a built-in determinism harness) and
-# persist its machine-readable summary as BENCH_sim.json.
+# workloads, each executed three times as a built-in determinism harness,
+# scoring the fastest run) and persist its machine-readable summary as
+# BENCH_sim.json.
 #
 # The first ever run (before the hot-path optimisation) was saved as
 # BENCH_sim_baseline.json; when that file exists it is passed back in so

@@ -20,3 +20,12 @@ cargo test -q --offline -p dcp-cct
 # merge under every shape.
 DCP_THREADS=0 cargo test -q --offline -p dcp-cct streamed
 DCP_THREADS=8 cargo test -q --offline -p dcp-cct streamed
+
+# Lint stage: the hot-path rewrite is held warning-free.
+cargo clippy --workspace --release --offline -- -D warnings
+
+# Simulator-throughput smoke stage: small configs, but the full pipeline
+# and the built-in determinism harness (three runs per workload must
+# agree bit-for-bit on stats, wall cycles, and profile bytes; throughput
+# must be nonzero — sim_bench asserts both and exits nonzero otherwise).
+cargo run -q --release --offline -p dcp-bench --bin sim_bench -- --smoke
