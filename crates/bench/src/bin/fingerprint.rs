@@ -1,0 +1,85 @@
+//! fingerprint — deterministic digest of one profiled workload run.
+//!
+//! Prints, for each requested Table-1 workload (reduced size), one line
+//! with everything the epoch-sharded scheduler guarantees to be invariant
+//! under host parallelism: total simulated accesses, node wall cycles,
+//! sample count, total v2 profile bytes, and the combined
+//! stats-and-profile fingerprint. No timing, no host-dependent output —
+//! two invocations at different `DCP_THREADS` must produce byte-identical
+//! stdout, which is exactly what `tests/thread_invariance.rs` spawns this
+//! binary to check (the pool size is latched once per process, so the
+//! sweep has to cross a process boundary).
+//!
+//! Usage: `fingerprint [amg|sweep3d|lulesh|streamcluster|nw|all]...`
+//! (default `all`).
+
+use dcp_bench::{ibs_sampling, rmem_sampling, run_fingerprint};
+use dcp_core::prelude::*;
+use dcp_machine::PmuConfig;
+use dcp_runtime::{Program, WorldConfig};
+use dcp_workloads as wl;
+
+fn run_one(name: &str, prog: &Program, world: &WorldConfig, pmu: PmuConfig) {
+    let mut w = world.clone();
+    w.sim.pmu = Some(pmu);
+    let run = run_profiled(prog, &w, ProfilerConfig::default());
+    let accesses: u64 = run.nodes.iter().map(|n| n.machine_stats.accesses).sum();
+    println!(
+        "FP {name} accesses={accesses} wall={} samples={} profile_bytes={} fingerprint={:016x}",
+        run.wall,
+        run.stats.samples,
+        run.profile_bytes,
+        run_fingerprint(prog, &run),
+    );
+}
+
+fn run_named(name: &str) {
+    match name {
+        "amg" => {
+            let cfg = wl::amg2006::AmgConfig::small(wl::amg2006::AmgVariant::Original);
+            run_one("amg", &wl::amg2006::build(&cfg), &wl::amg2006::world(&cfg), rmem_sampling(16));
+        }
+        "sweep3d" => {
+            let cfg = wl::sweep3d::SweepConfig::small(wl::sweep3d::SweepVariant::Original);
+            run_one(
+                "sweep3d",
+                &wl::sweep3d::build(&cfg),
+                &wl::sweep3d::world(&cfg),
+                ibs_sampling(96),
+            );
+        }
+        "lulesh" => {
+            let cfg = wl::lulesh::LuleshConfig::small(wl::lulesh::LuleshVariant::ORIGINAL);
+            run_one("lulesh", &wl::lulesh::build(&cfg), &wl::lulesh::world(&cfg), ibs_sampling(64));
+        }
+        "streamcluster" => {
+            let cfg =
+                wl::streamcluster::ScConfig::small(wl::streamcluster::ScVariant::Original);
+            run_one(
+                "streamcluster",
+                &wl::streamcluster::build(&cfg),
+                &wl::streamcluster::world(&cfg),
+                rmem_sampling(2),
+            );
+        }
+        "nw" => {
+            let cfg = wl::nw::NwConfig::small(wl::nw::NwVariant::Original);
+            run_one("nw", &wl::nw::build(&cfg), &wl::nw::world(&cfg), rmem_sampling(6));
+        }
+        other => panic!("unknown workload {other:?} (amg|sweep3d|lulesh|streamcluster|nw|all)"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = ["amg", "sweep3d", "lulesh", "streamcluster", "nw"];
+    if args.is_empty() || args.iter().any(|a| a == "all") {
+        for name in all {
+            run_named(name);
+        }
+    } else {
+        for name in &args {
+            run_named(name);
+        }
+    }
+}

@@ -15,13 +15,22 @@
 //! `--baseline <file>` (a previous BENCH_JSON payload) to embed the old
 //! aggregate throughput and the speedup against it. Pass `--smoke` to run
 //! tiny configs (CI smoke stage).
+//!
+//! Host parallelism: the epoch-sharded scheduler spreads each node's
+//! simulation over the in-tree pool (`DCP_THREADS`). When the pool has
+//! more than one slot, the binary re-executes itself with `DCP_THREADS=0
+//! --probe-serial` to time the identical workload set fully sequentially
+//! (the pool size is latched once per process, so a subprocess is the
+//! only honest way to compare), asserts the serial run's fingerprint is
+//! bit-identical to the parallel one, and reports parallel efficiency =
+//! serial_secs / (parallel_secs x slots). Pass `--no-serial-probe` to
+//! skip the extra run.
 
 use std::hash::Hasher;
 use std::time::Instant;
 
 use dcp_bench::{ibs_sampling, rmem_sampling};
 use dcp_core::prelude::*;
-use dcp_core::session::ProfiledRun;
 use dcp_machine::PmuConfig;
 use dcp_runtime::{Program, WorldConfig};
 use dcp_support::FxHasher;
@@ -39,46 +48,7 @@ struct Row {
     overhead_share: f64,
 }
 
-/// Hash everything an optimisation must not change: per-node machine
-/// stats, node wall clocks, and every encoded v2 profile blob.
-fn fingerprint(prog: &Program, run: &ProfiledRun) -> u64 {
-    let mut h = FxHasher::default();
-    h.write_u64(run.wall);
-    for n in &run.nodes {
-        let s = &n.machine_stats;
-        for v in [
-            s.accesses,
-            s.loads,
-            s.stores,
-            s.total_latency,
-            s.l1_hits,
-            s.l2_hits,
-            s.l3_hits,
-            s.remote_l3_hits,
-            s.local_dram,
-            s.remote_dram,
-            s.tlb_misses,
-            s.prefetch_fills,
-            s.prefetch_hidden,
-            s.prefetch_late,
-            n.wall,
-            n.ops,
-        ] {
-            h.write_u64(v);
-        }
-        for &d in &n.dram_histogram {
-            h.write_u64(d);
-        }
-    }
-    for m in run.encode_measurements(prog) {
-        for blobs in &m.profiles {
-            for b in blobs {
-                h.write(b.as_ref());
-            }
-        }
-    }
-    h.finish()
-}
+use dcp_bench::run_fingerprint as fingerprint;
 
 fn bench_one(
     name: &'static str,
@@ -133,9 +103,39 @@ fn baseline_throughput(text: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Re-run the workload set in a `DCP_THREADS=0` subprocess and return
+/// `(total_host_secs, combined_fingerprint)` from its SERIAL_JSON line.
+fn probe_serial(smoke: bool) -> Option<(f64, u64)> {
+    let exe = std::env::current_exe().ok()?;
+    let mut cmd = std::process::Command::new(exe);
+    cmd.env("DCP_THREADS", "0").arg("--probe-serial");
+    if smoke {
+        cmd.arg("--smoke");
+    }
+    let out = cmd.output().ok()?;
+    assert!(out.status.success(), "serial probe subprocess failed");
+    let text = String::from_utf8_lossy(&out.stdout);
+    let line = text.lines().find(|l| l.starts_with("SERIAL_JSON "))?;
+    let secs = {
+        let key = "\"host_secs\": ";
+        let at = line.find(key)? + key.len();
+        let rest = &line[at..];
+        let end = rest.find(|c: char| !(c.is_ascii_digit() || c == '.')).unwrap_or(rest.len());
+        rest[..end].parse().ok()?
+    };
+    let fp = {
+        let key = "\"fingerprint\": \"";
+        let at = line.find(key)? + key.len();
+        u64::from_str_radix(&line[at..at + 16], 16).ok()?
+    };
+    Some((secs, fp))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let serial_probe_mode = args.iter().any(|a| a == "--probe-serial");
+    let no_serial_probe = args.iter().any(|a| a == "--no-serial-probe");
     let baseline = args
         .iter()
         .position(|a| a == "--baseline")
@@ -185,6 +185,24 @@ fn main() {
         }
     }
 
+    let total_accesses: u64 = rows.iter().map(|r| r.accesses).sum();
+    let total_secs: f64 = rows.iter().map(|r| r.host_secs).sum();
+    let agg = total_accesses as f64 / total_secs;
+    let mut combined = FxHasher::default();
+    for r in &rows {
+        combined.write_u64(r.fingerprint);
+    }
+    let combined = combined.finish();
+
+    if serial_probe_mode {
+        // Child of the parallel run: report sequential timing and the
+        // fingerprint so the parent can check serial/parallel identity.
+        println!(
+            "SERIAL_JSON {{\"host_secs\": {total_secs:.4}, \"fingerprint\": \"{combined:016x}\"}}"
+        );
+        return;
+    }
+
     println!("SIM BENCH — simulator/measurement hot-path throughput (profiled runs)");
     println!(
         "{:<22} {:>12} {:>14} {:>10} {:>12} {:>10} {:>18}",
@@ -204,13 +222,6 @@ fn main() {
             format!("{:016x}", r.fingerprint),
         );
     }
-    let total_accesses: u64 = rows.iter().map(|r| r.accesses).sum();
-    let total_secs: f64 = rows.iter().map(|r| r.host_secs).sum();
-    let agg = total_accesses as f64 / total_secs;
-    let mut combined = FxHasher::default();
-    for r in &rows {
-        combined.write_u64(r.fingerprint);
-    }
     println!();
     println!(
         "aggregate: {} accesses in {:.3} host s = {:.3} Macc/s (determinism: ok, all runs identical)",
@@ -218,6 +229,33 @@ fn main() {
         total_secs,
         agg / 1e6
     );
+
+    // Host parallelism: one pool slot means the run above already was
+    // serial; more slots means a DCP_THREADS=0 subprocess re-times the
+    // set and its fingerprint must match bit-for-bit.
+    let slots = dcp_support::pool::parallelism();
+    let serial = if slots <= 1 {
+        Some(total_secs)
+    } else if no_serial_probe {
+        None
+    } else {
+        let (secs, fp) = probe_serial(smoke).expect("serial probe produced no SERIAL_JSON");
+        assert_eq!(
+            fp, combined,
+            "serial (DCP_THREADS=0) and parallel runs must be bit-identical"
+        );
+        Some(secs)
+    };
+    let efficiency = serial.map(|s| s / (total_secs * slots as f64));
+    match (serial, efficiency) {
+        (Some(s), Some(e)) => println!(
+            "host parallelism: {slots} slot(s); serial {s:.3} s vs parallel {total_secs:.3} s \
+             = {:.2}x speedup, {:.0}% efficiency (serial fingerprint identical)",
+            s / total_secs,
+            100.0 * e
+        ),
+        _ => println!("host parallelism: {slots} slot(s); serial probe skipped"),
+    }
 
     let mut json = String::from("BENCH_JSON {\"workloads\": [");
     for (i, r) in rows.iter().enumerate() {
@@ -239,10 +277,14 @@ fn main() {
     }
     json.push_str(&format!(
         "], \"aggregate_accesses_per_sec\": {:.1}, \"determinism\": \"ok\", \
-         \"fingerprint\": \"{:016x}\"",
-        agg,
-        combined.finish()
+         \"fingerprint\": \"{:016x}\", \"host_threads\": {}, \"parallel_host_secs\": {:.4}",
+        agg, combined, slots, total_secs
     ));
+    if let (Some(s), Some(e)) = (serial, efficiency) {
+        json.push_str(&format!(
+            ", \"serial_host_secs\": {s:.4}, \"parallel_efficiency\": {e:.3}"
+        ));
+    }
     if let Some(base) = baseline.as_deref() {
         let old = baseline_throughput(base)
             .expect("baseline file has no aggregate_accesses_per_sec field");

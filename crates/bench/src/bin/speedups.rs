@@ -13,14 +13,14 @@ fn main() {
     println!("SPEEDUP SUMMARY — original vs optimized (simulated cycles)");
     {
         use wl::amg2006::*;
-        let o = {
-            let c = AmgConfig::paper(AmgVariant::Original);
-            run_world(&build(&c), &world(&c), |_| NullObserver).phase_wall("solver")
+        let solver = |variant| {
+            let c = AmgConfig::paper(variant);
+            run_world(&build(&c), &world(&c), |_| NullObserver)
+                .phase_wall("solver")
+                .expect("AMG records a solver phase")
         };
-        let f = {
-            let c = AmgConfig::paper(AmgVariant::LibnumaSelective);
-            run_world(&build(&c), &world(&c), |_| NullObserver).phase_wall("solver")
-        };
+        let o = solver(AmgVariant::Original);
+        let f = solver(AmgVariant::LibnumaSelective);
         println!("{}", compare_line("AMG2006 solver (libnuma)", "23.8%", format!("{:.1}%", speedup_pct(o, f))));
     }
     {

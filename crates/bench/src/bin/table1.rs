@@ -80,73 +80,89 @@ fn measure(
     Row { code, config, events, overhead, merge_streamed_ms, merge_in_mem_ms }
 }
 
-fn main() {
-    let mut rows = Vec::new();
-
+/// The Table-1 workload set: (code, config, events, program, world, pmu).
+fn workloads() -> Vec<(&'static str, String, &'static str, Program, WorldConfig, PmuConfig)> {
+    let mut set = Vec::new();
     {
         let cfg = wl::amg2006::AmgConfig::paper(wl::amg2006::AmgVariant::Original);
-        let prog = wl::amg2006::build(&cfg);
-        let world = wl::amg2006::world(&cfg);
-        rows.push(measure(
+        set.push((
             "AMG2006",
             format!("{} MPI x {} threads", cfg.ranks, cfg.threads),
             "PM_MRK_DATA_FROM_RMEM",
-            &prog,
-            &world,
+            wl::amg2006::build(&cfg),
+            wl::amg2006::world(&cfg),
             rmem_sampling(16),
         ));
     }
     {
         let cfg = wl::sweep3d::SweepConfig::paper(wl::sweep3d::SweepVariant::Original);
-        let prog = wl::sweep3d::build(&cfg);
-        let world = wl::sweep3d::world(&cfg);
-        rows.push(measure(
+        set.push((
             "Sweep3D",
             format!("{} MPI ranks, no threads", cfg.ranks),
             "AMD IBS",
-            &prog,
-            &world,
+            wl::sweep3d::build(&cfg),
+            wl::sweep3d::world(&cfg),
             ibs_sampling(16384),
         ));
     }
     {
         let cfg = wl::lulesh::LuleshConfig::paper(wl::lulesh::LuleshVariant::ORIGINAL);
-        let prog = wl::lulesh::build(&cfg);
-        let world = wl::lulesh::world(&cfg);
-        rows.push(measure(
+        set.push((
             "LULESH",
             format!("{} threads", cfg.threads),
             "AMD IBS",
-            &prog,
-            &world,
+            wl::lulesh::build(&cfg),
+            wl::lulesh::world(&cfg),
             ibs_sampling(64),
         ));
     }
     {
         let cfg = wl::streamcluster::ScConfig::paper(wl::streamcluster::ScVariant::Original);
-        let prog = wl::streamcluster::build(&cfg);
-        let world = wl::streamcluster::world(&cfg);
-        rows.push(measure(
+        set.push((
             "Streamcluster",
             format!("{} threads", cfg.threads),
             "PM_MRK_DATA_FROM_RMEM",
-            &prog,
-            &world,
+            wl::streamcluster::build(&cfg),
+            wl::streamcluster::world(&cfg),
             rmem_sampling(2),
         ));
     }
     {
         let cfg = wl::nw::NwConfig::paper(wl::nw::NwVariant::Original);
-        let prog = wl::nw::build(&cfg);
-        let world = wl::nw::world(&cfg);
-        rows.push(measure(
+        set.push((
             "NW",
             format!("{} threads", cfg.threads),
             "PM_MRK_DATA_FROM_RMEM",
-            &prog,
-            &world,
+            wl::nw::build(&cfg),
+            wl::nw::world(&cfg),
             rmem_sampling(6),
         ));
+    }
+    set
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let set = workloads();
+
+    if args.iter().any(|a| a == "--probe-serial") {
+        // Child of a parallel parent: time one profiled run per workload
+        // fully sequentially (the pool size is per-process, so this is
+        // the only way to get a serial number next to a parallel one).
+        use dcp_core::prelude::*;
+        let t0 = Instant::now();
+        for (_, _, _, prog, world, pmu) in &set {
+            let mut w = world.clone();
+            w.sim.pmu = Some(*pmu);
+            let _ = run_profiled(prog, &w, ProfilerConfig::default());
+        }
+        println!("SERIAL_JSON {{\"host_secs\": {:.4}}}", t0.elapsed().as_secs_f64());
+        return;
+    }
+
+    let mut rows = Vec::new();
+    for (code, config, events, prog, world, pmu) in &set {
+        rows.push(measure(code, config.clone(), events, prog, world, *pmu));
     }
 
     println!("TABLE 1 — measurement configuration and overhead (simulated cycles)");
@@ -203,6 +219,43 @@ fn main() {
         total_acc as f64 / total_secs / 1e6
     );
 
+    // Host parallelism of the epoch-sharded scheduler: with one pool
+    // slot the profiled runs above already were serial; otherwise a
+    // DCP_THREADS=0 subprocess re-times one profiled run per workload.
+    let slots = dcp_support::pool::parallelism();
+    let serial_secs = if slots <= 1 {
+        Some(total_secs)
+    } else if args.iter().any(|a| a == "--no-serial-probe") {
+        None
+    } else {
+        let exe = std::env::current_exe().expect("own path");
+        let out = std::process::Command::new(exe)
+            .env("DCP_THREADS", "0")
+            .arg("--probe-serial")
+            .output()
+            .expect("spawn serial probe");
+        assert!(out.status.success(), "serial probe subprocess failed");
+        let text = String::from_utf8_lossy(&out.stdout);
+        text.lines().find(|l| l.starts_with("SERIAL_JSON ")).and_then(|line| {
+            let key = "\"host_secs\": ";
+            let at = line.find(key)? + key.len();
+            let rest = &line[at..];
+            let end =
+                rest.find(|c: char| !(c.is_ascii_digit() || c == '.')).unwrap_or(rest.len());
+            rest[..end].parse().ok()
+        })
+    };
+    let efficiency = serial_secs.map(|s| s / (total_secs * slots as f64));
+    match (serial_secs, efficiency) {
+        (Some(s), Some(e)) => println!(
+            "host parallelism: {slots} slot(s); serial {s:.3} s vs parallel {total_secs:.3} s \
+             = {:.2}x speedup, {:.0}% efficiency",
+            s / total_secs,
+            100.0 * e
+        ),
+        _ => println!("host parallelism: {slots} slot(s); serial probe skipped"),
+    }
+
     println!();
     println!(
         "space check: compact profiles vs MemProf-style traces: {} B vs {} B ({}x smaller)",
@@ -243,10 +296,18 @@ fn main() {
     );
 
     // Machine-readable summary for scripts/bench_codec.sh.
-    println!(
+    let mut json = format!(
         "BENCH_JSON {{\"v1_bytes\": {v1_total}, \"v2_bytes\": {v2_total}, \
          \"saved_pct\": {:.2}, \"merge_streamed_ms\": {merge_ms:.3}, \
-         \"merge_in_mem_ms\": {merge_mem_ms:.3}}}",
+         \"merge_in_mem_ms\": {merge_mem_ms:.3}, \"host_threads\": {slots}, \
+         \"parallel_host_secs\": {total_secs:.4}",
         100.0 * (1.0 - v2_total as f64 / v1_total.max(1) as f64)
     );
+    if let (Some(s), Some(e)) = (serial_secs, efficiency) {
+        json.push_str(&format!(
+            ", \"serial_host_secs\": {s:.4}, \"parallel_efficiency\": {e:.3}"
+        ));
+    }
+    json.push('}');
+    println!("{json}");
 }

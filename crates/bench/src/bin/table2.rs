@@ -27,9 +27,10 @@ fn main() {
         let prog = build(&cfg);
         let w = world(&cfg);
         let r = run_world(&prog, &w, |_| NullObserver);
-        let init = r.phase_wall("initialization");
-        let setup = r.phase_wall("setup");
-        let solve = r.phase_wall("solver");
+        let phase = |name| r.phase_wall(name).unwrap_or_else(|| panic!("AMG phase {name:?} missing"));
+        let init = phase("initialization");
+        let setup = phase("setup");
+        let solve = phase("solver");
         println!("{:<10} {:>16} {:>16} {:>16} {:>16}", name, init, setup, solve, r.wall);
         results.push((name, init, setup, solve, r.wall));
     }

@@ -30,6 +30,51 @@ pub fn profile_with(
     measure_overhead(program, &w, ProfilerConfig::default())
 }
 
+/// Hash everything a perf change must not alter about a profiled run:
+/// per-node machine stats, node wall clocks, DRAM histograms, op counts,
+/// and every encoded v2 profile blob. Shared by `sim_bench` (run-to-run
+/// and serial-vs-parallel determinism) and `fingerprint` (the
+/// `DCP_THREADS` invariance harness behind `tests/thread_invariance.rs`).
+pub fn run_fingerprint(prog: &Program, run: &dcp_core::session::ProfiledRun) -> u64 {
+    use std::hash::Hasher;
+    let mut h = dcp_support::FxHasher::default();
+    h.write_u64(run.wall);
+    for n in &run.nodes {
+        let s = &n.machine_stats;
+        for v in [
+            s.accesses,
+            s.loads,
+            s.stores,
+            s.total_latency,
+            s.l1_hits,
+            s.l2_hits,
+            s.l3_hits,
+            s.remote_l3_hits,
+            s.local_dram,
+            s.remote_dram,
+            s.tlb_misses,
+            s.prefetch_fills,
+            s.prefetch_hidden,
+            s.prefetch_late,
+            n.wall,
+            n.ops,
+        ] {
+            h.write_u64(v);
+        }
+        for &d in &n.dram_histogram {
+            h.write_u64(d);
+        }
+    }
+    for m in run.encode_measurements(prog) {
+        for blobs in &m.profiles {
+            for b in blobs {
+                h.write(b.as_ref());
+            }
+        }
+    }
+    h.finish()
+}
+
 /// Simulated cycles rendered as seconds at a nominal 3 GHz clock — the
 /// unit the paper's tables use.
 pub fn secs(cycles: Cycles) -> f64 {

@@ -1,0 +1,60 @@
+//! Differential test: simulation results are invariant under host
+//! parallelism.
+//!
+//! The epoch-sharded scheduler's core promise is that `DCP_THREADS` is a
+//! pure performance knob — machine stats, wall cycles, sample streams,
+//! and encoded v2 profile bytes must be bit-for-bit identical whether the
+//! simulation runs sequentially or spread over many pool workers. The
+//! pool size is latched once per process (`OnceLock`), so the sweep runs
+//! the `fingerprint` binary as a subprocess per setting and compares
+//! whole stdouts: one digest line per reduced Table-1 workload, covering
+//! accesses, wall, sample count, profile bytes, and the combined
+//! stats-and-profile fingerprint.
+
+use std::process::Command;
+
+/// Run the fingerprint binary for `workloads` at a given pool size.
+fn digest(threads: &str, workloads: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_fingerprint"))
+        .args(workloads)
+        .env("DCP_THREADS", threads)
+        .output()
+        .expect("spawn fingerprint binary");
+    assert!(
+        out.status.success(),
+        "fingerprint (DCP_THREADS={threads}) failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("digest output is UTF-8");
+    assert_eq!(
+        stdout.lines().count(),
+        workloads.len(),
+        "one FP line per workload expected:\n{stdout}"
+    );
+    stdout
+}
+
+/// Every Table-1 workload (reduced size) produces identical machine
+/// stats, wall cycles, and v2 profile bytes at DCP_THREADS=0 (fully
+/// sequential) and DCP_THREADS=8 (oversubscribed on small hosts — the
+/// harsher schedule-interleaving case).
+#[test]
+fn all_workloads_identical_at_0_and_8_threads() {
+    let workloads = ["amg", "sweep3d", "lulesh", "streamcluster", "nw"];
+    let serial = digest("0", &workloads);
+    let parallel = digest("8", &workloads);
+    assert_eq!(
+        serial, parallel,
+        "DCP_THREADS must not change any observable simulation output"
+    );
+}
+
+/// Intermediate pool sizes agree too (1 worker-less slot and a 2-slot
+/// pool exercise the reclaim-vs-help paths of the in-tree pool
+/// differently).
+#[test]
+fn intermediate_thread_counts_agree_on_amg() {
+    let one = digest("1", &["amg"]);
+    let two = digest("2", &["amg"]);
+    assert_eq!(one, two, "DCP_THREADS=1 vs 2 diverged");
+}

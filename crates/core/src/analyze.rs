@@ -65,12 +65,15 @@ pub struct EncodedMeasurement {
 
 /// Serialize one node's measurement data to the v2 wire format with
 /// frame names resolved against `program`.
+///
+/// Per-thread trees are independent and `par_map` returns results
+/// positionally, so the encode fans out over the host pool while the
+/// byte streams stay identical at any `DCP_THREADS`.
 pub fn encode_measurement(program: &Program, m: &MeasurementData) -> EncodedMeasurement {
     let profiles = std::array::from_fn(|class| {
-        m.profiles[class]
-            .iter()
-            .map(|t| encode_named(t, &profile_names(program, t)))
-            .collect()
+        dcp_support::pool::par_map(&m.profiles[class], |t| {
+            encode_named(t, &profile_names(program, t))
+        })
     });
     EncodedMeasurement { profiles, alloc_info: m.alloc_info.clone(), stats: m.stats.clone() }
 }

@@ -88,33 +88,58 @@ pub struct MachineStats {
     pub prefetch_late: u64,
 }
 
+impl MachineStats {
+    /// Fold another counter block into this one (epoch commit merges the
+    /// per-shard counters into the machine-wide block in shard order).
+    pub fn merge(&mut self, o: &MachineStats) {
+        self.accesses += o.accesses;
+        self.loads += o.loads;
+        self.stores += o.stores;
+        self.total_latency = self.total_latency.wrapping_add(o.total_latency);
+        self.l1_hits += o.l1_hits;
+        self.l2_hits += o.l2_hits;
+        self.l3_hits += o.l3_hits;
+        self.remote_l3_hits += o.remote_l3_hits;
+        self.local_dram += o.local_dram;
+        self.remote_dram += o.remote_dram;
+        self.tlb_misses += o.tlb_misses;
+        self.prefetch_fills += o.prefetch_fills;
+        self.prefetch_hidden += o.prefetch_hidden;
+        self.prefetch_late += o.prefetch_late;
+    }
+}
+
 /// The simulated machine: every core's private structures, every socket's
 /// L3, the DRAM controllers, and the interconnect.
 #[derive(Debug)]
 pub struct Machine {
-    cfg: MachineConfig,
-    line_bits: u32,
-    page_bits: u32,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) line_bits: u32,
+    pub(crate) page_bits: u32,
     /// Hardware thread → physical core, precomputed from the topology so
     /// the per-access path indexes instead of dividing.
-    pcore_of: Vec<u32>,
+    pub(crate) pcore_of: Vec<u32>,
     /// Hardware thread → NUMA domain, precomputed likewise.
-    domain_of: Vec<u32>,
-    l1: Vec<Cache>,
-    l2: Vec<Cache>,
-    l3: Vec<Cache>,
-    tlb: Vec<Tlb>,
-    prefetch: Vec<Prefetcher>,
-    dram: Dram,
-    interconnect: Interconnect,
-    versions: VersionTable,
+    pub(crate) domain_of: Vec<u32>,
+    pub(crate) l1: Vec<Cache>,
+    pub(crate) l2: Vec<Cache>,
+    pub(crate) l3: Vec<Cache>,
+    pub(crate) tlb: Vec<Tlb>,
+    pub(crate) prefetch: Vec<Prefetcher>,
+    pub(crate) dram: Dram,
+    pub(crate) interconnect: Interconnect,
+    pub(crate) versions: VersionTable,
     /// Per-physical-core in-flight prefetch buffers (MSHRs).
-    pfbuf: Vec<PfMshr>,
-    stats: MachineStats,
+    pub(crate) pfbuf: Vec<PfMshr>,
+    pub(crate) stats: MachineStats,
+    /// Per-domain epoch state for the shard-parallel access path (see
+    /// [`crate::epoch`]); lives here so buffer capacity is reused across
+    /// epochs. Empty until [`Machine::split_epoch`] is first called.
+    pub(crate) epoch: Vec<crate::epoch::ShardEpochState>,
 }
 
 /// Maximum in-flight prefetches per core (MSHR budget).
-const PF_BUDGET: usize = 96;
+pub(crate) const PF_BUDGET: usize = 96;
 
 impl Machine {
     /// Build a machine from its configuration.
@@ -142,6 +167,7 @@ impl Machine {
             pfbuf: (0..cores).map(|_| PfMshr::new()).collect(),
             cfg,
             stats: MachineStats::default(),
+            epoch: Vec::new(),
         }
     }
 
@@ -346,7 +372,7 @@ impl Machine {
     /// Owned/Modified state — held by the *last writer's* socket. Copies
     /// that were merely read into other sockets' L3s are Shared and are
     /// re-fetched from memory, as on real hardware.
-    fn remote_l3_owner(&self, line: u64, version: u32, me: DomainId) -> Option<DomainId> {
+    pub(crate) fn remote_l3_owner(&self, line: u64, version: u32, me: DomainId) -> Option<DomainId> {
         if version == 0 {
             // Never-written lines are not tracked by the directory.
             return None;

@@ -331,6 +331,160 @@ impl VersionTable {
     pub fn written_lines(&self) -> usize {
         self.written
     }
+
+    /// Read-only version lookup through a caller-owned, stamp-validated
+    /// direct-mapped page memo (entries are `(page, slab + 1, stamp)`
+    /// with [`NO_SLAB`] as the negative marker). Sound only while the
+    /// table is frozen for the memo's stamp period — the epoch-parallel
+    /// access path freezes the base table for one epoch and bumps the
+    /// stamp at each epoch boundary, so stale entries self-invalidate
+    /// without any clearing cost. `memo.len()` must be a power of two.
+    pub fn version_memoized(&self, line: u64, memo: &mut [(u64, u32, u32)], stamp: u32) -> u32 {
+        let page = line >> self.shift;
+        let slot = (page as usize) & (memo.len() - 1);
+        let m = &mut memo[slot];
+        let slab_plus = if m.2 == stamp && m.0 == page {
+            m.1
+        } else {
+            let sp = match self.pages.get(&page) {
+                Some(&s) => s + 1,
+                None => NO_SLAB,
+            };
+            *m = (page, sp, stamp);
+            sp
+        };
+        if slab_plus == NO_SLAB {
+            0
+        } else {
+            self.slabs[(slab_plus - 1) as usize][(line & self.mask) as usize].0
+        }
+    }
+
+    /// Commit-phase bulk form of [`VersionTable::bump`]: advance `line`
+    /// by `n` versions in one step and set its last writer to `writer`.
+    /// Used when merging per-shard version overlays at the end of an
+    /// epoch — the overlay already knows how many stores each shard made
+    /// to the line, so the base table replays them wholesale. `n == 0`
+    /// only (re)sets the writer (conflict resolution between shards).
+    /// Returns the resulting version.
+    pub fn apply_bumps(&mut self, line: u64, n: u32, writer: u32) -> u32 {
+        let page = line >> self.shift;
+        let s = match self.slab_of(page) {
+            Some(s) => s,
+            None => {
+                let s = self.slabs.len();
+                self.slabs
+                    .push(vec![(0u32, 0u32); (self.mask + 1) as usize].into_boxed_slice());
+                self.pages.insert(page, s as u32);
+                s
+            }
+        };
+        self.last[Self::cache_slot(page)] = (page, s as u32 + 1);
+        let e = &mut self.slabs[s][(line & self.mask) as usize];
+        if e.1 == 0 {
+            self.written += 1;
+        }
+        e.0 = e.0.wrapping_add(n);
+        e.1 = writer + 1;
+        e.0
+    }
+}
+
+/// Ordering key of one event inside an epoch: `(cycle, thread id,
+/// per-thread sequence number)`. Commit processes shared-resource events
+/// in this order, making results a pure function of simulated time.
+pub type EpochKey = (crate::Cycles, u32, u64);
+
+/// One shard's private view of coherence versions during an epoch.
+///
+/// The base [`VersionTable`] is frozen while shards execute in parallel;
+/// each shard layers its own stores on top via this overlay and reads
+/// through it. Cross-shard stores made during the same epoch are
+/// invisible until the commit phase merges every overlay back into the
+/// base in deterministic shard order — a bounded coherence lag of at
+/// most one epoch window, analogous to store-buffer delay on real
+/// hardware.
+#[derive(Debug, Default)]
+pub struct VersionOverlay {
+    map: FxHashMap<u64, OverlayEntry>,
+}
+
+/// Per-line overlay state: the shard-local view plus the replay
+/// information the commit merge needs.
+#[derive(Debug, Clone, Copy)]
+pub struct OverlayEntry {
+    /// Version as seen by this shard (base + own bumps).
+    pub version: u32,
+    /// Domain of this shard (last writer from this shard's view).
+    pub writer: u32,
+    /// Number of bumps this shard made this epoch.
+    pub bumps: u32,
+    /// Key of this shard's last store to the line, for cross-shard
+    /// last-writer resolution at commit.
+    pub key: EpochKey,
+}
+
+impl VersionOverlay {
+    /// Current version of `line`: overlay if this shard wrote it this
+    /// epoch, else the frozen base.
+    #[inline]
+    pub fn version(&self, base: &VersionTable, line: u64) -> u32 {
+        if self.map.is_empty() {
+            return base.version(line);
+        }
+        match self.map.get(&line) {
+            Some(e) => e.version,
+            None => base.version(line),
+        }
+    }
+
+    /// This shard's own overlay version for `line`, if it stored to it
+    /// this epoch (`None` means "read the frozen base").
+    #[inline]
+    pub fn local(&self, line: u64) -> Option<u32> {
+        if self.map.is_empty() {
+            return None;
+        }
+        self.map.get(&line).map(|e| e.version)
+    }
+
+    /// Last writer of `line` through the overlay.
+    #[inline]
+    pub fn last_writer(&self, base: &VersionTable, line: u64) -> Option<u32> {
+        if !self.map.is_empty() {
+            if let Some(e) = self.map.get(&line) {
+                return Some(e.writer);
+            }
+        }
+        base.last_writer(line)
+    }
+
+    /// Record a store by `domain` at `key`; returns the new shard-local
+    /// version.
+    pub fn bump(&mut self, base: &VersionTable, line: u64, domain: u32, key: EpochKey) -> u32 {
+        let e = self.map.entry(line).or_insert_with(|| OverlayEntry {
+            version: base.version(line),
+            writer: domain,
+            bumps: 0,
+            key,
+        });
+        e.version = e.version.wrapping_add(1);
+        e.writer = domain;
+        e.bumps += 1;
+        e.key = key;
+        e.version
+    }
+
+    /// True if no stores were recorded this epoch.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drain the overlay's entries (iteration order is a deterministic
+    /// function of the store sequence — `FxHashMap` has no randomness).
+    pub fn drain(&mut self) -> impl Iterator<Item = (u64, OverlayEntry)> + '_ {
+        self.map.drain()
+    }
 }
 
 #[cfg(test)]

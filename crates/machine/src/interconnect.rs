@@ -94,6 +94,47 @@ impl Interconnect {
         t - now
     }
 
+    /// Read-only estimate of [`Interconnect::traverse`]: the latency a
+    /// transfer starting at `now` would observe against the *current*
+    /// link backlogs, without consuming link occupancy. The epoch-
+    /// parallel access path uses this against the frozen interconnect to
+    /// price deferred remote accesses optimistically; the commit phase
+    /// then performs the real, occupancy-consuming traversal.
+    pub fn traverse_est(
+        &self,
+        topo: &Topology,
+        from: DomainId,
+        to: DomainId,
+        now: Cycles,
+    ) -> Cycles {
+        let hops = topo.hops(from, to);
+        if hops == 0 {
+            return 0;
+        }
+        let forward = {
+            let d = (to.0 + self.domains - from.0) % self.domains;
+            d <= self.domains - d
+        };
+        let mut t = now;
+        let mut cur = from.0;
+        for _ in 0..hops {
+            let edge = if forward {
+                cur as usize
+            } else {
+                ((cur + self.domains - 1) % self.domains) as usize
+            };
+            let l = &self.links[edge];
+            let delay = l.backlog.saturating_sub(t.saturating_sub(l.last_now));
+            t += delay + self.hop_latency as Cycles;
+            cur = if forward {
+                (cur + 1) % self.domains
+            } else {
+                (cur + self.domains - 1) % self.domains
+            };
+        }
+        t - now
+    }
+
     /// Total line transfers across all links.
     pub fn transfers(&self) -> u64 {
         self.links.iter().map(|l| l.transfers).sum()

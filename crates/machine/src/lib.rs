@@ -36,6 +36,7 @@ pub mod access;
 pub mod cache;
 pub mod config;
 pub mod dram;
+pub mod epoch;
 pub mod interconnect;
 pub mod mshr;
 pub mod page;
@@ -44,8 +45,10 @@ pub mod prefetch;
 pub mod tlb;
 pub mod topology;
 
-pub use access::{AccessKind, AccessResult, DataSource, Machine};
+pub use access::{AccessKind, AccessResult, DataSource, Machine, MachineStats};
+pub use cache::EpochKey;
 pub use config::{CacheConfig, MachineConfig, PrefetchConfig};
+pub use epoch::{DeferredAccess, FrozenNode, MachineShard, ShardAccessOutcome};
 pub use page::{PagePolicy, PageTable};
 pub use pmu::{MarkedEvent, Pmu, PmuConfig, Sample, SampleOrigin};
 pub use topology::{CoreId, DomainId, Topology};

@@ -28,7 +28,10 @@ use crate::topology::DomainId;
 pub enum PagePolicy {
     /// Place on the domain of the first toucher (Linux default).
     FirstTouch,
-    /// Round-robin pages across all domains (numactl/libnuma interleave).
+    /// Interleave pages across all domains by page number
+    /// (numactl/libnuma interleave). Like Linux's interleave policy the
+    /// target node is a pure function of the page's position, so
+    /// placement is independent of touch order.
     Interleave,
     /// Always place on one fixed domain (numactl --membind).
     Bind(DomainId),
@@ -45,8 +48,6 @@ pub struct PageTable {
     /// Range policies (what `libnuma` sets per allocation): keyed by start
     /// vpn, value (end_vpn_exclusive, policy). Non-overlapping.
     ranges: BTreeMap<u64, (u64, PagePolicy)>,
-    /// Round-robin cursor for interleaving.
-    rr: u32,
     /// Direct-mapped cache of pages resolved by [`PageTable::touch`],
     /// indexed by the low vpn bits: `(vpn, domain + 1)`, 0 meaning
     /// "empty". Placement is sticky until unmap, so only `unmap` needs to
@@ -69,7 +70,6 @@ impl PageTable {
             placed: FxHashMap::default(),
             default_policy: PagePolicy::FirstTouch,
             ranges: BTreeMap::new(),
-            rr: 0,
             last: [(0, 0); TOUCH_CACHE],
             pages_placed: 0,
         }
@@ -156,11 +156,7 @@ impl PageTable {
         let d = match self.policy_for(vpn) {
             PagePolicy::FirstTouch => toucher,
             PagePolicy::Bind(d) => d,
-            PagePolicy::Interleave => {
-                let d = DomainId(self.rr % self.domains);
-                self.rr = (self.rr + 1) % self.domains;
-                d
-            }
+            PagePolicy::Interleave => DomainId((vpn % self.domains as u64) as u32),
         };
         self.placed.insert(vpn, d);
         self.last[slot] = (vpn, d.0 + 1);
@@ -171,6 +167,26 @@ impl PageTable {
     /// Domain of `vaddr`'s page if it has been placed.
     pub fn domain_of(&self, vaddr: u64) -> Option<DomainId> {
         self.placed.get(&self.vpn(vaddr)).copied()
+    }
+
+    /// Predict, without mutating any placement state, which domain an
+    /// access to `vaddr` by a core on `toucher` would resolve to. For
+    /// placed pages and pages governed by an interleave or bind policy
+    /// this is exact (interleave placement is a pure function of the
+    /// page number); for unplaced first-touch pages it assumes `toucher`
+    /// wins the race — the authoritative placement happens at [`touch`].
+    ///
+    /// [`touch`]: PageTable::touch
+    pub fn predict(&self, vaddr: u64, toucher: DomainId) -> DomainId {
+        let vpn = self.vpn(vaddr);
+        if let Some(&d) = self.placed.get(&vpn) {
+            return d;
+        }
+        match self.policy_for(vpn) {
+            PagePolicy::FirstTouch => toucher,
+            PagePolicy::Bind(d) => d,
+            PagePolicy::Interleave => DomainId((vpn % self.domains as u64) as u32),
+        }
     }
 
     /// Number of pages placed so far.

@@ -24,6 +24,7 @@ pub struct IbsPmu {
     pending: Option<(Sample, u32)>,
     rng: SmallRng,
     samples: u64,
+    tagged_last: bool,
 }
 
 impl IbsPmu {
@@ -35,7 +36,16 @@ impl IbsPmu {
         assert!(period > 0, "IBS period must be positive");
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x1b50_dead_beefu64.rotate_left(7));
         let countdown = Self::jittered(period, &mut rng);
-        Self { period, skid, countdown, pending: None, rng, samples: 0 }
+        Self { period, skid, countdown, pending: None, rng, samples: 0, tagged_last: false }
+    }
+
+    /// Did the most recent observe call tag (latch) a new sample? The
+    /// execution engine uses this to learn that the values captured into
+    /// the pending sample belong to the op it just fed — essential when
+    /// the captured latency/source were provisional and need a later
+    /// correction at delivery.
+    pub fn just_tagged(&self) -> bool {
+        self.tagged_last
     }
 
     fn jittered(period: u64, rng: &mut SmallRng) -> u64 {
@@ -48,6 +58,7 @@ impl IbsPmu {
 
     /// Feed one retired op. Returns the delivered sample, if any.
     pub fn observe_op(&mut self, op: OpRecord<'_>) -> Option<Sample> {
+        self.tagged_last = false;
         // A tagged sample waiting out its skid takes priority; the counter
         // does not run while the interrupt is pending (hardware serializes
         // op records the same way).
@@ -68,6 +79,7 @@ impl IbsPmu {
         self.countdown = Self::jittered(self.period, &mut self.rng);
 
         // Tag this op.
+        self.tagged_last = true;
         let sample = match op.mem {
             Some((res, ea, is_store)) => Sample {
                 origin: SampleOrigin::Ibs,
@@ -111,6 +123,7 @@ impl IbsPmu {
         if n == 0 {
             return None;
         }
+        self.tagged_last = false;
         // Drain any pending skid first.
         if let Some((sample, remaining)) = self.pending.take() {
             if (remaining as u64) < n {
@@ -126,6 +139,7 @@ impl IbsPmu {
             return None;
         }
         self.countdown = Self::jittered(self.period, &mut self.rng);
+        self.tagged_last = true;
         let sample = Sample {
             origin: SampleOrigin::Ibs,
             precise_ip: ip,

@@ -29,6 +29,7 @@ pub struct MarkedPmu {
     /// program is worth data-centric analysis.
     events: u64,
     rng: SmallRng,
+    tagged_last: bool,
 }
 
 impl MarkedPmu {
@@ -54,7 +55,15 @@ impl MarkedPmu {
             samples: 0,
             events: 0,
             rng,
+            tagged_last: false,
         }
+    }
+
+    /// Did the most recent observe call latch SIAR/SDAR from its op? Used
+    /// by the execution engine to associate provisionally-captured sample
+    /// values with the op they came from.
+    pub fn just_tagged(&self) -> bool {
+        self.tagged_last
     }
 
     fn jittered(threshold: u64, rng: &mut SmallRng) -> u64 {
@@ -77,6 +86,7 @@ impl MarkedPmu {
 
     /// Feed one retired op. Returns the delivered sample, if any.
     pub fn observe_op(&mut self, op: OpRecord<'_>) -> Option<Sample> {
+        self.tagged_last = false;
         if let Some((sample, remaining)) = self.pending.take() {
             if remaining == 0 {
                 let delivered = Sample { signal_ip: op.ip, ..sample };
@@ -100,6 +110,7 @@ impl MarkedPmu {
         self.next_at = Self::jittered(self.threshold, &mut self.rng);
 
         // Latch SIAR/SDAR.
+        self.tagged_last = true;
         let sample = Sample {
             origin: SampleOrigin::Marked(self.event),
             precise_ip: op.ip, // SIAR
@@ -125,6 +136,7 @@ impl MarkedPmu {
         if n == 0 {
             return None;
         }
+        self.tagged_last = false;
         if let Some((sample, remaining)) = self.pending.take() {
             if (remaining as u64) < n {
                 let delivered = Sample { signal_ip: ip, ..sample };

@@ -158,6 +158,18 @@ impl Pmu {
         }
     }
 
+    /// Did the most recent observe call tag a new sample (as opposed to
+    /// merely counting, or delivering one tagged earlier)? When true, the
+    /// pending sample's captured latency/source came from the op just
+    /// fed — the execution engine uses this to correct provisional values
+    /// before delivery.
+    pub fn just_tagged(&self) -> bool {
+        match self {
+            Pmu::Ibs(p) => p.just_tagged(),
+            Pmu::Marked(p) => p.just_tagged(),
+        }
+    }
+
     /// Total samples delivered.
     pub fn samples_taken(&self) -> u64 {
         match self {

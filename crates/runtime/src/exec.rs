@@ -7,7 +7,7 @@
 //! granularity — that temporal interleaving is what makes DRAM-controller
 //! queueing (bandwidth contention) meaningful.
 
-use dcp_machine::{CoreId, Cycles, DomainId, Pmu};
+use dcp_machine::{CoreId, Cycles, DataSource, DomainId, Pmu};
 
 use crate::ir::{Cmp, Expr, Ip, LocalId, ProcId, Spanned};
 use crate::observer::FrameInfo;
@@ -176,6 +176,10 @@ pub(crate) enum Status {
     BlockedOmpBarrier,
     /// Rank main waiting at a global MPI barrier.
     BlockedMpi,
+    /// Stopped at a statement that needs node-shared state (allocator,
+    /// page table, fork/join, phases); the epoch commit executes it
+    /// serially, in event order, and re-runs the thread next epoch.
+    Parked,
     Done,
 }
 
@@ -211,6 +215,20 @@ pub(crate) struct ThreadState<'p> {
     pub next_token: u64,
     /// Bump cursor within this thread's stack window (process-local).
     pub stack_top: u64,
+    /// Monotonic per-thread event sequence number; `(clock, tid, seq)`
+    /// totally orders this thread's shared-state events within an epoch.
+    pub seq: u64,
+    /// Signed clock correction accumulated during an epoch: the committed
+    /// (actual) cost of deferred accesses and sample-handler overhead
+    /// minus what the shard charged optimistically. Folded into `clock`
+    /// at the thread's next commit event or at epoch end.
+    pub carry: i64,
+    /// Correction for the PMU's pending sample: when the sample was
+    /// tagged on a deferred access, the commit stores the actual
+    /// `(latency, source)` here, and the next delivered sample for this
+    /// thread (necessarily the tagged one — a PMU holds at most one
+    /// pending sample) is patched with it before reaching the profiler.
+    pub fix: Option<(u32, DataSource)>,
 }
 
 impl<'p> ThreadState<'p> {
@@ -341,6 +359,9 @@ mod tests {
             ops: 0,
             next_token: 0,
             stack_top: crate::alloc::STACK_BASE,
+            seq: 0,
+            carry: 0,
+            fix: None,
         };
         th.push_frame(ProcId(0), 4, &[], None, None);
         th.push_frame(ProcId(1), 2, &[11, 22], Some(Ip(5)), Some(LocalId(3)));

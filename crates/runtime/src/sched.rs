@@ -1,27 +1,46 @@
-//! The node scheduler: event-driven interleaved execution of every
+//! The node scheduler: epoch-parallel interleaved execution of every
 //! software thread hosted on one simulated node.
 //!
-//! Threads are stepped in global-time order (min-clock first, tie-broken
-//! by thread id) in quanta of a few hundred cycles. This gives a
-//! deterministic interleaving that is temporally faithful enough for the
-//! DRAM-controller queueing model to exhibit bandwidth contention — the
-//! phenomenon behind the paper's NUMA case studies.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//! Simulated time is divided into fixed *epoch windows*. Within a window,
+//! every runnable thread runs on the shard of its NUMA domain: the shard
+//! owns the domain's core-private hardware ([`MachineShard`]) and sees
+//! the node-shared state (L3s, DRAM, interconnect, coherence, page
+//! tables, allocator) only through a frozen snapshot ([`FrozenNode`]).
+//! Anything that must touch shared state is emitted as a timestamped
+//! event keyed by `(cycle, thread, seq)`; after every shard finishes, the
+//! scheduler sorts the per-shard event buffers and *commits* them
+//! sequentially in key order — real L3 lookups, DRAM queueing, page
+//! placement, allocation, fork/join and sample delivery all happen there.
+//!
+//! The shards themselves run via [`dcp_support::pool::par_chunks_mut`],
+//! so with `DCP_THREADS=N` they execute on N host workers — and with 0
+//! workers the very same code runs sequentially in shard order. Event
+//! keys are a pure function of simulated time, so the committed schedule
+//! (and therefore every latency, counter, placement and PMU sample) is
+//! bit-identical at every `DCP_THREADS` value.
+//!
+//! Statements that need shared state (allocation, barriers, fork, phase
+//! markers, dlopen) *park* their thread: the shard rewinds the cursor and
+//! emits a `Park` event; the commit phase executes the statement with the
+//! pre-epoch serial interpreter ([`NodeSim::exec_one`]), in event order,
+//! and keeps stepping the thread serially while it stays on serialized
+//! statements (so alloc-heavy init does not bounce through empty epochs).
 
 use dcp_machine::{
-    AccessKind, Cycles, Machine, MachineConfig, Pmu, PmuConfig, Sample,
+    AccessKind, CoreId, Cycles, DeferredAccess, DomainId, EpochKey, FrozenNode, Machine,
+    MachineConfig, MachineShard, MachineStats, PagePolicy, PageTable, Pmu, PmuConfig, Sample,
+    SampleOrigin,
 };
-use dcp_support::FxHashMap;
+use dcp_support::{pool, FxHashMap};
 
 use crate::alloc::{HeapAllocator, STACK_BASE, STACK_WINDOW};
 use crate::exec::{eval, eval_cmp, Ctrl, EvalCtx, Exit, PhaseRecord, Status, ThreadState};
 use crate::ir::{AllocKind, Ip, ProcId, Program, Spanned, Stmt};
 use crate::layout;
-use crate::observer::{AllocEvent, FreeEvent, ModuleEvent, NodeObserver, ThreadView};
+use crate::observer::{
+    AllocEvent, FrameInfo, FreeEvent, ModuleEvent, NodeObserver, ThreadView,
+};
 pub use crate::exec::CostModel;
-use dcp_machine::{CoreId, PagePolicy, PageTable};
 
 /// Configuration of one simulation run (shared by every node).
 #[derive(Debug, Clone)]
@@ -34,13 +53,18 @@ pub struct SimConfig {
     pub cost: CostModel,
     /// Default OpenMP team size per rank.
     pub omp_threads: u32,
-    /// Scheduler quantum in cycles: how long one thread runs before the
-    /// next-oldest thread gets a turn.
+    /// Scheduler quantum in cycles; the epoch window defaults to a small
+    /// multiple of it (see [`SimConfig::window`]).
     pub quantum: Cycles,
     /// Process-wide default NUMA placement policy — what launching the
     /// program under `numactl` sets. `libnuma`-style per-allocation
     /// policies (on `Stmt::Alloc`) override it per range.
     pub default_policy: PagePolicy,
+    /// Epoch window in cycles: how much simulated time every shard
+    /// advances before the ordered commit. 0 (the default) derives the
+    /// window from the quantum. Larger windows amortize commit overhead;
+    /// smaller windows tighten the cross-shard coherence/value lag.
+    pub epoch_window: Cycles,
 }
 
 impl SimConfig {
@@ -54,6 +78,18 @@ impl SimConfig {
             omp_threads: 1,
             quantum: 400,
             default_policy: PagePolicy::FirstTouch,
+            epoch_window: 0,
+        }
+    }
+
+    /// Effective epoch window: the explicit `epoch_window`, or four
+    /// quanta when unset (so configs that shrink the quantum for finer
+    /// interleaving get proportionally finer epochs too).
+    pub fn window(&self) -> Cycles {
+        if self.epoch_window != 0 {
+            self.epoch_window
+        } else {
+            (self.quantum * 4).max(1)
         }
     }
 }
@@ -106,6 +142,134 @@ enum StepOut {
     Yield,
 }
 
+/// A PMU sample captured shard-side, with everything the commit phase
+/// needs to deliver it: the calling-context view is cloned because the
+/// thread keeps mutating its own view while the event waits in the
+/// buffer. Samples are rare (sampling periods are thousands of ops), so
+/// the clone is off the hot path.
+struct SampleEv {
+    sample: Sample,
+    frames: Vec<FrameInfo>,
+    leaf: Ip,
+    clock: Cycles,
+}
+
+/// A shared-state interaction deferred from a shard to the ordered
+/// commit.
+enum Ev {
+    /// A memory access that needs the node-shared hierarchy: the commit
+    /// re-resolves the page placement, performs the real L3/DRAM/
+    /// interconnect work and folds the latency correction into the
+    /// thread's carry.
+    Mem {
+        tid: u32,
+        addr: u64,
+        d: DeferredAccess,
+        /// What the shard charged optimistically from the snapshot.
+        opt_latency: u32,
+        /// The PMU tagged its sample on this access, capturing the
+        /// optimistic latency/source. The commit parks the actual values
+        /// in the thread's fix slot so the sample is corrected when its
+        /// skid expires and it is delivered.
+        tagged: bool,
+    },
+    /// Install a line in a domain's L3 (prefetch-resolved accesses).
+    Fill { domain: u32, line: u64, version: u32 },
+    /// Consume DRAM/interconnect occupancy for launched prefetches.
+    Pf { from: DomainId, home: DomainId, now: Cycles, n: u32 },
+    /// A delivered sample (the PMU's skid expired at this op). Values are
+    /// final except when the thread's fix slot holds a correction for a
+    /// sample tagged on a deferred access.
+    Sample { tid: u32, s: Box<SampleEv> },
+    /// A `store_val` value write, applied to the process value map in
+    /// commit order (last writer in simulated time wins).
+    Val { rank_local: u32, addr: u64, val: i64 },
+    /// The thread stopped at a serialized statement (or finished its
+    /// work); the commit folds its carry and runs the serial interpreter.
+    Park { tid: u32 },
+}
+
+/// An event plus its total-order key.
+struct Keyed {
+    key: EpochKey,
+    ev: Ev,
+}
+
+/// Per-shard working set for one epoch: the threads routed to this shard
+/// (with their scheduler slot index), the events they emitted, the
+/// shard-local value-write overlay and a scratch buffer for call
+/// arguments. Kept across epochs so the allocations are reused.
+#[derive(Default)]
+struct ShardRun<'p> {
+    threads: Vec<(usize, ThreadState<'p>)>,
+    events: Vec<Keyed>,
+    /// `(rank_local, addr)` → value written this epoch by this shard's
+    /// threads. Same-shard reads see it immediately; cross-shard reads
+    /// see the committed map (at most one epoch stale — the store-buffer
+    /// analogy the machine's version overlay also applies).
+    vals: FxHashMap<(u32, u64), i64>,
+    scratch: Vec<i64>,
+}
+
+/// Read-only context shared by every shard during the parallel phase.
+struct ShardCtx<'a, 'p> {
+    program: &'p Program,
+    cfg: &'a SimConfig,
+    processes: &'a [ProcessState],
+    num_ranks_total: u32,
+    mem_div: u32,
+    mem_shift: Option<u32>,
+    epoch_end: Cycles,
+}
+
+/// Fold a signed carry into a clock, saturating at zero (a negative
+/// correction larger than the clock cannot occur in practice — the carry
+/// is bounded by optimistic-vs-actual latency differences — but the
+/// scheduler must not wrap).
+fn add_carry(clock: Cycles, carry: i64) -> Cycles {
+    if carry >= 0 {
+        clock + carry as Cycles
+    } else {
+        clock.saturating_sub(carry.unsigned_abs())
+    }
+}
+
+/// Statements the shards cannot execute: they mutate node-shared state
+/// (allocator, page-table policies, team/fork bookkeeping, phase records,
+/// module tables) and therefore run commit-side, in event order.
+fn is_serialized(kind: &Stmt) -> bool {
+    matches!(
+        kind,
+        Stmt::Alloc { .. }
+            | Stmt::Free { .. }
+            | Stmt::Realloc { .. }
+            | Stmt::Brk { .. }
+            | Stmt::Parallel { .. }
+            | Stmt::OmpBarrier
+            | Stmt::MpiBarrier
+            | Stmt::PhaseBegin(_)
+            | Stmt::PhaseEnd(_)
+            | Stmt::DlOpen(_)
+            | Stmt::DlClose(_)
+    )
+}
+
+/// Will the thread's next fetch hit another serialized statement (or the
+/// end of its work)? Used by the commit phase to keep stepping a parked
+/// thread serially instead of bouncing it through near-empty epochs.
+fn next_is_serialized(th: &ThreadState) -> bool {
+    match th.ctrl.last() {
+        None => true,
+        Some(c) => {
+            if c.idx < c.stmts.len() {
+                is_serialized(&c.stmts[c.idx].kind)
+            } else {
+                matches!(c.exit, Exit::Region)
+            }
+        }
+    }
+}
+
 /// One simulated node: a machine plus the processes and threads pinned to
 /// it.
 pub struct NodeSim<'p, O: NodeObserver> {
@@ -113,15 +277,20 @@ pub struct NodeSim<'p, O: NodeObserver> {
     cfg: SimConfig,
     machine: Machine,
     processes: Vec<ProcessState>,
-    threads: Vec<ThreadState<'p>>,
+    /// Thread slots; `None` only while a thread is checked out to a shard
+    /// during the parallel phase of an epoch.
+    threads: Vec<Option<ThreadState<'p>>>,
     teams: Vec<Team>,
-    heap: BinaryHeap<Reverse<(Cycles, usize)>>,
     observer: O,
     phases: Vec<PhaseRecord>,
     mpi_blocked: Vec<usize>,
     pmu_pool: FxHashMap<(usize, u32), Pmu>,
-    /// Reusable buffer for evaluated call arguments, so `Stmt::Call` does
-    /// not allocate a `Vec` per invocation in the quantum loop.
+    /// Per-domain epoch working sets, reused across epochs.
+    epoch_runs: Vec<ShardRun<'p>>,
+    /// Merged event buffer, reused across epochs.
+    event_buf: Vec<Keyed>,
+    /// Reusable buffer for evaluated call arguments in the commit-side
+    /// interpreter.
     arg_scratch: Vec<i64>,
     /// `cost.mem_overlap.max(1)`, precomputed for the per-access latency
     /// division.
@@ -156,11 +325,12 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
             processes: Vec::new(),
             threads: Vec::new(),
             teams: Vec::new(),
-            heap: BinaryHeap::new(),
             observer,
             phases: Vec::new(),
             mpi_blocked: Vec::new(),
             pmu_pool: FxHashMap::default(),
+            epoch_runs: Vec::new(),
+            event_buf: Vec::new(),
             arg_scratch: Vec::new(),
             mem_div,
             mem_shift,
@@ -214,12 +384,13 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
                 ops: 0,
                 next_token: 0,
                 stack_top: STACK_BASE,
+                seq: 0,
+                carry: 0,
+                fix: None,
             };
             th.push_frame(entry, program.proc(entry).n_locals, &[], None, None);
             th.ctrl.push(Ctrl { stmts: &program.proc(entry).body, idx: 0, exit: Exit::Frame });
-            let tid = sim.threads.len();
-            sim.threads.push(th);
-            sim.heap.push(Reverse((0, tid)));
+            sim.threads.push(Some(th));
         }
         sim
     }
@@ -263,26 +434,16 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
 
     /// Run until every thread is done or blocked on an MPI barrier.
     pub fn run_until_quiescent(&mut self) -> Quiescence {
-        while let Some(Reverse((clock, tid))) = self.heap.pop() {
-            {
-                let th = &self.threads[tid];
-                if th.status != Status::Runnable || th.clock != clock {
-                    continue; // stale heap entry
-                }
-            }
-            let limit = clock + self.cfg.quantum;
-            while let StepOut::Ran = self.step(tid) {
-                if self.threads[tid].clock >= limit {
-                    self.heap.push(Reverse((self.threads[tid].clock, tid)));
-                    break;
-                }
-            }
-        }
+        while self.run_epoch() {}
         if self.mpi_blocked.is_empty() {
             Quiescence::AllDone
         } else {
-            let max_clock =
-                self.mpi_blocked.iter().map(|&t| self.threads[t].clock).max().unwrap_or(0);
+            let max_clock = self
+                .mpi_blocked
+                .iter()
+                .map(|&t| self.threads[t].as_ref().expect("live thread").clock)
+                .max()
+                .unwrap_or(0);
             Quiescence::MpiBlocked { waiting: self.mpi_blocked.len(), max_clock }
         }
     }
@@ -292,21 +453,20 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
     pub fn mpi_release(&mut self, release_clock: Cycles) {
         let cost = self.cfg.cost.mpi_barrier;
         for tid in std::mem::take(&mut self.mpi_blocked) {
-            let th = &mut self.threads[tid];
+            let th = self.threads[tid].as_mut().expect("live thread");
             th.clock = release_clock + cost;
             th.status = Status::Runnable;
-            self.heap.push(Reverse((th.clock, tid)));
         }
     }
 
     /// Largest clock reached by any thread (node wall time).
     pub fn max_clock(&self) -> Cycles {
-        self.threads.iter().map(|t| t.clock).max().unwrap_or(0)
+        self.threads.iter().flatten().map(|t| t.clock).max().unwrap_or(0)
     }
 
     /// Total retired ops across all threads.
     pub fn total_ops(&self) -> u64 {
-        self.threads.iter().map(|t| t.ops).sum()
+        self.threads.iter().flatten().map(|t| t.ops).sum()
     }
 
     /// Phase records collected so far.
@@ -340,7 +500,222 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
     }
 
     // ---------------------------------------------------------------
-    // Stepping
+    // The epoch loop
+    // ---------------------------------------------------------------
+
+    /// Run one epoch: route runnable threads to their domain shards, run
+    /// the shards (in parallel when the host pool has workers), then
+    /// commit every emitted event in `(cycle, thread, seq)` order.
+    /// Returns `false` when no thread was runnable (quiescence).
+    fn run_epoch(&mut self) -> bool {
+        let window = self.cfg.window();
+        let Some(min) = self
+            .threads
+            .iter()
+            .flatten()
+            .filter(|t| t.status == Status::Runnable)
+            .map(|t| t.clock)
+            .min()
+        else {
+            return false;
+        };
+        let epoch_end = (min / window + 1) * window;
+
+        let domains = self.cfg.machine.topology.domains as usize;
+        if self.epoch_runs.len() != domains {
+            self.epoch_runs.resize_with(domains, ShardRun::default);
+        }
+        for tid in 0..self.threads.len() {
+            let eligible = matches!(
+                &self.threads[tid],
+                Some(th) if th.status == Status::Runnable && th.clock < epoch_end
+            );
+            if eligible {
+                let th = self.threads[tid].take().expect("just matched");
+                self.epoch_runs[th.domain.0 as usize].threads.push((tid, th));
+            }
+        }
+
+        // Parallel phase: one shard per NUMA domain, each advancing its
+        // threads against the frozen snapshot. With zero host workers
+        // `par_chunks_mut` runs the shards sequentially in shard order —
+        // the committed event order is identical either way because every
+        // event carries a simulated-time key.
+        {
+            let Self {
+                machine,
+                epoch_runs,
+                processes,
+                program,
+                cfg,
+                num_ranks_total,
+                mem_div,
+                mem_shift,
+                ..
+            } = self;
+            let cx = ShardCtx {
+                program,
+                cfg,
+                processes: processes.as_slice(),
+                num_ranks_total: *num_ranks_total,
+                mem_div: *mem_div,
+                mem_shift: *mem_shift,
+                epoch_end,
+            };
+            let (fz, mshards) = machine.split_epoch();
+            let mut paired: Vec<(&mut ShardRun<'p>, MachineShard<'_>)> =
+                epoch_runs.iter_mut().zip(mshards).collect();
+            pool::par_chunks_mut(&mut paired, 1, |_, pair| {
+                let (run, shard) = &mut pair[0];
+                run_shard(run, shard, &fz, &cx);
+            });
+            let stats: Vec<MachineStats> =
+                paired.iter().map(|(_, sh)| sh.stats.clone()).collect();
+            drop(paired);
+
+            for s in &stats {
+                machine.merge_stats(s);
+            }
+        }
+
+        // Reclaim threads and gather events.
+        for run in &mut self.epoch_runs {
+            for (tid, th) in run.threads.drain(..) {
+                self.threads[tid] = Some(th);
+            }
+            run.vals.clear();
+            self.event_buf.append(&mut run.events);
+        }
+        // Keys are unique — (clock, tid, seq) with a per-thread monotonic
+        // seq — so this order is total and host-independent.
+        self.event_buf.sort_unstable_by_key(|k| k.key);
+
+        // Commit phase: shared-state interactions happen here, alone, in
+        // simulated-time order.
+        let events = std::mem::take(&mut self.event_buf);
+        self.commit_events(&events);
+        self.event_buf = events;
+        self.event_buf.clear();
+        self.machine.commit_epoch_versions();
+
+        // Fold any carry not consumed by a Park event.
+        for th in self.threads.iter_mut().flatten() {
+            if th.carry != 0 {
+                th.clock = add_carry(th.clock, th.carry);
+                th.carry = 0;
+            }
+        }
+        true
+    }
+
+    /// Apply one epoch's sorted events to the node-shared state.
+    fn commit_events(&mut self, events: &[Keyed]) {
+        let mem_div = self.mem_div;
+        let mem_shift = self.mem_shift;
+        let overlapped = move |latency: u32| -> Cycles {
+            match mem_shift {
+                Some(s) => (latency >> s) as Cycles,
+                None => (latency / mem_div) as Cycles,
+            }
+        };
+        for k in events {
+            match &k.ev {
+                Ev::Mem { tid, addr, d, opt_latency, tagged } => {
+                    let t = *tid as usize;
+                    let (rank_local, domain) = {
+                        let th = self.threads[t].as_ref().expect("live thread");
+                        (th.rank_local, th.domain)
+                    };
+                    // The shard priced the access against a *predicted*
+                    // placement; the authoritative first touch happens
+                    // here, in commit order.
+                    let mut d = *d;
+                    d.home = self.processes[rank_local].page_table.touch(*addr, domain);
+                    let (latency, source) = self.machine.commit_access(&d);
+                    let extra =
+                        overlapped(latency) as i64 - overlapped(*opt_latency) as i64;
+                    let th = self.threads[t].as_mut().expect("live thread");
+                    th.carry += extra;
+                    if *tagged {
+                        // The pending sample captured the optimistic
+                        // values; patch it when it is delivered.
+                        th.fix = Some((latency, source));
+                    }
+                }
+                Ev::Fill { domain, line, version } => {
+                    self.machine.commit_l3_fill(*domain, *line, *version);
+                }
+                Ev::Pf { from, home, now, n } => {
+                    self.machine.commit_prefetches(*from, *home, *now, *n);
+                }
+                Ev::Sample { tid, s } => {
+                    let t = *tid as usize;
+                    let overhead = self.deliver_sample(t, &s.sample, &s.frames, s.leaf, s.clock);
+                    self.threads[t].as_mut().expect("live thread").carry += overhead as i64;
+                }
+                Ev::Val { rank_local, addr, val } => {
+                    self.processes[*rank_local as usize].values.insert(*addr, *val);
+                }
+                Ev::Park { tid } => {
+                    let t = *tid as usize;
+                    {
+                        let th = self.threads[t].as_mut().expect("live thread");
+                        debug_assert_eq!(th.status, Status::Parked);
+                        th.clock = add_carry(th.clock, th.carry);
+                        th.carry = 0;
+                        th.status = Status::Runnable;
+                    }
+                    // Execute the serialized statement — and keep going
+                    // while the thread stays on serialized statements, so
+                    // e.g. a run of allocations completes in one commit.
+                    loop {
+                        if let StepOut::Yield = self.step(t) {
+                            break;
+                        }
+                        let th = self.threads[t].as_ref().expect("live thread");
+                        if th.status != Status::Runnable || !next_is_serialized(th) {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deliver one commit-side sample through the observer, returning the
+    /// handler's overhead. If the thread's fix slot holds a correction
+    /// (the sample was tagged on a deferred access), the actual latency
+    /// and source replace the optimistic capture; a marked-event sample
+    /// whose actual source no longer matches the armed event is dropped —
+    /// the serial pipeline would never have tagged it.
+    fn deliver_sample(
+        &mut self,
+        tid: usize,
+        s: &Sample,
+        frames: &[FrameInfo],
+        leaf: Ip,
+        clock: Cycles,
+    ) -> Cycles {
+        let (rank, thread, core, fix) = {
+            let th = self.threads[tid].as_mut().expect("live thread");
+            (th.rank, th.thread, th.core, th.fix.take())
+        };
+        let mut s = *s;
+        if let Some((latency, source)) = fix {
+            s.latency = latency;
+            s.source = Some(source);
+            if let SampleOrigin::Marked(ev) = s.origin {
+                if !ev.matches(source) {
+                    return 0;
+                }
+            }
+        }
+        let view = ThreadView { rank, thread, core, clock, frames, leaf_ip: leaf };
+        self.observer.on_sample(&s, &view)
+    }
+
+    // ---------------------------------------------------------------
+    // Commit-side stepping (the pre-epoch serial interpreter)
     // ---------------------------------------------------------------
 
     fn step(&mut self, tid: usize) -> StepOut {
@@ -352,10 +727,11 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
                 StepOut::Yield
             }
             Action::RegionEnd => {
-                let team_id = self.threads[tid].team.expect("region end outside team");
+                let team_id =
+                    self.threads[tid].as_ref().expect("live thread").team.expect("region end outside team");
                 let outstanding = self.teams[team_id].outstanding;
                 if outstanding > 0 {
-                    self.threads[tid].status = Status::BlockedJoin;
+                    self.threads[tid].as_mut().expect("live thread").status = Status::BlockedJoin;
                     StepOut::Yield
                 } else {
                     self.complete_join(tid, team_id);
@@ -368,7 +744,7 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
             }
             Action::OmpBarrier => self.omp_barrier(tid),
             Action::MpiBarrier => {
-                self.threads[tid].status = Status::BlockedMpi;
+                self.threads[tid].as_mut().expect("live thread").status = Status::BlockedMpi;
                 self.mpi_blocked.push(tid);
                 StepOut::Yield
             }
@@ -377,14 +753,14 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
 
     fn finish_thread(&mut self, tid: usize) {
         let (rank, thread, clock, rank_local, team) = {
-            let th = &mut self.threads[tid];
+            let th = self.threads[tid].as_mut().expect("live thread");
             th.status = Status::Done;
             (th.rank, th.thread, th.clock, th.rank_local, th.team)
         };
         self.observer.on_thread_exit(rank, thread, clock);
         // Return the PMU to the pool so a future region's thread with the
         // same id continues the same sampling stream.
-        if let Some(pmu) = self.threads[tid].pmu.take() {
+        if let Some(pmu) = self.threads[tid].as_mut().expect("live thread").pmu.take() {
             self.pmu_pool.insert((rank_local, thread), pmu);
         }
         if thread == 0 {
@@ -398,18 +774,16 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
         t.join_max = t.join_max.max(clock);
         if t.outstanding == 0 {
             let master = t.master;
-            if self.threads[master].status == Status::BlockedJoin {
+            if self.threads[master].as_ref().expect("live thread").status == Status::BlockedJoin {
                 self.complete_join(master, team_id);
-                let mc = self.threads[master].clock;
-                self.threads[master].status = Status::Runnable;
-                self.heap.push(Reverse((mc, master)));
+                self.threads[master].as_mut().expect("live thread").status = Status::Runnable;
             }
         }
     }
 
     fn complete_join(&mut self, master: usize, team_id: usize) {
         let join_max = self.teams[team_id].join_max;
-        let th = &mut self.threads[master];
+        let th = self.threads[master].as_mut().expect("live thread");
         th.clock = th.clock.max(join_max) + self.cfg.cost.join as Cycles;
         th.team = None;
         th.team_size = 1;
@@ -421,14 +795,14 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
         let proc = self.program.proc(outlined);
         // Master enters the region as thread 0 of the team.
         {
-            let th = &mut self.threads[master_tid];
+            let th = self.threads[master_tid].as_mut().expect("live thread");
             th.clock += self.cfg.cost.fork_master as Cycles;
             th.push_frame(outlined, proc.n_locals, args, Some(site), None);
             th.team = Some(team_id);
             th.team_size = n;
         }
         let (master_view, master_next_token, rank, rank_local, master_clock) = {
-            let th = &mut self.threads[master_tid];
+            let th = self.threads[master_tid].as_mut().expect("live thread");
             th.ctrl.push(Ctrl { stmts: &proc.body, idx: 0, exit: Exit::Region });
             (th.view.clone(), th.next_token, th.rank, th.rank_local, th.clock)
         };
@@ -458,13 +832,13 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
                 ops: 0,
                 next_token: master_next_token,
                 stack_top: STACK_BASE + t as u64 * STACK_WINDOW,
+                seq: 0,
+                carry: 0,
+                fix: None,
             };
             th.push_frame(outlined, proc.n_locals, args, Some(site), None);
             th.ctrl.push(Ctrl { stmts: &proc.body, idx: 0, exit: Exit::Frame });
-            let tid = self.threads.len();
-            let clock = th.clock;
-            self.threads.push(th);
-            self.heap.push(Reverse((clock, tid)));
+            self.threads.push(Some(th));
         }
         self.teams.push(Team {
             master: master_tid,
@@ -476,29 +850,38 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
     }
 
     fn omp_barrier(&mut self, tid: usize) -> StepOut {
-        let team_id = self.threads[tid].team.expect("omp barrier outside a parallel region");
+        let team_id = self.threads[tid]
+            .as_ref()
+            .expect("live thread")
+            .team
+            .expect("omp barrier outside a parallel region");
         self.teams[team_id].barrier_waiters.push(tid);
         if (self.teams[team_id].barrier_waiters.len() as u32) < self.teams[team_id].size {
-            self.threads[tid].status = Status::BlockedOmpBarrier;
+            self.threads[tid].as_mut().expect("live thread").status = Status::BlockedOmpBarrier;
             return StepOut::Yield;
         }
         // Last arriver releases everyone at the max clock.
         let waiters = std::mem::take(&mut self.teams[team_id].barrier_waiters);
-        let max_clock =
-            waiters.iter().map(|&t| self.threads[t].clock).max().expect("non-empty");
+        let max_clock = waiters
+            .iter()
+            .map(|&t| self.threads[t].as_ref().expect("live thread").clock)
+            .max()
+            .expect("non-empty");
         let release = max_clock + self.cfg.cost.omp_barrier as Cycles;
         for &w in &waiters {
-            let th = &mut self.threads[w];
+            let th = self.threads[w].as_mut().expect("live thread");
             th.clock = release;
             if w != tid {
                 th.status = Status::Runnable;
-                self.heap.push(Reverse((release, w)));
             }
         }
         StepOut::Ran
     }
 
     /// Execute one statement (or control-stack bookkeeping) on `tid`.
+    /// This is the commit-side serial interpreter: it may touch any
+    /// node-shared state directly (allocator, page table, serial machine
+    /// pipeline, observer) because commits are strictly sequential.
     #[allow(clippy::too_many_lines)]
     fn exec_one(&mut self, tid: usize) -> Action {
         let mem_div = self.mem_div;
@@ -523,7 +906,7 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
             num_ranks_total,
             ..
         } = self;
-        let th = &mut threads[tid];
+        let th = threads[tid].as_mut().expect("live thread");
         let proc_table = &program.procs;
 
         // --- Phase A: advance the cursor to the next statement. ---
@@ -599,20 +982,34 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
             num_ranks: *num_ranks_total as i64,
         };
 
-        // Helper: deliver a PMU sample through the observer.
+        // Helper: deliver a PMU sample through the observer. A pending
+        // fix (the sample was tagged shard-side on a deferred access)
+        // replaces the optimistic capture with the committed values, and
+        // drops a marked-event sample whose actual source no longer
+        // matches the armed event.
         macro_rules! deliver {
             ($sample:expr) => {{
-                let s: Sample = $sample;
-                let view = ThreadView {
-                    rank: th.rank,
-                    thread: th.thread,
-                    core: th.core,
-                    clock: th.clock,
-                    frames: &th.view,
-                    leaf_ip: ip,
-                };
-                let overhead = observer.on_sample(&s, &view);
-                th.clock += overhead;
+                let mut s: Sample = $sample;
+                let mut keep = true;
+                if let Some((latency, source)) = th.fix.take() {
+                    s.latency = latency;
+                    s.source = Some(source);
+                    if let SampleOrigin::Marked(ev) = s.origin {
+                        keep = ev.matches(source);
+                    }
+                }
+                if keep {
+                    let view = ThreadView {
+                        rank: th.rank,
+                        thread: th.thread,
+                        core: th.core,
+                        clock: th.clock,
+                        frames: &th.view,
+                        leaf_ip: ip,
+                    };
+                    let overhead = observer.on_sample(&s, &view);
+                    th.clock += overhead;
+                }
             }};
         }
         macro_rules! quiet_ops {
@@ -998,5 +1395,384 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
             }
         }
         Action::Ran
+    }
+}
+
+// -------------------------------------------------------------------
+// Shard-side execution (the parallel phase)
+// -------------------------------------------------------------------
+
+/// Run every thread routed to this shard for the epoch, in `(clock, tid)`
+/// order — the same order the serial scheduler would have picked them up
+/// in, so a zero-worker pool reproduces the parallel schedule exactly.
+fn run_shard<'p>(
+    run: &mut ShardRun<'p>,
+    shard: &mut MachineShard<'_>,
+    fz: &FrozenNode<'_>,
+    cx: &ShardCtx<'_, 'p>,
+) {
+    let ShardRun { threads, events, vals, scratch } = run;
+    threads.sort_unstable_by_key(|(tid, th)| (th.clock, *tid));
+    for (tid, th) in threads.iter_mut() {
+        run_thread(*tid, th, shard, fz, events, vals, scratch, cx);
+    }
+}
+
+/// Advance one thread until its clock crosses the epoch end or it parks
+/// on a serialized statement. Mirrors [`NodeSim::exec_one`] statement for
+/// statement; every shared-state touch becomes a keyed event instead.
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+fn run_thread<'p>(
+    tid: usize,
+    th: &mut ThreadState<'p>,
+    shard: &mut MachineShard<'_>,
+    fz: &FrozenNode<'_>,
+    events: &mut Vec<Keyed>,
+    vals: &mut FxHashMap<(u32, u64), i64>,
+    scratch: &mut Vec<i64>,
+    cx: &ShardCtx<'_, 'p>,
+) {
+    let cfg = cx.cfg;
+    let proc_table = &cx.program.procs;
+    let process = &cx.processes[th.rank_local];
+    let tkey = tid as u32;
+    let rl = th.rank_local as u32;
+    let mem_div = cx.mem_div;
+    let mem_shift = cx.mem_shift;
+    let overlapped = move |latency: u32| -> Cycles {
+        match mem_shift {
+            Some(s) => (latency >> s) as Cycles,
+            None => (latency / mem_div) as Cycles,
+        }
+    };
+    let ectx = EvalCtx {
+        omp_tid: th.thread as i64,
+        team_size: th.team_size as i64,
+        rank: th.rank as i64,
+        num_ranks: cx.num_ranks_total as i64,
+    };
+
+    macro_rules! park {
+        () => {{
+            th.status = Status::Parked;
+            th.seq += 1;
+            events.push(Keyed { key: (th.clock, tkey, th.seq), ev: Ev::Park { tid: tkey } });
+            return;
+        }};
+    }
+
+    'run: while th.clock < cx.epoch_end {
+        // --- Phase A: advance the cursor to the next statement. ---
+        let spanned: &'p Spanned = loop {
+            let Some(ctrl) = th.ctrl.last_mut() else {
+                // Thread finished: the commit runs the exit bookkeeping.
+                park!();
+            };
+            if ctrl.idx < ctrl.stmts.len() {
+                let s = &ctrl.stmts[ctrl.idx];
+                ctrl.idx += 1;
+                break s;
+            }
+            match ctrl.exit {
+                Exit::Seq => {
+                    th.ctrl.pop();
+                }
+                Exit::Loop { var, end, step } => {
+                    let v = th.local(var) + step;
+                    th.set_local(var, v);
+                    let cont = if step > 0 { v < end } else { v > end };
+                    th.clock += cfg.cost.op as Cycles;
+                    th.ops += 1;
+                    if cont {
+                        let c = th.ctrl.last_mut().expect("just checked");
+                        c.idx = 0;
+                        // Charge the back-edge and poll the PMU.
+                        let leaf = Ip::new(
+                            proc_table[th.frames.last().unwrap().proc.0 as usize].module,
+                            th.frames.last().unwrap().proc,
+                            0,
+                        );
+                        if let Some(pmu) = th.pmu.as_mut() {
+                            if let Some(s) = pmu.observe_quiet(1, leaf.0, th.core) {
+                                th.seq += 1;
+                                events.push(Keyed {
+                                    key: (th.clock, tkey, th.seq),
+                                    ev: Ev::Sample {
+                                        tid: tkey,
+                                        s: Box::new(SampleEv {
+                                            sample: s,
+                                            frames: th.view.clone(),
+                                            leaf,
+                                            clock: th.clock,
+                                        }),
+                                    },
+                                });
+                            }
+                        }
+                        continue 'run;
+                    }
+                    th.ctrl.pop();
+                }
+                Exit::Frame => {
+                    th.ctrl.pop();
+                    th.clock += cfg.cost.ret as Cycles;
+                    if th.pop_frame(None) {
+                        park!();
+                    }
+                }
+                // Region exit = team join: commit-side. Leave the control
+                // stack untouched; the serial interpreter's Phase A pops
+                // it and performs the join.
+                Exit::Region => park!(),
+            }
+        };
+
+        let cur_proc = th.frames.last().expect("no frame").proc;
+        let ip = Ip::new(proc_table[cur_proc.0 as usize].module, cur_proc, spanned.uid);
+
+        macro_rules! emit_sample {
+            ($s:expr, $leaf:expr) => {{
+                th.seq += 1;
+                events.push(Keyed {
+                    key: (th.clock, tkey, th.seq),
+                    ev: Ev::Sample {
+                        tid: tkey,
+                        s: Box::new(SampleEv {
+                            sample: $s,
+                            frames: th.view.clone(),
+                            leaf: $leaf,
+                            clock: th.clock,
+                        }),
+                    },
+                });
+            }};
+        }
+        macro_rules! emit_quiet {
+            ($n:expr) => {{
+                let n: u64 = $n;
+                th.ops += n;
+                if let Some(pmu) = th.pmu.as_mut() {
+                    if let Some(s) = pmu.observe_quiet(n, ip.0, th.core) {
+                        emit_sample!(s, ip);
+                    }
+                }
+            }};
+        }
+        // One memory access through the shard pipeline. Placement is
+        // *predicted* read-only; the authoritative first touch happens at
+        // commit, where the Mem event re-resolves the home domain.
+        macro_rules! mem_access {
+            ($addr:expr, $kind:expr, $is_store:expr) => {{
+                let addr: u64 = $addr;
+                let home = process.page_table.predict(addr, th.domain);
+                let now = th.clock;
+                th.seq += 1;
+                let akey: EpochKey = (now, tkey, th.seq);
+                let out = shard.access(fz, th.core, addr, $kind, home, ip.0, now, akey);
+                let res = out.result;
+                th.clock += overlapped(res.latency) + cfg.cost.op as Cycles;
+                th.ops += 1;
+                let mut tagged = false;
+                let mut delivered: Option<Sample> = None;
+                if let Some(pmu) = th.pmu.as_mut() {
+                    let op = dcp_machine::pmu::OpRecord {
+                        ip: ip.0,
+                        core: th.core,
+                        mem: Some((&res, addr, $is_store)),
+                    };
+                    delivered = pmu.observe_op(op);
+                    tagged = pmu.just_tagged();
+                }
+                if let Some(s) = delivered {
+                    // The skid of a sample tagged up to `skid` ops earlier
+                    // expired here; values are final (or fixed up at
+                    // commit if the tag op's access was deferred).
+                    emit_sample!(s, ip);
+                }
+                if let Some((line, version)) = out.l3_fill {
+                    th.seq += 1;
+                    events.push(Keyed {
+                        key: (now, tkey, th.seq),
+                        ev: Ev::Fill { domain: shard.domain, line, version },
+                    });
+                }
+                if out.pf_issued > 0 {
+                    th.seq += 1;
+                    events.push(Keyed {
+                        key: (now, tkey, th.seq),
+                        ev: Ev::Pf {
+                            from: DomainId(shard.domain),
+                            home,
+                            now: out.pf_now,
+                            n: out.pf_issued as u32,
+                        },
+                    });
+                }
+                if let Some(d) = out.deferred {
+                    events.push(Keyed {
+                        key: akey,
+                        ev: Ev::Mem {
+                            tid: tkey,
+                            addr,
+                            d,
+                            opt_latency: res.latency,
+                            tagged,
+                        },
+                    });
+                }
+            }};
+        }
+
+        // --- Phase B: execute the statement (shard-safe subset). ---
+        match &spanned.kind {
+            Stmt::Let(dst, e) => {
+                let v = eval(e, th.locals(), &ectx);
+                th.set_local(*dst, v);
+                th.clock += cfg.cost.op as Cycles;
+                emit_quiet!(1);
+            }
+            Stmt::Compute { ops } => {
+                th.clock += *ops as Cycles * cfg.cost.op as Cycles;
+                emit_quiet!(*ops as u64);
+            }
+            Stmt::Load { base, index, elem, dst } => {
+                let b = eval(base, th.locals(), &ectx);
+                let i = eval(index, th.locals(), &ectx);
+                let addr = b + i * *elem as i64;
+                assert!(addr >= 0, "negative address");
+                let addr = layout::to_global(th.rank, addr as u64);
+                mem_access!(addr, AccessKind::Load, false);
+                if let Some(d) = dst {
+                    // Own-shard writes this epoch win over the committed
+                    // map (program order within the shard); cross-shard
+                    // writes land at the next commit.
+                    let v = vals
+                        .get(&(rl, addr))
+                        .copied()
+                        .or_else(|| process.values.get(&addr).copied())
+                        .unwrap_or(0);
+                    th.set_local(*d, v);
+                }
+            }
+            Stmt::Store { base, index, elem, value } => {
+                let b = eval(base, th.locals(), &ectx);
+                let i = eval(index, th.locals(), &ectx);
+                let addr = b + i * *elem as i64;
+                assert!(addr >= 0, "negative address");
+                let addr = layout::to_global(th.rank, addr as u64);
+                if let Some(v) = value {
+                    let v = eval(v, th.locals(), &ectx);
+                    vals.insert((rl, addr), v);
+                    th.seq += 1;
+                    events.push(Keyed {
+                        key: (th.clock, tkey, th.seq),
+                        ev: Ev::Val { rank_local: rl, addr, val: v },
+                    });
+                }
+                mem_access!(addr, AccessKind::Store, true);
+            }
+            Stmt::For { var, start, end, step, body } => {
+                let s = eval(start, th.locals(), &ectx);
+                let e = eval(end, th.locals(), &ectx);
+                th.clock += cfg.cost.op as Cycles;
+                emit_quiet!(1);
+                let enter = if *step > 0 { s < e } else { s > e };
+                if enter {
+                    th.set_local(*var, s);
+                    th.ctrl.push(Ctrl {
+                        stmts: body,
+                        idx: 0,
+                        exit: Exit::Loop { var: *var, end: e, step: *step },
+                    });
+                }
+            }
+            Stmt::If { a, cmp, b, then_body, else_body } => {
+                let av = eval(a, th.locals(), &ectx);
+                let bv = eval(b, th.locals(), &ectx);
+                th.clock += cfg.cost.op as Cycles;
+                emit_quiet!(1);
+                let body = if eval_cmp(av, *cmp, bv) { then_body } else { else_body };
+                if !body.is_empty() {
+                    th.ctrl.push(Ctrl { stmts: body, idx: 0, exit: Exit::Seq });
+                }
+            }
+            Stmt::Call { callee, args, ret } => {
+                scratch.clear();
+                scratch.extend(args.iter().map(|a| eval(a, th.locals(), &ectx)));
+                let callee_proc = &proc_table[callee.0 as usize];
+                assert!(
+                    scratch.len() == callee_proc.n_params as usize,
+                    "arity mismatch calling {}",
+                    callee_proc.name
+                );
+                th.clock += cfg.cost.call as Cycles;
+                emit_quiet!(1);
+                th.push_frame(*callee, callee_proc.n_locals, scratch, Some(ip), *ret);
+                th.ctrl.push(Ctrl { stmts: &callee_proc.body, idx: 0, exit: Exit::Frame });
+            }
+            Stmt::Ret(v) => {
+                let val = v.as_ref().map(|e| eval(e, th.locals(), &ectx));
+                th.clock += cfg.cost.ret as Cycles;
+                emit_quiet!(1);
+                loop {
+                    let c = th.ctrl.pop().expect("Ret outside any frame");
+                    match c.exit {
+                        Exit::Frame => break,
+                        Exit::Region => panic!("Ret out of a parallel region is not allowed"),
+                        _ => {}
+                    }
+                }
+                if th.pop_frame(val) {
+                    park!();
+                }
+            }
+            Stmt::Salloc { dst, bytes } => {
+                let bytes = eval(bytes, th.locals(), &ectx);
+                assert!(bytes > 0, "non-positive stack allocation");
+                let base = STACK_BASE + th.thread as u64 * STACK_WINDOW;
+                let addr = th.stack_top;
+                let new_top = (addr + bytes as u64 + 15) & !15;
+                assert!(
+                    new_top < base + STACK_WINDOW,
+                    "stack overflow on thread {} of rank {}",
+                    th.thread,
+                    th.rank
+                );
+                th.stack_top = new_top;
+                th.set_local(*dst, layout::global(th.rank, addr) as i64);
+                th.clock += 2 * cfg.cost.op as Cycles;
+                emit_quiet!(2);
+            }
+            Stmt::OmpFor { var, start, end, body } => {
+                let s = eval(start, th.locals(), &ectx);
+                let e = eval(end, th.locals(), &ectx);
+                let t = th.thread as i64;
+                let n = th.team_size as i64;
+                th.clock += 2 * cfg.cost.op as Cycles;
+                emit_quiet!(2);
+                let total = (e - s).max(0);
+                let chunk = (total + n - 1) / n;
+                let lo = s + t * chunk;
+                let hi = (lo + chunk).min(e);
+                if lo < hi {
+                    th.set_local(*var, lo);
+                    th.ctrl.push(Ctrl {
+                        stmts: body,
+                        idx: 0,
+                        exit: Exit::Loop { var: *var, end: hi, step: 1 },
+                    });
+                }
+            }
+            Stmt::MpiCost { cycles } => {
+                th.clock += cycles;
+                emit_quiet!(1);
+            }
+            // Everything else needs node-shared state: rewind the cursor
+            // and park; the commit executes it serially.
+            _ => {
+                th.ctrl.last_mut().expect("statement just fetched").idx -= 1;
+                park!();
+            }
+        }
     }
 }

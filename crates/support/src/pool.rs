@@ -278,6 +278,70 @@ where
     rec(items, &f)
 }
 
+/// Run `f` over consecutive chunks of `items` (each at most `chunk`
+/// elements, the last possibly shorter), potentially in parallel, and
+/// return one result per chunk in chunk order. `f` also receives the
+/// chunk index so callers can key deterministic work off position.
+///
+/// This is the scoped parallel-for used by the epoch scheduler: each
+/// simulated-socket shard is one chunk, borrows stay on the caller's
+/// stack, and the result vector's order is a pure function of the input
+/// — never of host scheduling.
+pub fn par_chunks_mut<T, R, F>(items: &mut [T], chunk: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    fn rec<T: Send, R: Send, F: Fn(usize, &mut [T]) -> R + Sync>(
+        items: &mut [T],
+        chunk: usize,
+        base: usize,
+        f: &F,
+    ) -> Vec<R> {
+        let chunks = items.len().div_ceil(chunk);
+        if chunks <= 1 {
+            if items.is_empty() {
+                return Vec::new();
+            }
+            return vec![f(base, items)];
+        }
+        // Split at a chunk boundary so indices stay aligned.
+        let mid_chunks = chunks / 2;
+        let (l, r) = items.split_at_mut(mid_chunks * chunk);
+        let (mut lv, rv) = join(
+            || rec(l, chunk, base, f),
+            || rec(r, chunk, base + mid_chunks, f),
+        );
+        lv.extend(rv);
+        lv
+    }
+    rec(items, chunk, 0, &f)
+}
+
+/// Parallel map-reduce with a *stable* reduction order: `map` runs over
+/// the items potentially in parallel, and the per-item results are folded
+/// strictly left-to-right in input order, exactly as
+/// `items.iter().map(map).reduce(fold)` would. Returns `None` for an
+/// empty input.
+///
+/// Only the map runs in parallel; the fold walks the position-ordered
+/// result vector on the calling thread. A tree-shaped fold would be
+/// faster asymptotically but is only equivalent for *associative*
+/// folds — the simulator cannot assume that, and the map is where the
+/// work is, so sequential folding buys exact left-fold semantics (and
+/// with it host-scheduling independence) at negligible cost.
+pub fn par_map_reduce<T, R, M, F>(items: &[T], map: M, fold: F) -> Option<R>
+where
+    T: Sync,
+    R: Send,
+    M: Fn(&T) -> R + Sync,
+    F: Fn(R, R) -> R,
+{
+    par_map(items, map).into_iter().reduce(fold)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,5 +454,68 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(par_map(&empty, |&x| x).is_empty());
         assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_chunks_mut_orders_and_indexes() {
+        let mut items: Vec<u64> = (0..103).collect();
+        let out = par_chunks_mut(&mut items, 10, |idx, chunk| {
+            for x in chunk.iter_mut() {
+                *x *= 2;
+            }
+            (idx, chunk.len())
+        });
+        assert_eq!(items, (0..103).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(out.len(), 11);
+        for (i, &(idx, len)) in out.iter().enumerate() {
+            assert_eq!(idx, i);
+            assert_eq!(len, if i == 10 { 3 } else { 10 });
+        }
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_chunks_mut(&mut Vec::from(empty), 4, |_, _| 0).is_empty());
+    }
+
+    /// Satellite: the scoped parallel-for's reduction order must be
+    /// stable under pool oversubscription — 512 tasks folded with a
+    /// deliberately non-commutative operation give the exact sequential
+    /// answer every time, for any worker count (`scripts/verify.sh`
+    /// additionally runs this under `DCP_THREADS=2` to pin the
+    /// 512-task/2-worker case from the issue).
+    #[test]
+    fn reduction_order_stable_under_oversubscription() {
+        let items: Vec<u64> = (1..=512).collect();
+        // Non-commutative, non-associative-looking fold over an order
+        // fingerprint: any reordering changes the result.
+        let fold = |a: u64, b: u64| a.wrapping_mul(31).wrapping_add(b);
+        let expect = items.iter().map(|&x| x * 7).reduce(fold).unwrap();
+        for _ in 0..8 {
+            let got = par_map_reduce(&items, |&x| x * 7, fold).unwrap();
+            assert_eq!(got, expect, "reduction order must not depend on scheduling");
+        }
+        // Same stability for the chunked mutable form: chunk results
+        // concatenate in chunk order.
+        for _ in 0..8 {
+            let mut v: Vec<u64> = (1..=512).collect();
+            let per_chunk = par_chunks_mut(&mut v, 3, |idx, c| {
+                (idx as u64).wrapping_mul(131).wrapping_add(c.iter().sum::<u64>())
+            });
+            let folded = per_chunk.into_iter().reduce(fold).unwrap();
+            let mut w: Vec<u64> = (1..=512).collect();
+            let seq: Vec<u64> = w
+                .chunks_mut(3)
+                .enumerate()
+                .map(|(i, c)| (i as u64).wrapping_mul(131).wrapping_add(c.iter().sum::<u64>()))
+                .collect();
+            assert_eq!(folded, seq.into_iter().reduce(fold).unwrap());
+        }
+    }
+
+    #[test]
+    fn par_map_reduce_matches_sequential() {
+        let items: Vec<i64> = (0..1000).collect();
+        let got = par_map_reduce(&items, |&x| x - 500, |a, b| a + b);
+        assert_eq!(got, Some((0..1000).map(|x| x - 500).sum()));
+        let empty: Vec<i64> = Vec::new();
+        assert_eq!(par_map_reduce(&empty, |&x| x, |a, b| a + b), None);
     }
 }

@@ -283,7 +283,8 @@ mod tests {
         let prog = build(&cfg);
         let world = world(&cfg);
         let r = run_world(&prog, &world, |_| NullObserver);
-        (r.phase_wall("initialization"), r.phase_wall("setup"), r.phase_wall("solver"), r.wall)
+        let wall = |name| r.phase_wall(name).expect("AMG records all three phases");
+        (wall("initialization"), wall("setup"), wall("solver"), r.wall)
     }
 
     #[test]

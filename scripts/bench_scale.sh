@@ -1,0 +1,59 @@
+#!/usr/bin/env sh
+# Host-parallelism scaling of the epoch-sharded scheduler: run the
+# fingerprint workload set at DCP_THREADS in {1, 2, 4, 8}, timing each
+# sweep, and persist BENCH_scale.json with accesses/sec per thread count
+# plus a determinism verdict (every setting must print byte-identical
+# digests — the fingerprint binary emits no timing, only simulation
+# results).
+#
+# The pool size is latched once per process, so each setting is its own
+# process invocation. Pass --smoke to sweep only {1, 2} on the smallest
+# workload (CI stage).
+set -eu
+cd "$(dirname "$0")/.."
+
+out="BENCH_scale.json"
+bin="target/release/fingerprint"
+
+cargo build -q --release --offline -p dcp-bench --bin fingerprint
+
+if [ "${1:-}" = "--smoke" ]; then
+    # Smoke is a determinism gate, not a measurement: don't clobber the
+    # committed full-sweep artifact.
+    sweep="1 2"
+    workloads="streamcluster"
+    out="/tmp/BENCH_scale_smoke.json"
+else
+    sweep="1 2 4 8"
+    workloads="all"
+fi
+
+# Total simulated accesses in one sweep: sum of the accesses= fields
+# (identical at every thread count, or determinism is broken anyway).
+ref_digest=""
+json="{\"workloads\": \"$workloads\", \"sweep\": ["
+first=1
+for t in $sweep; do
+    start=$(date +%s.%N)
+    digest=$(DCP_THREADS="$t" "$bin" "$workloads")
+    secs=$(date +%s.%N | awk -v s="$start" '{printf "%.4f", $1 - s}')
+    if [ -z "$ref_digest" ]; then
+        ref_digest="$digest"
+        accesses=$(printf '%s\n' "$digest" \
+            | sed -n 's/.*accesses=\([0-9]*\).*/\1/p' \
+            | awk '{sum += $1} END {print sum}')
+    elif [ "$digest" != "$ref_digest" ]; then
+        echo "bench_scale: DCP_THREADS=$t digest diverged — determinism broken" >&2
+        printf '%s\n' "$digest" >&2
+        exit 1
+    fi
+    aps=$(awk -v a="$accesses" -v s="$secs" 'BEGIN {printf "%.1f", a / s}')
+    echo "DCP_THREADS=$t: $accesses accesses in ${secs}s = $aps acc/s" >&2
+    [ "$first" = 1 ] || json="$json, "
+    first=0
+    json="$json{\"threads\": $t, \"host_secs\": $secs, \"accesses_per_sec\": $aps}"
+done
+json="$json], \"accesses_per_sweep\": $accesses, \"determinism\": \"ok\"}"
+
+printf '%s\n' "$json" > "$out"
+echo "wrote $out" >&2

@@ -29,3 +29,9 @@ cargo clippy --workspace --release --offline -- -D warnings
 # agree bit-for-bit on stats, wall cycles, and profile bytes; throughput
 # must be nonzero — sim_bench asserts both and exits nonzero otherwise).
 cargo run -q --release --offline -p dcp-bench --bin sim_bench -- --smoke
+
+# DCP_THREADS sweep stage: the epoch-sharded scheduler must produce
+# byte-identical simulation results at every pool size. The smoke sweep
+# runs the fingerprint digest at DCP_THREADS in {1, 2} and fails on any
+# divergence; tests/thread_invariance.rs covers {0, 8} on every workload.
+sh scripts/bench_scale.sh --smoke

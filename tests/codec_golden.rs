@@ -5,6 +5,12 @@
 //! format (the on-disk/wire compatibility contract): any intentional
 //! format change must re-pin these constants — and bump the wire magic.
 //! Mirrors the PMU sample-stream snapshots from the machine crate.
+//!
+//! The constants were re-pinned once for the epoch-sharded scheduler
+//! (see DESIGN.md, "Parallel simulation of the simulator"): the wire
+//! format is untouched — the decode/re-encode identity below still
+//! holds — but the simulated run the bytes describe changed (address-
+//! based interleave placement, corrected skid-sample delivery).
 
 use std::hash::Hasher;
 
@@ -37,8 +43,8 @@ fn v2_byte_stream_is_pinned_for_fixed_seed_amg() {
     let (prog, run) = profiled();
 
     // Whole-run v2 and v1 sizes: any codec change shows up here first.
-    assert_eq!(run.profile_bytes, 31008, "total v2 bytes changed — wire format drift");
-    assert_eq!(run.profile_bytes_v1, 58114, "total v1 bytes changed — wire format drift");
+    assert_eq!(run.profile_bytes, 30240, "total v2 bytes changed — wire format drift");
+    assert_eq!(run.profile_bytes_v1, 56654, "total v1 bytes changed — wire format drift");
     // The headline acceptance number, pinned on a real workload: v2 is
     // >= 40% smaller than v1.
     assert!(run.profile_bytes * 10 <= run.profile_bytes_v1 * 6);
@@ -55,12 +61,12 @@ fn v2_byte_stream_is_pinned_for_fixed_seed_amg() {
     assert_eq!(blob.len(), 293, "blob length changed — wire format drift");
     assert_eq!(
         fxhash(blob.as_slice()),
-        0xe1a17a8075a7f544,
+        0xd80ab3818e4a4131,
         "blob bytes changed — wire format drift"
     );
     let head: String =
         blob.as_slice().iter().take(24).map(|b| format!("{b:02x}")).collect();
-    assert_eq!(head, "4443503200053501046d61696e01010b0009160a90808080");
+    assert_eq!(head, "4443503200053501046d61696e01010b0009160a84808080");
 
     // The pinned stream still decodes to the measurement it came from.
     let (tree, names) = dcp_cct::decode_named(blob.clone()).expect("pinned blob decodes");
