@@ -56,7 +56,7 @@ pub const MAX_WIDTH: u64 = 256;
 /// Errors from [`decode`] and [`ProfileReader`]. Every way a byte stream
 /// can be malformed maps to a variant here; decoding untrusted input
 /// never panics.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
     /// The stream does not start with a known profile magic.
     BadMagic,
@@ -110,7 +110,9 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
+/// Append one LEB128 varint. Public so sibling codecs (the dcp-core
+/// profile bundle, the serve wire frames) share one varint dialect.
+pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
     loop {
         let b = (v & 0x7f) as u8;
         v >>= 7;
@@ -122,7 +124,8 @@ fn put_varint(buf: &mut BytesMut, mut v: u64) {
     }
 }
 
-fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
+/// Read one LEB128 varint with the hardened overflow/truncation checks.
+pub fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
@@ -157,7 +160,9 @@ fn unzigzag(v: u64) -> i64 {
 }
 
 /// Split `n` bytes off the front of `buf`, or fail without panicking.
-fn get_slice(buf: &mut Bytes, n: usize) -> Result<Bytes, CodecError> {
+/// Split off the next `n` bytes as a zero-copy sub-view, or fail with
+/// `Truncated`. Public for sibling codecs sharing the varint dialect.
+pub fn get_slice(buf: &mut Bytes, n: usize) -> Result<Bytes, CodecError> {
     if buf.remaining() < n {
         return Err(CodecError::Truncated);
     }

@@ -21,6 +21,7 @@ pub use codec::{
 pub use diff::{diff, DiffEntry, ProfileDiff};
 pub use merge::{
     merge_encoded, merge_encoded_sequential, merge_reduction_tree, merge_sequential,
+    IncrementalMerge,
 };
 pub use tree::{Cct, Frame, NodeId, ROOT};
 

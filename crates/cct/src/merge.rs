@@ -127,6 +127,91 @@ fn half_encoded(blobs: Vec<Bytes>, width: usize) -> Result<Cct, CodecError> {
     }
 }
 
+/// Amortized incremental merge: an accumulator plus a buffer of pending
+/// encoded blobs. [`push`](IncrementalMerge::push) is O(1); each
+/// [`fold`](IncrementalMerge::fold) reduction-tree-merges the pending
+/// batch ([`merge_encoded`], parallel on the pool) and folds the batch
+/// into the accumulator, so adding K blobs to an N-blob set costs one
+/// batch merge plus one tree merge — never a re-merge of all N+K inputs.
+///
+/// **Invariant** (pinned by tests): after any sequence of pushes and
+/// folds, `tree()` re-encodes byte-identically to
+/// [`merge_encoded_sequential`] over the same blobs in push order. This
+/// holds because every merge path appends first-touch nodes in the
+/// walked operand's creation order, so the final creation order is the
+/// order of first appearance across the flattened blob list regardless
+/// of how the folds were bracketed. The serving layer's concurrent
+/// ingest leans on this: fold blobs in client-assigned sequence order
+/// and the served profile is deterministic.
+pub struct IncrementalMerge {
+    acc: Cct,
+    pending: Vec<Bytes>,
+    pending_bytes: usize,
+    blobs: u64,
+    folds: u64,
+}
+
+impl IncrementalMerge {
+    /// An empty accumulator for profiles of `width` metric columns.
+    pub fn new(width: usize) -> Self {
+        Self { acc: Cct::new(width), pending: Vec::new(), pending_bytes: 0, blobs: 0, folds: 0 }
+    }
+
+    pub fn width(&self) -> usize {
+        self.acc.width()
+    }
+
+    /// Buffer one encoded profile. The blob is not validated here; a bad
+    /// blob surfaces as a typed error from the next [`fold`].
+    pub fn push(&mut self, blob: Bytes) {
+        self.pending_bytes += blob.len();
+        self.pending.push(blob);
+        self.blobs += 1;
+    }
+
+    /// Number of blobs buffered since the last fold.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Encoded bytes buffered since the last fold.
+    pub fn pending_bytes(&self) -> usize {
+        self.pending_bytes
+    }
+
+    /// Total blobs ever pushed.
+    pub fn blobs(&self) -> u64 {
+        self.blobs
+    }
+
+    /// Number of folds performed (for the server's merge counter).
+    pub fn folds(&self) -> u64 {
+        self.folds
+    }
+
+    /// Merge the pending batch into the accumulator. A no-op when
+    /// nothing is pending. On a decode error the accumulator is
+    /// unchanged and the pending batch is dropped (the caller is
+    /// expected to have validated blobs it cares about before pushing).
+    pub fn fold(&mut self) -> Result<(), CodecError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let batch = std::mem::take(&mut self.pending);
+        self.pending_bytes = 0;
+        let merged = merge_encoded(batch, self.acc.width())?;
+        self.acc.merge_from(&merged);
+        self.folds += 1;
+        Ok(())
+    }
+
+    /// Fold anything pending and return the merged tree.
+    pub fn tree(&mut self) -> Result<&Cct, CodecError> {
+        self.fold()?;
+        Ok(&self.acc)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,6 +346,53 @@ mod tests {
         let p = make_profile(4, 6);
         let merged = merge_encoded(vec![encode(&p)], 2).unwrap();
         assert_eq!(encode(&merged), encode(&p), "single blob round-trips");
+    }
+
+    #[test]
+    fn incremental_merge_is_byte_identical_to_sequential_fold() {
+        // Fold at several irregular points; the result must still be the
+        // exact bytes of one sequential fold over the whole push order.
+        let profiles: Vec<Cct> = (0..29).map(|s| make_profile(s, 11)).collect();
+        let blobs: Vec<Bytes> = profiles.iter().map(encode).collect();
+
+        let mut inc = IncrementalMerge::new(2);
+        for (i, b) in blobs.iter().enumerate() {
+            inc.push(b.clone());
+            if i % 7 == 3 {
+                inc.fold().expect("valid blobs");
+            }
+        }
+        assert!(inc.pending() > 0, "test must exercise a trailing fold");
+        let want = merge_encoded_sequential(blobs, 2).expect("valid blobs");
+        assert_eq!(encode(inc.tree().expect("valid blobs")), encode(&want));
+        assert_eq!(inc.blobs(), 29);
+        assert!(inc.folds() >= 4);
+        assert_eq!(inc.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn incremental_merge_empty_yields_empty_tree() {
+        // The empty-ingest edge: a set nobody ever ingested into must
+        // serve a defined, empty profile — never an error or panic.
+        let mut inc = IncrementalMerge::new(3);
+        let t = inc.tree().expect("empty is defined");
+        assert!(t.is_empty());
+        assert_eq!(t.width(), 3);
+        assert_eq!(encode(t), encode(&Cct::new(3)));
+    }
+
+    #[test]
+    fn incremental_merge_bad_blob_keeps_accumulator() {
+        let good = encode(&make_profile(2, 6));
+        let mut inc = IncrementalMerge::new(2);
+        inc.push(good.clone());
+        inc.fold().expect("valid blob");
+        let before = encode(inc.tree().expect("folded"));
+
+        inc.push(good.slice(0..good.len() - 3));
+        assert_eq!(inc.fold().unwrap_err(), CodecError::Truncated);
+        assert_eq!(inc.pending(), 0, "bad batch is dropped");
+        assert_eq!(encode(inc.tree().expect("acc intact")), before);
     }
 
     #[test]

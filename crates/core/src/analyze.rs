@@ -105,6 +105,206 @@ pub struct VarSummary {
     pub caller_site: String,
 }
 
+/// Where frame and source-hint strings come from when rendering a
+/// profile. [`Analysis`] resolves against the live [`Program`]; the
+/// serving layer's stored profiles resolve against name tables carried
+/// in the profile bundle — by construction the same strings, so every
+/// view renders identically from either source.
+pub trait SymbolSource {
+    /// Display string for one frame.
+    fn frame_name(&self, f: Frame) -> String;
+    /// The source-level variable hint at an instruction, if any
+    /// (`S_diag_j = hypre_CAlloc(...)` records `S_diag_j` at that line).
+    fn hint(&self, ip: u64) -> Option<String>;
+}
+
+/// A merged, per-storage-class profile that the presentation views can
+/// render: the class trees plus allocation metadata plus symbols. Both
+/// the in-process [`Analysis`] and the server-side stored evaluator
+/// implement this, so `topdown`/`bottomup`/`flat`/`ranking`/`variables`
+/// /`compare` are written once.
+pub trait ProfileView: SymbolSource {
+    /// The merged tree for one storage class.
+    fn class_tree(&self, c: StorageClass) -> &Cct;
+
+    /// Allocation metadata by allocation path.
+    fn alloc_map(&self) -> &FxHashMap<Vec<Frame>, (u64, u64, u64)>;
+
+    /// Total of `metric` within one storage class.
+    fn class_total(&self, c: StorageClass, metric: Metric) -> u64 {
+        self.class_tree(c).total(metric.col())
+    }
+
+    /// Total of `metric` across all storage classes.
+    fn grand_total(&self, metric: Metric) -> u64 {
+        StorageClass::ALL.iter().map(|&c| self.class_total(c, metric)).sum()
+    }
+
+    /// Fraction (0–100) of `metric` attributed to class `c`.
+    fn class_pct(&self, c: StorageClass, metric: Metric) -> f64 {
+        let total = self.grand_total(metric);
+        if total == 0 {
+            return 0.0;
+        }
+        100.0 * self.class_total(c, metric) as f64 / total as f64
+    }
+
+    /// Enumerate all variables (heap + static) with inclusive metrics,
+    /// sorted descending by `sort_by`.
+    fn variables(&self, sort_by: Metric) -> Vec<VarSummary>
+    where
+        Self: Sized,
+    {
+        variables_impl(self, sort_by)
+    }
+}
+
+/// The display name of a heap variable identified by its allocation
+/// path: the builder-supplied hint at the allocation site if present,
+/// else the allocation site itself. Returns `(name, alloc_site)`.
+fn heap_var_name<S: SymbolSource + ?Sized>(sym: &S, alloc_path: &[Frame]) -> (String, String) {
+    let site = alloc_path.iter().rev().find_map(|f| match f {
+        Frame::Stmt(_) => Some(*f),
+        _ => None,
+    });
+    let site_str = site.map(|f| sym.frame_name(f)).unwrap_or_default();
+    // The source-level variable name can sit either at the allocation
+    // statement itself or at a call site of an allocation wrapper
+    // higher up the path (`S_diag_j = hypre_CAlloc(...)`); prefer the
+    // deepest hint.
+    for f in alloc_path.iter().rev() {
+        if let Frame::Stmt(ip) | Frame::CallSite(ip) = f {
+            if let Some(hint) = sym.hint(*ip) {
+                return (hint, site_str);
+            }
+        }
+    }
+    if site_str.is_empty() {
+        ("<heap>".to_string(), site_str)
+    } else {
+        (site_str.clone(), site_str)
+    }
+}
+
+/// Shared body of [`ProfileView::variables`].
+fn variables_impl<V: ProfileView + ?Sized>(view: &V, sort_by: Metric) -> Vec<VarSummary> {
+    let mut out = Vec::new();
+
+    // Static variables: StaticVar dummy nodes at the root of the
+    // static tree.
+    let st = view.class_tree(StorageClass::Static);
+    let inc: Vec<Vec<u64>> = (0..WIDTH).map(|m| st.inclusive(m)).collect();
+    for n in st.children(ROOT) {
+        if let Frame::StaticVar(_) = st.frame(n) {
+            let mut metrics = [0u64; WIDTH];
+            for m in 0..WIDTH {
+                metrics[m] = inc[m][n.0 as usize];
+            }
+            out.push(VarSummary {
+                name: view.frame_name(st.frame(n)),
+                class: StorageClass::Static,
+                node: n,
+                metrics,
+                alloc_count: 0,
+                alloc_bytes: 0,
+                alloc_zeroed: 0,
+                alloc_site: String::new(),
+                caller_site: String::new(),
+            });
+        }
+    }
+
+    // Heap variables: HeapMarker nodes; the path above the marker is
+    // the allocation path that identifies the variable.
+    let ht = view.class_tree(StorageClass::Heap);
+    let hinc: Vec<Vec<u64>> = (0..WIDTH).map(|m| ht.inclusive(m)).collect();
+    for n in ht.preorder() {
+        if ht.frame(n) == Frame::HeapMarker {
+            let alloc_path = ht.path_to(ht.parent(n));
+            let (name, alloc_site) = heap_var_name(view, &alloc_path);
+            let caller_site = alloc_path
+                .iter()
+                .rev()
+                .find_map(|f| match f {
+                    Frame::CallSite(_) => Some(view.frame_name(*f)),
+                    _ => None,
+                })
+                .unwrap_or_default();
+            let (count, bytes, zeroed) =
+                view.alloc_map().get(&alloc_path).copied().unwrap_or((0, 0, 0));
+            let mut metrics = [0u64; WIDTH];
+            for m in 0..WIDTH {
+                metrics[m] = hinc[m][n.0 as usize];
+            }
+            out.push(VarSummary {
+                name,
+                class: StorageClass::Heap,
+                node: n,
+                metrics,
+                alloc_count: count,
+                alloc_bytes: bytes,
+                alloc_zeroed: zeroed,
+                alloc_site,
+                caller_site,
+            });
+        }
+    }
+
+    out.sort_by(|a, b| {
+        b.metrics[sort_by.col()]
+            .cmp(&a.metrics[sort_by.col()])
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    out
+}
+
+/// Variable-level differential report between two profiles of the same
+/// program (e.g. before/after an optimization): for each variable name,
+/// the change in `metric`. The paper's workflow — measure, fix,
+/// re-measure — reads this to confirm the fix removed the cost it
+/// targeted and nothing regressed. The two sides may come from
+/// different view implementations (an in-process [`Analysis`] against a
+/// server-stored profile renders the same bytes).
+pub fn compare_report<A, B>(before: &A, after: &B, metric: Metric) -> String
+where
+    A: ProfileView + ?Sized,
+    B: ProfileView + ?Sized,
+{
+    let mut names: Vec<String> = Vec::new();
+    let mut rows: FxHashMap<String, (u64, u64)> = FxHashMap::default();
+    for v in variables_impl(before, metric) {
+        if !rows.contains_key(&v.name) {
+            names.push(v.name.clone());
+        }
+        rows.entry(v.name).or_insert((0, 0)).0 += v.metrics[metric.col()];
+    }
+    for v in variables_impl(after, metric) {
+        if !rows.contains_key(&v.name) {
+            names.push(v.name.clone());
+        }
+        rows.entry(v.name).or_insert((0, 0)).1 += v.metrics[metric.col()];
+    }
+    names.sort_by_key(|n| {
+        let (b, a) = rows[n];
+        std::cmp::Reverse((a as i64 - b as i64).unsigned_abs())
+    });
+    let mut out = format!(
+        "DIFFERENTIAL ({}): before {} -> after {}\n",
+        metric.name(),
+        before.grand_total(metric),
+        after.grand_total(metric)
+    );
+    out.push_str(&format!("{:<24} {:>12} {:>12} {:>12}\n", "VARIABLE", "BEFORE", "AFTER", "DELTA"));
+    for n in names {
+        let (b, a) = rows[&n];
+        if b == 0 && a == 0 {
+            continue;
+        }
+        out.push_str(&format!("{n:<24} {b:>12} {a:>12} {:>+12}\n", a as i64 - b as i64));
+    }
+    out
+}
+
 /// Merged, symbol-resolved measurement of one program run.
 pub struct Analysis<'p> {
     program: &'p Program,
@@ -175,19 +375,9 @@ impl<'p> Analysis<'p> {
         Ok(Self { program, trees, alloc_info, stats })
     }
 
-    fn class_idx(c: StorageClass) -> usize {
-        match c {
-            StorageClass::Static => 0,
-            StorageClass::Heap => 1,
-            StorageClass::Stack => 2,
-            StorageClass::Unknown => 3,
-            StorageClass::NoMem => 4,
-        }
-    }
-
     /// The merged tree for one storage class.
     pub fn tree(&self, c: StorageClass) -> &Cct {
-        &self.trees[Self::class_idx(c)]
+        &self.trees[c.idx()]
     }
 
     /// The program being analyzed.
@@ -197,21 +387,17 @@ impl<'p> Analysis<'p> {
 
     /// Total of `metric` within one storage class.
     pub fn class_total(&self, c: StorageClass, metric: Metric) -> u64 {
-        self.tree(c).total(metric.col())
+        ProfileView::class_total(self, c, metric)
     }
 
     /// Total of `metric` across all storage classes.
     pub fn grand_total(&self, metric: Metric) -> u64 {
-        StorageClass::ALL.iter().map(|&c| self.class_total(c, metric)).sum()
+        ProfileView::grand_total(self, metric)
     }
 
     /// Fraction (0–100) of `metric` attributed to class `c`.
     pub fn class_pct(&self, c: StorageClass, metric: Metric) -> f64 {
-        let total = self.grand_total(metric);
-        if total == 0 {
-            return 0.0;
-        }
-        100.0 * self.class_total(c, metric) as f64 / total as f64
+        ProfileView::class_pct(self, c, metric)
     }
 
     /// Resolve one frame to a display string.
@@ -219,153 +405,45 @@ impl<'p> Analysis<'p> {
         resolve_frame_name(self.program, f)
     }
 
-    /// The display name of a heap variable identified by its allocation
-    /// path: the builder-supplied hint at the allocation site if present,
-    /// else the allocation site itself.
-    fn heap_var_name(&self, alloc_path: &[Frame]) -> (String, String) {
-        let site = alloc_path.iter().rev().find_map(|f| match f {
-            Frame::Stmt(ip) => Some(Ip(*ip)),
-            _ => None,
-        });
-        let site_str = site.map(|ip| self.program.render_ip(ip)).unwrap_or_default();
-        // The source-level variable name can sit either at the allocation
-        // statement itself or at a call site of an allocation wrapper
-        // higher up the path (`S_diag_j = hypre_CAlloc(...)`); prefer the
-        // deepest hint.
-        for f in alloc_path.iter().rev() {
-            if let Frame::Stmt(ip) | Frame::CallSite(ip) = f {
-                let hint = self.program.line_info(Ip(*ip)).hint;
-                if !hint.is_empty() {
-                    return (hint.to_string(), site_str);
-                }
-            }
-        }
-        if site_str.is_empty() {
-            ("<heap>".to_string(), site_str)
-        } else {
-            (site_str.clone(), site_str)
-        }
-    }
-
     /// Enumerate all variables (heap + static) with inclusive metrics,
     /// sorted descending by `sort_by`.
     pub fn variables(&self, sort_by: Metric) -> Vec<VarSummary> {
-        let mut out = Vec::new();
-
-        // Static variables: StaticVar dummy nodes at the root of the
-        // static tree.
-        let st = self.tree(StorageClass::Static);
-        let inc: Vec<Vec<u64>> = (0..WIDTH).map(|m| st.inclusive(m)).collect();
-        for n in st.children(ROOT) {
-            if let Frame::StaticVar(_) = st.frame(n) {
-                let mut metrics = [0u64; WIDTH];
-                for m in 0..WIDTH {
-                    metrics[m] = inc[m][n.0 as usize];
-                }
-                out.push(VarSummary {
-                    name: self.resolve_frame(st.frame(n)),
-                    class: StorageClass::Static,
-                    node: n,
-                    metrics,
-                    alloc_count: 0,
-                    alloc_bytes: 0,
-                    alloc_zeroed: 0,
-                    alloc_site: String::new(),
-                    caller_site: String::new(),
-                });
-            }
-        }
-
-        // Heap variables: HeapMarker nodes; the path above the marker is
-        // the allocation path that identifies the variable.
-        let ht = self.tree(StorageClass::Heap);
-        let hinc: Vec<Vec<u64>> = (0..WIDTH).map(|m| ht.inclusive(m)).collect();
-        for n in ht.preorder() {
-            if ht.frame(n) == Frame::HeapMarker {
-                let alloc_path = ht.path_to(ht.parent(n));
-                let (name, alloc_site) = self.heap_var_name(&alloc_path);
-                let caller_site = alloc_path
-                    .iter()
-                    .rev()
-                    .find_map(|f| match f {
-                        Frame::CallSite(ip) => Some(self.program.render_ip(Ip(*ip))),
-                        _ => None,
-                    })
-                    .unwrap_or_default();
-                let (count, bytes, zeroed) =
-                    self.alloc_info.get(&alloc_path).copied().unwrap_or((0, 0, 0));
-                let mut metrics = [0u64; WIDTH];
-                for m in 0..WIDTH {
-                    metrics[m] = hinc[m][n.0 as usize];
-                }
-                out.push(VarSummary {
-                    name,
-                    class: StorageClass::Heap,
-                    node: n,
-                    metrics,
-                    alloc_count: count,
-                    alloc_bytes: bytes,
-                    alloc_zeroed: zeroed,
-                    alloc_site,
-                    caller_site,
-                });
-            }
-        }
-
-        out.sort_by(|a, b| {
-            b.metrics[sort_by.col()]
-                .cmp(&a.metrics[sort_by.col()])
-                .then_with(|| a.name.cmp(&b.name))
-        });
-        out
+        variables_impl(self, sort_by)
     }
 
     /// Variable-level differential report against another analysis of
-    /// the same program (e.g. before/after an optimization): for each
-    /// variable name, the change in `metric`. The paper's workflow —
-    /// measure, fix, re-measure — reads this to confirm the fix removed
-    /// the cost it targeted and nothing regressed.
+    /// the same program (see [`compare_report`]).
     pub fn compare(&self, after: &Analysis<'_>, metric: Metric) -> String {
-        let mut names: Vec<String> = Vec::new();
-        let mut rows: FxHashMap<String, (u64, u64)> = FxHashMap::default();
-        for v in self.variables(metric) {
-            if !rows.contains_key(&v.name) {
-                names.push(v.name.clone());
-            }
-            rows.entry(v.name).or_insert((0, 0)).0 += v.metrics[metric.col()];
-        }
-        for v in after.variables(metric) {
-            if !rows.contains_key(&v.name) {
-                names.push(v.name.clone());
-            }
-            rows.entry(v.name).or_insert((0, 0)).1 += v.metrics[metric.col()];
-        }
-        names.sort_by_key(|n| {
-            let (b, a) = rows[n];
-            std::cmp::Reverse((a as i64 - b as i64).unsigned_abs())
-        });
-        let mut out = format!(
-            "DIFFERENTIAL ({}): before {} -> after {}
-",
-            metric.name(),
-            self.grand_total(metric),
-            after.grand_total(metric)
-        );
-        out.push_str(&format!("{:<24} {:>12} {:>12} {:>12}
-", "VARIABLE", "BEFORE", "AFTER", "DELTA"));
-        for n in names {
-            let (b, a) = rows[&n];
-            if b == 0 && a == 0 {
-                continue;
-            }
-            out.push_str(&format!("{n:<24} {b:>12} {a:>12} {:>+12}
-", a as i64 - b as i64));
-        }
-        out
+        compare_report(self, after, metric)
     }
 
     /// Allocation metadata by path (diagnostics/tests).
     pub fn alloc_info(&self) -> &FxHashMap<Vec<Frame>, (u64, u64, u64)> {
+        &self.alloc_info
+    }
+}
+
+impl SymbolSource for Analysis<'_> {
+    fn frame_name(&self, f: Frame) -> String {
+        resolve_frame_name(self.program, f)
+    }
+
+    fn hint(&self, ip: u64) -> Option<String> {
+        let hint = self.program.line_info(Ip(ip)).hint;
+        if hint.is_empty() {
+            None
+        } else {
+            Some(hint.to_string())
+        }
+    }
+}
+
+impl ProfileView for Analysis<'_> {
+    fn class_tree(&self, c: StorageClass) -> &Cct {
+        &self.trees[c.idx()]
+    }
+
+    fn alloc_map(&self) -> &FxHashMap<Vec<Frame>, (u64, u64, u64)> {
         &self.alloc_info
     }
 }
@@ -598,7 +676,7 @@ mod tests {
         let prog = program();
         let m = measured(&prog);
         let enc = encode_measurement(&prog, &m);
-        let static_blobs = &enc.profiles[Analysis::class_idx(StorageClass::Static)];
+        let static_blobs = &enc.profiles[StorageClass::Static.idx()];
         assert!(!static_blobs.is_empty());
         let (tree, names) = dcp_cct::decode_named(static_blobs[0].clone()).expect("decodes");
         let var = tree
@@ -612,7 +690,7 @@ mod tests {
     fn corrupt_encoded_profile_is_a_typed_error() {
         let prog = program();
         let mut enc = encode_measurement(&prog, &measured(&prog));
-        let class = Analysis::class_idx(StorageClass::Heap);
+        let class = StorageClass::Heap.idx();
         let good = enc.profiles[class][0].clone();
         enc.profiles[class][0] = good.slice(0..good.len() - 1);
         let err = match Analysis::analyze_encoded(&prog, vec![enc]) {

@@ -55,13 +55,18 @@ pub mod datacentric;
 pub mod metrics;
 pub mod profiler;
 pub mod session;
+pub mod stored;
 pub mod tracer;
 pub mod view;
 
 pub use advisor::{advise, Action, AdvisorConfig, Recommendation};
 pub use analyze::{
-    encode_measurement, profile_names, resolve_frame_name, Analysis, EncodedMeasurement,
-    VarSummary,
+    compare_report, encode_measurement, profile_names, resolve_frame_name, Analysis,
+    EncodedMeasurement, ProfileView, SymbolSource, VarSummary,
+};
+pub use stored::{
+    bundle_from_measurement, decode_bundle, encode_bundle, StoredAccumulator, StoredBundle,
+    StoredProfiles,
 };
 pub use metrics::{Metric, StorageClass, NAMES as METRIC_NAMES, WIDTH as METRIC_WIDTH};
 pub use profiler::{MeasurementData, ProfStats, Profiler, ProfilerConfig};
@@ -70,7 +75,8 @@ pub use tracer::TraceCollector;
 
 /// Common imports for examples and benches.
 pub mod prelude {
-    pub use crate::analyze::{Analysis, VarSummary};
+    pub use crate::analyze::{compare_report, Analysis, ProfileView, SymbolSource, VarSummary};
+    pub use crate::stored::{StoredAccumulator, StoredProfiles};
     pub use crate::datacentric::{ProfCosts, TrackingPolicy};
     pub use crate::metrics::{Metric, StorageClass};
     pub use crate::profiler::{Profiler, ProfilerConfig};

@@ -80,6 +80,20 @@ impl StorageClass {
             StorageClass::NoMem => "no memory access",
         }
     }
+
+    /// Dense index of this class, matching its position in
+    /// [`StorageClass::ALL`]. The per-class tree arrays everywhere
+    /// (profiler, analysis, stored bundles, the serve store) are indexed
+    /// by this — it is part of the profile bundle wire format.
+    pub fn idx(self) -> usize {
+        match self {
+            StorageClass::Static => 0,
+            StorageClass::Heap => 1,
+            StorageClass::Stack => 2,
+            StorageClass::Unknown => 3,
+            StorageClass::NoMem => 4,
+        }
+    }
 }
 
 #[cfg(test)]

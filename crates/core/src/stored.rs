@@ -1,0 +1,638 @@
+//! Stored profiles: the self-describing measurement bundle and its
+//! server-side view evaluator.
+//!
+//! The serving daemon (`dcp-serve`) holds profiles far from the program
+//! that produced them, but must render the exact same views the
+//! in-process [`Analysis`](crate::analyze::Analysis) renders. The v2
+//! profile codec already carries names for `Proc`/`StaticVar` frames; a
+//! **bundle** ("DCPB") goes the rest of the way: it packages one
+//! measurement's per-class encoded trees together with display names for
+//! *every* frame, the source-level variable hints the heap naming rules
+//! consult, the allocation metadata, and the profiler stats. A
+//! [`StoredProfiles`] built from bundles implements
+//! [`ProfileView`](crate::analyze::ProfileView) over those tables, so
+//! `topdown`/`bottomup`/`flat`/`ranking`/`variables`/`compare` render
+//! byte-identical text from either side of the wire — the invariant the
+//! served-diff golden test pins.
+
+use dcp_cct::codec::{get_slice, get_varint, put_varint};
+use dcp_cct::{decode, encode, Cct, CodecError, Frame, IncrementalMerge, NodeId};
+use dcp_runtime::ir::{Ip, Program};
+use dcp_support::bytes::{Bytes, BytesMut};
+use dcp_support::FxHashMap;
+
+use crate::analyze::{resolve_frame_name, ProfileView, SymbolSource};
+use crate::metrics::{StorageClass, CLASSES, WIDTH};
+use crate::profiler::{MeasurementData, ProfStats};
+
+const BUNDLE_MAGIC: &[u8; 4] = b"DCPB";
+const BUNDLE_VERSION: u64 = 1;
+
+/// One measurement, fully self-describing: per-class encoded per-thread
+/// trees plus every table a remote evaluator needs to render views.
+#[derive(Debug, Clone, Default)]
+pub struct StoredBundle {
+    /// `profiles[class][i]` — the i-th thread's encoded tree (plain v2,
+    /// no per-blob name section; the bundle-level `names` table covers
+    /// all frames).
+    pub profiles: [Vec<Bytes>; CLASSES],
+    /// Display name for every distinct frame in any tree, exactly the
+    /// string [`resolve_frame_name`] produces in-process.
+    pub names: FxHashMap<Frame, String>,
+    /// Nonempty source-level hints by instruction (`ip -> "S_diag_j"`).
+    pub hints: FxHashMap<u64, String>,
+    /// Allocation metadata: `(allocation path, count, bytes, zeroed)`.
+    pub alloc_info: Vec<(Vec<Frame>, u64, u64, u64)>,
+    pub stats: ProfStats,
+}
+
+/// Package one node's measurement data with all symbols resolved
+/// against `program`.
+pub fn bundle_from_measurement(program: &Program, m: &MeasurementData) -> StoredBundle {
+    let mut names: FxHashMap<Frame, String> = FxHashMap::default();
+    let mut hints: FxHashMap<u64, String> = FxHashMap::default();
+    for class in &m.profiles {
+        for tree in class {
+            for id in 0..tree.len() as u32 {
+                let f = tree.frame(NodeId(id));
+                names.entry(f).or_insert_with(|| resolve_frame_name(program, f));
+                if let Frame::Stmt(ip) | Frame::CallSite(ip) = f {
+                    let hint = program.line_info(Ip(ip)).hint;
+                    if !hint.is_empty() {
+                        hints.entry(ip).or_insert_with(|| hint.to_string());
+                    }
+                }
+            }
+        }
+    }
+    let profiles = std::array::from_fn(|class| {
+        dcp_support::pool::par_map(&m.profiles[class], encode)
+    });
+    StoredBundle {
+        profiles,
+        names,
+        hints,
+        alloc_info: m.alloc_info.clone(),
+        stats: m.stats.clone(),
+    }
+}
+
+fn frame_parts(f: Frame) -> (u8, u64) {
+    match f {
+        Frame::Root => (0, 0),
+        Frame::Proc(p) => (1, p),
+        Frame::CallSite(ip) => (2, ip),
+        Frame::Stmt(ip) => (3, ip),
+        Frame::StaticVar(h) => (4, h),
+        Frame::HeapMarker => (5, 0),
+    }
+}
+
+fn frame_from(tag: u8, payload: u64) -> Result<Frame, CodecError> {
+    Ok(match tag {
+        0 => Frame::Root,
+        1 => Frame::Proc(payload),
+        2 => Frame::CallSite(payload),
+        3 => Frame::Stmt(payload),
+        4 => Frame::StaticVar(payload),
+        5 => Frame::HeapMarker,
+        t => return Err(CodecError::BadFrameTag(t)),
+    })
+}
+
+fn put_frame(buf: &mut BytesMut, f: Frame) {
+    let (tag, payload) = frame_parts(f);
+    buf.put_u8(tag);
+    put_varint(buf, payload);
+}
+
+fn get_frame(buf: &mut Bytes) -> Result<Frame, CodecError> {
+    if !buf.has_remaining() {
+        return Err(CodecError::Truncated);
+    }
+    let tag = buf.get_u8();
+    let payload = get_varint(buf)?;
+    frame_from(tag, payload)
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, CodecError> {
+    let len = get_varint(buf)?;
+    if len > buf.remaining() as u64 {
+        return Err(CodecError::Truncated);
+    }
+    let raw = get_slice(buf, len as usize)?;
+    std::str::from_utf8(raw.as_slice())
+        .map(str::to_string)
+        .map_err(|_| CodecError::BadString)
+}
+
+/// A count field that the remaining input cannot possibly back (each
+/// element takes at least one byte) is rejected before any allocation.
+fn check_count(count: u64, buf: &Bytes) -> Result<usize, CodecError> {
+    if count > buf.remaining() as u64 {
+        return Err(CodecError::BadCount(count));
+    }
+    Ok(count as usize)
+}
+
+/// Serialize a bundle to the DCPB wire format.
+pub fn encode_bundle(b: &StoredBundle) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(BUNDLE_MAGIC);
+    put_varint(&mut buf, BUNDLE_VERSION);
+    put_varint(&mut buf, WIDTH as u64);
+    for class in &b.profiles {
+        put_varint(&mut buf, class.len() as u64);
+        for blob in class {
+            put_varint(&mut buf, blob.len() as u64);
+            buf.put_slice(blob);
+        }
+    }
+    // Name and hint records in sorted key order, so equal bundles encode
+    // to equal bytes no matter how their maps were populated.
+    let mut names: Vec<(&Frame, &String)> = b.names.iter().collect();
+    names.sort_by_key(|(f, _)| frame_parts(**f));
+    put_varint(&mut buf, names.len() as u64);
+    for (f, name) in names {
+        put_frame(&mut buf, *f);
+        put_str(&mut buf, name);
+    }
+    let mut hints: Vec<(&u64, &String)> = b.hints.iter().collect();
+    hints.sort_by_key(|(ip, _)| **ip);
+    put_varint(&mut buf, hints.len() as u64);
+    for (ip, hint) in hints {
+        put_varint(&mut buf, *ip);
+        put_str(&mut buf, hint);
+    }
+    put_varint(&mut buf, b.alloc_info.len() as u64);
+    for (path, count, bytes, zeroed) in &b.alloc_info {
+        put_varint(&mut buf, path.len() as u64);
+        for f in path {
+            put_frame(&mut buf, *f);
+        }
+        put_varint(&mut buf, *count);
+        put_varint(&mut buf, *bytes);
+        put_varint(&mut buf, *zeroed);
+    }
+    let s = &b.stats;
+    put_varint(&mut buf, s.samples);
+    for v in s.samples_by_class {
+        put_varint(&mut buf, v);
+    }
+    put_varint(&mut buf, s.allocs_seen);
+    put_varint(&mut buf, s.allocs_tracked);
+    put_varint(&mut buf, s.frees_seen);
+    put_varint(&mut buf, s.unwind_frames);
+    put_varint(&mut buf, s.overhead_cycles);
+    buf.freeze()
+}
+
+/// Decode an untrusted bundle. Every embedded profile blob is validated
+/// by a full decode (then kept as raw bytes for the incremental merge),
+/// every length is checked against the remaining input, and trailing
+/// garbage is rejected — the serve robustness sweep leans on this.
+pub fn decode_bundle(mut buf: Bytes) -> Result<StoredBundle, CodecError> {
+    if get_slice(&mut buf, BUNDLE_MAGIC.len())?.as_slice() != BUNDLE_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = get_varint(&mut buf)?;
+    if version != BUNDLE_VERSION {
+        return Err(CodecError::BadFlags(version));
+    }
+    let width = get_varint(&mut buf)?;
+    if width != WIDTH as u64 {
+        return Err(CodecError::WidthMismatch { expected: WIDTH, found: width as usize });
+    }
+    let mut profiles: [Vec<Bytes>; CLASSES] = std::array::from_fn(|_| Vec::new());
+    for class in &mut profiles {
+        let count = check_count(get_varint(&mut buf)?, &buf)?;
+        for _ in 0..count {
+            let len = get_varint(&mut buf)?;
+            if len > buf.remaining() as u64 {
+                return Err(CodecError::Truncated);
+            }
+            let blob = get_slice(&mut buf, len as usize)?;
+            let tree = decode(blob.clone())?;
+            if tree.width() != WIDTH {
+                return Err(CodecError::WidthMismatch { expected: WIDTH, found: tree.width() });
+            }
+            class.push(blob);
+        }
+    }
+    let mut names: FxHashMap<Frame, String> = FxHashMap::default();
+    for _ in 0..check_count(get_varint(&mut buf)?, &buf)? {
+        let f = get_frame(&mut buf)?;
+        let name = get_str(&mut buf)?;
+        names.insert(f, name);
+    }
+    let mut hints: FxHashMap<u64, String> = FxHashMap::default();
+    for _ in 0..check_count(get_varint(&mut buf)?, &buf)? {
+        let ip = get_varint(&mut buf)?;
+        let hint = get_str(&mut buf)?;
+        hints.insert(ip, hint);
+    }
+    let mut alloc_info = Vec::new();
+    for _ in 0..check_count(get_varint(&mut buf)?, &buf)? {
+        let path_len = check_count(get_varint(&mut buf)?, &buf)?;
+        let mut path = Vec::with_capacity(path_len);
+        for _ in 0..path_len {
+            path.push(get_frame(&mut buf)?);
+        }
+        let count = get_varint(&mut buf)?;
+        let bytes = get_varint(&mut buf)?;
+        let zeroed = get_varint(&mut buf)?;
+        alloc_info.push((path, count, bytes, zeroed));
+    }
+    let mut stats = ProfStats { samples: get_varint(&mut buf)?, ..ProfStats::default() };
+    for v in &mut stats.samples_by_class {
+        *v = get_varint(&mut buf)?;
+    }
+    stats.allocs_seen = get_varint(&mut buf)?;
+    stats.allocs_tracked = get_varint(&mut buf)?;
+    stats.frees_seen = get_varint(&mut buf)?;
+    stats.unwind_frames = get_varint(&mut buf)?;
+    stats.overhead_cycles = get_varint(&mut buf)?;
+    if buf.has_remaining() {
+        return Err(CodecError::BadCount(buf.remaining() as u64));
+    }
+    Ok(StoredBundle { profiles, names, hints, alloc_info, stats })
+}
+
+/// Folds bundles into one merged profile set, amortized: per-class
+/// [`IncrementalMerge`] accumulators plus unioned symbol tables. The
+/// serve store keeps one of these per named profile set and snapshots a
+/// [`StoredProfiles`] whenever the set's epoch advances.
+///
+/// Determinism: blobs are pushed in bundle-ingest order, and the
+/// incremental-merge invariant makes each class tree byte-identical on
+/// re-encode to `merge_encoded_sequential` over that order — so a fixed
+/// ingest order fixes every served byte.
+#[derive(Default)]
+pub struct StoredAccumulator {
+    merges: Option<[IncrementalMerge; CLASSES]>,
+    names: FxHashMap<Frame, String>,
+    hints: FxHashMap<u64, String>,
+    alloc_info: FxHashMap<Vec<Frame>, (u64, u64, u64)>,
+    stats: ProfStats,
+    bundles: u64,
+    blob_bytes: u64,
+}
+
+impl StoredAccumulator {
+    pub fn new() -> Self {
+        Self {
+            merges: Some(std::array::from_fn(|_| IncrementalMerge::new(WIDTH))),
+            ..Self::default()
+        }
+    }
+
+    fn merges_mut(&mut self) -> &mut [IncrementalMerge; CLASSES] {
+        self.merges.get_or_insert_with(|| std::array::from_fn(|_| IncrementalMerge::new(WIDTH)))
+    }
+
+    /// Buffer one bundle's blobs and fold its metadata. O(bundle size);
+    /// tree merging is deferred to [`fold`](Self::fold)/
+    /// [`snapshot`](Self::snapshot).
+    pub fn ingest(&mut self, bundle: StoredBundle) {
+        let StoredBundle { profiles, names, hints, alloc_info, stats } = bundle;
+        for (class, blobs) in profiles.into_iter().enumerate() {
+            for blob in blobs {
+                self.blob_bytes += blob.len() as u64;
+                self.merges_mut()[class].push(blob);
+            }
+        }
+        for (f, n) in names {
+            self.names.entry(f).or_insert(n);
+        }
+        for (ip, h) in hints {
+            self.hints.entry(ip).or_insert(h);
+        }
+        for (path, count, bytes, zeroed) in alloc_info {
+            let e = self.alloc_info.entry(path).or_insert((0, 0, 0));
+            e.0 += count;
+            e.1 += bytes;
+            e.2 += zeroed;
+        }
+        self.stats.merge(&stats);
+        self.bundles += 1;
+    }
+
+    /// Merge everything pending into the per-class accumulators.
+    pub fn fold(&mut self) -> Result<(), CodecError> {
+        for inc in self.merges_mut() {
+            inc.fold()?;
+        }
+        Ok(())
+    }
+
+    /// Bundles ingested so far.
+    pub fn bundles(&self) -> u64 {
+        self.bundles
+    }
+
+    /// Total encoded profile bytes ingested so far.
+    pub fn blob_bytes(&self) -> u64 {
+        self.blob_bytes
+    }
+
+    /// Folds performed across all class accumulators.
+    pub fn folds(&self) -> u64 {
+        self.merges.as_ref().map_or(0, |ms| ms.iter().map(IncrementalMerge::folds).sum())
+    }
+
+    /// Fold and take a renderable snapshot of the current state.
+    pub fn snapshot(&mut self) -> Result<StoredProfiles, CodecError> {
+        self.fold()?;
+        let mut trees = Vec::with_capacity(CLASSES);
+        for inc in self.merges_mut() {
+            trees.push(inc.tree()?.clone());
+        }
+        let trees: [Cct; CLASSES] =
+            trees.try_into().unwrap_or_else(|_| unreachable!("exactly CLASSES trees"));
+        Ok(StoredProfiles {
+            trees,
+            names: self.names.clone(),
+            hints: self.hints.clone(),
+            alloc_info: self.alloc_info.clone(),
+            stats: self.stats.clone(),
+        })
+    }
+}
+
+/// A merged profile set evaluated away from the producing program: the
+/// per-class trees plus the symbol tables the bundles carried. An empty
+/// set (nothing ever ingested) is fully defined — every view renders
+/// its empty form.
+#[derive(Debug, Clone)]
+pub struct StoredProfiles {
+    trees: [Cct; CLASSES],
+    names: FxHashMap<Frame, String>,
+    hints: FxHashMap<u64, String>,
+    alloc_info: FxHashMap<Vec<Frame>, (u64, u64, u64)>,
+    stats: ProfStats,
+}
+
+impl Default for StoredProfiles {
+    fn default() -> Self {
+        Self {
+            trees: std::array::from_fn(|_| Cct::new(WIDTH)),
+            names: FxHashMap::default(),
+            hints: FxHashMap::default(),
+            alloc_info: FxHashMap::default(),
+            stats: ProfStats::default(),
+        }
+    }
+}
+
+impl StoredProfiles {
+    /// An empty profile set.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    pub fn stats(&self) -> &ProfStats {
+        &self.stats
+    }
+
+    /// Re-encode one class tree (the serve `export` query; the loopback
+    /// byte-identity test reads this).
+    pub fn export(&self, c: StorageClass) -> Bytes {
+        encode(&self.trees[c.idx()])
+    }
+}
+
+impl SymbolSource for StoredProfiles {
+    fn frame_name(&self, f: Frame) -> String {
+        if let Some(n) = self.names.get(&f) {
+            return n.clone();
+        }
+        // Fallbacks mirror resolve_frame_name's unresolvable forms, so a
+        // bundle missing a record degrades readably instead of panicking.
+        match f {
+            Frame::Root => "<program root>".to_string(),
+            Frame::HeapMarker => "heap data accesses".to_string(),
+            Frame::Proc(p) => format!("<proc {p}>"),
+            Frame::CallSite(ip) | Frame::Stmt(ip) => format!("<ip {ip:#x}>"),
+            Frame::StaticVar(h) => format!("<static {h:#x}>"),
+        }
+    }
+
+    fn hint(&self, ip: u64) -> Option<String> {
+        self.hints.get(&ip).cloned()
+    }
+}
+
+impl ProfileView for StoredProfiles {
+    fn class_tree(&self, c: StorageClass) -> &Cct {
+        &self.trees[c.idx()]
+    }
+
+    fn alloc_map(&self) -> &FxHashMap<Vec<Frame>, (u64, u64, u64)> {
+        &self.alloc_info
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{compare_report, Analysis};
+    use crate::metrics::Metric;
+    use crate::view::{bottom_up, flat, ranking, top_down, TopDownOpts};
+
+    // The same fixture the analyzer tests use: one heap variable with a
+    // source hint, one static, plus unknown-class samples.
+    use crate::profiler::{Profiler, ProfilerConfig};
+    use dcp_machine::pmu::SampleOrigin;
+    use dcp_machine::{CoreId, DataSource, Sample};
+    use dcp_runtime::ir::ex::*;
+    use dcp_runtime::ir::ProcId;
+    use dcp_runtime::observer::{AllocEvent, ModuleEvent, NodeObserver, ThreadView};
+    use dcp_runtime::{FrameInfo, ProgramBuilder};
+
+    fn program() -> dcp_runtime::Program {
+        let mut b = ProgramBuilder::new("exe");
+        b.static_array("f_elem", 4096);
+        let main = b.proc("main", 0, |p| {
+            p.line(175);
+            let a = p.calloc(c(8192), "S_diag_j");
+            p.line(480);
+            p.load(l(a), c(0), 8);
+        });
+        b.build(main)
+    }
+
+    fn measured(prog: &dcp_runtime::Program, seed: u64) -> MeasurementData {
+        let mut p = Profiler::new(ProfilerConfig::default());
+        p.on_module(&ModuleEvent::Loaded {
+            module: dcp_runtime::ModuleId(0),
+            def: &prog.modules[0],
+            rank: 0,
+        });
+        let stack = vec![FrameInfo { proc: ProcId(0), call_site: None, token: 0 }];
+        let view = ThreadView {
+            rank: 0,
+            thread: 0,
+            core: CoreId(0),
+            clock: 0,
+            frames: &stack,
+            leaf_ip: Ip(0),
+        };
+        let sample = |ea: u64, ip: u64, latency: u32, src: DataSource| Sample {
+            origin: SampleOrigin::Ibs,
+            precise_ip: ip,
+            signal_ip: ip,
+            ea: Some(ea),
+            latency,
+            source: Some(src),
+            tlb_miss: false,
+            is_store: false,
+            core: CoreId(0),
+        };
+        let alloc_ip = Ip::new(dcp_runtime::ModuleId(0), ProcId(0), 0);
+        p.on_alloc(
+            &AllocEvent { addr: 0x10_0000, bytes: 8192, zeroed: true, ip: alloc_ip },
+            &view,
+        );
+        let access_ip = Ip::new(dcp_runtime::ModuleId(0), ProcId(0), 1);
+        for _ in 0..(4 + seed) {
+            p.on_sample(&sample(0x10_0010, access_ip.0, 200, DataSource::RemoteDram), &view);
+        }
+        let static_addr = dcp_runtime::layout::global(0, prog.modules[0].statics[0].addr);
+        for _ in 0..(2 + seed) {
+            p.on_sample(&sample(static_addr, access_ip.0, 100, DataSource::LocalDram), &view);
+        }
+        p.into_measurement()
+    }
+
+    fn stored(prog: &dcp_runtime::Program, ms: &[MeasurementData]) -> StoredProfiles {
+        let mut acc = StoredAccumulator::new();
+        for m in ms {
+            let bundle = bundle_from_measurement(prog, m);
+            let wire = encode_bundle(&bundle);
+            acc.ingest(decode_bundle(wire).expect("own bundle decodes"));
+        }
+        acc.snapshot().expect("valid blobs")
+    }
+
+    fn bytes_of(v: &[u8]) -> Bytes {
+        let mut b = BytesMut::new();
+        b.put_slice(v);
+        b.freeze()
+    }
+
+    #[test]
+    fn bundle_roundtrips_exactly() {
+        let prog = program();
+        let b = bundle_from_measurement(&prog, &measured(&prog, 1));
+        let wire = encode_bundle(&b);
+        let d = decode_bundle(wire.clone()).expect("roundtrip");
+        assert_eq!(encode_bundle(&d), wire, "re-encode is byte-identical");
+        assert_eq!(d.names.len(), b.names.len());
+        assert_eq!(d.stats.samples, b.stats.samples);
+        assert_eq!(d.stats.samples_by_class, b.stats.samples_by_class);
+        assert_eq!(d.stats.overhead_cycles, b.stats.overhead_cycles);
+    }
+
+    #[test]
+    fn stored_views_render_identically_to_analysis() {
+        // The keystone: every view over StoredProfiles must produce the
+        // exact text the in-process Analysis produces.
+        let prog = program();
+        let ms: Vec<MeasurementData> = (0..3).map(|s| measured(&prog, s)).collect();
+        let sp = stored(&prog, &ms);
+        let a = Analysis::analyze(&prog, ms);
+
+        for metric in [Metric::Samples, Metric::Latency, Metric::Remote] {
+            assert_eq!(ranking(&sp, metric, 20), ranking(&a, metric, 20));
+            assert_eq!(bottom_up(&sp, metric), bottom_up(&a, metric));
+            for class in StorageClass::ALL {
+                assert_eq!(
+                    top_down(&sp, class, metric, TopDownOpts::default()),
+                    top_down(&a, class, metric, TopDownOpts::default())
+                );
+                assert_eq!(flat(&sp, class, metric, 20), flat(&a, class, metric, 20));
+            }
+        }
+        let vs = sp.variables(Metric::Latency);
+        let va = a.variables(Metric::Latency);
+        assert_eq!(vs.len(), va.len());
+        for (s, d) in vs.iter().zip(&va) {
+            assert_eq!(s.name, d.name);
+            assert_eq!(s.metrics, d.metrics);
+            assert_eq!(s.alloc_site, d.alloc_site);
+        }
+    }
+
+    #[test]
+    fn stored_compare_matches_analysis_compare() {
+        let prog = program();
+        let before: Vec<MeasurementData> = vec![measured(&prog, 0)];
+        let after: Vec<MeasurementData> = vec![measured(&prog, 5)];
+        let sb = stored(&prog, &before);
+        let sa = stored(&prog, &after);
+        let ab = Analysis::analyze(&prog, before);
+        let aa = Analysis::analyze(&prog, after);
+        for metric in [Metric::Samples, Metric::Latency] {
+            assert_eq!(
+                compare_report(&sb, &sa, metric),
+                ab.compare(&aa, metric),
+                "served diff must match --compare"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_stored_profiles_render_defined_views() {
+        let sp = StoredProfiles::empty();
+        assert!(sp.variables(Metric::Samples).is_empty());
+        let r = ranking(&sp, Metric::Latency, 10);
+        assert!(r.contains("total 0"));
+        let t = top_down(&sp, StorageClass::Heap, Metric::Samples, TopDownOpts::default());
+        assert!(t.contains("0.0%"));
+        // An accumulator nobody ingested into snapshots to the same.
+        let from_acc = StoredAccumulator::new().snapshot().expect("empty is defined");
+        assert_eq!(ranking(&from_acc, Metric::Latency, 10), r);
+    }
+
+    #[test]
+    fn incremental_snapshots_equal_one_shot_ingest() {
+        // Snapshotting mid-stream must not change the final state.
+        let prog = program();
+        let ms: Vec<MeasurementData> = (0..4).map(|s| measured(&prog, s)).collect();
+        let mut inc = StoredAccumulator::new();
+        for m in &ms {
+            inc.ingest(bundle_from_measurement(&prog, m));
+            let _ = inc.snapshot().expect("valid");
+        }
+        let one = stored(&prog, &ms);
+        let last = inc.snapshot().expect("valid");
+        for c in StorageClass::ALL {
+            assert_eq!(last.export(c), one.export(c), "class {c:?}");
+        }
+        assert_eq!(ranking(&last, Metric::Latency, 20), ranking(&one, Metric::Latency, 20));
+    }
+
+    #[test]
+    fn bundle_decode_rejects_corruption_with_typed_errors() {
+        let prog = program();
+        let wire = encode_bundle(&bundle_from_measurement(&prog, &measured(&prog, 1)));
+        // Every truncation.
+        for cut in 0..wire.len() {
+            let r = decode_bundle(wire.slice(0..cut));
+            assert!(r.is_err(), "truncation at {cut} must fail");
+        }
+        // Bad magic.
+        let mut bad = wire.to_vec();
+        bad[0] ^= 0xff;
+        assert!(matches!(decode_bundle(bytes_of(&bad)), Err(CodecError::BadMagic)));
+        // Trailing garbage.
+        let mut long = wire.to_vec();
+        long.push(0);
+        assert!(decode_bundle(bytes_of(&long)).is_err());
+    }
+}

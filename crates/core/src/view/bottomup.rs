@@ -9,12 +9,12 @@
 
 use dcp_support::FxHashMap;
 
-use crate::analyze::{Analysis, VarSummary};
+use crate::analyze::{ProfileView, VarSummary};
 use crate::metrics::{Metric, StorageClass};
 use crate::view::pct;
 
 /// Render the bottom-up (allocation-site) view sorted by `metric`.
-pub fn bottom_up(a: &Analysis<'_>, metric: Metric) -> String {
+pub fn bottom_up<V: ProfileView>(a: &V, metric: Metric) -> String {
     let grand = a.grand_total(metric);
     let vars = a.variables(metric);
     // Group heap variables by allocation site.

@@ -7,14 +7,19 @@ use dcp_support::FxHashMap;
 
 use dcp_cct::Frame;
 
-use crate::analyze::Analysis;
+use crate::analyze::ProfileView;
 use crate::metrics::{Metric, StorageClass};
 use crate::view::pct;
 
 /// Render the flat view of `class`: the top `limit` statements by
 /// exclusive `metric`.
-pub fn flat(a: &Analysis<'_>, class: StorageClass, metric: Metric, limit: usize) -> String {
-    let tree = a.tree(class);
+pub fn flat<V: ProfileView + ?Sized>(
+    a: &V,
+    class: StorageClass,
+    metric: Metric,
+    limit: usize,
+) -> String {
+    let tree = a.class_tree(class);
     let mut by_stmt: FxHashMap<u64, Vec<u64>> = FxHashMap::default();
     let width = tree.width();
     for n in tree.preorder() {
@@ -38,7 +43,7 @@ pub fn flat(a: &Analysis<'_>, class: StorageClass, metric: Metric, limit: usize)
             "{:5.1}% {:>10}  {}\n",
             pct(m[metric.col()], grand),
             m[metric.col()],
-            a.resolve_frame(Frame::Stmt(ip)),
+            a.frame_name(Frame::Stmt(ip)),
         ));
     }
     out

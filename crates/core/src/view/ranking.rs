@@ -6,12 +6,15 @@
 //! variables account for 97.4% of total latency; Flux 39.4%, Src 39.1%,
 //! Face 14.6%").
 
-use crate::analyze::Analysis;
+use crate::analyze::ProfileView;
 use crate::metrics::{Metric, StorageClass};
 use crate::view::pct;
 
 /// Per-class share of `metric`: `(class, value, percent)`.
-pub fn storage_breakdown(a: &Analysis<'_>, metric: Metric) -> Vec<(StorageClass, u64, f64)> {
+pub fn storage_breakdown<V: ProfileView + ?Sized>(
+    a: &V,
+    metric: Metric,
+) -> Vec<(StorageClass, u64, f64)> {
     let grand = a.grand_total(metric);
     StorageClass::ALL
         .iter()
@@ -24,7 +27,7 @@ pub fn storage_breakdown(a: &Analysis<'_>, metric: Metric) -> Vec<(StorageClass,
 
 /// Render the ranking view: breakdown lines plus the top `limit`
 /// variables by `metric`.
-pub fn ranking(a: &Analysis<'_>, metric: Metric, limit: usize) -> String {
+pub fn ranking<V: ProfileView>(a: &V, metric: Metric, limit: usize) -> String {
     let grand = a.grand_total(metric);
     let mut out = String::new();
     out.push_str(&format!("VARIABLE RANKING metric {} (total {})\n", metric.name(), grand));

@@ -5,7 +5,7 @@
 
 use dcp_cct::{NodeId, ROOT};
 
-use crate::analyze::Analysis;
+use crate::analyze::ProfileView;
 use crate::metrics::{Metric, StorageClass};
 use crate::view::pct;
 
@@ -27,8 +27,13 @@ impl Default for TopDownOpts {
 }
 
 /// Render the top-down view of `class`, sorted by inclusive `metric`.
-pub fn top_down(a: &Analysis<'_>, class: StorageClass, metric: Metric, opts: TopDownOpts) -> String {
-    let tree = a.tree(class);
+pub fn top_down<V: ProfileView + ?Sized>(
+    a: &V,
+    class: StorageClass,
+    metric: Metric,
+    opts: TopDownOpts,
+) -> String {
+    let tree = a.class_tree(class);
     let inc = tree.inclusive(metric.col());
     let grand = a.grand_total(metric);
     let mut out = String::new();
@@ -45,8 +50,8 @@ pub fn top_down(a: &Analysis<'_>, class: StorageClass, metric: Metric, opts: Top
 }
 
 #[allow(clippy::too_many_arguments)]
-fn render(
-    a: &Analysis<'_>,
+fn render<V: ProfileView + ?Sized>(
+    a: &V,
     tree: &dcp_cct::Cct,
     inc: &[u64],
     grand: u64,
@@ -66,7 +71,7 @@ fn render(
             "",
             p,
             v,
-            a.resolve_frame(tree.frame(node)),
+            a.frame_name(tree.frame(node)),
             indent = 2 * depth
         ));
     }

@@ -1,0 +1,73 @@
+//! The client library: one blocking TCP connection speaking the frame
+//! protocol. Used by `memgaze serve`/`memgaze query`, the load
+//! generator, and the tests; anything the server can say maps back to
+//! a typed [`ServeError`] here.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use dcp_support::bytes::Bytes;
+
+use crate::error::ServeError;
+use crate::wire::{encode_request, parse_response, read_frame, write_frame, Request, Response, MAX_FRAME};
+
+/// A connected client. One request/response in flight at a time.
+pub struct Client {
+    stream: TcpStream,
+    max_frame: u64,
+}
+
+impl Client {
+    /// Connect with a default 10 s read timeout.
+    pub fn connect(addr: &str) -> Result<Self, ServeError> {
+        Self::connect_with_timeout(addr, Duration::from_secs(10))
+    }
+
+    /// Connect with an explicit read timeout — the client-side guard
+    /// against a server that stops mid-frame.
+    pub fn connect_with_timeout(addr: &str, timeout: Duration) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        // Request/response over small frames: Nagle only adds latency.
+        stream.set_nodelay(true)?;
+        Ok(Self { stream, max_frame: MAX_FRAME })
+    }
+
+    /// One round trip: write the request frame, read exactly one
+    /// response frame. Server-side ERR frames come back as the typed
+    /// error they encode.
+    pub fn call(&mut self, req: &Request) -> Result<String, ServeError> {
+        let (k, body) = encode_request(req);
+        write_frame(&mut self.stream, k, &body)?;
+        let (rk, rbody) = read_frame(&mut self.stream, self.max_frame)?
+            .ok_or_else(|| ServeError::Io("connection closed before response".to_string()))?;
+        match parse_response(rk, rbody)? {
+            Response::Ok(text) => Ok(text),
+            Response::Err(code, msg) => Err(ServeError::from_wire(code, msg)),
+        }
+    }
+
+    pub fn ping(&mut self) -> Result<String, ServeError> {
+        self.call(&Request::Ping)
+    }
+
+    /// Send one encoded DCPB bundle into `set`. Pass `seq` to pin a
+    /// deterministic merge position under concurrent ingest.
+    pub fn ingest(&mut self, set: &str, seq: Option<u64>, bundle: Bytes) -> Result<String, ServeError> {
+        self.call(&Request::Ingest { set: set.to_string(), seq, bundle })
+    }
+
+    pub fn query(&mut self, q: &str) -> Result<String, ServeError> {
+        self.call(&Request::Query(q.to_string()))
+    }
+
+    pub fn stats(&mut self) -> Result<String, ServeError> {
+        self.call(&Request::Stats)
+    }
+
+    /// Ask the server to drain and exit. The OK response means the
+    /// drain has begun, not that it has finished.
+    pub fn shutdown(&mut self) -> Result<String, ServeError> {
+        self.call(&Request::Shutdown)
+    }
+}

@@ -1,0 +1,41 @@
+//! dcp-serve — a serving layer over the reduction tree.
+//!
+//! The offline pipeline measures, encodes, and merges profiles in one
+//! process. This crate puts a daemon in front of the same machinery:
+//! clients stream encoded profile bundles to named **profile sets**
+//! over a length-prefixed TCP protocol; the store folds them with the
+//! incremental reduction-tree merge; view queries (top-down, bottom-up,
+//! flat, ranking, variable-centric, two-profile diff) render from the
+//! merged trees through the exact view code the CLI uses, behind an
+//! LRU response cache invalidated by ingest epochs.
+//!
+//! Layering (hermetic, `std::net` only):
+//!
+//! ```text
+//! client.rs  — blocking client, one frame round trip per call
+//! wire.rs    — "DCPS" frames + request/response bodies (DCP2 varints)
+//! server.rs  — accept loop, session thread pool, graceful drain
+//! query.rs   — verb language -> dcp-core views over snapshots
+//! store.rs   — named sets, seq reorder, epochs, budget, LRU cache
+//! error.rs   — one typed error across all of the above
+//! ```
+//!
+//! Determinism contract: with client-assigned sequence numbers, the
+//! merged profile a set serves is byte-identical to
+//! `merge_encoded_sequential` over the same bundles in sequence order,
+//! no matter how many connections raced — the loopback e2e test pins
+//! this end to end.
+
+pub mod client;
+pub mod error;
+pub mod query;
+pub mod server;
+pub mod store;
+pub mod wire;
+
+pub use client::Client;
+pub use error::ServeError;
+pub use query::handle_query;
+pub use server::{Server, ServerConfig};
+pub use store::{CacheKey, ProfileStore, StoreConfig};
+pub use wire::{Request, Response, MAX_FRAME};

@@ -1,0 +1,291 @@
+//! The query engine: a small verb language over stored profile sets,
+//! rendered with the exact same view code the in-process CLI uses.
+//!
+//! Grammar (whitespace-separated):
+//!
+//! ```text
+//! ranking  <set> <metric> [limit]
+//! topdown  <set> <class> <metric>
+//! bottomup <set> <metric>
+//! flat     <set> <class> <metric> [limit]
+//! vars     <set> <metric>
+//! diff     <set-a> <set-b> <metric>
+//! export   <set> <class>
+//! sets
+//! ```
+//!
+//! Metrics: `samples latency remote tlb stores`; classes: `static heap
+//! stack unknown nomem` — the same spellings the `memgaze` CLI accepts.
+//!
+//! View responses are served through the store's LRU cache keyed by the
+//! query text plus the epoch of every set it reads, so an ingest can
+//! never surface a stale response. `sets` and `stats` are cheap and
+//! always live.
+
+use std::sync::Arc;
+
+use dcp_cct::diff as cct_diff;
+use dcp_core::metrics::{Metric, StorageClass};
+use dcp_core::stored::StoredProfiles;
+use dcp_core::view::{bottom_up, flat, ranking, top_down, TopDownOpts};
+use dcp_core::{compare_report, ProfileView, SymbolSource};
+
+use crate::error::ServeError;
+use crate::store::{CacheKey, ProfileStore};
+
+fn metric_of(s: &str) -> Result<Metric, ServeError> {
+    match s {
+        "samples" => Ok(Metric::Samples),
+        "latency" => Ok(Metric::Latency),
+        "remote" => Ok(Metric::Remote),
+        "tlb" => Ok(Metric::TlbMiss),
+        "stores" => Ok(Metric::Stores),
+        other => Err(ServeError::BadQuery(format!(
+            "unknown metric '{other}' (want samples|latency|remote|tlb|stores)"
+        ))),
+    }
+}
+
+fn class_of(s: &str) -> Result<StorageClass, ServeError> {
+    match s {
+        "static" => Ok(StorageClass::Static),
+        "heap" => Ok(StorageClass::Heap),
+        "stack" => Ok(StorageClass::Stack),
+        "unknown" => Ok(StorageClass::Unknown),
+        "nomem" => Ok(StorageClass::NoMem),
+        other => Err(ServeError::BadQuery(format!(
+            "unknown class '{other}' (want static|heap|stack|unknown|nomem)"
+        ))),
+    }
+}
+
+fn limit_of(s: Option<&&str>, default: usize) -> Result<usize, ServeError> {
+    match s {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse::<usize>()
+            .map_err(|_| ServeError::BadQuery(format!("bad limit '{raw}'"))),
+    }
+}
+
+fn arity(args: &[&str], min: usize, max: usize, usage: &str) -> Result<(), ServeError> {
+    if args.len() < min || args.len() > max {
+        return Err(ServeError::BadQuery(format!("usage: {usage}")));
+    }
+    Ok(())
+}
+
+/// Render the variable-centric view: every variable with its full
+/// metric vector and allocation metadata, sorted by `metric`.
+fn vars_view(p: &StoredProfiles, metric: Metric) -> String {
+    let vars = p.variables(metric);
+    let mut out = String::new();
+    out.push_str(&format!("VARIABLES by {} ({} variables)\n", metric.name(), vars.len()));
+    out.push_str(&format!(
+        "{:<28} {:>8} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>10}\n",
+        "VARIABLE", "SAMPLES", "LATENCY", "REMOTE", "TLB", "STORES", "ALLOCS", "ZEROED", "BYTES"
+    ));
+    for v in vars {
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>10}\n",
+            v.name,
+            v.metrics[Metric::Samples.col()],
+            v.metrics[Metric::Latency.col()],
+            v.metrics[Metric::Remote.col()],
+            v.metrics[Metric::TlbMiss.col()],
+            v.metrics[Metric::Stores.col()],
+            v.alloc_count,
+            v.alloc_zeroed,
+            v.alloc_bytes,
+        ));
+    }
+    out
+}
+
+/// Render a two-profile diff: the variable-level differential report
+/// (byte-identical to `memgaze --compare`), then the structural
+/// tree-path diff from [`dcp_cct::diff`] over the heap trees.
+fn diff_view(a: &StoredProfiles, b: &StoredProfiles, metric: Metric) -> String {
+    let mut out = compare_report(a, b, metric);
+    let d = cct_diff::diff(a.class_tree(StorageClass::Heap), b.class_tree(StorageClass::Heap));
+    let col = metric.col();
+    out.push_str(&format!(
+        "\nSTRUCTURAL (heap tree): {} paths, net {} {:+}, {} appeared, {} disappeared\n",
+        d.entries.len(),
+        metric.name(),
+        d.total_delta(col),
+        d.appeared().count(),
+        d.disappeared().count(),
+    ));
+    for e in d.ranked(col).into_iter().take(10) {
+        if e.delta(col) == 0 {
+            continue;
+        }
+        let path: Vec<String> = e.path.iter().map(|&f| b.frame_name(f)).collect();
+        out.push_str(&format!("  {:+12}  {}\n", e.delta(col), path.join(" / ")));
+    }
+    out
+}
+
+fn export_hex(p: &StoredProfiles, class: StorageClass) -> String {
+    let raw = p.export(class);
+    let mut out = String::with_capacity(raw.len() * 2);
+    for &b in raw.as_slice() {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Execute one query against the store, going through the response
+/// cache for view queries.
+pub fn handle_query(store: &mut ProfileStore, q: &str) -> Result<String, ServeError> {
+    let words: Vec<&str> = q.split_whitespace().collect();
+    let (&verb, args) = words
+        .split_first()
+        .ok_or_else(|| ServeError::BadQuery("empty query".into()))?;
+
+    // `sets` is live, never cached.
+    if verb == "sets" {
+        arity(args, 0, 0, "sets")?;
+        let mut out = String::from("PROFILE SETS\n");
+        for (name, bundles, epoch, gap) in store.list_sets() {
+            out.push_str(&format!("{name} bundles={bundles} epoch={epoch} gap={gap}\n"));
+        }
+        return Ok(out);
+    }
+
+    // Everything else names one or two sets as its first argument(s);
+    // resolve epochs up front so the cache key is fixed before any
+    // rendering work happens.
+    let set_count = if verb == "diff" { 2 } else { 1 };
+    if args.len() < set_count {
+        return Err(ServeError::BadQuery(format!("'{verb}' needs {set_count} profile set(s)")));
+    }
+    let mut epochs = [0u64; 2];
+    for (i, e) in epochs.iter_mut().enumerate().take(set_count) {
+        *e = store
+            .epoch(args[i])
+            .ok_or_else(|| ServeError::UnknownSet(args[i].to_string()))?;
+    }
+    let key = CacheKey { query: q.to_string(), epochs };
+    if let Some(hit) = store.cache_get(&key) {
+        return Ok(hit);
+    }
+
+    let response = match verb {
+        "ranking" => {
+            arity(args, 2, 3, "ranking <set> <metric> [limit]")?;
+            let snap = store.snapshot(args[0])?;
+            ranking(&*snap, metric_of(args[1])?, limit_of(args.get(2), 12)?)
+        }
+        "topdown" => {
+            arity(args, 3, 3, "topdown <set> <class> <metric>")?;
+            let snap = store.snapshot(args[0])?;
+            top_down(&*snap, class_of(args[1])?, metric_of(args[2])?, TopDownOpts::default())
+        }
+        "bottomup" => {
+            arity(args, 2, 2, "bottomup <set> <metric>")?;
+            let snap = store.snapshot(args[0])?;
+            bottom_up(&*snap, metric_of(args[1])?)
+        }
+        "flat" => {
+            arity(args, 3, 4, "flat <set> <class> <metric> [limit]")?;
+            let snap = store.snapshot(args[0])?;
+            flat(&*snap, class_of(args[1])?, metric_of(args[2])?, limit_of(args.get(3), 12)?)
+        }
+        "vars" => {
+            arity(args, 2, 2, "vars <set> <metric>")?;
+            let snap = store.snapshot(args[0])?;
+            vars_view(&snap, metric_of(args[1])?)
+        }
+        "diff" => {
+            arity(args, 3, 3, "diff <set-a> <set-b> <metric>")?;
+            let before: Arc<StoredProfiles> = store.snapshot(args[0])?;
+            let after: Arc<StoredProfiles> = store.snapshot(args[1])?;
+            diff_view(&before, &after, metric_of(args[2])?)
+        }
+        "export" => {
+            arity(args, 2, 2, "export <set> <class>")?;
+            let snap = store.snapshot(args[0])?;
+            export_hex(&snap, class_of(args[1])?)
+        }
+        other => {
+            return Err(ServeError::BadQuery(format!(
+                "unknown verb '{other}' (want ranking|topdown|bottomup|flat|vars|diff|export|sets)"
+            )))
+        }
+    };
+    store.cache_put(key, response.clone());
+    Ok(response)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+    use dcp_core::stored::{encode_bundle, StoredBundle};
+
+    fn store_with_set(name: &str) -> ProfileStore {
+        let mut st = ProfileStore::new(StoreConfig::default());
+        let b = StoredBundle::default();
+        let wire = encode_bundle(&b).len() as u64;
+        st.ingest(name, None, wire, b).expect("ingest");
+        st
+    }
+
+    #[test]
+    fn empty_set_queries_are_defined() {
+        // An ingested-but-empty set (no profile blobs) renders every
+        // view without error — the served face of the
+        // merge_encoded(vec![], w) edge case.
+        let mut st = store_with_set("empty");
+        for q in [
+            "ranking empty samples",
+            "topdown empty heap latency",
+            "bottomup empty remote",
+            "flat empty heap tlb 5",
+            "vars empty stores",
+            "diff empty empty samples",
+            "export empty heap",
+            "sets",
+        ] {
+            let resp = handle_query(&mut st, q).unwrap_or_else(|e| panic!("{q}: {e}"));
+            assert!(!resp.is_empty(), "{q} produced empty response");
+        }
+    }
+
+    #[test]
+    fn bad_queries_are_typed() {
+        let mut st = store_with_set("a");
+        for q in ["", "bogus a samples", "ranking a watts", "topdown a mars samples",
+                  "ranking a samples not-a-number", "ranking a", "ranking a samples 1 2"] {
+            match handle_query(&mut st, q) {
+                Err(ServeError::BadQuery(_)) => {}
+                other => panic!("{q:?}: expected BadQuery, got {other:?}"),
+            }
+        }
+        assert_eq!(
+            handle_query(&mut st, "ranking nope samples"),
+            Err(ServeError::UnknownSet("nope".into()))
+        );
+    }
+
+    #[test]
+    fn view_queries_hit_the_cache_until_ingest() {
+        let mut st = store_with_set("a");
+        let q = "ranking a samples";
+        let r1 = handle_query(&mut st, q).expect("first");
+        let r2 = handle_query(&mut st, q).expect("second");
+        assert_eq!(r1, r2);
+        let stats = st.stats_text();
+        assert!(stats.contains("cache_hits 1"), "{stats}");
+        // Ingest bumps the epoch: same query misses, then re-caches.
+        let b = StoredBundle::default();
+        let wire = encode_bundle(&b).len() as u64;
+        st.ingest("a", None, wire, b).expect("ingest");
+        handle_query(&mut st, q).expect("after ingest");
+        let stats = st.stats_text();
+        assert!(stats.contains("cache_hits 1"), "{stats}");
+        assert!(stats.contains("cache_misses 2"), "{stats}");
+    }
+}

@@ -1,0 +1,260 @@
+//! The daemon: a TCP accept loop feeding a bounded session pool.
+//!
+//! Sessions run on dedicated OS threads — deliberately NOT on the
+//! fork-join compute pool. A session blocks on socket reads; parking it
+//! on a work-helping pool worker would starve compute (and deadlock
+//! outright under `DCP_THREADS=0`, which has no workers at all). The
+//! compute pool still does what it is for: `merge_encoded` inside a
+//! snapshot fold parallelises across blobs exactly as it does offline.
+//!
+//! Robustness posture per connection: a read timeout bounds how long a
+//! quiet peer can hold a session thread, `MAX_FRAME` bounds allocation,
+//! and every decode failure turns into one best-effort ERR frame before
+//! the connection closes. A SHUTDOWN control frame flips the drain
+//! flag: the acceptor stops taking sockets, in-flight sessions finish
+//! their current request, and `serve()` joins every worker before
+//! returning — no request is abandoned mid-response.
+
+use std::io::ErrorKind;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use dcp_core::stored::decode_bundle;
+
+use crate::error::ServeError;
+use crate::query::handle_query;
+use crate::store::{ProfileStore, StoreConfig};
+use crate::wire::{encode_response, read_frame, write_frame, Request, Response, MAX_FRAME};
+
+/// Everything tunable about a daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Store byte budget (see [`StoreConfig`]).
+    pub byte_budget: u64,
+    /// Largest frame body accepted.
+    pub max_frame: u64,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Concurrent session threads.
+    pub sessions: usize,
+    /// Response-cache bounds.
+    pub cache_entries: usize,
+    pub cache_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let store = StoreConfig::default();
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            byte_budget: store.byte_budget,
+            max_frame: MAX_FRAME,
+            read_timeout: Duration::from_secs(10),
+            sessions: 4,
+            cache_entries: store.cache_entries,
+            cache_bytes: store.cache_bytes,
+        }
+    }
+}
+
+/// A bound, not-yet-serving daemon. `bind` then `local_addr` then
+/// `serve` (which blocks until a SHUTDOWN frame arrives).
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+    store: Arc<Mutex<ProfileStore>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    pub fn bind(config: ServerConfig) -> Result<Self, ServeError> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let store = ProfileStore::new(StoreConfig {
+            byte_budget: config.byte_budget,
+            cache_entries: config.cache_entries,
+            cache_bytes: config.cache_bytes,
+        });
+        Ok(Self {
+            listener,
+            config,
+            store: Arc::new(Mutex::new(store)),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    pub fn local_addr(&self) -> Result<String, ServeError> {
+        Ok(self.listener.local_addr()?.to_string())
+    }
+
+    /// A handle that flips the drain flag from another thread (tests
+    /// and embedders; remote clients use the SHUTDOWN frame).
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Accept and serve until shutdown, then drain. Blocks the calling
+    /// thread for the daemon's whole life.
+    pub fn serve(self) -> Result<(), ServeError> {
+        self.listener.set_nonblocking(true)?;
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(self.config.sessions.max(1));
+        for _ in 0..self.config.sessions.max(1) {
+            let rx = Arc::clone(&rx);
+            let store = Arc::clone(&self.store);
+            let shutdown = Arc::clone(&self.shutdown);
+            let timeout = self.config.read_timeout;
+            let max_frame = self.config.max_frame;
+            workers.push(std::thread::spawn(move || loop {
+                // Holding the receiver lock only while waiting keeps the
+                // other session threads free to pull their own sockets.
+                let next = {
+                    let guard = rx.lock().expect("session queue poisoned");
+                    guard.recv()
+                };
+                match next {
+                    Ok(stream) => handle_conn(stream, &store, &shutdown, timeout, max_frame),
+                    Err(_) => return, // sender dropped: drain complete
+                }
+            }));
+        }
+        // Nonblocking accept poll so the drain flag is honoured even
+        // when no client ever connects again.
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        // Dropping the sender ends every worker's recv loop once the
+        // queued sockets (in-flight sessions) are fully served.
+        drop(tx);
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+fn respond(stream: &mut TcpStream, resp: &Response) -> Result<(), ServeError> {
+    let (k, body) = encode_response(resp);
+    write_frame(stream, k, &body)
+}
+
+fn err_response(e: &ServeError) -> Response {
+    Response::Err(e.code(), e.to_string())
+}
+
+/// Serve one connection until clean EOF, protocol error, or shutdown.
+fn handle_conn(
+    mut stream: TcpStream,
+    store: &Arc<Mutex<ProfileStore>>,
+    shutdown: &Arc<AtomicBool>,
+    timeout: Duration,
+    max_frame: u64,
+) {
+    // The listener is nonblocking for the shutdown poll; make sure the
+    // accepted socket is not (inheritance is platform-dependent). No
+    // Nagle: responses are single frames and latency is the product.
+    if stream.set_nonblocking(false).is_err()
+        || stream.set_read_timeout(Some(timeout)).is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    loop {
+        let frame = match read_frame(&mut stream, max_frame) {
+            Ok(Some(f)) => f,
+            Ok(None) => return, // clean EOF at a frame boundary
+            Err(e) => {
+                // Best effort: the peer may already be gone.
+                let _ = respond(&mut stream, &err_response(&e));
+                return;
+            }
+        };
+        let req = match parse(frame) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = respond(&mut stream, &err_response(&e));
+                // An unparseable frame means we may have lost framing
+                // sync; do not trust the rest of the stream.
+                return;
+            }
+        };
+        let draining = shutdown.load(Ordering::SeqCst);
+        let resp = match req {
+            Request::Ping => Response::Ok("pong".to_string()),
+            Request::Stats => {
+                let start = Instant::now();
+                let mut st = store.lock().expect("store poisoned");
+                let text = st.stats_text();
+                st.record("stats", start.elapsed().as_micros() as u64);
+                Response::Ok(text)
+            }
+            Request::Query(q) => {
+                if draining {
+                    err_response(&ServeError::ShuttingDown)
+                } else {
+                    let start = Instant::now();
+                    let mut st = store.lock().expect("store poisoned");
+                    let out = handle_query(&mut st, &q);
+                    st.record("query", start.elapsed().as_micros() as u64);
+                    match out {
+                        Ok(text) => Response::Ok(text),
+                        Err(e) => err_response(&e),
+                    }
+                }
+            }
+            Request::Ingest { set, seq, bundle } => {
+                if draining {
+                    err_response(&ServeError::ShuttingDown)
+                } else {
+                    let start = Instant::now();
+                    let wire_len = bundle.len() as u64;
+                    // Decode (full validation) outside the store lock so
+                    // a big bundle never stalls concurrent queries.
+                    match decode_bundle(bundle) {
+                        Err(e) => err_response(&ServeError::Codec(e)),
+                        Ok(b) => {
+                            let mut st = store.lock().expect("store poisoned");
+                            let out = st.ingest(&set, seq, wire_len, b);
+                            st.record("ingest", start.elapsed().as_micros() as u64);
+                            match out {
+                                Ok((seq, epoch)) => Response::Ok(format!(
+                                    "ingested set={set} seq={seq} epoch={epoch}"
+                                )),
+                                Err(e) => err_response(&e),
+                            }
+                        }
+                    }
+                }
+            }
+            Request::Shutdown => {
+                shutdown.store(true, Ordering::SeqCst);
+                let _ = respond(&mut stream, &Response::Ok("draining".to_string()));
+                return;
+            }
+        };
+        if respond(&mut stream, &resp).is_err() {
+            return;
+        }
+    }
+}
+
+fn parse((k, body): (u8, dcp_support::bytes::Bytes)) -> Result<Request, ServeError> {
+    crate::wire::parse_request(k, body)
+}

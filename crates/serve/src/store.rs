@@ -1,0 +1,331 @@
+//! The profile store: named sets with incremental ingest, a byte
+//! budget, epochs, and the response cache.
+//!
+//! Each named set wraps a [`StoredAccumulator`] plus a reorder buffer.
+//! Clients may assign sequence numbers to their bundles; the store
+//! commits only the contiguous sequence prefix, buffering gaps, so a
+//! fixed (set, seq) assignment produces the same merged bytes no matter
+//! how the network interleaves connections — the incremental-merge
+//! invariant extends through the server (the loopback test pins it).
+//! Ingests without a sequence take server arrival order.
+//!
+//! Every committed ingest advances the set's **epoch**. Query responses
+//! are cached keyed by `(query, epoch)`; an ingest therefore never
+//! serves a stale response — superseded entries simply age out of the
+//! LRU. A byte budget bounds the store: an ingest that would exceed it
+//! is rejected with a typed error before any state changes.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use dcp_core::stored::{StoredAccumulator, StoredBundle, StoredProfiles};
+use dcp_support::stats::LatencyHistogram;
+use dcp_support::{FxHashMap, LruCache};
+
+use crate::error::ServeError;
+
+/// Store sizing.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Cap on total ingested bundle bytes across all sets.
+    pub byte_budget: u64,
+    /// Response cache entry cap.
+    pub cache_entries: usize,
+    /// Response cache byte cap.
+    pub cache_bytes: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            byte_budget: 256 * 1024 * 1024,
+            cache_entries: 512,
+            cache_bytes: 16 * 1024 * 1024,
+        }
+    }
+}
+
+/// Cache key: the query text plus the epoch of each profile set it
+/// reads (0 for unused slots). A new epoch keys new entries; old ones
+/// can never hit again and age out of the LRU.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    pub query: String,
+    pub epochs: [u64; 2],
+}
+
+struct ProfileSet {
+    acc: StoredAccumulator,
+    /// Out-of-order bundles waiting for the sequence gap to fill.
+    pending: BTreeMap<u64, StoredBundle>,
+    /// Next sequence number to commit.
+    next_seq: u64,
+    epoch: u64,
+    snapshot: Option<Arc<StoredProfiles>>,
+}
+
+impl ProfileSet {
+    fn new() -> Self {
+        Self {
+            acc: StoredAccumulator::new(),
+            pending: BTreeMap::new(),
+            next_seq: 0,
+            epoch: 0,
+            snapshot: None,
+        }
+    }
+}
+
+/// The whole server state behind one lock: sets, cache, counters.
+pub struct ProfileStore {
+    config: StoreConfig,
+    sets: FxHashMap<String, ProfileSet>,
+    cache: LruCache<CacheKey, String>,
+    bytes_stored: u64,
+    ingests: u64,
+    queries: u64,
+    latency: FxHashMap<&'static str, LatencyHistogram>,
+}
+
+impl ProfileStore {
+    pub fn new(config: StoreConfig) -> Self {
+        let cache = LruCache::new(config.cache_entries, config.cache_bytes);
+        Self {
+            config,
+            sets: FxHashMap::default(),
+            cache,
+            bytes_stored: 0,
+            ingests: 0,
+            queries: 0,
+            latency: FxHashMap::default(),
+        }
+    }
+
+    /// Add one decoded bundle to `set`. `wire_bytes` is the encoded
+    /// bundle size, charged against the byte budget. Returns the
+    /// committed-or-buffered sequence number and the set's epoch after
+    /// the ingest.
+    pub fn ingest(
+        &mut self,
+        set: &str,
+        seq: Option<u64>,
+        wire_bytes: u64,
+        bundle: StoredBundle,
+    ) -> Result<(u64, u64), ServeError> {
+        if self.bytes_stored.saturating_add(wire_bytes) > self.config.byte_budget {
+            return Err(ServeError::BudgetExceeded {
+                budget: self.config.byte_budget,
+                stored: self.bytes_stored,
+                requested: wire_bytes,
+            });
+        }
+        let entry = self.sets.entry(set.to_string()).or_insert_with(ProfileSet::new);
+        let seq = match seq {
+            Some(s) => {
+                if s < entry.next_seq || entry.pending.contains_key(&s) {
+                    return Err(ServeError::DuplicateSeq(s));
+                }
+                s
+            }
+            // Arrival order: the next number no explicit ingest claimed.
+            None => entry.pending.last_key_value().map_or(entry.next_seq, |(&k, _)| k + 1),
+        };
+        entry.pending.insert(seq, bundle);
+        // Commit the contiguous prefix in sequence order — the only
+        // order that ever reaches the accumulator.
+        while let Some(b) = entry.pending.remove(&entry.next_seq) {
+            entry.acc.ingest(b);
+            entry.next_seq += 1;
+            entry.epoch += 1;
+            entry.snapshot = None;
+        }
+        self.bytes_stored += wire_bytes;
+        self.ingests += 1;
+        Ok((seq, entry.epoch))
+    }
+
+    /// The set's current epoch (0 if it does not exist — the empty set
+    /// is served as epoch 0 rather than an error on the query path that
+    /// wants it; resolution of unknown names is the query layer's call).
+    pub fn epoch(&self, set: &str) -> Option<u64> {
+        self.sets.get(set).map(|s| s.epoch)
+    }
+
+    /// A renderable snapshot of `set` at its current epoch. Snapshots
+    /// are cached per epoch; folding happens at most once per epoch.
+    pub fn snapshot(&mut self, set: &str) -> Result<Arc<StoredProfiles>, ServeError> {
+        let entry = self
+            .sets
+            .get_mut(set)
+            .ok_or_else(|| ServeError::UnknownSet(set.to_string()))?;
+        if let Some(s) = &entry.snapshot {
+            return Ok(Arc::clone(s));
+        }
+        // Bundles were validated at decode time, so a fold error here is
+        // unreachable in practice; surface it typed anyway.
+        let snap = Arc::new(entry.acc.snapshot()?);
+        entry.snapshot = Some(Arc::clone(&snap));
+        Ok(snap)
+    }
+
+    /// Sorted `(name, bundles, epoch, gap)` rows for the `sets` query.
+    pub fn list_sets(&self) -> Vec<(String, u64, u64, usize)> {
+        let mut rows: Vec<(String, u64, u64, usize)> = self
+            .sets
+            .iter()
+            .map(|(n, s)| (n.clone(), s.acc.bundles(), s.epoch, s.pending.len()))
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    pub fn cache_get(&mut self, key: &CacheKey) -> Option<String> {
+        self.cache.get(key).cloned()
+    }
+
+    pub fn cache_put(&mut self, key: CacheKey, response: String) {
+        let cost = key.query.len() + response.len();
+        self.cache.insert(key, response, cost);
+    }
+
+    /// Record one served request of `kind` taking `micros`.
+    pub fn record(&mut self, kind: &'static str, micros: u64) {
+        self.latency.entry(kind).or_default().record(micros);
+        if kind == "query" {
+            self.queries += 1;
+        }
+    }
+
+    pub fn note_query(&mut self) {
+        self.queries += 1;
+    }
+
+    /// The `/metrics`-style stats report. Deterministic ordering; the
+    /// counters themselves obviously advance between calls.
+    pub fn stats_text(&self) -> String {
+        let mut out = String::from("SERVE STATS\n");
+        out.push_str(&format!("ingests {}\n", self.ingests));
+        out.push_str(&format!("queries {}\n", self.queries));
+        let merges: u64 = self.sets.values().map(|s| s.acc.folds()).sum();
+        out.push_str(&format!("merges {}\n", merges));
+        out.push_str(&format!("bytes_stored {}\n", self.bytes_stored));
+        out.push_str(&format!("byte_budget {}\n", self.config.byte_budget));
+        out.push_str(&format!("sets {}\n", self.sets.len()));
+        out.push_str(&format!(
+            "cache_hits {}\ncache_misses {}\ncache_hit_rate {:.3}\ncache_entries {}\ncache_bytes {}\n",
+            self.cache.hits(),
+            self.cache.misses(),
+            self.cache.hit_rate(),
+            self.cache.len(),
+            self.cache.bytes()
+        ));
+        let mut kinds: Vec<&&'static str> = self.latency.keys().collect();
+        kinds.sort();
+        for k in kinds {
+            out.push_str(&format!("latency_us[{k}] {}\n", self.latency[*k].render()));
+        }
+        for (name, bundles, epoch, gap) in self.list_sets() {
+            out.push_str(&format!("set[{name}] bundles={bundles} epoch={epoch} gap={gap}\n"));
+        }
+        out
+    }
+
+    pub fn bytes_stored(&self) -> u64 {
+        self.bytes_stored
+    }
+
+    pub fn ingests(&self) -> u64 {
+        self.ingests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_core::metrics::StorageClass;
+    use dcp_core::stored::encode_bundle;
+
+    fn bundle() -> (StoredBundle, u64) {
+        // A metadata-only bundle is enough to drive the store machinery.
+        let mut b = StoredBundle::default();
+        b.stats.samples = 1;
+        let wire = encode_bundle(&b).len() as u64;
+        (b, wire)
+    }
+
+    #[test]
+    fn out_of_order_seqs_commit_in_order() {
+        let mut st = ProfileStore::new(StoreConfig::default());
+        let (b, w) = bundle();
+        // seq 1 arrives first: buffered, epoch stays 0.
+        let (s1, e1) = st.ingest("a", Some(1), w, b.clone()).expect("buffered");
+        assert_eq!((s1, e1), (1, 0));
+        // seq 0 fills the gap: both commit, epoch jumps to 2.
+        let (s0, e0) = st.ingest("a", Some(0), w, b.clone()).expect("commits");
+        assert_eq!((s0, e0), (0, 2));
+        let snap = st.snapshot("a").expect("snapshot");
+        assert_eq!(snap.stats().samples, 2);
+    }
+
+    #[test]
+    fn duplicate_seq_is_typed() {
+        let mut st = ProfileStore::new(StoreConfig::default());
+        let (b, w) = bundle();
+        st.ingest("a", Some(0), w, b.clone()).expect("first");
+        assert_eq!(st.ingest("a", Some(0), w, b.clone()), Err(ServeError::DuplicateSeq(0)));
+        // Buffered duplicates are caught too.
+        st.ingest("a", Some(5), w, b.clone()).expect("buffered");
+        assert_eq!(st.ingest("a", Some(5), w, b), Err(ServeError::DuplicateSeq(5)));
+    }
+
+    #[test]
+    fn budget_rejection_is_typed_and_mutation_free() {
+        let (b, w) = bundle();
+        let mut st = ProfileStore::new(StoreConfig {
+            byte_budget: w * 2,
+            ..StoreConfig::default()
+        });
+        st.ingest("a", None, w, b.clone()).expect("fits");
+        st.ingest("a", None, w, b.clone()).expect("fits");
+        let err = st.ingest("a", None, w, b).expect_err("over budget");
+        assert!(matches!(err, ServeError::BudgetExceeded { .. }));
+        assert_eq!(st.ingests(), 2);
+        assert_eq!(st.bytes_stored(), w * 2);
+        assert_eq!(st.epoch("a"), Some(2));
+    }
+
+    #[test]
+    fn snapshot_is_cached_per_epoch_and_invalidated_on_ingest() {
+        let mut st = ProfileStore::new(StoreConfig::default());
+        let (b, w) = bundle();
+        st.ingest("a", None, w, b.clone()).expect("ingest");
+        let s1 = st.snapshot("a").expect("snap");
+        let s2 = st.snapshot("a").expect("snap again");
+        assert!(Arc::ptr_eq(&s1, &s2), "same epoch reuses the snapshot");
+        st.ingest("a", None, w, b).expect("ingest");
+        let s3 = st.snapshot("a").expect("snap after ingest");
+        assert!(!Arc::ptr_eq(&s1, &s3), "new epoch, new snapshot");
+        assert!(s3.export(StorageClass::Heap).len() > 0);
+    }
+
+    #[test]
+    fn unknown_set_is_typed() {
+        let mut st = ProfileStore::new(StoreConfig::default());
+        assert_eq!(st.snapshot("nope").err(), Some(ServeError::UnknownSet("nope".into())));
+    }
+
+    #[test]
+    fn response_cache_hits_by_epoch() {
+        let mut st = ProfileStore::new(StoreConfig::default());
+        let k0 = CacheKey { query: "ranking a latency".into(), epochs: [1, 0] };
+        assert!(st.cache_get(&k0).is_none());
+        st.cache_put(k0.clone(), "resp".into());
+        assert_eq!(st.cache_get(&k0).as_deref(), Some("resp"));
+        // A new epoch is a different key: miss.
+        let k1 = CacheKey { query: "ranking a latency".into(), epochs: [2, 0] };
+        assert!(st.cache_get(&k1).is_none());
+        let stats = st.stats_text();
+        assert!(stats.contains("cache_hits 1"), "{stats}");
+        assert!(stats.contains("cache_misses 2"), "{stats}");
+    }
+}

@@ -1,0 +1,305 @@
+//! The length-prefixed binary frame protocol.
+//!
+//! Every message in either direction is one frame:
+//!
+//! ```text
+//! +----------+------+-----------+------------------+
+//! | "DCPS"   | kind | len (u32) | body (len bytes) |
+//! +----------+------+-----------+------------------+
+//! ```
+//!
+//! Request kinds: `PING`, `INGEST`, `QUERY`, `STATS`, `SHUTDOWN`.
+//! Response kinds: `OK` (UTF-8 text body) and `ERR` (u16 code + UTF-8
+//! message). Payload fields use the same LEB128 varint dialect as the
+//! profile codec; the ingest body embeds a DCPB bundle verbatim.
+//!
+//! Both sides decode frames defensively: bad magic, unknown kinds,
+//! oversized length prefixes, truncation, and non-UTF-8 strings are all
+//! typed [`ServeError`]s — never panics — and a stream that goes quiet
+//! mid-frame is cut off by the socket read timeout.
+
+use std::io::{ErrorKind, Read, Write};
+
+use dcp_cct::codec::{get_slice, get_varint, put_varint};
+use dcp_cct::CodecError;
+use dcp_support::bytes::{Bytes, BytesMut};
+
+use crate::error::ServeError;
+
+/// Frame magic: "DCPS".
+pub const MAGIC: [u8; 4] = *b"DCPS";
+
+/// Default cap on one frame's body. Ingest frames carry whole bundles,
+/// so this is generous; queries are tiny.
+pub const MAX_FRAME: u64 = 64 * 1024 * 1024;
+
+/// Frame kind bytes.
+pub mod kind {
+    pub const PING: u8 = 0;
+    pub const INGEST: u8 = 1;
+    pub const QUERY: u8 = 2;
+    pub const STATS: u8 = 3;
+    pub const SHUTDOWN: u8 = 4;
+    pub const OK: u8 = 0x80;
+    pub const ERR: u8 = 0x81;
+}
+
+/// One parsed request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    Ping,
+    /// Add one encoded bundle to profile set `set`. `seq` orders
+    /// concurrent ingests deterministically; `None` lets the server
+    /// assign arrival order.
+    Ingest { set: String, seq: Option<u64>, bundle: Bytes },
+    Query(String),
+    Stats,
+    Shutdown,
+}
+
+/// One parsed response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    Ok(String),
+    Err(u16, String),
+}
+
+fn field_err(e: CodecError) -> ServeError {
+    match e {
+        CodecError::Truncated => ServeError::Truncated,
+        other => ServeError::Codec(other),
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, ServeError> {
+    let len = get_varint(buf).map_err(field_err)?;
+    if len > buf.remaining() as u64 {
+        return Err(ServeError::Truncated);
+    }
+    let raw = get_slice(buf, len as usize).map_err(field_err)?;
+    std::str::from_utf8(raw.as_slice())
+        .map(str::to_string)
+        .map_err(|_| ServeError::BadUtf8)
+}
+
+/// Serialize a request to its frame body (without the frame header).
+pub fn encode_request(req: &Request) -> (u8, Bytes) {
+    let mut buf = BytesMut::new();
+    let k = match req {
+        Request::Ping => kind::PING,
+        Request::Ingest { set, seq, bundle } => {
+            put_str(&mut buf, set);
+            match seq {
+                Some(s) => {
+                    buf.put_u8(1);
+                    put_varint(&mut buf, *s);
+                }
+                None => buf.put_u8(0),
+            }
+            buf.put_slice(bundle);
+            kind::INGEST
+        }
+        Request::Query(q) => {
+            buf.put_slice(q.as_bytes());
+            kind::QUERY
+        }
+        Request::Stats => kind::STATS,
+        Request::Shutdown => kind::SHUTDOWN,
+    };
+    (k, buf.freeze())
+}
+
+/// Parse a request frame body. Response kinds arriving where a request
+/// is expected are [`ServeError::BadKind`].
+pub fn parse_request(k: u8, mut body: Bytes) -> Result<Request, ServeError> {
+    match k {
+        kind::PING => Ok(Request::Ping),
+        kind::INGEST => {
+            let set = get_str(&mut body)?;
+            if !body.has_remaining() {
+                return Err(ServeError::Truncated);
+            }
+            let seq = match body.get_u8() {
+                0 => None,
+                1 => Some(get_varint(&mut body).map_err(field_err)?),
+                _ => return Err(ServeError::Truncated),
+            };
+            Ok(Request::Ingest { set, seq, bundle: body })
+        }
+        kind::QUERY => std::str::from_utf8(body.as_slice())
+            .map(|q| Request::Query(q.to_string()))
+            .map_err(|_| ServeError::BadUtf8),
+        kind::STATS => Ok(Request::Stats),
+        kind::SHUTDOWN => Ok(Request::Shutdown),
+        other => Err(ServeError::BadKind(other)),
+    }
+}
+
+/// Serialize a response to its frame body.
+pub fn encode_response(resp: &Response) -> (u8, Bytes) {
+    let mut buf = BytesMut::new();
+    match resp {
+        Response::Ok(text) => {
+            buf.put_slice(text.as_bytes());
+            (kind::OK, buf.freeze())
+        }
+        Response::Err(code, msg) => {
+            buf.put_u16(*code);
+            buf.put_slice(msg.as_bytes());
+            (kind::ERR, buf.freeze())
+        }
+    }
+}
+
+/// Parse a response frame body.
+pub fn parse_response(k: u8, mut body: Bytes) -> Result<Response, ServeError> {
+    match k {
+        kind::OK => std::str::from_utf8(body.as_slice())
+            .map(|t| Response::Ok(t.to_string()))
+            .map_err(|_| ServeError::BadUtf8),
+        kind::ERR => {
+            if body.remaining() < 2 {
+                return Err(ServeError::Truncated);
+            }
+            let code = body.get_u16();
+            let msg = std::str::from_utf8(body.as_slice())
+                .map_err(|_| ServeError::BadUtf8)?
+                .to_string();
+            Ok(Response::Err(code, msg))
+        }
+        other => Err(ServeError::BadKind(other)),
+    }
+}
+
+/// Write one frame as a single `write_all` (header + body in one
+/// buffer): one syscall, one TCP segment for small frames — two small
+/// writes would hand Nagle + delayed-ACK a ~40 ms stall per request.
+pub fn write_frame(w: &mut impl Write, k: u8, body: &[u8]) -> Result<(), ServeError> {
+    debug_assert!(body.len() as u64 <= u32::MAX as u64);
+    let mut frame = Vec::with_capacity(9 + body.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.push(k);
+    frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    frame.extend_from_slice(body);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame. `Ok(None)` means the peer closed the stream cleanly
+/// at a frame boundary; truncation inside a frame, bad magic, unknown
+/// kinds, and oversized length prefixes are typed errors; a read
+/// timeout surfaces as [`ServeError::Io`].
+pub fn read_frame(r: &mut impl Read, max: u64) -> Result<Option<(u8, Bytes)>, ServeError> {
+    let mut header = [0u8; 9];
+    let mut got = 0usize;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) => {
+                return if got == 0 { Ok(None) } else { Err(ServeError::Truncated) };
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    if header[..4] != MAGIC {
+        return Err(ServeError::BadMagic);
+    }
+    let k = header[4];
+    let known = matches!(
+        k,
+        kind::PING | kind::INGEST | kind::QUERY | kind::STATS | kind::SHUTDOWN
+            | kind::OK | kind::ERR
+    );
+    if !known {
+        return Err(ServeError::BadKind(k));
+    }
+    let len = u32::from_be_bytes(header[5..9].try_into().expect("4 bytes")) as u64;
+    if len > max {
+        return Err(ServeError::FrameTooLarge { len, max });
+    }
+    let mut body = vec![0u8; len as usize];
+    let mut got = 0usize;
+    while got < body.len() {
+        match r.read(&mut body[got..]) {
+            Ok(0) => return Err(ServeError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let mut buf = BytesMut::with_capacity(body.len());
+    buf.put_slice(&body);
+    Ok(Some((k, buf.freeze())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip_request(req: Request) {
+        let (k, body) = encode_request(&req);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, k, &body).expect("write");
+        let mut cur = Cursor::new(wire);
+        let (rk, rbody) = read_frame(&mut cur, MAX_FRAME).expect("read").expect("frame");
+        assert_eq!(rk, k);
+        assert_eq!(parse_request(rk, rbody).expect("parse"), req);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Query("ranking nw latency 10".into()));
+        let mut b = BytesMut::new();
+        b.put_slice(b"fake-bundle-bytes");
+        roundtrip_request(Request::Ingest { set: "nw".into(), seq: Some(7), bundle: b.freeze() });
+        let mut b = BytesMut::new();
+        b.put_slice(&[1, 2, 3]);
+        roundtrip_request(Request::Ingest { set: "s".into(), seq: None, bundle: b.freeze() });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in [Response::Ok("hello\nworld".into()), Response::Err(9, "too big".into())] {
+            let (k, body) = encode_response(&resp);
+            assert_eq!(parse_response(k, body).expect("parse"), resp);
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_partial_is_truncated() {
+        let mut empty = Cursor::new(Vec::new());
+        assert!(read_frame(&mut empty, MAX_FRAME).expect("clean eof").is_none());
+
+        let (k, body) = encode_request(&Request::Ping);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, k, &body).expect("write");
+        for cut in 1..wire.len() {
+            let mut cur = Cursor::new(wire[..cut].to_vec());
+            assert!(
+                matches!(read_frame(&mut cur, MAX_FRAME), Err(ServeError::Truncated)),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&MAGIC);
+        wire.push(kind::QUERY);
+        wire.extend_from_slice(&u32::MAX.to_be_bytes());
+        let err = read_frame(&mut Cursor::new(wire), 1024).expect_err("too large");
+        assert_eq!(err, ServeError::FrameTooLarge { len: u32::MAX as u64, max: 1024 });
+    }
+}

@@ -1,0 +1,231 @@
+//! Loopback end-to-end: real sockets, concurrent clients, and the
+//! determinism contract — a profile set assembled by a racing client
+//! pool serves trees byte-identical to `merge_encoded_sequential` over
+//! the same blobs in sequence order.
+
+use std::time::Duration;
+
+use dcp_cct::{encode, merge_encoded_sequential, Cct, Frame, ROOT};
+use dcp_core::metrics::{StorageClass, WIDTH};
+use dcp_core::stored::{encode_bundle, StoredBundle};
+use dcp_serve::{Client, Server, ServerConfig, ServeError};
+use dcp_support::bytes::Bytes;
+use dcp_support::pool;
+
+fn spawn_server(config: ServerConfig) -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.serve().expect("serve"));
+    (addr, handle)
+}
+
+fn shutdown(addr: &str, handle: std::thread::JoinHandle<()>) {
+    Client::connect(addr).expect("connect").shutdown().expect("shutdown");
+    handle.join().expect("join");
+}
+
+/// A distinct small bundle per `seed`: a heap tree and a static tree
+/// whose shapes overlap across seeds (so merging actually folds paths)
+/// but whose values differ (so ordering mistakes change bytes).
+fn bundle(seed: u64) -> StoredBundle {
+    let mut heap = Cct::new(WIDTH);
+    let hm = heap.child(ROOT, Frame::HeapMarker);
+    let p = heap.child(hm, Frame::Proc(seed % 3));
+    let s = heap.child(p, Frame::Stmt(0x100 + seed % 5));
+    heap.add(s, 0, 1 + seed);
+    heap.add(s, 1, 100 * (seed + 1));
+    let mut stat = Cct::new(WIDTH);
+    let v = stat.child(ROOT, Frame::StaticVar(seed % 2));
+    stat.add(v, 0, seed + 7);
+    let mut b = StoredBundle::default();
+    b.profiles[StorageClass::Heap.idx()].push(encode(&heap));
+    b.profiles[StorageClass::Static.idx()].push(encode(&stat));
+    b.names.insert(Frame::Proc(seed % 3), format!("proc_{}", seed % 3));
+    b.names.insert(Frame::StaticVar(seed % 2), format!("g_{}", seed % 2));
+    b.stats.samples = 1 + seed;
+    b
+}
+
+fn hex(raw: &[u8]) -> String {
+    raw.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[test]
+fn concurrent_ingest_is_byte_identical_to_sequential_merge() {
+    let (addr, handle) = spawn_server(ServerConfig::default());
+    // A client pool sized like the compute pool, racing over real
+    // sockets; client-assigned sequence numbers pin the merge order.
+    let clients = pool::parallelism().max(2);
+    let per_client = 4usize;
+    let total = clients * per_client;
+    let bundles: Vec<StoredBundle> = (0..total as u64).map(bundle).collect();
+    let encoded: Vec<Bytes> = bundles.iter().map(encode_bundle).collect();
+
+    let mut threads = Vec::new();
+    for c in 0..clients {
+        let addr = addr.clone();
+        // Client c takes every clients-th sequence number, so commits
+        // interleave across connections instead of arriving in runs.
+        let mine: Vec<(u64, Bytes)> = (0..total)
+            .filter(|i| i % clients == c)
+            .map(|i| (i as u64, encoded[i].clone()))
+            .collect();
+        threads.push(std::thread::spawn(move || {
+            let mut cl = Client::connect(&addr).expect("connect");
+            for (seq, blob) in mine {
+                cl.ingest("race", Some(seq), blob).expect("ingest");
+            }
+        }));
+    }
+    for t in threads {
+        t.join().expect("client thread");
+    }
+
+    let mut cl = Client::connect(&addr).expect("connect");
+    for class in [StorageClass::Heap, StorageClass::Static] {
+        // Reference: one sequential merge over the same blobs in
+        // sequence order — the offline ground truth.
+        let blobs: Vec<Bytes> = bundles
+            .iter()
+            .flat_map(|b| b.profiles[class.idx()].iter().cloned())
+            .collect();
+        let reference = merge_encoded_sequential(blobs, WIDTH).expect("reference merge");
+        let name = match class {
+            StorageClass::Heap => "heap",
+            _ => "static",
+        };
+        let served = cl.query(&format!("export race {name}")).expect("export");
+        assert_eq!(
+            served,
+            hex(&encode(&reference)),
+            "served {name} tree differs from the sequential merge"
+        );
+    }
+    // All committed: no sequence gap left behind.
+    let sets = cl.query("sets").expect("sets");
+    assert!(sets.contains(&format!("race bundles={total} epoch={total} gap=0")), "{sets}");
+    drop(cl);
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn out_of_order_and_gapped_ingest_commits_deterministically() {
+    let (addr, handle) = spawn_server(ServerConfig::default());
+    let mut cl = Client::connect(&addr).expect("connect");
+    let bundles: Vec<StoredBundle> = (0..5u64).map(bundle).collect();
+    // Send 4, 2, 0, 3, 1: nothing commits past the first gap until the
+    // gap fills; the final tree must still equal sequential order.
+    for &i in &[4usize, 2, 0, 3, 1] {
+        cl.ingest("ooo", Some(i as u64), encode_bundle(&bundles[i])).expect("ingest");
+    }
+    let blobs: Vec<Bytes> = bundles
+        .iter()
+        .flat_map(|b| b.profiles[StorageClass::Heap.idx()].iter().cloned())
+        .collect();
+    let reference = merge_encoded_sequential(blobs, WIDTH).expect("reference");
+    let served = cl.query("export ooo heap").expect("export");
+    assert_eq!(served, hex(&encode(&reference)));
+    drop(cl);
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn byte_budget_rejection_is_typed_and_sticky() {
+    let (addr, handle) = spawn_server(ServerConfig {
+        byte_budget: 1, // everything real is over budget
+        ..ServerConfig::default()
+    });
+    let mut cl = Client::connect(&addr).expect("connect");
+    let err = cl.ingest("s", None, encode_bundle(&bundle(0))).expect_err("over budget");
+    assert_eq!(err.code(), ServeError::BudgetExceeded { budget: 0, stored: 0, requested: 0 }.code());
+    // Nothing was stored: the set does not exist.
+    let err = cl.query("ranking s samples").expect_err("set must not exist");
+    assert_eq!(err.code(), ServeError::UnknownSet(String::new()).code());
+    let stats = cl.stats().expect("stats");
+    assert!(stats.contains("bytes_stored 0"), "{stats}");
+    drop(cl);
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn duplicate_sequence_is_rejected() {
+    let (addr, handle) = spawn_server(ServerConfig::default());
+    let mut cl = Client::connect(&addr).expect("connect");
+    cl.ingest("s", Some(0), encode_bundle(&bundle(0))).expect("first");
+    let err = cl.ingest("s", Some(0), encode_bundle(&bundle(1))).expect_err("dup");
+    assert_eq!(err.code(), ServeError::DuplicateSeq(0).code());
+    drop(cl);
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn empty_set_is_served_with_defined_views() {
+    // The served face of the merge_encoded(vec![], w) edge: a set whose
+    // only bundle carries zero profile blobs renders every view.
+    let (addr, handle) = spawn_server(ServerConfig::default());
+    let mut cl = Client::connect(&addr).expect("connect");
+    cl.ingest("empty", None, encode_bundle(&StoredBundle::default())).expect("ingest");
+    for q in [
+        "ranking empty samples",
+        "topdown empty heap latency",
+        "bottomup empty remote",
+        "flat empty heap tlb",
+        "vars empty stores",
+        "diff empty empty samples",
+        "export empty heap",
+    ] {
+        let resp = cl.query(q).unwrap_or_else(|e| panic!("{q}: {e}"));
+        assert!(!resp.is_empty(), "{q} returned nothing");
+    }
+    // The empty heap tree exports as a root-only profile, not garbage.
+    let served = cl.query("export empty heap").expect("export");
+    assert_eq!(served, hex(&encode(&Cct::new(WIDTH))));
+    drop(cl);
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn cache_hits_and_stats_are_visible_over_the_wire() {
+    let (addr, handle) = spawn_server(ServerConfig::default());
+    let mut cl = Client::connect(&addr).expect("connect");
+    cl.ingest("s", None, encode_bundle(&bundle(0))).expect("ingest");
+    let r1 = cl.query("ranking s samples").expect("first");
+    let r2 = cl.query("ranking s samples").expect("second");
+    assert_eq!(r1, r2, "cached response must be byte-identical");
+    let stats = cl.stats().expect("stats");
+    assert!(stats.contains("ingests 1"), "{stats}");
+    assert!(stats.contains("cache_hits 1"), "{stats}");
+    assert!(stats.contains("latency_us[query]"), "{stats}");
+    assert!(stats.contains("latency_us[ingest]"), "{stats}");
+    // Ingest invalidates: the same query recomputes under the new epoch.
+    cl.ingest("s", None, encode_bundle(&bundle(1))).expect("ingest 2");
+    let r3 = cl.query("ranking s samples").expect("third");
+    assert_ne!(r1, r3, "epoch bump must change the served ranking");
+    drop(cl);
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn shutdown_drains_and_refuses_new_work() {
+    let (addr, handle) = spawn_server(ServerConfig::default());
+    let mut a = Client::connect(&addr).expect("connect a");
+    let mut b = Client::connect(&addr).expect("connect b");
+    a.ingest("s", None, encode_bundle(&bundle(0))).expect("ingest");
+    assert_eq!(b.shutdown().expect("shutdown"), "draining");
+    // The already-open connection gets a typed refusal for new queries.
+    match a.query("ranking s samples") {
+        Err(e) => assert_eq!(e.code(), ServeError::ShuttingDown.code()),
+        Ok(_) => panic!("draining server must refuse new queries"),
+    }
+    drop(a);
+    drop(b);
+    // serve() returns: every worker joined, nothing left hanging.
+    handle.join().expect("join");
+    // And the port is actually released.
+    assert!(
+        Client::connect_with_timeout(&addr, Duration::from_millis(200))
+            .and_then(|mut c| c.ping())
+            .is_err(),
+        "daemon must be gone after drain"
+    );
+}

@@ -1,0 +1,312 @@
+//! Wire-protocol robustness sweep (fuzz-style, deterministic seeds) —
+//! the serving-layer mirror of `crates/cct/tests/robustness.rs`.
+//!
+//! The hardening claim is the same and absolute: *no* crafted byte
+//! stream makes either side of the protocol panic or hang. A corpus of
+//! valid frames is ground three ways — truncation at every offset,
+//! a single-bit flip at every position, and outright random bytes —
+//! through the frame reader and both body parsers; a live server then
+//! takes the same abuse over real sockets, bounded by its read timeout.
+
+use std::io::{Cursor, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use dcp_cct::{encode, Cct, Frame, ROOT};
+use dcp_core::metrics::WIDTH;
+use dcp_core::stored::{encode_bundle, StoredBundle};
+use dcp_serve::wire::{
+    encode_request, encode_response, parse_request, parse_response, read_frame, write_frame,
+    Request, Response, MAX_FRAME,
+};
+use dcp_serve::{Client, Server, ServerConfig, ServeError};
+use dcp_support::bytes::BytesMut;
+use dcp_support::rng::SmallRng;
+
+fn frame_bytes(k: u8, body: &[u8]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    write_frame(&mut wire, k, body).expect("write");
+    wire
+}
+
+/// A small but non-trivial bundle: one heap tree, names, a hint, an
+/// allocation record.
+fn sample_bundle() -> StoredBundle {
+    let mut t = Cct::new(WIDTH);
+    let hm = t.child(ROOT, Frame::HeapMarker);
+    let p = t.child(hm, Frame::Proc(0));
+    let s = t.child(p, Frame::Stmt(0x40));
+    t.add(s, 0, 17);
+    t.add(s, 1, 400);
+    let mut b = StoredBundle::default();
+    b.profiles[1].push(encode(&t));
+    b.names.insert(Frame::Proc(0), "main".into());
+    b.names.insert(Frame::Stmt(0x40), "main:480".into());
+    b.names.insert(Frame::Root, "<program root>".into());
+    b.names.insert(Frame::HeapMarker, "heap data accesses".into());
+    b.hints.insert(0x40, "S_diag_j".into());
+    b.alloc_info.push((vec![Frame::HeapMarker, Frame::Proc(0)], 1, 8192, 1));
+    b.stats.samples = 17;
+    b
+}
+
+/// Valid frames in both directions: every request kind (ingest with a
+/// real bundle) and both response kinds.
+fn corpus() -> Vec<(bool, Vec<u8>)> {
+    let bundle = encode_bundle(&sample_bundle());
+    let reqs = [
+        Request::Ping,
+        Request::Stats,
+        Request::Shutdown,
+        Request::Query("ranking nw latency 10".into()),
+        Request::Ingest { set: "nw".into(), seq: Some(3), bundle: bundle.clone() },
+        Request::Ingest { set: "π-set".into(), seq: None, bundle },
+    ];
+    let mut out = Vec::new();
+    for r in reqs {
+        let (k, body) = encode_request(&r);
+        out.push((true, frame_bytes(k, &body)));
+    }
+    for r in [
+        Response::Ok("VARIABLE RANKING metric LATENCY (total 400)\n".into()),
+        Response::Err(8, "unknown profile set 'nope'".into()),
+    ] {
+        let (k, body) = encode_response(&r);
+        out.push((false, frame_bytes(k, &body)));
+    }
+    out
+}
+
+/// Run a mutated frame through read + the appropriate parser. The
+/// assertion is reaching the end: typed error or benign parse, never a
+/// panic or a hang.
+fn grind(is_request: bool, wire: &[u8]) {
+    let mut cur = Cursor::new(wire.to_vec());
+    match read_frame(&mut cur, MAX_FRAME) {
+        Ok(Some((k, body))) => {
+            let _ = if is_request {
+                parse_request(k, body).map(|_| ())
+            } else {
+                parse_response(k, body).map(|_| ())
+            };
+        }
+        Ok(None) | Err(_) => {}
+    }
+}
+
+#[test]
+fn every_truncation_is_a_typed_error() {
+    for (is_request, wire) in corpus() {
+        for cut in 0..wire.len() {
+            let mut cur = Cursor::new(wire[..cut].to_vec());
+            match read_frame(&mut cur, MAX_FRAME) {
+                Ok(None) => assert_eq!(cut, 0, "only the empty prefix is a clean EOF"),
+                Err(ServeError::Truncated) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+        // Sanity: the whole frame reads and parses.
+        grind(is_request, &wire);
+        let mut cur = Cursor::new(wire.clone());
+        let (k, body) = read_frame(&mut cur, MAX_FRAME).expect("read").expect("frame");
+        if is_request {
+            parse_request(k, body).expect("corpus requests are valid");
+        } else {
+            parse_response(k, body).expect("corpus responses are valid");
+        }
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_handled() {
+    // A flip may still parse (a flipped byte inside a query string is
+    // just a different query) but must never panic or hang. Flips in
+    // the magic must always be rejected as BadMagic.
+    for (is_request, wire) in corpus() {
+        for pos in 0..wire.len() {
+            for bit in 0..8u8 {
+                let mut mutated = wire.clone();
+                mutated[pos] ^= 1 << bit;
+                if pos < 4 {
+                    let mut cur = Cursor::new(mutated);
+                    assert!(
+                        matches!(read_frame(&mut cur, MAX_FRAME), Err(ServeError::BadMagic)),
+                        "flip at byte {pos} bit {bit} must be BadMagic"
+                    );
+                    continue;
+                }
+                grind(is_request, &mutated);
+            }
+        }
+    }
+}
+
+#[test]
+fn random_bytes_never_panic() {
+    // Pure fuzz against the frame reader, with and without a valid
+    // magic prefix.
+    let mut g = SmallRng::seed_from_u64(0xd_c95);
+    for case in 0..4096 {
+        let len = g.gen_range(0usize..120);
+        let mut raw = Vec::with_capacity(len + 4);
+        if case % 2 == 0 {
+            raw.extend_from_slice(b"DCPS");
+        }
+        for _ in 0..len {
+            raw.push((g.next_u64() & 0xff) as u8);
+        }
+        let mut cur = Cursor::new(raw);
+        if let Ok(Some((k, body))) = read_frame(&mut cur, MAX_FRAME) {
+            let _ = parse_request(k, body.clone()).map(|_| ());
+            let _ = parse_response(k, body).map(|_| ());
+        }
+    }
+}
+
+#[test]
+fn mutated_ingest_bodies_reach_a_typed_bundle_error() {
+    // Flips inside the embedded bundle must surface as Codec errors (or
+    // parse as a different-but-valid bundle), never panic — the server
+    // decodes every ingest body in full before touching the store.
+    let (k, body) = encode_request(&Request::Ingest {
+        set: "s".into(),
+        seq: None,
+        bundle: encode_bundle(&sample_bundle()),
+    });
+    for pos in 0..body.len() {
+        let mut mutated = body.as_slice().to_vec();
+        mutated[pos] ^= 1;
+        let mut buf = BytesMut::with_capacity(mutated.len());
+        buf.put_slice(&mutated);
+        if let Ok(Request::Ingest { bundle, .. }) = parse_request(k, buf.freeze()) {
+            let _ = dcp_core::stored::decode_bundle(bundle);
+        }
+    }
+}
+
+fn spawn_server() -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind(ServerConfig {
+        read_timeout: Duration::from_millis(500),
+        sessions: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.serve().expect("serve"));
+    (addr, handle)
+}
+
+fn shutdown(addr: &str, handle: std::thread::JoinHandle<()>) {
+    Client::connect(addr).expect("connect").shutdown().expect("shutdown");
+    handle.join().expect("join");
+}
+
+#[test]
+fn live_server_survives_garbage_and_half_frames() {
+    let (addr, handle) = spawn_server();
+
+    // Garbage bytes: the server answers with an ERR frame or closes;
+    // either way this returns within the timeout instead of hanging.
+    let mut s = TcpStream::connect(&addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    s.write_all(b"GET / HTTP/1.1\r\n\r\n").expect("write garbage");
+    match read_frame(&mut s, MAX_FRAME) {
+        Ok(Some((k, body))) => match parse_response(k, body).expect("parseable response") {
+            Response::Err(code, _) => assert_eq!(code, ServeError::BadMagic.code()),
+            ok => panic!("garbage must not succeed: {ok:?}"),
+        },
+        Ok(None) | Err(_) => {} // closed on us: also acceptable
+    }
+    drop(s);
+
+    // Half a frame then silence: the per-connection read timeout (500ms
+    // here) reclaims the session thread; the server keeps serving.
+    let mut s = TcpStream::connect(&addr).expect("connect");
+    let wire = frame_bytes(dcp_serve::wire::kind::QUERY, b"sets");
+    s.write_all(&wire[..5]).expect("half frame");
+    std::thread::sleep(Duration::from_millis(700));
+
+    // An oversized length prefix is refused with a typed error.
+    let mut s2 = TcpStream::connect(&addr).expect("connect");
+    s2.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    let mut huge = Vec::new();
+    huge.extend_from_slice(b"DCPS");
+    huge.push(dcp_serve::wire::kind::QUERY);
+    huge.extend_from_slice(&u32::MAX.to_be_bytes());
+    s2.write_all(&huge).expect("huge header");
+    if let Ok(Some((k, body))) = read_frame(&mut s2, MAX_FRAME) {
+        match parse_response(k, body).expect("parseable") {
+            Response::Err(code, _) => {
+                assert_eq!(code, ServeError::FrameTooLarge { len: 0, max: 0 }.code())
+            }
+            ok => panic!("oversized frame must not succeed: {ok:?}"),
+        }
+    }
+    drop(s2);
+    drop(s);
+
+    // The daemon is still healthy after all of the above.
+    let mut c = Client::connect(&addr).expect("connect");
+    assert_eq!(c.ping().expect("ping"), "pong");
+    drop(c);
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn live_server_rejects_mutated_ingests_without_dying() {
+    let (addr, handle) = spawn_server();
+    let bundle = encode_bundle(&sample_bundle());
+    let mut g = SmallRng::seed_from_u64(0xbad_1d3a);
+    for _ in 0..64 {
+        let mut mutated = bundle.as_slice().to_vec();
+        // Flip a byte beyond the magic so the mutation lands in the
+        // payload, not the DCPB header check alone.
+        let pos = g.gen_range(0usize..mutated.len());
+        mutated[pos] ^= 1 << g.gen_range(0u32..8);
+        let mut buf = BytesMut::with_capacity(mutated.len());
+        buf.put_slice(&mutated);
+        let mut c = Client::connect(&addr).expect("connect");
+        // Either a typed rejection or (rarely) a benign parse — never a
+        // dead server.
+        let _ = c.ingest("fuzz", None, buf.freeze());
+    }
+    let mut c = Client::connect(&addr).expect("connect");
+    assert_eq!(c.ping().expect("ping"), "pong");
+    let stats = c.stats().expect("stats");
+    assert!(stats.contains("SERVE STATS"), "{stats}");
+    drop(c);
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn client_times_out_on_a_silent_server() {
+    // A listener that accepts and never replies: the client's read
+    // timeout turns the stall into a typed Io error instead of a hang.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let keep = std::thread::spawn(move || {
+        let (_s, _) = listener.accept().expect("accept");
+        std::thread::sleep(Duration::from_secs(2));
+    });
+    let mut c =
+        Client::connect_with_timeout(&addr, Duration::from_millis(200)).expect("connect");
+    match c.ping() {
+        Err(ServeError::Io(_)) => {}
+        other => panic!("expected Io timeout, got {other:?}"),
+    }
+    keep.join().expect("join");
+}
+
+#[test]
+fn oversized_client_frame_is_bounded() {
+    // A max_frame smaller than the bundle: the reader refuses before
+    // allocating, client-side, symmetric with the server check.
+    let bundle = encode_bundle(&sample_bundle());
+    let (k, body) = encode_request(&Request::Ingest { set: "s".into(), seq: None, bundle });
+    let wire = frame_bytes(k, &body);
+    let mut cur = Cursor::new(wire);
+    match read_frame(&mut cur, 16) {
+        Err(ServeError::FrameTooLarge { max: 16, .. }) => {}
+        other => panic!("expected FrameTooLarge, got {other:?}"),
+    }
+}

@@ -1,0 +1,239 @@
+//! Bounded LRU cache with byte accounting.
+//!
+//! The serving layer fronts its query engine with a response cache keyed
+//! by `(profile-set epoch, query)`; entries from superseded epochs can
+//! never hit again, so recency eviction is also the invalidation
+//! mechanism (see DESIGN.md, "A serving layer over the reduction tree").
+//! The cache is deliberately simple and fully deterministic: a hash map
+//! plus a recency queue with lazy cleanup, bounded both by entry count
+//! and by the summed byte cost the caller declares per entry. Hit and
+//! miss counters feed the server's `/metrics`-style stats query.
+
+use std::collections::VecDeque;
+use std::hash::Hash;
+
+use crate::FxHashMap;
+
+struct Slot<V> {
+    value: V,
+    cost: usize,
+    /// Monotonic tick of the last access; stale queue entries carry an
+    /// older tick and are dropped lazily.
+    tick: u64,
+}
+
+/// An LRU cache bounded by entry count and total declared byte cost.
+pub struct LruCache<K, V> {
+    map: FxHashMap<K, Slot<V>>,
+    /// Recency queue: front is oldest. May contain stale (key, tick)
+    /// pairs; an entry is live only if its tick matches the map's.
+    queue: VecDeque<(K, u64)>,
+    max_entries: usize,
+    max_bytes: usize,
+    bytes: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
+    /// A cache holding at most `max_entries` entries totalling at most
+    /// `max_bytes` of declared cost. Either bound may be 0 to disable
+    /// caching entirely (every insert is immediately evicted).
+    pub fn new(max_entries: usize, max_bytes: usize) -> Self {
+        Self {
+            map: FxHashMap::default(),
+            queue: VecDeque::new(),
+            max_entries,
+            max_bytes,
+            bytes: 0,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Look up `key`, refreshing its recency. Counts a hit or a miss.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some(slot) => {
+                slot.tick = tick;
+                self.queue.push_back((key.clone(), tick));
+                self.hits += 1;
+                self.compact_queue();
+                Some(&self.map[key].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert `value` under `key` with a declared byte cost, evicting
+    /// least-recently-used entries until both bounds hold. Replacing an
+    /// existing key updates its cost and recency.
+    pub fn insert(&mut self, key: K, value: V, cost: usize) {
+        self.tick += 1;
+        if let Some(old) = self.map.remove(&key) {
+            self.bytes -= old.cost;
+        }
+        self.bytes += cost;
+        self.map.insert(key.clone(), Slot { value, cost, tick: self.tick });
+        self.queue.push_back((key, self.tick));
+        self.evict();
+        self.compact_queue();
+    }
+
+    /// Drop every entry (counters survive).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.queue.clear();
+        self.bytes = 0;
+    }
+
+    fn evict(&mut self) {
+        while self.map.len() > self.max_entries || self.bytes > self.max_bytes {
+            let Some((key, tick)) = self.queue.pop_front() else {
+                debug_assert!(self.map.is_empty(), "non-empty cache with empty queue");
+                break;
+            };
+            let live = self.map.get(&key).is_some_and(|s| s.tick == tick);
+            if live {
+                let slot = self.map.remove(&key).expect("checked live");
+                self.bytes -= slot.cost;
+                self.evictions += 1;
+            }
+        }
+    }
+
+    /// Keep the lazy queue from growing without bound: when it holds far
+    /// more entries than the map, rebuild it from live slots in recency
+    /// order.
+    fn compact_queue(&mut self) {
+        if self.queue.len() <= 8 + self.map.len() * 2 {
+            return;
+        }
+        let map = &self.map;
+        self.queue.retain(|(k, t)| map.get(k).is_some_and(|s| s.tick == *t));
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Summed declared cost of live entries.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Hit rate over all lookups so far (0.0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_after_insert_hits() {
+        let mut c: LruCache<u32, String> = LruCache::new(4, 1024);
+        assert!(c.get(&1).is_none());
+        c.insert(1, "one".into(), 3);
+        assert_eq!(c.get(&1).map(String::as_str), Some("one"));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entry_bound_evicts_least_recent() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2, 1024);
+        c.insert(1, 10, 1);
+        c.insert(2, 20, 1);
+        assert_eq!(c.get(&1), Some(&10)); // 1 is now most recent
+        c.insert(3, 30, 1); // evicts 2
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&2).is_none());
+        assert_eq!(c.get(&1), Some(&10));
+        assert_eq!(c.get(&3), Some(&30));
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn byte_bound_evicts_until_it_fits() {
+        let mut c: LruCache<u32, u32> = LruCache::new(100, 10);
+        c.insert(1, 1, 4);
+        c.insert(2, 2, 4);
+        c.insert(3, 3, 4); // 12 bytes > 10: evicts 1
+        assert_eq!(c.bytes(), 8);
+        assert!(c.get(&1).is_none());
+        c.insert(4, 4, 10); // evicts everything else
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes(), 10);
+        assert_eq!(c.get(&4), Some(&4));
+    }
+
+    #[test]
+    fn replacing_a_key_updates_cost_not_count() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4, 100);
+        c.insert(1, 10, 30);
+        c.insert(1, 11, 50);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes(), 50);
+        assert_eq!(c.get(&1), Some(&11));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0, 0);
+        c.insert(1, 10, 1);
+        assert!(c.is_empty());
+        assert!(c.get(&1).is_none());
+    }
+
+    #[test]
+    fn heavy_reaccess_does_not_leak_queue() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4, 1024);
+        for k in 0..4 {
+            c.insert(k, k, 1);
+        }
+        for _ in 0..10_000 {
+            for k in 0..4 {
+                assert!(c.get(&k).is_some());
+            }
+        }
+        // The lazy queue must stay proportional to the live map.
+        assert!(c.queue.len() <= 8 + c.map.len() * 2, "queue grew to {}", c.queue.len());
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
+    }
+}

@@ -35,10 +35,14 @@
 
 pub mod bench;
 pub mod bytes;
+pub mod cache;
 pub mod hash;
 pub mod pool;
 pub mod prop;
 pub mod rng;
+pub mod stats;
 
+pub use cache::LruCache;
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use rng::SmallRng;
+pub use stats::LatencyHistogram;

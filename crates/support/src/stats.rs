@@ -1,0 +1,169 @@
+//! Power-of-two latency histograms for server-side metrics.
+//!
+//! The serving daemon answers a `/metrics`-style stats query with
+//! per-query latency distributions. A log2-bucketed histogram keeps that
+//! cheap (one `ilog2` per record, 64 fixed buckets) and fully
+//! deterministic: the rendered form is a pure function of the recorded
+//! values, so the stats query itself is cacheable and testable.
+
+/// A histogram whose bucket `i` counts values `v` with `ilog2(v) == i`
+/// (value 0 lands in bucket 0). Values are dimensionless — the serving
+/// layer records microseconds, but nothing here assumes a unit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self { buckets: [0; 64], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, value: u64) {
+        let idx = if value == 0 { 0 } else { value.ilog2() as usize };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Self) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket holding the q-quantile (q in [0, 1]),
+    /// i.e. an over-estimate no worse than 2x the true value. Returns 0
+    /// for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Bucket i spans [2^i, 2^(i+1)); report the exclusive
+                // upper bound, capped at the observed max.
+                let hi = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return hi.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// One-line deterministic rendering for the stats query:
+    /// `count=N sum=S mean=M p50<=A p95<=B max=C`.
+    pub fn render(&self) -> String {
+        format!(
+            "count={} sum={} mean={:.1} p50<={} p95<={} max={}",
+            self.count,
+            self.sum,
+            self.mean(),
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.render(), "count=0 sum=0 mean=0.0 p50<=0 p95<=0 max=0");
+    }
+
+    #[test]
+    fn record_tracks_count_sum_max() {
+        let mut h = LatencyHistogram::new();
+        for v in [0, 1, 7, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1016);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 203.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_bounds_hold() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Each quantile estimate must be >= the true quantile and <= 2x it.
+        for (q, truth) in [(0.5, 50u64), (0.9, 90), (1.0, 100)] {
+            let est = h.quantile(q);
+            assert!(est >= truth, "q={q}: {est} < {truth}");
+            assert!(est <= truth.saturating_mul(2), "q={q}: {est} > 2*{truth}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_union() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut both = LatencyHistogram::new();
+        for v in [3, 9, 200] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [1, 5000, 12] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX); // saturating
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+}

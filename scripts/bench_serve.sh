@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Serving-layer throughput: run serve_bench (loopback daemon, concurrent
+# client pool, deterministic schedule, best-of-3 rounds with a built-in
+# response-determinism assertion) and persist its machine-readable
+# summary as BENCH_serve.json. Numbers are whatever this host honestly
+# does; the determinism gate, not a throughput floor, is what fails the
+# script.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="BENCH_serve.json"
+
+cargo run -q --release --offline -p dcp-bench --bin serve_bench -- "$@" \
+    | tee /dev/stderr \
+    | sed -n 's/^BENCH_JSON //p' > "$out"
+
+# A run that produced no summary line is a failure, not an empty trend.
+[ -s "$out" ] || { echo "bench_serve: no BENCH_JSON line produced" >&2; exit 1; }
+echo "wrote $out" >&2

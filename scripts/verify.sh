@@ -35,3 +35,37 @@ cargo run -q --release --offline -p dcp-bench --bin sim_bench -- --smoke
 # runs the fingerprint digest at DCP_THREADS in {1, 2} and fails on any
 # divergence; tests/thread_invariance.rs covers {0, 8} on every workload.
 sh scripts/bench_scale.sh --smoke
+
+# Serving-layer smoke stage: a daemon on an ephemeral port takes all
+# five Table-1 workload profiles over the wire, answers one query of
+# each kind, and drains cleanly. Any failed stage (bad ingest, bad
+# query, hung shutdown) exits nonzero through set -eu.
+serve_log="$(mktemp)"
+./target/release/memgaze serve --addr 127.0.0.1:0 > "$serve_log" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$serve_log"' EXIT
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^serving on //p' "$serve_log")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "verify: serve daemon never bound" >&2; exit 1; }
+for w in amg2006 sweep3d lulesh streamcluster nw; do
+    ./target/release/memgaze push "$addr" "$w" "$w" > /dev/null
+done
+./target/release/memgaze query "$addr" ping                        > /dev/null
+./target/release/memgaze query "$addr" sets                        > /dev/null
+./target/release/memgaze query "$addr" ranking streamcluster remote 5 > /dev/null
+./target/release/memgaze query "$addr" topdown nw heap remote      > /dev/null
+./target/release/memgaze query "$addr" bottomup amg2006 remote     > /dev/null
+./target/release/memgaze query "$addr" flat lulesh heap latency 5  > /dev/null
+./target/release/memgaze query "$addr" vars sweep3d latency        > /dev/null
+./target/release/memgaze query "$addr" diff nw nw remote           > /dev/null
+./target/release/memgaze query "$addr" export nw heap              > /dev/null
+./target/release/memgaze query "$addr" stats                       > /dev/null
+./target/release/memgaze query "$addr" shutdown                    > /dev/null
+wait "$serve_pid"
+trap - EXIT
+rm -f "$serve_log"
+echo "verify: serve smoke stage ok (5 workloads ingested, every query kind served, clean drain)" >&2

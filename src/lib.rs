@@ -1,1 +1,2 @@
 pub use dcp_cct as cct; pub use dcp_core as core; pub use dcp_machine as machine; pub use dcp_runtime as runtime; pub use dcp_workloads as workloads;
+pub use dcp_serve as serve; pub use dcp_support as support;

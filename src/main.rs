@@ -10,6 +10,17 @@
 //! memgaze nw --compare interleaved        # differential vs the fix
 //! memgaze sweep3d --report flat --metric latency
 //! ```
+//!
+//! The serving subcommands put a daemon in front of the same pipeline:
+//!
+//! ```sh
+//! memgaze serve --addr 127.0.0.1:7811 &
+//! memgaze push 127.0.0.1:7811 nw nw                 # profile + ingest
+//! memgaze push 127.0.0.1:7811 nw-fix nw --variant interleaved
+//! memgaze query 127.0.0.1:7811 ranking nw remote
+//! memgaze query 127.0.0.1:7811 diff nw nw-fix remote
+//! memgaze query 127.0.0.1:7811 shutdown
+//! ```
 
 use std::process::ExitCode;
 
@@ -41,9 +52,98 @@ fn usage() -> ExitCode {
            --compare <variant>  also run <variant> and print a differential\n\
            --metric <m>         samples|latency|remote|tlb (default by workload)\n\
            --report <list>      comma list: ranking,topdown,bottomup,flat,advice\n\
-                                (default: ranking,topdown)"
+                                (default: ranking,topdown)\n\
+         \n\
+         usage: memgaze serve [--addr host:port] [--budget bytes] [--sessions n]\n\
+           run the profile-serving daemon; prints `serving on <addr>` once\n\
+           bound (port 0 picks an ephemeral port) and blocks until a\n\
+           shutdown request drains it\n\
+         \n\
+         usage: memgaze push <addr> <set> <workload> [--variant <name>]\n\
+           profile <workload> locally and ingest every node's bundle into\n\
+           profile set <set> on the daemon at <addr>\n\
+         \n\
+         usage: memgaze query <addr> <query...>\n\
+           one request against the daemon; queries:\n\
+             ranking <set> <metric> [limit]     topdown <set> <class> <metric>\n\
+             bottomup <set> <metric>            flat <set> <class> <metric> [limit]\n\
+             vars <set> <metric>                diff <set-a> <set-b> <metric>\n\
+             export <set> <class>               sets\n\
+           plus the control words: ping | stats | shutdown\n\
+           metrics: samples|latency|remote|tlb|stores\n\
+           classes: static|heap|stack|unknown|nomem"
     );
     ExitCode::from(2)
+}
+
+/// `memgaze serve [--addr a] [--budget n] [--sessions n]`.
+fn run_serve(args: &[String]) -> Result<(), String> {
+    let mut cfg = dcp_serve::ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let val = |it: &mut std::slice::Iter<'_, String>| {
+            it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = val(&mut it)?,
+            "--budget" => {
+                cfg.byte_budget =
+                    val(&mut it)?.parse().map_err(|e| format!("bad --budget: {e}"))?
+            }
+            "--sessions" => {
+                cfg.sessions = val(&mut it)?.parse().map_err(|e| format!("bad --sessions: {e}"))?
+            }
+            other => return Err(format!("unknown serve flag {other:?}")),
+        }
+    }
+    let server = dcp_serve::Server::bind(cfg).map_err(|e| e.to_string())?;
+    println!("serving on {}", server.local_addr().map_err(|e| e.to_string())?);
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.serve().map_err(|e| e.to_string())
+}
+
+/// `memgaze push <addr> <set> <workload> [--variant v]`.
+fn run_push(args: &[String]) -> Result<(), String> {
+    let [addr, set, workload, rest @ ..] = args else {
+        return Err("push needs <addr> <set> <workload>".into());
+    };
+    let variant = match rest {
+        [] => "original".to_string(),
+        [flag, v] if flag == "--variant" => v.clone(),
+        _ => return Err("push options: [--variant <name>]".into()),
+    };
+    let (prog, mut world, pmu) = setup(workload, &variant)?;
+    world.sim.pmu = Some(pmu);
+    let run = run_profiled(&prog, &world, ProfilerConfig::default());
+    let mut client = dcp_serve::Client::connect(addr).map_err(|e| e.to_string())?;
+    // One bundle per node, pushed in node order over one connection —
+    // the same union order the in-process analyzer uses.
+    for m in &run.measurements {
+        let bundle = dcp_core::encode_bundle(&dcp_core::bundle_from_measurement(&prog, m));
+        let reply = client.ingest(set, None, bundle).map_err(|e| e.to_string())?;
+        println!("{reply}");
+    }
+    Ok(())
+}
+
+/// `memgaze query <addr> <words...>` — also `ping`, `stats`, `shutdown`.
+fn run_query(args: &[String]) -> Result<(), String> {
+    let [addr, words @ ..] = args else {
+        return Err("query needs <addr> <query...>".into());
+    };
+    if words.is_empty() {
+        return Err("query needs <addr> <query...>".into());
+    }
+    let mut client = dcp_serve::Client::connect(addr).map_err(|e| e.to_string())?;
+    let reply = match (words[0].as_str(), words.len()) {
+        ("ping", 1) => client.ping(),
+        ("stats", 1) => client.stats(),
+        ("shutdown", 1) => client.shutdown(),
+        _ => client.query(&words.join(" ")),
+    };
+    println!("{}", reply.map_err(|e| e.to_string())?);
+    Ok(())
 }
 
 fn parse() -> Result<Args, ()> {
@@ -208,6 +308,22 @@ fn run(args: &Args) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let sub = match argv.first().map(String::as_str) {
+        Some("serve") => Some(run_serve(&argv[1..])),
+        Some("push") => Some(run_push(&argv[1..])),
+        Some("query") => Some(run_query(&argv[1..])),
+        _ => None,
+    };
+    if let Some(result) = sub {
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage()
+            }
+        };
+    }
     let Ok(args) = parse() else { return usage() };
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,

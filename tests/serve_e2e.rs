@@ -1,0 +1,107 @@
+//! End-to-end through the serving layer: profile real workloads, push
+//! their bundles to an in-process daemon over loopback TCP, and assert
+//! the served responses are byte-identical to what the in-process
+//! analyzer prints — including the `diff` query against the output of
+//! `memgaze nw --compare interleaved`.
+
+use dcp_core::prelude::*;
+use dcp_core::view::flat;
+use dcp_core::{bundle_from_measurement, encode_bundle};
+use dcp_machine::{MarkedEvent, PmuConfig};
+use dcp_serve::{Client, Server, ServerConfig};
+use dcp_workloads::nw::{build, world, NwConfig, NwVariant};
+
+fn profiled(variant: NwVariant) -> (dcp_runtime::Program, dcp_core::ProfiledRun) {
+    let cfg = NwConfig::small(variant);
+    let prog = build(&cfg);
+    let mut w = world(&cfg);
+    w.sim.pmu =
+        Some(PmuConfig::Marked { event: MarkedEvent::DataFromRmem, threshold: 8, skid: 2 });
+    let run = run_profiled(&prog, &w, ProfilerConfig::default());
+    (prog, run)
+}
+
+fn spawn_server() -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind(ServerConfig::default()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.serve().expect("serve"));
+    (addr, handle)
+}
+
+/// Push every node's bundle in node order over one connection — the
+/// same union order `ProfiledRun::analyze` uses.
+fn push(client: &mut Client, set: &str, prog: &dcp_runtime::Program, run: &dcp_core::ProfiledRun) {
+    for m in &run.measurements {
+        let bundle = encode_bundle(&bundle_from_measurement(prog, m));
+        client.ingest(set, None, bundle).expect("ingest");
+    }
+}
+
+#[test]
+fn served_views_and_diff_match_the_in_process_cli() {
+    let (prog_b, run_b) = profiled(NwVariant::Original);
+    let (prog_a, run_a) = profiled(NwVariant::Interleaved);
+
+    let (addr, handle) = spawn_server();
+    let mut client = Client::connect(&addr).expect("connect");
+    push(&mut client, "nw", &prog_b, &run_b);
+    push(&mut client, "nw-fix", &prog_a, &run_a);
+
+    let before = run_b.analyze(&prog_b);
+    let after = run_a.analyze(&prog_a);
+
+    // Every view kind the CLI prints, byte-identical over the wire.
+    let metric = Metric::Remote;
+    let cases: Vec<(&str, String)> = vec![
+        ("ranking nw remote 12", ranking(&before, metric, 12)),
+        (
+            "topdown nw heap remote",
+            top_down(&before, StorageClass::Heap, metric, TopDownOpts::default()),
+        ),
+        ("bottomup nw remote", bottom_up(&before, metric)),
+        ("flat nw heap remote 12", flat(&before, StorageClass::Heap, metric, 12)),
+    ];
+    for (query, expected) in cases {
+        let served = client.query(query).expect(query);
+        assert_eq!(served, expected, "served {query:?} differs from in-process view");
+    }
+
+    // The golden for the diff satellite: the served `diff` response
+    // must begin with exactly the differential report that
+    // `memgaze nw --compare interleaved` prints (analysis.compare).
+    let golden = before.compare(&after, metric);
+    let served = client.query("diff nw nw-fix remote").expect("diff");
+    assert!(
+        served.starts_with(&golden),
+        "served diff must open with the --compare report.\nwant prefix:\n{golden}\ngot:\n{served}"
+    );
+    // Followed by the structural tree diff from dcp_cct::diff.
+    assert!(served.contains("STRUCTURAL (heap tree):"), "{served}");
+
+    // Second fetch is a cache hit and still byte-identical.
+    let again = client.query("diff nw nw-fix remote").expect("diff again");
+    assert_eq!(served, again);
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("cache_hits"), "{stats}");
+
+    drop(client);
+    Client::connect(&addr).expect("connect").shutdown().expect("shutdown");
+    handle.join().expect("join");
+}
+
+#[test]
+fn vars_query_reports_the_known_nw_offender() {
+    // nw's NUMA problem is its two matrices (the paper's Rodinia
+    // Needleman-Wunsch case); the served variable-centric view must
+    // surface them by their allocation-site hints.
+    let (prog, run) = profiled(NwVariant::Original);
+    let (addr, handle) = spawn_server();
+    let mut client = Client::connect(&addr).expect("connect");
+    push(&mut client, "nw", &prog, &run);
+    let vars = client.query("vars nw remote").expect("vars");
+    assert!(vars.contains("referrence"), "{vars}");
+    assert!(vars.contains("input_itemsets"), "{vars}");
+    drop(client);
+    Client::connect(&addr).expect("connect").shutdown().expect("shutdown");
+    handle.join().expect("join");
+}
