@@ -345,6 +345,44 @@ impl StoredAccumulator {
         self.merges.as_ref().map_or(0, |ms| ms.iter().map(IncrementalMerge::folds).sum())
     }
 
+    /// Fold and re-package the accumulated state as one self-describing
+    /// bundle — the serve layer's durable snapshot record. Ingesting the
+    /// returned bundle into a fresh accumulator reconstructs a state
+    /// whose future merges are byte-identical to continuing with this
+    /// one: the incremental-merge invariant says fold bracketing never
+    /// changes the re-encoded bytes, and replacing N ingested blobs with
+    /// their fold is exactly a re-bracketing.
+    pub fn to_bundle(&mut self) -> Result<StoredBundle, CodecError> {
+        self.fold()?;
+        let mut profiles: [Vec<Bytes>; CLASSES] = std::array::from_fn(|_| Vec::new());
+        for (class, out) in profiles.iter_mut().enumerate() {
+            out.push(encode(self.merges_mut()[class].tree()?));
+        }
+        let mut alloc_info: Vec<(Vec<Frame>, u64, u64, u64)> = self
+            .alloc_info
+            .iter()
+            .map(|(path, &(count, bytes, zeroed))| (path.clone(), count, bytes, zeroed))
+            .collect();
+        alloc_info.sort();
+        Ok(StoredBundle {
+            profiles,
+            names: self.names.clone(),
+            hints: self.hints.clone(),
+            alloc_info,
+            stats: self.stats.clone(),
+        })
+    }
+
+    /// Rebuild an accumulator from a snapshot bundle plus the counters a
+    /// bundle cannot carry — the inverse of [`to_bundle`](Self::to_bundle).
+    pub fn restore(bundle: StoredBundle, bundles: u64, blob_bytes: u64) -> Self {
+        let mut acc = Self::new();
+        acc.ingest(bundle);
+        acc.bundles = bundles;
+        acc.blob_bytes = blob_bytes;
+        acc
+    }
+
     /// Fold and take a renderable snapshot of the current state.
     pub fn snapshot(&mut self) -> Result<StoredProfiles, CodecError> {
         self.fold()?;
@@ -615,6 +653,50 @@ mod tests {
             assert_eq!(last.export(c), one.export(c), "class {c:?}");
         }
         assert_eq!(ranking(&last, Metric::Latency, 20), ranking(&one, Metric::Latency, 20));
+    }
+
+    #[test]
+    fn to_bundle_restore_midstream_is_byte_identical() {
+        // The durability keystone: snapshot an accumulator mid-stream,
+        // rebuild from the snapshot bundle (through its wire encoding,
+        // as recovery does), ingest the rest — every export and view
+        // must match the uninterrupted accumulator byte for byte.
+        let prog = program();
+        let ms: Vec<MeasurementData> = (0..4).map(|s| measured(&prog, s)).collect();
+        let bundles: Vec<StoredBundle> =
+            ms.iter().map(|m| bundle_from_measurement(&prog, m)).collect();
+
+        let mut straight = StoredAccumulator::new();
+        for b in &bundles {
+            straight.ingest(b.clone());
+        }
+
+        let mut first = StoredAccumulator::new();
+        first.ingest(bundles[0].clone());
+        first.ingest(bundles[1].clone());
+        let snap_wire = encode_bundle(&first.to_bundle().expect("valid blobs"));
+        let snap = decode_bundle(snap_wire).expect("snapshot bundle decodes");
+        let mut resumed = StoredAccumulator::restore(snap, first.bundles(), first.blob_bytes());
+        assert_eq!(resumed.bundles(), 2);
+        resumed.ingest(bundles[2].clone());
+        resumed.ingest(bundles[3].clone());
+
+        let a = straight.snapshot().expect("valid");
+        let b = resumed.snapshot().expect("valid");
+        for c in StorageClass::ALL {
+            assert_eq!(a.export(c), b.export(c), "class {c:?}");
+        }
+        assert_eq!(ranking(&a, Metric::Latency, 20), ranking(&b, Metric::Latency, 20));
+        assert_eq!(bottom_up(&a, Metric::Remote), bottom_up(&b, Metric::Remote));
+        assert_eq!(a.stats().samples, b.stats().samples);
+        let va = a.variables(Metric::Latency);
+        let vb = b.variables(Metric::Latency);
+        assert_eq!(va.len(), vb.len());
+        for (x, y) in va.iter().zip(&vb) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.metrics, y.metrics);
+            assert_eq!((x.alloc_count, x.alloc_bytes), (y.alloc_count, y.alloc_bytes));
+        }
     }
 
     #[test]

@@ -39,6 +39,21 @@ pub enum ServeError {
     Server { code: u16, message: String },
     /// The server is draining for shutdown and takes no new work.
     ShuttingDown,
+    /// A set ingested with one sequencing discipline (arrival-order or
+    /// client-assigned) received a bundle using the other. Mixing the
+    /// two would silently strand arrival-order ingests behind sequence
+    /// gaps, so it is refused up front.
+    SeqModeMismatch { set: String, explicit: bool },
+    /// Buffering this out-of-order bundle would exceed the per-set
+    /// reorder-buffer byte cap. The gap must fill (or the client must
+    /// re-send in order) before more can be buffered.
+    PendingCapExceeded { cap: u64, pending: u64, requested: u64 },
+    /// The write-ahead log is damaged at `offset`; state up to there was
+    /// recovered, everything after is lost.
+    WalCorrupt { offset: u64, detail: String },
+    /// The snapshot file failed validation; recovery refuses to start
+    /// with silently missing committed data.
+    SnapshotCorrupt(String),
 }
 
 impl ServeError {
@@ -57,6 +72,10 @@ impl ServeError {
             ServeError::DuplicateSeq(_) => 10,
             ServeError::Io(_) => 11,
             ServeError::ShuttingDown => 12,
+            ServeError::SeqModeMismatch { .. } => 13,
+            ServeError::PendingCapExceeded { .. } => 14,
+            ServeError::WalCorrupt { .. } => 15,
+            ServeError::SnapshotCorrupt(_) => 16,
             ServeError::Server { code, .. } => *code,
         }
     }
@@ -99,6 +118,20 @@ impl std::fmt::Display for ServeError {
             ServeError::Io(e) => write!(f, "i/o: {e}"),
             ServeError::Server { code, message } => write!(f, "server error {code}: {message}"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::SeqModeMismatch { set, explicit } => write!(
+                f,
+                "set '{set}' uses {} sequence numbers; this ingest {}",
+                if *explicit { "client-assigned" } else { "arrival-order" },
+                if *explicit { "carried none" } else { "carried one" },
+            ),
+            ServeError::PendingCapExceeded { cap, pending, requested } => write!(
+                f,
+                "reorder buffer full: {pending} pending + {requested} requested > cap {cap}"
+            ),
+            ServeError::WalCorrupt { offset, detail } => {
+                write!(f, "write-ahead log damaged at byte {offset}: {detail}")
+            }
+            ServeError::SnapshotCorrupt(detail) => write!(f, "snapshot damaged: {detail}"),
         }
     }
 }

@@ -17,6 +17,7 @@
 //! server.rs  — accept loop, session thread pool, graceful drain
 //! query.rs   — verb language -> dcp-core views over snapshots
 //! store.rs   — named sets, seq reorder, epochs, budget, LRU cache
+//! wal.rs     — write-ahead log + snapshots; byte-identical recovery
 //! error.rs   — one typed error across all of the above
 //! ```
 //!
@@ -24,18 +25,23 @@
 //! merged profile a set serves is byte-identical to
 //! `merge_encoded_sequential` over the same bundles in sequence order,
 //! no matter how many connections raced — the loopback e2e test pins
-//! this end to end.
+//! this end to end. With a data directory configured the contract
+//! extends through crashes: a daemon killed at any instant and
+//! restarted answers every query with the same bytes an uncrashed one
+//! would (see [`wal`]).
 
 pub mod client;
 pub mod error;
 pub mod query;
 pub mod server;
 pub mod store;
+pub mod wal;
 pub mod wire;
 
 pub use client::Client;
 pub use error::ServeError;
 pub use query::handle_query;
 pub use server::{Server, ServerConfig};
-pub use store::{CacheKey, ProfileStore, StoreConfig};
+pub use store::{CacheKey, IngestMode, ProfileStore, StoreConfig};
+pub use wal::{Durability, RecoveryReport};
 pub use wire::{Request, Response, MAX_FRAME};

@@ -148,8 +148,11 @@ pub fn handle_query(store: &mut ProfileStore, q: &str) -> Result<String, ServeEr
     if verb == "sets" {
         arity(args, 0, 0, "sets")?;
         let mut out = String::from("PROFILE SETS\n");
-        for (name, bundles, epoch, gap) in store.list_sets() {
-            out.push_str(&format!("{name} bundles={bundles} epoch={epoch} gap={gap}\n"));
+        for r in store.list_sets() {
+            out.push_str(&format!(
+                "{} bundles={} epoch={} gap={} gap_bytes={}\n",
+                r.name, r.bundles, r.epoch, r.gap, r.gap_bytes
+            ));
         }
         return Ok(out);
     }

@@ -10,23 +10,38 @@
 //! Robustness posture per connection: a read timeout bounds how long a
 //! quiet peer can hold a session thread, `MAX_FRAME` bounds allocation,
 //! and every decode failure turns into one best-effort ERR frame before
-//! the connection closes. A SHUTDOWN control frame flips the drain
-//! flag: the acceptor stops taking sockets, in-flight sessions finish
-//! their current request, and `serve()` joins every worker before
-//! returning — no request is abandoned mid-response.
+//! the connection closes. The shared state sits behind a
+//! poison-recovering [`dcp_support::sync::Mutex`]: a panicking session
+//! must not take the whole daemon down with it (with a poisoning lock,
+//! every later session dies on the poison while the accept loop keeps
+//! queueing sockets nobody will drain — the loopback regression test
+//! pins the recovery). A SHUTDOWN control frame flips the drain flag:
+//! the acceptor stops taking sockets, in-flight sessions finish their
+//! current request, and `serve()` joins every worker before returning —
+//! no request is abandoned mid-response.
+//!
+//! With a data directory configured, ingests are durable: each one is
+//! validated, appended to the write-ahead log and fsynced, and only
+//! then applied and acknowledged — see [`crate::wal`] for the recovery
+//! contract. The log fsync happens under the state lock; that is the
+//! price of the ack-implies-durable guarantee, and queries between
+//! ingests are unaffected.
 
 use std::io::ErrorKind;
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dcp_core::stored::decode_bundle;
+use dcp_support::sync::Mutex;
 
 use crate::error::ServeError;
 use crate::query::handle_query;
 use crate::store::{ProfileStore, StoreConfig};
+use crate::wal::Durability;
 use crate::wire::{encode_response, read_frame, write_frame, Request, Response, MAX_FRAME};
 
 /// Everything tunable about a daemon instance.
@@ -36,6 +51,8 @@ pub struct ServerConfig {
     pub addr: String,
     /// Store byte budget (see [`StoreConfig`]).
     pub byte_budget: u64,
+    /// Per-set reorder-buffer byte cap (see [`StoreConfig`]).
+    pub pending_cap: u64,
     /// Largest frame body accepted.
     pub max_frame: u64,
     /// Per-connection socket read timeout.
@@ -45,6 +62,11 @@ pub struct ServerConfig {
     /// Response-cache bounds.
     pub cache_entries: usize,
     pub cache_bytes: usize,
+    /// Durable state directory. `None` serves from memory only.
+    pub data_dir: Option<PathBuf>,
+    /// Snapshot-and-truncate the log every N ingests (0 = only on
+    /// clean shutdown). Ignored without a data directory.
+    pub snapshot_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -53,13 +75,24 @@ impl Default for ServerConfig {
         Self {
             addr: "127.0.0.1:0".to_string(),
             byte_budget: store.byte_budget,
+            pending_cap: store.pending_cap,
             max_frame: MAX_FRAME,
             read_timeout: Duration::from_secs(10),
             sessions: 4,
             cache_entries: store.cache_entries,
             cache_bytes: store.cache_bytes,
+            data_dir: None,
+            snapshot_every: 0,
         }
     }
+}
+
+/// The state every session shares under one lock: the store and, when
+/// durability is on, the open log. One lock for both because the WAL
+/// append order must match the store apply order exactly.
+pub struct ServerState {
+    pub store: ProfileStore,
+    durability: Option<Durability>,
 }
 
 /// A bound, not-yet-serving daemon. `bind` then `local_addr` then
@@ -67,22 +100,36 @@ impl Default for ServerConfig {
 pub struct Server {
     listener: TcpListener,
     config: ServerConfig,
-    store: Arc<Mutex<ProfileStore>>,
+    state: Arc<Mutex<ServerState>>,
+    recovery: Option<String>,
     shutdown: Arc<AtomicBool>,
 }
 
 impl Server {
+    /// Bind the listener and, with a data directory configured, recover
+    /// the store from snapshot + log before serving anything.
     pub fn bind(config: ServerConfig) -> Result<Self, ServeError> {
         let listener = TcpListener::bind(&config.addr)?;
-        let store = ProfileStore::new(StoreConfig {
+        let mut store = ProfileStore::new(StoreConfig {
             byte_budget: config.byte_budget,
+            pending_cap: config.pending_cap,
             cache_entries: config.cache_entries,
             cache_bytes: config.cache_bytes,
         });
+        let mut recovery = None;
+        let durability = match &config.data_dir {
+            None => None,
+            Some(dir) => {
+                let (dur, report) = Durability::open(dir, config.snapshot_every, &mut store)?;
+                recovery = Some(report.render());
+                Some(dur)
+            }
+        };
         Ok(Self {
             listener,
             config,
-            store: Arc::new(Mutex::new(store)),
+            state: Arc::new(Mutex::new(ServerState { store, durability })),
+            recovery,
             shutdown: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -92,10 +139,20 @@ impl Server {
         Ok(self.listener.local_addr()?.to_string())
     }
 
+    /// What recovery found at bind time, when durability is on.
+    pub fn recovery_report(&self) -> Option<&str> {
+        self.recovery.as_deref()
+    }
+
     /// A handle that flips the drain flag from another thread (tests
     /// and embedders; remote clients use the SHUTDOWN frame).
     pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
         Arc::clone(&self.shutdown)
+    }
+
+    /// The shared state, for embedders and fault-injection tests.
+    pub fn state_handle(&self) -> Arc<Mutex<ServerState>> {
+        Arc::clone(&self.state)
     }
 
     /// Accept and serve until shutdown, then drain. Blocks the calling
@@ -107,7 +164,7 @@ impl Server {
         let mut workers = Vec::with_capacity(self.config.sessions.max(1));
         for _ in 0..self.config.sessions.max(1) {
             let rx = Arc::clone(&rx);
-            let store = Arc::clone(&self.store);
+            let state = Arc::clone(&self.state);
             let shutdown = Arc::clone(&self.shutdown);
             let timeout = self.config.read_timeout;
             let max_frame = self.config.max_frame;
@@ -115,11 +172,11 @@ impl Server {
                 // Holding the receiver lock only while waiting keeps the
                 // other session threads free to pull their own sockets.
                 let next = {
-                    let guard = rx.lock().expect("session queue poisoned");
+                    let guard = rx.lock();
                     guard.recv()
                 };
                 match next {
-                    Ok(stream) => handle_conn(stream, &store, &shutdown, timeout, max_frame),
+                    Ok(stream) => handle_conn(stream, &state, &shutdown, timeout, max_frame),
                     Err(_) => return, // sender dropped: drain complete
                 }
             }));
@@ -146,6 +203,16 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
+        // Clean shutdown: fold the store into a snapshot so the next
+        // start replays nothing. Best effort — the log already has
+        // everything, so a failure here costs restart time, not data.
+        let mut st = self.state.lock();
+        let ServerState { store, durability } = &mut *st;
+        if let Some(dur) = durability {
+            if let Err(e) = dur.snapshot_now(store) {
+                eprintln!("memgaze-serve: shutdown snapshot failed: {e}");
+            }
+        }
         Ok(())
     }
 }
@@ -162,7 +229,7 @@ fn err_response(e: &ServeError) -> Response {
 /// Serve one connection until clean EOF, protocol error, or shutdown.
 fn handle_conn(
     mut stream: TcpStream,
-    store: &Arc<Mutex<ProfileStore>>,
+    state: &Arc<Mutex<ServerState>>,
     shutdown: &Arc<AtomicBool>,
     timeout: Duration,
     max_frame: u64,
@@ -200,9 +267,9 @@ fn handle_conn(
             Request::Ping => Response::Ok("pong".to_string()),
             Request::Stats => {
                 let start = Instant::now();
-                let mut st = store.lock().expect("store poisoned");
-                let text = st.stats_text();
-                st.record("stats", start.elapsed().as_micros() as u64);
+                let mut st = state.lock();
+                let text = st.store.stats_text();
+                st.store.record("stats", start.elapsed().as_micros() as u64);
                 Response::Ok(text)
             }
             Request::Query(q) => {
@@ -210,9 +277,9 @@ fn handle_conn(
                     err_response(&ServeError::ShuttingDown)
                 } else {
                     let start = Instant::now();
-                    let mut st = store.lock().expect("store poisoned");
-                    let out = handle_query(&mut st, &q);
-                    st.record("query", start.elapsed().as_micros() as u64);
+                    let mut st = state.lock();
+                    let out = handle_query(&mut st.store, &q);
+                    st.store.record("query", start.elapsed().as_micros() as u64);
                     match out {
                         Ok(text) => Response::Ok(text),
                         Err(e) => err_response(&e),
@@ -225,14 +292,14 @@ fn handle_conn(
                 } else {
                     let start = Instant::now();
                     let wire_len = bundle.len() as u64;
-                    // Decode (full validation) outside the store lock so
+                    // Decode (full validation) outside the state lock so
                     // a big bundle never stalls concurrent queries.
-                    match decode_bundle(bundle) {
+                    match decode_bundle(bundle.clone()) {
                         Err(e) => err_response(&ServeError::Codec(e)),
                         Ok(b) => {
-                            let mut st = store.lock().expect("store poisoned");
-                            let out = st.ingest(&set, seq, wire_len, b);
-                            st.record("ingest", start.elapsed().as_micros() as u64);
+                            let mut st = state.lock();
+                            let out = durable_ingest(&mut st, &set, seq, wire_len, &bundle, b);
+                            st.store.record("ingest", start.elapsed().as_micros() as u64);
                             match out {
                                 Ok((seq, epoch)) => Response::Ok(format!(
                                     "ingested set={set} seq={seq} epoch={epoch}"
@@ -253,6 +320,33 @@ fn handle_conn(
             return;
         }
     }
+}
+
+/// Validate, log, apply — in that order. A refused ingest touches
+/// neither the log nor the store; a logged ingest is applied
+/// unconditionally (apply cannot fail), so the log never runs ahead of
+/// an ack nor behind the store.
+fn durable_ingest(
+    st: &mut ServerState,
+    set: &str,
+    seq: Option<u64>,
+    wire_len: u64,
+    wire: &dcp_support::bytes::Bytes,
+    bundle: dcp_core::stored::StoredBundle,
+) -> Result<(u64, u64), ServeError> {
+    let ticket = st.store.prepare_ingest(set, seq, wire_len)?;
+    if let Some(dur) = &mut st.durability {
+        dur.log_ingest(set, ticket, wire_len, wire)?;
+    }
+    let out = st.store.apply_ingest(set, ticket, wire_len, bundle);
+    if let Some(dur) = &mut st.durability {
+        if let Err(e) = dur.note_applied(&mut st.store) {
+            // The ingest is durable in the log; a failed snapshot only
+            // costs replay time on the next start.
+            eprintln!("memgaze-serve: snapshot failed: {e}");
+        }
+    }
+    Ok(out)
 }
 
 fn parse((k, body): (u8, dcp_support::bytes::Bytes)) -> Result<Request, ServeError> {

@@ -2,23 +2,40 @@
 //! budget, epochs, and the response cache.
 //!
 //! Each named set wraps a [`StoredAccumulator`] plus a reorder buffer.
-//! Clients may assign sequence numbers to their bundles; the store
-//! commits only the contiguous sequence prefix, buffering gaps, so a
-//! fixed (set, seq) assignment produces the same merged bytes no matter
-//! how the network interleaves connections — the incremental-merge
-//! invariant extends through the server (the loopback test pins it).
-//! Ingests without a sequence take server arrival order.
+//! A set commits to one **sequencing discipline** on its first ingest:
+//! *client-assigned* sequence numbers (the store commits only the
+//! contiguous sequence prefix, buffering gaps, so a fixed (set, seq)
+//! assignment produces the same merged bytes no matter how the network
+//! interleaves connections) or *arrival order* (every ingest is
+//! assigned the next commit slot and commits immediately — an
+//! arrival-order ingest can never be stranded behind a gap). Mixing the
+//! two in one set is a typed error: assigning arrival-order bundles a
+//! slot behind someone else's gap would silently withhold them from
+//! every query, which is exactly the bug this rule removed.
+//!
+//! The reorder buffer is bounded: out-of-order bytes held for an unfilled
+//! gap are capped per set (`pending_cap`), refunded as the gap fills, and
+//! reported in `stats_text` — one stalled client cannot hold budget
+//! hostage forever.
 //!
 //! Every committed ingest advances the set's **epoch**. Query responses
 //! are cached keyed by `(query, epoch)`; an ingest therefore never
 //! serves a stale response — superseded entries simply age out of the
 //! LRU. A byte budget bounds the store: an ingest that would exceed it
 //! is rejected with a typed error before any state changes.
+//!
+//! Ingest is split into [`prepare_ingest`](ProfileStore::prepare_ingest)
+//! (every check, no mutation) and
+//! [`apply_ingest`](ProfileStore::apply_ingest) (mutation, infallible)
+//! so the durability layer in [`crate::wal`] can slot the write-ahead
+//! append between them: validate, log, then mutate — an ingest is acked
+//! only once it is both durable and applied.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use dcp_core::stored::{StoredAccumulator, StoredBundle, StoredProfiles};
+use dcp_core::stored::{encode_bundle, StoredAccumulator, StoredBundle, StoredProfiles};
+use dcp_support::bytes::Bytes;
 use dcp_support::stats::LatencyHistogram;
 use dcp_support::{FxHashMap, LruCache};
 
@@ -29,6 +46,8 @@ use crate::error::ServeError;
 pub struct StoreConfig {
     /// Cap on total ingested bundle bytes across all sets.
     pub byte_budget: u64,
+    /// Cap on out-of-order bytes buffered per set awaiting a gap fill.
+    pub pending_cap: u64,
     /// Response cache entry cap.
     pub cache_entries: usize,
     /// Response cache byte cap.
@@ -39,6 +58,7 @@ impl Default for StoreConfig {
     fn default() -> Self {
         Self {
             byte_budget: 256 * 1024 * 1024,
+            pending_cap: 64 * 1024 * 1024,
             cache_entries: 512,
             cache_bytes: 16 * 1024 * 1024,
         }
@@ -54,26 +74,76 @@ pub struct CacheKey {
     pub epochs: [u64; 2],
 }
 
+/// The sequencing discipline a set committed to on first ingest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestMode {
+    /// Server assigns the next commit slot; commits immediately.
+    Arrival,
+    /// Client assigns sequence numbers; gaps buffer.
+    Explicit,
+}
+
+/// A validated-but-not-applied ingest: the resolved commit slot and the
+/// discipline it was resolved under. Produced by
+/// [`ProfileStore::prepare_ingest`], consumed by
+/// [`ProfileStore::apply_ingest`]; the WAL logs exactly these fields so
+/// replay re-applies the same slot deterministically.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestTicket {
+    pub mode: IngestMode,
+    pub seq: u64,
+}
+
 struct ProfileSet {
     acc: StoredAccumulator,
-    /// Out-of-order bundles waiting for the sequence gap to fill.
-    pending: BTreeMap<u64, StoredBundle>,
+    /// Out-of-order bundles (with their charged wire bytes) waiting for
+    /// the sequence gap to fill.
+    pending: BTreeMap<u64, (StoredBundle, u64)>,
+    /// Sum of the wire bytes currently held in `pending`.
+    pending_bytes: u64,
     /// Next sequence number to commit.
     next_seq: u64,
     epoch: u64,
+    mode: IngestMode,
     snapshot: Option<Arc<StoredProfiles>>,
 }
 
 impl ProfileSet {
-    fn new() -> Self {
+    fn new(mode: IngestMode) -> Self {
         Self {
             acc: StoredAccumulator::new(),
             pending: BTreeMap::new(),
+            pending_bytes: 0,
             next_seq: 0,
             epoch: 0,
+            mode,
             snapshot: None,
         }
     }
+}
+
+/// One row of [`ProfileStore::list_sets`].
+pub struct SetRow {
+    pub name: String,
+    pub bundles: u64,
+    pub epoch: u64,
+    pub gap: usize,
+    pub gap_bytes: u64,
+}
+
+/// Everything the durability layer persists about one set: identity,
+/// sequencing state, the folded accumulator re-encoded as one bundle,
+/// and the raw reorder buffer.
+pub struct SetDump {
+    pub name: String,
+    pub mode: IngestMode,
+    pub next_seq: u64,
+    pub epoch: u64,
+    pub bundles: u64,
+    pub blob_bytes: u64,
+    pub state: Bytes,
+    /// `(seq, wire_bytes, encoded bundle)` for every buffered entry.
+    pub pending: Vec<(u64, u64, Bytes)>,
 }
 
 /// The whole server state behind one lock: sets, cache, counters.
@@ -101,6 +171,95 @@ impl ProfileStore {
         }
     }
 
+    /// Validate one ingest without mutating anything: budget, sequencing
+    /// discipline, duplicate slot, reorder-buffer cap. On success the
+    /// returned ticket pins the commit slot this ingest will take.
+    pub fn prepare_ingest(
+        &self,
+        set: &str,
+        seq: Option<u64>,
+        wire_bytes: u64,
+    ) -> Result<IngestTicket, ServeError> {
+        if self.bytes_stored.saturating_add(wire_bytes) > self.config.byte_budget {
+            return Err(ServeError::BudgetExceeded {
+                budget: self.config.byte_budget,
+                stored: self.bytes_stored,
+                requested: wire_bytes,
+            });
+        }
+        let mode = match seq {
+            Some(_) => IngestMode::Explicit,
+            None => IngestMode::Arrival,
+        };
+        let (next_seq, pending_bytes, buffered_dup) = match self.sets.get(set) {
+            Some(entry) => {
+                if entry.mode != mode {
+                    return Err(ServeError::SeqModeMismatch {
+                        set: set.to_string(),
+                        explicit: entry.mode == IngestMode::Explicit,
+                    });
+                }
+                let dup = seq.is_some_and(|s| entry.pending.contains_key(&s));
+                (entry.next_seq, entry.pending_bytes, dup)
+            }
+            None => (0, 0, false),
+        };
+        // Arrival order takes the next commit slot — always gap-free, so
+        // it commits immediately and can never be stranded behind an
+        // out-of-order buffer someone else left open.
+        let resolved = match seq {
+            Some(s) => {
+                if s < next_seq || buffered_dup {
+                    return Err(ServeError::DuplicateSeq(s));
+                }
+                s
+            }
+            None => next_seq,
+        };
+        if resolved > next_seq
+            && pending_bytes.saturating_add(wire_bytes) > self.config.pending_cap
+        {
+            return Err(ServeError::PendingCapExceeded {
+                cap: self.config.pending_cap,
+                pending: pending_bytes,
+                requested: wire_bytes,
+            });
+        }
+        Ok(IngestTicket { mode, seq: resolved })
+    }
+
+    /// Apply a prepared ingest. Infallible by construction — everything
+    /// that can be refused was refused in `prepare_ingest`. Returns the
+    /// committed-or-buffered sequence number and the set's epoch after
+    /// the ingest.
+    pub fn apply_ingest(
+        &mut self,
+        set: &str,
+        ticket: IngestTicket,
+        wire_bytes: u64,
+        bundle: StoredBundle,
+    ) -> (u64, u64) {
+        let entry = self
+            .sets
+            .entry(set.to_string())
+            .or_insert_with(|| ProfileSet::new(ticket.mode));
+        entry.pending.insert(ticket.seq, (bundle, wire_bytes));
+        entry.pending_bytes += wire_bytes;
+        // Commit the contiguous prefix in sequence order — the only
+        // order that ever reaches the accumulator. Committed entries
+        // refund their reorder-buffer charge.
+        while let Some((b, w)) = entry.pending.remove(&entry.next_seq) {
+            entry.pending_bytes -= w;
+            entry.acc.ingest(b);
+            entry.next_seq += 1;
+            entry.epoch += 1;
+            entry.snapshot = None;
+        }
+        self.bytes_stored += wire_bytes;
+        self.ingests += 1;
+        (ticket.seq, entry.epoch)
+    }
+
     /// Add one decoded bundle to `set`. `wire_bytes` is the encoded
     /// bundle size, charged against the byte budget. Returns the
     /// committed-or-buffered sequence number and the set's epoch after
@@ -112,36 +271,95 @@ impl ProfileStore {
         wire_bytes: u64,
         bundle: StoredBundle,
     ) -> Result<(u64, u64), ServeError> {
-        if self.bytes_stored.saturating_add(wire_bytes) > self.config.byte_budget {
-            return Err(ServeError::BudgetExceeded {
-                budget: self.config.byte_budget,
-                stored: self.bytes_stored,
-                requested: wire_bytes,
+        let ticket = self.prepare_ingest(set, seq, wire_bytes)?;
+        Ok(self.apply_ingest(set, ticket, wire_bytes, bundle))
+    }
+
+    /// Re-apply one write-ahead-log record during recovery. Records the
+    /// snapshot already covers (slot below the commit watermark, or
+    /// sitting in the restored reorder buffer) are skipped — that makes
+    /// replay idempotent across the snapshot/truncate crash window.
+    /// Returns whether the record was applied. Budget and cap checks are
+    /// deliberately absent: the record was accepted once.
+    pub fn replay_ingest(
+        &mut self,
+        set: &str,
+        mode: IngestMode,
+        seq: u64,
+        wire_bytes: u64,
+        bundle: StoredBundle,
+    ) -> Result<bool, ServeError> {
+        let entry = self.sets.entry(set.to_string()).or_insert_with(|| ProfileSet::new(mode));
+        if entry.mode != mode {
+            return Err(ServeError::SeqModeMismatch {
+                set: set.to_string(),
+                explicit: entry.mode == IngestMode::Explicit,
             });
         }
-        let entry = self.sets.entry(set.to_string()).or_insert_with(ProfileSet::new);
-        let seq = match seq {
-            Some(s) => {
-                if s < entry.next_seq || entry.pending.contains_key(&s) {
-                    return Err(ServeError::DuplicateSeq(s));
-                }
-                s
-            }
-            // Arrival order: the next number no explicit ingest claimed.
-            None => entry.pending.last_key_value().map_or(entry.next_seq, |(&k, _)| k + 1),
-        };
-        entry.pending.insert(seq, bundle);
-        // Commit the contiguous prefix in sequence order — the only
-        // order that ever reaches the accumulator.
-        while let Some(b) = entry.pending.remove(&entry.next_seq) {
-            entry.acc.ingest(b);
-            entry.next_seq += 1;
-            entry.epoch += 1;
-            entry.snapshot = None;
+        if seq < entry.next_seq || entry.pending.contains_key(&seq) {
+            return Ok(false);
         }
-        self.bytes_stored += wire_bytes;
-        self.ingests += 1;
-        Ok((seq, entry.epoch))
+        self.apply_ingest(set, IngestTicket { mode, seq }, wire_bytes, bundle);
+        Ok(true)
+    }
+
+    /// Recreate one set from a durable snapshot record.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore_set(
+        &mut self,
+        name: String,
+        mode: IngestMode,
+        next_seq: u64,
+        epoch: u64,
+        bundles: u64,
+        blob_bytes: u64,
+        state: StoredBundle,
+        pending: Vec<(u64, u64, StoredBundle)>,
+    ) {
+        let mut set = ProfileSet::new(mode);
+        set.acc = StoredAccumulator::restore(state, bundles, blob_bytes);
+        set.next_seq = next_seq;
+        set.epoch = epoch;
+        for (seq, wire, bundle) in pending {
+            set.pending_bytes += wire;
+            set.pending.insert(seq, (bundle, wire));
+        }
+        self.sets.insert(name, set);
+    }
+
+    /// Restore the store-wide counters a snapshot carries.
+    pub fn restore_counters(&mut self, bytes_stored: u64, ingests: u64) {
+        self.bytes_stored = bytes_stored;
+        self.ingests = ingests;
+    }
+
+    /// Fold every set and dump the durable state of the whole store,
+    /// sorted by name. The heavy part (the per-class fold + re-encode)
+    /// is the price of truncating the log.
+    pub fn dump_sets(&mut self) -> Result<Vec<SetDump>, ServeError> {
+        let mut out = Vec::with_capacity(self.sets.len());
+        let mut names: Vec<String> = self.sets.keys().cloned().collect();
+        names.sort();
+        for name in names {
+            let entry = self.sets.get_mut(&name).expect("listed name");
+            let state = encode_bundle(&entry.acc.to_bundle()?);
+            let pending = entry
+                .pending
+                .iter()
+                .map(|(&seq, (b, w))| (seq, *w, encode_bundle(b)))
+                .collect();
+            out.push(SetDump {
+                name,
+                mode: entry.mode,
+                next_seq: entry.next_seq,
+                epoch: entry.epoch,
+                bundles: entry.acc.bundles(),
+                blob_bytes: entry.acc.blob_bytes(),
+                state,
+                pending,
+            });
+        }
+        Ok(out)
     }
 
     /// The set's current epoch (0 if it does not exist — the empty set
@@ -168,14 +386,20 @@ impl ProfileStore {
         Ok(snap)
     }
 
-    /// Sorted `(name, bundles, epoch, gap)` rows for the `sets` query.
-    pub fn list_sets(&self) -> Vec<(String, u64, u64, usize)> {
-        let mut rows: Vec<(String, u64, u64, usize)> = self
+    /// Sorted per-set rows for the `sets` query and the stats report.
+    pub fn list_sets(&self) -> Vec<SetRow> {
+        let mut rows: Vec<SetRow> = self
             .sets
             .iter()
-            .map(|(n, s)| (n.clone(), s.acc.bundles(), s.epoch, s.pending.len()))
+            .map(|(n, s)| SetRow {
+                name: n.clone(),
+                bundles: s.acc.bundles(),
+                epoch: s.epoch,
+                gap: s.pending.len(),
+                gap_bytes: s.pending_bytes,
+            })
             .collect();
-        rows.sort();
+        rows.sort_by(|a, b| a.name.cmp(&b.name));
         rows
     }
 
@@ -210,6 +434,9 @@ impl ProfileStore {
         out.push_str(&format!("merges {}\n", merges));
         out.push_str(&format!("bytes_stored {}\n", self.bytes_stored));
         out.push_str(&format!("byte_budget {}\n", self.config.byte_budget));
+        let pending: u64 = self.sets.values().map(|s| s.pending_bytes).sum();
+        out.push_str(&format!("pending_bytes {}\n", pending));
+        out.push_str(&format!("pending_cap {}\n", self.config.pending_cap));
         out.push_str(&format!("sets {}\n", self.sets.len()));
         out.push_str(&format!(
             "cache_hits {}\ncache_misses {}\ncache_hit_rate {:.3}\ncache_entries {}\ncache_bytes {}\n",
@@ -224,8 +451,11 @@ impl ProfileStore {
         for k in kinds {
             out.push_str(&format!("latency_us[{k}] {}\n", self.latency[*k].render()));
         }
-        for (name, bundles, epoch, gap) in self.list_sets() {
-            out.push_str(&format!("set[{name}] bundles={bundles} epoch={epoch} gap={gap}\n"));
+        for r in self.list_sets() {
+            out.push_str(&format!(
+                "set[{}] bundles={} epoch={} gap={} gap_bytes={}\n",
+                r.name, r.bundles, r.epoch, r.gap, r.gap_bytes
+            ));
         }
         out
     }
@@ -279,6 +509,71 @@ mod tests {
     }
 
     #[test]
+    fn arrival_order_commits_immediately_never_strands() {
+        // Regression: an arrival-order ingest used to be assigned
+        // `pending.last_key + 1`, landing *behind* any open gap and
+        // silently withheld from every query. Arrival order now takes
+        // the next commit slot and commits at once.
+        let mut st = ProfileStore::new(StoreConfig::default());
+        let (b, w) = bundle();
+        for i in 0..3 {
+            let (seq, epoch) = st.ingest("a", None, w, b.clone()).expect("arrival");
+            assert_eq!((seq, epoch), (i, i + 1), "every arrival ingest commits immediately");
+        }
+        assert_eq!(st.snapshot("a").expect("snap").stats().samples, 3);
+    }
+
+    #[test]
+    fn mixing_sequence_disciplines_is_typed() {
+        let mut st = ProfileStore::new(StoreConfig::default());
+        let (b, w) = bundle();
+        // Explicit-mode set with an open gap: an arrival-order ingest is
+        // refused instead of being stranded behind the gap.
+        st.ingest("e", Some(5), w, b.clone()).expect("buffered");
+        assert_eq!(
+            st.ingest("e", None, w, b.clone()),
+            Err(ServeError::SeqModeMismatch { set: "e".into(), explicit: true })
+        );
+        // Nothing was charged or recorded for the refused ingest.
+        assert_eq!(st.ingests(), 1);
+        // And the reverse direction on an arrival-mode set.
+        st.ingest("a", None, w, b.clone()).expect("arrival");
+        assert_eq!(
+            st.ingest("a", Some(7), w, b),
+            Err(ServeError::SeqModeMismatch { set: "a".into(), explicit: false })
+        );
+    }
+
+    #[test]
+    fn pending_cap_bounds_the_reorder_buffer_and_refunds_on_commit() {
+        let (b, w) = bundle();
+        let mut st = ProfileStore::new(StoreConfig {
+            pending_cap: w * 2,
+            ..StoreConfig::default()
+        });
+        // Two buffered entries fit under the cap; the third is refused.
+        st.ingest("a", Some(10), w, b.clone()).expect("buffered");
+        st.ingest("a", Some(11), w, b.clone()).expect("buffered");
+        let err = st.ingest("a", Some(12), w, b.clone()).expect_err("cap");
+        assert_eq!(
+            err,
+            ServeError::PendingCapExceeded { cap: w * 2, pending: w * 2, requested: w }
+        );
+        let stats = st.stats_text();
+        assert!(stats.contains(&format!("pending_bytes {}", w * 2)), "{stats}");
+        assert!(stats.contains(&format!("gap=2 gap_bytes={}", w * 2)), "{stats}");
+        // An in-order ingest still lands: the cap only bounds buffering.
+        st.ingest("a", Some(0), w, b.clone()).expect("commits");
+        // Filling the gap refunds the buffer; buffering works again.
+        for s in 1..=9 {
+            st.ingest("a", Some(s), w, b.clone()).expect("fills");
+        }
+        let stats = st.stats_text();
+        assert!(stats.contains("pending_bytes 0"), "{stats}");
+        st.ingest("a", Some(13), w, b).expect("buffer space refunded");
+    }
+
+    #[test]
     fn budget_rejection_is_typed_and_mutation_free() {
         let (b, w) = bundle();
         let mut st = ProfileStore::new(StoreConfig {
@@ -305,13 +600,57 @@ mod tests {
         st.ingest("a", None, w, b).expect("ingest");
         let s3 = st.snapshot("a").expect("snap after ingest");
         assert!(!Arc::ptr_eq(&s1, &s3), "new epoch, new snapshot");
-        assert!(s3.export(StorageClass::Heap).len() > 0);
+        assert!(!s3.export(StorageClass::Heap).is_empty());
     }
 
     #[test]
     fn unknown_set_is_typed() {
         let mut st = ProfileStore::new(StoreConfig::default());
         assert_eq!(st.snapshot("nope").err(), Some(ServeError::UnknownSet("nope".into())));
+    }
+
+    #[test]
+    fn dump_restore_roundtrips_sequencing_state() {
+        let (b, w) = bundle();
+        let mut st = ProfileStore::new(StoreConfig::default());
+        st.ingest("a", Some(0), w, b.clone()).expect("commits");
+        st.ingest("a", Some(3), w, b.clone()).expect("buffers");
+        st.ingest("z", None, w, b).expect("arrival");
+        let dumps = st.dump_sets().expect("dump");
+        assert_eq!(dumps.len(), 2);
+        assert_eq!(dumps[0].name, "a");
+        assert_eq!(dumps[0].next_seq, 1);
+        assert_eq!(dumps[0].pending.len(), 1);
+        assert_eq!(dumps[0].pending[0].0, 3);
+        assert!(matches!(dumps[0].mode, IngestMode::Explicit));
+        assert!(matches!(dumps[1].mode, IngestMode::Arrival));
+
+        let mut re = ProfileStore::new(StoreConfig::default());
+        re.restore_counters(st.bytes_stored(), st.ingests());
+        for d in dumps {
+            let state = dcp_core::stored::decode_bundle(d.state.clone()).expect("state");
+            let pending = d
+                .pending
+                .iter()
+                .map(|(s, wb, raw)| {
+                    (*s, *wb, dcp_core::stored::decode_bundle(raw.clone()).expect("pending"))
+                })
+                .collect();
+            re.restore_set(
+                d.name, d.mode, d.next_seq, d.epoch, d.bundles, d.blob_bytes, state, pending,
+            );
+        }
+        assert_eq!(re.bytes_stored(), st.bytes_stored());
+        assert_eq!(re.epoch("a"), st.epoch("a"));
+        assert_eq!(re.epoch("z"), st.epoch("z"));
+        // The restored reorder buffer still commits when the gap fills.
+        let (b, w) = bundle();
+        for s in 1..=2 {
+            re.ingest("a", Some(s), w, b.clone()).expect("fills");
+        }
+        assert_eq!(re.epoch("a"), Some(4), "buffered seq 3 committed after the gap filled");
+        let stats = re.stats_text();
+        assert!(stats.contains("set[a] bundles=4"), "{stats}");
     }
 
     #[test]

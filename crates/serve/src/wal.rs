@@ -1,0 +1,788 @@
+//! Crash-safe durability for the profile store: a write-ahead log plus
+//! periodic snapshots.
+//!
+//! The contract is **byte-identical recovery**: a daemon killed at any
+//! instant and restarted over the same data directory answers every
+//! query with exactly the bytes an uncrashed daemon would have produced
+//! from the acknowledged ingests (the kill-anywhere differential sweep
+//! in `tests/durability_e2e.rs` pins this for all five Table-1
+//! workloads). The identity rests on two invariants pinned elsewhere:
+//! `encode_bundle(decode_bundle(w)) == w`, so logging wire bytes loses
+//! nothing, and the incremental-merge fold is a pure re-bracketing, so
+//! a snapshot of the folded accumulator re-encoded as one bundle merges
+//! forward exactly like the original bundle sequence.
+//!
+//! On-disk layout inside the data directory:
+//!
+//! ```text
+//! ingest.wal   header ("DCPW" + version), then length-prefixed records:
+//!              | u32 body len | u64 FxHash of body | body |
+//!              body = mode u8, seq, set name, wire bytes, bundle bytes
+//!              (varint fields, same dialect as the profile codec)
+//! store.snap   header ("DCPD" + version), counters, per-set state
+//!              (mode, next_seq, epoch, folded bundle, reorder buffer),
+//!              trailing u64 FxHash of everything before it
+//! ```
+//!
+//! Write discipline: an ingest is validated (`prepare_ingest`), then
+//! appended and fsynced, then applied — the store never holds state the
+//! log does not. A snapshot is written to a temp file, fsynced, and
+//! renamed over the old one before the log is truncated, so every crash
+//! point leaves either (old snapshot + full log) or (new snapshot +
+//! possibly-stale log). Both recover: replay skips records the snapshot
+//! already covers (sequence below the commit watermark, or sitting in
+//! the restored reorder buffer), which makes it idempotent across the
+//! snapshot/truncate window.
+//!
+//! Damage tolerance: a torn or bit-flipped log tail (the only part a
+//! crash can damage — everything earlier was fsynced before its ingest
+//! was acknowledged) is detected by the length/checksum framing, the
+//! valid prefix is recovered, and the file is truncated to it; the loss
+//! is reported as a typed [`ServeError::WalCorrupt`], never a panic. A
+//! log or snapshot that fails header validation outright is refused —
+//! that is not our file, and silently clobbering it would destroy data.
+//!
+//! Crash-injection hooks for the differential harness: with
+//! `DCP_WAL_CRASH_AFTER=N` the Nth append aborts the process right
+//! after its fsync (or, with `DCP_WAL_CRASH_MODE=torn`, writes only
+//! half the record first — a torn write at the kill point).
+
+use std::fs::{File, OpenOptions};
+use std::hash::Hasher;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use dcp_cct::codec::{get_slice, get_varint, put_varint};
+use dcp_core::stored::{decode_bundle, StoredBundle};
+use dcp_support::bytes::{Bytes, BytesMut};
+use dcp_support::FxHasher;
+
+use crate::error::ServeError;
+use crate::store::{IngestMode, IngestTicket, ProfileStore, SetDump};
+
+const WAL_MAGIC: [u8; 4] = *b"DCPW";
+const SNAP_MAGIC: [u8; 4] = *b"DCPD";
+const VERSION: u8 = 1;
+/// Header: magic + version byte.
+const HEADER_LEN: u64 = 5;
+/// Record frame overhead: u32 body length + u64 checksum.
+const RECORD_OVERHEAD: usize = 12;
+/// Sanity cap on one record body — matches the wire frame cap, so any
+/// length prefix a valid writer could not have produced reads as tail
+/// damage rather than an allocation request.
+const MAX_RECORD: u64 = crate::wire::MAX_FRAME;
+
+const WAL_FILE: &str = "ingest.wal";
+const SNAP_FILE: &str = "store.snap";
+const SNAP_TMP: &str = "store.snap.tmp";
+
+fn checksum(body: &[u8]) -> u64 {
+    // FxHash: every mixing step is bijective, so any single-bit flip
+    // changes the digest; deterministic (no random state), in-tree.
+    let mut h = FxHasher::default();
+    h.write(body);
+    h.finish()
+}
+
+fn mode_byte(mode: IngestMode) -> u8 {
+    match mode {
+        IngestMode::Arrival => 0,
+        IngestMode::Explicit => 1,
+    }
+}
+
+fn mode_of(b: u8) -> Option<IngestMode> {
+    match b {
+        0 => Some(IngestMode::Arrival),
+        1 => Some(IngestMode::Explicit),
+        _ => None,
+    }
+}
+
+fn put_bytes(buf: &mut BytesMut, raw: &[u8]) {
+    put_varint(buf, raw.len() as u64);
+    buf.put_slice(raw);
+}
+
+fn get_bytes(buf: &mut Bytes) -> Result<Bytes, ServeError> {
+    let len = get_varint(buf).map_err(|_| ServeError::Truncated)?;
+    if len > buf.remaining() as u64 {
+        return Err(ServeError::Truncated);
+    }
+    get_slice(buf, len as usize).map_err(|_| ServeError::Truncated)
+}
+
+fn get_string(buf: &mut Bytes) -> Result<String, ServeError> {
+    let raw = get_bytes(buf)?;
+    std::str::from_utf8(raw.as_slice()).map(str::to_string).map_err(|_| ServeError::BadUtf8)
+}
+
+/// One logged ingest, exactly the fields replay needs to re-apply the
+/// same commit slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    pub set: String,
+    pub mode: IngestMode,
+    pub seq: u64,
+    pub wire_bytes: u64,
+    pub bundle: Bytes,
+}
+
+fn encode_record(rec: &WalRecord) -> Vec<u8> {
+    let mut body = BytesMut::new();
+    body.put_u8(mode_byte(rec.mode));
+    put_varint(&mut body, rec.seq);
+    put_bytes(&mut body, rec.set.as_bytes());
+    put_varint(&mut body, rec.wire_bytes);
+    put_bytes(&mut body, rec.bundle.as_slice());
+    let body = body.freeze();
+    let mut frame = Vec::with_capacity(RECORD_OVERHEAD + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    frame.extend_from_slice(&checksum(body.as_slice()).to_be_bytes());
+    frame.extend_from_slice(body.as_slice());
+    frame
+}
+
+fn decode_record_body(mut body: Bytes) -> Result<WalRecord, ServeError> {
+    if !body.has_remaining() {
+        return Err(ServeError::Truncated);
+    }
+    let mode = mode_of(body.get_u8()).ok_or(ServeError::Truncated)?;
+    let seq = get_varint(&mut body).map_err(|_| ServeError::Truncated)?;
+    let set = get_string(&mut body)?;
+    let wire_bytes = get_varint(&mut body).map_err(|_| ServeError::Truncated)?;
+    let bundle = get_bytes(&mut body)?;
+    if body.has_remaining() {
+        return Err(ServeError::Truncated);
+    }
+    Ok(WalRecord { set, mode, seq, wire_bytes, bundle })
+}
+
+/// The append-only ingest log.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    /// Byte length of the valid prefix (== file length between appends).
+    len: u64,
+    /// Appends performed by this process — drives the crash hooks.
+    appends: u64,
+    crash_after: Option<u64>,
+    crash_torn: bool,
+}
+
+impl Wal {
+    /// Append one record and fsync it. On return the record is durable.
+    pub fn append(&mut self, rec: &WalRecord) -> Result<(), ServeError> {
+        let frame = encode_record(rec);
+        let crash_now = self.crash_after == Some(self.appends + 1);
+        if crash_now && self.crash_torn {
+            // Simulate a torn write: half the record reaches the disk,
+            // then the process dies.
+            let half = &frame[..frame.len() / 2];
+            let _ = self.file.write_all(half);
+            let _ = self.file.sync_data();
+            std::process::abort();
+        }
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        self.len += frame.len() as u64;
+        self.appends += 1;
+        if crash_now {
+            std::process::abort();
+        }
+        Ok(())
+    }
+
+    /// Drop every record (the snapshot now covers them) and reset to a
+    /// bare header.
+    fn truncate_to_header(&mut self) -> Result<(), ServeError> {
+        self.file.set_len(HEADER_LEN)?;
+        self.file.seek(SeekFrom::Start(HEADER_LEN))?;
+        self.file.sync_data()?;
+        self.len = HEADER_LEN;
+        Ok(())
+    }
+}
+
+/// What recovery found, for the startup report and the tests.
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// Sets restored from the snapshot.
+    pub snapshot_sets: usize,
+    /// Log records applied on top of the snapshot.
+    pub replayed: u64,
+    /// Log records the snapshot already covered (idempotent skip).
+    pub skipped: u64,
+    /// Damage found at the log tail; the valid prefix was kept.
+    pub tail_error: Option<ServeError>,
+}
+
+impl RecoveryReport {
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "recovered {} set(s) from snapshot, replayed {} wal record(s), skipped {}",
+            self.snapshot_sets, self.replayed, self.skipped
+        );
+        if let Some(e) = &self.tail_error {
+            s.push_str(&format!("; dropped damaged tail ({e})"));
+        }
+        s
+    }
+}
+
+/// The durability layer one server instance owns: its data directory,
+/// the open log, and the snapshot cadence.
+#[derive(Debug)]
+pub struct Durability {
+    dir: PathBuf,
+    wal: Wal,
+    snapshot_every: u64,
+    since_snapshot: u64,
+}
+
+impl Durability {
+    /// Open (or create) a data directory, restore the snapshot, replay
+    /// the log tail into `store`, and truncate any damaged tail. The
+    /// store must be freshly constructed.
+    pub fn open(
+        dir: &Path,
+        snapshot_every: u64,
+        store: &mut ProfileStore,
+    ) -> Result<(Self, RecoveryReport), ServeError> {
+        std::fs::create_dir_all(dir)?;
+        let snapshot_sets = match read_snapshot(&dir.join(SNAP_FILE))? {
+            None => 0,
+            Some(snap) => {
+                store.restore_counters(snap.bytes_stored, snap.ingests);
+                let n = snap.sets.len();
+                for s in snap.sets {
+                    store.restore_set(
+                        s.name,
+                        s.mode,
+                        s.next_seq,
+                        s.epoch,
+                        s.bundles,
+                        s.blob_bytes,
+                        s.state,
+                        s.pending,
+                    );
+                }
+                n
+            }
+        };
+        let (wal, replayed, skipped, tail_error) = open_wal(&dir.join(WAL_FILE), store)?;
+        let report = RecoveryReport { snapshot_sets, replayed, skipped, tail_error };
+        Ok((
+            Self {
+                dir: dir.to_path_buf(),
+                wal,
+                snapshot_every,
+                since_snapshot: 0,
+            },
+            report,
+        ))
+    }
+
+    /// Make one prepared ingest durable. Called between `prepare_ingest`
+    /// and `apply_ingest`; once this returns Ok the ingest survives any
+    /// crash.
+    pub fn log_ingest(
+        &mut self,
+        set: &str,
+        ticket: IngestTicket,
+        wire_bytes: u64,
+        bundle: &Bytes,
+    ) -> Result<(), ServeError> {
+        self.wal.append(&WalRecord {
+            set: set.to_string(),
+            mode: ticket.mode,
+            seq: ticket.seq,
+            wire_bytes,
+            bundle: bundle.clone(),
+        })
+    }
+
+    /// Count one applied ingest and snapshot if the cadence says so.
+    /// Returns whether a snapshot was written.
+    pub fn note_applied(&mut self, store: &mut ProfileStore) -> Result<bool, ServeError> {
+        self.since_snapshot += 1;
+        if self.snapshot_every == 0 || self.since_snapshot < self.snapshot_every {
+            return Ok(false);
+        }
+        self.snapshot_now(store)?;
+        Ok(true)
+    }
+
+    /// Fold the store into a snapshot, land it atomically, truncate the
+    /// log. Crash-ordering: tmp write + fsync, rename, dir fsync, THEN
+    /// truncate — every intermediate state recovers (replay over the new
+    /// snapshot is idempotent).
+    pub fn snapshot_now(&mut self, store: &mut ProfileStore) -> Result<(), ServeError> {
+        let raw = encode_snapshot(store)?;
+        let tmp = self.dir.join(SNAP_TMP);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&raw)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, self.dir.join(SNAP_FILE))?;
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        self.wal.truncate_to_header()?;
+        self.since_snapshot = 0;
+        Ok(())
+    }
+}
+
+fn open_wal(
+    path: &Path,
+    store: &mut ProfileStore,
+) -> Result<(Wal, u64, u64, Option<ServeError>), ServeError> {
+    // truncate(false): an existing log is the durable state — never clobber.
+    let mut file =
+        OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+    let file_len = file.metadata()?.len();
+    let crash_after = std::env::var("DCP_WAL_CRASH_AFTER").ok().and_then(|v| v.parse().ok());
+    let crash_torn =
+        std::env::var("DCP_WAL_CRASH_MODE").map(|v| v == "torn").unwrap_or(false);
+
+    let mut tail_error = None;
+    if file_len < HEADER_LEN {
+        // Empty (or torn-during-creation) file: the valid prefix is
+        // empty. Lay down a fresh header.
+        if file_len > 0 {
+            tail_error = Some(ServeError::WalCorrupt {
+                offset: 0,
+                detail: format!("header torn at {file_len} byte(s)"),
+            });
+        }
+        file.set_len(0)?;
+        file.seek(SeekFrom::Start(0))?;
+        let mut header = Vec::from(WAL_MAGIC);
+        header.push(VERSION);
+        file.write_all(&header)?;
+        file.sync_data()?;
+        return Ok((
+            Wal { file, len: HEADER_LEN, appends: 0, crash_after, crash_torn },
+            0,
+            0,
+            tail_error,
+        ));
+    }
+
+    let mut raw = Vec::with_capacity(file_len as usize);
+    file.seek(SeekFrom::Start(0))?;
+    file.read_to_end(&mut raw)?;
+    if raw[..4] != WAL_MAGIC || raw[4] != VERSION {
+        // Not our log: refuse rather than clobber.
+        return Err(ServeError::WalCorrupt {
+            offset: 0,
+            detail: "bad magic or version".to_string(),
+        });
+    }
+
+    let mut offset = HEADER_LEN as usize;
+    let mut replayed = 0u64;
+    let mut skipped = 0u64;
+    while offset < raw.len() {
+        let damage = |detail: &str| ServeError::WalCorrupt {
+            offset: offset as u64,
+            detail: detail.to_string(),
+        };
+        if raw.len() - offset < RECORD_OVERHEAD {
+            tail_error = Some(damage("torn record frame"));
+            break;
+        }
+        let body_len =
+            u32::from_be_bytes(raw[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        if body_len as u64 > MAX_RECORD {
+            tail_error = Some(damage("implausible record length"));
+            break;
+        }
+        let sum = u64::from_be_bytes(raw[offset + 4..offset + 12].try_into().expect("8 bytes"));
+        if raw.len() - offset - RECORD_OVERHEAD < body_len {
+            tail_error = Some(damage("torn record body"));
+            break;
+        }
+        let body = &raw[offset + RECORD_OVERHEAD..offset + RECORD_OVERHEAD + body_len];
+        if checksum(body) != sum {
+            tail_error = Some(damage("checksum mismatch"));
+            break;
+        }
+        let mut buf = BytesMut::with_capacity(body.len());
+        buf.put_slice(body);
+        let rec = match decode_record_body(buf.freeze()) {
+            Ok(r) => r,
+            Err(_) => {
+                tail_error = Some(damage("unparseable record body"));
+                break;
+            }
+        };
+        let bundle = match decode_bundle(rec.bundle.clone()) {
+            Ok(b) => b,
+            Err(_) => {
+                tail_error = Some(damage("undecodable bundle payload"));
+                break;
+            }
+        };
+        match store.replay_ingest(&rec.set, rec.mode, rec.seq, rec.wire_bytes, bundle) {
+            Ok(true) => replayed += 1,
+            Ok(false) => skipped += 1,
+            Err(_) => {
+                // A checksum-valid record that contradicts the set's
+                // sequencing discipline cannot come from a valid writer.
+                tail_error = Some(damage("record contradicts set state"));
+                break;
+            }
+        }
+        offset += RECORD_OVERHEAD + body_len;
+    }
+
+    if tail_error.is_some() {
+        file.set_len(offset as u64)?;
+        file.sync_data()?;
+    }
+    file.seek(SeekFrom::Start(offset as u64))?;
+    Ok((
+        Wal { file, len: offset as u64, appends: 0, crash_after, crash_torn },
+        replayed,
+        skipped,
+        tail_error,
+    ))
+}
+
+struct SnapSet {
+    name: String,
+    mode: IngestMode,
+    next_seq: u64,
+    epoch: u64,
+    bundles: u64,
+    blob_bytes: u64,
+    state: StoredBundle,
+    pending: Vec<(u64, u64, StoredBundle)>,
+}
+
+struct Snapshot {
+    bytes_stored: u64,
+    ingests: u64,
+    sets: Vec<SnapSet>,
+}
+
+fn encode_snapshot(store: &mut ProfileStore) -> Result<Vec<u8>, ServeError> {
+    let dumps: Vec<SetDump> = store.dump_sets()?;
+    let mut buf = BytesMut::new();
+    buf.put_slice(&SNAP_MAGIC);
+    buf.put_u8(VERSION);
+    put_varint(&mut buf, store.bytes_stored());
+    put_varint(&mut buf, store.ingests());
+    put_varint(&mut buf, dumps.len() as u64);
+    for d in dumps {
+        put_bytes(&mut buf, d.name.as_bytes());
+        buf.put_u8(mode_byte(d.mode));
+        put_varint(&mut buf, d.next_seq);
+        put_varint(&mut buf, d.epoch);
+        put_varint(&mut buf, d.bundles);
+        put_varint(&mut buf, d.blob_bytes);
+        put_bytes(&mut buf, d.state.as_slice());
+        put_varint(&mut buf, d.pending.len() as u64);
+        for (seq, wire, raw) in d.pending {
+            put_varint(&mut buf, seq);
+            put_varint(&mut buf, wire);
+            put_bytes(&mut buf, raw.as_slice());
+        }
+    }
+    let mut out = Vec::from(buf.freeze().as_slice());
+    let sum = checksum(&out);
+    out.extend_from_slice(&sum.to_be_bytes());
+    Ok(out)
+}
+
+fn read_snapshot(path: &Path) -> Result<Option<Snapshot>, ServeError> {
+    let raw = match std::fs::read(path) {
+        Ok(r) => r,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    // The snapshot lands by atomic rename, so unlike the log tail it is
+    // all-or-nothing: any validation failure means committed data may be
+    // missing, and recovery refuses to guess.
+    let corrupt = |detail: &str| ServeError::SnapshotCorrupt(detail.to_string());
+    if raw.len() < HEADER_LEN as usize + 8 {
+        return Err(corrupt("file shorter than header"));
+    }
+    if raw[..4] != SNAP_MAGIC || raw[4] != VERSION {
+        return Err(corrupt("bad magic or version"));
+    }
+    let (body, sum_raw) = raw.split_at(raw.len() - 8);
+    let sum = u64::from_be_bytes(sum_raw.try_into().expect("8 bytes"));
+    if checksum(body) != sum {
+        return Err(corrupt("checksum mismatch"));
+    }
+    let mut buf = BytesMut::with_capacity(body.len() - HEADER_LEN as usize);
+    buf.put_slice(&body[HEADER_LEN as usize..]);
+    let mut buf = buf.freeze();
+    let trunc = |_| corrupt("truncated field");
+    let bytes_stored = get_varint(&mut buf).map_err(trunc)?;
+    let ingests = get_varint(&mut buf).map_err(trunc)?;
+    let set_count = get_varint(&mut buf).map_err(trunc)?;
+    let mut sets = Vec::new();
+    for _ in 0..set_count {
+        let name = get_string(&mut buf).map_err(|_| corrupt("bad set name"))?;
+        if !buf.has_remaining() {
+            return Err(corrupt("truncated field"));
+        }
+        let mode = mode_of(buf.get_u8()).ok_or_else(|| corrupt("bad mode byte"))?;
+        let next_seq = get_varint(&mut buf).map_err(trunc)?;
+        let epoch = get_varint(&mut buf).map_err(trunc)?;
+        let bundles = get_varint(&mut buf).map_err(trunc)?;
+        let blob_bytes = get_varint(&mut buf).map_err(trunc)?;
+        let state_raw = get_bytes(&mut buf).map_err(|_| corrupt("truncated state"))?;
+        let state =
+            decode_bundle(state_raw).map_err(|e| corrupt(&format!("state bundle: {e}")))?;
+        let pending_count = get_varint(&mut buf).map_err(trunc)?;
+        let mut pending = Vec::new();
+        for _ in 0..pending_count {
+            let seq = get_varint(&mut buf).map_err(trunc)?;
+            let wire = get_varint(&mut buf).map_err(trunc)?;
+            let raw = get_bytes(&mut buf).map_err(|_| corrupt("truncated pending"))?;
+            let bundle =
+                decode_bundle(raw).map_err(|e| corrupt(&format!("pending bundle: {e}")))?;
+            pending.push((seq, wire, bundle));
+        }
+        sets.push(SnapSet { name, mode, next_seq, epoch, bundles, blob_bytes, state, pending });
+    }
+    if buf.has_remaining() {
+        return Err(corrupt("trailing garbage"));
+    }
+    Ok(Some(Snapshot { bytes_stored, ingests, sets }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+    use dcp_core::stored::encode_bundle;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dcp-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).expect("mkdir");
+        d
+    }
+
+    fn bundle() -> (StoredBundle, Bytes) {
+        let mut b = StoredBundle::default();
+        b.stats.samples = 3;
+        let raw = encode_bundle(&b);
+        (b, raw)
+    }
+
+    fn durable_ingest(
+        store: &mut ProfileStore,
+        dur: &mut Durability,
+        set: &str,
+        seq: Option<u64>,
+    ) {
+        let (b, raw) = bundle();
+        let wire = raw.len() as u64;
+        let ticket = store.prepare_ingest(set, seq, wire).expect("prepare");
+        dur.log_ingest(set, ticket, wire, &raw).expect("log");
+        store.apply_ingest(set, ticket, wire, b);
+        dur.note_applied(store).expect("note");
+    }
+
+    fn recover(dir: &Path) -> (ProfileStore, RecoveryReport) {
+        let mut store = ProfileStore::new(StoreConfig::default());
+        let (_dur, report) = Durability::open(dir, 0, &mut store).expect("open");
+        (store, report)
+    }
+
+    #[test]
+    fn log_then_recover_replays_everything() {
+        let dir = tmpdir("replay");
+        let mut store = ProfileStore::new(StoreConfig::default());
+        let (mut dur, r) = Durability::open(&dir, 0, &mut store).expect("open");
+        assert_eq!((r.snapshot_sets, r.replayed), (0, 0));
+        durable_ingest(&mut store, &mut dur, "a", Some(0));
+        durable_ingest(&mut store, &mut dur, "a", Some(2)); // buffered
+        durable_ingest(&mut store, &mut dur, "b", None);
+        drop(dur);
+
+        let (re, report) = recover(&dir);
+        assert_eq!(report.replayed, 3);
+        assert!(report.tail_error.is_none());
+        assert_eq!(re.epoch("a"), store.epoch("a"));
+        assert_eq!(re.epoch("b"), store.epoch("b"));
+        assert_eq!(re.stats_text().lines().find(|l| l.starts_with("set[")),
+                   store.stats_text().lines().find(|l| l.starts_with("set[")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_truncates_log_and_replay_is_idempotent() {
+        let dir = tmpdir("snap");
+        let mut store = ProfileStore::new(StoreConfig::default());
+        let (mut dur, _) = Durability::open(&dir, 0, &mut store).expect("open");
+        durable_ingest(&mut store, &mut dur, "a", Some(0));
+        durable_ingest(&mut store, &mut dur, "a", Some(3)); // stays pending
+        dur.snapshot_now(&mut store).expect("snapshot");
+        assert_eq!(
+            std::fs::metadata(dir.join(WAL_FILE)).expect("meta").len(),
+            HEADER_LEN,
+            "snapshot truncates the log"
+        );
+        durable_ingest(&mut store, &mut dur, "a", Some(1));
+        drop(dur);
+
+        let (mut re, report) = recover(&dir);
+        assert_eq!(report.snapshot_sets, 1);
+        assert_eq!(report.replayed, 1);
+        assert_eq!(re.epoch("a"), store.epoch("a"));
+        // The restored pending entry still commits once the gap fills.
+        let (b, raw) = bundle();
+        re.ingest("a", Some(2), raw.len() as u64, b).expect("fill");
+        assert_eq!(re.epoch("a"), Some(4));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_over_untruncated_log_double_applies_nothing() {
+        // The crash window between snapshot rename and log truncation:
+        // recovery sees the new snapshot plus a log whose records the
+        // snapshot already covers. Replay must skip them all.
+        let dir = tmpdir("window");
+        let mut store = ProfileStore::new(StoreConfig::default());
+        let (mut dur, _) = Durability::open(&dir, 0, &mut store).expect("open");
+        durable_ingest(&mut store, &mut dur, "a", Some(0)); // commits
+        durable_ingest(&mut store, &mut dur, "a", Some(3)); // stays pending
+        let untruncated = std::fs::read(dir.join(WAL_FILE)).expect("read");
+        dur.snapshot_now(&mut store).expect("snapshot");
+        drop(dur);
+        // Undo the truncation, as if the crash hit right after rename.
+        std::fs::write(dir.join(WAL_FILE), &untruncated).expect("restore log");
+
+        let (re, report) = recover(&dir);
+        assert_eq!(report.snapshot_sets, 1);
+        assert_eq!(report.replayed, 0);
+        assert_eq!(report.skipped, 2, "committed and pending records both skip");
+        assert_eq!(re.epoch("a"), store.epoch("a"));
+        assert_eq!(re.bytes_stored(), store.bytes_stored());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn dur_file_len(dir: &Path) -> u64 {
+        std::fs::metadata(dir.join(WAL_FILE)).expect("meta").len()
+    }
+
+    #[test]
+    fn torn_tail_recovers_valid_prefix() {
+        let dir = tmpdir("torn");
+        let mut store = ProfileStore::new(StoreConfig::default());
+        let (mut dur, _) = Durability::open(&dir, 0, &mut store).expect("open");
+        durable_ingest(&mut store, &mut dur, "a", Some(0));
+        durable_ingest(&mut store, &mut dur, "a", Some(1));
+        drop(dur);
+        let path = dir.join(WAL_FILE);
+        let full = std::fs::read(&path).expect("read");
+        // Every proper-prefix truncation of the second record recovers
+        // exactly the first.
+        let first_end = {
+            let body_len =
+                u32::from_be_bytes(full[5..9].try_into().expect("4")) as usize;
+            5 + RECORD_OVERHEAD + body_len
+        };
+        for cut in first_end + 1..full.len() {
+            std::fs::write(&path, &full[..cut]).expect("truncate");
+            let (re, report) = recover(&dir);
+            assert_eq!(report.replayed, 1, "cut at {cut}");
+            assert!(
+                matches!(report.tail_error, Some(ServeError::WalCorrupt { .. })),
+                "cut at {cut}"
+            );
+            assert_eq!(re.epoch("a"), Some(1), "cut at {cut}");
+            assert_eq!(dur_file_len(&dir), first_end as u64, "file truncated to prefix");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flips_in_the_tail_are_detected() {
+        let dir = tmpdir("flip");
+        let mut store = ProfileStore::new(StoreConfig::default());
+        let (mut dur, _) = Durability::open(&dir, 0, &mut store).expect("open");
+        durable_ingest(&mut store, &mut dur, "a", Some(0));
+        durable_ingest(&mut store, &mut dur, "a", Some(1));
+        drop(dur);
+        let path = dir.join(WAL_FILE);
+        let full = std::fs::read(&path).expect("read");
+        let first_end = {
+            let body_len =
+                u32::from_be_bytes(full[5..9].try_into().expect("4")) as usize;
+            5 + RECORD_OVERHEAD + body_len
+        };
+        // Flip one bit in the second record's checksum and one in its
+        // body: both recover only the first record. (Damaging the length
+        // prefix is covered by the torn-tail sweep.)
+        for pos in [first_end + 6, first_end + RECORD_OVERHEAD + 2] {
+            let mut raw = full.clone();
+            raw[pos] ^= 0x10;
+            std::fs::write(&path, &raw).expect("write");
+            let (re, report) = recover(&dir);
+            assert_eq!(report.replayed, 1, "flip at {pos}");
+            assert!(report.tail_error.is_some(), "flip at {pos}");
+            assert_eq!(re.epoch("a"), Some(1), "flip at {pos}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_length_log_is_an_empty_prefix() {
+        let dir = tmpdir("zero");
+        std::fs::write(dir.join(WAL_FILE), b"").expect("write");
+        let (store, report) = recover(&dir);
+        assert_eq!(report.replayed, 0);
+        assert!(report.tail_error.is_none(), "empty file is a clean empty log");
+        assert_eq!(store.ingests(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_log_and_damaged_snapshot_are_refused() {
+        let dir = tmpdir("foreign");
+        std::fs::write(dir.join(WAL_FILE), b"not a wal file at all").expect("write");
+        let mut store = ProfileStore::new(StoreConfig::default());
+        let err = Durability::open(&dir, 0, &mut store).expect_err("refused");
+        assert!(matches!(err, ServeError::WalCorrupt { offset: 0, .. }), "{err}");
+
+        let dir2 = tmpdir("badsnap");
+        let mut store = ProfileStore::new(StoreConfig::default());
+        let (mut dur, _) = Durability::open(&dir2, 0, &mut store).expect("open");
+        durable_ingest(&mut store, &mut dur, "a", None);
+        dur.snapshot_now(&mut store).expect("snapshot");
+        drop(dur);
+        let snap_path = dir2.join(SNAP_FILE);
+        let mut raw = std::fs::read(&snap_path).expect("read");
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x01;
+        std::fs::write(&snap_path, &raw).expect("write");
+        let mut store = ProfileStore::new(StoreConfig::default());
+        let err = Durability::open(&dir2, 0, &mut store).expect_err("refused");
+        assert!(matches!(err, ServeError::SnapshotCorrupt(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn cadence_snapshots_after_every_n_ingests() {
+        let dir = tmpdir("cadence");
+        let mut store = ProfileStore::new(StoreConfig::default());
+        let (mut dur, _) = Durability::open(&dir, 2, &mut store).expect("open");
+        durable_ingest(&mut store, &mut dur, "a", None);
+        assert!(!dir.join(SNAP_FILE).exists());
+        durable_ingest(&mut store, &mut dur, "a", None);
+        assert!(dir.join(SNAP_FILE).exists(), "second ingest hits the cadence");
+        assert_eq!(dur_file_len(&dir), HEADER_LEN);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -279,6 +279,95 @@ fn live_server_rejects_mutated_ingests_without_dying() {
 }
 
 #[test]
+fn wal_file_grind_recovers_a_valid_prefix_and_never_panics() {
+    // The durable-store mirror of the frame grind above: every
+    // truncation of the write-ahead log and a bit flip at every byte
+    // must recover exactly the records in front of the damage — typed
+    // errors only, never a panic, never a record past the damage.
+    use dcp_core::stored::decode_bundle;
+    use dcp_serve::{Durability, ProfileStore, StoreConfig};
+
+    let dir = std::env::temp_dir().join(format!("dcp-robust-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let raw_bundle = encode_bundle(&sample_bundle());
+    let wire = raw_bundle.len() as u64;
+    let mut store = ProfileStore::new(StoreConfig::default());
+    let (mut dur, _) = Durability::open(&dir, 0, &mut store).expect("open");
+    for seq in 0..3u64 {
+        let t = store.prepare_ingest("w", Some(seq), wire).expect("prepare");
+        dur.log_ingest("w", t, wire, &raw_bundle).expect("log");
+        store.apply_ingest("w", t, wire, decode_bundle(raw_bundle.clone()).expect("bundle"));
+    }
+    drop(dur);
+    let wal_path = dir.join("ingest.wal");
+    let full = std::fs::read(&wal_path).expect("read");
+
+    // Record boundaries: header is 5 bytes, each record is a u32 body
+    // length + u64 checksum + body.
+    let mut bounds = vec![5usize];
+    let mut at = 5usize;
+    while at < full.len() {
+        let body = u32::from_be_bytes(full[at..at + 4].try_into().expect("4")) as usize;
+        at += 12 + body;
+        bounds.push(at);
+    }
+    assert_eq!(bounds.len(), 4, "three records");
+    // Records in front of byte `pos`: the last boundary at or before it.
+    let prefix_records = |pos: usize| bounds.iter().filter(|&&b| b <= pos).count() as u64 - 1;
+
+    let recover = |mutated: &[u8]| -> Result<(u64, Option<ServeError>), ServeError> {
+        std::fs::write(&wal_path, mutated).expect("write");
+        let mut st = ProfileStore::new(StoreConfig::default());
+        let (_d, report) = Durability::open(&dir, 0, &mut st)?;
+        Ok((report.replayed, report.tail_error))
+    };
+
+    // Zero-length file: a clean empty log.
+    let (replayed, tail) = recover(b"").expect("empty recovers");
+    assert_eq!(replayed, 0);
+    assert!(tail.is_none());
+
+    // Every truncation: exactly the complete records survive; a cut
+    // inside a record is reported as typed tail damage.
+    for cut in 0..full.len() {
+        let (replayed, tail) = recover(&full[..cut]).expect("truncation recovers");
+        if cut < 5 {
+            assert_eq!(replayed, 0, "cut {cut}");
+            continue;
+        }
+        assert_eq!(replayed, prefix_records(cut), "cut {cut}");
+        if bounds.contains(&cut) {
+            assert!(tail.is_none(), "cut {cut} is a record boundary");
+        } else {
+            assert!(
+                matches!(tail, Some(ServeError::WalCorrupt { .. })),
+                "cut {cut} must be typed tail damage"
+            );
+        }
+    }
+
+    // Every byte, one bit flip: header damage is refused outright
+    // (that file is no longer ours); record damage recovers the
+    // records in front of it and reports the rest as a damaged tail.
+    for pos in 0..full.len() {
+        let mut mutated = full.clone();
+        mutated[pos] ^= 0x04;
+        match recover(&mutated) {
+            Err(ServeError::WalCorrupt { offset: 0, .. }) => {
+                assert!(pos < 5, "only header flips are refused, flip at {pos}")
+            }
+            Err(e) => panic!("flip at {pos}: unexpected error {e}"),
+            Ok((replayed, tail)) => {
+                assert!(pos >= 5, "header flip at {pos} must be refused");
+                assert_eq!(replayed, prefix_records(pos), "flip at {pos}");
+                assert!(tail.is_some(), "flip at {pos} must report the damaged tail");
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn client_times_out_on_a_silent_server() {
     // A listener that accepts and never replies: the client's read
     // timeout turns the stall into a typed Io error instead of a hang.

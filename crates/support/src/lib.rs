@@ -25,7 +25,10 @@
 //! * [`bench`] — a criterion-shaped micro-benchmark harness with the
 //!   [`criterion_group!`](crate::criterion_group) /
 //!   [`criterion_main!`](crate::criterion_main) macros (replaces
-//!   `criterion`).
+//!   `criterion`),
+//! * [`sync`] — a poison-recovering [`sync::Mutex`] for always-on
+//!   services (replaces `parking_lot::Mutex` where poisoning is the
+//!   wrong failure mode — see the serve daemon's availability story).
 //!
 //! Everything is deterministic where the consumer needs determinism: the
 //! PRNG is a pure function of its seed, the hasher has no random state,
@@ -41,6 +44,7 @@ pub mod pool;
 pub mod prop;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 
 pub use cache::LruCache;
 pub use hash::{FxHashMap, FxHashSet, FxHasher};

@@ -69,3 +69,42 @@ wait "$serve_pid"
 trap - EXIT
 rm -f "$serve_log"
 echo "verify: serve smoke stage ok (5 workloads ingested, every query kind served, clean drain)" >&2
+
+# Durability smoke stage: a daemon with a data directory takes a
+# workload profile, is killed with SIGKILL (no drain, no snapshot
+# opportunity), and a fresh daemon over the same directory must answer
+# the same query with byte-identical output — ack implies durable.
+dur_dir="$(mktemp -d)"
+dur_log="$(mktemp)"
+./target/release/memgaze serve --addr 127.0.0.1:0 --data-dir "$dur_dir" --snapshot-every 2 > "$dur_log" &
+dur_pid=$!
+trap 'kill -9 "$dur_pid" 2>/dev/null || true; rm -rf "$dur_dir" "$dur_log"' EXIT
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^serving on //p' "$dur_log")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "verify: durable daemon never bound" >&2; exit 1; }
+./target/release/memgaze push "$addr" nw nw > /dev/null
+before="$(./target/release/memgaze query "$addr" export nw heap)"
+kill -9 "$dur_pid"
+wait "$dur_pid" 2>/dev/null || true
+: > "$dur_log"
+./target/release/memgaze serve --addr 127.0.0.1:0 --data-dir "$dur_dir" > "$dur_log" &
+dur_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^serving on //p' "$dur_log")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "verify: recovered daemon never bound" >&2; exit 1; }
+grep -q '^recovered ' "$dur_log" || { echo "verify: recovered daemon printed no recovery report" >&2; exit 1; }
+after="$(./target/release/memgaze query "$addr" export nw heap)"
+[ "$before" = "$after" ] || { echo "verify: recovered export differs from pre-kill export" >&2; exit 1; }
+./target/release/memgaze query "$addr" shutdown > /dev/null
+wait "$dur_pid"
+trap - EXIT
+rm -rf "$dur_dir" "$dur_log"
+echo "verify: durability smoke stage ok (SIGKILL mid-serve, recovery byte-identical)" >&2

@@ -55,9 +55,18 @@ fn usage() -> ExitCode {
                                 (default: ranking,topdown)\n\
          \n\
          usage: memgaze serve [--addr host:port] [--budget bytes] [--sessions n]\n\
+                              [--data-dir path] [--snapshot-every n]\n\
+                              [--pending-cap bytes]\n\
            run the profile-serving daemon; prints `serving on <addr>` once\n\
            bound (port 0 picks an ephemeral port) and blocks until a\n\
            shutdown request drains it\n\
+           --data-dir enables crash-safe durability: every ingest is\n\
+           written ahead to <path>/ingest.wal before it is applied, and\n\
+           the store is recovered from <path> on start (a `recovered ...`\n\
+           line reports what was found); --snapshot-every folds the store\n\
+           into <path>/store.snap and truncates the log every n ingests\n\
+           (default 0: snapshot only on clean drain); --pending-cap\n\
+           bounds per-set out-of-order buffering\n\
          \n\
          usage: memgaze push <addr> <set> <workload> [--variant <name>]\n\
            profile <workload> locally and ingest every node's bundle into\n\
@@ -76,7 +85,8 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
-/// `memgaze serve [--addr a] [--budget n] [--sessions n]`.
+/// `memgaze serve [--addr a] [--budget n] [--sessions n] [--data-dir p]
+/// [--snapshot-every n] [--pending-cap n]`.
 fn run_serve(args: &[String]) -> Result<(), String> {
     let mut cfg = dcp_serve::ServerConfig::default();
     let mut it = args.iter();
@@ -93,10 +103,22 @@ fn run_serve(args: &[String]) -> Result<(), String> {
             "--sessions" => {
                 cfg.sessions = val(&mut it)?.parse().map_err(|e| format!("bad --sessions: {e}"))?
             }
+            "--data-dir" => cfg.data_dir = Some(val(&mut it)?.into()),
+            "--snapshot-every" => {
+                cfg.snapshot_every =
+                    val(&mut it)?.parse().map_err(|e| format!("bad --snapshot-every: {e}"))?
+            }
+            "--pending-cap" => {
+                cfg.pending_cap =
+                    val(&mut it)?.parse().map_err(|e| format!("bad --pending-cap: {e}"))?
+            }
             other => return Err(format!("unknown serve flag {other:?}")),
         }
     }
     let server = dcp_serve::Server::bind(cfg).map_err(|e| e.to_string())?;
+    if let Some(report) = server.recovery_report() {
+        println!("{report}");
+    }
     println!("serving on {}", server.local_addr().map_err(|e| e.to_string())?);
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
