@@ -22,6 +22,14 @@
 //! a single-CPU container the determinism assertion, not a fixed
 //! queries/sec floor, is the gate.
 //!
+//! A fourth, **sharded** phase stands up a 2-group × 2-replica cluster
+//! behind `memgaze route`'s router, places one set per group, and runs
+//! the warm storm twice — all clients on one instance, then spread over
+//! all four — recording per-instance vs aggregate qps and their ratio
+//! (the serving tier's horizontal scale-up). Byte-identity between
+//! routed, direct, and cross-round responses is asserted everywhere;
+//! the ≥2x scale-up floor applies only on the 8-core reference host.
+//!
 //! Output: a human table plus one `BENCH_JSON` line that
 //! `scripts/bench_serve.sh` persists as `BENCH_serve.json`. Pass
 //! `--smoke` for a seconds-long CI variant.
@@ -32,7 +40,7 @@ use std::time::Instant;
 use dcp_core::prelude::*;
 use dcp_core::{bundle_from_measurement, encode_bundle};
 use dcp_machine::{MarkedEvent, PmuConfig};
-use dcp_serve::{Client, Server, ServerConfig};
+use dcp_serve::{Client, Router, RouterConfig, Server, ServerConfig};
 use dcp_support::bytes::Bytes;
 use dcp_support::rng::SmallRng;
 use dcp_support::FxHashMap;
@@ -226,6 +234,138 @@ fn run_round(p: &Arc<Prepared>, clients: usize, mixed_per_client: usize, warm_pe
     }
 }
 
+/// One sharded round: a 2-group × 2-replica cluster behind a router.
+/// Ingest fans through the router; the measured storms hit the warm
+/// response caches — first all clients on ONE instance (per-instance
+/// baseline), then spread across every instance (aggregate). Replicas
+/// hold identical state by construction, so spreading readers is the
+/// serving tier's horizontal scale-out, and every response must still
+/// be byte-identical to every other instance's and to the router's.
+struct ShardedRound {
+    per_instance_secs: f64,
+    aggregate_secs: f64,
+    queries: u64,
+    response: String,
+}
+
+fn run_sharded_round(p: &Arc<Prepared>, clients: usize, warm_per_client: usize) -> ShardedRound {
+    let mut shards = Vec::new();
+    let mut topology = Vec::new();
+    for _ in 0..2 {
+        let mut group = Vec::new();
+        for _ in 0..2 {
+            let (addr, handle) = spawn_server(clients);
+            group.push(addr.clone());
+            shards.push((addr, handle));
+        }
+        topology.push(group);
+    }
+    let router = Router::bind(RouterConfig {
+        shards: topology,
+        sessions: clients,
+        ..RouterConfig::default()
+    })
+    .expect("bind router");
+    let router_addr = router.local_addr().expect("addr");
+    let router_handle = std::thread::spawn(move || router.serve().expect("route"));
+
+    // Two sets, one per shard group: the ring places `streamcluster`
+    // on one group; probe suffixed names for one the OTHER group owns.
+    // Sharding spreads sets across groups; replication spreads readers
+    // across a group's instances — the aggregate storm exercises both.
+    let ring = dcp_support::HashRing::new(2, RouterConfig::default().vnodes);
+    let group_a = ring.owner(SET.as_bytes()) as usize;
+    let set_b = (0u32..)
+        .map(|i| format!("{SET}-mirror{i}"))
+        .find(|s| ring.owner(s.as_bytes()) as usize != group_a)
+        .expect("some suffix lands on the other group");
+
+    // Seed both sets through the router: each ingest fans to both
+    // replicas of the owning group, so any instance can serve it alone.
+    const REPEATS: usize = 16;
+    let mut cl = Client::connect(&router_addr).expect("connect router");
+    for i in 0..p.bundles.len() * REPEATS {
+        let b = p.bundles[i % p.bundles.len()].clone();
+        cl.ingest(SET, Some(i as u64), b.clone()).expect("routed ingest");
+        cl.ingest(&set_b, Some(i as u64), b).expect("routed ingest b");
+    }
+
+    // Every instance serves its group's set with the exact bytes the
+    // router recombines from partials.
+    let query_for = |set: &str| format!("ranking {set} remote 12");
+    let mut instances: Vec<(String, String)> = Vec::new(); // (addr, warm query)
+    let mut routed_for: Vec<(String, String)> = Vec::new(); // (query, routed bytes)
+    for set in [SET.to_string(), set_b.clone()] {
+        let g = ring.owner(set.as_bytes()) as usize;
+        let q = query_for(&set);
+        let routed = cl.query(&q).expect("routed warm");
+        for (addr, _) in shards.iter().skip(g * 2).take(2) {
+            let direct =
+                Client::connect(addr).expect("connect replica").query(&q).expect("warm direct");
+            assert_eq!(direct, routed, "replica {addr} disagrees with the routed response");
+            instances.push((addr.clone(), q.clone()));
+        }
+        routed_for.push((q, routed));
+    }
+
+    let storm = |plan: &[(String, String)]| -> (f64, Vec<(String, String)>) {
+        let t0 = Instant::now();
+        let mut threads = Vec::new();
+        for c in 0..clients {
+            let (addr, q) = plan[c % plan.len()].clone();
+            threads.push(std::thread::spawn(move || {
+                let mut cl = Client::connect(&addr).expect("connect");
+                let mut last = String::new();
+                for _ in 0..warm_per_client {
+                    last = cl.query(&q).expect("warm ranking");
+                }
+                (q, last)
+            }));
+        }
+        let mut by_query: Vec<(String, String)> = Vec::new();
+        for t in threads {
+            let (q, r) = t.join().expect("storm client");
+            if let Some((_, prev)) = by_query.iter().find(|(pq, _)| pq == &q) {
+                assert_eq!(prev, &r, "storm responses differ between instances for {q:?}");
+            } else {
+                by_query.push((q, r));
+            }
+        }
+        (t0.elapsed().as_secs_f64(), by_query)
+    };
+
+    // Per-instance baseline: every client on ONE instance, one set.
+    let (per_instance_secs, base) = storm(&instances[..1]);
+    // Aggregate: the same total query count spread over all instances.
+    let (aggregate_secs, agg) = storm(&instances);
+    for (q, r) in &base {
+        let other = agg.iter().find(|(aq, _)| aq == q).map(|(_, ar)| ar).expect("same query");
+        assert_eq!(r, other, "aggregate storm changed the response bytes for {q:?}");
+    }
+    for (q, r) in &agg {
+        let routed = routed_for
+            .iter()
+            .find(|(rq, _)| rq == q)
+            .map(|(_, routed)| routed)
+            .unwrap_or_else(|| panic!("unexpected storm query {q:?}"));
+        assert_eq!(r, routed, "storm response diverged from the routed bytes for {q:?}");
+    }
+    let r1 = base[0].1.clone();
+
+    drop(cl);
+    Client::connect(&router_addr).expect("connect").shutdown().expect("shutdown router");
+    router_handle.join().expect("router join");
+    for (addr, handle) in shards {
+        shutdown(&addr, handle);
+    }
+    ShardedRound {
+        per_instance_secs,
+        aggregate_secs,
+        queries: (clients * warm_per_client) as u64,
+        response: r1,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -274,12 +414,57 @@ fn main() {
         r0.cache_hit_rate
     );
 
+    // Sharded scale-out: a 2-group × 2-replica cluster behind a router,
+    // one set per group. The same warm-query budget runs twice — all
+    // clients on one instance, then spread across all four — and the
+    // aggregate-over-per-instance ratio is the serving tier's measured
+    // horizontal scale-up.
+    let mut srounds = Vec::new();
+    for _ in 0..3 {
+        srounds.push(run_sharded_round(&prepared, clients, warm_per_client));
+    }
+    for s in &srounds[1..] {
+        assert_eq!(srounds[0].response, s.response, "sharded response differs between rounds");
+    }
+    let sper_secs = srounds.iter().map(|s| s.per_instance_secs).fold(f64::INFINITY, f64::min);
+    let sagg_secs = srounds.iter().map(|s| s.aggregate_secs).fold(f64::INFINITY, f64::min);
+    let squeries = srounds[0].queries;
+    let per_instance_rate = squeries as f64 / sper_secs;
+    let aggregate_rate = squeries as f64 / sagg_secs;
+    let scaleup = aggregate_rate / per_instance_rate;
+    const SHARD_INSTANCES: usize = 4;
+    println!(
+        "{:<28} {:>10} {:>10.3} {:>14.1}",
+        "sharded: one instance", squeries, sper_secs, per_instance_rate
+    );
+    println!(
+        "{:<28} {:>10} {:>10.3} {:>14.1}",
+        "sharded: all instances", squeries, sagg_secs, aggregate_rate
+    );
+    println!(
+        "sharded scale-up {scaleup:.2}x across {SHARD_INSTANCES} instances; \
+         determinism: ok (routed, direct, and cross-round bytes identical)"
+    );
+    // The >= 2x gate is defined on the 8-core reference host, where the
+    // client threads genuinely run in parallel; on smaller containers
+    // the byte-identity assertions above remain the gate.
+    if dcp_support::pool::parallelism() >= 8 {
+        assert!(
+            scaleup >= 2.0,
+            "sharded aggregate throughput {aggregate_rate:.1} qps is under 2x the \
+             single-instance {per_instance_rate:.1} qps on an 8-core host"
+        );
+    }
+
     println!(
         "BENCH_JSON {{\"clients\": {clients}, \"bundles\": {}, \"bundle_bytes\": {bundle_bytes}, \
          \"ingest_best_secs\": {ingest_secs:.4}, \"ingests_per_sec\": {ingest_rate:.1}, \
          \"mixed_ops\": {}, \"mixed_best_secs\": {mixed_secs:.4}, \"mixed_ops_per_sec\": {mixed_rate:.1}, \
          \"warm_ranking_queries\": {}, \"warm_best_secs\": {warm_secs:.4}, \
          \"warm_ranking_queries_per_sec\": {warm_rate:.1}, \"cache_hit_rate\": {:.4}, \
+         \"sharded_instances\": {SHARD_INSTANCES}, \"sharded_queries\": {squeries}, \
+         \"sharded_per_instance_qps\": {per_instance_rate:.1}, \
+         \"sharded_aggregate_qps\": {aggregate_rate:.1}, \"sharded_scaleup\": {scaleup:.2}, \
          \"determinism\": \"ok\", \"smoke\": {smoke}}}",
         r0.ingests, r0.mixed_ops, r0.warm_queries, r0.cache_hit_rate
     );

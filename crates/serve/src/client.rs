@@ -37,14 +37,23 @@ impl Client {
     /// response frame. Server-side ERR frames come back as the typed
     /// error they encode.
     pub fn call(&mut self, req: &Request) -> Result<String, ServeError> {
+        match self.call_raw(req)? {
+            Response::Ok(text) => Ok(text),
+            Response::Err(code, msg) => Err(ServeError::from_wire(code, msg)),
+            // A binary body where text was expected means the peer is
+            // answering a different request than we sent.
+            Response::Data(_) => Err(ServeError::BadKind(crate::wire::kind::DATA)),
+        }
+    }
+
+    /// One round trip returning the raw response variant (the `PARTIAL`
+    /// path needs the binary `DATA` body).
+    pub fn call_raw(&mut self, req: &Request) -> Result<Response, ServeError> {
         let (k, body) = encode_request(req);
         write_frame(&mut self.stream, k, &body)?;
         let (rk, rbody) = read_frame(&mut self.stream, self.max_frame)?
             .ok_or_else(|| ServeError::Io("connection closed before response".to_string()))?;
-        match parse_response(rk, rbody)? {
-            Response::Ok(text) => Ok(text),
-            Response::Err(code, msg) => Err(ServeError::from_wire(code, msg)),
-        }
+        parse_response(rk, rbody)
     }
 
     pub fn ping(&mut self) -> Result<String, ServeError> {
@@ -63,6 +72,24 @@ impl Client {
 
     pub fn stats(&mut self) -> Result<String, ServeError> {
         self.call(&Request::Stats)
+    }
+
+    /// The named set's commit epoch on this shard (router cache keying).
+    pub fn epoch(&mut self, set: &str) -> Result<u64, ServeError> {
+        let text = self.call(&Request::Epoch(set.to_string()))?;
+        text.trim()
+            .parse()
+            .map_err(|_| ServeError::Io(format!("malformed epoch response {text:?}")))
+    }
+
+    /// Fetch the named set's shard-local partial (an encoded
+    /// [`crate::store::SetPartial`] payload).
+    pub fn partial(&mut self, set: &str) -> Result<Bytes, ServeError> {
+        match self.call_raw(&Request::Partial(set.to_string()))? {
+            Response::Data(bytes) => Ok(bytes),
+            Response::Err(code, msg) => Err(ServeError::from_wire(code, msg)),
+            Response::Ok(_) => Err(ServeError::BadKind(crate::wire::kind::OK)),
+        }
     }
 
     /// Ask the server to drain and exit. The OK response means the

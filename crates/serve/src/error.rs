@@ -54,6 +54,19 @@ pub enum ServeError {
     /// The snapshot file failed validation; recovery refuses to start
     /// with silently missing committed data.
     SnapshotCorrupt(String),
+    /// The router exhausted every replica of the owning shard without a
+    /// well-formed response. Distinct from [`ServeError::Io`]: an `Io`
+    /// names one broken socket, this names a shard the cluster cannot
+    /// currently reach at all.
+    ShardUnreachable(String),
+    /// The cluster's placement disagrees with the router's ring — an
+    /// invalid topology (duplicate replica address, empty shard group)
+    /// or a shard reporting a set the ring says it cannot own.
+    RingMismatch(String),
+    /// A shard's partial result failed to decode or recombine at the
+    /// router. The shard answered, but its partial cannot be folded
+    /// into the distributed reduction tree.
+    PartialMerge(String),
 }
 
 impl ServeError {
@@ -76,6 +89,9 @@ impl ServeError {
             ServeError::PendingCapExceeded { .. } => 14,
             ServeError::WalCorrupt { .. } => 15,
             ServeError::SnapshotCorrupt(_) => 16,
+            ServeError::ShardUnreachable(_) => 17,
+            ServeError::RingMismatch(_) => 18,
+            ServeError::PartialMerge(_) => 19,
             ServeError::Server { code, .. } => *code,
         }
     }
@@ -92,6 +108,9 @@ impl ServeError {
             8 => ServeError::UnknownSet(message),
             11 => ServeError::Io(message),
             12 => ServeError::ShuttingDown,
+            17 => ServeError::ShardUnreachable(message),
+            18 => ServeError::RingMismatch(message),
+            19 => ServeError::PartialMerge(message),
             _ => ServeError::Server { code, message },
         }
     }
@@ -132,6 +151,9 @@ impl std::fmt::Display for ServeError {
                 write!(f, "write-ahead log damaged at byte {offset}: {detail}")
             }
             ServeError::SnapshotCorrupt(detail) => write!(f, "snapshot damaged: {detail}"),
+            ServeError::ShardUnreachable(detail) => write!(f, "shard unreachable: {detail}"),
+            ServeError::RingMismatch(detail) => write!(f, "ring mismatch: {detail}"),
+            ServeError::PartialMerge(detail) => write!(f, "partial merge failed: {detail}"),
         }
     }
 }
@@ -149,5 +171,65 @@ impl From<CodecError> for ServeError {
 impl From<std::io::Error> for ServeError {
     fn from(e: std::io::Error) -> Self {
         ServeError::Io(e.kind().to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_codes_are_stable() {
+        // The wire code is the cross-version contract: an old client
+        // must type a new server's errors and vice versa. Any change to
+        // a number here is a protocol break — fail loudly.
+        let pinned: Vec<(ServeError, u16)> = vec![
+            (ServeError::BadMagic, 1),
+            (ServeError::BadKind(0x7f), 2),
+            (ServeError::FrameTooLarge { len: 2, max: 1 }, 3),
+            (ServeError::Truncated, 4),
+            (ServeError::BadUtf8, 5),
+            (ServeError::BadQuery("q".into()), 7),
+            (ServeError::UnknownSet("s".into()), 8),
+            (ServeError::BudgetExceeded { budget: 1, stored: 1, requested: 1 }, 9),
+            (ServeError::DuplicateSeq(3), 10),
+            (ServeError::Io("broken".into()), 11),
+            (ServeError::ShuttingDown, 12),
+            (ServeError::SeqModeMismatch { set: "s".into(), explicit: true }, 13),
+            (ServeError::PendingCapExceeded { cap: 1, pending: 1, requested: 1 }, 14),
+            (ServeError::WalCorrupt { offset: 0, detail: "d".into() }, 15),
+            (ServeError::SnapshotCorrupt("d".into()), 16),
+            (ServeError::ShardUnreachable("shard 1: all 2 replicas failed".into()), 17),
+            (ServeError::RingMismatch("set on wrong shard".into()), 18),
+            (ServeError::PartialMerge("bad state bundle".into()), 19),
+        ];
+        for (err, code) in pinned {
+            assert_eq!(err.code(), code, "{err}");
+        }
+        assert_eq!(ServeError::Codec(dcp_cct::CodecError::Truncated).code(), 6);
+        assert_eq!(ServeError::Server { code: 999, message: String::new() }.code(), 999);
+    }
+
+    #[test]
+    fn router_errors_round_trip_typed_not_generic() {
+        // The scale-out fix: a dead shard surfaces as ShardUnreachable
+        // (17), not a collapsed generic Io (11) or opaque Server code.
+        for err in [
+            ServeError::ShardUnreachable("shard 0: connection refused x2".into()),
+            ServeError::RingMismatch("set 'nw' owned by shard 2, listed by 0".into()),
+            ServeError::PartialMerge("set 'nw': state bundle truncated".into()),
+        ] {
+            let (code, msg) = (err.code(), err.to_string());
+            let back = ServeError::from_wire(
+                code,
+                match &err {
+                    ServeError::ShardUnreachable(d)
+                    | ServeError::RingMismatch(d)
+                    | ServeError::PartialMerge(d) => d.clone(),
+                    _ => unreachable!(),
+                },
+            );
+            assert_eq!(back, err, "code {code} ({msg}) must reconstruct its variant");
+        }
     }
 }

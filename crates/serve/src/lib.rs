@@ -15,11 +15,18 @@
 //! client.rs  — blocking client, one frame round trip per call
 //! wire.rs    — "DCPS" frames + request/response bodies (DCP2 varints)
 //! server.rs  — accept loop, session thread pool, graceful drain
-//! query.rs   — verb language -> dcp-core views over snapshots
-//! store.rs   — named sets, seq reorder, epochs, budget, LRU cache
+//! router.rs  — scatter-gather coordinator over N shard daemons
+//! query.rs   — verb language -> parse / fetch / render combiner split
+//! store.rs   — named sets, seq reorder, epochs, budget, LRU cache,
+//!              shard partials ("DCPP") for the distributed tree
 //! wal.rs     — write-ahead log + snapshots; byte-identical recovery
 //! error.rs   — one typed error across all of the above
 //! ```
+//!
+//! Scale-out: [`router`] places whole profile sets on shard daemons
+//! via a consistent-hash ring, replicates ingest R ways, and merges
+//! shard partials through the same reduction tree — responses are
+//! byte-identical to a single daemon holding every set.
 //!
 //! Determinism contract: with client-assigned sequence numbers, the
 //! merged profile a set serves is byte-identical to
@@ -33,6 +40,7 @@
 pub mod client;
 pub mod error;
 pub mod query;
+pub mod router;
 pub mod server;
 pub mod store;
 pub mod wal;
@@ -40,8 +48,12 @@ pub mod wire;
 
 pub use client::Client;
 pub use error::ServeError;
-pub use query::handle_query;
+pub use query::{handle_query, parse_query, render_sets, render_view, ParsedQuery, ViewPlan, ViewQuery};
+pub use router::{Router, RouterConfig};
 pub use server::{Server, ServerConfig};
-pub use store::{CacheKey, IngestMode, ProfileStore, StoreConfig};
+pub use store::{
+    decode_set_partial, encode_set_partial, CacheKey, IngestMode, ProfileStore, SetPartial,
+    StoreConfig,
+};
 pub use wal::{Durability, RecoveryReport};
 pub use wire::{Request, Response, MAX_FRAME};

@@ -17,6 +17,22 @@
 //! Metrics: `samples latency remote tlb stores`; classes: `static heap
 //! stack unknown nomem` — the same spellings the `memgaze` CLI accepts.
 //!
+//! Execution is factored into a **partial-result/combiner API** so the
+//! single daemon and the sharded router share one renderer:
+//!
+//! * [`parse_query`] turns the text into a [`ParsedQuery`] — the plan
+//!   ([`ViewPlan`]) plus the sets it reads — with no store access;
+//! * each shard's partial for a set is its accumulator state (see
+//!   [`crate::store::SetPartial`]), produced by the same `cct::merge`
+//!   reduction tree that folds rank profiles post-mortem;
+//! * [`render_view`] is a pure function from the plan and the
+//!   reconstructed per-set snapshots to the response text.
+//!
+//! A single daemon's snapshots come straight from its store; the router
+//! reconstructs them from fetched partials. Both paths therefore render
+//! byte-identical responses by construction. The combiner split is also
+//! the prerequisite the ROADMAP names for incremental view maintenance.
+//!
 //! View responses are served through the store's LRU cache keyed by the
 //! query text plus the epoch of every set it reads, so an ingest can
 //! never surface a stale response. `sets` and `stats` are cheap and
@@ -31,7 +47,7 @@ use dcp_core::view::{bottom_up, flat, ranking, top_down, TopDownOpts};
 use dcp_core::{compare_report, ProfileView, SymbolSource};
 
 use crate::error::ServeError;
-use crate::store::{CacheKey, ProfileStore};
+use crate::store::{CacheKey, ProfileStore, SetRow};
 
 fn metric_of(s: &str) -> Result<Metric, ServeError> {
     match s {
@@ -73,6 +89,132 @@ fn arity(args: &[&str], min: usize, max: usize, usage: &str) -> Result<(), Serve
         return Err(ServeError::BadQuery(format!("usage: {usage}")));
     }
     Ok(())
+}
+
+/// One view's execution plan: everything but the data it reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViewPlan {
+    Ranking { metric: Metric, limit: usize },
+    TopDown { class: StorageClass, metric: Metric },
+    BottomUp { metric: Metric },
+    Flat { class: StorageClass, metric: Metric, limit: usize },
+    Vars { metric: Metric },
+    Diff { metric: Metric },
+    Export { class: StorageClass },
+}
+
+/// A parsed view query: the plan plus the profile sets it reads, in
+/// argument order (one set, or two for `diff`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewQuery {
+    pub plan: ViewPlan,
+    pub sets: Vec<String>,
+}
+
+/// Any parsed query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsedQuery {
+    /// The live set listing — never cached, fanned to every shard.
+    Sets,
+    /// A view over one or two sets' snapshots.
+    View(ViewQuery),
+}
+
+/// Parse one query with no store access: verbs, arity, metric/class
+/// spellings, and limits are all validated here, so a daemon and a
+/// router refuse exactly the same malformed queries.
+pub fn parse_query(q: &str) -> Result<ParsedQuery, ServeError> {
+    let words: Vec<&str> = q.split_whitespace().collect();
+    let (&verb, args) = words
+        .split_first()
+        .ok_or_else(|| ServeError::BadQuery("empty query".into()))?;
+    if verb == "sets" {
+        arity(args, 0, 0, "sets")?;
+        return Ok(ParsedQuery::Sets);
+    }
+    let set_count = if verb == "diff" { 2 } else { 1 };
+    if args.len() < set_count {
+        return Err(ServeError::BadQuery(format!("'{verb}' needs {set_count} profile set(s)")));
+    }
+    let plan = match verb {
+        "ranking" => {
+            arity(args, 2, 3, "ranking <set> <metric> [limit]")?;
+            ViewPlan::Ranking { metric: metric_of(args[1])?, limit: limit_of(args.get(2), 12)? }
+        }
+        "topdown" => {
+            arity(args, 3, 3, "topdown <set> <class> <metric>")?;
+            ViewPlan::TopDown { class: class_of(args[1])?, metric: metric_of(args[2])? }
+        }
+        "bottomup" => {
+            arity(args, 2, 2, "bottomup <set> <metric>")?;
+            ViewPlan::BottomUp { metric: metric_of(args[1])? }
+        }
+        "flat" => {
+            arity(args, 3, 4, "flat <set> <class> <metric> [limit]")?;
+            ViewPlan::Flat {
+                class: class_of(args[1])?,
+                metric: metric_of(args[2])?,
+                limit: limit_of(args.get(3), 12)?,
+            }
+        }
+        "vars" => {
+            arity(args, 2, 2, "vars <set> <metric>")?;
+            ViewPlan::Vars { metric: metric_of(args[1])? }
+        }
+        "diff" => {
+            arity(args, 3, 3, "diff <set-a> <set-b> <metric>")?;
+            ViewPlan::Diff { metric: metric_of(args[2])? }
+        }
+        "export" => {
+            arity(args, 2, 2, "export <set> <class>")?;
+            ViewPlan::Export { class: class_of(args[1])? }
+        }
+        other => {
+            return Err(ServeError::BadQuery(format!(
+                "unknown verb '{other}' (want ranking|topdown|bottomup|flat|vars|diff|export|sets)"
+            )))
+        }
+    };
+    let sets = args[..set_count].iter().map(|s| s.to_string()).collect();
+    Ok(ParsedQuery::View(ViewQuery { plan, sets }))
+}
+
+/// Render the `sets` listing from per-set rows. The router combines
+/// shard rows (each shard lists only the sets it owns) and renders the
+/// union through this same function — name-sorted rows make the merged
+/// listing byte-identical to a single daemon holding every set.
+pub fn render_sets(rows: &[SetRow]) -> String {
+    let mut out = String::from("PROFILE SETS\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{} bundles={} epoch={} gap={} gap_bytes={}\n",
+            r.name, r.bundles, r.epoch, r.gap, r.gap_bytes
+        ));
+    }
+    out
+}
+
+/// The combiner: render one plan over its per-set snapshots, in the
+/// order [`ViewQuery::sets`] listed them. Pure — no store, no cache —
+/// so the daemon (local snapshots) and the router (snapshots
+/// reconstructed from shard partials) produce identical bytes from
+/// identical states.
+///
+/// # Panics
+/// Panics if `snaps` does not match the plan's arity; both callers
+/// resolve exactly the sets the parser returned.
+pub fn render_view(plan: &ViewPlan, snaps: &[Arc<StoredProfiles>]) -> String {
+    match plan {
+        ViewPlan::Ranking { metric, limit } => ranking(&*snaps[0], *metric, *limit),
+        ViewPlan::TopDown { class, metric } => {
+            top_down(&*snaps[0], *class, *metric, TopDownOpts::default())
+        }
+        ViewPlan::BottomUp { metric } => bottom_up(&*snaps[0], *metric),
+        ViewPlan::Flat { class, metric, limit } => flat(&*snaps[0], *class, *metric, *limit),
+        ViewPlan::Vars { metric } => vars_view(&snaps[0], *metric),
+        ViewPlan::Diff { metric } => diff_view(&snaps[0], &snaps[1], *metric),
+        ViewPlan::Export { class } => export_hex(&snaps[0], *class),
+    }
 }
 
 /// Render the variable-centric view: every variable with its full
@@ -137,87 +279,29 @@ fn export_hex(p: &StoredProfiles, class: StorageClass) -> String {
 }
 
 /// Execute one query against the store, going through the response
-/// cache for view queries.
+/// cache for view queries: parse, resolve epochs (the cache key),
+/// snapshot, and hand the plan to the shared combiner.
 pub fn handle_query(store: &mut ProfileStore, q: &str) -> Result<String, ServeError> {
-    let words: Vec<&str> = q.split_whitespace().collect();
-    let (&verb, args) = words
-        .split_first()
-        .ok_or_else(|| ServeError::BadQuery("empty query".into()))?;
-
-    // `sets` is live, never cached.
-    if verb == "sets" {
-        arity(args, 0, 0, "sets")?;
-        let mut out = String::from("PROFILE SETS\n");
-        for r in store.list_sets() {
-            out.push_str(&format!(
-                "{} bundles={} epoch={} gap={} gap_bytes={}\n",
-                r.name, r.bundles, r.epoch, r.gap, r.gap_bytes
-            ));
-        }
-        return Ok(out);
-    }
-
-    // Everything else names one or two sets as its first argument(s);
-    // resolve epochs up front so the cache key is fixed before any
+    let view = match parse_query(q)? {
+        ParsedQuery::Sets => return Ok(render_sets(&store.list_sets())),
+        ParsedQuery::View(v) => v,
+    };
+    // Resolve epochs up front so the cache key is fixed before any
     // rendering work happens.
-    let set_count = if verb == "diff" { 2 } else { 1 };
-    if args.len() < set_count {
-        return Err(ServeError::BadQuery(format!("'{verb}' needs {set_count} profile set(s)")));
-    }
     let mut epochs = [0u64; 2];
-    for (i, e) in epochs.iter_mut().enumerate().take(set_count) {
-        *e = store
-            .epoch(args[i])
-            .ok_or_else(|| ServeError::UnknownSet(args[i].to_string()))?;
+    for (i, set) in view.sets.iter().enumerate() {
+        epochs[i] = store.epoch(set).ok_or_else(|| ServeError::UnknownSet(set.clone()))?;
     }
     let key = CacheKey { query: q.to_string(), epochs };
     if let Some(hit) = store.cache_get(&key) {
         return Ok(hit);
     }
-
-    let response = match verb {
-        "ranking" => {
-            arity(args, 2, 3, "ranking <set> <metric> [limit]")?;
-            let snap = store.snapshot(args[0])?;
-            ranking(&*snap, metric_of(args[1])?, limit_of(args.get(2), 12)?)
-        }
-        "topdown" => {
-            arity(args, 3, 3, "topdown <set> <class> <metric>")?;
-            let snap = store.snapshot(args[0])?;
-            top_down(&*snap, class_of(args[1])?, metric_of(args[2])?, TopDownOpts::default())
-        }
-        "bottomup" => {
-            arity(args, 2, 2, "bottomup <set> <metric>")?;
-            let snap = store.snapshot(args[0])?;
-            bottom_up(&*snap, metric_of(args[1])?)
-        }
-        "flat" => {
-            arity(args, 3, 4, "flat <set> <class> <metric> [limit]")?;
-            let snap = store.snapshot(args[0])?;
-            flat(&*snap, class_of(args[1])?, metric_of(args[2])?, limit_of(args.get(3), 12)?)
-        }
-        "vars" => {
-            arity(args, 2, 2, "vars <set> <metric>")?;
-            let snap = store.snapshot(args[0])?;
-            vars_view(&snap, metric_of(args[1])?)
-        }
-        "diff" => {
-            arity(args, 3, 3, "diff <set-a> <set-b> <metric>")?;
-            let before: Arc<StoredProfiles> = store.snapshot(args[0])?;
-            let after: Arc<StoredProfiles> = store.snapshot(args[1])?;
-            diff_view(&before, &after, metric_of(args[2])?)
-        }
-        "export" => {
-            arity(args, 2, 2, "export <set> <class>")?;
-            let snap = store.snapshot(args[0])?;
-            export_hex(&snap, class_of(args[1])?)
-        }
-        other => {
-            return Err(ServeError::BadQuery(format!(
-                "unknown verb '{other}' (want ranking|topdown|bottomup|flat|vars|diff|export|sets)"
-            )))
-        }
-    };
+    let snaps: Vec<Arc<StoredProfiles>> = view
+        .sets
+        .iter()
+        .map(|set| store.snapshot(set))
+        .collect::<Result<_, _>>()?;
+    let response = render_view(&view.plan, &snaps);
     store.cache_put(key, response.clone());
     Ok(response)
 }
@@ -271,6 +355,30 @@ mod tests {
             handle_query(&mut st, "ranking nope samples"),
             Err(ServeError::UnknownSet("nope".into()))
         );
+    }
+
+    #[test]
+    fn parse_is_store_free_and_render_is_pure() {
+        // The partial-result/combiner contract: parsing needs no store,
+        // and rendering the same plan over the same snapshot twice
+        // yields identical bytes (what the router's byte-identity to a
+        // single daemon reduces to).
+        let parsed = parse_query("diff a b remote").expect("parse");
+        assert_eq!(
+            parsed,
+            ParsedQuery::View(ViewQuery {
+                plan: ViewPlan::Diff { metric: Metric::Remote },
+                sets: vec!["a".into(), "b".into()],
+            })
+        );
+        let mut st = store_with_set("a");
+        let snap = st.snapshot("a").expect("snap");
+        let plan = ViewPlan::Ranking { metric: Metric::Samples, limit: 12 };
+        let once = render_view(&plan, &[Arc::clone(&snap)]);
+        let twice = render_view(&plan, &[snap]);
+        assert_eq!(once, twice);
+        // And the daemon path renders exactly the combiner's bytes.
+        assert_eq!(handle_query(&mut st, "ranking a samples").expect("query"), once);
     }
 
     #[test]

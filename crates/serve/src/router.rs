@@ -1,0 +1,617 @@
+//! The router: one coherent query surface over N shard daemons.
+//!
+//! Placement is whole-set: a consistent-hash ring over the set *name*
+//! ([`dcp_support::ring::HashRing`]) assigns every profile set to one
+//! shard group, and that shard runs the set's entire sequential fold.
+//! This is what keeps the distributed reduction tree byte-identical to
+//! a single daemon — `cct::merge` is bracket-independent but
+//! order-sensitive, so splitting one set's bundle stream across shards
+//! would change the merged creation order. The tree simply grows one
+//! more level: ranks → shard accumulators → router combiner.
+//!
+//! Per request:
+//!
+//! * **Ingest** fans to every replica of the owning shard group (R-way
+//!   replication for read availability). The first definitive response
+//!   in replica order is relayed; replicas that fail at the transport
+//!   level are skipped and counted. Only if *no* replica answers does
+//!   the client see [`ServeError::ShardUnreachable`].
+//! * **Query** parses with the same [`crate::query::parse_query`] a
+//!   daemon uses, resolves each set's owner on the ring, fetches the
+//!   sets' epochs (retrying across replicas), and consults a response
+//!   cache keyed on the query text plus the vector of shard epochs —
+//!   the PR 5 cache, one level up. On a miss it fetches each set's
+//!   [`crate::store::SetPartial`], reconstructs the accumulator
+//!   (`StoredAccumulator::restore` is proven byte-identical
+//!   mid-stream), and renders through the shared
+//!   [`crate::query::render_view`] combiner. `sets` fans to every
+//!   group and merges the name-sorted rows.
+//! * Shard-typed errors (unknown set, duplicate seq, budget…) are
+//!   relayed **verbatim at the wire level** — code and message exactly
+//!   as the shard sent them. Re-rendering a reconstructed error would
+//!   double-wrap its display text and break byte-identity with a
+//!   single daemon.
+//!
+//! Availability posture: a replica that dies mid-conversation surfaces
+//! as a transport error, the router retries the surviving replicas,
+//! and the response bytes do not change (the failover e2e SIGKILLs a
+//! replica mid-storm and compares against an uncrashed golden). A
+//! replica that was down for writes is *not* back-filled — re-pushing
+//! the stream heals it (duplicate seqs answer `DuplicateSeq`), the
+//! same recovery story the durable daemon uses.
+
+use std::io::ErrorKind;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dcp_support::ring::HashRing;
+use dcp_support::stats::LatencyHistogram;
+use dcp_support::sync::Mutex;
+use dcp_support::{FxHashMap, LruCache};
+
+use crate::client::Client;
+use crate::error::ServeError;
+use crate::query::{parse_query, render_view, ParsedQuery, ViewQuery};
+use crate::store::{decode_set_partial, CacheKey};
+use crate::wire::{encode_response, read_frame, write_frame, Request, Response, MAX_FRAME};
+
+/// Everything tunable about a router instance.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Listen address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Shard groups: `shards[g]` is the replica address list of group
+    /// `g`, which owns the ring's shard id `g`.
+    pub shards: Vec<Vec<String>>,
+    /// Virtual nodes per shard on the placement ring.
+    pub vnodes: u32,
+    /// Largest frame body accepted or fetched.
+    pub max_frame: u64,
+    /// Socket read timeout, client-facing and shard-facing.
+    pub read_timeout: Duration,
+    /// Concurrent session threads.
+    pub sessions: usize,
+    /// Response-cache bounds (keyed on query + shard epoch vector).
+    pub cache_entries: usize,
+    pub cache_bytes: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            shards: Vec::new(),
+            vnodes: 64,
+            max_frame: MAX_FRAME,
+            read_timeout: Duration::from_secs(10),
+            sessions: 4,
+            cache_entries: 512,
+            cache_bytes: 16 * 1024 * 1024,
+        }
+    }
+}
+
+/// How a routed sub-request failed.
+enum RouteError {
+    /// A shard answered with a typed error; relay code + message
+    /// verbatim so the client sees exactly what a single daemon would
+    /// have sent.
+    Relay(u16, String),
+    /// The router itself failed (shard unreachable, ring mismatch,
+    /// partial-merge failure, bad client query).
+    Local(ServeError),
+}
+
+impl From<ServeError> for RouteError {
+    fn from(e: ServeError) -> Self {
+        RouteError::Local(e)
+    }
+}
+
+/// Mutable shared state: the response cache and latency histograms.
+struct Inner {
+    cache: LruCache<CacheKey, String>,
+    latency: FxHashMap<&'static str, LatencyHistogram>,
+}
+
+/// Everything the session threads share.
+struct Core {
+    config: RouterConfig,
+    ring: HashRing,
+    inner: Mutex<Inner>,
+    /// Round-robin start cursor for replica selection.
+    cursor: AtomicUsize,
+    ingests: AtomicU64,
+    queries: AtomicU64,
+    /// Transport-level replica failures that were retried elsewhere.
+    retries: AtomicU64,
+    /// Requests that exhausted every replica of a shard.
+    shard_unreachable: AtomicU64,
+    /// Placement disagreements detected at fan-in.
+    ring_mismatch: AtomicU64,
+    /// Shard partials that failed to decode or recombine.
+    partial_merge: AtomicU64,
+}
+
+/// Per-session shard connection pool: one cached [`Client`] per replica
+/// address, dropped (and re-dialed on next use) after any transport
+/// failure.
+struct Conns {
+    map: FxHashMap<String, Client>,
+    timeout: Duration,
+}
+
+impl Conns {
+    fn call(&mut self, addr: &str, req: &Request) -> Result<Response, ServeError> {
+        if !self.map.contains_key(addr) {
+            let c = Client::connect_with_timeout(addr, self.timeout)?;
+            self.map.insert(addr.to_string(), c);
+        }
+        let conn = self.map.get_mut(addr).expect("just inserted");
+        match conn.call_raw(req) {
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                // The stream may have lost framing sync; never reuse it.
+                self.map.remove(addr);
+                Err(e)
+            }
+        }
+    }
+}
+
+impl Core {
+    /// Try `req` against the replicas of `group`, starting round-robin
+    /// and failing over on transport errors. Any well-formed response —
+    /// OK, DATA, or a typed ERR — is definitive and returned.
+    fn with_replica(&self, conns: &mut Conns, group: usize, req: &Request) -> Result<Response, RouteError> {
+        let replicas = &self.config.shards[group];
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed) % replicas.len();
+        let mut last = String::new();
+        for k in 0..replicas.len() {
+            let addr = &replicas[(start + k) % replicas.len()];
+            match conns.call(addr, req) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    last = format!("{addr}: {e}");
+                }
+            }
+        }
+        self.shard_unreachable.fetch_add(1, Ordering::Relaxed);
+        Err(RouteError::Local(ServeError::ShardUnreachable(format!(
+            "shard {group}: all {} replicas failed; last: {last}",
+            replicas.len()
+        ))))
+    }
+
+    /// Expect OK text from a routed sub-request (epoch, sets).
+    fn expect_ok(resp: Response, what: &str, group: usize) -> Result<String, RouteError> {
+        match resp {
+            Response::Ok(text) => Ok(text),
+            Response::Err(code, msg) => Err(RouteError::Relay(code, msg)),
+            Response::Data(_) => Err(RouteError::Local(ServeError::PartialMerge(format!(
+                "shard {group}: binary response to a {what} request"
+            )))),
+        }
+    }
+
+    /// Fan one ingest to every replica of the owning group, in fixed
+    /// replica order. First OK wins; with no OK, the first typed error
+    /// is relayed; with neither, the shard is unreachable.
+    fn route_ingest(&self, conns: &mut Conns, set: &str, req: &Request) -> Result<Response, RouteError> {
+        self.ingests.fetch_add(1, Ordering::Relaxed);
+        let group = self.ring.owner(set.as_bytes()) as usize;
+        let replicas = &self.config.shards[group];
+        let mut first_ok: Option<String> = None;
+        let mut first_err: Option<(u16, String)> = None;
+        let mut last = String::new();
+        for addr in replicas {
+            match conns.call(addr, req) {
+                Ok(Response::Ok(text)) => {
+                    if first_ok.is_none() {
+                        first_ok = Some(text);
+                    }
+                }
+                Ok(Response::Err(code, msg)) => {
+                    if first_err.is_none() {
+                        first_err = Some((code, msg));
+                    }
+                }
+                Ok(Response::Data(_)) => {
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    last = format!("{addr}: binary response to an ingest");
+                }
+                Err(e) => {
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    last = format!("{addr}: {e}");
+                }
+            }
+        }
+        if let Some(text) = first_ok {
+            return Ok(Response::Ok(text));
+        }
+        if let Some((code, msg)) = first_err {
+            return Err(RouteError::Relay(code, msg));
+        }
+        self.shard_unreachable.fetch_add(1, Ordering::Relaxed);
+        Err(RouteError::Local(ServeError::ShardUnreachable(format!(
+            "shard {group}: all {} replicas failed; last: {last}",
+            replicas.len()
+        ))))
+    }
+
+    /// Fan `sets` to every group and merge the rows. Each shard lists
+    /// only the sets it owns; the merged, name-sorted listing is
+    /// byte-identical to a single daemon holding every set. A set
+    /// listed by a group the ring does not map it to is a typed
+    /// [`ServeError::RingMismatch`] — placement drift must never be
+    /// papered over.
+    fn route_sets(&self, conns: &mut Conns) -> Result<String, RouteError> {
+        let req = Request::Query("sets".to_string());
+        let mut rows: Vec<(String, String)> = Vec::new();
+        for group in 0..self.config.shards.len() {
+            let resp = self.with_replica(conns, group, &req)?;
+            let text = Self::expect_ok(resp, "sets", group)?;
+            let body = text.strip_prefix("PROFILE SETS\n").ok_or_else(|| {
+                self.partial_merge.fetch_add(1, Ordering::Relaxed);
+                ServeError::PartialMerge(format!("shard {group}: malformed sets listing"))
+            })?;
+            for line in body.lines() {
+                let name = line.split(" bundles=").next().unwrap_or(line).to_string();
+                let owner = self.ring.owner(name.as_bytes()) as usize;
+                if owner != group {
+                    self.ring_mismatch.fetch_add(1, Ordering::Relaxed);
+                    return Err(RouteError::Local(ServeError::RingMismatch(format!(
+                        "set '{name}' listed by shard {group} but owned by shard {owner}"
+                    ))));
+                }
+                rows.push((name, line.to_string()));
+            }
+        }
+        rows.sort();
+        let mut out = String::from("PROFILE SETS\n");
+        for (_, line) in rows {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// Scatter-gather one view query: epochs → cache → partials →
+    /// reconstruct → the shared combiner.
+    fn route_view(&self, conns: &mut Conns, q: &str, view: &ViewQuery) -> Result<String, RouteError> {
+        let groups: Vec<usize> =
+            view.sets.iter().map(|s| self.ring.owner(s.as_bytes()) as usize).collect();
+        // Resolve every set's epoch first: the epoch vector is the
+        // cache key, so a warm query never moves partial bytes at all.
+        let mut epochs = [0u64; 2];
+        for (i, (set, group)) in view.sets.iter().zip(&groups).enumerate() {
+            let resp = self.with_replica(conns, *group, &Request::Epoch(set.clone()))?;
+            let text = Self::expect_ok(resp, "epoch", *group)?;
+            epochs[i] = text.trim().parse().map_err(|_| {
+                self.partial_merge.fetch_add(1, Ordering::Relaxed);
+                ServeError::PartialMerge(format!(
+                    "shard {group}: malformed epoch response {text:?} for set '{set}'"
+                ))
+            })?;
+        }
+        let key = CacheKey { query: q.to_string(), epochs };
+        if let Some(hit) = self.inner.lock().cache.get(&key).cloned() {
+            return Ok(hit);
+        }
+        // Miss: fetch each set's partial and rebuild its snapshot. An
+        // ingest may race ahead of the epoch fetch; the partial's own
+        // epoch is what the response actually reflects, so the cache
+        // entry is keyed under it.
+        let mut snaps = Vec::with_capacity(view.sets.len());
+        for (i, (set, group)) in view.sets.iter().zip(&groups).enumerate() {
+            let resp = self.with_replica(conns, *group, &Request::Partial(set.clone()))?;
+            let bytes = match resp {
+                Response::Data(bytes) => bytes,
+                Response::Err(code, msg) => return Err(RouteError::Relay(code, msg)),
+                Response::Ok(_) => {
+                    self.partial_merge.fetch_add(1, Ordering::Relaxed);
+                    return Err(RouteError::Local(ServeError::PartialMerge(format!(
+                        "shard {group}: text response to a partial request for set '{set}'"
+                    ))));
+                }
+            };
+            let partial = decode_set_partial(bytes).map_err(|e| {
+                self.partial_merge.fetch_add(1, Ordering::Relaxed);
+                ServeError::PartialMerge(format!("set '{set}' from shard {group}: {e}"))
+            })?;
+            epochs[i] = partial.epoch;
+            let profiles = partial.reconstruct().map_err(|e| {
+                self.partial_merge.fetch_add(1, Ordering::Relaxed);
+                ServeError::PartialMerge(format!("set '{set}' from shard {group}: {e}"))
+            })?;
+            snaps.push(Arc::new(profiles));
+        }
+        let response = render_view(&view.plan, &snaps);
+        let key = CacheKey { query: q.to_string(), epochs };
+        let mut inner = self.inner.lock();
+        let cost = key.query.len() + response.len();
+        inner.cache.insert(key, response.clone(), cost);
+        Ok(response)
+    }
+
+    fn route_query(&self, conns: &mut Conns, q: &str) -> Result<String, RouteError> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        match parse_query(q)? {
+            ParsedQuery::Sets => self.route_sets(conns),
+            ParsedQuery::View(view) => self.route_view(conns, q, &view),
+        }
+    }
+
+    /// Proxy an epoch or partial request to the owning shard, verbatim
+    /// both ways — a router can therefore stand in for a shard, and
+    /// smart clients can resolve placement through it.
+    fn route_proxy(&self, conns: &mut Conns, set: &str, req: &Request) -> Result<Response, RouteError> {
+        let group = self.ring.owner(set.as_bytes()) as usize;
+        self.with_replica(conns, group, req)
+    }
+
+    /// The router's own stats report. Deterministic ordering, same
+    /// shape as the daemon's (`ROUTER STATS` header instead).
+    fn stats_text(&self) -> String {
+        let mut out = String::from("ROUTER STATS\n");
+        out.push_str(&format!("shards {}\n", self.config.shards.len()));
+        let replicas: Vec<String> =
+            self.config.shards.iter().map(|g| g.len().to_string()).collect();
+        out.push_str(&format!("replicas {}\n", replicas.join(",")));
+        out.push_str(&format!("ring_vnodes {}\n", self.ring.vnodes()));
+        out.push_str(&format!("ring_points {}\n", self.ring.point_count()));
+        out.push_str(&format!("ingests {}\n", self.ingests.load(Ordering::Relaxed)));
+        out.push_str(&format!("queries {}\n", self.queries.load(Ordering::Relaxed)));
+        out.push_str(&format!("retries {}\n", self.retries.load(Ordering::Relaxed)));
+        out.push_str(&format!(
+            "shard_unreachable {}\n",
+            self.shard_unreachable.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!("ring_mismatch {}\n", self.ring_mismatch.load(Ordering::Relaxed)));
+        out.push_str(&format!("partial_merge {}\n", self.partial_merge.load(Ordering::Relaxed)));
+        let inner = self.inner.lock();
+        out.push_str(&format!(
+            "cache_hits {}\ncache_misses {}\ncache_hit_rate {:.3}\ncache_entries {}\ncache_bytes {}\n",
+            inner.cache.hits(),
+            inner.cache.misses(),
+            inner.cache.hit_rate(),
+            inner.cache.len(),
+            inner.cache.bytes()
+        ));
+        let mut kinds: Vec<&&'static str> = inner.latency.keys().collect();
+        kinds.sort();
+        for k in kinds {
+            out.push_str(&format!("latency_us[{k}] {}\n", inner.latency[*k].render()));
+        }
+        for (g, group) in self.config.shards.iter().enumerate() {
+            out.push_str(&format!("shard[{g}] replicas={} {}\n", group.len(), group.join(",")));
+        }
+        out
+    }
+
+    fn record(&self, kind: &'static str, micros: u64) {
+        self.inner.lock().latency.entry(kind).or_default().record(micros);
+    }
+}
+
+/// A bound, not-yet-serving router. `bind` then `local_addr` then
+/// `serve` (which blocks until a SHUTDOWN frame arrives). Shutting the
+/// router down drains only the router; shard daemons keep serving.
+pub struct Router {
+    listener: TcpListener,
+    core: Arc<Core>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Router {
+    /// Validate the topology and bind the listener. An invalid ring
+    /// configuration is a typed [`ServeError::RingMismatch`]: a router
+    /// that started with a broken topology would misplace every set.
+    pub fn bind(config: RouterConfig) -> Result<Self, ServeError> {
+        if config.shards.is_empty() {
+            return Err(ServeError::RingMismatch("router needs at least one shard group".into()));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for (g, group) in config.shards.iter().enumerate() {
+            if group.is_empty() {
+                return Err(ServeError::RingMismatch(format!("shard group {g} has no replicas")));
+            }
+            for addr in group {
+                if !seen.insert(addr.clone()) {
+                    return Err(ServeError::RingMismatch(format!(
+                        "replica address {addr} appears twice in the topology"
+                    )));
+                }
+            }
+        }
+        if config.vnodes == 0 {
+            return Err(ServeError::RingMismatch("ring needs at least one virtual node".into()));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let ring = HashRing::new(config.shards.len() as u32, config.vnodes);
+        let cache = LruCache::new(config.cache_entries, config.cache_bytes);
+        let core = Core {
+            config,
+            ring,
+            inner: Mutex::new(Inner { cache, latency: FxHashMap::default() }),
+            cursor: AtomicUsize::new(0),
+            ingests: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            shard_unreachable: AtomicU64::new(0),
+            ring_mismatch: AtomicU64::new(0),
+            partial_merge: AtomicU64::new(0),
+        };
+        Ok(Self {
+            listener,
+            core: Arc::new(core),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    pub fn local_addr(&self) -> Result<String, ServeError> {
+        Ok(self.listener.local_addr()?.to_string())
+    }
+
+    /// A handle that flips the drain flag from another thread.
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// The shard group the ring assigns `set` to (tests and tooling).
+    pub fn owner_of(&self, set: &str) -> usize {
+        self.core.ring.owner(set.as_bytes()) as usize
+    }
+
+    /// Accept and serve until shutdown, then drain — the same bounded
+    /// session-pool shape as [`crate::server::Server::serve`].
+    pub fn serve(self) -> Result<(), ServeError> {
+        self.listener.set_nonblocking(true)?;
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+        let rx = Arc::new(Mutex::new(rx));
+        let sessions = self.core.config.sessions.max(1);
+        let mut workers = Vec::with_capacity(sessions);
+        for _ in 0..sessions {
+            let rx = Arc::clone(&rx);
+            let core = Arc::clone(&self.core);
+            let shutdown = Arc::clone(&self.shutdown);
+            workers.push(std::thread::spawn(move || loop {
+                let next = {
+                    let guard = rx.lock();
+                    guard.recv()
+                };
+                match next {
+                    Ok(stream) => handle_conn(stream, &core, &shutdown),
+                    Err(_) => return, // sender dropped: drain complete
+                }
+            }));
+        }
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        drop(tx);
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+fn respond(stream: &mut TcpStream, resp: &Response) -> Result<(), ServeError> {
+    let (k, body) = encode_response(resp);
+    write_frame(stream, k, &body)
+}
+
+fn err_response(e: &ServeError) -> Response {
+    Response::Err(e.code(), e.to_string())
+}
+
+fn route_err(e: RouteError) -> Response {
+    match e {
+        RouteError::Relay(code, msg) => Response::Err(code, msg),
+        RouteError::Local(e) => err_response(&e),
+    }
+}
+
+/// Serve one client connection until clean EOF, protocol error, or
+/// shutdown. Shard connections are pooled per session and re-dialed
+/// lazily after any transport failure.
+fn handle_conn(mut stream: TcpStream, core: &Arc<Core>, shutdown: &Arc<AtomicBool>) {
+    if stream.set_nonblocking(false).is_err()
+        || stream.set_read_timeout(Some(core.config.read_timeout)).is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    let mut conns = Conns { map: FxHashMap::default(), timeout: core.config.read_timeout };
+    loop {
+        let frame = match read_frame(&mut stream, core.config.max_frame) {
+            Ok(Some(f)) => f,
+            Ok(None) => return,
+            Err(e) => {
+                let _ = respond(&mut stream, &err_response(&e));
+                return;
+            }
+        };
+        let req = match crate::wire::parse_request(frame.0, frame.1) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = respond(&mut stream, &err_response(&e));
+                return;
+            }
+        };
+        let draining = shutdown.load(Ordering::SeqCst);
+        let resp = match req {
+            Request::Ping => Response::Ok("pong".to_string()),
+            Request::Stats => {
+                let start = Instant::now();
+                let text = core.stats_text();
+                core.record("stats", start.elapsed().as_micros() as u64);
+                Response::Ok(text)
+            }
+            Request::Query(q) => {
+                if draining {
+                    err_response(&ServeError::ShuttingDown)
+                } else {
+                    let start = Instant::now();
+                    let out = core.route_query(&mut conns, &q);
+                    core.record("query", start.elapsed().as_micros() as u64);
+                    match out {
+                        Ok(text) => Response::Ok(text),
+                        Err(e) => route_err(e),
+                    }
+                }
+            }
+            ref req @ Request::Ingest { ref set, .. } => {
+                if draining {
+                    err_response(&ServeError::ShuttingDown)
+                } else {
+                    let start = Instant::now();
+                    let out = core.route_ingest(&mut conns, set, req);
+                    core.record("ingest", start.elapsed().as_micros() as u64);
+                    match out {
+                        Ok(resp) => resp,
+                        Err(e) => route_err(e),
+                    }
+                }
+            }
+            ref req @ (Request::Epoch(ref set) | Request::Partial(ref set)) => {
+                if draining {
+                    err_response(&ServeError::ShuttingDown)
+                } else {
+                    let start = Instant::now();
+                    let out = core.route_proxy(&mut conns, set, req);
+                    core.record("proxy", start.elapsed().as_micros() as u64);
+                    match out {
+                        Ok(resp) => resp,
+                        Err(e) => route_err(e),
+                    }
+                }
+            }
+            Request::Shutdown => {
+                shutdown.store(true, Ordering::SeqCst);
+                let _ = respond(&mut stream, &Response::Ok("draining".to_string()));
+                return;
+            }
+        };
+        if respond(&mut stream, &resp).is_err() {
+            return;
+        }
+    }
+}

@@ -310,6 +310,39 @@ fn handle_conn(
                     }
                 }
             }
+            Request::Epoch(set) => {
+                // Read path like Query: refused while draining so a
+                // router never caches against a dying shard's epoch.
+                if draining {
+                    err_response(&ServeError::ShuttingDown)
+                } else {
+                    let start = Instant::now();
+                    let mut st = state.lock();
+                    let out = st
+                        .store
+                        .epoch(&set)
+                        .ok_or_else(|| ServeError::UnknownSet(set.clone()));
+                    st.store.record("epoch", start.elapsed().as_micros() as u64);
+                    match out {
+                        Ok(e) => Response::Ok(e.to_string()),
+                        Err(e) => err_response(&e),
+                    }
+                }
+            }
+            Request::Partial(set) => {
+                if draining {
+                    err_response(&ServeError::ShuttingDown)
+                } else {
+                    let start = Instant::now();
+                    let mut st = state.lock();
+                    let out = st.store.partial(&set);
+                    st.store.record("partial", start.elapsed().as_micros() as u64);
+                    match out {
+                        Ok(bytes) => Response::Data(bytes),
+                        Err(e) => err_response(&e),
+                    }
+                }
+            }
             Request::Shutdown => {
                 shutdown.store(true, Ordering::SeqCst);
                 let _ = respond(&mut stream, &Response::Ok("draining".to_string()));

@@ -34,8 +34,12 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use dcp_core::stored::{encode_bundle, StoredAccumulator, StoredBundle, StoredProfiles};
-use dcp_support::bytes::Bytes;
+use dcp_cct::codec::{get_slice, get_varint, put_varint};
+use dcp_cct::CodecError;
+use dcp_core::stored::{
+    decode_bundle, encode_bundle, StoredAccumulator, StoredBundle, StoredProfiles,
+};
+use dcp_support::bytes::{Bytes, BytesMut};
 use dcp_support::stats::LatencyHistogram;
 use dcp_support::{FxHashMap, LruCache};
 
@@ -106,6 +110,9 @@ struct ProfileSet {
     epoch: u64,
     mode: IngestMode,
     snapshot: Option<Arc<StoredProfiles>>,
+    /// Encoded [`SetPartial`] for the current epoch (router scatter-
+    /// gather); invalidated together with `snapshot` on every commit.
+    partial: Option<Bytes>,
 }
 
 impl ProfileSet {
@@ -118,6 +125,7 @@ impl ProfileSet {
             epoch: 0,
             mode,
             snapshot: None,
+            partial: None,
         }
     }
 }
@@ -144,6 +152,111 @@ pub struct SetDump {
     pub state: Bytes,
     /// `(seq, wire_bytes, encoded bundle)` for every buffered entry.
     pub pending: Vec<(u64, u64, Bytes)>,
+}
+
+/// A shard-local partial result: one set's committed accumulator state
+/// re-encoded as a single bundle, plus the counters needed to resume
+/// the merge elsewhere. This is what a `PARTIAL` frame carries from a
+/// shard to the router, which reconstructs the accumulator with
+/// [`StoredAccumulator::restore`] and renders through the same view
+/// code as a single daemon — `to_bundle`/`restore` is proven
+/// byte-identical mid-stream, so the distributed reduction tree
+/// (ranks → shard accumulators → router) answers with the exact bytes
+/// a single instance would.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetPartial {
+    /// The commit epoch this partial reflects (router cache keying).
+    pub epoch: u64,
+    /// Bundles folded into `state` so far.
+    pub bundles: u64,
+    /// Sum of profile blob bytes folded in (capacity pre-sizing).
+    pub blob_bytes: u64,
+    /// The folded accumulator as one encoded DCPB bundle.
+    pub state: Bytes,
+}
+
+/// Magic for the encoded [`SetPartial`] payload: "DCPP".
+pub const PARTIAL_MAGIC: [u8; 4] = *b"DCPP";
+
+/// Checksum over an encoded partial (everything in front of the
+/// trailing checksum itself): partials cross the network between two
+/// trusting processes, and a flipped bit inside the state bundle could
+/// otherwise decode as a *different valid bundle* — a wrong-but-OK
+/// response, the one failure mode byte-identity cannot tolerate.
+fn partial_checksum(prefix: &[u8]) -> u64 {
+    use std::hash::Hasher as _;
+    let mut h = dcp_support::FxHasher::default();
+    h.write(prefix);
+    h.finish()
+}
+
+/// Serialize a [`SetPartial`] for a `DATA` response frame.
+pub fn encode_set_partial(p: &SetPartial) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(&PARTIAL_MAGIC);
+    put_varint(&mut buf, p.epoch);
+    put_varint(&mut buf, p.bundles);
+    put_varint(&mut buf, p.blob_bytes);
+    put_varint(&mut buf, p.state.len() as u64);
+    buf.put_slice(&p.state);
+    let prefix = buf.freeze();
+    let sum = partial_checksum(prefix.as_slice());
+    let mut framed = BytesMut::with_capacity(prefix.len() + 8);
+    framed.put_slice(prefix.as_slice());
+    framed.put_slice(&sum.to_be_bytes());
+    framed.freeze()
+}
+
+/// Decode a [`SetPartial`] payload defensively: bad magic, truncation,
+/// trailing garbage, and any checksum mismatch are typed errors, never
+/// panics — routed frames go through the same robustness grind as the
+/// rest of the protocol, and the checksum turns *every* in-flight bit
+/// flip into a typed [`ServeError::PartialMerge`].
+pub fn decode_set_partial(body: Bytes) -> Result<SetPartial, ServeError> {
+    if body.len() < 8 {
+        return Err(ServeError::Truncated);
+    }
+    let (prefix, tail) = body.as_slice().split_at(body.len() - 8);
+    let expect = u64::from_be_bytes(tail.try_into().expect("8-byte tail"));
+    if partial_checksum(prefix) != expect {
+        return Err(ServeError::PartialMerge(format!(
+            "checksum mismatch over {} payload bytes",
+            prefix.len()
+        )));
+    }
+    let mut body = body.slice(0..body.len() - 8);
+    let magic = get_slice(&mut body, 4).map_err(|_| ServeError::Truncated)?;
+    if magic.as_slice() != PARTIAL_MAGIC {
+        return Err(ServeError::Codec(CodecError::BadMagic));
+    }
+    let field = |e: CodecError| match e {
+        CodecError::Truncated => ServeError::Truncated,
+        other => ServeError::Codec(other),
+    };
+    let epoch = get_varint(&mut body).map_err(field)?;
+    let bundles = get_varint(&mut body).map_err(field)?;
+    let blob_bytes = get_varint(&mut body).map_err(field)?;
+    let state_len = get_varint(&mut body).map_err(field)?;
+    if state_len > body.remaining() as u64 {
+        return Err(ServeError::Truncated);
+    }
+    let state = get_slice(&mut body, state_len as usize).map_err(field)?;
+    if body.has_remaining() {
+        return Err(ServeError::Codec(CodecError::BadCount(body.remaining() as u64)));
+    }
+    Ok(SetPartial { epoch, bundles, blob_bytes, state })
+}
+
+impl SetPartial {
+    /// Reconstruct the renderable profiles this partial describes. The
+    /// state bundle is re-validated end to end (`decode_bundle` rejects
+    /// anything malformed), so a corrupt partial can never produce a
+    /// wrong-but-OK response — it fails typed here.
+    pub fn reconstruct(&self) -> Result<StoredProfiles, ServeError> {
+        let bundle = decode_bundle(self.state.clone())?;
+        let mut acc = StoredAccumulator::restore(bundle, self.bundles, self.blob_bytes);
+        Ok(acc.snapshot()?)
+    }
 }
 
 /// The whole server state behind one lock: sets, cache, counters.
@@ -254,6 +367,7 @@ impl ProfileStore {
             entry.next_seq += 1;
             entry.epoch += 1;
             entry.snapshot = None;
+            entry.partial = None;
         }
         self.bytes_stored += wire_bytes;
         self.ingests += 1;
@@ -384,6 +498,27 @@ impl ProfileStore {
         let snap = Arc::new(entry.acc.snapshot()?);
         entry.snapshot = Some(Arc::clone(&snap));
         Ok(snap)
+    }
+
+    /// The named set's shard-local partial, encoded for a `DATA` frame.
+    /// Cached per epoch alongside the snapshot: folding + re-encoding
+    /// happens at most once per epoch no matter how many routers poll.
+    pub fn partial(&mut self, set: &str) -> Result<Bytes, ServeError> {
+        let entry = self
+            .sets
+            .get_mut(set)
+            .ok_or_else(|| ServeError::UnknownSet(set.to_string()))?;
+        if let Some(p) = &entry.partial {
+            return Ok(p.clone());
+        }
+        let encoded = encode_set_partial(&SetPartial {
+            epoch: entry.epoch,
+            bundles: entry.acc.bundles(),
+            blob_bytes: entry.acc.blob_bytes(),
+            state: encode_bundle(&entry.acc.to_bundle()?),
+        });
+        entry.partial = Some(encoded.clone());
+        Ok(encoded)
     }
 
     /// Sorted per-set rows for the `sets` query and the stats report.
@@ -651,6 +786,84 @@ mod tests {
         assert_eq!(re.epoch("a"), Some(4), "buffered seq 3 committed after the gap filled");
         let stats = re.stats_text();
         assert!(stats.contains("set[a] bundles=4"), "{stats}");
+    }
+
+    #[test]
+    fn partial_roundtrip_reconstructs_byte_identical_state() {
+        let mut st = ProfileStore::new(StoreConfig::default());
+        let (b, w) = bundle();
+        st.ingest("a", None, w, b.clone()).expect("ingest");
+        st.ingest("a", None, w, b.clone()).expect("ingest");
+        let encoded = st.partial("a").expect("partial");
+        let again = st.partial("a").expect("partial again");
+        assert_eq!(encoded, again, "partials are cached per epoch");
+        let p = decode_set_partial(encoded).expect("decode");
+        assert_eq!(p.epoch, 2);
+        assert_eq!(p.bundles, 2);
+        let rebuilt = p.reconstruct().expect("reconstruct");
+        let local = st.snapshot("a").expect("snapshot");
+        assert_eq!(rebuilt.stats().samples, local.stats().samples);
+        assert_eq!(
+            rebuilt.export(StorageClass::Heap),
+            local.export(StorageClass::Heap),
+            "reconstructed partial must render the exact local bytes"
+        );
+        // A new commit invalidates the cached partial.
+        st.ingest("a", None, w, b).expect("ingest");
+        let p2 = decode_set_partial(st.partial("a").expect("partial")).expect("decode");
+        assert_eq!(p2.epoch, 3);
+        // Unknown sets are typed, like snapshots.
+        assert_eq!(st.partial("nope").err(), Some(ServeError::UnknownSet("nope".into())));
+    }
+
+    #[test]
+    fn partial_decode_rejects_damage_typed() {
+        let p = SetPartial {
+            epoch: 7,
+            bundles: 3,
+            blob_bytes: 99,
+            state: encode_bundle(&StoredBundle::default()),
+        };
+        let wire = encode_set_partial(&p);
+        assert_eq!(decode_set_partial(wire.clone()).expect("roundtrip"), p);
+        // Every truncation is typed.
+        for cut in 0..wire.len() {
+            let mut short = BytesMut::new();
+            short.put_slice(&wire.as_slice()[..cut]);
+            assert!(decode_set_partial(short.freeze()).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage is typed.
+        let mut long = BytesMut::new();
+        long.put_slice(wire.as_slice());
+        long.put_u8(0);
+        assert!(decode_set_partial(long.freeze()).is_err());
+        // Every single-bit flip anywhere in the payload is caught by
+        // the trailing checksum — a flipped state byte must never
+        // decode as a different-but-valid partial (wrong-but-OK).
+        for pos in 0..wire.len() {
+            for bit in 0..8u8 {
+                let mut bad = wire.as_slice().to_vec();
+                bad[pos] ^= 1 << bit;
+                let mut buf = BytesMut::new();
+                buf.put_slice(&bad);
+                match decode_set_partial(buf.freeze()) {
+                    Err(ServeError::PartialMerge(_)) => {}
+                    other => panic!("flip at {pos}.{bit}: expected checksum refusal, got {other:?}"),
+                }
+            }
+        }
+        // Wrong magic (with a recomputed, valid checksum) is typed as
+        // BadMagic — the not-our-payload case, not the damage case.
+        let mut bad = wire.as_slice()[..wire.len() - 8].to_vec();
+        bad[0] ^= 0x20;
+        let mut buf = BytesMut::new();
+        buf.put_slice(&bad);
+        let sum = partial_checksum(&bad);
+        buf.put_slice(&sum.to_be_bytes());
+        assert_eq!(
+            decode_set_partial(buf.freeze()),
+            Err(ServeError::Codec(CodecError::BadMagic))
+        );
     }
 
     #[test]

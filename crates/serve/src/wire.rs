@@ -8,10 +8,14 @@
 //! +----------+------+-----------+------------------+
 //! ```
 //!
-//! Request kinds: `PING`, `INGEST`, `QUERY`, `STATS`, `SHUTDOWN`.
-//! Response kinds: `OK` (UTF-8 text body) and `ERR` (u16 code + UTF-8
-//! message). Payload fields use the same LEB128 varint dialect as the
-//! profile codec; the ingest body embeds a DCPB bundle verbatim.
+//! Request kinds: `PING`, `INGEST`, `QUERY`, `STATS`, `SHUTDOWN`, plus
+//! the router↔shard pair `EPOCH` (a set's commit epoch, for cache
+//! keying) and `PARTIAL` (a set's encoded shard-local partial state).
+//! Response kinds: `OK` (UTF-8 text body), `ERR` (u16 code + UTF-8
+//! message), and `DATA` (opaque binary body — partial state is a DCPP
+//! payload, not text). Payload fields use the same LEB128 varint
+//! dialect as the profile codec; the ingest body embeds a DCPB bundle
+//! verbatim.
 //!
 //! Both sides decode frames defensively: bad magic, unknown kinds,
 //! oversized length prefixes, truncation, and non-UTF-8 strings are all
@@ -40,8 +44,11 @@ pub mod kind {
     pub const QUERY: u8 = 2;
     pub const STATS: u8 = 3;
     pub const SHUTDOWN: u8 = 4;
+    pub const EPOCH: u8 = 5;
+    pub const PARTIAL: u8 = 6;
     pub const OK: u8 = 0x80;
     pub const ERR: u8 = 0x81;
+    pub const DATA: u8 = 0x82;
 }
 
 /// One parsed request frame.
@@ -55,6 +62,13 @@ pub enum Request {
     Query(String),
     Stats,
     Shutdown,
+    /// The named set's commit epoch (router cache keying: a response
+    /// cached under the epoch vector stays valid until any epoch moves).
+    Epoch(String),
+    /// The named set's shard-local partial: its accumulator state as an
+    /// encoded DCPP payload the router recombines through the same
+    /// reduction tree (see [`crate::store::SetPartial`]).
+    Partial(String),
 }
 
 /// One parsed response frame.
@@ -62,6 +76,8 @@ pub enum Request {
 pub enum Response {
     Ok(String),
     Err(u16, String),
+    /// Opaque binary payload (the answer to a `PARTIAL` request).
+    Data(Bytes),
 }
 
 fn field_err(e: CodecError) -> ServeError {
@@ -110,6 +126,14 @@ pub fn encode_request(req: &Request) -> (u8, Bytes) {
         }
         Request::Stats => kind::STATS,
         Request::Shutdown => kind::SHUTDOWN,
+        Request::Epoch(set) => {
+            buf.put_slice(set.as_bytes());
+            kind::EPOCH
+        }
+        Request::Partial(set) => {
+            buf.put_slice(set.as_bytes());
+            kind::PARTIAL
+        }
     };
     (k, buf.freeze())
 }
@@ -136,6 +160,12 @@ pub fn parse_request(k: u8, mut body: Bytes) -> Result<Request, ServeError> {
             .map_err(|_| ServeError::BadUtf8),
         kind::STATS => Ok(Request::Stats),
         kind::SHUTDOWN => Ok(Request::Shutdown),
+        kind::EPOCH => std::str::from_utf8(body.as_slice())
+            .map(|s| Request::Epoch(s.to_string()))
+            .map_err(|_| ServeError::BadUtf8),
+        kind::PARTIAL => std::str::from_utf8(body.as_slice())
+            .map(|s| Request::Partial(s.to_string()))
+            .map_err(|_| ServeError::BadUtf8),
         other => Err(ServeError::BadKind(other)),
     }
 }
@@ -152,6 +182,10 @@ pub fn encode_response(resp: &Response) -> (u8, Bytes) {
             buf.put_u16(*code);
             buf.put_slice(msg.as_bytes());
             (kind::ERR, buf.freeze())
+        }
+        Response::Data(bytes) => {
+            buf.put_slice(bytes);
+            (kind::DATA, buf.freeze())
         }
     }
 }
@@ -172,6 +206,7 @@ pub fn parse_response(k: u8, mut body: Bytes) -> Result<Response, ServeError> {
                 .to_string();
             Ok(Response::Err(code, msg))
         }
+        kind::DATA => Ok(Response::Data(body)),
         other => Err(ServeError::BadKind(other)),
     }
 }
@@ -215,7 +250,7 @@ pub fn read_frame(r: &mut impl Read, max: u64) -> Result<Option<(u8, Bytes)>, Se
     let known = matches!(
         k,
         kind::PING | kind::INGEST | kind::QUERY | kind::STATS | kind::SHUTDOWN
-            | kind::OK | kind::ERR
+            | kind::EPOCH | kind::PARTIAL | kind::OK | kind::ERR | kind::DATA
     );
     if !known {
         return Err(ServeError::BadKind(k));
@@ -266,13 +301,30 @@ mod tests {
         let mut b = BytesMut::new();
         b.put_slice(&[1, 2, 3]);
         roundtrip_request(Request::Ingest { set: "s".into(), seq: None, bundle: b.freeze() });
+        roundtrip_request(Request::Epoch("streamcluster".into()));
+        roundtrip_request(Request::Partial("nw".into()));
     }
 
     #[test]
     fn responses_roundtrip() {
-        for resp in [Response::Ok("hello\nworld".into()), Response::Err(9, "too big".into())] {
+        let mut raw = BytesMut::new();
+        raw.put_slice(&[0u8, 1, 2, 0xff, 0x80]);
+        for resp in [
+            Response::Ok("hello\nworld".into()),
+            Response::Err(9, "too big".into()),
+            Response::Data(raw.freeze()),
+        ] {
             let (k, body) = encode_response(&resp);
             assert_eq!(parse_response(k, body).expect("parse"), resp);
+        }
+    }
+
+    #[test]
+    fn non_utf8_set_names_in_routed_requests_are_typed() {
+        for k in [kind::EPOCH, kind::PARTIAL] {
+            let mut b = BytesMut::new();
+            b.put_slice(&[0xff, 0xfe]);
+            assert_eq!(parse_request(k, b.freeze()), Err(ServeError::BadUtf8));
         }
     }
 

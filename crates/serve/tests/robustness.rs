@@ -19,7 +19,7 @@ use dcp_serve::wire::{
     encode_request, encode_response, parse_request, parse_response, read_frame, write_frame,
     Request, Response, MAX_FRAME,
 };
-use dcp_serve::{Client, Server, ServerConfig, ServeError};
+use dcp_serve::{Client, Router, RouterConfig, Server, ServerConfig, ServeError};
 use dcp_support::bytes::BytesMut;
 use dcp_support::rng::SmallRng;
 
@@ -60,16 +60,26 @@ fn corpus() -> Vec<(bool, Vec<u8>)> {
         Request::Shutdown,
         Request::Query("ranking nw latency 10".into()),
         Request::Ingest { set: "nw".into(), seq: Some(3), bundle: bundle.clone() },
-        Request::Ingest { set: "π-set".into(), seq: None, bundle },
+        Request::Ingest { set: "π-set".into(), seq: None, bundle: bundle.clone() },
+        // The routed kinds ride the same frame grind as everything else.
+        Request::Epoch("nw".into()),
+        Request::Partial("π-set".into()),
     ];
     let mut out = Vec::new();
     for r in reqs {
         let (k, body) = encode_request(&r);
         out.push((true, frame_bytes(k, &body)));
     }
+    let partial = dcp_serve::encode_set_partial(&dcp_serve::SetPartial {
+        epoch: 1,
+        bundles: 1,
+        blob_bytes: bundle.len() as u64,
+        state: bundle,
+    });
     for r in [
         Response::Ok("VARIABLE RANKING metric LATENCY (total 400)\n".into()),
         Response::Err(8, "unknown profile set 'nope'".into()),
+        Response::Data(partial),
     ] {
         let (k, body) = encode_response(&r);
         out.push((false, frame_bytes(k, &body)));
@@ -384,6 +394,160 @@ fn client_times_out_on_a_silent_server() {
         other => panic!("expected Io timeout, got {other:?}"),
     }
     keep.join().expect("join");
+}
+
+/// A scripted shard: accepts one connection, answers each request
+/// frame with the next raw byte string from the script (not necessarily
+/// a valid frame), then CLOSES. The immediate close matters: a mutated
+/// script can leave the router mid-read (a truncated or length-extended
+/// frame), and the EOF is what unblocks it right away instead of its
+/// read timeout. The short read timeout here bounds the converse case —
+/// the router waiting on a frame the fake never finished while the fake
+/// waits for a request the router will never send.
+fn fake_shard(script: Vec<Vec<u8>>) -> (String, std::thread::JoinHandle<()>) {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind fake shard");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || {
+        let Ok((mut s, _)) = listener.accept() else { return };
+        let _ = s.set_read_timeout(Some(Duration::from_millis(300)));
+        for resp in script {
+            match read_frame(&mut s, MAX_FRAME) {
+                Ok(Some(_)) => {
+                    if s.write_all(&resp).is_err() {
+                        return;
+                    }
+                }
+                _ => return,
+            }
+        }
+    });
+    (addr, handle)
+}
+
+/// Run one query against a router fronting a scripted shard; returns
+/// the client-visible result after tearing the router down.
+fn routed_query_against(script: Vec<Vec<u8>>, q: &str) -> Result<String, ServeError> {
+    let (shard_addr, shard_handle) = fake_shard(script);
+    let router = Router::bind(RouterConfig {
+        shards: vec![vec![shard_addr]],
+        sessions: 1,
+        read_timeout: Duration::from_secs(5),
+        ..RouterConfig::default()
+    })
+    .expect("bind router");
+    let addr = router.local_addr().expect("addr");
+    let rhandle = std::thread::spawn(move || router.serve().expect("route"));
+    let mut cl = Client::connect(&addr).expect("connect");
+    let result = cl.query(q);
+    cl.shutdown().expect("shutdown");
+    drop(cl);
+    rhandle.join().expect("router join");
+    shard_handle.join().expect("fake shard join");
+    result
+}
+
+#[test]
+fn routed_frames_ground_end_to_end_never_yield_wrong_but_ok() {
+    // The router↔shard conversation for one view query is two frames
+    // back: an OK epoch and a DATA partial. Grind that script — every
+    // truncation, a bit flip at every byte, random bytes — through a
+    // LIVE router: the client must see either the exact golden response
+    // or a typed error. A mutated exchange that silently changes the
+    // response bytes would break the distributed determinism contract;
+    // the partial checksum is what rules it out.
+    use dcp_serve::{handle_query, ProfileStore, StoreConfig};
+
+    let mut store = ProfileStore::new(StoreConfig::default());
+    let raw = encode_bundle(&sample_bundle());
+    let decoded = dcp_core::stored::decode_bundle(raw.clone()).expect("bundle");
+    store.ingest("s", Some(0), raw.len() as u64, decoded).expect("ingest");
+    let golden = handle_query(&mut store, "export s heap").expect("golden");
+    let epoch_frame = frame_bytes(dcp_serve::wire::kind::OK, b"1");
+    let partial_frame =
+        frame_bytes(dcp_serve::wire::kind::DATA, store.partial("s").expect("partial").as_slice());
+
+    // Sanity: the unmutated script serves the golden bytes.
+    let ok = routed_query_against(vec![epoch_frame.clone(), partial_frame.clone()], "export s heap")
+        .expect("clean script must serve");
+    assert_eq!(ok, golden);
+
+    let check = |script: Vec<Vec<u8>>, what: String| {
+        match routed_query_against(script, "export s heap") {
+            Ok(text) => assert_eq!(text, golden, "{what}: wrong-but-OK response"),
+            Err(_) => {} // typed by construction; reaching here is the claim
+        }
+    };
+
+    // Every truncation of either response frame.
+    for cut in 0..epoch_frame.len() {
+        check(vec![epoch_frame[..cut].to_vec()], format!("epoch frame cut at {cut}"));
+    }
+    for cut in 0..partial_frame.len() {
+        check(
+            vec![epoch_frame.clone(), partial_frame[..cut].to_vec()],
+            format!("partial frame cut at {cut}"),
+        );
+    }
+    // A single-bit flip at every byte of the exchange (one bit per
+    // position live; the payload-level grinds cover all eight).
+    for pos in 0..epoch_frame.len() {
+        let mut mutated = epoch_frame.clone();
+        mutated[pos] ^= 1 << (pos % 8);
+        check(vec![mutated, partial_frame.clone()], format!("epoch frame flip at {pos}"));
+    }
+    for pos in 0..partial_frame.len() {
+        let mut mutated = partial_frame.clone();
+        mutated[pos] ^= 1 << (pos % 8);
+        check(vec![epoch_frame.clone(), mutated], format!("partial frame flip at {pos}"));
+    }
+}
+
+#[test]
+fn router_survives_random_byte_shards() {
+    // Pure fuzz on the routed path: shards that answer with random
+    // bytes must produce typed errors, never a hang, never an OK.
+    let mut g = SmallRng::seed_from_u64(0x70_0735);
+    for case in 0..24 {
+        let len = g.gen_range(1usize..96);
+        let mut raw = Vec::with_capacity(len + 4);
+        if case % 2 == 0 {
+            raw.extend_from_slice(b"DCPS");
+        }
+        for _ in 0..len {
+            raw.push((g.next_u64() & 0xff) as u8);
+        }
+        let result = routed_query_against(vec![raw], "ranking s samples");
+        assert!(result.is_err(), "case {case}: garbage shard must not produce an OK response");
+    }
+}
+
+#[test]
+fn corrupt_partial_payloads_reconstruct_typed_never_panic() {
+    // Arbitrary counters and garbage state behind a VALID checksum:
+    // decode succeeds (the frame is authentic), reconstruct must still
+    // fail typed — the state bundle is re-validated end to end.
+    use dcp_serve::{decode_set_partial, encode_set_partial, SetPartial};
+    let mut g = SmallRng::seed_from_u64(0x9a97_1a1);
+    for _ in 0..256 {
+        let len = g.gen_range(0usize..64);
+        let mut state = Vec::with_capacity(len);
+        for _ in 0..len {
+            state.push((g.next_u64() & 0xff) as u8);
+        }
+        let mut buf = BytesMut::with_capacity(len);
+        buf.put_slice(&state);
+        let p = SetPartial {
+            epoch: g.next_u64(),
+            bundles: g.next_u64(),
+            blob_bytes: g.next_u64(),
+            state: buf.freeze(),
+        };
+        let wire = encode_set_partial(&p);
+        let decoded = decode_set_partial(wire).expect("authentic payload decodes");
+        assert_eq!(decoded, p);
+        // Random state bytes are not a valid DCPB bundle: typed error.
+        assert!(decoded.reconstruct().is_err());
+    }
 }
 
 #[test]

@@ -1,0 +1,385 @@
+//! Router loopback e2e: a real sharded cluster on loopback sockets,
+//! differentially tested against a single daemon holding every set.
+//!
+//! The contract under test is the tentpole invariant: scatter-gather
+//! through the consistent-hash ring, R-way replication, and the
+//! partial-result combiner must be **byte-identical** to one daemon fed
+//! the same bundles — for every query kind, for error responses, and
+//! while ingest races the queries.
+
+use std::time::Duration;
+
+use dcp_cct::{encode, Cct, Frame, ROOT};
+use dcp_core::metrics::{StorageClass, WIDTH};
+use dcp_core::stored::{encode_bundle, StoredBundle};
+use dcp_serve::{Client, Router, RouterConfig, ServeError, Server, ServerConfig};
+use dcp_support::HashRing;
+
+fn spawn_server(config: ServerConfig) -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind(config).expect("bind shard");
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.serve().expect("serve"));
+    (addr, handle)
+}
+
+fn spawn_router(config: RouterConfig) -> (String, std::thread::JoinHandle<()>) {
+    let router = Router::bind(config).expect("bind router");
+    let addr = router.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || router.serve().expect("route"));
+    (addr, handle)
+}
+
+fn shutdown(addr: &str, handle: std::thread::JoinHandle<()>) {
+    Client::connect(addr).expect("connect").shutdown().expect("shutdown");
+    handle.join().expect("join");
+}
+
+/// A sharded cluster: `groups` shard groups of `replicas` daemons each,
+/// plus a router in front. Every daemon is memory-only and identically
+/// configured.
+struct Cluster {
+    router_addr: String,
+    router_handle: std::thread::JoinHandle<()>,
+    shards: Vec<Vec<(String, std::thread::JoinHandle<()>)>>,
+    vnodes: u32,
+}
+
+impl Cluster {
+    fn start(groups: usize, replicas: usize) -> Self {
+        let mut shards = Vec::new();
+        let mut topology = Vec::new();
+        for _ in 0..groups {
+            let mut group = Vec::new();
+            let mut addrs = Vec::new();
+            for _ in 0..replicas {
+                let (addr, handle) = spawn_server(ServerConfig::default());
+                addrs.push(addr.clone());
+                group.push((addr, handle));
+            }
+            topology.push(addrs);
+            shards.push(group);
+        }
+        let config = RouterConfig { shards: topology, ..RouterConfig::default() };
+        let vnodes = config.vnodes;
+        let (router_addr, router_handle) = spawn_router(config);
+        Self { router_addr, router_handle, shards, vnodes }
+    }
+
+    /// Which group owns `set` — same ring the router builds.
+    fn owner(&self, set: &str) -> usize {
+        HashRing::new(self.shards.len() as u32, self.vnodes).owner(set.as_bytes()) as usize
+    }
+
+    fn stop(self) {
+        shutdown(&self.router_addr, self.router_handle);
+        for group in self.shards {
+            for (addr, handle) in group {
+                shutdown(&addr, handle);
+            }
+        }
+    }
+}
+
+/// Same bundle fixture as the single-daemon loopback suite: distinct
+/// values per seed, overlapping shapes so merges actually fold.
+fn bundle(seed: u64) -> StoredBundle {
+    let mut heap = Cct::new(WIDTH);
+    let hm = heap.child(ROOT, Frame::HeapMarker);
+    let p = heap.child(hm, Frame::Proc(seed % 3));
+    let s = heap.child(p, Frame::Stmt(0x100 + seed % 5));
+    heap.add(s, 0, 1 + seed);
+    heap.add(s, 1, 100 * (seed + 1));
+    let mut stat = Cct::new(WIDTH);
+    let v = stat.child(ROOT, Frame::StaticVar(seed % 2));
+    stat.add(v, 0, seed + 7);
+    let mut b = StoredBundle::default();
+    b.profiles[StorageClass::Heap.idx()].push(encode(&heap));
+    b.profiles[StorageClass::Static.idx()].push(encode(&stat));
+    b.names.insert(Frame::Proc(seed % 3), format!("proc_{}", seed % 3));
+    b.names.insert(Frame::StaticVar(seed % 2), format!("g_{}", seed % 2));
+    b.stats.samples = 1 + seed;
+    b
+}
+
+/// Every query kind against `set` (diff pairs it with `other`).
+fn queries(set: &str, other: &str) -> Vec<String> {
+    vec![
+        format!("ranking {set} samples"),
+        format!("ranking {set} latency 3"),
+        format!("topdown {set} heap samples"),
+        format!("topdown {set} static samples"),
+        format!("bottomup {set} samples"),
+        format!("flat {set} heap samples"),
+        format!("flat {set} heap samples 2"),
+        format!("vars {set} samples"),
+        format!("diff {set} {other} samples"),
+        format!("export {set} heap"),
+        format!("export {set} static"),
+        "sets".to_string(),
+    ]
+}
+
+/// Compare one query against both endpoints, errors included: an error
+/// relayed by the router must reconstruct to the same display text a
+/// single daemon's would (verbatim wire relay — no double-wrapping).
+fn assert_same(rcl: &mut Client, gcl: &mut Client, q: &str) {
+    let routed = rcl.query(q).map_err(|e| format!("{}|{e}", e.code()));
+    let golden = gcl.query(q).map_err(|e| format!("{}|{e}", e.code()));
+    assert_eq!(routed, golden, "router diverges from single daemon on {q:?}");
+}
+
+#[test]
+fn sharded_cluster_is_byte_identical_to_a_single_daemon() {
+    let cluster = Cluster::start(3, 1);
+    let (gaddr, ghandle) = spawn_server(ServerConfig::default());
+    let sets = ["amg2006", "sweep3d", "lulesh", "streamcluster", "nw"];
+    // Make sure the fixture actually spreads over the cluster.
+    let owners: std::collections::BTreeSet<usize> = sets.iter().map(|s| cluster.owner(s)).collect();
+    assert!(owners.len() >= 2, "fixture sets all landed on one shard: {owners:?}");
+
+    let mut rcl = Client::connect(&cluster.router_addr).expect("connect router");
+    let mut gcl = Client::connect(&gaddr).expect("connect golden");
+    for (si, set) in sets.iter().enumerate() {
+        for i in 0..4u64 {
+            let blob = encode_bundle(&bundle(si as u64 * 10 + i));
+            let routed = rcl.ingest(set, Some(i), blob.clone()).expect("routed ingest");
+            let golden = gcl.ingest(set, Some(i), blob).expect("golden ingest");
+            assert_eq!(routed, golden, "ingest ack for {set}/{i} differs");
+        }
+    }
+    for (si, set) in sets.iter().enumerate() {
+        let other = sets[(si + 1) % sets.len()];
+        for q in queries(set, other) {
+            assert_same(&mut rcl, &mut gcl, &q);
+        }
+    }
+    // Error responses relay byte-identically too.
+    for q in ["ranking nosuch samples", "ranking", "bogus verb here", "diff amg2006 nosuch samples"]
+    {
+        assert_same(&mut rcl, &mut gcl, q);
+    }
+    // Epoch/partial proxying resolves placement through the router.
+    assert_eq!(rcl.epoch("lulesh").expect("epoch via router"), 4);
+    let stats = rcl.stats().expect("router stats");
+    assert!(stats.starts_with("ROUTER STATS\n"), "{stats}");
+    assert!(stats.contains("shards 3"), "{stats}");
+    assert!(stats.contains("shard_unreachable 0"), "{stats}");
+    assert!(stats.contains("ring_mismatch 0"), "{stats}");
+    assert!(stats.contains("partial_merge 0"), "{stats}");
+    drop(rcl);
+    drop(gcl);
+    shutdown(&gaddr, ghandle);
+    cluster.stop();
+}
+
+#[test]
+fn racing_ingest_through_the_router_keeps_queries_byte_identical() {
+    // Queries race live ingest traffic on the cluster: a quiescent set
+    // is queried while another set is being streamed in from racing
+    // threads. Every response for the quiescent set must equal the
+    // golden daemon's — and once the dust settles, the raced set must
+    // too.
+    let cluster = Cluster::start(3, 1);
+    let (gaddr, ghandle) = spawn_server(ServerConfig::default());
+    let mut rcl = Client::connect(&cluster.router_addr).expect("connect router");
+    let mut gcl = Client::connect(&gaddr).expect("connect golden");
+    for i in 0..3u64 {
+        let blob = encode_bundle(&bundle(i));
+        rcl.ingest("steady", Some(i), blob.clone()).expect("routed");
+        gcl.ingest("steady", Some(i), blob).expect("golden");
+    }
+    let total = 24u64;
+    let writers: Vec<_> = (0..3u64)
+        .map(|w| {
+            let addr = cluster.router_addr.clone();
+            std::thread::spawn(move || {
+                let mut cl = Client::connect(&addr).expect("writer connect");
+                for seq in (0..total).filter(|s| s % 3 == w) {
+                    cl.ingest("raced", Some(seq), encode_bundle(&bundle(100 + seq)))
+                        .expect("raced ingest");
+                }
+            })
+        })
+        .collect();
+    let golden_steady = gcl.query("ranking steady samples").expect("golden steady");
+    for _ in 0..40 {
+        let routed = rcl.query("ranking steady samples").expect("routed steady");
+        assert_eq!(routed, golden_steady, "quiescent set changed under racing ingest");
+    }
+    for w in writers {
+        w.join().expect("writer");
+    }
+    for seq in 0..total {
+        gcl.ingest("raced", Some(seq), encode_bundle(&bundle(100 + seq))).expect("golden raced");
+    }
+    for q in queries("raced", "steady") {
+        assert_same(&mut rcl, &mut gcl, &q);
+    }
+    drop(rcl);
+    drop(gcl);
+    shutdown(&gaddr, ghandle);
+    cluster.stop();
+}
+
+#[test]
+fn dead_replica_fails_over_without_changing_a_byte() {
+    // Group 0 lists a dead address first: the listener is bound, its
+    // port learned, then dropped — connecting yields ECONNREFUSED, the
+    // transport-error class the router must retry past.
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = l.local_addr().expect("addr").to_string();
+        drop(l);
+        addr
+    };
+    let (live, live_handle) = spawn_server(ServerConfig::default());
+    let config = RouterConfig {
+        shards: vec![vec![dead, live.clone()]],
+        ..RouterConfig::default()
+    };
+    let (raddr, rhandle) = spawn_router(config);
+    let (gaddr, ghandle) = spawn_server(ServerConfig::default());
+    let mut rcl = Client::connect(&raddr).expect("connect router");
+    let mut gcl = Client::connect(&gaddr).expect("connect golden");
+    for i in 0..4u64 {
+        let blob = encode_bundle(&bundle(i));
+        let routed = rcl.ingest("only", Some(i), blob.clone()).expect("ingest past dead replica");
+        let golden = gcl.ingest("only", Some(i), blob).expect("golden ingest");
+        assert_eq!(routed, golden);
+    }
+    for q in queries("only", "only") {
+        assert_same(&mut rcl, &mut gcl, &q);
+    }
+    let stats = rcl.stats().expect("stats");
+    let retries: u64 = stats
+        .lines()
+        .find_map(|l| l.strip_prefix("retries "))
+        .expect("retries line")
+        .parse()
+        .expect("retries number");
+    assert!(retries > 0, "failover must be visible in stats: {stats}");
+    assert!(stats.contains("shard_unreachable 0"), "{stats}");
+    drop(rcl);
+    drop(gcl);
+    shutdown(&gaddr, ghandle);
+    shutdown(&raddr, rhandle);
+    shutdown(&live, live_handle);
+}
+
+#[test]
+fn exhausted_replicas_are_a_typed_shard_unreachable() {
+    let dead = |_| {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = l.local_addr().expect("addr").to_string();
+        drop(l);
+        addr
+    };
+    let config = RouterConfig {
+        shards: vec![(0..2).map(dead).collect()],
+        ..RouterConfig::default()
+    };
+    let (raddr, rhandle) = spawn_router(config);
+    let mut rcl = Client::connect(&raddr).expect("connect router");
+    let err = rcl.query("ranking anything samples").expect_err("no replica is alive");
+    assert_eq!(err.code(), ServeError::ShardUnreachable(String::new()).code());
+    let err = rcl.ingest("anything", None, encode_bundle(&bundle(0))).expect_err("ingest too");
+    assert_eq!(err.code(), ServeError::ShardUnreachable(String::new()).code());
+    let stats = rcl.stats().expect("stats");
+    assert!(stats.contains("shard_unreachable 2"), "{stats}");
+    drop(rcl);
+    shutdown(&raddr, rhandle);
+}
+
+#[test]
+fn misplaced_set_is_a_typed_ring_mismatch_at_fan_in() {
+    // A set ingested directly into a shard the ring does not map it to
+    // (operator error, stale topology) must surface as RingMismatch on
+    // the fan-in path — never as a silently wrong listing.
+    let cluster = Cluster::start(3, 1);
+    let set = "misplaced";
+    let owner = cluster.owner(set);
+    let wrong = (owner + 1) % cluster.shards.len();
+    let mut direct = Client::connect(&cluster.shards[wrong][0].0).expect("connect shard");
+    direct.ingest(set, None, encode_bundle(&bundle(0))).expect("direct ingest");
+    drop(direct);
+    let mut rcl = Client::connect(&cluster.router_addr).expect("connect router");
+    let err = rcl.query("sets").expect_err("fan-in must detect the misplaced set");
+    assert_eq!(err.code(), ServeError::RingMismatch(String::new()).code());
+    assert!(format!("{err}").contains("misplaced"), "{err}");
+    let stats = rcl.stats().expect("stats");
+    assert!(stats.contains("ring_mismatch 1"), "{stats}");
+    drop(rcl);
+    cluster.stop();
+}
+
+#[test]
+fn invalid_topologies_are_refused_at_bind() {
+    let refused = |shards: Vec<Vec<String>>, vnodes: u32| {
+        let config = RouterConfig { shards, vnodes, ..RouterConfig::default() };
+        match Router::bind(config) {
+            Err(e) => assert_eq!(e.code(), ServeError::RingMismatch(String::new()).code(), "{e}"),
+            Ok(_) => panic!("invalid topology must not bind"),
+        }
+    };
+    refused(vec![], 64);
+    refused(vec![vec![]], 64);
+    refused(vec![vec!["127.0.0.1:1".into()], vec![]], 64);
+    refused(vec![vec!["127.0.0.1:1".into()], vec!["127.0.0.1:1".into()]], 64);
+    refused(vec![vec!["127.0.0.1:1".into(), "127.0.0.1:1".into()]], 64);
+    refused(vec![vec!["127.0.0.1:1".into()]], 0);
+}
+
+#[test]
+fn router_cache_serves_warm_hits_and_ingest_invalidates() {
+    let cluster = Cluster::start(2, 1);
+    let mut rcl = Client::connect(&cluster.router_addr).expect("connect");
+    rcl.ingest("s", Some(0), encode_bundle(&bundle(0))).expect("ingest");
+    let r1 = rcl.query("ranking s samples").expect("first");
+    let r2 = rcl.query("ranking s samples").expect("second");
+    assert_eq!(r1, r2, "warm response must be byte-identical");
+    let stats = rcl.stats().expect("stats");
+    assert!(stats.contains("cache_hits 1"), "{stats}");
+    assert!(stats.contains("latency_us[query]"), "{stats}");
+    // A new epoch on the owning shard changes the cache key: the next
+    // query recomputes from fresh partials.
+    rcl.ingest("s", Some(1), encode_bundle(&bundle(1))).expect("ingest 2");
+    let r3 = rcl.query("ranking s samples").expect("third");
+    assert_ne!(r1, r3, "epoch bump must change the served ranking");
+    drop(rcl);
+    cluster.stop();
+}
+
+#[test]
+fn router_drain_refuses_work_and_leaves_shards_serving() {
+    let cluster = Cluster::start(2, 1);
+    let mut a = Client::connect(&cluster.router_addr).expect("connect a");
+    let mut b = Client::connect(&cluster.router_addr).expect("connect b");
+    a.ingest("s", None, encode_bundle(&bundle(0))).expect("ingest");
+    assert_eq!(b.shutdown().expect("shutdown"), "draining");
+    match a.query("ranking s samples") {
+        Err(e) => assert_eq!(e.code(), ServeError::ShuttingDown.code()),
+        Ok(_) => panic!("draining router must refuse new queries"),
+    }
+    drop(a);
+    drop(b);
+    let Cluster { router_addr, router_handle, shards, .. } = cluster;
+    router_handle.join().expect("router join");
+    assert!(
+        Client::connect_with_timeout(&router_addr, Duration::from_millis(200))
+            .and_then(|mut c| c.ping())
+            .is_err(),
+        "router must be gone after drain"
+    );
+    // The shards are untouched by the router's drain.
+    for group in &shards {
+        for (addr, _) in group {
+            let mut cl = Client::connect(addr).expect("shard still up");
+            assert_eq!(cl.ping().expect("ping"), "pong");
+        }
+    }
+    for group in shards {
+        for (addr, handle) in group {
+            shutdown(&addr, handle);
+        }
+    }
+}

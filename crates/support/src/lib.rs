@@ -26,6 +26,8 @@
 //!   [`criterion_group!`](crate::criterion_group) /
 //!   [`criterion_main!`](crate::criterion_main) macros (replaces
 //!   `criterion`),
+//! * [`ring`] — a consistent-hash ring ([`HashRing`]) for stable
+//!   set → shard placement in the sharded serving tier,
 //! * [`sync`] — a poison-recovering [`sync::Mutex`] for always-on
 //!   services (replaces `parking_lot::Mutex` where poisoning is the
 //!   wrong failure mode — see the serve daemon's availability story).
@@ -42,11 +44,13 @@ pub mod cache;
 pub mod hash;
 pub mod pool;
 pub mod prop;
+pub mod ring;
 pub mod rng;
 pub mod stats;
 pub mod sync;
 
 pub use cache::LruCache;
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use ring::HashRing;
 pub use rng::SmallRng;
 pub use stats::LatencyHistogram;

@@ -108,3 +108,65 @@ wait "$dur_pid"
 trap - EXIT
 rm -rf "$dur_dir" "$dur_log"
 echo "verify: durability smoke stage ok (SIGKILL mid-serve, recovery byte-identical)" >&2
+
+# Sharded smoke stage: four shard daemons (2 groups x 2 replicas) on
+# ephemeral ports behind a router. All five Table-1 workload profiles
+# go in through the router (fanned to the owning group's replicas),
+# every query kind is answered from recombined shard partials, and the
+# router drains first, then the shards — clean exits all around.
+shard_addrs=""
+shard_pids=""
+shard_logs=""
+for i in 1 2 3 4; do
+    log="$(mktemp)"
+    ./target/release/memgaze serve --addr 127.0.0.1:0 > "$log" &
+    shard_pids="$shard_pids $!"
+    shard_logs="$shard_logs $log"
+done
+route_log="$(mktemp)"
+trap 'kill $shard_pids 2>/dev/null || true; rm -f $shard_logs "$route_log"' EXIT
+for log in $shard_logs; do
+    addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/^serving on //p' "$log")"
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "verify: shard daemon never bound" >&2; exit 1; }
+    shard_addrs="$shard_addrs $addr"
+done
+set -- $shard_addrs
+./target/release/memgaze route --addr 127.0.0.1:0 --shard "$1,$2" --shard "$3,$4" > "$route_log" &
+route_pid=$!
+trap 'kill "$route_pid" $shard_pids 2>/dev/null || true; rm -f $shard_logs "$route_log"' EXIT
+raddr=""
+for _ in $(seq 1 100); do
+    raddr="$(sed -n 's/^routing on //p' "$route_log")"
+    [ -n "$raddr" ] && break
+    sleep 0.1
+done
+[ -n "$raddr" ] || { echo "verify: router never bound" >&2; exit 1; }
+for w in amg2006 sweep3d lulesh streamcluster nw; do
+    ./target/release/memgaze push "$raddr" "$w" "$w" > /dev/null
+done
+./target/release/memgaze query "$raddr" ping                        > /dev/null
+./target/release/memgaze query "$raddr" sets                        > /dev/null
+./target/release/memgaze query "$raddr" ranking streamcluster remote 5 > /dev/null
+./target/release/memgaze query "$raddr" topdown nw heap remote      > /dev/null
+./target/release/memgaze query "$raddr" bottomup amg2006 remote     > /dev/null
+./target/release/memgaze query "$raddr" flat lulesh heap latency 5  > /dev/null
+./target/release/memgaze query "$raddr" vars sweep3d latency        > /dev/null
+./target/release/memgaze query "$raddr" diff nw nw remote           > /dev/null
+./target/release/memgaze query "$raddr" export nw heap              > /dev/null
+./target/release/memgaze query "$raddr" stats                       > /dev/null
+./target/release/memgaze query "$raddr" shutdown                    > /dev/null
+wait "$route_pid"
+for a in $shard_addrs; do
+    ./target/release/memgaze query "$a" shutdown > /dev/null
+done
+for p in $shard_pids; do
+    wait "$p"
+done
+trap - EXIT
+rm -f $shard_logs "$route_log"
+echo "verify: sharded smoke stage ok (2x2 cluster behind router, every query kind, clean drain)" >&2

@@ -68,6 +68,13 @@ fn usage() -> ExitCode {
            (default 0: snapshot only on clean drain); --pending-cap\n\
            bounds per-set out-of-order buffering\n\
          \n\
+         usage: memgaze route [--addr host:port] --shard a1[,a2...] [--shard ...]\n\
+                              [--vnodes n] [--sessions n]\n\
+           run the scatter-gather router over running shard daemons;\n\
+           each --shard names one shard group as a comma list of replica\n\
+           addresses; prints `routing on <addr>` once bound and blocks\n\
+           until a shutdown request drains it (shards keep serving)\n\
+         \n\
          usage: memgaze push <addr> <set> <workload> [--variant <name>]\n\
            profile <workload> locally and ingest every node's bundle into\n\
            profile set <set> on the daemon at <addr>\n\
@@ -123,6 +130,41 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     server.serve().map_err(|e| e.to_string())
+}
+
+/// `memgaze route [--addr a] --shard a1[,a2...] [--shard ...] [--vnodes n]
+/// [--sessions n]`.
+fn run_route(args: &[String]) -> Result<(), String> {
+    let mut cfg = dcp_serve::RouterConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let val = |it: &mut std::slice::Iter<'_, String>| {
+            it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = val(&mut it)?,
+            "--shard" => {
+                let group: Vec<String> =
+                    val(&mut it)?.split(',').map(str::trim).map(str::to_string).collect();
+                cfg.shards.push(group);
+            }
+            "--vnodes" => {
+                cfg.vnodes = val(&mut it)?.parse().map_err(|e| format!("bad --vnodes: {e}"))?
+            }
+            "--sessions" => {
+                cfg.sessions = val(&mut it)?.parse().map_err(|e| format!("bad --sessions: {e}"))?
+            }
+            other => return Err(format!("unknown route flag {other:?}")),
+        }
+    }
+    if cfg.shards.is_empty() {
+        return Err("route needs at least one --shard group".into());
+    }
+    let router = dcp_serve::Router::bind(cfg).map_err(|e| e.to_string())?;
+    println!("routing on {}", router.local_addr().map_err(|e| e.to_string())?);
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    router.serve().map_err(|e| e.to_string())
 }
 
 /// `memgaze push <addr> <set> <workload> [--variant v]`.
@@ -333,6 +375,7 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let sub = match argv.first().map(String::as_str) {
         Some("serve") => Some(run_serve(&argv[1..])),
+        Some("route") => Some(run_route(&argv[1..])),
         Some("push") => Some(run_push(&argv[1..])),
         Some("query") => Some(run_query(&argv[1..])),
         _ => None,

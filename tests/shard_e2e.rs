@@ -1,0 +1,286 @@
+//! Sharded scatter-gather differential e2e, on real subprocesses: a
+//! `memgaze route` coordinator over `memgaze serve` shard daemons must
+//! answer **every** query kind with bytes identical to one daemon that
+//! holds every set — for all five Table-1 workloads, while concurrent
+//! ingest races the queries, and across a replica SIGKILLed mid-storm.
+//!
+//! This is the top of the distributed reduction tree under test: ranks
+//! fold into shard accumulators, shard partials recombine at the
+//! router, and the combiner invariant (`to_bundle`/`restore` is
+//! byte-identical mid-stream; `render_view` is pure) says the extra
+//! tree level must be invisible in the response bytes.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+use dcp_core::prelude::*;
+use dcp_core::{bundle_from_measurement, encode_bundle};
+use dcp_machine::{MarkedEvent, PmuConfig};
+use dcp_serve::Client;
+use dcp_support::bytes::Bytes;
+use dcp_workloads as wl;
+
+const WORKLOADS: [&str; 5] = ["amg2006", "sweep3d", "lulesh", "streamcluster", "nw"];
+
+/// Profile one Table-1 workload (small config, original variant) and
+/// encode one bundle per rank — the same stream `memgaze push` sends.
+fn bundles_for(workload: &str) -> Vec<Bytes> {
+    let rmem = PmuConfig::Marked { event: MarkedEvent::DataFromRmem, threshold: 8, skid: 2 };
+    let ibs = PmuConfig::Ibs { period: 128, skid: 2 };
+    let (prog, mut world, pmu) = match workload {
+        "amg2006" => {
+            let cfg = wl::amg2006::AmgConfig::small(wl::amg2006::AmgVariant::Original);
+            (wl::amg2006::build(&cfg), wl::amg2006::world(&cfg), rmem)
+        }
+        "sweep3d" => {
+            let cfg = wl::sweep3d::SweepConfig::small(wl::sweep3d::SweepVariant::Original);
+            (wl::sweep3d::build(&cfg), wl::sweep3d::world(&cfg), ibs)
+        }
+        "lulesh" => {
+            let cfg = wl::lulesh::LuleshConfig::small(wl::lulesh::LuleshVariant::ORIGINAL);
+            (wl::lulesh::build(&cfg), wl::lulesh::world(&cfg), ibs)
+        }
+        "streamcluster" => {
+            let cfg = wl::streamcluster::ScConfig::small(wl::streamcluster::ScVariant::Original);
+            (wl::streamcluster::build(&cfg), wl::streamcluster::world(&cfg), rmem)
+        }
+        "nw" => {
+            let cfg = wl::nw::NwConfig::small(wl::nw::NwVariant::Original);
+            (wl::nw::build(&cfg), wl::nw::world(&cfg), rmem)
+        }
+        other => panic!("unknown workload {other}"),
+    };
+    world.sim.pmu = Some(pmu);
+    let run = run_profiled(&prog, &world, ProfilerConfig::default());
+    run.measurements
+        .iter()
+        .map(|m| encode_bundle(&bundle_from_measurement(&prog, m)))
+        .collect()
+}
+
+/// Every query kind over `sets`: ranking, topdown, bottomup, flat,
+/// vars, export, cross-set diff, and the `sets` listing itself.
+fn battery(sets: &[&str]) -> Vec<String> {
+    let mut q: Vec<String> = vec!["sets".into()];
+    for (i, s) in sets.iter().enumerate() {
+        q.push(format!("ranking {s} latency 8"));
+        q.push(format!("ranking {s} samples"));
+        q.push(format!("topdown {s} heap remote"));
+        q.push(format!("topdown {s} static samples"));
+        q.push(format!("bottomup {s} samples"));
+        q.push(format!("flat {s} heap samples 8"));
+        q.push(format!("vars {s} samples"));
+        q.push(format!("export {s} heap"));
+        q.push(format!("export {s} static"));
+        q.push(format!("diff {s} {} remote", sets[(i + 1) % sets.len()]));
+    }
+    q
+}
+
+/// Spawn a subprocess and read its stdout until the `<tag> <addr>`
+/// banner appears.
+fn spawn_banner(mut cmd: Command, tag: &str) -> (Child, String) {
+    cmd.stdout(Stdio::piped()).stderr(Stdio::null());
+    let mut child = cmd.spawn().expect("spawn");
+    let mut reader = BufReader::new(child.stdout.take().expect("stdout"));
+    let addr = loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).expect("read stdout") == 0 {
+            panic!("process exited before printing {tag:?}");
+        }
+        if let Some(a) = line.trim().strip_prefix(tag) {
+            break a.to_string();
+        }
+    };
+    (child, addr)
+}
+
+/// `memgaze serve` on an ephemeral port, memory-only.
+fn spawn_shard() -> (Child, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_memgaze"));
+    cmd.args(["serve", "--addr", "127.0.0.1:0"]);
+    spawn_banner(cmd, "serving on ")
+}
+
+/// `memgaze route` over the given shard groups (comma-joined replicas).
+fn spawn_router(groups: &[Vec<String>]) -> (Child, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_memgaze"));
+    cmd.args(["route", "--addr", "127.0.0.1:0"]);
+    for g in groups {
+        cmd.args(["--shard", &g.join(",")]);
+    }
+    spawn_banner(cmd, "routing on ")
+}
+
+fn drain(addr: &str, mut child: Child, what: &str) {
+    Client::connect(addr).expect(what).shutdown().expect(what);
+    let status = child.wait().expect(what);
+    assert!(status.success(), "{what}: clean drain must exit 0");
+}
+
+#[test]
+fn three_shard_cluster_is_byte_identical_to_one_daemon_under_racing_ingest() {
+    let per_set: HashMap<&str, Vec<Bytes>> =
+        WORKLOADS.iter().map(|w| (*w, bundles_for(w))).collect();
+
+    let shards: Vec<(Child, String)> = (0..3).map(|_| spawn_shard()).collect();
+    let groups: Vec<Vec<String>> = shards.iter().map(|(_, a)| vec![a.clone()]).collect();
+    let (router_child, router_addr) = spawn_router(&groups);
+    let (golden_child, golden_addr) = spawn_shard();
+
+    // Seed the five stable sets through both endpoints; acks must match
+    // bundle for bundle (the router relays the owning shard's ack).
+    let mut rcl = Client::connect(&router_addr).expect("connect router");
+    let mut gcl = Client::connect(&golden_addr).expect("connect golden");
+    for w in WORKLOADS {
+        for (i, blob) in per_set[w].iter().enumerate() {
+            let routed = rcl.ingest(w, Some(i as u64), blob.clone()).expect("routed ingest");
+            let golden = gcl.ingest(w, Some(i as u64), blob.clone()).expect("golden ingest");
+            assert_eq!(routed, golden, "ingest ack for {w}#{i} differs");
+        }
+    }
+
+    // Racing ingest: a writer streams replicas of the same profiles
+    // into fresh `raced-*` sets through the router while the full query
+    // battery runs against the stable sets. The stable responses must
+    // not waver by a byte while the cluster is hot.
+    let writer = {
+        let addr = router_addr.clone();
+        let per_set = per_set.clone();
+        std::thread::spawn(move || {
+            let mut cl = Client::connect(&addr).expect("writer connect");
+            for round in 0..3u64 {
+                for w in WORKLOADS {
+                    let bundles = &per_set[w];
+                    for (i, blob) in bundles.iter().enumerate() {
+                        let seq = round * bundles.len() as u64 + i as u64;
+                        cl.ingest(&format!("raced-{w}"), Some(seq), blob.clone())
+                            .expect("raced ingest");
+                    }
+                }
+            }
+        })
+    };
+    let stable = battery(&WORKLOADS);
+    for pass in 0..2 {
+        for q in &stable {
+            let routed = rcl.query(q).expect("routed query");
+            let golden = gcl.query(q).expect("golden query");
+            if q == "sets" {
+                // The listing legitimately differs mid-race (raced-*
+                // sets exist only on the cluster so far); it is
+                // compared after the race settles below.
+                continue;
+            }
+            assert_eq!(routed, golden, "pass {pass}: {q:?} diverges under racing ingest");
+        }
+    }
+    writer.join().expect("writer");
+
+    // Feed the golden the raced sets and compare everything, including
+    // the raced sets and the full listing, at quiescence.
+    for round in 0..3u64 {
+        for w in WORKLOADS {
+            let bundles = &per_set[w];
+            for (i, blob) in bundles.iter().enumerate() {
+                let seq = round * bundles.len() as u64 + i as u64;
+                gcl.ingest(&format!("raced-{w}"), Some(seq), blob.clone()).expect("golden raced");
+            }
+        }
+    }
+    let raced: Vec<String> = WORKLOADS.iter().map(|w| format!("raced-{w}")).collect();
+    let raced_refs: Vec<&str> = raced.iter().map(String::as_str).collect();
+    for q in battery(&WORKLOADS).iter().chain(battery(&raced_refs).iter()) {
+        let routed = rcl.query(q).expect("routed query");
+        let golden = gcl.query(q).expect("golden query");
+        assert_eq!(routed, golden, "{q:?} diverges at quiescence");
+    }
+    let stats = rcl.stats().expect("router stats");
+    assert!(stats.contains("shards 3"), "{stats}");
+    assert!(stats.contains("shard_unreachable 0"), "{stats}");
+    assert!(stats.contains("ring_mismatch 0"), "{stats}");
+    assert!(stats.contains("partial_merge 0"), "{stats}");
+
+    drop(rcl);
+    drop(gcl);
+    drain(&router_addr, router_child, "drain router");
+    for (child, addr) in shards {
+        drain(&addr, child, "drain shard");
+    }
+    drain(&golden_addr, golden_child, "drain golden");
+}
+
+#[test]
+fn sigkill_one_replica_mid_storm_serves_byte_identical_to_the_uncrashed_golden() {
+    let bundles = bundles_for("nw");
+
+    // One shard group, two replicas; the router fans ingest to both, so
+    // either replica alone can serve the set.
+    let (victim_child, victim_addr) = spawn_shard();
+    let (survivor_child, survivor_addr) = spawn_shard();
+    let (router_child, router_addr) =
+        spawn_router(&[vec![victim_addr.clone(), survivor_addr.clone()]]);
+    let (golden_child, golden_addr) = spawn_shard();
+
+    let mut rcl = Client::connect(&router_addr).expect("connect router");
+    let mut gcl = Client::connect(&golden_addr).expect("connect golden");
+    for (i, blob) in bundles.iter().enumerate() {
+        rcl.ingest("nw", Some(i as u64), blob.clone()).expect("routed ingest");
+        gcl.ingest("nw", Some(i as u64), blob.clone()).expect("golden ingest");
+    }
+
+    // Golden answers, captured up front; the storm compares against
+    // these fixed bytes before, across, and after the kill.
+    let storm = battery(&["nw"]);
+    let golden: Vec<(String, String)> = storm
+        .iter()
+        .map(|q| (q.clone(), gcl.query(q).expect("golden query")))
+        .collect();
+
+    let mut victim = Some(victim_child);
+    let rounds = 30usize;
+    let kill_at = 10usize;
+    let mut after_kill = 0usize;
+    for round in 0..rounds {
+        if round == kill_at {
+            let mut child = victim.take().expect("victim still tracked");
+            child.kill().expect("SIGKILL victim replica");
+            child.wait().expect("reap victim");
+        }
+        for (q, want) in &golden {
+            let got = rcl.query(q).expect("routed query during storm");
+            assert_eq!(&got, want, "round {round}: {q:?} changed across the replica kill");
+            if victim.is_none() {
+                after_kill += 1;
+            }
+        }
+    }
+    assert!(after_kill > 0, "storm must keep querying after the kill");
+
+    // Writes keep working through the surviving replica, and the ack
+    // matches the golden's byte for byte.
+    let blob = bundles[0].clone();
+    let routed =
+        rcl.ingest("nw", Some(bundles.len() as u64), blob.clone()).expect("post-kill ingest");
+    let golden_ack =
+        gcl.ingest("nw", Some(bundles.len() as u64), blob).expect("golden post-kill ingest");
+    assert_eq!(routed, golden_ack, "post-kill ingest ack differs");
+
+    // The router saw real failovers and no unreachable shard.
+    let stats = rcl.stats().expect("stats");
+    let retries: u64 = stats
+        .lines()
+        .find_map(|l| l.strip_prefix("retries "))
+        .expect("retries line")
+        .parse()
+        .expect("retries number");
+    assert!(retries > 0, "the kill must surface as replica retries: {stats}");
+    assert!(stats.contains("shard_unreachable 0"), "{stats}");
+
+    drop(rcl);
+    drop(gcl);
+    drain(&router_addr, router_child, "drain router");
+    drain(&survivor_addr, survivor_child, "drain survivor");
+    drain(&golden_addr, golden_child, "drain golden");
+}
