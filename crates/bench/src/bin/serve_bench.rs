@@ -30,6 +30,16 @@
 //! routed, direct, and cross-round responses is asserted everywhere;
 //! the ≥2x scale-up floor applies only on the 8-core reference host.
 //!
+//! A fifth, **durable-ingest** phase measures the fsync-bound write
+//! path against a daemon with a `--data-dir`: the same bundle stream
+//! is pushed once with group commit off (one fsync per record, strict
+//! request/response — the pre-group-commit baseline) and once with
+//! group commit on and every client pipelining a 16-deep window. A
+//! non-durable pipelined run isolates the window/socket-batching win
+//! alone. All three daemons must answer every view with the same
+//! bytes; the ≥5x durable speedup floor applies only on the 8-core
+//! reference host.
+//!
 //! Output: a human table plus one `BENCH_JSON` line that
 //! `scripts/bench_serve.sh` persists as `BENCH_serve.json`. Pass
 //! `--smoke` for a seconds-long CI variant.
@@ -366,6 +376,161 @@ fn run_sharded_round(p: &Arc<Prepared>, clients: usize, warm_per_client: usize) 
     }
 }
 
+/// The pipelined-ingest window depth the durable phase drives (and the
+/// default `memgaze push --window` recipe in the README).
+const INGEST_WINDOW: usize = 16;
+
+/// One durable-ingest round: the same bundle stream pushed under three
+/// write disciplines, with every daemon's view responses compared
+/// byte-for-byte afterwards.
+struct DurableRound {
+    baseline_secs: f64,
+    group_secs: f64,
+    pipelined_secs: f64,
+    ingests: u64,
+    /// Group-commit batcher counters from the daemon's own stats.
+    wal_batches: u64,
+    wal_max_batch: u64,
+    responses: Vec<(String, String)>,
+}
+
+fn spawn_durable(
+    sessions: usize,
+    dir: &std::path::Path,
+    group_commit: bool,
+) -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind(ServerConfig {
+        sessions,
+        data_dir: Some(dir.to_path_buf()),
+        group_commit,
+        // With group commit off the baseline must stay one
+        // validate→fsync→apply per record: no socket batching either.
+        ingest_group: if group_commit { 64 } else { 1 },
+        ..ServerConfig::default()
+    })
+    .expect("bind durable");
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.serve().expect("serve durable"));
+    (addr, handle)
+}
+
+/// Strict request/response ingest: each client awaits every ack before
+/// the next push (phase-1 style, explicit seqs).
+fn serial_ingest(addr: &str, p: &Arc<Prepared>, clients: usize, total: usize) -> f64 {
+    let t0 = Instant::now();
+    let mut threads = Vec::new();
+    for c in 0..clients {
+        let addr = addr.to_string();
+        let p = Arc::clone(p);
+        threads.push(std::thread::spawn(move || {
+            let mut cl = Client::connect(&addr).expect("connect");
+            for i in 0..total {
+                if i % clients == c {
+                    let b = p.bundles[i % p.bundles.len()].clone();
+                    cl.ingest(SET, Some(i as u64), b).expect("ingest");
+                }
+            }
+        }));
+    }
+    for t in threads {
+        t.join().expect("serial ingest client");
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Windowed ingest: each client keeps [`INGEST_WINDOW`] pushes in
+/// flight, feeding the daemon's read-ahead groups and (when durable)
+/// its group-commit batcher. Every ack must be a clean accept.
+fn pipelined_ingest(addr: &str, p: &Arc<Prepared>, clients: usize, total: usize) -> f64 {
+    let t0 = Instant::now();
+    let mut threads = Vec::new();
+    for c in 0..clients {
+        let addr = addr.to_string();
+        let p = Arc::clone(p);
+        threads.push(std::thread::spawn(move || {
+            let mut cl = Client::connect(&addr).expect("connect");
+            let mut pipe = cl.pipeline(INGEST_WINDOW);
+            for i in 0..total {
+                if i % clients == c {
+                    let b = p.bundles[i % p.bundles.len()].clone();
+                    if let Some(ack) = pipe.push(SET, Some(i as u64), b).expect("push") {
+                        ack.expect("ingest refused");
+                    }
+                }
+            }
+            for ack in pipe.drain().expect("drain") {
+                ack.expect("ingest refused");
+            }
+        }));
+    }
+    for t in threads {
+        t.join().expect("pipelined ingest client");
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Every main-set view, rendered once — the byte-identity probe run
+/// against each durable-phase daemon after its ingest completes.
+fn probe_views(addr: &str) -> Vec<(String, String)> {
+    let mut cl = Client::connect(addr).expect("connect");
+    QUERIES.iter().map(|q| (q.to_string(), cl.query(q).expect(q))).collect()
+}
+
+fn run_durable_round(p: &Arc<Prepared>, clients: usize, repeats: usize) -> DurableRound {
+    let total = p.bundles.len() * repeats;
+    let dir_for =
+        |m: &str| std::env::temp_dir().join(format!("dcp-serve-bench-{m}-{}", std::process::id()));
+
+    // Baseline: one write+fsync per record, acks strictly serialized.
+    let dir = dir_for("base");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (addr, handle) = spawn_durable(clients, &dir, false);
+    let baseline_secs = serial_ingest(&addr, p, clients, total);
+    let responses = probe_views(&addr);
+    shutdown(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Group commit + pipelined windows: same bundles, same seqs, same
+    // client count — only the write discipline changes, so the served
+    // bytes must not.
+    let dir = dir_for("group");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (addr, handle) = spawn_durable(clients, &dir, true);
+    let group_secs = pipelined_ingest(&addr, p, clients, total);
+    let group_responses = probe_views(&addr);
+    let stats = Client::connect(&addr).expect("connect").stats().expect("stats");
+    let counter = |key: &str| {
+        stats
+            .lines()
+            .find_map(|l| l.strip_prefix(key))
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or_else(|| panic!("stats report {key}"))
+    };
+    let wal_batches = counter("wal_batches ");
+    let wal_max_batch = counter("wal_max_batch ");
+    shutdown(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(responses, group_responses, "group commit changed the served bytes");
+
+    // Non-durable pipelined: the windowed-push/socket-batching win
+    // with no WAL in the path at all.
+    let (addr, handle) = spawn_server(clients);
+    let pipelined_secs = pipelined_ingest(&addr, p, clients, total);
+    let mem_responses = probe_views(&addr);
+    shutdown(&addr, handle);
+    assert_eq!(responses, mem_responses, "durability changed the served bytes");
+
+    DurableRound {
+        baseline_secs,
+        group_secs,
+        pipelined_secs,
+        ingests: total as u64,
+        wal_batches,
+        wal_max_batch,
+        responses,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -456,6 +621,62 @@ fn main() {
         );
     }
 
+    // Durable ingest: fsync-bound throughput before/after group commit.
+    // Small repeat counts — every baseline record is a real fsync — and
+    // best-of-2: the minimum is the stable cost estimate either way.
+    let drepeats = if smoke { 32 } else { 64 };
+    let mut drounds = Vec::new();
+    for _ in 0..2 {
+        drounds.push(run_durable_round(&prepared, clients, drepeats));
+    }
+    for d in &drounds[1..] {
+        assert_eq!(
+            drounds[0].responses, d.responses,
+            "durable-phase responses differ between rounds"
+        );
+    }
+    let dbase_secs = drounds.iter().map(|d| d.baseline_secs).fold(f64::INFINITY, f64::min);
+    let dgroup_secs = drounds.iter().map(|d| d.group_secs).fold(f64::INFINITY, f64::min);
+    let dpipe_secs = drounds.iter().map(|d| d.pipelined_secs).fold(f64::INFINITY, f64::min);
+    let dingests = drounds[0].ingests;
+    let dbase_rate = dingests as f64 / dbase_secs;
+    let dgroup_rate = dingests as f64 / dgroup_secs;
+    let dpipe_rate = dingests as f64 / dpipe_secs;
+    let dspeedup = dgroup_rate / dbase_rate;
+    println!(
+        "{:<28} {:>10} {:>10.3} {:>14.1}",
+        "durable: fsync per record", dingests, dbase_secs, dbase_rate
+    );
+    println!(
+        "{:<28} {:>10} {:>10.3} {:>14.1}",
+        "durable: group commit", dingests, dgroup_secs, dgroup_rate
+    );
+    println!(
+        "{:<28} {:>10} {:>10.3} {:>14.1}",
+        "pipelined (no WAL)", dingests, dpipe_secs, dpipe_rate
+    );
+    println!(
+        "durable speedup {dspeedup:.2}x (window {INGEST_WINDOW}, {} fsync batches, \
+         largest {}); determinism: ok (all write disciplines serve identical bytes)",
+        drounds[0].wal_batches, drounds[0].wal_max_batch
+    );
+    // The >= 5x floor is defined on the 8-core reference host, where
+    // eight sessions genuinely contend for the log; smaller containers
+    // keep the byte-identity assertions as the gate. Non-durable ingest
+    // must also improve: a pipelined window beats strict round trips.
+    if dcp_support::pool::parallelism() >= 8 {
+        assert!(
+            dspeedup >= 5.0,
+            "group-commit ingest {dgroup_rate:.1}/s is under 5x the per-record-fsync \
+             baseline {dbase_rate:.1}/s on an 8-core host"
+        );
+        assert!(
+            dpipe_rate >= ingest_rate,
+            "pipelined non-durable ingest {dpipe_rate:.1}/s is under the strict \
+             request/response rate {ingest_rate:.1}/s on an 8-core host"
+        );
+    }
+
     println!(
         "BENCH_JSON {{\"clients\": {clients}, \"bundles\": {}, \"bundle_bytes\": {bundle_bytes}, \
          \"ingest_best_secs\": {ingest_secs:.4}, \"ingests_per_sec\": {ingest_rate:.1}, \
@@ -465,7 +686,13 @@ fn main() {
          \"sharded_instances\": {SHARD_INSTANCES}, \"sharded_queries\": {squeries}, \
          \"sharded_per_instance_qps\": {per_instance_rate:.1}, \
          \"sharded_aggregate_qps\": {aggregate_rate:.1}, \"sharded_scaleup\": {scaleup:.2}, \
+         \"durable_ingests\": {dingests}, \"ingest_window\": {INGEST_WINDOW}, \
+         \"durable_baseline_ingests_per_sec\": {dbase_rate:.1}, \
+         \"durable_group_ingests_per_sec\": {dgroup_rate:.1}, \"durable_speedup\": {dspeedup:.2}, \
+         \"durable_wal_batches\": {}, \"durable_wal_max_batch\": {}, \
+         \"pipelined_ingests_per_sec\": {dpipe_rate:.1}, \
          \"determinism\": \"ok\", \"smoke\": {smoke}}}",
-        r0.ingests, r0.mixed_ops, r0.warm_queries, r0.cache_hit_rate
+        r0.ingests, r0.mixed_ops, r0.warm_queries, r0.cache_hit_rate,
+        drounds[0].wal_batches, drounds[0].wal_max_batch
     );
 }

@@ -67,6 +67,11 @@ pub enum ServeError {
     /// router. The shard answered, but its partial cannot be folded
     /// into the distributed reduction tree.
     PartialMerge(String),
+    /// A pipelined ingest ack did not match the oldest outstanding
+    /// push (wrong set, wrong sequence, or an unparseable ack body).
+    /// The response stream can no longer be paired with requests, so
+    /// the connection is unusable — the client must reconnect.
+    AckMismatch(String),
 }
 
 impl ServeError {
@@ -92,6 +97,7 @@ impl ServeError {
             ServeError::ShardUnreachable(_) => 17,
             ServeError::RingMismatch(_) => 18,
             ServeError::PartialMerge(_) => 19,
+            ServeError::AckMismatch(_) => 20,
             ServeError::Server { code, .. } => *code,
         }
     }
@@ -111,6 +117,7 @@ impl ServeError {
             17 => ServeError::ShardUnreachable(message),
             18 => ServeError::RingMismatch(message),
             19 => ServeError::PartialMerge(message),
+            20 => ServeError::AckMismatch(message),
             _ => ServeError::Server { code, message },
         }
     }
@@ -154,6 +161,7 @@ impl std::fmt::Display for ServeError {
             ServeError::ShardUnreachable(detail) => write!(f, "shard unreachable: {detail}"),
             ServeError::RingMismatch(detail) => write!(f, "ring mismatch: {detail}"),
             ServeError::PartialMerge(detail) => write!(f, "partial merge failed: {detail}"),
+            ServeError::AckMismatch(detail) => write!(f, "ingest ack mismatch: {detail}"),
         }
     }
 }
@@ -202,6 +210,7 @@ mod tests {
             (ServeError::ShardUnreachable("shard 1: all 2 replicas failed".into()), 17),
             (ServeError::RingMismatch("set on wrong shard".into()), 18),
             (ServeError::PartialMerge("bad state bundle".into()), 19),
+            (ServeError::AckMismatch("ack for seq 4 where 3 was next".into()), 20),
         ];
         for (err, code) in pinned {
             assert_eq!(err.code(), code, "{err}");

@@ -12,14 +12,18 @@
 //! Layering (hermetic, `std::net` only):
 //!
 //! ```text
-//! client.rs  — blocking client, one frame round trip per call
+//! client.rs  — blocking client; windowed pipelined ingest (W
+//!              outstanding pushes, acks matched FIFO by set/seq)
 //! wire.rs    — "DCPS" frames + request/response bodies (DCP2 varints)
-//! server.rs  — accept loop, session thread pool, graceful drain
-//! router.rs  — scatter-gather coordinator over N shard daemons
+//! server.rs  — accept loop, session thread pool, graceful drain,
+//!              socket read-ahead ingest groups + group-commit acks
+//! router.rs  — scatter-gather coordinator over N shard daemons;
+//!              ingest fans to replicas concurrently
 //! query.rs   — verb language -> parse / fetch / render combiner split
 //! store.rs   — named sets, seq reorder, epochs, budget, LRU cache,
 //!              shard partials ("DCPP") for the distributed tree
-//! wal.rs     — write-ahead log + snapshots; byte-identical recovery
+//! wal.rs     — write-ahead log + snapshots; byte-identical recovery;
+//!              group-commit batcher amortizing fsync across sessions
 //! error.rs   — one typed error across all of the above
 //! ```
 //!
@@ -46,7 +50,7 @@ pub mod store;
 pub mod wal;
 pub mod wire;
 
-pub use client::Client;
+pub use client::{Ack, Client, IngestPipeline};
 pub use error::ServeError;
 pub use query::{handle_query, parse_query, render_sets, render_view, ParsedQuery, ViewPlan, ViewQuery};
 pub use router::{Router, RouterConfig};
@@ -55,5 +59,5 @@ pub use store::{
     decode_set_partial, encode_set_partial, CacheKey, IngestMode, ProfileStore, SetPartial,
     StoreConfig,
 };
-pub use wal::{Durability, RecoveryReport};
-pub use wire::{Request, Response, MAX_FRAME};
+pub use wal::{Durability, RecoveryReport, WalShared};
+pub use wire::{format_ingest_ack, parse_ingest_ack, Request, Response, MAX_FRAME};

@@ -11,11 +11,14 @@
 //!
 //! Per request:
 //!
-//! * **Ingest** fans to every replica of the owning shard group (R-way
-//!   replication for read availability). The first definitive response
-//!   in replica order is relayed; replicas that fail at the transport
-//!   level are skipped and counted. Only if *no* replica answers does
-//!   the client see [`ServeError::ShardUnreachable`].
+//! * **Ingest** fans to every replica of the owning shard group
+//!   **concurrently** (R-way replication for read availability): each
+//!   replica's leg runs on its own scoped thread, so the fan-out costs
+//!   one replica round trip, not R. The first definitive response in
+//!   fixed replica order is relayed — completion order never changes
+//!   the answer; replicas that fail at the transport level are skipped
+//!   and counted. Only if *no* replica answers does the client see
+//!   [`ServeError::ShardUnreachable`].
 //! * **Query** parses with the same [`crate::query::parse_query`] a
 //!   daemon uses, resolves each set's owner on the ring, fetches the
 //!   sets' epochs (retrying across replicas), and consults a response
@@ -162,6 +165,29 @@ impl Conns {
     }
 }
 
+/// One replica's leg of a concurrent ingest fan-out: dial if no pooled
+/// connection came along, make the call, and hand a still-healthy
+/// connection back for re-pooling (a failed one is dropped — the
+/// stream may have lost framing sync and must never be reused).
+fn call_replica(
+    conn: Option<Client>,
+    addr: &str,
+    timeout: Duration,
+    req: &Request,
+) -> (Option<Client>, Result<Response, ServeError>) {
+    let mut c = match conn {
+        Some(c) => c,
+        None => match Client::connect_with_timeout(addr, timeout) {
+            Ok(c) => c,
+            Err(e) => return (None, Err(e)),
+        },
+    };
+    match c.call_raw(req) {
+        Ok(resp) => (Some(c), Ok(resp)),
+        Err(e) => (None, Err(e)),
+    }
+}
+
 impl Core {
     /// Try `req` against the replicas of `group`, starting round-robin
     /// and failing over on transport errors. Any well-formed response —
@@ -198,18 +224,44 @@ impl Core {
         }
     }
 
-    /// Fan one ingest to every replica of the owning group, in fixed
-    /// replica order. First OK wins; with no OK, the first typed error
-    /// is relayed; with neither, the shard is unreachable.
+    /// Fan one ingest to every replica of the owning group
+    /// **concurrently** — the write amplification of R-way replication
+    /// costs one replica round trip, not R sequential ones. Aggregation
+    /// stays in fixed replica order so completion order never changes
+    /// the relayed answer: first OK wins; with no OK, the first typed
+    /// error is relayed; with neither, the shard is unreachable.
     fn route_ingest(&self, conns: &mut Conns, set: &str, req: &Request) -> Result<Response, RouteError> {
         self.ingests.fetch_add(1, Ordering::Relaxed);
         let group = self.ring.owner(set.as_bytes()) as usize;
         let replicas = &self.config.shards[group];
+        let timeout = conns.timeout;
+        // Each replica's pooled connection travels into its thread and
+        // comes back to the pool if still healthy.
+        let pooled: Vec<Option<Client>> =
+            replicas.iter().map(|a| conns.map.remove(a.as_str())).collect();
+        let outcomes: Vec<(Option<Client>, Result<Response, ServeError>)> = if replicas.len() == 1
+        {
+            // A single replica gains nothing from a thread spawn.
+            let conn = pooled.into_iter().next().expect("one replica");
+            vec![call_replica(conn, &replicas[0], timeout, req)]
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = pooled
+                    .into_iter()
+                    .zip(replicas)
+                    .map(|(conn, addr)| s.spawn(move || call_replica(conn, addr, timeout, req)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("replica thread")).collect()
+            })
+        };
         let mut first_ok: Option<String> = None;
         let mut first_err: Option<(u16, String)> = None;
         let mut last = String::new();
-        for addr in replicas {
-            match conns.call(addr, req) {
+        for (addr, (conn, outcome)) in replicas.iter().zip(outcomes) {
+            if let Some(c) = conn {
+                conns.map.insert(addr.clone(), c);
+            }
+            match outcome {
                 Ok(Response::Ok(text)) => {
                     if first_ok.is_none() {
                         first_ok = Some(text);

@@ -28,8 +28,15 @@
 //! (every check, no mutation) and
 //! [`apply_ingest`](ProfileStore::apply_ingest) (mutation, infallible)
 //! so the durability layer in [`crate::wal`] can slot the write-ahead
-//! append between them: validate, log, then mutate — an ingest is acked
-//! only once it is both durable and applied.
+//! append between them. Under group commit that "append" is an enqueue
+//! into the shared WAL batcher: validate, enqueue, mutate — and the ack
+//! waits outside the store lock for the batched fsync that covers the
+//! record. A prepared-and-applied ingest may therefore be briefly
+//! visible to queries before it is durable, but it is never *acked*
+//! first, which is the exact contract the kill-anywhere differential
+//! checks (an unacked ingest is allowed to vanish in a crash; an acked
+//! one never does). With group commit off, the strict validate → fsync
+//! → mutate ordering is preserved.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;

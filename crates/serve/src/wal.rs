@@ -24,9 +24,18 @@
 //!              trailing u64 FxHash of everything before it
 //! ```
 //!
-//! Write discipline: an ingest is validated (`prepare_ingest`), then
-//! appended and fsynced, then applied — the store never holds state the
-//! log does not. A snapshot is written to a temp file, fsynced, and
+//! Write discipline: an ingest is validated (`prepare_ingest`), its
+//! record is enqueued into the shared [`GroupCommit`] batcher and the
+//! delta applied under the store lock, and the **ack is released only
+//! after the flush covering its record lands** — one `write + fsync`
+//! covers every record the batcher coalesced (see [`WalShared`]). The
+//! store may briefly hold applied-but-unfsynced state, but nothing is
+//! ever *acknowledged* before its record is durable, which is the
+//! contract the kill-anywhere sweep checks ("acked implies recovered").
+//! The single-fsync-per-record path ([`Durability::log_ingest`], used
+//! when group commit is disabled and by the unit tests) keeps the
+//! stricter PR-6 ordering: append + fsync strictly before apply.
+//! A snapshot is written to a temp file, fsynced, and
 //! renamed over the old one before the log is truncated, so every crash
 //! point leaves either (old snapshot + full log) or (new snapshot +
 //! possibly-stale log). Both recover: replay skips records the snapshot
@@ -43,18 +52,25 @@
 //! that is not our file, and silently clobbering it would destroy data.
 //!
 //! Crash-injection hooks for the differential harness: with
-//! `DCP_WAL_CRASH_AFTER=N` the Nth append aborts the process right
-//! after its fsync (or, with `DCP_WAL_CRASH_MODE=torn`, writes only
-//! half the record first — a torn write at the kill point).
+//! `DCP_WAL_CRASH_AFTER=N` the append (or batched flush) that makes
+//! the Nth record durable aborts the process right after its fsync —
+//! records before N in the same batch reach the disk, records after N
+//! are lost with it, which is exactly the "crash between a group fsync
+//! and its acks / mid-batch" window the e2e sweep walks. With
+//! `DCP_WAL_CRASH_MODE=torn`, only half of record N is written first —
+//! a torn write at the kill point.
 
 use std::fs::{File, OpenOptions};
 use std::hash::Hasher;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use dcp_cct::codec::{get_slice, get_varint, put_varint};
 use dcp_core::stored::{decode_bundle, StoredBundle};
+use dcp_support::batch::{BatchStats, GroupCommit};
 use dcp_support::bytes::{Bytes, BytesMut};
+use dcp_support::sync::Mutex;
 use dcp_support::FxHasher;
 
 use crate::error::ServeError;
@@ -75,6 +91,13 @@ const MAX_RECORD: u64 = crate::wire::MAX_FRAME;
 const WAL_FILE: &str = "ingest.wal";
 const SNAP_FILE: &str = "store.snap";
 const SNAP_TMP: &str = "store.snap.tmp";
+
+/// Group-commit batch bounds: one flush covers at most this many
+/// records / bytes. Large enough that a full session complement's
+/// in-flight windows coalesce into one fsync; small enough that one
+/// batch's buffered copy stays cheap.
+const GROUP_MAX_RECORDS: usize = 256;
+const GROUP_MAX_BYTES: usize = 8 << 20;
 
 fn checksum(body: &[u8]) -> u64 {
     // FxHash: every mixing step is bijective, so any single-bit flip
@@ -173,23 +196,51 @@ pub struct Wal {
 impl Wal {
     /// Append one record and fsync it. On return the record is durable.
     pub fn append(&mut self, rec: &WalRecord) -> Result<(), ServeError> {
-        let frame = encode_record(rec);
-        let crash_now = self.crash_after == Some(self.appends + 1);
-        if crash_now && self.crash_torn {
-            // Simulate a torn write: half the record reaches the disk,
-            // then the process dies.
-            let half = &frame[..frame.len() / 2];
-            let _ = self.file.write_all(half);
-            let _ = self.file.sync_data();
-            std::process::abort();
+        self.append_frames(std::slice::from_ref(&encode_record(rec)))
+    }
+
+    /// Append a batch of encoded records with ONE write and ONE fsync —
+    /// the group-commit amortization. On return every record is durable.
+    ///
+    /// The crash hooks count records, not flushes, so the differential
+    /// sweep walks every record boundary regardless of how the batcher
+    /// grouped them: if the fatal record N lands inside this batch, the
+    /// records before it are written and fsynced (durable but never
+    /// acked — mid-batch loss for the rest) and the process aborts.
+    fn append_frames(&mut self, frames: &[Vec<u8>]) -> Result<(), ServeError> {
+        if frames.is_empty() {
+            return Ok(());
         }
-        self.file.write_all(&frame)?;
+        let first = self.appends + 1;
+        let last = self.appends + frames.len() as u64;
+        if let Some(n) = self.crash_after {
+            if n >= first && n <= last {
+                let fatal = (n - first) as usize;
+                let mut buf = Vec::new();
+                for f in &frames[..fatal] {
+                    buf.extend_from_slice(f);
+                }
+                if self.crash_torn {
+                    // Torn write: half of the fatal record reaches the
+                    // disk, then the process dies.
+                    buf.extend_from_slice(&frames[fatal][..frames[fatal].len() / 2]);
+                } else {
+                    buf.extend_from_slice(&frames[fatal]);
+                }
+                let _ = self.file.write_all(&buf);
+                let _ = self.file.sync_data();
+                std::process::abort();
+            }
+        }
+        let total: usize = frames.iter().map(Vec::len).sum();
+        let mut buf = Vec::with_capacity(total);
+        for f in frames {
+            buf.extend_from_slice(f);
+        }
+        self.file.write_all(&buf)?;
         self.file.sync_data()?;
-        self.len += frame.len() as u64;
-        self.appends += 1;
-        if crash_now {
-            std::process::abort();
-        }
+        self.len += total as u64;
+        self.appends += frames.len() as u64;
         Ok(())
     }
 
@@ -201,6 +252,68 @@ impl Wal {
         self.file.sync_data()?;
         self.len = HEADER_LEN;
         Ok(())
+    }
+}
+
+/// The log handle the server's sessions share: the open [`Wal`] behind
+/// its own mutex plus the [`GroupCommit`] batcher that coalesces their
+/// appends. Sessions enqueue under the store lock (so the log order is
+/// the apply order) and wait for the covering fsync *outside* every
+/// lock; the flush leader takes only the file mutex, so enqueuers and
+/// queries never stall behind an fsync.
+///
+/// Lock order, where both are held: store state → batcher → file.
+#[derive(Debug)]
+pub struct WalShared {
+    file: Mutex<Wal>,
+    gc: GroupCommit<Vec<u8>>,
+}
+
+impl WalShared {
+    fn new(wal: Wal) -> Self {
+        Self { file: Mutex::new(wal), gc: GroupCommit::new(GROUP_MAX_RECORDS, GROUP_MAX_BYTES) }
+    }
+
+    /// Queue one record for the next group flush and return its ticket.
+    /// Non-blocking — called under the store lock.
+    pub fn enqueue(&self, rec: &WalRecord) -> u64 {
+        let frame = encode_record(rec);
+        let cost = frame.len();
+        self.gc.enqueue(frame, cost)
+    }
+
+    /// Block until the flush covering `ticket` lands (leading it if
+    /// nobody else is). On Ok the record — and every record enqueued
+    /// before it — is durable, and its ack may be released.
+    pub fn commit(&self, ticket: u64) -> Result<(), ServeError> {
+        self.gc
+            .commit(ticket, |frames| {
+                self.file.lock().append_frames(&frames).map_err(|e| e.to_string())
+            })
+            .map_err(ServeError::Io)
+    }
+
+    /// Append one record synchronously with its own fsync — the
+    /// single-fsync-per-record baseline (group commit disabled) and the
+    /// path the durability unit tests drive.
+    fn append_now(&self, rec: &WalRecord) -> Result<(), ServeError> {
+        self.file.lock().append(rec)
+    }
+
+    /// Flush everything enqueued, then truncate the log to a bare
+    /// header. The drain is the snapshot barrier: nothing may sit in
+    /// the batcher while the file is cut, or a later flush could write
+    /// records the snapshot does not cover into the wrong position.
+    fn drain_and_truncate(&self) -> Result<(), ServeError> {
+        self.gc
+            .drain(|frames| self.file.lock().append_frames(&frames).map_err(|e| e.to_string()))
+            .map_err(ServeError::Io)?;
+        self.file.lock().truncate_to_header()
+    }
+
+    /// Coalescing counters for the stats endpoint.
+    pub fn batch_stats(&self) -> BatchStats {
+        self.gc.stats()
     }
 }
 
@@ -235,7 +348,7 @@ impl RecoveryReport {
 #[derive(Debug)]
 pub struct Durability {
     dir: PathBuf,
-    wal: Wal,
+    wal: Arc<WalShared>,
     snapshot_every: u64,
     since_snapshot: u64,
 }
@@ -275,7 +388,7 @@ impl Durability {
         Ok((
             Self {
                 dir: dir.to_path_buf(),
-                wal,
+                wal: Arc::new(WalShared::new(wal)),
                 snapshot_every,
                 since_snapshot: 0,
             },
@@ -283,9 +396,16 @@ impl Durability {
         ))
     }
 
-    /// Make one prepared ingest durable. Called between `prepare_ingest`
-    /// and `apply_ingest`; once this returns Ok the ingest survives any
-    /// crash.
+    /// The shared log handle, for sessions that group-commit their
+    /// records outside the store lock.
+    pub fn wal(&self) -> Arc<WalShared> {
+        Arc::clone(&self.wal)
+    }
+
+    /// Make one prepared ingest durable with its own fsync. Called
+    /// between `prepare_ingest` and `apply_ingest`; once this returns
+    /// Ok the ingest survives any crash. This is the group-commit-off
+    /// baseline — the batched path goes through [`Durability::wal`].
     pub fn log_ingest(
         &mut self,
         set: &str,
@@ -293,7 +413,7 @@ impl Durability {
         wire_bytes: u64,
         bundle: &Bytes,
     ) -> Result<(), ServeError> {
-        self.wal.append(&WalRecord {
+        self.wal.append_now(&WalRecord {
             set: set.to_string(),
             mode: ticket.mode,
             seq: ticket.seq,
@@ -329,7 +449,7 @@ impl Durability {
         if let Ok(d) = File::open(&self.dir) {
             let _ = d.sync_all();
         }
-        self.wal.truncate_to_header()?;
+        self.wal.drain_and_truncate()?;
         self.since_snapshot = 0;
         Ok(())
     }
@@ -771,6 +891,86 @@ mod tests {
         assert!(matches!(err, ServeError::SnapshotCorrupt(_)), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
         let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    /// The server's group-commit sequence: prepare, enqueue, apply
+    /// under the (notional) store lock; commit and ack outside it.
+    fn grouped_ingest(
+        store: &mut ProfileStore,
+        dur: &mut Durability,
+        set: &str,
+        seq: Option<u64>,
+    ) -> u64 {
+        let (b, raw) = bundle();
+        let wire = raw.len() as u64;
+        let ticket = store.prepare_ingest(set, seq, wire).expect("prepare");
+        let t = dur.wal().enqueue(&WalRecord {
+            set: set.to_string(),
+            mode: ticket.mode,
+            seq: ticket.seq,
+            wire_bytes: wire,
+            bundle: raw,
+        });
+        store.apply_ingest(set, ticket, wire, b);
+        dur.note_applied(store).expect("note");
+        t
+    }
+
+    #[test]
+    fn grouped_appends_recover_identical_to_per_record_fsyncs() {
+        let dir_single = tmpdir("grp-single");
+        let dir_group = tmpdir("grp-batch");
+        let plan: &[(&str, Option<u64>)] =
+            &[("a", Some(0)), ("a", Some(2)), ("b", None), ("a", Some(1)), ("b", None)];
+
+        let mut st_s = ProfileStore::new(StoreConfig::default());
+        let (mut dur_s, _) = Durability::open(&dir_single, 0, &mut st_s).expect("open");
+        for (set, seq) in plan {
+            durable_ingest(&mut st_s, &mut dur_s, set, *seq);
+        }
+
+        let mut st_g = ProfileStore::new(StoreConfig::default());
+        let (mut dur_g, _) = Durability::open(&dir_group, 0, &mut st_g).expect("open");
+        // Enqueue the whole plan, then land it with one commit of the
+        // last ticket: a single five-record flush.
+        let mut last = 0;
+        for (set, seq) in plan {
+            last = grouped_ingest(&mut st_g, &mut dur_g, set, *seq);
+        }
+        dur_g.wal().commit(last).expect("commit");
+        let stats = dur_g.wal().batch_stats();
+        assert_eq!((stats.batches, stats.records, stats.max_batch), (1, 5, 5));
+        drop((dur_s, dur_g));
+
+        let (re_s, rep_s) = recover(&dir_single);
+        let (re_g, rep_g) = recover(&dir_group);
+        assert_eq!(rep_s.replayed, rep_g.replayed);
+        assert_eq!(re_s.epoch("a"), re_g.epoch("a"));
+        assert_eq!(re_s.epoch("b"), re_g.epoch("b"));
+        assert_eq!(re_s.stats_text(), re_g.stats_text(), "byte-identical recovery");
+        let _ = std::fs::remove_dir_all(&dir_single);
+        let _ = std::fs::remove_dir_all(&dir_group);
+    }
+
+    #[test]
+    fn snapshot_mid_batch_drains_the_batcher_first() {
+        // A cadence snapshot can fire while records sit unflushed in the
+        // batcher; the drain barrier must land them before the truncate,
+        // and their later commit must still report durable.
+        let dir = tmpdir("grp-snap");
+        let mut store = ProfileStore::new(StoreConfig::default());
+        let (mut dur, _) = Durability::open(&dir, 2, &mut store).expect("open");
+        grouped_ingest(&mut store, &mut dur, "a", Some(0));
+        let t = grouped_ingest(&mut store, &mut dur, "a", Some(1)); // cadence: snapshot fires
+        assert!(dir.join(SNAP_FILE).exists());
+        assert_eq!(dur_file_len(&dir), HEADER_LEN, "log truncated after drain");
+        dur.wal().commit(t).expect("already durable via drain");
+        drop(dur);
+        let (re, report) = recover(&dir);
+        assert_eq!(report.snapshot_sets, 1);
+        assert_eq!(report.replayed, 0);
+        assert_eq!(re.epoch("a"), Some(2));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -211,6 +211,26 @@ pub fn parse_response(k: u8, mut body: Bytes) -> Result<Response, ServeError> {
     }
 }
 
+/// The OK body acknowledging one ingest. One formatter shared by the
+/// server and the router keeps the text byte-identical across tiers, so
+/// a pipelined client can match acks to outstanding pushes no matter
+/// which tier answered.
+pub fn format_ingest_ack(set: &str, seq: u64, epoch: u64) -> String {
+    format!("ingested set={set} seq={seq} epoch={epoch}")
+}
+
+/// Parse an ingest ack back into `(set, seq, epoch)`. `None` means the
+/// text is not a well-formed ack — for a windowed client that is an
+/// [`ServeError::AckMismatch`], because an unpairable response stream
+/// can no longer be trusted. Set names may themselves contain ` seq=`,
+/// so the numeric fields are split off the right-hand end.
+pub fn parse_ingest_ack(text: &str) -> Option<(String, u64, u64)> {
+    let rest = text.strip_prefix("ingested set=")?;
+    let (rest, epoch) = rest.rsplit_once(" epoch=")?;
+    let (set, seq) = rest.rsplit_once(" seq=")?;
+    Some((set.to_string(), seq.parse().ok()?, epoch.parse().ok()?))
+}
+
 /// Write one frame as a single `write_all` (header + body in one
 /// buffer): one syscall, one TCP segment for small frames — two small
 /// writes would hand Nagle + delayed-ACK a ~40 ms stall per request.
@@ -342,6 +362,31 @@ mod tests {
                 matches!(read_frame(&mut cur, MAX_FRAME), Err(ServeError::Truncated)),
                 "cut at {cut}"
             );
+        }
+    }
+
+    #[test]
+    fn ingest_acks_roundtrip_and_malformed_text_is_refused() {
+        for (set, seq, epoch) in
+            [("nw", 0, 1), ("a set with spaces", 7, 7), ("tricky seq=9 name", 3, 12)]
+        {
+            let text = format_ingest_ack(set, seq, epoch);
+            assert_eq!(
+                parse_ingest_ack(&text),
+                Some((set.to_string(), seq, epoch)),
+                "{text}"
+            );
+        }
+        for bad in [
+            "",
+            "ingested",
+            "ingested set=nw",
+            "ingested set=nw seq=1",
+            "ingested set=nw seq=x epoch=1",
+            "ingested set=nw seq=1 epoch=",
+            "ok set=nw seq=1 epoch=1",
+        ] {
+            assert_eq!(parse_ingest_ack(bad), None, "{bad:?}");
         }
     }
 

@@ -383,3 +383,70 @@ fn shutdown_drains_and_refuses_new_work() {
         "daemon must be gone after drain"
     );
 }
+
+#[test]
+fn pipelined_ingest_is_byte_identical_to_serial_and_refusals_stay_in_window() {
+    // Two daemons, same bundle stream: one fed with strict
+    // request/response, one through a 5-deep pipelined window. The ack
+    // texts must match push for push and the served trees must match
+    // byte for byte — the window changes scheduling, never outcomes.
+    let (addr_a, handle_a) = spawn_server(ServerConfig::default());
+    let (addr_b, handle_b) = spawn_server(ServerConfig::default());
+    let total = 12u64;
+    let bundles: Vec<StoredBundle> = (0..total).map(bundle).collect();
+    let encoded: Vec<Bytes> = bundles.iter().map(encode_bundle).collect();
+
+    let mut ca = Client::connect(&addr_a).expect("connect serial");
+    let mut serial_acks = Vec::new();
+    for (i, blob) in encoded.iter().enumerate() {
+        serial_acks.push(ca.ingest("w", Some(i as u64), blob.clone()).expect("serial ingest"));
+    }
+
+    let mut cb = Client::connect(&addr_b).expect("connect pipelined");
+    let mut pipe = cb.pipeline(5);
+    let mut acks = Vec::new();
+    for (i, blob) in encoded.iter().enumerate() {
+        if let Some(ack) = pipe.push("w", Some(i as u64), blob.clone()).expect("push") {
+            acks.push(ack.expect("windowed ingest refused"));
+        }
+    }
+    for ack in pipe.drain().expect("drain") {
+        acks.push(ack.expect("windowed ingest refused"));
+    }
+    assert_eq!(acks.len(), serial_acks.len(), "every push is acked exactly once");
+    for (a, serial) in acks.iter().zip(&serial_acks) {
+        assert_eq!(
+            &dcp_serve::format_ingest_ack(&a.set, a.seq, a.epoch),
+            serial,
+            "windowed ack text diverges from the serial daemon's"
+        );
+    }
+
+    // A mid-window refusal is an inner typed error and the window keeps
+    // moving: the duplicate is refused, the fresh push lands.
+    let mut pipe = cb.pipeline(4);
+    assert!(pipe.push("w", Some(3), encoded[3].clone()).expect("push dup").is_none());
+    assert!(pipe.push("w", Some(total), encoded[0].clone()).expect("push fresh").is_none());
+    let results = pipe.drain().expect("drain survives a refusal");
+    assert_eq!(results.len(), 2);
+    match &results[0] {
+        Err(e) if e.code() == ServeError::DuplicateSeq(0).code() => {}
+        other => panic!("duplicate push must relay DuplicateSeq, got {other:?}"),
+    }
+    assert_eq!(results[1].as_ref().expect("fresh push lands").seq, total);
+    ca.ingest("w", Some(total), encoded[0].clone()).expect("serial mirror");
+
+    for q in ["export w heap", "export w static", "sets"] {
+        let a = ca.query(q).expect("serial query");
+        let b = cb.query(q).expect("pipelined query");
+        assert_eq!(a, b, "{q:?} diverges between serial and pipelined ingest");
+    }
+    let sets = cb.query("sets").expect("sets");
+    let n = total + 1;
+    assert!(sets.contains(&format!("w bundles={n} epoch={n} gap=0")), "{sets}");
+
+    drop(ca);
+    drop(cb);
+    shutdown(&addr_a, handle_a);
+    shutdown(&addr_b, handle_b);
+}

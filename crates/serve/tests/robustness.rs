@@ -550,6 +550,142 @@ fn corrupt_partial_payloads_reconstruct_typed_never_panic() {
     }
 }
 
+/// Drive a 2-deep windowed ingest (two pushes, then drain) against a
+/// scripted fake server and report exactly what the client saw: inner
+/// per-ack results in order, or the outer error that ended the window.
+fn windowed_push_against(
+    script: Vec<Vec<u8>>,
+) -> Result<Vec<Result<dcp_serve::Ack, ServeError>>, ServeError> {
+    let (addr, handle) = fake_shard(script);
+    let mut cl =
+        Client::connect_with_timeout(&addr, Duration::from_millis(400)).expect("connect fake");
+    let bundle = encode_bundle(&sample_bundle());
+    let mut pipe = cl.pipeline(2);
+    let mut acks = Vec::new();
+    let mut outer = None;
+    for seq in 0..2u64 {
+        match pipe.push("s", Some(seq), bundle.clone()) {
+            Ok(Some(a)) => acks.push(a),
+            Ok(None) => {}
+            Err(e) => {
+                outer = Some(e);
+                break;
+            }
+        }
+    }
+    let result = match outer {
+        Some(e) => Err(e),
+        None => match pipe.drain() {
+            Ok(rest) => {
+                acks.extend(rest);
+                Ok(acks)
+            }
+            Err(e) => Err(e),
+        },
+    };
+    drop(cl);
+    handle.join().expect("fake server join");
+    result
+}
+
+#[test]
+fn windowed_ingest_ack_grind_never_pairs_a_wrong_ack() {
+    // The ack stream is the only thing pairing a pipelined push with
+    // its outcome, so grind it: swapped, duplicated, out-of-window,
+    // malformed, and binary acks must each surface as the typed
+    // AckMismatch; ERR frames relay as inner typed refusals with the
+    // window still moving; truncations and bit flips end in a typed
+    // error or an ack that still names the expected (set, seq) — never
+    // a silently mispaired accept.
+    let ack_frame = |seq: u64| {
+        frame_bytes(
+            dcp_serve::wire::kind::OK,
+            format!("ingested set=s seq={seq} epoch={}", seq + 1).as_bytes(),
+        )
+    };
+    let mismatch = |what: &str, r: Result<Vec<Result<dcp_serve::Ack, ServeError>>, ServeError>| {
+        match r {
+            Err(ServeError::AckMismatch(_)) => {}
+            other => panic!("{what}: expected AckMismatch, got {other:?}"),
+        }
+    };
+
+    // Golden: in-order acks pair cleanly.
+    let acks = windowed_push_against(vec![ack_frame(0), ack_frame(1)]).expect("clean ack stream");
+    let acks: Vec<dcp_serve::Ack> = acks.into_iter().map(|a| a.expect("clean ack")).collect();
+    assert_eq!(acks.len(), 2);
+    for (i, a) in acks.iter().enumerate() {
+        assert_eq!((a.set.as_str(), a.seq, a.epoch), ("s", i as u64, i as u64 + 1));
+    }
+
+    // Pairing violations, each one fatal and typed.
+    mismatch("swapped acks", windowed_push_against(vec![ack_frame(1), ack_frame(0)]));
+    mismatch("duplicate ack", windowed_push_against(vec![ack_frame(0), ack_frame(0)]));
+    mismatch("out-of-window seq", windowed_push_against(vec![ack_frame(7), ack_frame(1)]));
+    mismatch(
+        "ack for a foreign set",
+        windowed_push_against(vec![
+            frame_bytes(dcp_serve::wire::kind::OK, b"ingested set=other seq=0 epoch=1"),
+            ack_frame(1),
+        ]),
+    );
+    mismatch(
+        "malformed ack text",
+        windowed_push_against(vec![
+            frame_bytes(dcp_serve::wire::kind::OK, b"welcome to the jungle"),
+            ack_frame(1),
+        ]),
+    );
+    mismatch(
+        "binary frame as ack",
+        windowed_push_against(vec![
+            frame_bytes(dcp_serve::wire::kind::DATA, b"\x01\x02\x03"),
+            ack_frame(1),
+        ]),
+    );
+
+    // A server-side refusal is an inner typed relay; the next ack still
+    // pairs and the window keeps moving.
+    let (k, body) = encode_response(&Response::Err(8, "unknown profile set 's'".into()));
+    let err_frame = frame_bytes(k, &body);
+    let got = windowed_push_against(vec![err_frame, ack_frame(1)]).expect("window survives ERR");
+    assert_eq!(got.len(), 2);
+    assert_eq!(got[0].as_ref().expect_err("refusal relays typed").code(), 8);
+    assert_eq!(got[1].as_ref().expect("second ack pairs").seq, 1);
+
+    // Every truncation of the first ack frame: the stream ends in a
+    // typed outer error (EOF mid-frame or mid-stream), never an ack.
+    let first = ack_frame(0);
+    for cut in 0..first.len() {
+        match windowed_push_against(vec![first[..cut].to_vec()]) {
+            Err(_) => {}
+            Ok(acks) => panic!("ack frame cut at {cut}: unexpected acks {acks:?}"),
+        }
+    }
+
+    // A single-bit flip at every byte (one bit per position live, as in
+    // the routed grind): any surviving ack must still name the pushed
+    // (set, seq) — the epoch is the server's claim, not a pairing field.
+    for pos in 0..first.len() {
+        let mut mutated = first.clone();
+        mutated[pos] ^= 1 << (pos % 8);
+        match windowed_push_against(vec![mutated, ack_frame(1)]) {
+            Err(_) => {}
+            Ok(acks) => {
+                for (i, a) in acks.iter().enumerate() {
+                    if let Ok(a) = a {
+                        assert_eq!(
+                            (a.set.as_str(), a.seq),
+                            ("s", i as u64),
+                            "flip at {pos}: a mispaired ack survived"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn oversized_client_frame_is_bounded() {
     // A max_frame smaller than the bundle: the reader refuses before

@@ -1,0 +1,282 @@
+//! Group commit: coalesce concurrent durable appends into one flush.
+//!
+//! The serve daemon's ack-implies-durable contract costs one `fsync`
+//! per ingest when every session flushes its own record. [`GroupCommit`]
+//! amortizes that: sessions enqueue records into a shared queue and
+//! then wait for the covering flush. The first waiter to find no flush
+//! in progress becomes the **leader** — it takes a bounded prefix of
+//! the queue, runs the flush closure *outside* the lock, and wakes
+//! everyone; the rest are **followers** who sleep on the condvar until
+//! the durable watermark passes their ticket. Latency needs no timer:
+//! while any waiter exists a leader exists, so a record waits at most
+//! one in-flight flush before its own batch starts.
+//!
+//! Ordering: tickets are handed out in enqueue order and the leader
+//! always flushes a *prefix* of the queue, so the flushed stream is
+//! exactly the enqueue stream — a property the WAL replay relies on.
+//!
+//! Failure posture: a failed flush **poisons the batcher permanently**
+//! (every current and future waiter gets the error). That is deliberate
+//! for a write-ahead log: after a failed flush the file tail is
+//! unknown, and the only honest answer to "is my record durable?" is
+//! to refuse until the operator restarts and recovery re-derives the
+//! valid prefix.
+
+use std::collections::VecDeque;
+use std::sync::Condvar;
+
+use crate::sync::Mutex;
+
+/// Counters for the stats endpoint: how well coalescing is working.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Flushes performed.
+    pub batches: u64,
+    /// Records flushed across all batches.
+    pub records: u64,
+    /// Largest single batch.
+    pub max_batch: u64,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    /// Enqueued but not yet flushed records, with their byte cost.
+    pending: VecDeque<(T, usize)>,
+    /// Tickets handed out (== records ever enqueued).
+    enqueued: u64,
+    /// Records durably flushed (a prefix of the ticket sequence).
+    durable: u64,
+    /// A leader is inside the flush closure.
+    flushing: bool,
+    /// First flush error; permanent once set.
+    failed: Option<String>,
+    stats: BatchStats,
+}
+
+/// A leader/follower batcher: many enqueuers, one flush at a time,
+/// every waiter released only when the flush covering its ticket lands.
+#[derive(Debug)]
+pub struct GroupCommit<T> {
+    shared: Mutex<State<T>>,
+    flushed: Condvar,
+    /// Bounds on one batch. A batch always contains at least one record
+    /// regardless of its size, so an oversized record still flushes.
+    max_records: usize,
+    max_bytes: usize,
+}
+
+impl<T> GroupCommit<T> {
+    pub fn new(max_records: usize, max_bytes: usize) -> Self {
+        Self {
+            shared: Mutex::new(State {
+                pending: VecDeque::new(),
+                enqueued: 0,
+                durable: 0,
+                flushing: false,
+                failed: None,
+                stats: BatchStats::default(),
+            }),
+            flushed: Condvar::new(),
+            max_records: max_records.max(1),
+            max_bytes: max_bytes.max(1),
+        }
+    }
+
+    /// Queue one record and return its ticket. Never blocks — safe to
+    /// call while holding an unrelated lock (the serve daemon enqueues
+    /// under the store lock so the log order matches the apply order).
+    pub fn enqueue(&self, item: T, cost: usize) -> u64 {
+        let mut st = self.shared.lock();
+        st.pending.push_back((item, cost));
+        st.enqueued += 1;
+        st.enqueued
+    }
+
+    /// Block until every record up to `ticket` has been flushed, leading
+    /// a flush if nobody else is. `flush` receives a batch in enqueue
+    /// order and must make it durable before returning Ok.
+    pub fn commit<F>(&self, ticket: u64, mut flush: F) -> Result<(), String>
+    where
+        F: FnMut(Vec<T>) -> Result<(), String>,
+    {
+        let mut st = self.shared.lock();
+        loop {
+            if let Some(e) = &st.failed {
+                return Err(e.clone());
+            }
+            if st.durable >= ticket {
+                return Ok(());
+            }
+            if !st.flushing && !st.pending.is_empty() {
+                // Become the leader: take a bounded prefix and flush it
+                // outside the lock so enqueuers are never blocked on IO.
+                st.flushing = true;
+                let mut batch = Vec::new();
+                let mut bytes = 0usize;
+                while let Some((_, cost)) = st.pending.front() {
+                    if !batch.is_empty()
+                        && (batch.len() >= self.max_records || bytes + cost > self.max_bytes)
+                    {
+                        break;
+                    }
+                    let (item, cost) = st.pending.pop_front().expect("non-empty front");
+                    bytes += cost;
+                    batch.push(item);
+                }
+                let n = batch.len() as u64;
+                drop(st);
+                let outcome = flush(batch);
+                st = self.shared.lock();
+                st.flushing = false;
+                match outcome {
+                    Ok(()) => {
+                        st.durable += n;
+                        st.stats.batches += 1;
+                        st.stats.records += n;
+                        st.stats.max_batch = st.stats.max_batch.max(n);
+                    }
+                    Err(e) => st.failed = Some(e),
+                }
+                self.flushed.notify_all();
+            } else {
+                st = self
+                    .flushed
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+    }
+
+    /// Flush everything currently enqueued (a snapshot barrier: the WAL
+    /// must be fully on disk before it can be truncated).
+    pub fn drain<F>(&self, flush: F) -> Result<(), String>
+    where
+        F: FnMut(Vec<T>) -> Result<(), String>,
+    {
+        let ticket = self.shared.lock().enqueued;
+        self.commit(ticket, flush)
+    }
+
+    /// Coalescing counters so far.
+    pub fn stats(&self) -> BatchStats {
+        self.shared.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn single_thread_flushes_in_enqueue_order() {
+        let gc = GroupCommit::new(16, 1 << 20);
+        let flushed = Mutex::new(Vec::new());
+        for i in 0..5u64 {
+            let t = gc.enqueue(i, 1);
+            assert_eq!(t, i + 1);
+            gc.commit(t, |batch| {
+                flushed.lock().extend(batch);
+                Ok(())
+            })
+            .expect("commit");
+        }
+        assert_eq!(*flushed.lock(), vec![0, 1, 2, 3, 4]);
+        let stats = gc.stats();
+        assert_eq!(stats.records, 5);
+        assert_eq!(stats.batches, 5, "no concurrency, no coalescing");
+    }
+
+    #[test]
+    fn batch_bounds_are_respected_and_prefix_order_holds() {
+        let gc = GroupCommit::new(3, usize::MAX);
+        for i in 0..10u64 {
+            gc.enqueue(i, 1);
+        }
+        let batches = Mutex::new(Vec::new());
+        gc.drain(|batch| {
+            batches.lock().push(batch);
+            Ok(())
+        })
+        .expect("drain");
+        let batches = batches.into_inner();
+        assert!(batches.iter().all(|b| b.len() <= 3), "record bound holds");
+        let flat: Vec<u64> = batches.into_iter().flatten().collect();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>(), "prefix order");
+    }
+
+    #[test]
+    fn byte_bound_splits_but_oversized_record_still_flushes() {
+        let gc = GroupCommit::new(usize::MAX, 10);
+        gc.enqueue("big", 100); // alone it exceeds the bound: flushes solo
+        gc.enqueue("a", 4);
+        gc.enqueue("b", 4);
+        gc.enqueue("c", 4); // would push the batch past 10 bytes
+        let batches = Mutex::new(Vec::new());
+        gc.drain(|batch| {
+            batches.lock().push(batch.len());
+            Ok(())
+        })
+        .expect("drain");
+        assert_eq!(*batches.lock(), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn concurrent_commits_coalesce_and_all_become_durable() {
+        let gc = Arc::new(GroupCommit::new(64, 1 << 20));
+        let flushed = Arc::new(AtomicU64::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let gc = Arc::clone(&gc);
+                let flushed = Arc::clone(&flushed);
+                std::thread::spawn(move || {
+                    for i in 0..25u64 {
+                        let t = gc.enqueue(i, 8);
+                        gc.commit(t, |batch| {
+                            // A slow flush forces queue build-up, so
+                            // coalescing happens even on one core.
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                            flushed.fetch_add(batch.len() as u64, Ordering::SeqCst);
+                            Ok(())
+                        })
+                        .expect("commit");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("join");
+        }
+        let stats = gc.stats();
+        assert_eq!(flushed.load(Ordering::SeqCst), 200, "every record flushed once");
+        assert_eq!(stats.records, 200);
+        assert!(
+            stats.batches < stats.records,
+            "contended commits must coalesce: {} batches for {} records",
+            stats.batches,
+            stats.records
+        );
+        assert!(stats.max_batch > 1);
+    }
+
+    #[test]
+    fn flush_failure_poisons_current_and_future_waiters() {
+        let gc = GroupCommit::new(16, 1 << 20);
+        let t = gc.enqueue(1u64, 1);
+        let err = gc.commit(t, |_| Err("disk on fire".to_string())).expect_err("fails");
+        assert_eq!(err, "disk on fire");
+        // The failure is permanent: later commits refuse immediately,
+        // even with a flush that would succeed.
+        let t2 = gc.enqueue(2u64, 1);
+        let err2 = gc.commit(t2, |_| Ok(())).expect_err("still failed");
+        assert_eq!(err2, "disk on fire");
+    }
+
+    #[test]
+    fn drain_is_a_noop_on_an_empty_queue() {
+        let gc: GroupCommit<u64> = GroupCommit::new(16, 1 << 20);
+        gc.drain(|_| panic!("nothing to flush")).expect("empty drain");
+        assert_eq!(gc.stats(), BatchStats::default());
+    }
+}

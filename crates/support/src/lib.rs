@@ -30,7 +30,10 @@
 //!   set → shard placement in the sharded serving tier,
 //! * [`sync`] — a poison-recovering [`sync::Mutex`] for always-on
 //!   services (replaces `parking_lot::Mutex` where poisoning is the
-//!   wrong failure mode — see the serve daemon's availability story).
+//!   wrong failure mode — see the serve daemon's availability story),
+//! * [`batch`] — a leader/follower [`GroupCommit`] batcher that
+//!   coalesces concurrent durable appends into one bounded flush (the
+//!   serve daemon's group-commit WAL is built on it).
 //!
 //! Everything is deterministic where the consumer needs determinism: the
 //! PRNG is a pure function of its seed, the hasher has no random state,
@@ -38,6 +41,7 @@
 //! `join`/`par_map_mut` preserve result ordering regardless of how work
 //! is scheduled.
 
+pub mod batch;
 pub mod bench;
 pub mod bytes;
 pub mod cache;
@@ -49,6 +53,7 @@ pub mod rng;
 pub mod stats;
 pub mod sync;
 
+pub use batch::{BatchStats, GroupCommit};
 pub use cache::LruCache;
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use ring::HashRing;

@@ -4,10 +4,13 @@
 # response-determinism assertion) and persist its machine-readable
 # summary as BENCH_serve.json. The summary includes the sharded phase's
 # per-instance vs aggregate warm-cache qps (a 2-group x 2-replica
-# cluster behind the router) and their scale-up ratio. Numbers are
-# whatever this host honestly does; the determinism gate — plus the
-# >=2x scale-up floor on the 8-core reference host — is what fails the
-# script, not an absolute throughput floor.
+# cluster behind the router) and their scale-up ratio, plus the
+# durable-ingest phase: fsync-per-record baseline vs group-commit
+# throughput against a --data-dir daemon (pipelined 16-deep windows)
+# and the non-durable pipelined rate. Numbers are whatever this host
+# honestly does; the determinism gates — plus the >=2x scale-up and
+# >=5x group-commit floors on the 8-core reference host — are what
+# fail the script, not an absolute throughput floor.
 set -eu
 cd "$(dirname "$0")/.."
 

@@ -70,10 +70,13 @@ trap - EXIT
 rm -f "$serve_log"
 echo "verify: serve smoke stage ok (5 workloads ingested, every query kind served, clean drain)" >&2
 
-# Durability smoke stage: a daemon with a data directory takes a
-# workload profile, is killed with SIGKILL (no drain, no snapshot
-# opportunity), and a fresh daemon over the same directory must answer
-# the same query with byte-identical output — ack implies durable.
+# Durable-ingest smoke stage: a daemon with a data directory takes all
+# five Table-1 workload profiles through pipelined pushes (--window 8,
+# feeding the group-commit batcher), a spread of views is captured, the
+# daemon is killed with SIGKILL (no drain, no snapshot opportunity),
+# and a fresh daemon over the same directory must answer every one of
+# those views with byte-identical output — ack implies durable, under
+# batched fsyncs too.
 dur_dir="$(mktemp -d)"
 dur_log="$(mktemp)"
 ./target/release/memgaze serve --addr 127.0.0.1:0 --data-dir "$dur_dir" --snapshot-every 2 > "$dur_log" &
@@ -86,8 +89,18 @@ for _ in $(seq 1 100); do
     sleep 0.1
 done
 [ -n "$addr" ] || { echo "verify: durable daemon never bound" >&2; exit 1; }
-./target/release/memgaze push "$addr" nw nw > /dev/null
-before="$(./target/release/memgaze query "$addr" export nw heap)"
+for w in amg2006 sweep3d lulesh streamcluster nw; do
+    ./target/release/memgaze push "$addr" "$w" "$w" --window 8 > /dev/null
+done
+dur_views() {
+    ./target/release/memgaze query "$1" sets
+    ./target/release/memgaze query "$1" export nw heap
+    ./target/release/memgaze query "$1" export lulesh static
+    ./target/release/memgaze query "$1" ranking streamcluster remote 5
+    ./target/release/memgaze query "$1" vars sweep3d latency
+    ./target/release/memgaze query "$1" diff nw amg2006 remote
+}
+before="$(dur_views "$addr")"
 kill -9 "$dur_pid"
 wait "$dur_pid" 2>/dev/null || true
 : > "$dur_log"
@@ -101,13 +114,13 @@ for _ in $(seq 1 100); do
 done
 [ -n "$addr" ] || { echo "verify: recovered daemon never bound" >&2; exit 1; }
 grep -q '^recovered ' "$dur_log" || { echo "verify: recovered daemon printed no recovery report" >&2; exit 1; }
-after="$(./target/release/memgaze query "$addr" export nw heap)"
-[ "$before" = "$after" ] || { echo "verify: recovered export differs from pre-kill export" >&2; exit 1; }
+after="$(dur_views "$addr")"
+[ "$before" = "$after" ] || { echo "verify: recovered views differ from pre-kill views" >&2; exit 1; }
 ./target/release/memgaze query "$addr" shutdown > /dev/null
 wait "$dur_pid"
 trap - EXIT
 rm -rf "$dur_dir" "$dur_log"
-echo "verify: durability smoke stage ok (SIGKILL mid-serve, recovery byte-identical)" >&2
+echo "verify: durable-ingest smoke stage ok (5 workloads pushed --window 8, SIGKILL, recovery byte-identical)" >&2
 
 # Sharded smoke stage: four shard daemons (2 groups x 2 replicas) on
 # ephemeral ports behind a router. All five Table-1 workload profiles

@@ -76,8 +76,12 @@ fn usage() -> ExitCode {
            until a shutdown request drains it (shards keep serving)\n\
          \n\
          usage: memgaze push <addr> <set> <workload> [--variant <name>]\n\
+                              [--window n]\n\
            profile <workload> locally and ingest every node's bundle into\n\
-           profile set <set> on the daemon at <addr>\n\
+           profile set <set> on the daemon at <addr>; --window keeps up\n\
+           to n pushes in flight (default 1: strict request/response),\n\
+           which feeds the daemon's group-commit batcher from one\n\
+           connection\n\
          \n\
          usage: memgaze query <addr> <query...>\n\
            one request against the daemon; queries:\n\
@@ -167,26 +171,57 @@ fn run_route(args: &[String]) -> Result<(), String> {
     router.serve().map_err(|e| e.to_string())
 }
 
-/// `memgaze push <addr> <set> <workload> [--variant v]`.
+/// `memgaze push <addr> <set> <workload> [--variant v] [--window n]`.
 fn run_push(args: &[String]) -> Result<(), String> {
     let [addr, set, workload, rest @ ..] = args else {
         return Err("push needs <addr> <set> <workload>".into());
     };
-    let variant = match rest {
-        [] => "original".to_string(),
-        [flag, v] if flag == "--variant" => v.clone(),
-        _ => return Err("push options: [--variant <name>]".into()),
-    };
+    let mut variant = "original".to_string();
+    let mut window: usize = 1;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let val = |it: &mut std::slice::Iter<'_, String>| {
+            it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--variant" => variant = val(&mut it)?,
+            "--window" => {
+                window = val(&mut it)?.parse().map_err(|e| format!("bad --window: {e}"))?
+            }
+            _ => return Err("push options: [--variant <name>] [--window n]".into()),
+        }
+    }
     let (prog, mut world, pmu) = setup(workload, &variant)?;
     world.sim.pmu = Some(pmu);
     let run = run_profiled(&prog, &world, ProfilerConfig::default());
     let mut client = dcp_serve::Client::connect(addr).map_err(|e| e.to_string())?;
     // One bundle per node, pushed in node order over one connection —
     // the same union order the in-process analyzer uses.
+    if window <= 1 {
+        for m in &run.measurements {
+            let bundle = dcp_core::encode_bundle(&dcp_core::bundle_from_measurement(&prog, m));
+            let reply = client.ingest(set, None, bundle).map_err(|e| e.to_string())?;
+            println!("{reply}");
+        }
+        return Ok(());
+    }
+    // Windowed: keep up to `window` pushes in flight so the daemon's
+    // group-commit batcher can fold their WAL appends into one fsync.
+    // Any per-bundle refusal fails the push with the relayed error.
+    let mut pipe = client.pipeline(window);
+    let print_ack = |ack: Result<dcp_serve::Ack, dcp_serve::ServeError>| -> Result<(), String> {
+        let ack = ack.map_err(|e| e.to_string())?;
+        println!("{}", dcp_serve::format_ingest_ack(&ack.set, ack.seq, ack.epoch));
+        Ok(())
+    };
     for m in &run.measurements {
         let bundle = dcp_core::encode_bundle(&dcp_core::bundle_from_measurement(&prog, m));
-        let reply = client.ingest(set, None, bundle).map_err(|e| e.to_string())?;
-        println!("{reply}");
+        if let Some(ack) = pipe.push(set, None, bundle).map_err(|e| e.to_string())? {
+            print_ack(ack)?;
+        }
+    }
+    for ack in pipe.drain().map_err(|e| e.to_string())? {
+        print_ack(ack)?;
     }
     Ok(())
 }

@@ -8,8 +8,14 @@
 //! The daemon runs as a real subprocess (`memgaze serve --data-dir …`)
 //! so `process::abort` kills a real OS process mid-fsync-sequence; the
 //! crash point is injected via the `DCP_WAL_CRASH_AFTER` /
-//! `DCP_WAL_CRASH_MODE` hooks the WAL reads at open. Two invariants per
-//! kill point:
+//! `DCP_WAL_CRASH_MODE` hooks the WAL reads at open. The stream is
+//! pushed through a 4-deep pipelined window, so the daemon's
+//! group-commit batcher folds neighbouring appends into shared fsyncs
+//! and the sweep's kill points land both **inside** a batch (records
+//! after the crash record are lost wholesale) and **between a group's
+//! fsync and its acks** (durable-but-unacknowledged records the replay
+//! must keep and the re-push must refuse as duplicates). Two
+//! invariants per kill point:
 //!
 //! 1. **Acked implies durable**: every ingest acknowledged before the
 //!    kill is present after recovery (epoch per set ≥ acks per set).
@@ -119,30 +125,57 @@ fn spawn_daemon(
     (child, addr, recovery)
 }
 
-/// Push the stream until the daemon dies (or the stream ends). Returns
-/// acks per set; every acked ingest must survive the crash.
+/// Push the stream through a 4-deep pipelined window until the daemon
+/// dies (or the stream ends), so group-commit batches form at the kill
+/// point. Returns acks per set — only acks actually read back count;
+/// every one of them must survive the crash.
 fn push_until_death(addr: &str, stream: &[(&'static str, u64, Bytes)]) -> HashMap<String, u64> {
     let mut acked: HashMap<String, u64> = HashMap::new();
-    let mut client = Client::connect(addr).ok();
+    let mut acks_read = 0usize;
+    let Ok(mut client) = Client::connect(addr) else {
+        return acked;
+    };
+    let mut pipe = client.pipeline(4);
+    let mut alive = true;
     for (set, seq, blob) in stream {
-        let sent = match client.as_mut() {
-            Some(c) => c.ingest(set, Some(*seq), blob.clone()).is_ok(),
-            None => false,
-        };
-        if sent {
-            *acked.entry(set.to_string()).or_default() += 1;
-            continue;
+        match pipe.push(set, Some(*seq), blob.clone()) {
+            Ok(Some(ack)) => {
+                acks_read += 1;
+                if let Ok(a) = ack {
+                    *acked.entry(a.set).or_default() += 1;
+                }
+            }
+            Ok(None) => {}
+            Err(_) => {
+                alive = false;
+                break;
+            }
         }
-        // One reconnect: the kill may have only torn this connection.
-        client = Client::connect(addr).ok();
-        let retried = match client.as_mut() {
-            Some(c) => c.ingest(set, Some(*seq), blob.clone()).is_ok(),
-            None => false,
-        };
-        if retried {
-            *acked.entry(set.to_string()).or_default() += 1;
-        } else {
-            break; // daemon is gone
+    }
+    if alive {
+        match pipe.drain() {
+            Ok(acks) => {
+                for a in acks.into_iter().flatten() {
+                    *acked.entry(a.set).or_default() += 1;
+                }
+                return acked;
+            }
+            Err(_) => {} // died while the trailing window drained
+        }
+    }
+    // The kill may have only torn this connection — and either way the
+    // trailing window's acks were never read. One reconnect, resuming
+    // serially from the first item whose ack is unread; a DuplicateSeq
+    // refusal proves that item was durable before the crash but was
+    // never acknowledged, so it still does not count.
+    let Ok(mut client) = Client::connect(addr) else {
+        return acked;
+    };
+    for (set, seq, blob) in &stream[acks_read..] {
+        match client.ingest(set, Some(*seq), blob.clone()) {
+            Ok(_) => *acked.entry(set.to_string()).or_default() += 1,
+            Err(e) if e.code() == ServeError::DuplicateSeq(0).code() => {}
+            Err(_) => break, // daemon is gone
         }
     }
     acked

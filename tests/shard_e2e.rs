@@ -12,6 +12,7 @@
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader};
+use std::path::Path;
 use std::process::{Child, Command, Stdio};
 
 use dcp_core::prelude::*;
@@ -101,6 +102,28 @@ fn spawn_shard() -> (Child, String) {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_memgaze"));
     cmd.args(["serve", "--addr", "127.0.0.1:0"]);
     spawn_banner(cmd, "serving on ")
+}
+
+/// `memgaze serve --data-dir` on an ephemeral port; returns the
+/// `recovered …` banner line too (empty on a fresh directory).
+fn spawn_durable_shard(dir: &Path) -> (Child, String, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_memgaze"));
+    cmd.args(["serve", "--addr", "127.0.0.1:0", "--data-dir", dir.to_str().expect("utf8 dir")]);
+    cmd.stdout(Stdio::piped()).stderr(Stdio::null());
+    let mut child = cmd.spawn().expect("spawn durable shard");
+    let mut reader = BufReader::new(child.stdout.take().expect("stdout"));
+    let mut recovery = String::new();
+    let addr = loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).expect("read stdout") == 0 {
+            panic!("durable shard exited before binding");
+        }
+        match line.trim().strip_prefix("serving on ") {
+            Some(a) => break a.to_string(),
+            None => recovery = line.trim().to_string(),
+        }
+    };
+    (child, addr, recovery)
 }
 
 /// `memgaze route` over the given shard groups (comma-joined replicas).
@@ -283,4 +306,127 @@ fn sigkill_one_replica_mid_storm_serves_byte_identical_to_the_uncrashed_golden()
     drain(&router_addr, router_child, "drain router");
     drain(&survivor_addr, survivor_child, "drain survivor");
     drain(&golden_addr, golden_child, "drain golden");
+}
+
+/// Durability × sharding cross-product: a WAL-backed replica is
+/// SIGKILLed while pipelined ingest streams through the router, the
+/// stream finishes over the surviving memory replica, and the victim
+/// is then restarted over its data directory and healed by re-pushing
+/// the full stream (the recovered prefix answers `DuplicateSeq`). At
+/// no point — mid-kill, post-failover, or post-heal, routed or direct
+/// — may the cluster's answers differ by a byte from an uncrashed
+/// golden daemon fed the same stream.
+#[test]
+fn sigkilled_durable_replica_restarts_and_heals_byte_identical() {
+    let bundles = bundles_for("nw");
+    // Replay the bundle list with distinct seqs so the WAL is long
+    // enough to leave the victim genuinely behind at the kill.
+    let stream: Vec<Bytes> =
+        bundles.iter().cycle().take(bundles.len() * 6).cloned().collect();
+    let kill_at = stream.len() / 2;
+
+    let base = std::env::temp_dir().join(format!("dcp-shard-heal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let dir = base.join("victim");
+
+    // One shard group: durable victim A + memory survivor B behind R1.
+    let (victim_child, victim_addr, _) = spawn_durable_shard(&dir);
+    let (survivor_child, survivor_addr) = spawn_shard();
+    let (r1_child, r1_addr) = spawn_router(&[vec![victim_addr.clone(), survivor_addr.clone()]]);
+    let (golden_child, golden_addr) = spawn_shard();
+
+    let mut gcl = Client::connect(&golden_addr).expect("connect golden");
+    for (i, blob) in stream.iter().enumerate() {
+        gcl.ingest("nw", Some(i as u64), blob.clone()).expect("golden ingest");
+    }
+    let storm = battery(&["nw"]);
+    let golden: Vec<(String, String)> = storm
+        .iter()
+        .map(|q| (q.clone(), gcl.query(q).expect("golden query")))
+        .collect();
+
+    // Pipelined ingest through R1; SIGKILL the durable replica with
+    // the window still in flight. Every ack must stay a clean accept —
+    // the survivor covers the dead replica without the client noticing.
+    let mut rcl = Client::connect(&r1_addr).expect("connect router");
+    let mut victim = Some(victim_child);
+    let mut pipe = rcl.pipeline(4);
+    for (i, blob) in stream.iter().enumerate() {
+        if i == kill_at {
+            let mut child = victim.take().expect("victim still tracked");
+            child.kill().expect("SIGKILL durable replica");
+            child.wait().expect("reap victim");
+        }
+        if let Some(ack) = pipe.push("nw", Some(i as u64), blob.clone()).expect("routed push") {
+            ack.expect("routed ingest refused");
+        }
+    }
+    for ack in pipe.drain().expect("drain routed pipeline") {
+        ack.expect("routed ingest refused");
+    }
+    assert!(victim.is_none(), "the kill point must lie inside the stream");
+
+    // The cluster never wavers after the failover, and the router saw
+    // the kill as replica retries, not an unreachable shard.
+    for (q, want) in &golden {
+        let got = rcl.query(q).expect("routed query post-kill");
+        assert_eq!(&got, want, "{q:?} diverges after the replica kill");
+    }
+    let stats = rcl.stats().expect("router stats");
+    let retries: u64 = stats
+        .lines()
+        .find_map(|l| l.strip_prefix("retries "))
+        .expect("retries line")
+        .parse()
+        .expect("retries number");
+    assert!(retries > 0, "the kill must surface as replica retries: {stats}");
+    assert!(stats.contains("shard_unreachable 0"), "{stats}");
+    drop(rcl);
+    drain(&r1_addr, r1_child, "drain first router");
+
+    // Restart the victim over the same directory — on a fresh port, so
+    // the old address's TIME_WAIT state is irrelevant — and front the
+    // healed pair with a new router.
+    let (victim2_child, victim2_addr, recovery) = spawn_durable_shard(&dir);
+    assert!(
+        recovery.starts_with("recovered "),
+        "restarted replica must report recovery, got {recovery:?}"
+    );
+    let (r2_child, r2_addr) = spawn_router(&[vec![victim2_addr.clone(), survivor_addr.clone()]]);
+    let mut rcl = Client::connect(&r2_addr).expect("connect second router");
+
+    // Heal: re-push the full stream. The restarted replica accepts what
+    // it lost; anything both replicas already hold comes back as the
+    // relayed DuplicateSeq refusal.
+    let dup = dcp_serve::ServeError::DuplicateSeq(0).code();
+    let mut healed = 0usize;
+    for (i, blob) in stream.iter().enumerate() {
+        match rcl.ingest("nw", Some(i as u64), blob.clone()) {
+            Ok(_) => healed += 1,
+            Err(e) if e.code() == dup => {}
+            Err(e) => panic!("heal re-push nw#{i}: {e}"),
+        }
+    }
+    assert!(healed > 0, "the restarted replica must have been missing the suffix");
+
+    // Post-heal: repeated routed rounds and the restarted replica
+    // queried directly must all serve the golden bytes.
+    let mut vcl = Client::connect(&victim2_addr).expect("connect restarted replica");
+    for round in 0..5 {
+        for (q, want) in &golden {
+            let routed = rcl.query(q).expect("routed query post-heal");
+            assert_eq!(&routed, want, "round {round}: {q:?} diverges post-heal");
+            let direct = vcl.query(q).expect("direct query post-heal");
+            assert_eq!(&direct, want, "round {round}: {q:?} diverges on the healed replica");
+        }
+    }
+
+    drop(rcl);
+    drop(gcl);
+    drop(vcl);
+    drain(&r2_addr, r2_child, "drain second router");
+    drain(&victim2_addr, victim2_child, "drain healed replica");
+    drain(&survivor_addr, survivor_child, "drain survivor");
+    drain(&golden_addr, golden_child, "drain golden");
+    let _ = std::fs::remove_dir_all(&base);
 }
