@@ -40,6 +40,18 @@
 //! bytes; the ≥5x durable speedup floor applies only on the 8-core
 //! reference host.
 //!
+//! A sixth, **interleaved** phase races view queries against a
+//! pipelined ingest stream: one writer keeps a 16-deep window of
+//! pushes in flight while every other client polls views, so each
+//! query lands on a freshly bumped epoch and pays the cold
+//! snapshot+partial cost. The phase runs twice — once with the
+//! incremental read path (dirty-class snapshot rebuilds, cached
+//! per-class encodings) and once with `incremental_read` off (the
+//! pre-incremental deep-clone/re-encode discipline) — and the quiesced
+//! views from both daemons must be byte-identical to a from-scratch
+//! serially-fed daemon. The ≥3x cold-epoch speedup floor applies only
+//! on the 8-core reference host.
+//!
 //! Output: a human table plus one `BENCH_JSON` line that
 //! `scripts/bench_serve.sh` persists as `BENCH_serve.json`. Pass
 //! `--smoke` for a seconds-long CI variant.
@@ -472,8 +484,12 @@ fn pipelined_ingest(addr: &str, p: &Arc<Prepared>, clients: usize, total: usize)
 /// Every main-set view, rendered once — the byte-identity probe run
 /// against each durable-phase daemon after its ingest completes.
 fn probe_views(addr: &str) -> Vec<(String, String)> {
+    probe_queries(addr, QUERIES)
+}
+
+fn probe_queries(addr: &str, queries: &[&str]) -> Vec<(String, String)> {
     let mut cl = Client::connect(addr).expect("connect");
-    QUERIES.iter().map(|q| (q.to_string(), cl.query(q).expect(q))).collect()
+    queries.iter().map(|q| (q.to_string(), cl.query(q).expect(q))).collect()
 }
 
 fn run_durable_round(p: &Arc<Prepared>, clients: usize, repeats: usize) -> DurableRound {
@@ -529,6 +545,140 @@ fn run_durable_round(p: &Arc<Prepared>, clients: usize, repeats: usize) -> Durab
         wal_max_batch,
         responses,
     }
+}
+
+/// The interleaved phase's fixture: one wide bundle fills the static,
+/// stack, and unknown classes with large trees that never change
+/// again, then a stream of small heap-only deltas keeps bumping the
+/// epoch. That is the shape the dirty-class read path exists for —
+/// the incremental daemon shares the three untouched big trees by
+/// Arc across epochs, while the `incremental_read: false` baseline
+/// deep-clones all five trees on every cold snapshot.
+fn wide_clean_bundle() -> Bytes {
+    use dcp_core::metrics::StorageClass;
+    let mut b = dcp_core::stored::StoredBundle::default();
+    for class in [StorageClass::Static, StorageClass::Stack, StorageClass::Unknown] {
+        let mut t = dcp_cct::Cct::new(dcp_core::metrics::WIDTH);
+        for pi in 0..64u64 {
+            let p = t.child(dcp_cct::ROOT, dcp_cct::Frame::Proc(pi));
+            for si in 0..48u64 {
+                let s = t.child(p, dcp_cct::Frame::Stmt((pi << 16) | si));
+                t.add(s, 2, 1 + pi + si);
+            }
+        }
+        b.profiles[class.idx()].push(dcp_cct::encode(&t));
+    }
+    b.stats.samples = 1;
+    encode_bundle(&b)
+}
+
+/// A distinct small heap-only delta per `seed`: path shapes overlap
+/// across seeds (so merging folds), values differ (so ordering
+/// mistakes change bytes), and only the heap class goes dirty.
+fn heap_delta_bundle(seed: u64) -> Bytes {
+    use dcp_core::metrics::StorageClass;
+    let mut heap = dcp_cct::Cct::new(dcp_core::metrics::WIDTH);
+    let hm = heap.child(dcp_cct::ROOT, dcp_cct::Frame::HeapMarker);
+    let p = heap.child(hm, dcp_cct::Frame::Proc(seed % 8));
+    let s = heap.child(p, dcp_cct::Frame::Stmt(0x1000 + seed % 64));
+    heap.add(s, 2, 1 + seed);
+    let mut b = dcp_core::stored::StoredBundle::default();
+    b.profiles[StorageClass::Heap.idx()].push(dcp_cct::encode(&heap));
+    b.stats.samples = 1 + seed;
+    encode_bundle(&b)
+}
+
+/// Heap-class views for the interleaved readers: their render cost
+/// tracks the small dirty class, so the cold-epoch bill is dominated
+/// by what the read path does with the big clean classes.
+const IQUERIES: &[&str] = &[
+    "topdown streamcluster heap remote",
+    "flat streamcluster heap remote 12",
+    "export streamcluster heap",
+];
+
+/// One interleaved round: a single writer streams `total` bundles
+/// through a pipelined window while every other client polls views, so
+/// each query observes a just-bumped epoch and pays the cold
+/// snapshot+partial cost. With `incremental` off the daemon falls back
+/// to the deep-clone/re-encode read path — the baseline this phase
+/// exists to beat. The quiesced views are returned for byte-identity
+/// checks against a from-scratch daemon.
+struct InterleavedRound {
+    secs: f64,
+    queries: u64,
+    responses: Vec<(String, String)>,
+}
+
+fn run_interleaved_round(clients: usize, total: usize, incremental: bool) -> InterleavedRound {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let server = Server::bind(ServerConfig {
+        sessions: clients,
+        incremental_read: incremental,
+        ..ServerConfig::default()
+    })
+    .expect("bind interleaved");
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.serve().expect("serve interleaved"));
+
+    // Prime the set with the wide clean bundle (outside the timed
+    // window) so no reader races an empty store; the writer streams
+    // the rest of the sequence space as heap-only deltas.
+    Client::connect(&addr)
+        .expect("connect")
+        .ingest(SET, Some(0), wide_clean_bundle())
+        .expect("prime");
+    let done = Arc::new(AtomicBool::new(false));
+    let t0 = Instant::now();
+    let writer = {
+        let addr = addr.clone();
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut cl = Client::connect(&addr).expect("connect");
+            let mut pipe = cl.pipeline(INGEST_WINDOW);
+            for i in 1..total {
+                if let Some(ack) =
+                    pipe.push(SET, Some(i as u64), heap_delta_bundle(i as u64)).expect("push")
+                {
+                    ack.expect("ingest refused");
+                }
+            }
+            for ack in pipe.drain().expect("drain") {
+                ack.expect("ingest refused");
+            }
+            done.store(true, Ordering::Release);
+        })
+    };
+    let mut readers = Vec::new();
+    for c in 0..clients.saturating_sub(1).max(1) {
+        let addr = addr.clone();
+        let done = Arc::clone(&done);
+        readers.push(std::thread::spawn(move || {
+            let mut cl = Client::connect(&addr).expect("connect");
+            let mut n = 0u64;
+            let mut q = c;
+            // Always issue at least one query, then stop after the one
+            // in flight when the writer finishes: every counted query
+            // raced live ingest (give or take the final round trip).
+            loop {
+                cl.query(IQUERIES[q % IQUERIES.len()]).expect("interleaved query");
+                n += 1;
+                q += 1;
+                if done.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            n
+        }));
+    }
+    writer.join().expect("interleaved writer");
+    let queries: u64 = readers.into_iter().map(|t| t.join().expect("interleaved reader")).sum();
+    let secs = t0.elapsed().as_secs_f64();
+
+    // Quiesced: the final epoch's views are the byte-identity probe.
+    let responses = probe_queries(&addr, IQUERIES);
+    shutdown(&addr, handle);
+    InterleavedRound { secs, queries, responses }
 }
 
 fn main() {
@@ -677,6 +827,71 @@ fn main() {
         );
     }
 
+    // Interleaved reads racing pipelined ingest: every query lands on
+    // a cold epoch, so this isolates the incremental read path
+    // (dirty-class snapshot rebuilds + cached per-class encodings)
+    // against the deep-clone/re-encode discipline it replaced. Same
+    // stream, same seqs — only the read path changes, so the quiesced
+    // bytes must not.
+    let itotal = if smoke { 64 } else { 1024 };
+    let mut inc_rounds = Vec::new();
+    let mut base_rounds = Vec::new();
+    for _ in 0..2 {
+        inc_rounds.push(run_interleaved_round(clients, itotal, true));
+        base_rounds.push(run_interleaved_round(clients, itotal, false));
+    }
+    // From-scratch reference: the same stream fed serially, no readers
+    // attached, default read path — the quiesced views everywhere must
+    // match its bytes.
+    let (raddr, rhandle) = spawn_server(clients);
+    {
+        let mut cl = Client::connect(&raddr).expect("connect");
+        cl.ingest(SET, Some(0), wide_clean_bundle()).expect("ingest");
+        for i in 1..itotal {
+            cl.ingest(SET, Some(i as u64), heap_delta_bundle(i as u64)).expect("ingest");
+        }
+    }
+    let reference = probe_queries(&raddr, IQUERIES);
+    shutdown(&raddr, rhandle);
+    for r in inc_rounds.iter().chain(&base_rounds) {
+        assert_eq!(
+            r.responses, reference,
+            "interleaved ingest changed the served bytes vs a from-scratch daemon"
+        );
+    }
+    let iqueries: u64 = inc_rounds.iter().map(|r| r.queries).sum();
+    let iqps = inc_rounds.iter().map(|r| r.queries as f64 / r.secs).fold(0.0, f64::max);
+    let bqps = base_rounds.iter().map(|r| r.queries as f64 / r.secs).fold(0.0, f64::max);
+    let ispeedup = if bqps > 0.0 { iqps / bqps } else { 0.0 };
+    println!(
+        "{:<28} {:>10} {:>10.3} {:>14.1}",
+        "interleaved: incremental",
+        inc_rounds[0].queries,
+        inc_rounds.iter().map(|r| r.secs).fold(f64::INFINITY, f64::min),
+        iqps
+    );
+    println!(
+        "{:<28} {:>10} {:>10.3} {:>14.1}",
+        "interleaved: clone baseline",
+        base_rounds[0].queries,
+        base_rounds.iter().map(|r| r.secs).fold(f64::INFINITY, f64::min),
+        bqps
+    );
+    println!(
+        "interleaved cold-epoch speedup {ispeedup:.2}x over {itotal} racing ingests; \
+         determinism: ok (both read paths match a from-scratch daemon byte-for-byte)"
+    );
+    // The >= 3x floor is defined on the 8-core reference host, where
+    // readers genuinely race the writer; on smaller containers the
+    // byte-identity assertion above remains the gate.
+    if dcp_support::pool::parallelism() >= 8 {
+        assert!(
+            ispeedup >= 3.0,
+            "incremental cold-epoch reads {iqps:.1} qps are under 3x the \
+             clone-baseline {bqps:.1} qps on an 8-core host"
+        );
+    }
+
     println!(
         "BENCH_JSON {{\"clients\": {clients}, \"bundles\": {}, \"bundle_bytes\": {bundle_bytes}, \
          \"ingest_best_secs\": {ingest_secs:.4}, \"ingests_per_sec\": {ingest_rate:.1}, \
@@ -691,6 +906,9 @@ fn main() {
          \"durable_group_ingests_per_sec\": {dgroup_rate:.1}, \"durable_speedup\": {dspeedup:.2}, \
          \"durable_wal_batches\": {}, \"durable_wal_max_batch\": {}, \
          \"pipelined_ingests_per_sec\": {dpipe_rate:.1}, \
+         \"interleaved_ingests\": {itotal}, \"interleaved_queries\": {iqueries}, \
+         \"interleaved_cold_qps\": {iqps:.1}, \"interleaved_baseline_qps\": {bqps:.1}, \
+         \"interleaved_speedup\": {ispeedup:.2}, \
          \"determinism\": \"ok\", \"smoke\": {smoke}}}",
         r0.ingests, r0.mixed_ops, r0.warm_queries, r0.cache_hit_rate,
         drounds[0].wal_batches, drounds[0].wal_max_batch

@@ -85,6 +85,11 @@ pub enum CodecError {
     BadNodeId(u64),
     /// The profile's metric width does not match the destination tree's.
     WidthMismatch { expected: usize, found: usize },
+    /// A keyed record section (bundle names, hints) repeated a key. A
+    /// well-formed producer never emits duplicates, and accepting them
+    /// would let first-wins and last-wins consumers disagree on the same
+    /// bytes — so the wire rejects them outright.
+    DuplicateKey,
 }
 
 impl std::fmt::Display for CodecError {
@@ -104,6 +109,7 @@ impl std::fmt::Display for CodecError {
             CodecError::WidthMismatch { expected, found } => {
                 write!(f, "metric width mismatch: tree has {expected}, profile has {found}")
             }
+            CodecError::DuplicateKey => write!(f, "duplicate key in a record section"),
         }
     }
 }
@@ -431,7 +437,17 @@ pub struct ProfileReader {
 
 impl ProfileReader {
     /// Parse the header of an encoded profile (either wire version).
-    pub fn new(mut buf: Bytes) -> Result<Self, CodecError> {
+    pub fn new(buf: Bytes) -> Result<Self, CodecError> {
+        Self::new_inner(buf, true)
+    }
+
+    /// Header parse shared by [`new`](Self::new) and [`validate`]. With
+    /// `collect_names` off, the v2 name section is walked with the exact
+    /// same checks (lengths, UTF-8, string-index bounds) but nothing is
+    /// stored — no string, no map entry — so a validate-only pass never
+    /// allocates per record. The accept/reject behavior is identical by
+    /// construction: both modes run this one loop.
+    fn new_inner(mut buf: Bytes, collect_names: bool) -> Result<Self, CodecError> {
         if buf.remaining() < 4 {
             return Err(CodecError::BadMagic);
         }
@@ -466,6 +482,7 @@ impl ProfileReader {
             if sc > buf.remaining() as u64 {
                 return Err(CodecError::Truncated);
             }
+            let mut strings = 0u64;
             for _ in 0..sc {
                 let len = get_varint(&mut buf)?;
                 if len > buf.remaining() as u64 {
@@ -473,7 +490,10 @@ impl ProfileReader {
                 }
                 let raw = get_slice(&mut buf, len as usize)?;
                 let s = std::str::from_utf8(raw.as_slice()).map_err(|_| CodecError::BadString)?;
-                names.table.push_raw(s);
+                if collect_names {
+                    names.table.push_raw(s);
+                }
+                strings += 1;
             }
             let nc = get_varint(&mut buf)?;
             if nc > buf.remaining() as u64 {
@@ -487,10 +507,12 @@ impl ProfileReader {
                 let payload = get_varint(&mut buf)?;
                 let sid = get_varint(&mut buf)?;
                 let frame = frame_from(tag, payload)?;
-                if sid >= names.table.len() as u64 {
+                if sid >= strings {
                     return Err(CodecError::BadStringIndex(sid));
                 }
-                names.frames.insert(frame, sid as u32);
+                if collect_names {
+                    names.frames.insert(frame, sid as u32);
+                }
             }
         }
 
@@ -734,6 +756,41 @@ pub fn merge_into(acc: &mut Cct, bytes: Bytes) -> Result<(), CodecError> {
     absorb(acc, &mut reader)
 }
 
+/// The header facts a [`validate`] walk surfaces without decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileSummary {
+    /// Wire format version (1 or 2).
+    pub version: u8,
+    /// Metric columns per node.
+    pub width: usize,
+    /// Total node count (including the implicit root).
+    pub nodes: usize,
+}
+
+/// Check an untrusted encoded profile without materializing anything:
+/// the header is parsed in validate-only mode (name strings are
+/// UTF-8- and bounds-checked but never stored) and every node/metric
+/// record is driven through [`ProfileReader::next_event`] — the same
+/// parse loop [`decode`] runs — with the events discarded. Zero nodes
+/// are built and no per-node or per-string allocation happens.
+///
+/// `validate(b).is_ok() == decode(b).is_ok()`, with equal errors, for
+/// every input: both run the identical reader loop, and the only checks
+/// `decode` adds on top (the id lookups in its replay map) are
+/// unreachable because the reader already enforces dense in-order node
+/// ids, parents strictly before children, and metric node ids below the
+/// header count. The robustness suite grinds this equivalence over
+/// truncations, bit flips, and random bytes.
+pub fn validate(bytes: Bytes) -> Result<ProfileSummary, CodecError> {
+    let mut reader = ProfileReader::new_inner(bytes, false)?;
+    while reader.next_event()?.is_some() {}
+    Ok(ProfileSummary {
+        version: reader.version(),
+        width: reader.width(),
+        nodes: reader.node_count(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -969,6 +1026,30 @@ mod tests {
             merge_into(&mut acc, encode(&t)).unwrap_err(),
             CodecError::WidthMismatch { expected: 3, found: 2 }
         );
+    }
+
+    #[test]
+    fn validate_reports_header_facts_and_agrees_with_decode() {
+        let t = sample_tree();
+        for bytes in [encode(&t), encode_v1(&t)] {
+            let s = validate(bytes.clone()).expect("corpus is valid");
+            assert_eq!(s.width, t.width());
+            assert_eq!(s.nodes, t.len());
+            assert_eq!(s.version, if bytes.as_slice()[3] == b'2' { 2 } else { 1 });
+            // Same verdict, same error, at every truncation point.
+            for cut in 0..bytes.len() {
+                let v = validate(bytes.slice(0..cut));
+                let d = decode(bytes.slice(0..cut)).map(|_| ());
+                assert_eq!(v.clone().map(|_| ()), d, "cut {cut}");
+                assert_eq!(v.err(), d.err(), "cut {cut}");
+            }
+        }
+        let named = {
+            let mut names = ProfileNames::default();
+            names.name(Frame::Proc(1), "p_one");
+            encode_named(&t, &names)
+        };
+        assert!(validate(named).is_ok());
     }
 
     #[test]

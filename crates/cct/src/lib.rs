@@ -15,8 +15,9 @@ pub mod merge;
 pub mod tree;
 
 pub use codec::{
-    decode, decode_named, encode, encode_named, encode_v1, merge_into, CodecError, MetricRecord,
-    NodeRecord, ProfileEvent, ProfileNames, ProfileReader, StringTable,
+    decode, decode_named, encode, encode_named, encode_v1, merge_into, validate, CodecError,
+    MetricRecord, NodeRecord, ProfileEvent, ProfileNames, ProfileReader, ProfileSummary,
+    StringTable,
 };
 pub use diff::{diff, DiffEntry, ProfileDiff};
 pub use merge::{

@@ -18,6 +18,8 @@
 //! laptop. Both walks visit nodes in creation order, so the two paths
 //! produce byte-identical re-encodings (a property the tests pin).
 
+use std::sync::Arc;
+
 use dcp_support::bytes::Bytes;
 use dcp_support::pool::join;
 
@@ -143,8 +145,15 @@ fn half_encoded(blobs: Vec<Bytes>, width: usize) -> Result<Cct, CodecError> {
 /// of how the folds were bracketed. The serving layer's concurrent
 /// ingest leans on this: fold blobs in client-assigned sequence order
 /// and the served profile is deterministic.
+///
+/// The accumulator lives behind an [`Arc`] so readers can take a
+/// zero-copy handle ([`shared_tree`](Self::shared_tree)) — a snapshot of
+/// an unchanged class is one refcount bump. A later fold copies the
+/// tree only if a reader still holds it (`Arc::make_mut`), so the deep
+/// clone happens at most once per outstanding snapshot, and never for
+/// classes no ingest touched.
 pub struct IncrementalMerge {
-    acc: Cct,
+    acc: Arc<Cct>,
     pending: Vec<Bytes>,
     pending_bytes: usize,
     blobs: u64,
@@ -154,7 +163,14 @@ pub struct IncrementalMerge {
 impl IncrementalMerge {
     /// An empty accumulator for profiles of `width` metric columns.
     pub fn new(width: usize) -> Self {
-        Self { acc: Cct::new(width), pending: Vec::new(), pending_bytes: 0, blobs: 0, folds: 0 }
+        Self::from_tree(Cct::new(width))
+    }
+
+    /// An accumulator seeded with an already-merged tree — the restore
+    /// path installs a decoded snapshot directly instead of re-folding
+    /// its own encoding.
+    pub fn from_tree(tree: Cct) -> Self {
+        Self { acc: Arc::new(tree), pending: Vec::new(), pending_bytes: 0, blobs: 0, folds: 0 }
     }
 
     pub fn width(&self) -> usize {
@@ -200,7 +216,7 @@ impl IncrementalMerge {
         let batch = std::mem::take(&mut self.pending);
         self.pending_bytes = 0;
         let merged = merge_encoded(batch, self.acc.width())?;
-        self.acc.merge_from(&merged);
+        Arc::make_mut(&mut self.acc).merge_from(&merged);
         self.folds += 1;
         Ok(())
     }
@@ -209,6 +225,15 @@ impl IncrementalMerge {
     pub fn tree(&mut self) -> Result<&Cct, CodecError> {
         self.fold()?;
         Ok(&self.acc)
+    }
+
+    /// Fold anything pending and return a shared handle to the merged
+    /// tree. When nothing was pending this clones nothing — the same
+    /// `Arc` is handed out again, which is what makes snapshotting an
+    /// untouched class free.
+    pub fn shared_tree(&mut self) -> Result<Arc<Cct>, CodecError> {
+        self.fold()?;
+        Ok(Arc::clone(&self.acc))
     }
 }
 
@@ -393,6 +418,35 @@ mod tests {
         assert_eq!(inc.fold().unwrap_err(), CodecError::Truncated);
         assert_eq!(inc.pending(), 0, "bad batch is dropped");
         assert_eq!(encode(inc.tree().expect("acc intact")), before);
+    }
+
+    #[test]
+    fn shared_tree_is_copy_on_write() {
+        let mut inc = IncrementalMerge::new(2);
+        inc.push(encode(&make_profile(1, 5)));
+        let a = inc.shared_tree().expect("valid");
+        let b = inc.shared_tree().expect("valid");
+        assert!(Arc::ptr_eq(&a, &b), "no ingest between snapshots: same handle");
+        let before = encode(&a);
+
+        // A fold while a reader holds the tree must not mutate the
+        // reader's view — the accumulator copies, the handle doesn't.
+        inc.push(encode(&make_profile(2, 5)));
+        let c = inc.shared_tree().expect("valid");
+        assert!(!Arc::ptr_eq(&a, &c), "fold under an outstanding handle re-arcs");
+        assert_eq!(encode(&a), before, "outstanding snapshot is immutable");
+        assert_ne!(encode(&c), before);
+    }
+
+    #[test]
+    fn from_tree_installs_without_folding() {
+        let t = make_profile(3, 7);
+        let want = encode(&t);
+        let mut inc = IncrementalMerge::from_tree(t);
+        assert_eq!(inc.folds(), 0);
+        assert_eq!(encode(inc.tree().expect("no pending")), want);
+        assert_eq!(inc.folds(), 0, "reading an installed tree folds nothing");
+        assert_eq!(inc.width(), 2);
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! a valid magic. Everything is seeded deterministically, so a failure
 //! here is a reproduction recipe, not a flake.
 
-use dcp_cct::{decode, encode, encode_named, encode_v1, Cct, CodecError, Frame, ProfileNames, ROOT};
+use dcp_cct::{
+    decode, encode, encode_named, encode_v1, validate, Cct, CodecError, Frame, ProfileNames, ROOT,
+};
 use dcp_support::bytes::{Bytes, BytesMut};
 use dcp_support::rng::SmallRng;
 
@@ -134,6 +136,84 @@ fn random_bytes_behind_a_valid_magic_never_panic() {
             }
             // Must return — Ok or Err — without panicking or looping.
             let _ = decode(buf.freeze());
+        }
+    }
+}
+
+/// `validate` and `decode` must agree exactly on any input: the same
+/// accept/reject verdict, the same typed error on reject, and on accept
+/// the same header facts. This is the differential proof behind
+/// `decode_bundle` trusting a validate-only walk.
+fn assert_validate_decode_agree(bytes: Bytes, what: &str) {
+    let v = validate(bytes.clone());
+    let d = decode(bytes);
+    match (&v, &d) {
+        (Ok(s), Ok(t)) => {
+            assert_eq!(s.width, t.width(), "{what}: width disagrees");
+            // A mutated-but-accepted stream may carry duplicate node
+            // records that materialization dedups, so the declared count
+            // bounds the tree size rather than equalling it — and the
+            // implicit root exists even when the count says 0. (Strict
+            // equality on canonical encodings is asserted separately.)
+            assert!(s.nodes.max(1) >= t.len(), "{what}: fewer records than nodes");
+        }
+        (Err(ev), Err(ed)) => assert_eq!(ev, ed, "{what}: error type disagrees"),
+        (Ok(_), Err(e)) => panic!("{what}: validate accepted what decode rejects ({e:?})"),
+        (Err(e), Ok(_)) => panic!("{what}: validate rejected ({e:?}) what decode accepts"),
+    }
+}
+
+#[test]
+fn validate_accepts_exactly_what_decode_accepts() {
+    // The full mutation battery, run differentially: corpus, every
+    // truncation, every single-bit flip, random bytes behind a valid
+    // magic, and composed truncate-and-flip.
+    for bytes in corpus() {
+        // Canonical encodings: the summary's node count is exact.
+        let s = validate(bytes.clone()).expect("corpus entries validate");
+        let t = decode(bytes.clone()).expect("corpus entries decode");
+        assert_eq!(s.width, t.width());
+        assert_eq!(s.nodes, t.len(), "canonical node count must be exact");
+        for cut in 0..bytes.len() {
+            assert_validate_decode_agree(bytes.slice(0..cut), &format!("truncation at {cut}"));
+        }
+        for pos in 0..bytes.len() {
+            for bit in 0..8u8 {
+                let mut mutated = bytes.as_slice().to_vec();
+                mutated[pos] ^= 1 << bit;
+                let mut buf = BytesMut::with_capacity(mutated.len());
+                buf.put_slice(&mutated);
+                assert_validate_decode_agree(
+                    buf.freeze(),
+                    &format!("flip at byte {pos} bit {bit}"),
+                );
+            }
+        }
+    }
+    for (case, magic) in [(0u64, 0x4443_5031u32), (1, 0x4443_5032)] {
+        let mut g = SmallRng::seed_from_u64(0xd1ff + case);
+        for i in 0..2048 {
+            let len = g.gen_range(0usize..200);
+            let mut buf = BytesMut::with_capacity(len + 4);
+            buf.put_u32(magic);
+            for _ in 0..len {
+                buf.put_u8((g.next_u64() & 0xff) as u8);
+            }
+            assert_validate_decode_agree(buf.freeze(), &format!("random case {case}/{i}"));
+        }
+    }
+    let mut g = SmallRng::seed_from_u64(0x5eed_d1ff);
+    for bytes in corpus() {
+        for i in 0..128 {
+            let cut = g.gen_range(5usize..bytes.len().max(6)).min(bytes.len());
+            let mut mutated = bytes.slice(0..cut).as_slice().to_vec();
+            if !mutated.is_empty() {
+                let pos = g.gen_range(0usize..mutated.len());
+                mutated[pos] ^= 1 << g.gen_range(0u32..8);
+            }
+            let mut buf = BytesMut::with_capacity(mutated.len());
+            buf.put_slice(&mutated);
+            assert_validate_decode_agree(buf.freeze(), &format!("truncate+flip {i}"));
         }
     }
 }

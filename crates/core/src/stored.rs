@@ -15,8 +15,10 @@
 //! byte-identical text from either side of the wire — the invariant the
 //! served-diff golden test pins.
 
+use std::sync::Arc;
+
 use dcp_cct::codec::{get_slice, get_varint, put_varint};
-use dcp_cct::{decode, encode, Cct, CodecError, Frame, IncrementalMerge, NodeId};
+use dcp_cct::{decode, encode, validate, Cct, CodecError, Frame, IncrementalMerge, NodeId};
 use dcp_runtime::ir::{Ip, Program};
 use dcp_support::bytes::{Bytes, BytesMut};
 use dcp_support::FxHashMap;
@@ -153,49 +155,66 @@ pub fn encode_bundle(b: &StoredBundle) -> Bytes {
             buf.put_slice(blob);
         }
     }
-    // Name and hint records in sorted key order, so equal bundles encode
-    // to equal bytes no matter how their maps were populated.
-    let mut names: Vec<(&Frame, &String)> = b.names.iter().collect();
-    names.sort_by_key(|(f, _)| frame_parts(**f));
-    put_varint(&mut buf, names.len() as u64);
-    for (f, name) in names {
-        put_frame(&mut buf, *f);
-        put_str(&mut buf, name);
-    }
-    let mut hints: Vec<(&u64, &String)> = b.hints.iter().collect();
-    hints.sort_by_key(|(ip, _)| **ip);
-    put_varint(&mut buf, hints.len() as u64);
-    for (ip, hint) in hints {
-        put_varint(&mut buf, *ip);
-        put_str(&mut buf, hint);
-    }
-    put_varint(&mut buf, b.alloc_info.len() as u64);
-    for (path, count, bytes, zeroed) in &b.alloc_info {
-        put_varint(&mut buf, path.len() as u64);
-        for f in path {
-            put_frame(&mut buf, *f);
-        }
-        put_varint(&mut buf, *count);
-        put_varint(&mut buf, *bytes);
-        put_varint(&mut buf, *zeroed);
-    }
-    let s = &b.stats;
-    put_varint(&mut buf, s.samples);
-    for v in s.samples_by_class {
-        put_varint(&mut buf, v);
-    }
-    put_varint(&mut buf, s.allocs_seen);
-    put_varint(&mut buf, s.allocs_tracked);
-    put_varint(&mut buf, s.frees_seen);
-    put_varint(&mut buf, s.unwind_frames);
-    put_varint(&mut buf, s.overhead_cycles);
+    encode_meta_into(&mut buf, &b.names, &b.hints, &b.alloc_info, &b.stats);
     buf.freeze()
 }
 
-/// Decode an untrusted bundle. Every embedded profile blob is validated
-/// by a full decode (then kept as raw bytes for the incremental merge),
-/// every length is checked against the remaining input, and trailing
-/// garbage is rejected — the serve robustness sweep leans on this.
+/// The bundle sections after the profile blobs: names, hints, alloc
+/// info, stats. Shared by [`encode_bundle`] and
+/// [`StoredAccumulator::encode_state`] so the two paths cannot drift a
+/// byte apart.
+fn encode_meta_into(
+    buf: &mut BytesMut,
+    names: &FxHashMap<Frame, String>,
+    hints: &FxHashMap<u64, String>,
+    alloc_info: &[(Vec<Frame>, u64, u64, u64)],
+    stats: &ProfStats,
+) {
+    // Name and hint records in sorted key order, so equal bundles encode
+    // to equal bytes no matter how their maps were populated.
+    let mut names: Vec<(&Frame, &String)> = names.iter().collect();
+    names.sort_by_key(|(f, _)| frame_parts(**f));
+    put_varint(buf, names.len() as u64);
+    for (f, name) in names {
+        put_frame(buf, *f);
+        put_str(buf, name);
+    }
+    let mut hints: Vec<(&u64, &String)> = hints.iter().collect();
+    hints.sort_by_key(|(ip, _)| **ip);
+    put_varint(buf, hints.len() as u64);
+    for (ip, hint) in hints {
+        put_varint(buf, *ip);
+        put_str(buf, hint);
+    }
+    put_varint(buf, alloc_info.len() as u64);
+    for (path, count, bytes, zeroed) in alloc_info {
+        put_varint(buf, path.len() as u64);
+        for f in path {
+            put_frame(buf, *f);
+        }
+        put_varint(buf, *count);
+        put_varint(buf, *bytes);
+        put_varint(buf, *zeroed);
+    }
+    put_varint(buf, stats.samples);
+    for v in stats.samples_by_class {
+        put_varint(buf, v);
+    }
+    put_varint(buf, stats.allocs_seen);
+    put_varint(buf, stats.allocs_tracked);
+    put_varint(buf, stats.frees_seen);
+    put_varint(buf, stats.unwind_frames);
+    put_varint(buf, stats.overhead_cycles);
+}
+
+/// Decode an untrusted bundle. Every embedded profile blob is checked
+/// by a streaming [`validate`] walk — the same parse loop a decode
+/// runs, but with zero node materialization, since the blob is kept as
+/// raw bytes for the incremental merge anyway — every length is checked
+/// against the remaining input, duplicate name/hint keys are rejected
+/// (first-wins and last-wins consumers must not be able to disagree),
+/// and trailing garbage is rejected — the serve robustness sweep leans
+/// on this.
 pub fn decode_bundle(mut buf: Bytes) -> Result<StoredBundle, CodecError> {
     if get_slice(&mut buf, BUNDLE_MAGIC.len())?.as_slice() != BUNDLE_MAGIC {
         return Err(CodecError::BadMagic);
@@ -217,9 +236,9 @@ pub fn decode_bundle(mut buf: Bytes) -> Result<StoredBundle, CodecError> {
                 return Err(CodecError::Truncated);
             }
             let blob = get_slice(&mut buf, len as usize)?;
-            let tree = decode(blob.clone())?;
-            if tree.width() != WIDTH {
-                return Err(CodecError::WidthMismatch { expected: WIDTH, found: tree.width() });
+            let summary = validate(blob.clone())?;
+            if summary.width != WIDTH {
+                return Err(CodecError::WidthMismatch { expected: WIDTH, found: summary.width });
             }
             class.push(blob);
         }
@@ -228,13 +247,17 @@ pub fn decode_bundle(mut buf: Bytes) -> Result<StoredBundle, CodecError> {
     for _ in 0..check_count(get_varint(&mut buf)?, &buf)? {
         let f = get_frame(&mut buf)?;
         let name = get_str(&mut buf)?;
-        names.insert(f, name);
+        if names.insert(f, name).is_some() {
+            return Err(CodecError::DuplicateKey);
+        }
     }
     let mut hints: FxHashMap<u64, String> = FxHashMap::default();
     for _ in 0..check_count(get_varint(&mut buf)?, &buf)? {
         let ip = get_varint(&mut buf)?;
         let hint = get_str(&mut buf)?;
-        hints.insert(ip, hint);
+        if hints.insert(ip, hint).is_some() {
+            return Err(CodecError::DuplicateKey);
+        }
     }
     let mut alloc_info = Vec::new();
     for _ in 0..check_count(get_varint(&mut buf)?, &buf)? {
@@ -272,15 +295,32 @@ pub fn decode_bundle(mut buf: Bytes) -> Result<StoredBundle, CodecError> {
 /// incremental-merge invariant makes each class tree byte-identical on
 /// re-encode to `merge_encoded_sequential` over that order — so a fixed
 /// ingest order fixes every served byte.
+///
+/// The read path is incremental. The symbol tables live behind `Arc`s
+/// and a [`snapshot`](Self::snapshot) hands out shared per-class tree
+/// handles, so snapshotting after an ingest rebuilds (and, lazily,
+/// copies) only the classes that actually received blobs — everything
+/// untouched is a refcount bump. Per-class encoded bytes are cached and
+/// invalidated only by an ingest into that class, so
+/// [`encode_state`](Self::encode_state) re-encodes dirty classes and
+/// splices cached bytes for the rest.
 #[derive(Default)]
 pub struct StoredAccumulator {
     merges: Option<[IncrementalMerge; CLASSES]>,
-    names: FxHashMap<Frame, String>,
-    hints: FxHashMap<u64, String>,
-    alloc_info: FxHashMap<Vec<Frame>, (u64, u64, u64)>,
+    /// `encode(tree)` per class, invalidated by an ingest into that
+    /// class. Splicing a cached entry is sound because the v2 encoder is
+    /// deterministic on an unchanged tree (`encode ∘ decode` is pinned
+    /// byte-identical).
+    cached_encoded: [Option<Bytes>; CLASSES],
+    names: Arc<FxHashMap<Frame, String>>,
+    hints: Arc<FxHashMap<u64, String>>,
+    alloc_info: Arc<FxHashMap<Vec<Frame>, (u64, u64, u64)>>,
     stats: ProfStats,
     bundles: u64,
     blob_bytes: u64,
+    /// Classes folded with blobs pending — the observable cost of the
+    /// incremental read path (each one is a real merge + re-encode).
+    dirty_rebuilds: u64,
 }
 
 impl StoredAccumulator {
@@ -297,35 +337,57 @@ impl StoredAccumulator {
 
     /// Buffer one bundle's blobs and fold its metadata. O(bundle size);
     /// tree merging is deferred to [`fold`](Self::fold)/
-    /// [`snapshot`](Self::snapshot).
+    /// [`snapshot`](Self::snapshot). Classes that receive blobs have
+    /// their cached encodings invalidated; symbol tables are cloned for
+    /// writing only when the bundle actually carries a new key, so the
+    /// steady state (same workload, same symbols) never copies them.
     pub fn ingest(&mut self, bundle: StoredBundle) {
         let StoredBundle { profiles, names, hints, alloc_info, stats } = bundle;
         for (class, blobs) in profiles.into_iter().enumerate() {
+            if !blobs.is_empty() {
+                self.cached_encoded[class] = None;
+            }
             for blob in blobs {
                 self.blob_bytes += blob.len() as u64;
                 self.merges_mut()[class].push(blob);
             }
         }
-        for (f, n) in names {
-            self.names.entry(f).or_insert(n);
+        if names.keys().any(|f| !self.names.contains_key(f)) {
+            let dst = Arc::make_mut(&mut self.names);
+            for (f, n) in names {
+                dst.entry(f).or_insert(n);
+            }
         }
-        for (ip, h) in hints {
-            self.hints.entry(ip).or_insert(h);
+        if hints.keys().any(|ip| !self.hints.contains_key(ip)) {
+            let dst = Arc::make_mut(&mut self.hints);
+            for (ip, h) in hints {
+                dst.entry(ip).or_insert(h);
+            }
         }
-        for (path, count, bytes, zeroed) in alloc_info {
-            let e = self.alloc_info.entry(path).or_insert((0, 0, 0));
-            e.0 += count;
-            e.1 += bytes;
-            e.2 += zeroed;
+        if !alloc_info.is_empty() {
+            let dst = Arc::make_mut(&mut self.alloc_info);
+            for (path, count, bytes, zeroed) in alloc_info {
+                let e = dst.entry(path).or_insert((0, 0, 0));
+                e.0 += count;
+                e.1 += bytes;
+                e.2 += zeroed;
+            }
         }
         self.stats.merge(&stats);
         self.bundles += 1;
     }
 
-    /// Merge everything pending into the per-class accumulators.
+    /// Merge everything pending into the per-class accumulators. Only
+    /// classes with pending blobs do any work; each counts as one dirty
+    /// rebuild.
     pub fn fold(&mut self) -> Result<(), CodecError> {
-        for inc in self.merges_mut() {
+        for class in 0..CLASSES {
+            let inc = &mut self.merges_mut()[class];
+            let dirty = inc.pending() > 0;
             inc.fold()?;
+            if dirty {
+                self.dirty_rebuilds += 1;
+            }
         }
         Ok(())
     }
@@ -345,6 +407,23 @@ impl StoredAccumulator {
         self.merges.as_ref().map_or(0, |ms| ms.iter().map(IncrementalMerge::folds).sum())
     }
 
+    /// Classes rebuilt (folded with blobs pending) so far — the work the
+    /// dirty-class tracking did NOT skip. A snapshot or partial after an
+    /// ingest touching one class advances this by exactly one.
+    pub fn dirty_rebuilds(&self) -> u64 {
+        self.dirty_rebuilds
+    }
+
+    /// The encoded bytes of one class tree, from cache when the class
+    /// has not been touched since the last encode. Callers fold first.
+    fn class_encoded(&mut self, class: usize) -> Result<Bytes, CodecError> {
+        if self.cached_encoded[class].is_none() {
+            let bytes = encode(self.merges_mut()[class].tree()?);
+            self.cached_encoded[class] = Some(bytes);
+        }
+        Ok(self.cached_encoded[class].clone().expect("just filled"))
+    }
+
     /// Fold and re-package the accumulated state as one self-describing
     /// bundle — the serve layer's durable snapshot record. Ingesting the
     /// returned bundle into a fresh accumulator reconstructs a state
@@ -356,7 +435,7 @@ impl StoredAccumulator {
         self.fold()?;
         let mut profiles: [Vec<Bytes>; CLASSES] = std::array::from_fn(|_| Vec::new());
         for (class, out) in profiles.iter_mut().enumerate() {
-            out.push(encode(self.merges_mut()[class].tree()?));
+            out.push(self.class_encoded(class)?);
         }
         let mut alloc_info: Vec<(Vec<Frame>, u64, u64, u64)> = self
             .alloc_info
@@ -366,39 +445,154 @@ impl StoredAccumulator {
         alloc_info.sort();
         Ok(StoredBundle {
             profiles,
-            names: self.names.clone(),
-            hints: self.hints.clone(),
+            names: (*self.names).clone(),
+            hints: (*self.hints).clone(),
             alloc_info,
             stats: self.stats.clone(),
         })
     }
 
-    /// Rebuild an accumulator from a snapshot bundle plus the counters a
-    /// bundle cannot carry — the inverse of [`to_bundle`](Self::to_bundle).
-    pub fn restore(bundle: StoredBundle, bundles: u64, blob_bytes: u64) -> Self {
-        let mut acc = Self::new();
-        acc.ingest(bundle);
-        acc.bundles = bundles;
-        acc.blob_bytes = blob_bytes;
-        acc
+    /// Serialize the accumulated state straight to DCPB wire bytes —
+    /// byte-identical to `encode_bundle(&self.to_bundle()?)` (a pinned
+    /// test) without materializing the intermediate bundle: dirty
+    /// classes re-encode, clean classes splice their cached bytes, and
+    /// the metadata tail shares [`encode_bundle`]'s writer.
+    pub fn encode_state(&mut self) -> Result<Bytes, CodecError> {
+        self.fold()?;
+        let mut buf = BytesMut::new();
+        buf.put_slice(BUNDLE_MAGIC);
+        put_varint(&mut buf, BUNDLE_VERSION);
+        put_varint(&mut buf, WIDTH as u64);
+        for class in 0..CLASSES {
+            let blob = self.class_encoded(class)?;
+            put_varint(&mut buf, 1);
+            put_varint(&mut buf, blob.len() as u64);
+            buf.put_slice(&blob);
+        }
+        let mut alloc_info: Vec<(Vec<Frame>, u64, u64, u64)> = self
+            .alloc_info
+            .iter()
+            .map(|(path, &(count, bytes, zeroed))| (path.clone(), count, bytes, zeroed))
+            .collect();
+        alloc_info.sort();
+        encode_meta_into(&mut buf, &self.names, &self.hints, &alloc_info, &self.stats);
+        Ok(buf.freeze())
     }
 
-    /// Fold and take a renderable snapshot of the current state.
+    /// Rebuild an accumulator from a snapshot bundle plus the counters a
+    /// bundle cannot carry — the inverse of [`to_bundle`](Self::to_bundle).
+    ///
+    /// A snapshot-shaped bundle (exactly one valid blob per class — what
+    /// `to_bundle` emits) installs its decoded trees and metadata
+    /// directly: zero folds, and each v2 blob becomes the class's cached
+    /// encoding (sound because a v2 re-encode is pinned byte-identical).
+    /// Any other shape falls back to the ingest path, whose next fold
+    /// surfaces bad blobs the usual way.
+    pub fn restore(bundle: StoredBundle, bundles: u64, blob_bytes: u64) -> Self {
+        let snapshot_shaped = bundle.profiles.iter().all(|c| c.len() == 1);
+        let decoded: Option<Vec<Cct>> = if snapshot_shaped {
+            bundle
+                .profiles
+                .iter()
+                .map(|c| decode(c[0].clone()).ok().filter(|t| t.width() == WIDTH))
+                .collect()
+        } else {
+            None
+        };
+        let Some(trees) = decoded else {
+            let mut acc = Self::new();
+            acc.ingest(bundle);
+            acc.bundles = bundles;
+            acc.blob_bytes = blob_bytes;
+            return acc;
+        };
+        let StoredBundle { profiles, names, hints, alloc_info, stats } = bundle;
+        let cached_encoded = std::array::from_fn(|class| {
+            let blob = &profiles[class][0];
+            blob.as_slice().starts_with(b"DCP2").then(|| blob.clone())
+        });
+        let trees: [Cct; CLASSES] =
+            trees.try_into().unwrap_or_else(|_| unreachable!("exactly CLASSES trees"));
+        let merges = trees.map(IncrementalMerge::from_tree);
+        Self {
+            merges: Some(merges),
+            cached_encoded,
+            names: Arc::new(names),
+            hints: Arc::new(hints),
+            alloc_info: Arc::new(
+                alloc_info.into_iter().map(|(p, c, b, z)| (p, (c, b, z))).collect(),
+            ),
+            stats,
+            bundles,
+            blob_bytes,
+            dirty_rebuilds: 0,
+        }
+    }
+
+    /// Fold and take a renderable snapshot of the current state. Classes
+    /// no ingest touched hand out the same shared tree as the previous
+    /// snapshot; the symbol tables are always shared.
     pub fn snapshot(&mut self) -> Result<StoredProfiles, CodecError> {
         self.fold()?;
         let mut trees = Vec::with_capacity(CLASSES);
         for inc in self.merges_mut() {
-            trees.push(inc.tree()?.clone());
+            trees.push(inc.shared_tree()?);
         }
-        let trees: [Cct; CLASSES] =
+        let trees: [Arc<Cct>; CLASSES] =
             trees.try_into().unwrap_or_else(|_| unreachable!("exactly CLASSES trees"));
         Ok(StoredProfiles {
             trees,
-            names: self.names.clone(),
-            hints: self.hints.clone(),
-            alloc_info: self.alloc_info.clone(),
+            names: Arc::clone(&self.names),
+            hints: Arc::clone(&self.hints),
+            alloc_info: Arc::clone(&self.alloc_info),
             stats: self.stats.clone(),
         })
+    }
+
+    /// The pre-incremental snapshot: fold, then deep-clone every class
+    /// tree and every symbol table. Byte-identical output to
+    /// [`snapshot`](Self::snapshot); kept so the serve bench can run a
+    /// baseline daemon that pays the old per-epoch cost.
+    pub fn snapshot_cloned(&mut self) -> Result<StoredProfiles, CodecError> {
+        self.fold()?;
+        let mut trees = Vec::with_capacity(CLASSES);
+        for inc in self.merges_mut() {
+            trees.push(Arc::new(inc.tree()?.clone()));
+        }
+        let trees: [Arc<Cct>; CLASSES] =
+            trees.try_into().unwrap_or_else(|_| unreachable!("exactly CLASSES trees"));
+        Ok(StoredProfiles {
+            trees,
+            names: Arc::new((*self.names).clone()),
+            hints: Arc::new((*self.hints).clone()),
+            alloc_info: Arc::new((*self.alloc_info).clone()),
+            stats: self.stats.clone(),
+        })
+    }
+
+    /// The pre-incremental state encoding: fold, then re-encode every
+    /// class from its tree, ignoring the cache. Byte-identical output to
+    /// [`encode_state`](Self::encode_state); the serve bench's baseline.
+    pub fn encode_state_recoded(&mut self) -> Result<Bytes, CodecError> {
+        self.fold()?;
+        let mut buf = BytesMut::new();
+        buf.put_slice(BUNDLE_MAGIC);
+        put_varint(&mut buf, BUNDLE_VERSION);
+        put_varint(&mut buf, WIDTH as u64);
+        for class in 0..CLASSES {
+            let blob = encode(self.merges_mut()[class].tree()?);
+            put_varint(&mut buf, 1);
+            put_varint(&mut buf, blob.len() as u64);
+            buf.put_slice(&blob);
+        }
+        let mut alloc_info: Vec<(Vec<Frame>, u64, u64, u64)> = self
+            .alloc_info
+            .iter()
+            .map(|(path, &(count, bytes, zeroed))| (path.clone(), count, bytes, zeroed))
+            .collect();
+        alloc_info.sort();
+        encode_meta_into(&mut buf, &self.names, &self.hints, &alloc_info, &self.stats);
+        Ok(buf.freeze())
     }
 }
 
@@ -406,22 +600,27 @@ impl StoredAccumulator {
 /// per-class trees plus the symbol tables the bundles carried. An empty
 /// set (nothing ever ingested) is fully defined — every view renders
 /// its empty form.
+///
+/// Every field sits behind an `Arc`: a snapshot is a handle onto the
+/// accumulator's copy-on-write state, so taking one after an ingest
+/// that touched a single class clones nothing — the untouched class
+/// trees and the symbol maps are shared with the previous snapshot.
 #[derive(Debug, Clone)]
 pub struct StoredProfiles {
-    trees: [Cct; CLASSES],
-    names: FxHashMap<Frame, String>,
-    hints: FxHashMap<u64, String>,
-    alloc_info: FxHashMap<Vec<Frame>, (u64, u64, u64)>,
+    trees: [Arc<Cct>; CLASSES],
+    names: Arc<FxHashMap<Frame, String>>,
+    hints: Arc<FxHashMap<u64, String>>,
+    alloc_info: Arc<FxHashMap<Vec<Frame>, (u64, u64, u64)>>,
     stats: ProfStats,
 }
 
 impl Default for StoredProfiles {
     fn default() -> Self {
         Self {
-            trees: std::array::from_fn(|_| Cct::new(WIDTH)),
-            names: FxHashMap::default(),
-            hints: FxHashMap::default(),
-            alloc_info: FxHashMap::default(),
+            trees: std::array::from_fn(|_| Arc::new(Cct::new(WIDTH))),
+            names: Arc::default(),
+            hints: Arc::default(),
+            alloc_info: Arc::default(),
             stats: ProfStats::default(),
         }
     }
@@ -441,6 +640,13 @@ impl StoredProfiles {
     /// byte-identity test reads this).
     pub fn export(&self, c: StorageClass) -> Bytes {
         encode(&self.trees[c.idx()])
+    }
+
+    /// The shared handle for one class tree. Snapshot-sharing tests use
+    /// `Arc::ptr_eq` on this to prove that a snapshot taken after an
+    /// ingest touching one class rebuilt only that class.
+    pub fn class_tree_handle(&self, c: StorageClass) -> &Arc<Cct> {
+        &self.trees[c.idx()]
     }
 }
 
@@ -716,5 +922,156 @@ mod tests {
         let mut long = wire.to_vec();
         long.push(0);
         assert!(decode_bundle(bytes_of(&long)).is_err());
+    }
+
+    #[test]
+    fn restore_installs_without_folding() {
+        // The regression the direct constructor exists for: rebuilding
+        // from a snapshot bundle must not fold (the old path round-
+        // tripped through ingest and paid a spurious full merge).
+        let prog = program();
+        let mut acc = StoredAccumulator::new();
+        for s in 0..3 {
+            acc.ingest(bundle_from_measurement(&prog, &measured(&prog, s)));
+        }
+        let wire = encode_bundle(&acc.to_bundle().expect("valid blobs"));
+        let snap = decode_bundle(wire).expect("snapshot bundle decodes");
+        let mut resumed = StoredAccumulator::restore(snap, acc.bundles(), acc.blob_bytes());
+        assert_eq!(resumed.folds(), 0, "restore must install, not re-merge");
+        assert_eq!(resumed.dirty_rebuilds(), 0);
+        // Snapshotting the untouched restore still does no merge work,
+        // and serves the exact bytes of the original accumulator.
+        let sp = resumed.snapshot().expect("valid");
+        assert_eq!(resumed.folds(), 0);
+        assert_eq!(resumed.dirty_rebuilds(), 0);
+        let orig = acc.snapshot().expect("valid");
+        for c in StorageClass::ALL {
+            assert_eq!(sp.export(c), orig.export(c), "class {c:?}");
+        }
+        // And its encoded state splices the cached snapshot blobs
+        // without a single re-encode-triggering fold.
+        assert_eq!(
+            resumed.encode_state().expect("valid"),
+            encode_bundle(&acc.to_bundle().expect("valid"))
+        );
+        assert_eq!(resumed.folds(), 0);
+    }
+
+    #[test]
+    fn encode_state_matches_encode_bundle_bytes() {
+        // encode_state (the cached-splice path) must be byte-identical
+        // to encode_bundle(to_bundle()) at every point in a stream.
+        let prog = program();
+        let bundles: Vec<StoredBundle> =
+            (0..3).map(|s| bundle_from_measurement(&prog, &measured(&prog, s))).collect();
+        let mut fast = StoredAccumulator::new();
+        let mut slow = StoredAccumulator::new();
+        for b in &bundles {
+            fast.ingest(b.clone());
+            slow.ingest(b.clone());
+            assert_eq!(
+                fast.encode_state().expect("valid"),
+                encode_bundle(&slow.to_bundle().expect("valid"))
+            );
+        }
+        // A second encode with nothing new serves entirely from cache.
+        let rebuilds = fast.dirty_rebuilds();
+        assert_eq!(
+            fast.encode_state().expect("valid"),
+            encode_bundle(&slow.to_bundle().expect("valid"))
+        );
+        assert_eq!(fast.dirty_rebuilds(), rebuilds, "clean encode must not rebuild");
+    }
+
+    /// A hand-assembled bundle with no profile blobs and the given name
+    /// and hint records, in the order given — the encoder can't emit
+    /// duplicates (its maps dedup), so adversarial wire is built here.
+    fn meta_wire(names: &[(Frame, &str)], hints: &[(u64, &str)]) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(BUNDLE_MAGIC);
+        put_varint(&mut buf, BUNDLE_VERSION);
+        put_varint(&mut buf, WIDTH as u64);
+        for _ in 0..CLASSES {
+            put_varint(&mut buf, 0);
+        }
+        put_varint(&mut buf, names.len() as u64);
+        for (f, n) in names {
+            put_frame(&mut buf, *f);
+            put_str(&mut buf, n);
+        }
+        put_varint(&mut buf, hints.len() as u64);
+        for (ip, h) in hints {
+            put_varint(&mut buf, *ip);
+            put_str(&mut buf, h);
+        }
+        put_varint(&mut buf, 0); // alloc_info
+        let stat_fields = 1 + ProfStats::default().samples_by_class.len() + 5;
+        for _ in 0..stat_fields {
+            put_varint(&mut buf, 0);
+        }
+        buf.freeze()
+    }
+
+    #[test]
+    fn bundle_decode_rejects_duplicate_keys() {
+        // Distinct keys decode fine.
+        let ok = meta_wire(
+            &[(Frame::Proc(1), "a"), (Frame::Proc(2), "b")],
+            &[(0x10, "x"), (0x20, "y")],
+        );
+        let d = decode_bundle(ok).expect("distinct keys decode");
+        assert_eq!(d.names.len(), 2);
+        assert_eq!(d.hints.len(), 2);
+        // A repeated name key is a typed error, even with an identical
+        // value: first-wins (ingest) and last-wins (a naive map build)
+        // consumers must never be able to disagree about a bundle.
+        let dup_name = meta_wire(&[(Frame::Proc(1), "a"), (Frame::Proc(1), "a")], &[]);
+        assert!(matches!(decode_bundle(dup_name), Err(CodecError::DuplicateKey)));
+        let dup_name2 = meta_wire(&[(Frame::Proc(1), "a"), (Frame::Proc(1), "b")], &[]);
+        assert!(matches!(decode_bundle(dup_name2), Err(CodecError::DuplicateKey)));
+        // Same for hints.
+        let dup_hint = meta_wire(&[], &[(0x10, "x"), (0x10, "y")]);
+        assert!(matches!(decode_bundle(dup_hint), Err(CodecError::DuplicateKey)));
+    }
+
+    /// A bundle touching only the heap class, for the dirty-class tests.
+    fn heap_only_bundle(seed: u64) -> StoredBundle {
+        let mut t = Cct::new(WIDTH);
+        t.insert_path(vec![Frame::HeapMarker, Frame::Proc(seed % 3)], 0, 1 + seed);
+        let mut b = StoredBundle::default();
+        b.profiles[StorageClass::Heap.idx()].push(encode(&t));
+        b.stats.samples = 1 + seed;
+        b
+    }
+
+    #[test]
+    fn snapshot_shares_every_untouched_class() {
+        let mut acc = StoredAccumulator::new();
+        acc.ingest(heap_only_bundle(1));
+        let s1 = acc.snapshot().expect("valid");
+        assert_eq!(acc.dirty_rebuilds(), 1, "one class received blobs");
+        acc.ingest(heap_only_bundle(2));
+        let s2 = acc.snapshot().expect("valid");
+        assert_eq!(acc.dirty_rebuilds(), 2, "still only the heap class rebuilt");
+        for c in StorageClass::ALL {
+            if c == StorageClass::Heap {
+                assert!(
+                    !Arc::ptr_eq(s1.class_tree_handle(c), s2.class_tree_handle(c)),
+                    "the dirty class must be a fresh tree"
+                );
+            } else {
+                assert!(
+                    Arc::ptr_eq(s1.class_tree_handle(c), s2.class_tree_handle(c)),
+                    "untouched class {c:?} must share its tree across snapshots"
+                );
+            }
+        }
+        // Symbol tables are shared too (no names ingested, no copy).
+        assert!(Arc::ptr_eq(&s1.names, &s2.names));
+        assert!(Arc::ptr_eq(&s1.alloc_info, &s2.alloc_info));
+        // The earlier snapshot stayed immutable: it still renders the
+        // single-bundle heap total.
+        assert_eq!(s1.class_tree(StorageClass::Heap).total(0), 2);
+        assert_eq!(s2.class_tree(StorageClass::Heap).total(0), 5);
     }
 }

@@ -114,9 +114,16 @@ impl From<ServeError> for RouteError {
     }
 }
 
-/// Mutable shared state: the response cache and latency histograms.
+/// Mutable shared state: the response cache, the per-set reconstruction
+/// cache, and latency histograms.
 struct Inner {
     cache: LruCache<CacheKey, String>,
+    /// Reconstructed set snapshots keyed by name, valid for one shard
+    /// epoch: a cold *query* (new text, same data) reuses the previous
+    /// reconstruction instead of re-fetching and re-decoding the
+    /// partial — the router-side twin of the shard's per-epoch snapshot
+    /// cache.
+    recon: FxHashMap<String, (u64, Arc<dcp_core::stored::StoredProfiles>)>,
     latency: FxHashMap<&'static str, LatencyHistogram>,
 }
 
@@ -137,6 +144,15 @@ struct Core {
     ring_mismatch: AtomicU64,
     /// Shard partials that failed to decode or recombine.
     partial_merge: AtomicU64,
+    /// Cached reconstructions reused at render time (no decode, no
+    /// restore).
+    snapshot_reuse: AtomicU64,
+    /// Partial fetches skipped outright because the cached
+    /// reconstruction already matched the set's epoch.
+    partial_reuse: AtomicU64,
+    /// Class trees materialized by fresh partial reconstructions — the
+    /// work the reconstruction cache exists to avoid.
+    dirty_class_rebuilds: AtomicU64,
 }
 
 /// Per-session shard connection pool: one cached [`Client`] per replica
@@ -354,12 +370,28 @@ impl Core {
         if let Some(hit) = self.inner.lock().cache.get(&key).cloned() {
             return Ok(hit);
         }
-        // Miss: fetch each set's partial and rebuild its snapshot. An
-        // ingest may race ahead of the epoch fetch; the partial's own
-        // epoch is what the response actually reflects, so the cache
-        // entry is keyed under it.
+        // Miss: resolve each set's renderable snapshot. A cached
+        // reconstruction at the set's current epoch is reused without
+        // moving partial bytes at all; otherwise the partial is fetched
+        // and rebuilt. An ingest may race ahead of the epoch fetch; the
+        // partial's own epoch is what the response actually reflects, so
+        // the cache entry is keyed under it.
         let mut snaps = Vec::with_capacity(view.sets.len());
         for (i, (set, group)) in view.sets.iter().zip(&groups).enumerate() {
+            let cached = {
+                let inner = self.inner.lock();
+                inner
+                    .recon
+                    .get(set.as_str())
+                    .filter(|(e, _)| *e == epochs[i])
+                    .map(|(_, s)| Arc::clone(s))
+            };
+            if let Some(snap) = cached {
+                self.partial_reuse.fetch_add(1, Ordering::Relaxed);
+                self.snapshot_reuse.fetch_add(1, Ordering::Relaxed);
+                snaps.push(snap);
+                continue;
+            }
             let resp = self.with_replica(conns, *group, &Request::Partial(set.clone()))?;
             let bytes = match resp {
                 Response::Data(bytes) => bytes,
@@ -376,11 +408,33 @@ impl Core {
                 ServeError::PartialMerge(format!("set '{set}' from shard {group}: {e}"))
             })?;
             epochs[i] = partial.epoch;
+            // A racing session may have reconstructed this epoch while
+            // the partial was in flight.
+            let cached = {
+                let inner = self.inner.lock();
+                inner
+                    .recon
+                    .get(set.as_str())
+                    .filter(|(e, _)| *e == partial.epoch)
+                    .map(|(_, s)| Arc::clone(s))
+            };
+            if let Some(snap) = cached {
+                self.snapshot_reuse.fetch_add(1, Ordering::Relaxed);
+                snaps.push(snap);
+                continue;
+            }
             let profiles = partial.reconstruct().map_err(|e| {
                 self.partial_merge.fetch_add(1, Ordering::Relaxed);
                 ServeError::PartialMerge(format!("set '{set}' from shard {group}: {e}"))
             })?;
-            snaps.push(Arc::new(profiles));
+            self.dirty_class_rebuilds
+                .fetch_add(dcp_core::metrics::CLASSES as u64, Ordering::Relaxed);
+            let snap = Arc::new(profiles);
+            self.inner
+                .lock()
+                .recon
+                .insert(set.clone(), (partial.epoch, Arc::clone(&snap)));
+            snaps.push(snap);
         }
         let response = render_view(&view.plan, &snaps);
         let key = CacheKey { query: q.to_string(), epochs };
@@ -425,6 +479,12 @@ impl Core {
         ));
         out.push_str(&format!("ring_mismatch {}\n", self.ring_mismatch.load(Ordering::Relaxed)));
         out.push_str(&format!("partial_merge {}\n", self.partial_merge.load(Ordering::Relaxed)));
+        out.push_str(&format!("snapshot_reuse {}\n", self.snapshot_reuse.load(Ordering::Relaxed)));
+        out.push_str(&format!("partial_reuse {}\n", self.partial_reuse.load(Ordering::Relaxed)));
+        out.push_str(&format!(
+            "dirty_class_rebuilds {}\n",
+            self.dirty_class_rebuilds.load(Ordering::Relaxed)
+        ));
         let inner = self.inner.lock();
         out.push_str(&format!(
             "cache_hits {}\ncache_misses {}\ncache_hit_rate {:.3}\ncache_entries {}\ncache_bytes {}\n",
@@ -489,7 +549,11 @@ impl Router {
         let core = Core {
             config,
             ring,
-            inner: Mutex::new(Inner { cache, latency: FxHashMap::default() }),
+            inner: Mutex::new(Inner {
+                cache,
+                recon: FxHashMap::default(),
+                latency: FxHashMap::default(),
+            }),
             cursor: AtomicUsize::new(0),
             ingests: AtomicU64::new(0),
             queries: AtomicU64::new(0),
@@ -497,6 +561,9 @@ impl Router {
             shard_unreachable: AtomicU64::new(0),
             ring_mismatch: AtomicU64::new(0),
             partial_merge: AtomicU64::new(0),
+            snapshot_reuse: AtomicU64::new(0),
+            partial_reuse: AtomicU64::new(0),
+            dirty_class_rebuilds: AtomicU64::new(0),
         };
         Ok(Self {
             listener,

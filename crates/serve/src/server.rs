@@ -91,6 +91,11 @@ pub struct ServerConfig {
     /// single decode+commit group (a windowed client's pipelined
     /// pushes). 1 disables socket batching.
     pub ingest_group: usize,
+    /// Serve snapshots/partials through the incremental read path (see
+    /// [`StoreConfig::incremental_read`]). False restores the
+    /// deep-clone/re-encode baseline — byte-identical output, old cost;
+    /// the measured baseline in `serve_bench`'s interleaved phase.
+    pub incremental_read: bool,
 }
 
 impl Default for ServerConfig {
@@ -109,6 +114,7 @@ impl Default for ServerConfig {
             snapshot_every: 0,
             group_commit: true,
             ingest_group: 64,
+            incremental_read: true,
         }
     }
 }
@@ -144,6 +150,7 @@ impl Server {
             pending_cap: config.pending_cap,
             cache_entries: config.cache_entries,
             cache_bytes: config.cache_bytes,
+            incremental_read: config.incremental_read,
         });
         let mut recovery = None;
         let durability = match &config.data_dir {

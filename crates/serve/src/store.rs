@@ -63,6 +63,11 @@ pub struct StoreConfig {
     pub cache_entries: usize,
     /// Response cache byte cap.
     pub cache_bytes: usize,
+    /// Serve snapshots and partials through the incremental read path
+    /// (shared trees, cached per-class encodings). `false` restores the
+    /// pre-incremental deep-clone/re-encode behavior — byte-identical
+    /// output, old cost — as the differential baseline for the bench.
+    pub incremental_read: bool,
 }
 
 impl Default for StoreConfig {
@@ -72,6 +77,7 @@ impl Default for StoreConfig {
             pending_cap: 64 * 1024 * 1024,
             cache_entries: 512,
             cache_bytes: 16 * 1024 * 1024,
+            incremental_read: true,
         }
     }
 }
@@ -274,6 +280,11 @@ pub struct ProfileStore {
     bytes_stored: u64,
     ingests: u64,
     queries: u64,
+    /// Snapshot requests answered from the per-epoch cache (no fold, no
+    /// tree handout — a pure Arc bump).
+    snapshot_reuse: u64,
+    /// Partial fetches answered from the per-epoch encoded cache.
+    partial_reuse: u64,
     latency: FxHashMap<&'static str, LatencyHistogram>,
 }
 
@@ -287,6 +298,8 @@ impl ProfileStore {
             bytes_stored: 0,
             ingests: 0,
             queries: 0,
+            snapshot_reuse: 0,
+            partial_reuse: 0,
             latency: FxHashMap::default(),
         }
     }
@@ -463,7 +476,9 @@ impl ProfileStore {
         names.sort();
         for name in names {
             let entry = self.sets.get_mut(&name).expect("listed name");
-            let state = encode_bundle(&entry.acc.to_bundle()?);
+            // The incremental splice is pinned byte-identical to the full
+            // re-encode, so durable snapshots ride the cache too.
+            let state = entry.acc.encode_state()?;
             let pending = entry
                 .pending
                 .iter()
@@ -491,38 +506,52 @@ impl ProfileStore {
     }
 
     /// A renderable snapshot of `set` at its current epoch. Snapshots
-    /// are cached per epoch; folding happens at most once per epoch.
+    /// are cached per epoch; a cold epoch folds only the classes the
+    /// commits actually touched and hands out shared trees for the rest
+    /// (deep-cloning everything instead when `incremental_read` is off).
     pub fn snapshot(&mut self, set: &str) -> Result<Arc<StoredProfiles>, ServeError> {
         let entry = self
             .sets
             .get_mut(set)
             .ok_or_else(|| ServeError::UnknownSet(set.to_string()))?;
         if let Some(s) = &entry.snapshot {
+            self.snapshot_reuse += 1;
             return Ok(Arc::clone(s));
         }
         // Bundles were validated at decode time, so a fold error here is
         // unreachable in practice; surface it typed anyway.
-        let snap = Arc::new(entry.acc.snapshot()?);
+        let snap = Arc::new(if self.config.incremental_read {
+            entry.acc.snapshot()?
+        } else {
+            entry.acc.snapshot_cloned()?
+        });
         entry.snapshot = Some(Arc::clone(&snap));
         Ok(snap)
     }
 
     /// The named set's shard-local partial, encoded for a `DATA` frame.
-    /// Cached per epoch alongside the snapshot: folding + re-encoding
-    /// happens at most once per epoch no matter how many routers poll.
+    /// Cached per epoch alongside the snapshot; a cold epoch re-encodes
+    /// only the dirty classes and splices cached bytes for the rest
+    /// (re-encoding every class when `incremental_read` is off).
     pub fn partial(&mut self, set: &str) -> Result<Bytes, ServeError> {
         let entry = self
             .sets
             .get_mut(set)
             .ok_or_else(|| ServeError::UnknownSet(set.to_string()))?;
         if let Some(p) = &entry.partial {
+            self.partial_reuse += 1;
             return Ok(p.clone());
         }
+        let state = if self.config.incremental_read {
+            entry.acc.encode_state()?
+        } else {
+            entry.acc.encode_state_recoded()?
+        };
         let encoded = encode_set_partial(&SetPartial {
             epoch: entry.epoch,
             bundles: entry.acc.bundles(),
             blob_bytes: entry.acc.blob_bytes(),
-            state: encode_bundle(&entry.acc.to_bundle()?),
+            state,
         });
         entry.partial = Some(encoded.clone());
         Ok(encoded)
@@ -574,6 +603,10 @@ impl ProfileStore {
         out.push_str(&format!("queries {}\n", self.queries));
         let merges: u64 = self.sets.values().map(|s| s.acc.folds()).sum();
         out.push_str(&format!("merges {}\n", merges));
+        out.push_str(&format!("snapshot_reuse {}\n", self.snapshot_reuse));
+        out.push_str(&format!("partial_reuse {}\n", self.partial_reuse));
+        let dirty: u64 = self.sets.values().map(|s| s.acc.dirty_rebuilds()).sum();
+        out.push_str(&format!("dirty_class_rebuilds {}\n", dirty));
         out.push_str(&format!("bytes_stored {}\n", self.bytes_stored));
         out.push_str(&format!("byte_budget {}\n", self.config.byte_budget));
         let pending: u64 = self.sets.values().map(|s| s.pending_bytes).sum();

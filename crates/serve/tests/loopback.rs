@@ -206,6 +206,41 @@ fn cache_hits_and_stats_are_visible_over_the_wire() {
 }
 
 #[test]
+fn incremental_read_counters_prove_dirty_class_tracking() {
+    // The ISSUE's counter-asserted claim: a snapshot after an ingest
+    // touching exactly one class rebuilds exactly one class, and
+    // same-epoch queries reuse the snapshot outright.
+    let (addr, handle) = spawn_server(ServerConfig::default());
+    let mut cl = Client::connect(&addr).expect("connect");
+    let mut heap = Cct::new(WIDTH);
+    let hm = heap.child(ROOT, Frame::HeapMarker);
+    heap.add(hm, 0, 3);
+    let mut b = StoredBundle::default();
+    b.profiles[StorageClass::Heap.idx()].push(encode(&heap));
+    b.stats.samples = 1;
+    cl.ingest("inc", None, encode_bundle(&b)).expect("ingest");
+    // The first query folds exactly the one dirty class.
+    cl.query("ranking inc samples").expect("query");
+    let stats = cl.stats().expect("stats");
+    assert!(stats.contains("dirty_class_rebuilds 1"), "{stats}");
+    assert!(stats.contains("snapshot_reuse 0"), "{stats}");
+    assert!(stats.contains("partial_reuse 0"), "{stats}");
+    // A different query at the same epoch reuses the snapshot — no new
+    // rebuild.
+    cl.query("vars inc samples").expect("query 2");
+    let stats = cl.stats().expect("stats");
+    assert!(stats.contains("snapshot_reuse 1"), "{stats}");
+    assert!(stats.contains("dirty_class_rebuilds 1"), "{stats}");
+    // A second heap-only ingest dirties only the heap class again.
+    cl.ingest("inc", None, encode_bundle(&b)).expect("ingest 2");
+    cl.query("ranking inc samples").expect("query 3");
+    let stats = cl.stats().expect("stats");
+    assert!(stats.contains("dirty_class_rebuilds 2"), "{stats}");
+    drop(cl);
+    shutdown(&addr, handle);
+}
+
+#[test]
 fn panicking_session_does_not_take_the_daemon_down() {
     // Regression: the store lock used to be a poisoning std Mutex
     // unwrapped with `expect("store poisoned")`. One panic while holding

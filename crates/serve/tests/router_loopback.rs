@@ -350,6 +350,39 @@ fn router_cache_serves_warm_hits_and_ingest_invalidates() {
 }
 
 #[test]
+fn router_reconstruction_cache_counters_are_visible() {
+    use dcp_core::metrics::CLASSES;
+    let cluster = Cluster::start(2, 1);
+    let mut rcl = Client::connect(&cluster.router_addr).expect("connect");
+    rcl.ingest("s", Some(0), encode_bundle(&bundle(0))).expect("ingest");
+    // Cold query: the partial is fetched and every class materialized.
+    rcl.query("ranking s samples").expect("cold");
+    let stats = rcl.stats().expect("stats");
+    assert!(stats.contains(&format!("dirty_class_rebuilds {CLASSES}")), "{stats}");
+    assert!(stats.contains("snapshot_reuse 0"), "{stats}");
+    assert!(stats.contains("partial_reuse 0"), "{stats}");
+    // A different query at the same epoch misses the response cache but
+    // reuses the reconstruction — no partial fetched, nothing rebuilt.
+    rcl.query("vars s samples").expect("recon reuse");
+    let stats = rcl.stats().expect("stats");
+    assert!(stats.contains("snapshot_reuse 1"), "{stats}");
+    assert!(stats.contains("partial_reuse 1"), "{stats}");
+    assert!(stats.contains(&format!("dirty_class_rebuilds {CLASSES}")), "{stats}");
+    // A response-cache hit touches neither counter.
+    rcl.query("ranking s samples").expect("warm");
+    let stats = rcl.stats().expect("stats");
+    assert!(stats.contains("snapshot_reuse 1"), "{stats}");
+    // An epoch bump forces a fresh reconstruction.
+    rcl.ingest("s", Some(1), encode_bundle(&bundle(1))).expect("ingest 2");
+    rcl.query("ranking s samples").expect("cold again");
+    let stats = rcl.stats().expect("stats");
+    assert!(stats.contains(&format!("dirty_class_rebuilds {}", 2 * CLASSES)), "{stats}");
+    assert!(stats.contains("partial_reuse 1"), "{stats}");
+    drop(rcl);
+    cluster.stop();
+}
+
+#[test]
 fn router_drain_refuses_work_and_leaves_shards_serving() {
     let cluster = Cluster::start(2, 1);
     let mut a = Client::connect(&cluster.router_addr).expect("connect a");

@@ -7,10 +7,14 @@
 # cluster behind the router) and their scale-up ratio, plus the
 # durable-ingest phase: fsync-per-record baseline vs group-commit
 # throughput against a --data-dir daemon (pipelined 16-deep windows)
-# and the non-durable pipelined rate. Numbers are whatever this host
-# honestly does; the determinism gates — plus the >=2x scale-up and
-# >=5x group-commit floors on the 8-core reference host — are what
-# fail the script, not an absolute throughput floor.
+# and the non-durable pipelined rate, and the interleaved phase:
+# cold-epoch view qps while a pipelined ingest stream races the
+# readers, measured with the incremental read path on vs off
+# (interleaved_cold_qps / interleaved_baseline_qps / interleaved_speedup).
+# Numbers are whatever this host honestly does; the determinism gates —
+# plus the >=2x scale-up, >=5x group-commit, and >=3x interleaved
+# floors on the 8-core reference host — are what fail the script, not
+# an absolute throughput floor.
 set -eu
 cd "$(dirname "$0")/.."
 

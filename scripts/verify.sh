@@ -183,3 +183,76 @@ done
 trap - EXIT
 rm -f $shard_logs "$route_log"
 echo "verify: sharded smoke stage ok (2x2 cluster behind router, every query kind, clean drain)" >&2
+
+# Interleaved-serve smoke stage: view queries race a live pipelined
+# ingest stream (--window 8), exercising the incremental read path —
+# every query lands on a freshly bumped epoch, so snapshots rebuild
+# only dirty classes and partials splice cached encodings. The racing
+# queries only need to succeed (their bytes depend on arrival timing);
+# the gate is afterwards: once the writers are drained, the quiesced
+# views must be byte-identical to a fresh daemon fed the same stream
+# with no readers attached.
+int_log="$(mktemp)"
+./target/release/memgaze serve --addr 127.0.0.1:0 > "$int_log" &
+int_pid=$!
+trap 'kill "$int_pid" 2>/dev/null || true; rm -f "$int_log"' EXIT
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^serving on //p' "$int_log")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "verify: interleaved daemon never bound" >&2; exit 1; }
+# Seed the sets so the racing readers never query an empty store.
+./target/release/memgaze push "$addr" streamcluster streamcluster > /dev/null
+./target/release/memgaze push "$addr" nw nw > /dev/null
+push_pids=""
+for w in streamcluster nw; do
+    ./target/release/memgaze push "$addr" "$w" "$w" --window 8 > /dev/null &
+    push_pids="$push_pids $!"
+done
+for _ in $(seq 1 12); do
+    ./target/release/memgaze query "$addr" ranking streamcluster remote 5 > /dev/null
+    ./target/release/memgaze query "$addr" vars nw remote                 > /dev/null
+    ./target/release/memgaze query "$addr" topdown streamcluster heap remote > /dev/null
+done
+for p in $push_pids; do
+    wait "$p"
+done
+int_views() {
+    ./target/release/memgaze query "$1" sets
+    ./target/release/memgaze query "$1" ranking streamcluster remote 5
+    ./target/release/memgaze query "$1" topdown streamcluster heap remote
+    ./target/release/memgaze query "$1" vars nw remote
+    ./target/release/memgaze query "$1" export nw heap
+    ./target/release/memgaze query "$1" export streamcluster static
+}
+raced="$(int_views "$addr")"
+./target/release/memgaze query "$addr" stats | grep -q '^dirty_class_rebuilds ' \
+    || { echo "verify: stats lack dirty_class_rebuilds" >&2; exit 1; }
+./target/release/memgaze query "$addr" shutdown > /dev/null
+wait "$int_pid"
+trap - EXIT
+: > "$int_log"
+./target/release/memgaze serve --addr 127.0.0.1:0 > "$int_log" &
+int_pid=$!
+trap 'kill "$int_pid" 2>/dev/null || true; rm -f "$int_log"' EXIT
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^serving on //p' "$int_log")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "verify: quiet daemon never bound" >&2; exit 1; }
+./target/release/memgaze push "$addr" streamcluster streamcluster > /dev/null
+./target/release/memgaze push "$addr" nw nw > /dev/null
+for w in streamcluster nw; do
+    ./target/release/memgaze push "$addr" "$w" "$w" --window 8 > /dev/null
+done
+quiet="$(int_views "$addr")"
+[ "$raced" = "$quiet" ] || { echo "verify: interleaved views differ from the quiet daemon" >&2; exit 1; }
+./target/release/memgaze query "$addr" shutdown > /dev/null
+wait "$int_pid"
+trap - EXIT
+rm -f "$int_log"
+echo "verify: interleaved smoke stage ok (queries raced --window 8 ingest, quiesced views byte-identical)" >&2
