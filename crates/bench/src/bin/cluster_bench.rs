@@ -1,0 +1,137 @@
+//! cluster_bench — weak-scaling curve of the multi-node network model.
+//!
+//! Sweeps the cluster workloads (halo and hypercube, `crates/workloads/
+//! src/cluster.rs`) over growing rank counts — up to 256 ranks spread
+//! over 64 simulated nodes joined by a 2-level fat-tree — and reports,
+//! per point: simulated wall, total accesses, host seconds, exchange
+//! count, communication wait, and the fabric's per-link aggregates
+//! (utilization, queueing delay, stalls). Every point runs twice and
+//! must agree bit-for-bit on wall and per-link counters — the
+//! determinism gate for the event-calendar network.
+//!
+//! Output: a human table plus one machine-readable `BENCH_JSON` line
+//! that `scripts/bench_cluster.sh` persists as `BENCH_cluster.json`.
+//! Pass `--smoke` for a tiny sweep (CI smoke stage).
+
+use std::time::Instant;
+
+use dcp_runtime::{run_world, NullObserver};
+use dcp_workloads::cluster::{build, world, ClusterConfig, ClusterPattern};
+
+struct Point {
+    pattern: &'static str,
+    ranks: u32,
+    nodes: u32,
+    wall: u64,
+    accesses: u64,
+    exchanges: u64,
+    net_wait: u64,
+    flows: u64,
+    net_bytes: u64,
+    max_queue_delay: u64,
+    mean_utilization: f64,
+    host_secs: f64,
+}
+
+fn measure(pattern: ClusterPattern, name: &'static str, ranks: u32) -> Point {
+    let cfg = ClusterConfig::scaled(pattern, ranks);
+    let prog = build(&cfg);
+    let w = world(&cfg);
+
+    let t0 = Instant::now();
+    let r1 = run_world(&prog, &w, |_| NullObserver).expect("cluster workload completes");
+    let host_secs = t0.elapsed().as_secs_f64();
+    let r2 = run_world(&prog, &w, |_| NullObserver).expect("cluster workload completes");
+    assert_eq!(r1.wall, r2.wall, "{name} x{ranks}: wall diverged between runs");
+    let n1 = r1.net.as_ref().expect("multi-node world has fabric stats");
+    let n2 = r2.net.as_ref().expect("multi-node world has fabric stats");
+    assert_eq!(n1.links, n2.links, "{name} x{ranks}: per-link counters diverged");
+
+    Point {
+        pattern: name,
+        ranks,
+        nodes: cfg.nodes(),
+        wall: r1.wall,
+        accesses: r1.nodes.iter().map(|n| n.machine_stats.accesses).sum(),
+        exchanges: r1.nodes.iter().map(|n| n.exchanges).sum(),
+        net_wait: r1.nodes.iter().map(|n| n.net_wait).sum(),
+        flows: n1.flows,
+        net_bytes: n1.bytes,
+        max_queue_delay: n1.max_queue_delay(),
+        mean_utilization: n1.mean_utilization(),
+        host_secs,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sweep: &[u32] = if smoke { &[8, 16] } else { &[16, 64, 256] };
+
+    let mut points = Vec::new();
+    for (name, pattern) in
+        [("halo", ClusterPattern::Halo), ("hypercube", ClusterPattern::Hypercube)]
+    {
+        for &ranks in sweep {
+            points.push(measure(pattern, name, ranks));
+        }
+    }
+
+    println!("cluster weak scaling — deterministic fat-tree fabric (dcp-net)");
+    println!(
+        "{:<10} {:>6} {:>6} {:>12} {:>12} {:>9} {:>12} {:>8} {:>9} {:>7} {:>8}",
+        "pattern",
+        "ranks",
+        "nodes",
+        "wall",
+        "accesses",
+        "exchngs",
+        "net wait",
+        "flows",
+        "max qdly",
+        "util%",
+        "host s"
+    );
+    for p in &points {
+        println!(
+            "{:<10} {:>6} {:>6} {:>12} {:>12} {:>9} {:>12} {:>8} {:>9} {:>6.1}% {:>8.3}",
+            p.pattern,
+            p.ranks,
+            p.nodes,
+            p.wall,
+            p.accesses,
+            p.exchanges,
+            p.net_wait,
+            p.flows,
+            p.max_queue_delay,
+            100.0 * p.mean_utilization,
+            p.host_secs,
+        );
+    }
+
+    let mut json = String::from("BENCH_JSON {\"determinism\": \"ok\", \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        json.push_str(&format!(
+            "{{\"pattern\": \"{}\", \"ranks\": {}, \"nodes\": {}, \"wall\": {}, \
+             \"accesses\": {}, \"exchanges\": {}, \"net_wait\": {}, \"flows\": {}, \
+             \"net_bytes\": {}, \"max_queue_delay\": {}, \"mean_utilization\": {:.4}, \
+             \"host_secs\": {:.4}}}",
+            p.pattern,
+            p.ranks,
+            p.nodes,
+            p.wall,
+            p.accesses,
+            p.exchanges,
+            p.net_wait,
+            p.flows,
+            p.net_bytes,
+            p.max_queue_delay,
+            p.mean_utilization,
+            p.host_secs,
+        ));
+    }
+    json.push_str("]}");
+    println!("{json}");
+}

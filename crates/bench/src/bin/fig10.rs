@@ -43,9 +43,9 @@ fn main() {
         )
     );
 
-    let orig = run_world(&prog, &world(&cfg), |_| NullObserver).wall;
+    let orig = run_world(&prog, &world(&cfg), |_| NullObserver).unwrap().wall;
     let fcfg = ScConfig::paper(ScVariant::ParallelFirstTouch);
-    let fixed = run_world(&build(&fcfg), &world(&fcfg), |_| NullObserver).wall;
+    let fixed = run_world(&build(&fcfg), &world(&fcfg), |_| NullObserver).unwrap().wall;
     println!(
         "parallel first-touch speedup: {:.1}%   (paper: 28%)   [{} -> {}]",
         speedup_pct(orig, fixed),

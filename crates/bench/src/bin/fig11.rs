@@ -41,9 +41,9 @@ fn main() {
         )
     );
 
-    let orig = run_world(&prog, &world(&cfg), |_| NullObserver).wall;
+    let orig = run_world(&prog, &world(&cfg), |_| NullObserver).unwrap().wall;
     let fcfg = NwConfig::paper(NwVariant::Interleaved);
-    let fixed = run_world(&build(&fcfg), &world(&fcfg), |_| NullObserver).wall;
+    let fixed = run_world(&build(&fcfg), &world(&fcfg), |_| NullObserver).unwrap().wall;
     println!(
         "interleaved-allocation speedup: {:.1}%   (paper: 53%)   [{} -> {}]",
         speedup_pct(orig, fixed),

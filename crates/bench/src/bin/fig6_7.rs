@@ -48,10 +48,10 @@ fn main() {
     );
 
     // The transposition fix.
-    let orig = run_world(&prog, &world(&cfg), |_| NullObserver).wall;
+    let orig = run_world(&prog, &world(&cfg), |_| NullObserver).unwrap().wall;
     let tcfg = SweepConfig::paper(SweepVariant::Transposed);
     let tprog = build(&tcfg);
-    let fixed = run_world(&tprog, &world(&tcfg), |_| NullObserver).wall;
+    let fixed = run_world(&tprog, &world(&tcfg), |_| NullObserver).unwrap().wall;
     println!(
         "transposition speedup: {:.1}%   (paper: 15%)   [{} -> {} cycles]",
         speedup_pct(orig, fixed),

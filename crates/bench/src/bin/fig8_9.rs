@@ -60,7 +60,7 @@ fn main() {
     // Fixes.
     let wall = |variant| {
         let c = LuleshConfig::paper(variant);
-        run_world(&build(&c), &world(&c), |_| NullObserver).wall
+        run_world(&build(&c), &world(&c), |_| NullObserver).unwrap().wall
     };
     let o = wall(LuleshVariant::ORIGINAL);
     let i = wall(LuleshVariant::INTERLEAVED);

@@ -66,13 +66,35 @@ fn run_named(name: &str) {
             let cfg = wl::nw::NwConfig::small(wl::nw::NwVariant::Original);
             run_one("nw", &wl::nw::build(&cfg), &wl::nw::world(&cfg), rmem_sampling(6));
         }
-        other => panic!("unknown workload {other:?} (amg|sweep3d|lulesh|streamcluster|nw|all)"),
+        "cluster_halo" => {
+            let cfg = wl::cluster::ClusterConfig::small(wl::cluster::ClusterPattern::Halo);
+            run_one(
+                "cluster_halo",
+                &wl::cluster::build(&cfg),
+                &wl::cluster::world(&cfg),
+                ibs_sampling(128),
+            );
+        }
+        "cluster_hypercube" => {
+            let cfg = wl::cluster::ClusterConfig::small(wl::cluster::ClusterPattern::Hypercube);
+            run_one(
+                "cluster_hypercube",
+                &wl::cluster::build(&cfg),
+                &wl::cluster::world(&cfg),
+                ibs_sampling(128),
+            );
+        }
+        other => panic!(
+            "unknown workload {other:?} \
+             (amg|sweep3d|lulesh|streamcluster|nw|cluster_halo|cluster_hypercube|all)"
+        ),
     }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let all = ["amg", "sweep3d", "lulesh", "streamcluster", "nw"];
+    let all =
+        ["amg", "sweep3d", "lulesh", "streamcluster", "nw", "cluster_halo", "cluster_hypercube"];
     if args.is_empty() || args.iter().any(|a| a == "all") {
         for name in all {
             run_named(name);

@@ -15,7 +15,7 @@ fn main() {
         use wl::amg2006::*;
         let solver = |variant| {
             let c = AmgConfig::paper(variant);
-            run_world(&build(&c), &world(&c), |_| NullObserver)
+            run_world(&build(&c), &world(&c), |_| NullObserver).unwrap()
                 .phase_wall("solver")
                 .expect("AMG records a solver phase")
         };
@@ -27,11 +27,11 @@ fn main() {
         use wl::sweep3d::*;
         let o = {
             let c = SweepConfig::paper(SweepVariant::Original);
-            run_world(&build(&c), &world(&c), |_| NullObserver).wall
+            run_world(&build(&c), &world(&c), |_| NullObserver).unwrap().wall
         };
         let f = {
             let c = SweepConfig::paper(SweepVariant::Transposed);
-            run_world(&build(&c), &world(&c), |_| NullObserver).wall
+            run_world(&build(&c), &world(&c), |_| NullObserver).unwrap().wall
         };
         println!("{}", compare_line("Sweep3D (transposition)", "15%", format!("{:.1}%", speedup_pct(o, f))));
     }
@@ -39,7 +39,7 @@ fn main() {
         use wl::lulesh::*;
         let wall = |v| {
             let c = LuleshConfig::paper(v);
-            run_world(&build(&c), &world(&c), |_| NullObserver).wall
+            run_world(&build(&c), &world(&c), |_| NullObserver).unwrap().wall
         };
         let o = wall(LuleshVariant::ORIGINAL);
         println!("{}", compare_line("LULESH (interleaved heap)", "13%", format!("{:.1}%", speedup_pct(o, wall(LuleshVariant::INTERLEAVED)))));
@@ -49,11 +49,11 @@ fn main() {
         use wl::streamcluster::*;
         let o = {
             let c = ScConfig::paper(ScVariant::Original);
-            run_world(&build(&c), &world(&c), |_| NullObserver).wall
+            run_world(&build(&c), &world(&c), |_| NullObserver).unwrap().wall
         };
         let f = {
             let c = ScConfig::paper(ScVariant::ParallelFirstTouch);
-            run_world(&build(&c), &world(&c), |_| NullObserver).wall
+            run_world(&build(&c), &world(&c), |_| NullObserver).unwrap().wall
         };
         println!("{}", compare_line("Streamcluster (parallel first touch)", "28%", format!("{:.1}%", speedup_pct(o, f))));
     }
@@ -61,11 +61,11 @@ fn main() {
         use wl::nw::*;
         let o = {
             let c = NwConfig::paper(NwVariant::Original);
-            run_world(&build(&c), &world(&c), |_| NullObserver).wall
+            run_world(&build(&c), &world(&c), |_| NullObserver).unwrap().wall
         };
         let f = {
             let c = NwConfig::paper(NwVariant::Interleaved);
-            run_world(&build(&c), &world(&c), |_| NullObserver).wall
+            run_world(&build(&c), &world(&c), |_| NullObserver).unwrap().wall
         };
         println!("{}", compare_line("NW (interleaved allocation)", "53%", format!("{:.1}%", speedup_pct(o, f))));
     }

@@ -295,6 +295,53 @@ fn main() {
         100.0 * (1.0 - v2_total as f64 / v1_total.max(1) as f64)
     );
 
+    println!();
+    println!("cluster fabric — per-link utilization and queueing (dcp-net, 32 ranks over 8 nodes)");
+    println!(
+        "{:<18} {:>10} {:>12} {:>10} {:>9}",
+        "workload", "exchanges", "net wait", "wall", "comm shr"
+    );
+    let mut fabric_rows = Vec::new();
+    for (name, pattern) in [
+        ("cluster_halo", wl::cluster::ClusterPattern::Halo),
+        ("cluster_hypercube", wl::cluster::ClusterPattern::Hypercube),
+    ] {
+        let cfg = wl::cluster::ClusterConfig::scaled(pattern, 32);
+        let prog = wl::cluster::build(&cfg);
+        let mut w = wl::cluster::world(&cfg);
+        w.sim.pmu = Some(ibs_sampling(128));
+        let run = {
+            use dcp_core::prelude::*;
+            run_profiled(&prog, &w, ProfilerConfig::default())
+        };
+        let exchanges: u64 = run.nodes.iter().map(|n| n.exchanges).sum();
+        let net_wait: u64 = run.nodes.iter().map(|n| n.net_wait).sum();
+        // net_wait accumulates per rank main, so the communication share
+        // is taken against total rank-time, not node walls.
+        let rank_time = run.wall * u64::from(cfg.ranks);
+        println!(
+            "{name:<18} {exchanges:>10} {net_wait:>12} {:>10} {:>8.1}%",
+            run.wall,
+            100.0 * net_wait as f64 / rank_time.max(1) as f64,
+        );
+        fabric_rows.push((name, run));
+    }
+    println!(
+        "{:<18} {:<18} {:>8} {:>7} {:>10} {:>10} {:>7}",
+        "workload", "hottest links", "msgs", "util%", "mean qdly", "max qdly", "stalls"
+    );
+    for (name, run) in &fabric_rows {
+        let net = run.net.as_ref().expect("cluster worlds have a fabric");
+        for (label, s) in net.hottest_links(3) {
+            let util = 100.0 * s.busy as f64 / net.horizon.max(1) as f64;
+            let mean_q = s.queue_delay_sum as f64 / s.msgs.max(1) as f64;
+            println!(
+                "{name:<18} {label:<18} {:>8} {:>6.1}% {:>10.1} {:>10} {:>7}",
+                s.msgs, util, mean_q, s.queue_delay_max, s.stalls
+            );
+        }
+    }
+
     // Machine-readable summary for scripts/bench_codec.sh.
     let mut json = format!(
         "BENCH_JSON {{\"v1_bytes\": {v1_total}, \"v2_bytes\": {v2_total}, \

@@ -26,7 +26,7 @@ fn main() {
         let cfg = AmgConfig::paper(variant);
         let prog = build(&cfg);
         let w = world(&cfg);
-        let r = run_world(&prog, &w, |_| NullObserver);
+        let r = run_world(&prog, &w, |_| NullObserver).unwrap();
         let phase = |name| r.phase_wall(name).unwrap_or_else(|| panic!("AMG phase {name:?} missing"));
         let init = phase("initialization");
         let setup = phase("setup");

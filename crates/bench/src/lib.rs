@@ -58,11 +58,33 @@ pub fn run_fingerprint(prog: &Program, run: &dcp_core::session::ProfiledRun) -> 
             s.prefetch_late,
             n.wall,
             n.ops,
+            n.net_wait,
+            n.exchanges,
         ] {
             h.write_u64(v);
         }
         for &d in &n.dram_histogram {
             h.write_u64(d);
+        }
+    }
+    if let Some(net) = &run.net {
+        h.write_u64(net.flows);
+        h.write_u64(net.bytes);
+        h.write_u64(net.retransmits);
+        h.write_u64(net.horizon);
+        for (label, s) in &net.links {
+            h.write(label.as_bytes());
+            for v in [
+                s.bytes,
+                s.msgs,
+                s.busy,
+                s.queue_delay_sum,
+                s.queue_delay_max,
+                s.stalls,
+                s.drops,
+            ] {
+                h.write_u64(v);
+            }
         }
     }
     for m in run.encode_measurements(prog) {

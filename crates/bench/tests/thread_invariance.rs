@@ -49,6 +49,21 @@ fn all_workloads_identical_at_0_and_8_threads() {
     );
 }
 
+/// The multi-node cluster workloads route rank traffic through the
+/// `dcp-net` fabric; the network calendar's total event order (and hence
+/// the fingerprint, which now covers per-link counters and exchange
+/// waits) must also be invariant under host parallelism.
+#[test]
+fn cluster_workloads_identical_at_0_and_8_threads() {
+    let workloads = ["cluster_halo", "cluster_hypercube"];
+    let serial = digest("0", &workloads);
+    let parallel = digest("8", &workloads);
+    assert_eq!(
+        serial, parallel,
+        "DCP_THREADS must not change multi-node simulation output"
+    );
+}
+
 /// Intermediate pool sizes agree too (1 worker-less slot and a 2-slot
 /// pool exercise the reclaim-vs-help paths of the in-tree pool
 /// differently).

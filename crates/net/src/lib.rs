@@ -1,0 +1,644 @@
+//! # dcp-net — a deterministic event-driven network between simulated nodes
+//!
+//! The cluster half of the simulator: N simulated nodes (each running its
+//! own epoch-sharded [`dcp-runtime`] scheduler) exchange typed messages
+//! over an explicit network model instead of a flat cost constant.
+//!
+//! The model is store-and-forward at message granularity. A message
+//! traverses the ordered list of *directed links* its topology route
+//! names; every link is one switch output port (or host NIC) with
+//!
+//! * a serialization rate (`bytes_per_cycle`),
+//! * a propagation delay (`link_latency`, plus `switch_latency` per
+//!   forwarding decision),
+//! * and a finite output buffer (`port_buffer` bytes) governed by a
+//!   [`BufferPolicy`]: **backpressure** (arrival stalls until the queue
+//!   drains — the default, and the only policy the runtime path uses,
+//!   since a dropped barrier-critical message would deadlock the world)
+//!   or **drop** (tail-drop plus retransmit-from-source after a timeout,
+//!   with drops counted — the standalone model for lossy fabrics).
+//!
+//! Everything advances through a single event [`Calendar`] keyed
+//! `(time, src_node, seq)` — a total order that is a pure function of the
+//! injected flows, so the simulation is bit-identical however the host
+//! schedules the node shards (the `DCP_THREADS` invariance argument of
+//! DESIGN.md, extended across nodes).
+
+mod calendar;
+mod topology;
+
+pub use calendar::{Calendar, EventKey, NetTime};
+pub use topology::{Endpoint, LinkDesc, LinkId, Topology, TopologySpec};
+
+use std::collections::VecDeque;
+
+/// What a full output buffer does to an arriving message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferPolicy {
+    /// Arrival waits (lossless fabric / credit flow control): the message
+    /// is admitted at the earliest time the queue has room, computed from
+    /// the port's departure schedule — deterministic, no retries.
+    Backpressure,
+    /// Tail-drop; the source retransmits the whole message
+    /// `retransmit_after` cycles after the drop. Drops are counted
+    /// per-port.
+    Drop { retransmit_after: NetTime },
+}
+
+/// Network configuration: topology shape plus per-link parameters.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    pub topology: TopologySpec,
+    /// Link serialization rate (bytes per cycle, >= 1).
+    pub bytes_per_cycle: u64,
+    /// Propagation delay per link (cycles, >= 1 so time always advances).
+    pub link_latency: NetTime,
+    /// Forwarding decision cost per intermediate switch hop.
+    pub switch_latency: NetTime,
+    /// Output-port buffer in bytes.
+    pub port_buffer: u64,
+    pub policy: BufferPolicy,
+}
+
+impl NetConfig {
+    /// A small lossless fabric with round numbers: 4 B/cycle links
+    /// (~12 GB/s at the nominal 3 GHz), 500-cycle propagation, 64 KiB
+    /// port buffers.
+    pub fn lossless(topology: TopologySpec) -> Self {
+        Self {
+            topology,
+            bytes_per_cycle: 4,
+            link_latency: 500,
+            switch_latency: 50,
+            port_buffer: 64 << 10,
+            policy: BufferPolicy::Backpressure,
+        }
+    }
+
+    /// One-big-switch lossless fabric (the degenerate single-switch model).
+    pub fn one_big_switch() -> Self {
+        Self::lossless(TopologySpec::OneBigSwitch)
+    }
+}
+
+/// A flow to inject: one message from `src` node to `dst` node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flow {
+    pub src: u32,
+    pub dst: u32,
+    pub bytes: u64,
+}
+
+/// Handle returned by [`Network::inject`]; completions are reported
+/// against it.
+pub type MsgId = u64;
+
+/// Per-port counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Bytes serialized onto the link.
+    pub bytes: u64,
+    /// Messages forwarded.
+    pub msgs: u64,
+    /// Cycles the port spent serializing (busy time).
+    pub busy: u64,
+    /// Sum of per-message queueing delay: admission-to-service wait,
+    /// including any backpressure stall.
+    pub queue_delay_sum: u64,
+    pub queue_delay_max: u64,
+    /// Arrivals that had to wait for buffer space (backpressure).
+    pub stalls: u64,
+    /// Messages tail-dropped (drop policy only).
+    pub drops: u64,
+}
+
+/// Whole-network statistics snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    /// `(label, stats)` per directed link, in link-id order.
+    pub links: Vec<(String, LinkStats)>,
+    /// Flows injected.
+    pub flows: u64,
+    /// Payload bytes injected (retransmissions not re-counted).
+    pub bytes: u64,
+    /// Retransmissions scheduled after drops.
+    pub retransmits: u64,
+    /// Latest completion time seen (the network horizon).
+    pub horizon: NetTime,
+}
+
+impl NetStats {
+    pub fn total_drops(&self) -> u64 {
+        self.links.iter().map(|(_, s)| s.drops).sum()
+    }
+
+    pub fn max_queue_delay(&self) -> u64 {
+        self.links.iter().map(|(_, s)| s.queue_delay_max).max().unwrap_or(0)
+    }
+
+    /// Mean utilization over links that carried traffic, against the
+    /// horizon (0.0 when nothing ran).
+    pub fn mean_utilization(&self) -> f64 {
+        if self.horizon == 0 {
+            return 0.0;
+        }
+        let busy: Vec<u64> =
+            self.links.iter().filter(|(_, s)| s.msgs > 0).map(|(_, s)| s.busy).collect();
+        if busy.is_empty() {
+            return 0.0;
+        }
+        let sum: u64 = busy.iter().sum();
+        sum as f64 / (busy.len() as u64 * self.horizon) as f64
+    }
+
+    /// The `k` busiest links by serialization time, `(label, stats)`.
+    pub fn hottest_links(&self, k: usize) -> Vec<(&str, &LinkStats)> {
+        let mut v: Vec<_> = self.links.iter().map(|(l, s)| (l.as_str(), s)).collect();
+        v.sort_by(|a, b| b.1.busy.cmp(&a.1.busy).then(a.0.cmp(b.0)));
+        v.truncate(k);
+        v
+    }
+}
+
+/// One switch output port (or host NIC): FIFO service at the link rate,
+/// with a finite byte buffer.
+///
+/// Backpressure preserves FIFO *admission* order: once one arrival is
+/// waiting for buffer space, every later arrival queues behind it in
+/// `waiting` — a smaller message must not overtake a stalled one. The
+/// waiting queue is drained by `Retry` calendar events scheduled at the
+/// port's next departure time.
+#[derive(Debug, Default)]
+struct Port {
+    /// When the transmitter frees up.
+    free_at: NetTime,
+    /// Scheduled departures still occupying the buffer: `(depart, bytes)`
+    /// in FIFO (and therefore depart-time) order.
+    inflight: VecDeque<(NetTime, u64)>,
+    /// Sum of `inflight` bytes.
+    queued: u64,
+    /// Arrivals waiting for buffer space, FIFO:
+    /// `(msg index, hop, arrival time)`.
+    waiting: VecDeque<(usize, usize, NetTime)>,
+    stats: LinkStats,
+}
+
+impl Port {
+    /// Drop departed entries from the buffer occupancy picture.
+    fn drain(&mut self, now: NetTime) {
+        while let Some(&(dep, b)) = self.inflight.front() {
+            if dep > now {
+                break;
+            }
+            self.queued -= b;
+            self.inflight.pop_front();
+        }
+    }
+
+    /// Does a `bytes`-sized message fit right now? (An oversized message
+    /// with an empty queue is let through: it could never fit otherwise.)
+    fn fits(&self, bytes: u64, cfg: &NetConfig) -> bool {
+        self.queued + bytes <= cfg.port_buffer || self.queued == 0
+    }
+
+    /// Begin serializing a message that arrived at `arrival` and was
+    /// admitted at `now`; returns its departure time.
+    fn admit(&mut self, arrival: NetTime, now: NetTime, bytes: u64, cfg: &NetConfig) -> NetTime {
+        let ser = bytes.div_ceil(cfg.bytes_per_cycle.max(1)).max(1);
+        let start = self.free_at.max(now);
+        let depart = start + ser;
+        let qdelay = start - arrival;
+        self.free_at = depart;
+        self.queued += bytes;
+        self.inflight.push_back((depart, bytes));
+        self.stats.bytes += bytes;
+        self.stats.msgs += 1;
+        self.stats.busy += ser;
+        self.stats.queue_delay_sum += qdelay;
+        self.stats.queue_delay_max = self.stats.queue_delay_max.max(qdelay);
+        depart
+    }
+
+    /// Earliest pending departure strictly after `now` (the time the next
+    /// buffer space frees up).
+    fn next_departure(&self, now: NetTime) -> NetTime {
+        let dep = self.inflight.front().expect("space must be pending").0;
+        debug_assert!(dep > now, "retry must move time forward");
+        dep
+    }
+}
+
+/// An in-flight message.
+#[derive(Debug)]
+struct Msg {
+    id: MsgId,
+    src: u32,
+    bytes: u64,
+    route: Vec<LinkId>,
+    /// Per-source monotonic sequence — the calendar tie-break.
+    seq: u64,
+}
+
+/// Calendar event payloads.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Message `idx` (into `msgs`) arrives at `hop` of its route
+    /// (`hop == route.len()` means delivery at the destination).
+    Arrive { idx: usize, hop: usize },
+    /// Buffer space may have freed on `link`: try to admit the head of
+    /// its waiting queue.
+    Retry { link: LinkId },
+}
+
+/// The network core: compiled topology, per-link ports, and the calendar.
+#[derive(Debug)]
+pub struct Network {
+    cfg: NetConfig,
+    topo: Topology,
+    ports: Vec<Port>,
+    calendar: Calendar<Ev>,
+    msgs: Vec<Msg>,
+    /// Per-source seq counters.
+    next_seq: Vec<u64>,
+    next_id: MsgId,
+    flows: u64,
+    bytes: u64,
+    retransmits: u64,
+    horizon: NetTime,
+    /// Completions since the last [`Network::run`] drain.
+    completed: Vec<(MsgId, NetTime)>,
+}
+
+impl Network {
+    pub fn new(cfg: NetConfig, nodes: u32) -> Self {
+        let topo = Topology::compile(cfg.topology, nodes);
+        let ports = topo.links().iter().map(|_| Port::default()).collect();
+        Self {
+            topo,
+            ports,
+            calendar: Calendar::new(),
+            msgs: Vec::new(),
+            next_seq: vec![0; nodes as usize],
+            next_id: 0,
+            flows: 0,
+            bytes: 0,
+            retransmits: 0,
+            horizon: 0,
+            completed: Vec::new(),
+            cfg,
+        }
+    }
+
+    pub fn nodes(&self) -> u32 {
+        self.topo.nodes
+    }
+
+    /// Inject `flow` at absolute time `at`. Returns the message handle;
+    /// its completion time comes back from [`Network::run`].
+    pub fn inject(&mut self, at: NetTime, flow: Flow) -> MsgId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.flows += 1;
+        self.bytes += flow.bytes;
+        let seq = self.next_seq[flow.src as usize];
+        self.next_seq[flow.src as usize] += 1;
+        let route = self.topo.route(flow.src, flow.dst);
+        let idx = self.msgs.len();
+        self.msgs.push(Msg { id, src: flow.src, bytes: flow.bytes, route, seq });
+        self.calendar.push((at, flow.src, seq), Ev::Arrive { idx, hop: 0 });
+        id
+    }
+
+    /// After message `idx` departs `hop` at `depart`, schedule its arrival
+    /// at the next element of its route.
+    fn forward(&mut self, idx: usize, hop: usize, depart: NetTime) {
+        let (src, seq, hops) = {
+            let m = &self.msgs[idx];
+            (m.src, m.seq, m.route.len())
+        };
+        let last = hop + 1 == hops;
+        // Propagation, plus a forwarding decision when the message enters
+        // another switch rather than the destination host.
+        let t = depart
+            + self.cfg.link_latency.max(1)
+            + if last { 0 } else { self.cfg.switch_latency };
+        self.calendar.push((t, src, seq), Ev::Arrive { idx, hop: hop + 1 });
+    }
+
+    /// Admit as much of `link`'s waiting queue as now fits; if arrivals
+    /// remain waiting, schedule the next retry at the next departure.
+    fn drain_waiting(&mut self, link: LinkId, now: NetTime) {
+        loop {
+            let port = &mut self.ports[link];
+            port.drain(now);
+            let Some(&(idx, hop, arrival)) = port.waiting.front() else { return };
+            let bytes = self.msgs[idx].bytes;
+            if port.fits(bytes, &self.cfg) {
+                port.waiting.pop_front();
+                let depart = port.admit(arrival, now, bytes, &self.cfg);
+                self.forward(idx, hop, depart);
+            } else {
+                let at = port.next_departure(now);
+                let (src, seq) = (self.msgs[idx].src, self.msgs[idx].seq);
+                self.calendar.push((at, src, seq), Ev::Retry { link });
+                return;
+            }
+        }
+    }
+
+    /// Drain the calendar, returning every `(msg, delivery_time)` that
+    /// completed. Deterministic: events fire in `(time, src, seq)` order.
+    pub fn run(&mut self) -> Vec<(MsgId, NetTime)> {
+        while let Some(((now, src, seq), ev)) = self.calendar.pop() {
+            self.horizon = self.horizon.max(now);
+            let Ev::Arrive { idx, hop } = ev else {
+                let Ev::Retry { link } = ev else { unreachable!() };
+                self.drain_waiting(link, now);
+                continue;
+            };
+            let m = &self.msgs[idx];
+            debug_assert_eq!((src, seq), (m.src, m.seq));
+            if hop == m.route.len() {
+                // Delivered at the destination node.
+                self.completed.push((m.id, now));
+                continue;
+            }
+            let link = m.route[hop];
+            let bytes = m.bytes;
+            let port = &mut self.ports[link];
+            port.drain(now);
+            if port.waiting.is_empty() && port.fits(bytes, &self.cfg) {
+                let depart = port.admit(now, now, bytes, &self.cfg);
+                self.forward(idx, hop, depart);
+            } else {
+                match self.cfg.policy {
+                    BufferPolicy::Backpressure => {
+                        // Queue behind any earlier waiter (FIFO), and arm
+                        // the retry if this is the first.
+                        port.stats.stalls += 1;
+                        port.waiting.push_back((idx, hop, now));
+                        if port.waiting.len() == 1 {
+                            let at = port.next_departure(now);
+                            self.calendar.push((at, src, seq), Ev::Retry { link });
+                        }
+                    }
+                    BufferPolicy::Drop { retransmit_after } => {
+                        // Tail-drop; go-back-to-source retransmission of
+                        // the whole message.
+                        port.stats.drops += 1;
+                        self.retransmits += 1;
+                        self.calendar.push(
+                            (now + retransmit_after.max(1), src, seq),
+                            Ev::Arrive { idx, hop: 0 },
+                        );
+                    }
+                }
+            }
+        }
+        self.msgs.clear();
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Statistics snapshot (labels in link-id order).
+    pub fn stats(&self) -> NetStats {
+        NetStats {
+            links: self
+                .topo
+                .links()
+                .iter()
+                .zip(&self.ports)
+                .map(|(d, p)| (d.label(), p.stats))
+                .collect(),
+            flows: self.flows,
+            bytes: self.bytes,
+            retransmits: self.retransmits,
+            horizon: self.horizon,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_support::prop::vec;
+    use dcp_support::props;
+
+    fn tiny_cfg() -> NetConfig {
+        NetConfig {
+            topology: TopologySpec::OneBigSwitch,
+            bytes_per_cycle: 1,
+            link_latency: 10,
+            switch_latency: 0,
+            port_buffer: 1 << 20,
+            policy: BufferPolicy::Backpressure,
+        }
+    }
+
+    #[test]
+    fn single_flow_arithmetic() {
+        // 100 bytes at 1 B/cycle over node0 -> switch -> node1:
+        // inject at t=0, uplink serializes [0,100), +10 propagation,
+        // downlink serializes [110,210), +10 propagation = 220.
+        let mut net = Network::new(tiny_cfg(), 2);
+        let id = net.inject(0, Flow { src: 0, dst: 1, bytes: 100 });
+        let done = net.run();
+        assert_eq!(done, vec![(id, 220)]);
+    }
+
+    #[test]
+    fn incast_queues_at_destination_port() {
+        // Two sources send 100 B to node 2 at t=0: uplinks run in
+        // parallel, the shared downlink serializes them back to back.
+        let mut net = Network::new(tiny_cfg(), 3);
+        let a = net.inject(0, Flow { src: 0, dst: 2, bytes: 100 });
+        let b = net.inject(0, Flow { src: 1, dst: 2, bytes: 100 });
+        let done = net.run();
+        let at = |id| done.iter().find(|(i, _)| *i == id).unwrap().1;
+        assert_eq!(at(a), 220);
+        assert_eq!(at(b), 320, "second message waits out the first's serialization");
+        let stats = net.stats();
+        let down = &stats.links[3 + 2].1; // switch->node2
+        assert_eq!(down.msgs, 2);
+        assert_eq!(down.queue_delay_max, 100);
+    }
+
+    #[test]
+    fn backpressure_stalls_instead_of_dropping() {
+        let mut cfg = tiny_cfg();
+        cfg.port_buffer = 150; // fits one 100 B message, not two
+        let mut net = Network::new(cfg, 3);
+        net.inject(0, Flow { src: 0, dst: 2, bytes: 100 });
+        net.inject(0, Flow { src: 1, dst: 2, bytes: 100 });
+        let done = net.run();
+        assert_eq!(done.len(), 2, "lossless: everything delivers");
+        let stats = net.stats();
+        assert_eq!(stats.total_drops(), 0);
+        assert!(stats.links.iter().any(|(_, s)| s.stalls > 0), "the full port stalled");
+    }
+
+    #[test]
+    fn drop_policy_counts_and_retransmits() {
+        let mut cfg = tiny_cfg();
+        cfg.port_buffer = 150;
+        cfg.policy = BufferPolicy::Drop { retransmit_after: 1_000 };
+        let mut net = Network::new(cfg, 3);
+        net.inject(0, Flow { src: 0, dst: 2, bytes: 100 });
+        net.inject(0, Flow { src: 1, dst: 2, bytes: 100 });
+        let done = net.run();
+        assert_eq!(done.len(), 2, "retransmission eventually delivers");
+        let stats = net.stats();
+        assert_eq!(stats.total_drops(), 1);
+        assert_eq!(stats.retransmits, 1);
+        assert!(done.iter().any(|&(_, t)| t > 1_000), "retransmitted copy lands late");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let drive = || {
+            let mut net = Network::new(
+                NetConfig::lossless(TopologySpec::FatTree { leaves: 2, spines: 2 }),
+                8,
+            );
+            for i in 0..32u32 {
+                let src = i % 8;
+                let dst = (i * 5 + 3) % 8;
+                if src != dst {
+                    net.inject((i as u64) * 7, Flow { src, dst, bytes: 64 + (i as u64) * 17 });
+                }
+            }
+            let mut done = net.run();
+            done.sort();
+            (done, format!("{:?}", net.stats()))
+        };
+        assert_eq!(drive(), drive());
+    }
+
+    /// Brute-force reference for ONE port: sequential FIFO service with
+    /// explicit buffer accounting, advanced arrival by arrival.
+    fn reference_port(arrivals: &[(NetTime, u64)], cfg: &NetConfig) -> Vec<NetTime> {
+        let mut departs: Vec<NetTime> = Vec::new(); // per accepted message, FIFO
+        let mut out = Vec::new();
+        for &(mut t, bytes) in arrivals {
+            loop {
+                // Occupancy at time t = bytes of messages with depart > t.
+                let occ: u64 = departs
+                    .iter()
+                    .zip(arrivals)
+                    .filter(|(d, _)| **d > t)
+                    .map(|(_, &(_, b))| b)
+                    .sum();
+                if occ + bytes <= cfg.port_buffer || occ == 0 {
+                    let free = departs.last().copied().unwrap_or(0);
+                    let ser = bytes.div_ceil(cfg.bytes_per_cycle.max(1)).max(1);
+                    let dep = free.max(t) + ser;
+                    departs.push(dep);
+                    out.push(dep);
+                    break;
+                }
+                // Backpressure: wait for the next departure.
+                t = departs.iter().copied().filter(|d| *d > t).min().expect("occ > 0");
+            }
+        }
+        out
+    }
+
+    props! {
+        cases = 192;
+
+        /// Differential test: messages all flowing 0 -> 1 traverse two
+        /// FIFO ports (uplink, downlink). Chaining the brute-force port
+        /// model twice must predict every delivery time exactly, and
+        /// deliveries must come out in FIFO (injection) order.
+        fn port_matches_reference_model(
+            gaps in vec(0u64..40, 1..24),
+            sizes in vec(1u64..200, 1..24),
+            buffer in 64u64..400,
+        ) {
+            let n = gaps.len().min(sizes.len());
+            let mut cfg = tiny_cfg();
+            cfg.port_buffer = buffer;
+            cfg.link_latency = 1;
+            // Cumulative arrival times (nondecreasing).
+            let mut t = 0;
+            let mut arrivals = Vec::with_capacity(n);
+            for i in 0..n {
+                t += gaps[i];
+                arrivals.push((t, sizes[i]));
+            }
+            // Uplink, then downlink (arrivals = departs + propagation,
+            // still nondecreasing because FIFO service is monotone).
+            let up_departs = reference_port(&arrivals, &cfg);
+            let down_arrivals: Vec<(NetTime, u64)> = up_departs
+                .iter()
+                .zip(&arrivals)
+                .map(|(d, &(_, b))| (d + cfg.link_latency, b))
+                .collect();
+            let down_departs = reference_port(&down_arrivals, &cfg);
+            let expect: Vec<NetTime> =
+                down_departs.iter().map(|d| d + cfg.link_latency).collect();
+
+            let mut net = Network::new(cfg.clone(), 2);
+            let ids: Vec<MsgId> = arrivals
+                .iter()
+                .map(|&(at, bytes)| net.inject(at, Flow { src: 0, dst: 1, bytes }))
+                .collect();
+            let done = net.run();
+            assert_eq!(done.len(), n, "lossless port loses nothing");
+            let stats = net.stats();
+            let up = &stats.links[0].1; // node0 -> switch
+            assert_eq!(up.msgs as usize, n);
+            assert_eq!(up.drops, 0);
+            let deliver: Vec<NetTime> = ids
+                .iter()
+                .map(|id| done.iter().find(|(d, _)| d == id).expect("delivered").1)
+                .collect();
+            let mut sorted = deliver.clone();
+            sorted.sort();
+            assert_eq!(deliver, sorted, "FIFO order preserved end to end");
+            assert_eq!(deliver, expect, "deliveries must match the brute-force model");
+        }
+
+        /// Buffer cap respected: replay the port's own accounting and
+        /// check occupancy never exceeds the buffer under backpressure
+        /// (oversized single messages excepted by design).
+        fn buffer_cap_respected(
+            gaps in vec(0u64..10, 1..24),
+            sizes in vec(1u64..120, 1..24),
+            buffer in 128u64..300,
+        ) {
+            let n = gaps.len().min(sizes.len());
+            let mut cfg = tiny_cfg();
+            cfg.port_buffer = buffer;
+            let mut net = Network::new(cfg.clone(), 2);
+            let mut t = 0;
+            let mut arrivals = Vec::new();
+            for i in 0..n {
+                t += gaps[i];
+                net.inject(t, Flow { src: 0, dst: 1, bytes: sizes[i] });
+                arrivals.push((t, sizes[i]));
+            }
+            let done = net.run();
+            assert_eq!(done.len(), n);
+            // Reconstruct uplink occupancy over time from the reference
+            // (proven equal to the port by the differential test above):
+            // a message occupies the buffer from its admission (departure
+            // minus serialization) until its departure, and at every
+            // admit instant the total must fit. Admissions are FIFO, so
+            // only earlier messages can already be in the buffer.
+            let departs = reference_port(&arrivals, &cfg);
+            let admit_of = |i: usize| {
+                departs[i] - sizes[i].div_ceil(cfg.bytes_per_cycle.max(1)).max(1)
+            };
+            for i in 0..n {
+                let admit = admit_of(i);
+                let occ: u64 = (0..i).filter(|&j| departs[j] > admit).map(|j| sizes[j]).sum();
+                assert!(
+                    occ + sizes[i] <= buffer || occ == 0,
+                    "occupancy {} + {} exceeds buffer {buffer}",
+                    occ,
+                    sizes[i]
+                );
+            }
+        }
+    }
+}

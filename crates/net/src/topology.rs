@@ -1,0 +1,217 @@
+//! Pluggable topologies: who is wired to whom, and how a message routes.
+//!
+//! A topology is compiled down to a flat table of *directed links*; every
+//! link is one switch output port (or a host NIC) with its own queue in
+//! the network core. Routing is a pure function of `(src, dst)`, so the
+//! same flow always takes the same path — a requirement for determinism.
+
+/// Directed link id — index into the network's port table.
+pub type LinkId = usize;
+
+/// What a link connects, for human-readable stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    Node(u32),
+    /// The single switch of [`TopologySpec::OneBigSwitch`].
+    Switch,
+    Leaf(u32),
+    Spine(u32),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Node(i) => write!(f, "node{i}"),
+            Endpoint::Switch => write!(f, "switch"),
+            Endpoint::Leaf(i) => write!(f, "leaf{i}"),
+            Endpoint::Spine(i) => write!(f, "spine{i}"),
+        }
+    }
+}
+
+/// A directed link: `from -> to`.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkDesc {
+    pub from: Endpoint,
+    pub to: Endpoint,
+}
+
+impl LinkDesc {
+    pub fn label(&self) -> String {
+        format!("{}->{}", self.from, self.to)
+    }
+}
+
+/// Topology shape. Node count comes from the world (ranks / ranks_per_node);
+/// the spec only fixes the switch arrangement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// Every node hangs off one non-blocking switch: the classic
+    /// first-cut model (contention only at the destination port).
+    OneBigSwitch,
+    /// Two-level fat-tree: nodes spread round-robin over `leaves` leaf
+    /// switches, every leaf wired to every one of `spines` spine
+    /// switches. Cross-leaf traffic picks its spine deterministically
+    /// from `(src + dst) % spines` — a static hash, so a flow's path is
+    /// a pure function of its endpoints.
+    FatTree { leaves: u32, spines: u32 },
+}
+
+/// A compiled topology: the link table plus routing.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    pub spec: TopologySpec,
+    pub nodes: u32,
+    links: Vec<LinkDesc>,
+    /// `FatTree` link-id layout bases (see `compile`).
+    leaf_up_base: usize,
+    spine_down_base: usize,
+}
+
+impl Topology {
+    /// Compile `spec` for `nodes` simulated nodes.
+    pub fn compile(spec: TopologySpec, nodes: u32) -> Self {
+        assert!(nodes > 0, "topology needs at least one node");
+        let mut links = Vec::new();
+        let (leaf_up_base, spine_down_base);
+        match spec {
+            TopologySpec::OneBigSwitch => {
+                // [0, n): node i -> switch. [n, 2n): switch -> node i.
+                for i in 0..nodes {
+                    links.push(LinkDesc { from: Endpoint::Node(i), to: Endpoint::Switch });
+                }
+                for i in 0..nodes {
+                    links.push(LinkDesc { from: Endpoint::Switch, to: Endpoint::Node(i) });
+                }
+                leaf_up_base = links.len();
+                spine_down_base = links.len();
+            }
+            TopologySpec::FatTree { leaves, spines } => {
+                assert!(leaves > 0 && spines > 0, "fat-tree needs leaves and spines");
+                // [0, n): node i -> leaf(i). [n, 2n): leaf(i) -> node i.
+                for i in 0..nodes {
+                    links.push(LinkDesc {
+                        from: Endpoint::Node(i),
+                        to: Endpoint::Leaf(i % leaves),
+                    });
+                }
+                for i in 0..nodes {
+                    links.push(LinkDesc {
+                        from: Endpoint::Leaf(i % leaves),
+                        to: Endpoint::Node(i),
+                    });
+                }
+                // [2n, 2n + leaves*spines): leaf l -> spine s.
+                leaf_up_base = links.len();
+                for l in 0..leaves {
+                    for s in 0..spines {
+                        links.push(LinkDesc { from: Endpoint::Leaf(l), to: Endpoint::Spine(s) });
+                    }
+                }
+                // [.., + spines*leaves): spine s -> leaf l.
+                spine_down_base = links.len();
+                for s in 0..spines {
+                    for l in 0..leaves {
+                        links.push(LinkDesc { from: Endpoint::Spine(s), to: Endpoint::Leaf(l) });
+                    }
+                }
+            }
+        }
+        Self { spec, nodes, links, leaf_up_base, spine_down_base }
+    }
+
+    pub fn links(&self) -> &[LinkDesc] {
+        &self.links
+    }
+
+    /// The ordered list of links a message from `src` to `dst` traverses.
+    pub fn route(&self, src: u32, dst: u32) -> Vec<LinkId> {
+        assert!(src < self.nodes && dst < self.nodes, "route endpoint out of range");
+        assert_ne!(src, dst, "no self-routes");
+        let n = self.nodes as usize;
+        match self.spec {
+            TopologySpec::OneBigSwitch => vec![src as usize, n + dst as usize],
+            TopologySpec::FatTree { leaves, spines } => {
+                let lsrc = src % leaves;
+                let ldst = dst % leaves;
+                if lsrc == ldst {
+                    return vec![src as usize, n + dst as usize];
+                }
+                let sp = (src + dst) % spines;
+                vec![
+                    src as usize,
+                    self.leaf_up_base + (lsrc * spines + sp) as usize,
+                    self.spine_down_base + (sp * leaves + ldst) as usize,
+                    n + dst as usize,
+                ]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_support::props;
+
+    /// Walk a route and check the endpoints chain from src to dst.
+    fn assert_route_connects(topo: &Topology, src: u32, dst: u32) {
+        let route = topo.route(src, dst);
+        assert!(!route.is_empty());
+        let links = topo.links();
+        assert_eq!(links[route[0]].from, Endpoint::Node(src), "route starts at src");
+        assert_eq!(
+            links[*route.last().unwrap()].to,
+            Endpoint::Node(dst),
+            "route ends at dst"
+        );
+        for pair in route.windows(2) {
+            assert_eq!(
+                links[pair[0]].to,
+                links[pair[1]].from,
+                "hops must chain: {} then {}",
+                links[pair[0]].label(),
+                links[pair[1]].label()
+            );
+        }
+    }
+
+    #[test]
+    fn one_big_switch_routes_two_hops() {
+        let t = Topology::compile(TopologySpec::OneBigSwitch, 4);
+        for s in 0..4 {
+            for d in 0..4 {
+                if s != d {
+                    assert_eq!(t.route(s, d).len(), 2);
+                    assert_route_connects(&t, s, d);
+                }
+            }
+        }
+    }
+
+    props! {
+        cases = 128;
+
+        /// Every fat-tree route is a valid chain, 2 hops inside a leaf and
+        /// 4 hops across leaves, and is identical on recomputation.
+        fn fat_tree_routes_connect(
+            nodes in 2u64..33,
+            leaves in 1u64..5,
+            spines in 1u64..4,
+            src in 0u64..33,
+            dst in 0u64..33,
+        ) {
+            let (src, dst) = (src % nodes, dst % nodes);
+            if src == dst {
+                return;
+            }
+            let spec = TopologySpec::FatTree { leaves: leaves as u32, spines: spines as u32 };
+            let t = Topology::compile(spec, nodes as u32);
+            assert_route_connects(&t, src as u32, dst as u32);
+            let r = t.route(src as u32, dst as u32);
+            let same_leaf = (src % leaves) == (dst % leaves);
+            assert_eq!(r.len(), if same_leaf { 2 } else { 4 });
+            assert_eq!(r, t.route(src as u32, dst as u32), "routing is pure");
+        }
+    }
+}

@@ -455,6 +455,14 @@ impl ProcBuilder {
         self.push(Stmt::MpiCost { cycles });
     }
 
+    /// Paired exchange with rank `peer` (`MPI_Sendrecv` semantics): send
+    /// `bytes`, receive the peer's payload, block until both complete.
+    /// The peer must issue a matching exchange naming this rank or the
+    /// world reports an exchange deadlock.
+    pub fn mpi_exchange(&mut self, peer: impl Into<Expr>, bytes: impl Into<Expr>) {
+        self.push(Stmt::MpiExchange { peer: peer.into(), bytes: bytes.into() });
+    }
+
     /// Run `f` bracketed by phase markers named `name`.
     pub fn phase(&mut self, name: &'static str, f: impl FnOnce(&mut Self)) {
         self.push(Stmt::PhaseBegin(name));

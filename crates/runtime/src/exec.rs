@@ -39,6 +39,12 @@ pub struct CostModel {
     pub omp_barrier: u32,
     /// MPI barrier cost (after global clock alignment).
     pub mpi_barrier: u64,
+    /// Per-message software overhead of an MPI exchange (matching,
+    /// envelope handling) charged before the payload moves.
+    pub mpi_msg: u64,
+    /// Intra-node exchange bandwidth in bytes/cycle (shared-memory copy
+    /// between co-located ranks; also the no-network fallback rate).
+    pub mpi_node_bw: u64,
     /// dlopen/dlclose cost.
     pub dl: u32,
     /// Memory-level-parallelism divisor: an out-of-order core overlaps
@@ -62,6 +68,8 @@ impl Default for CostModel {
             join: 250,
             omp_barrier: 120,
             mpi_barrier: 4000,
+            mpi_msg: 600,
+            mpi_node_bw: 16,
             dl: 1500,
             mem_overlap: 2,
         }
@@ -176,6 +184,9 @@ pub(crate) enum Status {
     BlockedOmpBarrier,
     /// Rank main waiting at a global MPI barrier.
     BlockedMpi,
+    /// Rank main waiting inside an MPI exchange for the network (or the
+    /// peer's matching call).
+    BlockedNet,
     /// Stopped at a statement that needs node-shared state (allocator,
     /// page table, fork/join, phases); the epoch commit executes it
     /// serially, in event order, and re-runs the thread next epoch.

@@ -163,6 +163,12 @@ pub enum Stmt {
     MpiBarrier,
     /// Fixed-cost communication (sendrecv etc.); cost only, no data.
     MpiCost { cycles: u64 },
+    /// Paired exchange (`MPI_Sendrecv` semantics): send `bytes` to rank
+    /// `peer` and receive whatever `peer` sends back in its own matching
+    /// exchange. The rank blocks until both transfers complete; with a
+    /// network configured, cross-node transfers become flows through the
+    /// switch fabric and the completion time includes queueing.
+    MpiExchange { peer: Expr, bytes: Expr },
     /// Begin/end a named program phase (for per-phase timing à la Table 2).
     PhaseBegin(&'static str),
     PhaseEnd(&'static str),

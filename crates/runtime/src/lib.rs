@@ -35,8 +35,9 @@ pub use ir::{Ip, LocalId, ModuleId, ProcId, Program};
 pub use observer::{
     AllocEvent, FrameInfo, FreeEvent, ModuleEvent, NodeObserver, NullObserver, ThreadView,
 };
-pub use par::{run_world, NodeReport, WorldConfig, WorldReport};
-pub use sched::{NodeSim, Quiescence, SimConfig};
+pub use dcp_net as net;
+pub use par::{run_world, NodeReport, SimError, WorldConfig, WorldReport};
+pub use sched::{NetPending, NodeSim, Quiescence, SimConfig};
 
 #[cfg(test)]
 mod proptests {
@@ -114,12 +115,12 @@ mod proptests {
             let r1 = {
                 let prog = build_random(&sizes, &strides, iters, threads, use_calls);
                 run_world(&prog, &WorldConfig::single_node(
-                    SimConfig::new(MachineConfig::tiny_test()), 1), |_| NullObserver)
+                    SimConfig::new(MachineConfig::tiny_test()), 1), |_| NullObserver).unwrap()
             };
             let r2 = {
                 let prog = build_random(&sizes, &strides, iters, threads, use_calls);
                 run_world(&prog, &WorldConfig::single_node(
-                    SimConfig::new(MachineConfig::tiny_test()), 1), |_| NullObserver)
+                    SimConfig::new(MachineConfig::tiny_test()), 1), |_| NullObserver).unwrap()
             };
             assert_eq!(r1.wall, r2.wall);
             assert_eq!(r1.nodes[0].ops, r2.nodes[0].ops);
@@ -139,7 +140,9 @@ mod proptests {
             let wall = |n| {
                 let prog = build_random(&[3], &[7], n, 1, false);
                 run_world(&prog, &WorldConfig::single_node(
-                    SimConfig::new(MachineConfig::tiny_test()), 1), |_| NullObserver).wall
+                    SimConfig::new(MachineConfig::tiny_test()), 1), |_| NullObserver)
+                    .unwrap()
+                    .wall
             };
             assert!(wall(iters + extra) > wall(iters));
         }

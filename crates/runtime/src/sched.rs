@@ -106,6 +106,29 @@ pub enum Quiescence {
         /// Max clock among the waiters (this node's barrier arrival time).
         max_clock: Cycles,
     },
+    /// At least one rank main is parked inside an MPI exchange, waiting
+    /// for the network (others may simultaneously sit at a barrier; the
+    /// world must resolve exchanges before the barrier can complete).
+    NetBlocked {
+        /// Number of rank mains waiting on exchanges.
+        pending: usize,
+    },
+}
+
+/// A rank main parked in an MPI exchange, waiting for the world loop to
+/// move its payload over the network (or the shared-memory fallback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetPending {
+    /// Node-local thread slot (pass back to [`NodeSim::net_release`]).
+    pub tid: usize,
+    /// Global rank issuing the exchange.
+    pub rank: u32,
+    /// Global rank of the exchange partner.
+    pub peer: u32,
+    /// Payload bytes this rank sends.
+    pub bytes: u64,
+    /// Thread clock at the call — the earliest injection time of its flow.
+    pub clock: Cycles,
 }
 
 /// One process (MPI rank) hosted on this node.
@@ -134,6 +157,7 @@ enum Action {
     Fork { outlined: ProcId, args: Vec<i64>, n: u32, site: Ip },
     OmpBarrier,
     MpiBarrier,
+    MpiExchange { peer: u32, bytes: u64 },
 }
 
 /// Scheduler step outcome (internal).
@@ -247,6 +271,7 @@ fn is_serialized(kind: &Stmt) -> bool {
             | Stmt::Parallel { .. }
             | Stmt::OmpBarrier
             | Stmt::MpiBarrier
+            | Stmt::MpiExchange { .. }
             | Stmt::PhaseBegin(_)
             | Stmt::PhaseEnd(_)
             | Stmt::DlOpen(_)
@@ -284,6 +309,11 @@ pub struct NodeSim<'p, O: NodeObserver> {
     observer: O,
     phases: Vec<PhaseRecord>,
     mpi_blocked: Vec<usize>,
+    net_blocked: Vec<NetPending>,
+    /// Cycles rank mains spent blocked in exchanges (communication wait).
+    net_wait: Cycles,
+    /// Exchanges issued on this node.
+    exchanges: u64,
     pmu_pool: FxHashMap<(usize, u32), Pmu>,
     /// Per-domain epoch working sets, reused across epochs.
     epoch_runs: Vec<ShardRun<'p>>,
@@ -328,6 +358,9 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
             observer,
             phases: Vec::new(),
             mpi_blocked: Vec::new(),
+            net_blocked: Vec::new(),
+            net_wait: 0,
+            exchanges: 0,
             pmu_pool: FxHashMap::default(),
             epoch_runs: Vec::new(),
             event_buf: Vec::new(),
@@ -432,10 +465,14 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
         }))
     }
 
-    /// Run until every thread is done or blocked on an MPI barrier.
+    /// Run until every thread is done or blocked on MPI (barrier or
+    /// exchange). Exchange blocking wins the summary: the world must move
+    /// payloads before any co-blocked barrier can possibly complete.
     pub fn run_until_quiescent(&mut self) -> Quiescence {
         while self.run_epoch() {}
-        if self.mpi_blocked.is_empty() {
+        if !self.net_blocked.is_empty() {
+            Quiescence::NetBlocked { pending: self.net_blocked.len() }
+        } else if self.mpi_blocked.is_empty() {
             Quiescence::AllDone
         } else {
             let max_clock = self
@@ -457,6 +494,51 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
             th.clock = release_clock + cost;
             th.status = Status::Runnable;
         }
+    }
+
+    /// Rank mains currently parked in MPI exchanges (world loop input).
+    pub fn net_pending(&self) -> &[NetPending] {
+        &self.net_blocked
+    }
+
+    /// Release one exchange-parked rank main: its payload (and the
+    /// peer's) has arrived at `release_clock`.
+    pub fn net_release(&mut self, tid: usize, release_clock: Cycles) {
+        let idx = self
+            .net_blocked
+            .iter()
+            .position(|p| p.tid == tid)
+            .expect("net_release of a thread that is not exchange-blocked");
+        let p = self.net_blocked.swap_remove(idx);
+        self.net_wait += release_clock.saturating_sub(p.clock);
+        let th = self.threads[tid].as_mut().expect("live thread");
+        debug_assert_eq!(th.status, Status::BlockedNet);
+        th.clock = th.clock.max(release_clock);
+        th.status = Status::Runnable;
+    }
+
+    /// Rank mains waiting at the MPI barrier.
+    pub fn barrier_waiting(&self) -> usize {
+        self.mpi_blocked.len()
+    }
+
+    /// This node's barrier arrival time: max clock among its waiters.
+    pub fn barrier_arrival(&self) -> Cycles {
+        self.mpi_blocked
+            .iter()
+            .map(|&t| self.threads[t].as_ref().expect("live thread").clock)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Cycles rank mains spent blocked in exchanges.
+    pub fn net_wait(&self) -> Cycles {
+        self.net_wait
+    }
+
+    /// Exchanges issued on this node.
+    pub fn exchange_count(&self) -> u64 {
+        self.exchanges
     }
 
     /// Largest clock reached by any thread (node wall time).
@@ -746,6 +828,16 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
             Action::MpiBarrier => {
                 self.threads[tid].as_mut().expect("live thread").status = Status::BlockedMpi;
                 self.mpi_blocked.push(tid);
+                StepOut::Yield
+            }
+            Action::MpiExchange { peer, bytes } => {
+                let (rank, clock) = {
+                    let th = self.threads[tid].as_mut().expect("live thread");
+                    th.status = Status::BlockedNet;
+                    (th.rank, th.clock)
+                };
+                self.net_blocked.push(NetPending { tid, rank, peer, bytes, clock });
+                self.exchanges += 1;
                 StepOut::Yield
             }
         }
@@ -1368,6 +1460,21 @@ impl<'p, O: NodeObserver> NodeSim<'p, O> {
             Stmt::MpiCost { cycles } => {
                 th.clock += cycles;
                 quiet_ops!(1);
+            }
+            Stmt::MpiExchange { peer, bytes } => {
+                assert!(th.thread == 0, "MPI exchange must be called by the rank main thread");
+                assert!(th.team.is_none(), "MPI exchange inside a parallel region");
+                let p = eval(peer, th.locals(), &ectx);
+                let b = eval(bytes, th.locals(), &ectx).max(0) as u64;
+                assert!(
+                    p >= 0 && p < ectx.num_ranks,
+                    "exchange peer {p} out of range (world has {} ranks)",
+                    ectx.num_ranks
+                );
+                assert!(p as u32 != th.rank, "rank {} exchanging with itself", th.rank);
+                th.clock += 2 * cfg.cost.op as Cycles;
+                quiet_ops!(2);
+                return Action::MpiExchange { peer: p as u32, bytes: b };
             }
             Stmt::PhaseBegin(name) => {
                 process.phase_stack.push((name, th.clock));

@@ -267,7 +267,7 @@ pub fn world(cfg: &AmgConfig) -> WorldConfig {
     if cfg.variant == AmgVariant::NumactlInterleave {
         sim.default_policy = PagePolicy::Interleave;
     }
-    WorldConfig { sim, ranks: cfg.ranks, ranks_per_node: 1 }
+    WorldConfig { sim, ranks: cfg.ranks, ranks_per_node: 1, net: None }
 }
 
 #[cfg(test)]
@@ -282,7 +282,7 @@ mod tests {
         let cfg = AmgConfig::small(variant);
         let prog = build(&cfg);
         let world = world(&cfg);
-        let r = run_world(&prog, &world, |_| NullObserver);
+        let r = run_world(&prog, &world, |_| NullObserver).unwrap();
         let wall = |name| r.phase_wall(name).expect("AMG records all three phases");
         (wall("initialization"), wall("setup"), wall("solver"), r.wall)
     }

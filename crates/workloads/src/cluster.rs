@@ -1,0 +1,268 @@
+//! Cluster-scale synthetic workloads: multi-node MPI programs whose
+//! cross-node traffic exercises the `dcp-net` fabric.
+//!
+//! Two communication patterns, both weak-scaling (per-rank work is
+//! constant, so ideal scaling keeps wall time flat as ranks grow):
+//!
+//! * **Halo** — a 1-D domain decomposition exchanging ghost cells with
+//!   both neighbors each iteration, in the classic even/odd two-phase
+//!   schedule (phase A pairs `(0,1), (2,3), …`; phase B pairs
+//!   `(1,2), (3,4), …` with the chain ends sitting out). This is the
+//!   nearest-neighbor traffic of stencil codes like Sweep3D's wavefront.
+//! * **Hypercube** — `log2(ranks)` stages of butterfly exchange (stage
+//!   `k` pairs each rank with `rank XOR k`), the traffic of a
+//!   recursive-doubling allreduce. Every stage crosses more of the
+//!   fabric than the last, so spine links light up and congestion
+//!   becomes visible in the per-link stats.
+//!
+//! Both run on `tiny_test` nodes so hundreds of ranks simulate quickly,
+//! with several ranks per node: same-node pairs take the shared-memory
+//! path and cross-node pairs become network flows — the split the
+//! profiler's `net_wait` accounting is meant to expose.
+
+use dcp_machine::MachineConfig;
+use dcp_net::{NetConfig, TopologySpec};
+use dcp_runtime::ir::ex::*;
+use dcp_runtime::ir::{Cmp, Expr};
+use dcp_runtime::{Program, ProgramBuilder, SimConfig, WorldConfig};
+
+/// Which communication pattern the ranks run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterPattern {
+    /// Even/odd nearest-neighbor ghost exchange (requires even `ranks`).
+    Halo,
+    /// Butterfly / recursive-doubling exchange (requires power-of-two
+    /// `ranks`).
+    Hypercube,
+}
+
+/// Workload scale.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    pub pattern: ClusterPattern,
+    /// Total MPI ranks.
+    pub ranks: u32,
+    /// Ranks co-located per simulated node.
+    pub ranks_per_node: u32,
+    /// Per-rank working-set elements (8 bytes each).
+    pub elems: i64,
+    /// Outer iterations.
+    pub iters: i64,
+    /// Ghost-payload bytes per exchange.
+    pub bytes: i64,
+}
+
+impl ClusterConfig {
+    /// Fast configuration for tests: 8 ranks over 4 nodes.
+    pub fn small(pattern: ClusterPattern) -> Self {
+        Self { pattern, ranks: 8, ranks_per_node: 2, elems: 256, iters: 2, bytes: 4096 }
+    }
+
+    /// Scaled configuration for the rank sweep: `ranks` must satisfy the
+    /// pattern's shape constraint (even / power of two).
+    pub fn scaled(pattern: ClusterPattern, ranks: u32) -> Self {
+        Self { pattern, ranks, ranks_per_node: 4, elems: 256, iters: 2, bytes: 8192 }
+    }
+
+    /// Simulated nodes this configuration spans.
+    pub fn nodes(&self) -> u32 {
+        self.ranks.div_ceil(self.ranks_per_node)
+    }
+}
+
+/// Build the cluster model program.
+pub fn build(cfg: &ClusterConfig) -> Program {
+    match cfg.pattern {
+        ClusterPattern::Halo => {
+            assert!(
+                cfg.ranks >= 2 && cfg.ranks.is_multiple_of(2),
+                "halo needs an even rank count, got {}",
+                cfg.ranks
+            );
+        }
+        ClusterPattern::Hypercube => {
+            assert!(
+                cfg.ranks >= 2 && cfg.ranks.is_power_of_two(),
+                "hypercube needs a power-of-two rank count, got {}",
+                cfg.ranks
+            );
+        }
+    }
+    let (elems, iters, bytes) = (cfg.elems, cfg.iters, cfg.bytes);
+    let last = (cfg.ranks - 1) as i64;
+
+    let mut b = ProgramBuilder::new("cluster");
+
+    // Local relaxation pass: unit-stride read-modify-write over the
+    // rank's own field — the compute between communication rounds.
+    let relax = b.declare("relax", 1);
+    b.define(relax, |p| {
+        let field = p.param(0);
+        p.line(40);
+        p.for_(c(0), c(elems), |p, e| {
+            p.line(41);
+            p.load(l(field), l(e), 8);
+            p.line(42);
+            p.store(l(field), l(e), 8);
+            p.compute(20);
+        });
+        p.ret(None);
+    });
+
+    let pattern = cfg.pattern;
+    let ranks = cfg.ranks;
+    let main = b.proc("main", 0, |p| {
+        p.line(10);
+        let field = p.malloc(c(elems * 8), "Field");
+        // First-touch initialization, rank-local.
+        p.for_(c(0), c(elems), |p, e| {
+            p.line(12);
+            p.store(l(field), l(e), 8);
+        });
+        p.mpi_barrier();
+        p.phase("solve", |p| {
+            p.for_(c(0), c(iters), |p, _| {
+                p.line(20);
+                p.call(relax, vec![l(field)]);
+                match pattern {
+                    ClusterPattern::Halo => {
+                        // Phase A: (0,1), (2,3), ... — every rank pairs.
+                        p.line(21);
+                        p.if_(
+                            rem(Expr::RankId, c(2)),
+                            Cmp::Eq,
+                            c(0),
+                            |p| p.mpi_exchange(add(Expr::RankId, c(1)), c(bytes)),
+                            |p| p.mpi_exchange(sub(Expr::RankId, c(1)), c(bytes)),
+                        );
+                        // Phase B: (1,2), (3,4), ... — the chain ends
+                        // (rank 0 and the last rank) sit the phase out.
+                        p.line(22);
+                        p.if_(
+                            rem(Expr::RankId, c(2)),
+                            Cmp::Eq,
+                            c(1),
+                            |p| {
+                                p.if_(
+                                    Expr::RankId,
+                                    Cmp::Lt,
+                                    c(last),
+                                    |p| p.mpi_exchange(add(Expr::RankId, c(1)), c(bytes)),
+                                    |p| p.compute(1),
+                                )
+                            },
+                            |p| {
+                                p.if_(
+                                    Expr::RankId,
+                                    Cmp::Gt,
+                                    c(0),
+                                    |p| p.mpi_exchange(sub(Expr::RankId, c(1)), c(bytes)),
+                                    |p| p.compute(1),
+                                )
+                            },
+                        );
+                    }
+                    ClusterPattern::Hypercube => {
+                        // Stages k = 1, 2, 4, ...: peer = rank XOR k,
+                        // spelled arithmetically as +-k on the k-th bit.
+                        let mut k = 1i64;
+                        while (k as u64) < ranks as u64 {
+                            p.line(30);
+                            p.if_(
+                                rem(div(Expr::RankId, c(k)), c(2)),
+                                Cmp::Eq,
+                                c(0),
+                                |p| p.mpi_exchange(add(Expr::RankId, c(k)), c(bytes)),
+                                |p| p.mpi_exchange(sub(Expr::RankId, c(k)), c(bytes)),
+                            );
+                            k *= 2;
+                        }
+                    }
+                }
+            });
+        });
+        p.mpi_barrier();
+        p.free(l(field));
+    });
+
+    b.build(main)
+}
+
+/// Fabric for `nodes` simulated nodes: a 2-level fat-tree with two nodes
+/// per leaf, so cross-leaf traffic contends for the two spines.
+pub fn net_config(nodes: u32) -> NetConfig {
+    let leaves = nodes.div_ceil(2).clamp(1, 32);
+    NetConfig::lossless(TopologySpec::FatTree { leaves, spines: 2 })
+}
+
+/// World: `tiny_test` nodes joined by the fat-tree fabric.
+pub fn world(cfg: &ClusterConfig) -> WorldConfig {
+    let sim = SimConfig::new(MachineConfig::tiny_test());
+    WorldConfig {
+        sim,
+        ranks: cfg.ranks,
+        ranks_per_node: cfg.ranks_per_node,
+        net: Some(net_config(cfg.nodes())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_runtime::{run_world, NullObserver};
+
+    #[test]
+    fn halo_completes_and_uses_the_fabric() {
+        let cfg = ClusterConfig::small(ClusterPattern::Halo);
+        let r = run_world(&build(&cfg), &world(&cfg), |_| NullObserver).unwrap();
+        assert_eq!(r.nodes.len(), 4);
+        let net = r.net.expect("multi-node world has fabric stats");
+        assert!(net.flows > 0, "cross-node pairs must use the fabric");
+        // Interior ranks exchange twice per iteration; everyone at least
+        // once. 8 ranks x 2 iters: between 14 and 16 exchanges per iter.
+        let exchanges: u64 = r.nodes.iter().map(|n| n.exchanges).sum();
+        assert_eq!(exchanges, 2 * (8 + 6));
+    }
+
+    #[test]
+    fn hypercube_completes_all_stages() {
+        let cfg = ClusterConfig::small(ClusterPattern::Hypercube);
+        let r = run_world(&build(&cfg), &world(&cfg), |_| NullObserver).unwrap();
+        // 8 ranks x log2(8)=3 stages x 2 iters.
+        let exchanges: u64 = r.nodes.iter().map(|n| n.exchanges).sum();
+        assert_eq!(exchanges, 8 * 3 * 2);
+        let net = r.net.expect("fabric stats");
+        // The k=4 stage is always cross-node (4 ranks per 2 nodes): spine
+        // links carried traffic.
+        assert!(net.links.iter().any(|(l, s)| l.contains("spine") && s.msgs > 0));
+    }
+
+    #[test]
+    fn co_located_pairs_skip_the_fabric() {
+        // 2 ranks on one node: no fabric at all.
+        let cfg = ClusterConfig {
+            pattern: ClusterPattern::Halo,
+            ranks: 2,
+            ranks_per_node: 2,
+            elems: 64,
+            iters: 1,
+            bytes: 1024,
+        };
+        let r = run_world(&build(&cfg), &world(&cfg), |_| NullObserver).unwrap();
+        assert!(r.net.is_none(), "single-node world must not build a fabric");
+        assert_eq!(r.nodes[0].exchanges, 2);
+    }
+
+    #[test]
+    fn weak_scaling_wall_grows_sublinearly() {
+        // 4x the ranks must cost far less than 4x the wall (weak scaling:
+        // per-rank work constant; only fabric contention grows).
+        let wall = |ranks| {
+            let cfg = ClusterConfig::scaled(ClusterPattern::Halo, ranks);
+            run_world(&build(&cfg), &world(&cfg), |_| NullObserver).unwrap().wall
+        };
+        let w8 = wall(8);
+        let w32 = wall(32);
+        assert!(w32 < w8 * 3, "32 ranks ({w32}) vs 8 ranks ({w8})");
+    }
+}

@@ -17,6 +17,7 @@
 //! hundred-allocation loop.
 
 pub mod amg2006;
+pub mod cluster;
 pub mod lulesh;
 pub mod micro;
 pub mod nw;

@@ -183,7 +183,7 @@ mod tests {
 
     fn wall(variant: LuleshVariant) -> u64 {
         let cfg = LuleshConfig::small(variant);
-        run_world(&build(&cfg), &world(&cfg), |_| NullObserver).wall
+        run_world(&build(&cfg), &world(&cfg), |_| NullObserver).unwrap().wall
     }
 
     #[test]

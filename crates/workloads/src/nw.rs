@@ -139,11 +139,11 @@ mod tests {
     fn interleaving_gives_large_speedup() {
         let o = {
             let cfg = NwConfig::small(NwVariant::Original);
-            run_world(&build(&cfg), &world(&cfg), |_| NullObserver).wall
+            run_world(&build(&cfg), &world(&cfg), |_| NullObserver).unwrap().wall
         };
         let i = {
             let cfg = NwConfig::small(NwVariant::Interleaved);
-            run_world(&build(&cfg), &world(&cfg), |_| NullObserver).wall
+            run_world(&build(&cfg), &world(&cfg), |_| NullObserver).unwrap().wall
         };
         assert!(i < o);
         let gain = (o - i) as f64 / o as f64 * 100.0;

@@ -164,11 +164,11 @@ mod tests {
     fn parallel_first_touch_speeds_up() {
         let o = {
             let cfg = ScConfig::small(ScVariant::Original);
-            run_world(&build(&cfg), &world(&cfg), |_| NullObserver).wall
+            run_world(&build(&cfg), &world(&cfg), |_| NullObserver).unwrap().wall
         };
         let f = {
             let cfg = ScConfig::small(ScVariant::ParallelFirstTouch);
-            run_world(&build(&cfg), &world(&cfg), |_| NullObserver).wall
+            run_world(&build(&cfg), &world(&cfg), |_| NullObserver).unwrap().wall
         };
         assert!(f < o, "first-touch {f} vs original {o}");
         let gain = (o - f) as f64 / o as f64 * 100.0;
@@ -206,7 +206,7 @@ mod tests {
     fn fix_reduces_remote_fraction() {
         let stats = |variant| {
             let cfg = ScConfig::small(variant);
-            run_world(&build(&cfg), &world(&cfg), |_| NullObserver).nodes[0]
+            run_world(&build(&cfg), &world(&cfg), |_| NullObserver).unwrap().nodes[0]
                 .machine_stats
                 .clone()
         };

@@ -196,7 +196,7 @@ pub fn build(cfg: &SweepConfig) -> Program {
 /// window (each rank inherits its window's NUMA domain).
 pub fn world(cfg: &SweepConfig) -> WorldConfig {
     let sim = SimConfig::new(MachineConfig::magny_cours());
-    WorldConfig { sim, ranks: cfg.ranks, ranks_per_node: cfg.ranks }
+    WorldConfig { sim, ranks: cfg.ranks, ranks_per_node: cfg.ranks, net: None }
 }
 
 #[cfg(test)]
@@ -210,11 +210,11 @@ mod tests {
     fn transposition_speeds_up_the_sweep() {
         let o = {
             let cfg = SweepConfig::small(SweepVariant::Original);
-            run_world(&build(&cfg), &world(&cfg), |_| NullObserver).wall
+            run_world(&build(&cfg), &world(&cfg), |_| NullObserver).unwrap().wall
         };
         let t = {
             let cfg = SweepConfig::small(SweepVariant::Transposed);
-            run_world(&build(&cfg), &world(&cfg), |_| NullObserver).wall
+            run_world(&build(&cfg), &world(&cfg), |_| NullObserver).unwrap().wall
         };
         assert!(t < o, "transposed {t} must beat original {o}");
         let speedup = (o as f64 - t as f64) / o as f64 * 100.0;
@@ -253,7 +253,7 @@ mod tests {
         let cfg = SweepConfig::small(SweepVariant::Original);
         let prog = build(&cfg);
         let w = world(&cfg);
-        let r = run_world(&prog, &w, |_| NullObserver);
+        let r = run_world(&prog, &w, |_| NullObserver).unwrap();
         let s = &r.nodes[0].machine_stats;
         // Each rank touches only its own data: remote DRAM traffic is a
         // tiny fraction of total DRAM traffic.
@@ -309,7 +309,7 @@ mod tests {
             let cfg = SweepConfig::small(variant);
             let prog = build(&cfg);
             let w = world(&cfg);
-            let r = run_world(&prog, &w, |_| NullObserver);
+            let r = run_world(&prog, &w, |_| NullObserver).unwrap();
             r.nodes[0].machine_stats.clone()
         };
         let orig = run_stats(SweepVariant::Original);

@@ -55,10 +55,10 @@ fn main() {
 
     // ---- 2. Apply the paper's fix: parallel first-touch init. ----
     println!("== fix: initialize in parallel so first-touch distributes pages ==");
-    let baseline = run_world(&program, &world(&cfg), |_| NullObserver).wall;
+    let baseline = run_world(&program, &world(&cfg), |_| NullObserver).unwrap().wall;
     let fixed_cfg = ScConfig::small(ScVariant::ParallelFirstTouch);
     let fixed_prog = build(&fixed_cfg);
-    let fixed = run_world(&fixed_prog, &world(&fixed_cfg), |_| NullObserver).wall;
+    let fixed = run_world(&fixed_prog, &world(&fixed_cfg), |_| NullObserver).unwrap().wall;
     println!("original: {baseline} cycles");
     println!("fixed:    {fixed} cycles");
     println!(

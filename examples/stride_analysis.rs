@@ -46,10 +46,10 @@ fn main() {
     );
 
     println!("== fix: transpose the arrays so the inner loop is unit stride ==");
-    let orig = run_world(&program, &world(&cfg), |_| NullObserver).wall;
+    let orig = run_world(&program, &world(&cfg), |_| NullObserver).unwrap().wall;
     let tcfg = SweepConfig::small(SweepVariant::Transposed);
     let tprog = build(&tcfg);
-    let fixed = run_world(&tprog, &world(&tcfg), |_| NullObserver).wall;
+    let fixed = run_world(&tprog, &world(&tcfg), |_| NullObserver).unwrap().wall;
     println!("original:   {orig} cycles");
     println!("transposed: {fixed} cycles");
     println!(

@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Cluster-scale weak scaling of the dcp-net fabric: run cluster_bench,
+# which sweeps the halo and hypercube workloads from 16 up to 256 ranks
+# over a 2-level fat-tree, asserts run-to-run determinism of wall and
+# per-link counters at every point, and prints one BENCH_JSON line with
+# the ranks-vs-throughput curve. Persist that line as BENCH_cluster.json.
+#
+# Pass --smoke for the tiny sweep (8 and 16 ranks only, CI stage); smoke
+# is a determinism gate, not a measurement, so it writes to /tmp instead
+# of clobbering the committed full-sweep artifact.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="BENCH_cluster.json"
+bin="target/release/cluster_bench"
+
+cargo build -q --release --offline -p dcp-bench --bin cluster_bench
+
+args=""
+if [ "${1:-}" = "--smoke" ]; then
+    args="--smoke"
+    out="/tmp/BENCH_cluster_smoke.json"
+fi
+
+output=$("$bin" $args)
+printf '%s\n' "$output" | grep -v '^BENCH_JSON ' >&2
+printf '%s\n' "$output" | sed -n 's/^BENCH_JSON //p' > "$out"
+test -s "$out" || { echo "bench_cluster: no BENCH_JSON line emitted" >&2; exit 1; }
+echo "wrote $out" >&2

@@ -256,3 +256,15 @@ wait "$int_pid"
 trap - EXIT
 rm -f "$int_log"
 echo "verify: interleaved smoke stage ok (queries raced --window 8 ingest, quiesced views byte-identical)" >&2
+
+# Cluster fabric smoke: the multi-node network model must complete both
+# cluster workloads on a small fat-tree with run-to-run-identical wall
+# and per-link counters (asserted inside cluster_bench), and the
+# fingerprint of the profiled multi-node runs must not depend on
+# DCP_THREADS.
+scripts/bench_cluster.sh --smoke
+cluster_a="$(DCP_THREADS=0 ./target/release/fingerprint cluster_halo cluster_hypercube)"
+cluster_b="$(DCP_THREADS=4 ./target/release/fingerprint cluster_halo cluster_hypercube)"
+[ "$cluster_a" = "$cluster_b" ] \
+    || { echo "verify: cluster fingerprint depends on DCP_THREADS" >&2; exit 1; }
+echo "verify: cluster fabric smoke stage ok (deterministic sweep + thread-invariant fingerprints)" >&2

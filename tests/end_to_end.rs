@@ -222,7 +222,7 @@ fn multi_node_phases() {
     let prog = b.build(main);
     let mut sim = SimConfig::new(MachineConfig::magny_cours());
     sim.pmu = None;
-    let w = WorldConfig { sim, ranks: 4, ranks_per_node: 2 };
+    let w = WorldConfig { sim, ranks: 4, ranks_per_node: 2, net: None };
     let (wall, nodes, phases) = dcp_core::run_baseline(&prog, &w);
     assert_eq!(nodes.len(), 2);
     assert!(wall > 50_000);

@@ -134,6 +134,47 @@ fn numa_contended_program() -> Program {
     b.build(main)
 }
 
+/// Same snapshot, but with a network model attached to the (still
+/// single-node) world. One node means no cross-node traffic, so the
+/// fabric must be inert: every golden byte identical to the netless pin.
+fn snapshot_with_fabric(prog: &Program, omp_threads: u32) -> Golden {
+    let mut sim = SimConfig::new(MachineConfig::tiny_test());
+    sim.omp_threads = omp_threads;
+    sim.pmu = Some(PmuConfig::Ibs { period: 64, skid: 2 });
+    let mut world = WorldConfig::single_node(sim, 1);
+    world.net = Some(dcp_runtime::net::NetConfig::lossless(
+        dcp_runtime::net::TopologySpec::OneBigSwitch,
+    ));
+    let run = run_profiled(prog, &world, ProfilerConfig::default());
+    assert!(run.net.is_none(), "a single-node world must not instantiate the fabric");
+    let s = &run.nodes[0].machine_stats;
+    let stats = [
+        s.accesses,
+        s.loads,
+        s.stores,
+        s.total_latency,
+        s.l1_hits,
+        s.l2_hits,
+        s.l3_hits,
+        s.remote_l3_hits,
+        s.local_dram,
+        s.remote_dram,
+        s.tlb_misses,
+        s.prefetch_fills,
+        s.prefetch_hidden,
+        s.prefetch_late,
+    ];
+    let mut h = FxHasher::default();
+    for m in run.encode_measurements(prog) {
+        for blobs in &m.profiles {
+            for b in blobs {
+                h.write(b.as_ref());
+            }
+        }
+    }
+    Golden { stats, wall: run.wall, samples: run.stats.samples, profile_hash: h.finish() }
+}
+
 #[test]
 fn golden_sequential() {
     assert_eq!(
@@ -170,6 +211,19 @@ fn golden_numa_contended() {
             samples: GOLDEN_NUMA.2,
             profile_hash: GOLDEN_NUMA.3,
         }
+    );
+}
+
+/// An attached-but-unused network leaves every pin untouched: the world
+/// runner only builds a fabric for worlds spanning several nodes, so the
+/// single-node goldens are byte-identical with `net: Some(..)`.
+#[test]
+fn golden_unchanged_with_inert_fabric() {
+    assert_eq!(snapshot(&sequential_program(), 1), snapshot_with_fabric(&sequential_program(), 1));
+    assert_eq!(snapshot(&strided_program(), 1), snapshot_with_fabric(&strided_program(), 1));
+    assert_eq!(
+        snapshot(&numa_contended_program(), 4),
+        snapshot_with_fabric(&numa_contended_program(), 4)
     );
 }
 

@@ -40,7 +40,7 @@ fn profile_is_much_smaller_than_trace_for_the_same_run() {
     let prog = program(4);
     let w = world();
     let profiled = run_profiled(&prog, &w, ProfilerConfig::default());
-    let traced = run_world(&prog, &w, |_| TraceCollector::new());
+    let traced = run_world(&prog, &w, |_| TraceCollector::new()).unwrap();
     let trace_bytes: usize = traced.observers.iter().map(|t| t.trace_bytes()).sum();
     let (samples, ..) = traced.observers[0].counts();
     assert!(samples > 1_000, "need volume: {samples}");
@@ -60,12 +60,12 @@ fn trace_grows_with_time_profile_does_not() {
     let (p1, p4) = (program(2), program(8));
     let prof_small = run_profiled(&p1, &w, ProfilerConfig::default()).profile_bytes;
     let prof_large = run_profiled(&p4, &w, ProfilerConfig::default()).profile_bytes;
-    let trace_small: usize = run_world(&p1, &w, |_| TraceCollector::new())
+    let trace_small: usize = run_world(&p1, &w, |_| TraceCollector::new()).unwrap()
         .observers
         .iter()
         .map(|t| t.trace_bytes())
         .sum();
-    let trace_large: usize = run_world(&p4, &w, |_| TraceCollector::new())
+    let trace_large: usize = run_world(&p4, &w, |_| TraceCollector::new()).unwrap()
         .observers
         .iter()
         .map(|t| t.trace_bytes())
